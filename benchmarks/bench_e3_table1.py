@@ -1,0 +1,88 @@
+"""E3 — Table 1: the sender lemma, machine-checked.
+
+Reproduces the paper's displayed proof
+``Δ1 ⊢ sender sat f(wire) ≤ input`` two ways:
+
+* the explicit line-by-line construction (`systems.protocol.table1_proof`);
+* the automated tactic (`SatProver`), which re-derives the same theorem.
+
+Benchmarks cover proof *construction*, proof *checking*, and the oracle
+ablation from DESIGN.md §7 (exhaustive-bounded vs randomized discharge of
+the "(def f)" side conditions).
+"""
+
+import pytest
+
+from repro.proof.checker import ProofChecker
+from repro.proof.oracle import Oracle, OracleConfig
+from repro.systems import protocol
+
+
+class TestE3Explicit:
+    def test_build_table1(self, benchmark):
+        proof = benchmark(protocol.table1_proof)
+        assert proof.rule == "recursion"
+        assert repr(proof.conclusion) == "sender sat f(wire) <= input"
+
+    def test_check_table1(self, benchmark):
+        proof = protocol.table1_proof()
+        checker = ProofChecker(protocol.definitions(), protocol.oracle())
+        report = benchmark(lambda: checker.check(proof))
+        assert len(report.discharges) == 8
+        assert all(d.verdict.ok for d in report.discharges)
+
+
+class TestE3Automated:
+    def test_tactic_builds_sender_lemma(self, benchmark):
+        prover = protocol.prover()
+        proof = benchmark(lambda: prover.prove_name("sender"))
+        assert repr(proof.conclusion) == "sender sat f(wire) <= input"
+
+    def test_tactic_and_explicit_agree(self, benchmark):
+        prover = protocol.prover()
+
+        def both():
+            explicit = protocol.table1_proof()
+            automated = prover.prove_name("sender")
+            return explicit, automated
+
+        explicit, automated = benchmark(both)
+        assert explicit.conclusion == automated.conclusion
+
+
+class TestE3OracleAblation:
+    """Discharge-strategy ablation: exhaustive-bounded vs randomized."""
+
+    def _check_with(self, oracle):
+        proof = protocol.table1_proof()
+        return ProofChecker(protocol.definitions(), oracle).check(proof)
+
+    def test_exhaustive_oracle(self, benchmark):
+        oracle = Oracle(
+            protocol.environment(),
+            OracleConfig(value_pool=(0, 1, "ACK", "NACK"), exhaustive_limit=10**6),
+        )
+        report = benchmark(lambda: self._check_with(oracle))
+        assert all(
+            d.verdict.method == "exhaustive-bounded" for d in report.discharges
+        )
+
+    def test_randomized_oracle(self, benchmark):
+        oracle = Oracle(
+            protocol.environment(),
+            OracleConfig(
+                value_pool=(0, 1, "ACK", "NACK"),
+                exhaustive_limit=10,
+                random_trials=2000,
+            ),
+        )
+        report = benchmark(lambda: self._check_with(oracle))
+        assert any(d.verdict.method == "randomized" for d in report.discharges)
+
+    def test_shallow_histories_oracle(self, benchmark):
+        oracle = Oracle(
+            protocol.environment(),
+            OracleConfig(value_pool=(0, 1, "ACK", "NACK"), max_history_length=2),
+        )
+        report = benchmark(lambda: self._check_with(oracle))
+        assert all(d.verdict.ok for d in report.discharges)

@@ -1,0 +1,38 @@
+"""E5 — §2.2(3): ``protocol sat output ≤ input``.
+
+The paper's six-line derivation: sender and receiver lemmas, parallelism
+(line 3), consequence via transitivity of ≤ (line 4), the chan rule
+(line 5), and recursion/definition unfolding (line 6).  The benchmark
+times the full theorem build + check and asserts the same rule profile.
+"""
+
+from repro.proof.checker import ProofChecker
+from repro.systems import protocol
+
+
+class TestE5Protocol:
+    def test_build_theorem(self, benchmark):
+        prover = protocol.prover()
+        proof = benchmark(lambda: prover.prove_name("protocol"))
+        assert repr(proof.conclusion) == "protocol sat output <= input"
+
+    def test_check_theorem(self, benchmark):
+        prover = protocol.prover()
+        proof = prover.prove_name("protocol")
+        checker = ProofChecker(protocol.definitions(), prover.oracle)
+        report = benchmark(lambda: checker.check(proof))
+        # the §2.2(3) derivation's rule profile
+        used = report.rules_used
+        assert used.get("parallelism", 0) >= 1  # line (3)
+        assert used.get("consequence", 0) >= 1  # line (4), trans ≤
+        assert used.get("chan", 0) >= 1  # line (5)
+        assert used.get("recursion", 0) >= 1  # line (6)
+
+    def test_full_prove_all(self, benchmark):
+        reports = benchmark(protocol.prove_all)
+        assert set(reports) == {"sender", "q", "receiver", "protocol"}
+
+    def test_scaling_message_alphabet(self, benchmark):
+        # larger M: the oracle's eigenvariable domains grow
+        reports = benchmark(lambda: protocol.prove_all(messages={0, 1, 2}))
+        assert repr(reports["protocol"].conclusion) == "protocol sat output <= input"

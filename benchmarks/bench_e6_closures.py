@@ -1,0 +1,106 @@
+"""E6/E10 — §3.1 prefix-closure theorems and the §3.3 ch(s) example.
+
+Times the core trace-algebra operators at growing sizes and asserts the
+§3.1 theorems (closure, distributivity) plus the worked ``ch`` example of
+§3.3 on every run.
+"""
+
+import pytest
+
+from repro.traces.events import channel, event, trace
+from repro.traces.histories import ch
+from repro.traces.operations import hide, pad, parallel, prefix, union_all
+from repro.traces.prefix_closure import FiniteClosure
+
+
+def _chain_closure(length: int, chan_name: str = "a") -> FiniteClosure:
+    """A linear closure with `length` events."""
+    return FiniteClosure.from_traces(
+        [tuple(event(chan_name, i) for i in range(length))]
+    )
+
+
+def _bushy_closure(depth: int, branching: int = 2) -> FiniteClosure:
+    """A complete tree of events on one channel."""
+    traces = []
+
+    def grow(prefix_trace, remaining):
+        if remaining == 0:
+            traces.append(prefix_trace)
+            return
+        for v in range(branching):
+            grow(prefix_trace + (event("a", v),), remaining - 1)
+
+    grow((), depth)
+    return FiniteClosure.from_traces(traces)
+
+
+class TestE6Operators:
+    @pytest.mark.parametrize("depth", [4, 6, 8])
+    def test_prefix_operator(self, benchmark, depth):
+        p = _bushy_closure(depth)
+        a = event("z", 0)
+        result = benchmark(lambda: prefix(a, p))
+        assert result.is_prefix_closed()  # §3.1 theorem
+        assert len(result) == len(p) + 1
+
+    @pytest.mark.parametrize("depth", [4, 6, 8])
+    def test_hide_operator(self, benchmark, depth):
+        p = _bushy_closure(depth)
+        result = benchmark(lambda: hide(p, [channel("a")]))
+        assert result.is_prefix_closed()
+
+    @pytest.mark.parametrize("depth", [3, 4, 5])
+    def test_parallel_merge(self, benchmark, depth):
+        left = _bushy_closure(depth)
+        right = _chain_closure(depth, "b")
+        x = [channel("a")]
+        y = [channel("b")]
+        result = benchmark(lambda: parallel(left, x, right, y, depth=depth + 2))
+        assert result.is_prefix_closed()
+
+    def test_parallel_synchronised(self, benchmark):
+        # shared channel: the merge must intersect, not interleave
+        left = _bushy_closure(4)
+        right = _bushy_closure(4)
+        chans = [channel("a")]
+        result = benchmark(lambda: parallel(left, chans, right, chans, depth=6))
+        assert result == left.intersection(right).truncate(6)
+
+    def test_pad_operator(self, benchmark):
+        p = _chain_closure(4)
+        result = benchmark(
+            lambda: pad(p, [channel("z")], [event("z", 0)], depth=6)
+        )
+        assert result.is_prefix_closed()
+
+    def test_distributivity_through_union(self, benchmark):
+        # (a → ∪Pᵢ) = ∪(a → Pᵢ), §3.1
+        parts = [_chain_closure(i + 1) for i in range(5)]
+        a = event("z", 9)
+
+        def both_sides():
+            lhs = prefix(a, union_all(parts))
+            rhs = union_all([prefix(a, p) for p in parts])
+            return lhs, rhs
+
+        lhs, rhs = benchmark(both_sides)
+        assert lhs == rhs
+
+
+class TestE10ChannelHistory:
+    def test_paper_ch_example(self, benchmark):
+        # §3.3: ch(⟨input.27, wire.27, input.0, wire.0, input.3⟩)
+        s = trace(
+            ("input", 27), ("wire", 27), ("input", 0), ("wire", 0), ("input", 3)
+        )
+        history = benchmark(lambda: ch(s))
+        assert history(channel("input")) == (27, 0, 3)
+        assert history(channel("wire")) == (27, 0)
+        assert history(channel("output")) == ()
+
+    @pytest.mark.parametrize("length", [10, 100, 1000])
+    def test_ch_scaling(self, benchmark, length):
+        s = tuple(event("c", i % 7) for i in range(length))
+        history = benchmark(lambda: ch(s))
+        assert len(history(channel("c"))) == length

@@ -1,0 +1,90 @@
+"""E7 — the §3.3 fixed-point construction.
+
+Times the approximation chain a₀ ⊆ a₁ ⊆ … for the paper's recursive
+definitions, asserts monotone convergence within depth+1 steps, and runs
+the depth/sample ablation from DESIGN.md §7 (enumeration cost vs
+refutation power).
+"""
+
+import pytest
+
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import denote
+from repro.semantics.fixpoint import ApproximationChain
+from repro.systems import copier, protocol
+
+
+class TestE7Convergence:
+    @pytest.mark.parametrize("depth", [2, 4, 6])
+    def test_copier_chain(self, benchmark, depth):
+        defs = copier.definitions()
+        cfg = SemanticsConfig(depth=depth, sample=2)
+
+        def run():
+            chain = ApproximationChain(defs, copier.environment(), cfg)
+            steps = chain.run_until_stable()
+            return chain, steps
+
+        chain, steps = benchmark(run)
+        assert steps <= depth + 1  # guarded recursion: one level per event
+        assert chain.is_monotone()
+
+    def test_protocol_chain_with_arrays(self, benchmark):
+        defs = protocol.definitions()
+        cfg = SemanticsConfig(depth=4, sample=3)
+
+        def run():
+            chain = ApproximationChain(defs, protocol.environment(), cfg)
+            chain.run_until_stable()
+            return chain
+
+        chain = benchmark(run)
+        assert chain.closure_for("q", 0) != chain.closure_for("q", 1)
+
+    def test_chain_equals_unfolding(self, benchmark):
+        # ∪ᵢ aᵢ = the on-demand unfolding denotation (⟦p⟧ of §3.3)
+        defs = copier.definitions()
+        cfg = SemanticsConfig(depth=5, sample=2)
+
+        def both():
+            chain = ApproximationChain(defs, copier.environment(), cfg)
+            return chain.closure_for("copier"), denote(
+                Name("copier"), defs, config=cfg
+            )
+
+        from_chain, from_unfolding = benchmark(both)
+        assert from_chain == from_unfolding
+
+
+class TestE7DepthSampleAblation:
+    """Cost vs refutation power: deeper/wider bounds catch more, cost more."""
+
+    @pytest.mark.parametrize("depth,sample", [(3, 2), (5, 2), (5, 3), (7, 2)])
+    def test_enumeration_cost(self, benchmark, depth, sample):
+        defs = copier.definitions()
+        cfg = SemanticsConfig(depth=depth, sample=sample)
+        closure = benchmark(lambda: denote(Name("copier"), defs, config=cfg))
+        assert closure.depth() == depth
+
+    def test_shallow_bound_misses_deep_violation(self, benchmark):
+        # a process that misbehaves only at step 5: depth-4 checking is
+        # blind to it; depth-6 refutes — the ablation's point.
+        defs = parse_definitions(
+            "sneaky = input?x:NAT -> wire!x -> input?y:NAT -> wire!y ->"
+            " wire!99 -> STOP"
+        )
+        from repro.sat.checker import check_sat
+
+        def both():
+            shallow = check_sat(
+                Name("sneaky"), "wire <= input", defs, config=SemanticsConfig(4, 2)
+            )
+            deep = check_sat(
+                Name("sneaky"), "wire <= input", defs, config=SemanticsConfig(6, 2)
+            )
+            return shallow, deep
+
+        shallow, deep = benchmark(both)
+        assert shallow.holds and not deep.holds

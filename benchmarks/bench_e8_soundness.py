@@ -1,0 +1,27 @@
+"""E8 — §3.4 rule validity as an experiment.
+
+For every inference rule: random instances, premises evaluated in the
+model, conclusions checked whenever premises hold.  §3.4 predicts zero
+violations; the benchmark times each rule's experiment and asserts both
+soundness and non-vacuity.
+"""
+
+import pytest
+
+from repro.soundness.harness import ALL_RULE_EXPERIMENTS, run_rule_experiment
+
+TRIALS = 60
+
+
+@pytest.mark.parametrize("rule", sorted(ALL_RULE_EXPERIMENTS))
+def test_rule_soundness_experiment(benchmark, rule):
+    result = benchmark(lambda: run_rule_experiment(rule, trials=TRIALS, seed=42))
+    assert result.sound, result.example_violation
+    assert result.premises_held > 0
+
+
+def test_full_sweep(benchmark):
+    from repro.soundness.harness import run_all_rule_experiments
+
+    results = benchmark(lambda: run_all_rule_experiments(trials=25, seed=7))
+    assert sum(r.violations for r in results) == 0

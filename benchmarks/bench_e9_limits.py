@@ -1,0 +1,66 @@
+"""E9 — the §4 limitations, demonstrated and timed.
+
+* ``STOP | P = P`` in the prefix-closure model (checked at several depths);
+* ``STOP sat R`` for satisfiable R (the partial-correctness blind spot);
+* deadlock detection via the operational explorer — the analysis the
+  paper's proof system cannot express.
+"""
+
+import pytest
+
+from repro.operational.explorer import Explorer
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Choice, Name, STOP
+from repro.process.parser import parse_definitions, parse_process
+from repro.sat.checker import check_sat
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.equivalence import trace_equivalent
+from repro.systems import protocol
+from repro.traces.events import EMPTY_TRACE
+
+
+class TestE9StopChoice:
+    @pytest.mark.parametrize("depth", [3, 5, 7])
+    def test_stop_choice_identity(self, benchmark, depth):
+        defs = parse_definitions("loop = a!0 -> b!1 -> loop")
+        cfg = SemanticsConfig(depth=depth, sample=2)
+        hedged = Choice(STOP, Name("loop"))
+        equal = benchmark(
+            lambda: trace_equivalent(hedged, Name("loop"), defs, config=cfg)
+        )
+        assert equal  # §4: the model cannot distinguish them
+
+    def test_stop_satisfies_satisfiable_invariants(self, benchmark):
+        from repro.assertions.builders import chan_, le_
+
+        spec = le_(chan_("output"), chan_("input"))
+        result = benchmark(lambda: check_sat(STOP, spec))
+        assert result.holds
+
+
+class TestE9DeadlockDetection:
+    def test_deadlocked_network_found(self, benchmark):
+        defs = parse_definitions(
+            "p = w!1 -> out!1 -> STOP; q = w?x:{2..3} -> STOP; net = p || q"
+        )
+        semantics = OperationalSemantics(defs)
+        deadlocks = benchmark(
+            lambda: Explorer(semantics).find_deadlocks(Name("net"), depth=2)
+        )
+        assert EMPTY_TRACE in deadlocks
+
+    def test_protocol_deadlock_freedom_to_depth(self, benchmark):
+        semantics = OperationalSemantics(
+            protocol.definitions(), protocol.environment(), sample=2
+        )
+        deadlocks = benchmark(
+            lambda: Explorer(semantics).find_deadlocks(Name("protocol"), depth=3)
+        )
+        assert deadlocks == []
+
+    def test_vacuous_sat_on_deadlocked_net(self, benchmark):
+        defs = parse_definitions(
+            "p = w!1 -> out!1 -> STOP; q = w?x:{2..3} -> STOP; net = p || q"
+        )
+        result = benchmark(lambda: check_sat(Name("net"), "out <= <1>", defs))
+        assert result.holds  # vacuously — the paper's blind spot

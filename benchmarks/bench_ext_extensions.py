@@ -1,0 +1,79 @@
+"""EXT — extensions beyond the paper, timed.
+
+Not part of the E1–E10 reproduction matrix (EXPERIMENTS.md), but the
+library's added capabilities, exercised at scale:
+
+* the algebraic-law sweep over random processes (trace-model algebra);
+* the bounded failures model (§4's future work) on the STOP|P example;
+* compositional buffer proofs as the chain grows;
+* dining-philosophers deadlock search as the table grows.
+"""
+
+import pytest
+
+from repro.process.ast import Choice, Name, STOP
+from repro.process.channels import ChannelExpr, ChannelList
+from repro.process.parser import parse_process
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.failures import failures_equivalent, failures_of
+from repro.semantics.laws import ALL_LAWS, check_law
+from repro.soundness.generators import ProcessGenerator
+from repro.systems import buffer, philosophers
+
+CFG = SemanticsConfig(depth=4, sample=2)
+WIRE = ChannelList([ChannelExpr("wire")])
+A = ChannelList([ChannelExpr("a")])
+
+
+class TestLawSweep:
+    def test_all_laws_random_sweep(self, benchmark):
+        generator = ProcessGenerator(seed=5, max_depth=3)
+
+        def sweep():
+            checked = 0
+            for law in ALL_LAWS:
+                for _ in range(5):
+                    processes = tuple(generator.process() for _ in range(law.arity))
+                    result = check_law(law, processes, (WIRE, A), config=CFG)
+                    assert result.holds, result
+                    checked += 1
+            return checked
+
+        assert benchmark(sweep) == 5 * len(ALL_LAWS)
+
+
+class TestFailuresModel:
+    P = parse_process("a!0 -> b!1 -> STOP")
+
+    def test_failures_computation(self, benchmark):
+        f = benchmark(lambda: failures_of(self.P))
+        assert not f.after(()).can_refuse(f.alphabet)
+
+    def test_stop_choice_distinguished(self, benchmark):
+        hedged = Choice(STOP, self.P)
+        equal = benchmark(lambda: failures_equivalent(hedged, self.P))
+        assert not equal  # the refined model sees the deadlock option
+
+
+class TestBufferScaling:
+    @pytest.mark.parametrize("places", [1, 2, 3])
+    def test_buffer_proof(self, benchmark, places):
+        report = benchmark(lambda: buffer.prove(places=places))
+        assert f"+ {places}" in repr(report.conclusion)
+
+    @pytest.mark.parametrize("places", [2, 4, 6])
+    def test_buffer_model_check(self, benchmark, places):
+        results = benchmark(lambda: buffer.check(places=places, depth=4))
+        assert results["order"].holds and results["capacity"].holds
+
+
+class TestPhilosopherScaling:
+    @pytest.mark.parametrize("seats", [2, 3])
+    def test_deadlock_search(self, benchmark, seats):
+        deadlocks = benchmark(lambda: philosophers.find_deadlocks(seats=seats))
+        classic = set(philosophers.classic_deadlock_trace(seats))
+        assert any(set(t) == classic for t in deadlocks)
+
+    def test_fork_lemma_proof(self, benchmark):
+        report = benchmark(lambda: philosophers.prove_fork_safety(seats=2))
+        assert report.rules_used.get("recursion") == 1

@@ -1,0 +1,61 @@
+"""EXT — infrastructure throughput: parser, pretty-printer, serializer.
+
+Not reproduction targets; these time the front-end plumbing a downstream
+user leans on (parsing definition files, round-tripping notation,
+shipping proofs as JSON).
+"""
+
+import pytest
+
+from repro.process.parser import parse_definitions, parse_process
+from repro.process.pretty import pretty, pretty_definitions
+from repro.serialize import dumps, loads
+from repro.systems import protocol
+
+PROTOCOL_TEXT = protocol.SOURCE
+
+BIG_TEXT = ";\n".join(
+    f"p{i} = a!{i} -> b?x:{{0..3}} -> (c!x -> p{i} | d!{i} -> p{i})"
+    for i in range(40)
+)
+
+
+class TestParser:
+    def test_parse_protocol(self, benchmark):
+        defs = benchmark(lambda: parse_definitions(PROTOCOL_TEXT))
+        assert len(defs) == 4
+
+    def test_parse_many_definitions(self, benchmark):
+        defs = benchmark(lambda: parse_definitions(BIG_TEXT))
+        assert len(defs) == 40
+
+    def test_parse_deep_expression(self, benchmark):
+        text = "c!(" + "1 + " * 60 + "1) -> STOP"
+        process = benchmark(lambda: parse_process(text))
+        assert pretty(process).startswith("c!")
+
+
+class TestPretty:
+    def test_roundtrip_protocol(self, benchmark):
+        defs = parse_definitions(PROTOCOL_TEXT)
+
+        def roundtrip():
+            return parse_definitions(pretty_definitions(defs))
+
+        assert benchmark(roundtrip) == defs
+
+
+class TestSerialization:
+    def test_serialize_table1(self, benchmark):
+        proof = protocol.table1_proof()
+        payload = benchmark(lambda: dumps(proof))
+        assert len(payload) > 1000
+
+    def test_deserialize_table1(self, benchmark):
+        payload = dumps(protocol.table1_proof())
+        restored = benchmark(lambda: loads(payload))
+        assert restored.size() == protocol.table1_proof().size()
+
+    def test_roundtrip_definitions(self, benchmark):
+        defs = parse_definitions(BIG_TEXT)
+        assert benchmark(lambda: loads(dumps(defs))) == defs

@@ -1,0 +1,11 @@
+"""Shared configuration for the benchmark suite.
+
+Every module ``bench_eN_*.py`` regenerates one experiment row of
+EXPERIMENTS.md (the paper's worked examples, proofs, and meta-theorems).
+Benchmarks both *time* the artifact and *assert* the paper's claim, so a
+benchmark run doubles as a reproduction run.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+collect_ignore_glob: list = []

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Demonstrate the paper's §4 limitations — and what lies beyond them.
+
+Two defects the conclusion concedes:
+
+1. **Partial correctness only.**  ``STOP`` satisfies every satisfiable
+   invariant, so a proof of ``P sat R`` says nothing about ``P`` actually
+   doing anything.  We exhibit a network that provably satisfies its spec
+   and yet deadlocks immediately — then find the deadlock with the
+   operational explorer (the analysis the paper says its proof system
+   cannot express).
+
+2. **Naive non-determinism.**  In the prefix-closure model
+   ``STOP | P = P``: the option of deadlocking is invisible.  We verify
+   the identity on bounded denotations.
+
+Run:  python examples/deadlock_and_limits.py
+"""
+
+from repro import Name, STOP, check_sat, parse_definitions, parse_process
+from repro.operational import Explorer, OperationalSemantics
+from repro.process.ast import Choice
+from repro.semantics import SemanticsConfig, denote, trace_equivalent
+
+
+def main() -> None:
+    print("== defect 1: STOP satisfies every satisfiable invariant ==")
+    from repro.assertions.builders import chan_, le_
+
+    spec = le_(chan_("output"), chan_("input"))
+    print(f"  STOP sat (output ≤ input):  {bool(check_sat(STOP, spec))}")
+
+    print("\n  a deadlocked network that 'provably' meets its spec:")
+    defs = parse_definitions(
+        "p = w!1 -> out!1 -> STOP;"
+        "q = w?x:{2..3} -> STOP;"  # expects values p never sends
+        "net = p || q"
+    )
+    result = check_sat(Name("net"), "out <= <1>", defs)
+    print(f"    net sat (out ≤ ⟨1⟩):  {result.holds}   (vacuously!)")
+
+    semantics = OperationalSemantics(defs)
+    deadlocks = Explorer(semantics).find_deadlocks(Name("net"), depth=2)
+    print(f"    operational deadlock analysis: deadlocked after {deadlocks!r}")
+    print("    — exactly the gap §4 concedes: sat-proofs cannot see this.")
+
+    print("\n== defect 2: STOP | P = P in the trace model ==")
+    p = parse_process("a!0 -> b!1 -> STOP")
+    hedged = Choice(STOP, p)
+    cfg = SemanticsConfig(depth=4, sample=2)
+    print(f"  ⟦STOP | P⟧ == ⟦P⟧ :  {trace_equivalent(hedged, p, config=cfg)}")
+    print(f"  both have traces: {sorted(denote(p, config=cfg).traces, key=len)}")
+
+    print("\n  ...even when the deadlock option appears mid-run:")
+    early = parse_process("a!0 -> (STOP | b!1 -> STOP)")
+    late = parse_process("a!0 -> b!1 -> STOP")
+    print(f"  ⟦a!0 -> (STOP | P)⟧ == ⟦a!0 -> P⟧ :  {trace_equivalent(early, late, config=cfg)}")
+
+    print(
+        "\n(the paper closes hoping a 'more realistic model of"
+        " non-determinism' will fix this — that model became the failures"
+        " model of CSP.)"
+    )
+
+    print("\n== the fix, forty years early: a bounded failures model ==")
+    from repro.semantics.failures import (
+        failures_difference,
+        failures_equivalent,
+        failures_of,
+    )
+
+    print(
+        f"  failures-equivalent(STOP | P, P):"
+        f"  {failures_equivalent(hedged, p)}"
+    )
+    print(f"  witness: {failures_difference(hedged, p)}")
+    f = failures_of(hedged)
+    print(
+        f"  STOP | P can refuse the whole alphabet after ⟨⟩: "
+        f"{() in f.deadlock_failures()}"
+    )
+    print(
+        "  — with refusal information the deadlock option is observable,"
+        " exactly as §4 hoped."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""repro — a reproduction of Zhou Chao Chen & C. A. R. Hoare,
+*Partial Correctness of Communicating Sequential Processes* (ICDCS 1981).
+
+The library implements the paper's programming notation for communicating
+processes, its trace (prefix-closure) denotational semantics, an
+operational simulator, the ``sat`` assertion language over channel
+histories, the ten inference rules of the partial-correctness proof
+system, and machine-checked replays of every proof in the paper.  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quick start
+-----------
+
+>>> from repro import parse_definitions, parse_assertion, check_sat, Name
+>>> defs = parse_definitions("copier = input?x:NAT -> wire!x -> copier")
+>>> bool(check_sat(Name("copier"), "wire <= input", defs))
+True
+
+Subpackages
+-----------
+``repro.values``       value domains and expressions (§1.1)
+``repro.traces``       traces and prefix closures (§3.1, §3.3)
+``repro.process``      process AST, parser, pretty-printer (§1)
+``repro.semantics``    denotational semantics and fixpoints (§3.2–3.3)
+``repro.operational``  small-step simulator and state-space explorer
+``repro.assertions``   the assertion language (§2, §3.3)
+``repro.sat``          bounded model checking of ``P sat R``
+``repro.proof``        the inference rules and proof checker (§2.1)
+``repro.soundness``    empirical rule-validity harness (§3.4)
+``repro.systems``      the paper's example systems and their proofs
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    DischargeError,
+    ParseError,
+    ProofError,
+    ReproError,
+    RuleApplicationError,
+    SideConditionError,
+)
+from repro.values import Environment, FiniteDomain, NAT
+from repro.traces import FiniteClosure, ch, channel, event, trace
+from repro.process import (
+    ArrayRef,
+    DefinitionList,
+    Name,
+    Process,
+    STOP,
+    parse_definitions,
+    parse_process,
+    pretty,
+)
+from repro.assertions import parse_assertion
+from repro.semantics import SemanticsConfig, denote, fixpoint_denotation
+from repro.operational import OperationalSemantics, explore_traces, simulate
+from repro.sat import SatChecker, check_sat
+from repro.proof import Oracle, ProofChecker, SatProver
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ParseError",
+    "ProofError",
+    "RuleApplicationError",
+    "SideConditionError",
+    "DischargeError",
+    # values
+    "Environment",
+    "FiniteDomain",
+    "NAT",
+    # traces
+    "FiniteClosure",
+    "trace",
+    "event",
+    "channel",
+    "ch",
+    # process
+    "Process",
+    "Name",
+    "ArrayRef",
+    "STOP",
+    "DefinitionList",
+    "parse_process",
+    "parse_definitions",
+    "pretty",
+    # assertions
+    "parse_assertion",
+    # semantics
+    "SemanticsConfig",
+    "denote",
+    "fixpoint_denotation",
+    # operational
+    "OperationalSemantics",
+    "simulate",
+    "explore_traces",
+    # sat
+    "check_sat",
+    "SatChecker",
+    # proof
+    "Oracle",
+    "ProofChecker",
+    "SatProver",
+]

@@ -1,0 +1,121 @@
+"""The assertion language of §2 and its semantics (§3.3).
+
+An assertion is a predicate whose free *channel names* stand for the
+sequence of values communicated along that channel so far.  This package
+provides:
+
+* :mod:`repro.assertions.ast`          — terms (sequences, numbers) and
+  formulas (comparisons, connectives, bounded quantifiers, Σ);
+* :mod:`repro.assertions.sequences`    — the sequence operators of §2 and
+  the protocol's cancellation function ``f`` (§2.2);
+* :mod:`repro.assertions.eval`         — evaluation under ``ρ + ch(s)``;
+* :mod:`repro.assertions.substitution` — the substitution operators
+  ``R_<>``, ``R^c_{e⌢c}``, ``R^x_e`` used by the inference rules;
+* :mod:`repro.assertions.parser`       — parser for a textual notation;
+* :mod:`repro.assertions.builders`     — a Python DSL for building
+  assertions programmatically.
+"""
+
+from repro.assertions.ast import (
+    Apply,
+    Arith,
+    BoolLit,
+    ChannelTrace,
+    Compare,
+    Concat,
+    Cons,
+    ConstTerm,
+    Exists,
+    ForAll,
+    Formula,
+    Index,
+    Length,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Implies,
+    SeqLit,
+    Sum,
+    Term,
+    VarTerm,
+)
+from repro.assertions.builders import (
+    EMPTY_SEQ,
+    TRUE,
+    FALSE,
+    and_,
+    apply_,
+    chan_,
+    const_,
+    exists_,
+    forall_,
+    implies_,
+    not_,
+    or_,
+    seq_,
+    var_,
+)
+from repro.assertions.eval import EvalConfig, evaluate_formula, evaluate_term
+from repro.assertions.parser import parse_assertion
+from repro.assertions.simplify import simplify, simplify_term
+from repro.assertions import patterns
+from repro.assertions.sequences import cancel_protocol, is_seq_prefix
+from repro.assertions.substitution import (
+    blank_channels,
+    channels_mentioned,
+    formula_free_variables,
+    prefix_channel,
+    substitute_variable,
+)
+
+__all__ = [
+    "Term",
+    "Formula",
+    "ConstTerm",
+    "VarTerm",
+    "ChannelTrace",
+    "SeqLit",
+    "Cons",
+    "Concat",
+    "Length",
+    "Index",
+    "Arith",
+    "Apply",
+    "Sum",
+    "BoolLit",
+    "Compare",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "Implies",
+    "ForAll",
+    "Exists",
+    "parse_assertion",
+    "evaluate_formula",
+    "evaluate_term",
+    "EvalConfig",
+    "substitute_variable",
+    "blank_channels",
+    "prefix_channel",
+    "channels_mentioned",
+    "formula_free_variables",
+    "cancel_protocol",
+    "is_seq_prefix",
+    "chan_",
+    "var_",
+    "const_",
+    "seq_",
+    "apply_",
+    "and_",
+    "or_",
+    "not_",
+    "implies_",
+    "forall_",
+    "exists_",
+    "TRUE",
+    "FALSE",
+    "EMPTY_SEQ",
+    "simplify",
+    "simplify_term",
+    "patterns",
+]

@@ -1,0 +1,353 @@
+"""Terms and formulas of the assertion language (paper §2).
+
+**Terms** denote message values, numbers, or sequences:
+
+=====================  =======================================
+paper                  here
+=====================  =======================================
+``3``, ``ACK``         :class:`ConstTerm`
+``x`` (variable)       :class:`VarTerm`
+``wire``, ``col[i]``   :class:`ChannelTrace` (a free channel
+                       name: the history of that channel)
+``⟨⟩``, ``⟨3, 4⟩``     :class:`SeqLit`
+``x⌢s``                :class:`Cons`
+``s ++ t``             :class:`Concat`
+``#s``                 :class:`Length`
+``s_i``                :class:`Index` (1-based, §2 item 3)
+``f(wire)``            :class:`Apply` (host function)
+``Σ_{j=lo}^{hi} e``    :class:`Sum`
+arithmetic             :class:`Arith`
+=====================  =======================================
+
+**Formulas** combine terms:
+
+* :class:`Compare` — ``s ≤ t`` is the *prefix order* when both sides are
+  sequences and the numeric order when both are numbers, matching the
+  paper's overloaded ``≤``; also ``=``, ``≠``, ``<``, ``>``, ``≥``;
+* :class:`LogicalAnd` / :class:`LogicalOr` / :class:`LogicalNot` /
+  :class:`Implies`;
+* :class:`ForAll` / :class:`Exists` over a set expression (bounded
+  enumeration during model checking, exact during proof);
+* :class:`BoolLit`.
+
+All nodes are immutable, structurally comparable, and hashable — proofs
+manipulate them as data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional, Tuple
+
+from repro.process.channels import ChannelExpr
+from repro.values.expressions import SetExpr
+
+
+class _Node:
+    """Shared value-object behaviour for terms and formulas."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+
+    def _key(self) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        from repro.assertions.pretty import pretty_assertion_node
+
+        return pretty_assertion_node(self)
+
+
+class Term(_Node):
+    """Abstract term."""
+
+    __slots__ = ()
+
+
+class Formula(_Node):
+    """Abstract formula."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class ConstTerm(Term):
+    """A literal message value or number (sequences use :class:`SeqLit`)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.value,)
+
+
+class VarTerm(Term):
+    """A value variable shared with the process (e.g. the ``x`` of
+    ``q[x:M]`` in Table 1's invariant ``f(wire) ≤ x⌢input``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.name,)
+
+
+class ChannelTrace(Term):
+    """A free channel name: denotes ``ch(s)(c)``, the sequence of messages
+    communicated on the channel so far (§2, §3.3)."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: ChannelExpr) -> None:
+        self.channel = channel
+
+    @property
+    def name(self) -> str:
+        return self.channel.name
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.channel,)
+
+
+class SeqLit(Term):
+    """An explicit sequence ``⟨e₁, …, eₙ⟩``; ``SeqLit(())`` is ⟨⟩."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Tuple[Term, ...] = ()) -> None:
+        self.elements = tuple(elements)
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.elements,)
+
+
+class Cons(Term):
+    """``x⌢s`` — the sequence whose first message is ``x`` and whose
+    remainder is ``s`` (§2 item 1)."""
+
+    __slots__ = ("head", "tail")
+
+    def __init__(self, head: Term, tail: Term) -> None:
+        self.head = head
+        self.tail = tail
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.head, self.tail)
+
+
+class Concat(Term):
+    """``s ++ t`` — sequence concatenation (the paper writes ``st``)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term, right: Term) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.left, self.right)
+
+
+class Length(Term):
+    """``#s`` — the length of a sequence (§2 item 2)."""
+
+    __slots__ = ("sequence",)
+
+    def __init__(self, sequence: Term) -> None:
+        self.sequence = sequence
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.sequence,)
+
+
+class Index(Term):
+    """``s_i`` — the i-th message of ``s``, 1-based (§2 item 3)."""
+
+    __slots__ = ("sequence", "index")
+
+    def __init__(self, sequence: Term, index: Term) -> None:
+        self.sequence = sequence
+        self.index = index
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.sequence, self.index)
+
+
+class Arith(Term):
+    """Arithmetic on numbers: ``#wire + 1``."""
+
+    __slots__ = ("op", "left", "right")
+
+    OPS = ("+", "-", "*", "div", "mod")
+
+    def __init__(self, op: str, left: Term, right: Term) -> None:
+        if op not in self.OPS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.op, self.left, self.right)
+
+
+class Apply(Term):
+    """``f(t₁, …)`` — application of a host function bound in the
+    environment, e.g. the cancellation function ``f`` of §2.2."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Tuple[Term, ...]) -> None:
+        self.name = name
+        self.args = tuple(args)
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.name, self.args)
+
+
+class Sum(Term):
+    """``Σ_{var=lo}^{hi} body`` — the finite sum used by the multiplier
+    invariant (§2 item 3's example).  ``var`` is bound in ``body``."""
+
+    __slots__ = ("variable", "low", "high", "body")
+
+    def __init__(self, variable: str, low: Term, high: Term, body: Term) -> None:
+        self.variable = variable
+        self.low = low
+        self.high = high
+        self.body = body
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.variable, self.low, self.high, self.body)
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class BoolLit(Formula):
+    """``true`` / ``false``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.value,)
+
+
+class Compare(Formula):
+    """``t ⋈ u`` for ⋈ ∈ {≤, <, =, ≠, >, ≥}.
+
+    ``≤`` (and ``<``) are overloaded exactly as in the paper: on two
+    sequences they are the (strict) *prefix order* ``s ≤ t ⇔ ∃u. s++u = t``;
+    on two numbers, the numeric order.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    OPS = ("<=", "<", "=", "!=", ">", ">=")
+
+    def __init__(self, op: str, left: Term, right: Term) -> None:
+        if op not in self.OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.op, self.left, self.right)
+
+
+class LogicalAnd(Formula):
+    """``R & S``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.left, self.right)
+
+
+class LogicalOr(Formula):
+    """``R or S``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.left, self.right)
+
+
+class LogicalNot(Formula):
+    """``not R``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        self.operand = operand
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.operand,)
+
+
+class Implies(Formula):
+    """``R ⇒ S``."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula) -> None:
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.antecedent, self.consequent)
+
+
+class ForAll(Formula):
+    """``∀ var ∈ M. R`` — ``var`` is bound in ``R``; ``M`` is a set
+    expression (§3.3 gives its semantics)."""
+
+    __slots__ = ("variable", "domain", "body")
+
+    def __init__(self, variable: str, domain: SetExpr, body: Formula) -> None:
+        self.variable = variable
+        self.domain = domain
+        self.body = body
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.variable, self.domain, self.body)
+
+
+class Exists(Formula):
+    """``∃ var ∈ M. R``."""
+
+    __slots__ = ("variable", "domain", "body")
+
+    def __init__(self, variable: str, domain: SetExpr, body: Formula) -> None:
+        self.variable = variable
+        self.domain = domain
+        self.body = body
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.variable, self.domain, self.body)

@@ -1,0 +1,155 @@
+"""A small Python DSL for building assertions programmatically.
+
+>>> from repro.assertions.builders import chan_, le_
+>>> spec = le_(chan_("wire"), chan_("input"))   # wire ≤ input
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.assertions.ast import (
+    Apply,
+    Arith,
+    BoolLit,
+    ChannelTrace,
+    Compare,
+    Concat,
+    Cons,
+    ConstTerm,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Index,
+    Length,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SeqLit,
+    Sum,
+    Term,
+    VarTerm,
+)
+from repro.process.channels import ChannelExpr
+from repro.values.expressions import Expr, SetExpr, as_expr
+
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+EMPTY_SEQ = SeqLit(())
+
+
+def _term(value: Any) -> Term:
+    """Coerce a Python value into a term: ints/strings become constants,
+    tuples become sequence literals, terms pass through."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, tuple):
+        return SeqLit(tuple(_term(v) for v in value))
+    return ConstTerm(value)
+
+
+def chan_(name: str, index: Optional[Any] = None) -> ChannelTrace:
+    """The history of channel ``name`` (optionally subscripted)."""
+    idx: Optional[Expr] = None if index is None else as_expr(index)
+    return ChannelTrace(ChannelExpr(name, idx))
+
+
+def var_(name: str) -> VarTerm:
+    return VarTerm(name)
+
+
+def const_(value: Any) -> ConstTerm:
+    return ConstTerm(value)
+
+
+def seq_(*elements: Any) -> SeqLit:
+    return SeqLit(tuple(_term(e) for e in elements))
+
+
+def cons_(head: Any, tail: Any) -> Cons:
+    return Cons(_term(head), _term(tail))
+
+
+def cat_(left: Any, right: Any) -> Concat:
+    return Concat(_term(left), _term(right))
+
+
+def len_(sequence: Any) -> Length:
+    return Length(_term(sequence))
+
+
+def at_(sequence: Any, index: Any) -> Index:
+    """``s_i`` — 1-based indexing."""
+    return Index(_term(sequence), _term(index))
+
+
+def plus_(left: Any, right: Any) -> Arith:
+    return Arith("+", _term(left), _term(right))
+
+
+def minus_(left: Any, right: Any) -> Arith:
+    return Arith("-", _term(left), _term(right))
+
+
+def times_(left: Any, right: Any) -> Arith:
+    return Arith("*", _term(left), _term(right))
+
+
+def apply_(name: str, *args: Any) -> Apply:
+    return Apply(name, tuple(_term(a) for a in args))
+
+
+def sum_(variable: str, low: Any, high: Any, body: Any) -> Sum:
+    return Sum(variable, _term(low), _term(high), _term(body))
+
+
+def le_(left: Any, right: Any) -> Compare:
+    """``l ≤ r`` — prefix order on sequences, numeric order on numbers."""
+    return Compare("<=", _term(left), _term(right))
+
+
+def lt_(left: Any, right: Any) -> Compare:
+    return Compare("<", _term(left), _term(right))
+
+
+def eq_(left: Any, right: Any) -> Compare:
+    return Compare("=", _term(left), _term(right))
+
+
+def ne_(left: Any, right: Any) -> Compare:
+    return Compare("!=", _term(left), _term(right))
+
+
+def ge_(left: Any, right: Any) -> Compare:
+    return Compare(">=", _term(left), _term(right))
+
+
+def and_(first: Formula, *rest: Formula) -> Formula:
+    result = first
+    for formula in rest:
+        result = LogicalAnd(result, formula)
+    return result
+
+
+def or_(first: Formula, *rest: Formula) -> Formula:
+    result = first
+    for formula in rest:
+        result = LogicalOr(result, formula)
+    return result
+
+
+def not_(operand: Formula) -> LogicalNot:
+    return LogicalNot(operand)
+
+
+def implies_(antecedent: Formula, consequent: Formula) -> Implies:
+    return Implies(antecedent, consequent)
+
+
+def forall_(variable: str, domain: SetExpr, body: Formula) -> ForAll:
+    return ForAll(variable, domain, body)
+
+
+def exists_(variable: str, domain: SetExpr, body: Formula) -> Exists:
+    return Exists(variable, domain, body)

@@ -1,0 +1,234 @@
+"""Evaluation of assertions under ``ρ + ch(s)`` (paper §3.3).
+
+``evaluate_formula(R, env, history)`` computes the truth of ``R`` in the
+environment ``ρ`` extended so that channel names denote the sequences
+``ch(s)`` ascribes to them — the exact construction of §3.3.
+
+Connectives short-circuit, so guarded formulas like
+``1 ≤ i & i ≤ #output ⇒ output_i = …`` never evaluate the guarded part
+out of range.  Quantifiers over infinite sets enumerate a bounded sample
+(``config.quant_bound``); this is the bounded-model-checking reading —
+complete for refutation on the enumerated values, and irrelevant to the
+proof system, which treats quantifiers symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.assertions.ast import (
+    Apply,
+    Arith,
+    BoolLit,
+    ChannelTrace,
+    Compare,
+    Concat,
+    Cons,
+    ConstTerm,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Index,
+    Length,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SeqLit,
+    Sum,
+    Term,
+    VarTerm,
+)
+from repro.assertions.sequences import is_seq_prefix, is_strict_seq_prefix, seq_index
+from repro.errors import EvaluationError
+from repro.traces.histories import ChannelHistory
+from repro.values.environment import Environment
+
+
+class EvalConfig:
+    """Bounds for assertion evaluation."""
+
+    __slots__ = ("quant_bound",)
+
+    def __init__(self, quant_bound: int = 32) -> None:
+        if quant_bound < 1:
+            raise ValueError("quant_bound must be positive")
+        self.quant_bound = quant_bound
+
+    def __repr__(self) -> str:
+        return f"EvalConfig(quant_bound={self.quant_bound})"
+
+
+DEFAULT_EVAL_CONFIG = EvalConfig()
+
+
+def evaluate_term(
+    term: Term,
+    env: Environment,
+    history: ChannelHistory,
+    config: EvalConfig = DEFAULT_EVAL_CONFIG,
+) -> Any:
+    """The value of a term: a number, a message value, or a tuple
+    (sequence)."""
+    if isinstance(term, ConstTerm):
+        return term.value
+    if isinstance(term, VarTerm):
+        return env.lookup(term.name)
+    if isinstance(term, ChannelTrace):
+        return history(term.channel.evaluate(env))
+    if isinstance(term, SeqLit):
+        return tuple(evaluate_term(e, env, history, config) for e in term.elements)
+    if isinstance(term, Cons):
+        head = evaluate_term(term.head, env, history, config)
+        tail = evaluate_term(term.tail, env, history, config)
+        _require_seq(tail, "⌢ (cons)")
+        return (head,) + tail
+    if isinstance(term, Concat):
+        left = evaluate_term(term.left, env, history, config)
+        right = evaluate_term(term.right, env, history, config)
+        _require_seq(left, "++")
+        _require_seq(right, "++")
+        return left + right
+    if isinstance(term, Length):
+        seq = evaluate_term(term.sequence, env, history, config)
+        _require_seq(seq, "#")
+        return len(seq)
+    if isinstance(term, Index):
+        seq = evaluate_term(term.sequence, env, history, config)
+        _require_seq(seq, "indexing")
+        index = evaluate_term(term.index, env, history, config)
+        _require_int(index, "index")
+        try:
+            return seq_index(seq, index)
+        except IndexError as exc:
+            raise EvaluationError(str(exc)) from exc
+    if isinstance(term, Arith):
+        left = evaluate_term(term.left, env, history, config)
+        right = evaluate_term(term.right, env, history, config)
+        _require_int(left, term.op)
+        _require_int(right, term.op)
+        if term.op == "+":
+            return left + right
+        if term.op == "-":
+            return left - right
+        if term.op == "*":
+            return left * right
+        if right == 0:
+            raise EvaluationError(f"division by zero in {term.op}")
+        return left // right if term.op == "div" else left % right
+    if isinstance(term, Apply):
+        func = env.lookup(term.name, kind="function")
+        if not callable(func):
+            raise EvaluationError(f"{term.name!r} is not bound to a function")
+        args = [evaluate_term(a, env, history, config) for a in term.args]
+        try:
+            return func(*args)
+        except EvaluationError:
+            raise
+        except Exception as exc:
+            raise EvaluationError(f"{term.name}(...) raised {exc!r}") from exc
+    if isinstance(term, Sum):
+        low = evaluate_term(term.low, env, history, config)
+        high = evaluate_term(term.high, env, history, config)
+        _require_int(low, "Σ lower bound")
+        _require_int(high, "Σ upper bound")
+        total = 0
+        for value in range(low, high + 1):
+            summand = evaluate_term(
+                term.body, env.bind(term.variable, value), history, config
+            )
+            _require_int(summand, "Σ body")
+            total += summand
+        return total
+    raise EvaluationError(f"unknown term {term!r}")
+
+
+def evaluate_formula(
+    formula: Formula,
+    env: Environment,
+    history: ChannelHistory,
+    config: EvalConfig = DEFAULT_EVAL_CONFIG,
+) -> bool:
+    """The truth of a formula under ``ρ + ch(s)``."""
+    if isinstance(formula, BoolLit):
+        return formula.value
+    if isinstance(formula, Compare):
+        return _compare(formula, env, history, config)
+    if isinstance(formula, LogicalAnd):
+        return evaluate_formula(formula.left, env, history, config) and evaluate_formula(
+            formula.right, env, history, config
+        )
+    if isinstance(formula, LogicalOr):
+        return evaluate_formula(formula.left, env, history, config) or evaluate_formula(
+            formula.right, env, history, config
+        )
+    if isinstance(formula, LogicalNot):
+        return not evaluate_formula(formula.operand, env, history, config)
+    if isinstance(formula, Implies):
+        if not evaluate_formula(formula.antecedent, env, history, config):
+            return True
+        return evaluate_formula(formula.consequent, env, history, config)
+    if isinstance(formula, ForAll):
+        domain = formula.domain.evaluate(env)
+        return all(
+            evaluate_formula(
+                formula.body, env.bind(formula.variable, value), history, config
+            )
+            for value in domain.enumerate(config.quant_bound)
+        )
+    if isinstance(formula, Exists):
+        domain = formula.domain.evaluate(env)
+        return any(
+            evaluate_formula(
+                formula.body, env.bind(formula.variable, value), history, config
+            )
+            for value in domain.enumerate(config.quant_bound)
+        )
+    raise EvaluationError(f"unknown formula {formula!r}")
+
+
+def _compare(formula: Compare, env, history, config) -> bool:
+    left = evaluate_term(formula.left, env, history, config)
+    right = evaluate_term(formula.right, env, history, config)
+    op = formula.op
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    both_seq = isinstance(left, tuple) and isinstance(right, tuple)
+    both_num = _is_int(left) and _is_int(right)
+    if both_seq:
+        # The paper's overloaded ≤: the prefix order on sequences.
+        if op == "<=":
+            return is_seq_prefix(left, right)
+        if op == "<":
+            return is_strict_seq_prefix(left, right)
+        if op == ">=":
+            return is_seq_prefix(right, left)
+        return is_strict_seq_prefix(right, left)
+    if both_num:
+        if op == "<=":
+            return left <= right
+        if op == "<":
+            return left < right
+        if op == ">=":
+            return left >= right
+        return left > right
+    raise EvaluationError(
+        f"cannot compare {left!r} {op} {right!r}: operands must be two "
+        f"sequences or two numbers"
+    )
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _require_seq(value: Any, op: str) -> None:
+    if not isinstance(value, tuple):
+        raise EvaluationError(f"{op} applied to non-sequence {value!r}")
+
+
+def _require_int(value: Any, op: str) -> None:
+    if not _is_int(value):
+        raise EvaluationError(f"{op} applied to non-number {value!r}")

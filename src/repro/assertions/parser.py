@@ -1,0 +1,264 @@
+"""Parser for the assertion notation (§2), sharing the process lexer.
+
+Concrete grammar::
+
+    formula  := 'forall' IDENT ':' setexpr '.' formula
+              | 'exists' IDENT ':' setexpr '.' formula
+              | implication
+    implication := disjunct ('=>' formula)?                -- right assoc
+    disjunct := conjunct ('or' conjunct)*
+    conjunct := negation ('&' negation)*
+    negation := 'not' negation | 'true' | 'false'
+              | '(' formula ')' | comparison
+    comparison := term relop term
+    relop    := '<=' | '<' | '=' | '!=' | '>' | '>='
+
+    term     := concat
+    concat   := cons ('++' cons)*
+    cons     := additive ('^' cons)?                        -- right assoc
+    additive := multiplic (('+'|'-') multiplic)*
+    multiplic:= prefixed (('*'|'div'|'mod') prefixed)*
+    prefixed := '#' prefixed | indexed
+    indexed  := primary ('@' primary)*                      -- s@i is s_i
+    primary  := INT | STRING | '<>' | '<' term (',' term)* '>'
+              | 'sum' IDENT ':' term '..' term '.' cons
+              | IDENT | IDENT '[' term ']' | IDENT '(' args ')'
+              | '(' term ')'
+
+Identifier resolution: the caller supplies the set of *channel names* in
+scope (usually :func:`repro.process.analysis.channel_names` of the process
+under consideration).  A name in that set is a :class:`ChannelTrace`;
+otherwise a subscripted/called name is a host-function application, an
+upper-cased name is a constant (``ACK``), and anything else is a variable.
+Unicode paper spellings (∀, ∃, ∧, ∨, ¬, ⇒, ≤, ⟨⟩, ⌢) are accepted.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+from repro.assertions.ast import (
+    Apply,
+    Arith,
+    BoolLit,
+    ChannelTrace,
+    Compare,
+    Concat,
+    Cons,
+    ConstTerm,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Index,
+    Length,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SeqLit,
+    Sum,
+    Term,
+    VarTerm,
+)
+from repro.assertions.substitution import term_to_expr
+from repro.errors import ParseError
+from repro.process.channels import ChannelExpr
+from repro.process.lexer import TokenStream
+from repro.process.parser import _parse_setexpr
+
+_RELOPS = ("<=", "<", "=", "!=", ">", ">=")
+_KEYWORDS = {"forall", "exists", "true", "false", "not", "or", "sum", "div", "mod"}
+
+
+def parse_assertion(text: str, channels: Iterable[str] = ()) -> Formula:
+    """Parse an assertion; ``channels`` names resolve to channel traces."""
+    stream = TokenStream(text)
+    parser = _AssertionParser(stream, frozenset(channels))
+    formula = parser.formula()
+    stream.expect_eof()
+    return formula
+
+
+class _AssertionParser:
+    def __init__(self, stream: TokenStream, channels: FrozenSet[str]) -> None:
+        self.stream = stream
+        self.channels = channels
+
+    # -- formulas ---------------------------------------------------------
+
+    def formula(self) -> Formula:
+        if self.stream.at_ident("forall", "exists"):
+            keyword = self.stream.advance().text
+            variable = self.stream.expect_ident().text
+            self.stream.expect_symbol(":")
+            domain = _parse_setexpr(self.stream)
+            self.stream.expect_symbol(".")
+            body = self.formula()
+            ctor = ForAll if keyword == "forall" else Exists
+            return ctor(variable, domain, body)
+        return self.implication()
+
+    def implication(self) -> Formula:
+        left = self.disjunct()
+        if self.stream.accept_symbol("=>"):
+            return Implies(left, self.formula())
+        return left
+
+    def disjunct(self) -> Formula:
+        left = self.conjunct()
+        while self.stream.accept_ident("or"):
+            left = LogicalOr(left, self.conjunct())
+        return left
+
+    def conjunct(self) -> Formula:
+        left = self.negation()
+        while self.stream.accept_symbol("&"):
+            left = LogicalAnd(left, self.negation())
+        return left
+
+    def negation(self) -> Formula:
+        if self.stream.accept_ident("not"):
+            return LogicalNot(self.negation())
+        if self.stream.accept_ident("true"):
+            return BoolLit(True)
+        if self.stream.accept_ident("false"):
+            return BoolLit(False)
+        if self.stream.at_ident("forall", "exists"):
+            return self.formula()
+        if self.stream.at_symbol("("):
+            # Either a parenthesised formula or a parenthesised term that
+            # starts a comparison; backtrack on failure.
+            saved = self.stream.index
+            self.stream.advance()
+            try:
+                inner = self.formula()
+                self.stream.expect_symbol(")")
+            except ParseError:
+                self.stream.index = saved
+            else:
+                if not self._at_relop_or_term_op():
+                    return inner
+                self.stream.index = saved
+        return self.comparison()
+
+    def _at_relop_or_term_op(self) -> bool:
+        token = self.stream.current
+        if token.kind == "symbol" and token.text in _RELOPS:
+            return True
+        return token.kind == "symbol" and token.text in (
+            "++",
+            "^",
+            "+",
+            "-",
+            "*",
+            "@",
+        )
+
+    def comparison(self) -> Formula:
+        left = self.term()
+        token = self.stream.current
+        if token.kind != "symbol" or token.text not in _RELOPS:
+            self.stream.fail(
+                f"expected a comparison operator, found {token.text or 'end of input'!r}"
+            )
+        op = self.stream.advance().text
+        right = self.term()
+        return Compare(op, left, right)
+
+    # -- terms -----------------------------------------------------------
+
+    def term(self) -> Term:
+        return self.concat()
+
+    def concat(self) -> Term:
+        left = self.cons()
+        while self.stream.accept_symbol("++"):
+            left = Concat(left, self.cons())
+        return left
+
+    def cons(self) -> Term:
+        left = self.additive()
+        if self.stream.accept_symbol("^"):
+            return Cons(left, self.cons())
+        return left
+
+    def additive(self) -> Term:
+        left = self.multiplicative()
+        while self.stream.at_symbol("+", "-"):
+            op = self.stream.advance().text
+            left = Arith(op, left, self.multiplicative())
+        return left
+
+    def multiplicative(self) -> Term:
+        left = self.prefixed()
+        while self.stream.at_symbol("*") or self.stream.at_ident("div", "mod"):
+            op = self.stream.advance().text
+            left = Arith(op, left, self.prefixed())
+        return left
+
+    def prefixed(self) -> Term:
+        if self.stream.accept_symbol("#"):
+            return Length(self.prefixed())
+        return self.indexed()
+
+    def indexed(self) -> Term:
+        left = self.primary()
+        while self.stream.accept_symbol("@"):
+            left = Index(left, self.primary())
+        return left
+
+    def primary(self) -> Term:
+        token = self.stream.current
+        if token.kind == "int":
+            self.stream.advance()
+            return ConstTerm(int(token.text))
+        if token.kind == "string":
+            self.stream.advance()
+            return ConstTerm(token.text)
+        if self.stream.accept_symbol("<>"):
+            return SeqLit(())
+        if self.stream.accept_symbol("<"):
+            elements: List[Term] = [self.term()]
+            while self.stream.accept_symbol(","):
+                elements.append(self.term())
+            self.stream.expect_symbol(">")
+            return SeqLit(tuple(elements))
+        if self.stream.accept_symbol("("):
+            inner = self.term()
+            self.stream.expect_symbol(")")
+            return inner
+        if self.stream.at_ident("sum"):
+            self.stream.advance()
+            variable = self.stream.expect_ident().text
+            self.stream.expect_symbol(":")
+            low = self.additive()
+            self.stream.expect_symbol("..")
+            high = self.additive()
+            self.stream.expect_symbol(".")
+            body = self.cons()
+            return Sum(variable, low, high, body)
+        if token.kind == "ident":
+            name = self.stream.advance().text
+            if name in _KEYWORDS:
+                self.stream.fail(f"{name!r} cannot start a term")
+            if self.stream.accept_symbol("["):
+                subscript = self.term()
+                self.stream.expect_symbol("]")
+                if name in self.channels:
+                    return ChannelTrace(ChannelExpr(name, term_to_expr(subscript)))
+                return Apply(name, (subscript,))
+            if self.stream.accept_symbol("("):
+                args: List[Term] = []
+                if not self.stream.at_symbol(")"):
+                    args.append(self.term())
+                    while self.stream.accept_symbol(","):
+                        args.append(self.term())
+                self.stream.expect_symbol(")")
+                return Apply(name, tuple(args))
+            if name in self.channels:
+                return ChannelTrace(ChannelExpr(name))
+            if name[0].isupper():
+                return ConstTerm(name)
+            return VarTerm(name)
+        self.stream.fail(f"expected a term, found {token.text or 'end of input'!r}")
+        raise AssertionError("unreachable")

@@ -1,0 +1,111 @@
+"""Reusable specification patterns.
+
+The paper's examples keep re-stating a handful of shapes — "output copies
+input", "never more than n ahead", "every element satisfies…".  This
+module packages them as formula builders over channel names, so system
+specs read as intent:
+
+>>> from repro.assertions.patterns import copies, bounded_lag
+>>> spec = copies("input", "output")        # output ≤ input
+>>> lag  = bounded_lag("input", "wire", 1)  # copier's pipeline bound
+
+All builders accept a channel name (optionally with a subscript via
+``chan_``-style tuples) and return plain
+:class:`~repro.assertions.ast.Formula` values usable with the checker and
+the prover alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from repro.assertions.ast import Formula, Term
+from repro.assertions.builders import (
+    and_,
+    at_,
+    chan_,
+    const_,
+    eq_,
+    forall_,
+    implies_,
+    le_,
+    len_,
+    or_,
+    plus_,
+    var_,
+)
+from repro.values.expressions import NatSet
+
+ChannelLike = Union[str, Term]
+
+
+def _chan(ref: ChannelLike) -> Term:
+    if isinstance(ref, Term):
+        return ref
+    if isinstance(ref, tuple):
+        name, index = ref
+        return chan_(name, index)
+    return chan_(ref)
+
+
+def copies(source: ChannelLike, sink: ChannelLike) -> Formula:
+    """``sink ≤ source`` — the sink relays a prefix of the source
+    (the copier/protocol specification shape)."""
+    return le_(_chan(sink), _chan(source))
+
+
+def bounded_lag(source: ChannelLike, sink: ChannelLike, lag: int) -> Formula:
+    """``#sink ≤ #source ∧ #source ≤ #sink + lag`` — the sink never gets
+    ahead, the source never more than ``lag`` ahead (buffer capacity)."""
+    src, snk = _chan(source), _chan(sink)
+    return and_(
+        le_(len_(snk), len_(src)),
+        le_(len_(src), plus_(len_(snk), lag)),
+    )
+
+
+def guarded_forall(index: str, sequence: Term, body: Formula) -> Formula:
+    """``∀i:NAT. 1 ≤ i ∧ i ≤ #sequence ⇒ body`` — the paper's guarded
+    quantification idiom (§2 item 3)."""
+    i = var_(index)
+    guard = and_(le_(const_(1), i), le_(i, len_(sequence)))
+    return forall_(index, NatSet(), implies_(guard, body))
+
+
+def pointwise_equal(left: ChannelLike, right: ChannelLike, index: str = "i") -> Formula:
+    """``∀i ≤ #left. left_i = right_i`` — element-wise agreement up to the
+    shorter-is-left length."""
+    l, r = _chan(left), _chan(right)
+    return guarded_forall(index, l, eq_(at_(l, var_(index)), at_(r, var_(index))))
+
+
+def values_in(channel: ChannelLike, values: Sequence[Any], index: str = "i") -> Formula:
+    """``∀i ≤ #c. c_i ∈ {values…}`` — an alphabet/type invariant."""
+    if not values:
+        raise ValueError("values_in needs at least one permitted value")
+    c = _chan(channel)
+    element = at_(c, var_(index))
+    membership = eq_(element, const_(values[0]))
+    for value in values[1:]:
+        membership = or_(membership, eq_(element, const_(value)))
+    return guarded_forall(index, c, membership)
+
+
+def monotone(channel: ChannelLike, index: str = "i") -> Formula:
+    """``∀i. i+1 ≤ #c ⇒ c_i ≤ c_{i+1}`` — non-decreasing message values."""
+    c = _chan(channel)
+    i = var_(index)
+    guard = and_(le_(const_(1), i), le_(plus_(i, 1), len_(c)))
+    body = le_(at_(c, i), at_(c, plus_(i, 1)))
+    return forall_(index, NatSet(), implies_(guard, body))
+
+
+def relays_through(
+    source: ChannelLike,
+    middle: ChannelLike,
+    sink: ChannelLike,
+) -> Formula:
+    """``sink ≤ middle ∧ middle ≤ source`` — a two-stage pipeline's
+    componentwise spec, whose conjunction yields ``sink ≤ source`` by
+    transitivity (the §2.1 parallelism example)."""
+    return and_(copies(middle, sink), copies(source, middle))

@@ -1,0 +1,150 @@
+"""Pretty-printer for assertions — inverse of
+:func:`repro.assertions.parser.parse_assertion`.
+
+Precedence ladder, loosest to tightest::
+
+    forall/exists . …   =>   or   &   not   (comparisons)
+    ++   ^ (right)   + -   * div mod   - # (prefix)   @   atoms
+"""
+
+from __future__ import annotations
+
+from repro.assertions.ast import (
+    Apply,
+    Arith,
+    BoolLit,
+    ChannelTrace,
+    Compare,
+    Concat,
+    Cons,
+    ConstTerm,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Index,
+    Length,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SeqLit,
+    Sum,
+    Term,
+    VarTerm,
+)
+from repro.process.pretty import pretty_expr, pretty_setexpr
+
+# Formula precedence levels.
+_QUANT, _IMPL, _OR, _AND, _NOT, _CMP = range(6)
+# Term precedence levels.
+_CAT, _CONS, _ADD, _MUL, _UNARY, _AT = range(6)
+
+
+def pretty_assertion(formula: Formula) -> str:
+    """Render a formula in the ASCII assertion notation."""
+    return _formula(formula, _QUANT)
+
+
+def pretty_term(term: Term) -> str:
+    """Render a term."""
+    return _term(term, _CAT)
+
+
+def pretty_assertion_node(node) -> str:
+    """Render either kind of node (used by ``__repr__``)."""
+    if isinstance(node, Formula):
+        return pretty_assertion(node)
+    return pretty_term(node)
+
+
+def _wrap(text: str, context: int, level: int) -> str:
+    return f"({text})" if level < context else text
+
+
+def _formula(node: Formula, context: int) -> str:
+    if isinstance(node, BoolLit):
+        return "true" if node.value else "false"
+    if isinstance(node, Compare):
+        text = f"{_term(node.left, _CAT)} {node.op} {_term(node.right, _CAT)}"
+        return _wrap(text, context, _CMP)
+    if isinstance(node, LogicalAnd):
+        text = f"{_formula(node.left, _AND)} & {_formula(node.right, _AND + 1)}"
+        return _wrap(text, context, _AND)
+    if isinstance(node, LogicalOr):
+        text = f"{_formula(node.left, _OR)} or {_formula(node.right, _OR + 1)}"
+        return _wrap(text, context, _OR)
+    if isinstance(node, LogicalNot):
+        return _wrap(f"not {_formula(node.operand, _NOT)}", context, _NOT)
+    if isinstance(node, Implies):
+        text = (
+            f"{_formula(node.antecedent, _IMPL + 1)} => "
+            f"{_formula(node.consequent, _IMPL)}"
+        )
+        return _wrap(text, context, _IMPL)
+    if isinstance(node, (ForAll, Exists)):
+        keyword = "forall" if isinstance(node, ForAll) else "exists"
+        text = (
+            f"{keyword} {node.variable} : {pretty_setexpr(node.domain)} . "
+            f"{_formula(node.body, _QUANT)}"
+        )
+        return _wrap(text, context, _QUANT)
+    raise TypeError(f"unknown formula {node!r}")
+
+
+def _term(node: Term, context: int) -> str:
+    if isinstance(node, ConstTerm):
+        value = node.value
+        if isinstance(value, bool):
+            return repr(value)
+        if isinstance(value, int):
+            return str(value) if value >= 0 else f"(0 - {-value})"
+        if isinstance(value, str):
+            if value.isidentifier() and value[0].isupper():
+                return value
+            return f'"{value}"'
+        if isinstance(value, tuple):
+            if not value:
+                return "<>"
+            inner = ", ".join(_term(ConstTerm(v), _CAT) for v in value)
+            return f"<{inner}>"
+        return repr(value)
+    if isinstance(node, VarTerm):
+        return node.name
+    if isinstance(node, ChannelTrace):
+        chan = node.channel
+        if chan.index is None:
+            return chan.name
+        return f"{chan.name}[{pretty_expr(chan.index)}]"
+    if isinstance(node, SeqLit):
+        if not node.elements:
+            return "<>"
+        inner = ", ".join(_term(e, _CAT) for e in node.elements)
+        return f"<{inner}>"
+    if isinstance(node, Cons):
+        # right-associative: a ^ b ^ s
+        text = f"{_term(node.head, _ADD)} ^ {_term(node.tail, _CONS)}"
+        return _wrap(text, context, _CONS)
+    if isinstance(node, Concat):
+        text = f"{_term(node.left, _CAT)} ++ {_term(node.right, _CAT + 1)}"
+        return _wrap(text, context, _CAT)
+    if isinstance(node, Length):
+        return _wrap(f"#{_term(node.sequence, _UNARY)}", context, _UNARY)
+    if isinstance(node, Index):
+        # '@' parses left-associatively; parenthesise a right child Index.
+        text = f"{_term(node.sequence, _AT)}@{_term(node.index, _AT + 1)}"
+        return _wrap(text, context, _AT)
+    if isinstance(node, Arith):
+        if node.op in ("+", "-"):
+            text = f"{_term(node.left, _ADD)} {node.op} {_term(node.right, _ADD + 1)}"
+            return _wrap(text, context, _ADD)
+        text = f"{_term(node.left, _MUL)} {node.op} {_term(node.right, _MUL + 1)}"
+        return _wrap(text, context, _MUL)
+    if isinstance(node, Apply):
+        inner = ", ".join(_term(a, _CAT) for a in node.args)
+        return f"{node.name}({inner})"
+    if isinstance(node, Sum):
+        return (
+            f"(sum {node.variable} : {_term(node.low, _ADD)} .. "
+            f"{_term(node.high, _ADD)} . {_term(node.body, _CONS)})"
+        )
+    raise TypeError(f"unknown term {node!r}")

@@ -1,0 +1,64 @@
+"""Sequence operators of §2 and the protocol cancellation function (§2.2).
+
+Sequences of messages are plain Python tuples throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+Seq = Tuple[Any, ...]
+
+
+def is_seq_prefix(s: Seq, t: Seq) -> bool:
+    """The prefix order ``s ≤ t ⇔ ∃u. s ++ u = t`` (§2)."""
+    return len(s) <= len(t) and t[: len(s)] == s
+
+
+def is_strict_seq_prefix(s: Seq, t: Seq) -> bool:
+    """``s < t``: a proper prefix."""
+    return len(s) < len(t) and t[: len(s)] == s
+
+
+def seq_index(s: Seq, i: int) -> Any:
+    """``s_i`` — 1-based indexing, defined for ``i ∈ {1, …, #s}`` (§2 item 3)."""
+    if not 1 <= i <= len(s):
+        raise IndexError(f"index {i} outside 1..{len(s)}")
+    return s[i - 1]
+
+
+ACK = "ACK"
+NACK = "NACK"
+
+
+def cancel_protocol(s: Seq, ack: Any = ACK, nack: Any = NACK) -> Seq:
+    """The function ``f`` of §2.2: from a wire history over
+    ``M ∪ {ACK, NACK}``, recover the sequence of successfully delivered
+    messages.
+
+    ``f(s)`` is obtained from ``s`` by cancelling all occurrences of ACK
+    and all consecutive pairs ``⟨x, NACK⟩``.  The paper's defining laws::
+
+        f(⟨⟩) = ⟨⟩
+        f(⟨x⟩) = ⟨x⟩                      for x ∈ M
+        f(x ⌢ ⟨ACK⟩ ⌢ s) = x ⌢ f(s)
+        f(x ⌢ ⟨NACK⟩ ⌢ s) = f(s)
+
+    are verified by the property tests.  A NACK with no preceding message
+    (which a well-formed protocol run never produces) is simply cancelled.
+    """
+    result = []
+    i = 0
+    n = len(s)
+    while i < n:
+        current = s[i]
+        if current == ack:
+            i += 1
+        elif current == nack:
+            i += 1
+        elif i + 1 < n and s[i + 1] == nack:
+            i += 2
+        else:
+            result.append(current)
+            i += 1
+    return tuple(result)

@@ -1,0 +1,332 @@
+"""Syntactic simplification of assertion formulas.
+
+A conservative rewriter: constant folding on ground terms (sequence
+literals, arithmetic on constants, ``#⟨…⟩``, indexing into literals) and
+the propositional identities (units, absorbers, double negation,
+idempotence).  The result is logically equivalent to the input under
+every environment and channel history — the property tests check exactly
+that — so the oracle may use ``simplify(R) == true`` as a free discharge
+(many ``R_<>`` side conditions fold to ``true`` outright: blanking the
+channels of ``wire ≤ input`` leaves ``⟨⟩ ≤ ⟨⟩``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.assertions.ast import (
+    Apply,
+    Arith,
+    BoolLit,
+    ChannelTrace,
+    Compare,
+    Concat,
+    Cons,
+    ConstTerm,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Index,
+    Length,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SeqLit,
+    Sum,
+    Term,
+    VarTerm,
+)
+from repro.assertions.sequences import is_seq_prefix, is_strict_seq_prefix
+
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+
+
+def _ground_value(term: Term) -> Optional[Any]:
+    """The constant value of a ground term, or ``None``.
+
+    (``None`` is never a legal message value in the library, so it is a
+    safe sentinel.)"""
+    if isinstance(term, ConstTerm):
+        return term.value
+    if isinstance(term, SeqLit):
+        values = []
+        for element in term.elements:
+            value = _ground_value(element)
+            if value is None:
+                return None
+            values.append(value)
+        return tuple(values)
+    return None
+
+
+def _from_value(value: Any) -> Term:
+    if isinstance(value, tuple):
+        return SeqLit(tuple(_from_value(v) for v in value))
+    return ConstTerm(value)
+
+
+def simplify_term(term: Term) -> Term:
+    """Bottom-up constant folding on a term."""
+    if isinstance(term, (ConstTerm, VarTerm, ChannelTrace)):
+        return term
+    if isinstance(term, SeqLit):
+        return SeqLit(tuple(simplify_term(e) for e in term.elements))
+    if isinstance(term, Cons):
+        head = simplify_term(term.head)
+        tail = simplify_term(term.tail)
+        if isinstance(tail, SeqLit):
+            return SeqLit((head,) + tail.elements)
+        return Cons(head, tail)
+    if isinstance(term, Concat):
+        left = simplify_term(term.left)
+        right = simplify_term(term.right)
+        if isinstance(left, SeqLit) and isinstance(right, SeqLit):
+            return SeqLit(left.elements + right.elements)
+        if isinstance(left, SeqLit) and not left.elements:
+            return right
+        if isinstance(right, SeqLit) and not right.elements:
+            return left
+        return Concat(left, right)
+    if isinstance(term, Length):
+        sequence = simplify_term(term.sequence)
+        if isinstance(sequence, SeqLit):
+            return ConstTerm(len(sequence.elements))
+        return Length(sequence)
+    if isinstance(term, Index):
+        sequence = simplify_term(term.sequence)
+        index = simplify_term(term.index)
+        if isinstance(sequence, SeqLit):
+            i = _ground_value(index)
+            if isinstance(i, int) and 1 <= i <= len(sequence.elements):
+                return sequence.elements[i - 1]
+        return Index(sequence, index)
+    if isinstance(term, Arith):
+        left = simplify_term(term.left)
+        right = simplify_term(term.right)
+        lv, rv = _ground_value(left), _ground_value(right)
+        if (
+            isinstance(lv, int)
+            and isinstance(rv, int)
+            and not isinstance(lv, bool)
+            and not isinstance(rv, bool)
+        ):
+            if term.op == "+":
+                return ConstTerm(lv + rv)
+            if term.op == "-":
+                return ConstTerm(lv - rv)
+            if term.op == "*":
+                return ConstTerm(lv * rv)
+            if rv != 0:
+                return ConstTerm(lv // rv if term.op == "div" else lv % rv)
+        return Arith(term.op, left, right)
+    if isinstance(term, Apply):
+        return Apply(term.name, tuple(simplify_term(a) for a in term.args))
+    if isinstance(term, Sum):
+        low = simplify_term(term.low)
+        high = simplify_term(term.high)
+        body = simplify_term(term.body)
+        lv, hv = _ground_value(low), _ground_value(high)
+        if isinstance(lv, int) and isinstance(hv, int) and hv < lv:
+            return ConstTerm(0)  # empty sum
+        return Sum(term.variable, low, high, body)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Bottom-up simplification of a formula; equivalence-preserving."""
+    if isinstance(formula, BoolLit):
+        return formula
+    if isinstance(formula, Compare):
+        return _simplify_compare(formula)
+    if isinstance(formula, LogicalAnd):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if left == FALSE or right == FALSE:
+            return FALSE
+        if left == TRUE:
+            return right
+        if right == TRUE:
+            return left
+        if left == right:
+            return left
+        return LogicalAnd(left, right)
+    if isinstance(formula, LogicalOr):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if left == TRUE or right == TRUE:
+            return TRUE
+        if left == FALSE:
+            return right
+        if right == FALSE:
+            return left
+        if left == right:
+            return left
+        return LogicalOr(left, right)
+    if isinstance(formula, LogicalNot):
+        operand = simplify(formula.operand)
+        if operand == TRUE:
+            return FALSE
+        if operand == FALSE:
+            return TRUE
+        if isinstance(operand, LogicalNot):
+            return operand.operand
+        return LogicalNot(operand)
+    if isinstance(formula, Implies):
+        antecedent = simplify(formula.antecedent)
+        consequent = simplify(formula.consequent)
+        if antecedent == FALSE or consequent == TRUE:
+            return TRUE
+        if antecedent == TRUE:
+            return consequent
+        if antecedent == consequent:
+            return TRUE
+        return Implies(antecedent, consequent)
+    if isinstance(formula, ForAll):
+        body = simplify(formula.body)
+        if body == TRUE:
+            return TRUE  # ∀x∈M. true — true even for empty M
+        return ForAll(formula.variable, formula.domain, body)
+    if isinstance(formula, Exists):
+        body = simplify(formula.body)
+        if body == FALSE:
+            return FALSE
+        return Exists(formula.variable, formula.domain, body)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def _simplify_compare(formula: Compare) -> Formula:
+    left = simplify_term(formula.left)
+    right = simplify_term(formula.right)
+    lv, rv = _ground_value(left), _ground_value(right)
+    if lv is not None and rv is not None:
+        verdict = _decide(formula.op, lv, rv)
+        if verdict is not None:
+            return BoolLit(verdict)
+    # ⟨⟩ is a prefix of every sequence (§3.1: {⟨⟩} ⊆ P).
+    if (
+        formula.op == "<="
+        and isinstance(left, SeqLit)
+        and not left.elements
+        and _is_seq_typed(right)
+        and _is_total(right)
+    ):
+        return TRUE
+    if (
+        formula.op == ">="
+        and isinstance(right, SeqLit)
+        and not right.elements
+        and _is_seq_typed(left)
+        and _is_total(left)
+    ):
+        return TRUE
+    # Reflexive comparisons on identical terms — only when the term cannot
+    # fail to evaluate (indexing, host functions, and div/mod may raise,
+    # and an erroring assertion is *not* invariantly true).  Order
+    # comparisons additionally need the term to be number- or
+    # sequence-typed (a string variable would make ``x ≤ x`` ill-typed).
+    if left == right and _is_total(left):
+        if formula.op == "=":
+            return TRUE
+        if formula.op == "!=":
+            return FALSE
+        if _is_orderable(left):
+            if formula.op in ("<=", ">="):
+                return TRUE
+            return FALSE  # "<" or ">"
+    return Compare(formula.op, left, right)
+
+
+def _shape(term: Term):
+    """A conservative type-and-totality analysis.
+
+    Returns ``'int'`` or ``'seq'`` when the term is guaranteed to evaluate
+    *without raising* to a value of that type, ``'other'``/``'unknown'``
+    for other guaranteed-total values (strings, booleans, variables), and
+    ``None`` when evaluation might raise.  Variables count as total
+    (``P sat R`` ranges them over message values) but of unknown type.
+    """
+    if isinstance(term, ConstTerm):
+        value = term.value
+        if isinstance(value, bool):
+            return "other"
+        if isinstance(value, int):
+            return "int"
+        if isinstance(value, tuple):
+            return "seq"
+        return "other"
+    if isinstance(term, VarTerm):
+        return "unknown"
+    if isinstance(term, ChannelTrace):
+        return "seq"
+    if isinstance(term, SeqLit):
+        if all(_shape(e) is not None for e in term.elements):
+            return "seq"
+        return None
+    if isinstance(term, Cons):
+        if _shape(term.head) is not None and _shape(term.tail) == "seq":
+            return "seq"
+        return None
+    if isinstance(term, Concat):
+        if _shape(term.left) == "seq" and _shape(term.right) == "seq":
+            return "seq"
+        return None
+    if isinstance(term, Length):
+        return "int" if _shape(term.sequence) == "seq" else None
+    if isinstance(term, Arith):
+        if (
+            term.op in ("+", "-", "*")
+            and _shape(term.left) == "int"
+            and _shape(term.right) == "int"
+        ):
+            return "int"
+        return None
+    # Index may go out of range; Apply may raise; Sum may contain either.
+    return None
+
+
+def _is_total(term: Term) -> bool:
+    """True when evaluating the term can never raise."""
+    return _shape(term) is not None
+
+
+def _is_seq_typed(term: Term) -> bool:
+    return _shape(term) == "seq"
+
+
+def _is_orderable(term: Term) -> bool:
+    """True when the term is guaranteed to evaluate to a number or a
+    sequence (the types the overloaded comparison accepts)."""
+    return _shape(term) in ("int", "seq")
+
+
+def _decide(op: str, lv: Any, rv: Any) -> Optional[bool]:
+    if op == "=":
+        return lv == rv
+    if op == "!=":
+        return lv != rv
+    both_seq = isinstance(lv, tuple) and isinstance(rv, tuple)
+    both_num = (
+        isinstance(lv, int)
+        and isinstance(rv, int)
+        and not isinstance(lv, bool)
+        and not isinstance(rv, bool)
+    )
+    if both_seq:
+        if op == "<=":
+            return is_seq_prefix(lv, rv)
+        if op == "<":
+            return is_strict_seq_prefix(lv, rv)
+        if op == ">=":
+            return is_seq_prefix(rv, lv)
+        return is_strict_seq_prefix(rv, lv)
+    if both_num:
+        if op == "<=":
+            return lv <= rv
+        if op == "<":
+            return lv < rv
+        if op == ">=":
+            return lv >= rv
+        return lv > rv
+    return None  # ill-typed when ground: leave for evaluation to reject

@@ -1,0 +1,427 @@
+"""The substitution operators used by the inference rules (§2.1, §3.4).
+
+* ``R_<>``               — :func:`blank_channels`: every channel name
+  replaced by the empty sequence (emptiness/output/input rules);
+* ``R^c_{e⌢c}``          — :func:`prefix_channel`: every occurrence of
+  channel ``c`` replaced by ``e⌢c`` (output/input rules);
+* ``R^x_e``              — :func:`substitute_variable`: capture-avoiding
+  substitution of a term for a free variable (input rule, ∀-elimination);
+* :func:`channels_mentioned` — the free channel names of an assertion
+  (side conditions of the parallel and chan rules);
+* :func:`formula_free_variables` — free value variables.
+
+All functions are purely structural: they implement exactly the syntactic
+operations the paper's rules are stated with, and lemmas (a)–(d) of §3.4
+relating them to evaluation are re-verified by the property tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Set, Union
+
+from repro.assertions.ast import (
+    Apply,
+    Arith,
+    BoolLit,
+    ChannelTrace,
+    Compare,
+    Concat,
+    Cons,
+    ConstTerm,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Index,
+    Length,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SeqLit,
+    Sum,
+    Term,
+    VarTerm,
+)
+from repro.errors import SubstitutionError
+from repro.process.channels import ChannelExpr
+from repro.values.expressions import BinOp, Const, Expr, FuncCall, UnaryOp, Var
+
+Node = Union[Term, Formula]
+
+_fresh_counter = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# Term ↔ value-expression conversion (for channel subscripts)
+# ---------------------------------------------------------------------------
+
+
+def term_to_expr(term: Term) -> Expr:
+    """Convert a numeric term to a value expression, so that substitution
+    can reach channel subscripts like ``col[i]``.  Sequence-valued terms
+    have no expression counterpart and are rejected."""
+    if isinstance(term, ConstTerm):
+        return Const(term.value)
+    if isinstance(term, VarTerm):
+        return Var(term.name)
+    if isinstance(term, Arith):
+        return BinOp(term.op, term_to_expr(term.left), term_to_expr(term.right))
+    if isinstance(term, Apply):
+        return FuncCall(term.name, tuple(term_to_expr(a) for a in term.args))
+    raise SubstitutionError(
+        f"term {term!r} cannot appear in a channel subscript"
+    )
+
+
+def expr_to_term(expr: Expr) -> Term:
+    """The inverse direction, used when a process expression (e.g. the
+    message of ``c!e``) must enter an assertion."""
+    if isinstance(expr, Const):
+        return ConstTerm(expr.value)
+    if isinstance(expr, Var):
+        return VarTerm(expr.name)
+    if isinstance(expr, BinOp):
+        return Arith(expr.op, expr_to_term(expr.left), expr_to_term(expr.right))
+    if isinstance(expr, UnaryOp):
+        return Arith("-", ConstTerm(0), expr_to_term(expr.operand))
+    if isinstance(expr, FuncCall):
+        return Apply(expr.name, tuple(expr_to_term(a) for a in expr.args))
+    raise SubstitutionError(f"expression {expr!r} has no term counterpart")
+
+
+# ---------------------------------------------------------------------------
+# Free variables
+# ---------------------------------------------------------------------------
+
+
+def formula_free_variables(node: Node) -> FrozenSet[str]:
+    """Free value variables of a term or formula (channel names are not
+    variables; quantifiers and Σ bind)."""
+    out: Set[str] = set()
+    _free_vars(node, frozenset(), out)
+    return frozenset(out)
+
+
+def _free_vars(node: Node, bound: FrozenSet[str], out: Set[str]) -> None:
+    if isinstance(node, VarTerm):
+        if node.name not in bound:
+            out.add(node.name)
+    elif isinstance(node, ChannelTrace):
+        out.update(node.channel.free_variables() - bound)
+    elif isinstance(node, (ConstTerm, BoolLit)):
+        pass
+    elif isinstance(node, SeqLit):
+        for element in node.elements:
+            _free_vars(element, bound, out)
+    elif isinstance(node, Cons):
+        _free_vars(node.head, bound, out)
+        _free_vars(node.tail, bound, out)
+    elif isinstance(node, (Concat, Arith)):
+        _free_vars(node.left, bound, out)
+        _free_vars(node.right, bound, out)
+    elif isinstance(node, Length):
+        _free_vars(node.sequence, bound, out)
+    elif isinstance(node, Index):
+        _free_vars(node.sequence, bound, out)
+        _free_vars(node.index, bound, out)
+    elif isinstance(node, Apply):
+        for arg in node.args:
+            _free_vars(arg, bound, out)
+    elif isinstance(node, Sum):
+        _free_vars(node.low, bound, out)
+        _free_vars(node.high, bound, out)
+        _free_vars(node.body, bound | {node.variable}, out)
+    elif isinstance(node, Compare):
+        _free_vars(node.left, bound, out)
+        _free_vars(node.right, bound, out)
+    elif isinstance(node, (LogicalAnd, LogicalOr)):
+        _free_vars(node.left, bound, out)
+        _free_vars(node.right, bound, out)
+    elif isinstance(node, LogicalNot):
+        _free_vars(node.operand, bound, out)
+    elif isinstance(node, Implies):
+        _free_vars(node.antecedent, bound, out)
+        _free_vars(node.consequent, bound, out)
+    elif isinstance(node, (ForAll, Exists)):
+        out.update(node.domain.free_variables() - bound)
+        _free_vars(node.body, bound | {node.variable}, out)
+    else:
+        raise SubstitutionError(f"unknown node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Channel occurrence
+# ---------------------------------------------------------------------------
+
+
+def channels_mentioned(node: Node) -> FrozenSet[ChannelExpr]:
+    """All channel references occurring free in the assertion."""
+    out: Set[ChannelExpr] = set()
+    _walk_channels(node, out)
+    return frozenset(out)
+
+
+def _walk_channels(node: Node, out: Set[ChannelExpr]) -> None:
+    if isinstance(node, ChannelTrace):
+        out.add(node.channel)
+    elif isinstance(node, (ConstTerm, VarTerm, BoolLit)):
+        pass
+    elif isinstance(node, SeqLit):
+        for element in node.elements:
+            _walk_channels(element, out)
+    elif isinstance(node, Cons):
+        _walk_channels(node.head, out)
+        _walk_channels(node.tail, out)
+    elif isinstance(node, (Concat, Arith, LogicalAnd, LogicalOr)):
+        _walk_channels(node.left, out)
+        _walk_channels(node.right, out)
+    elif isinstance(node, Length):
+        _walk_channels(node.sequence, out)
+    elif isinstance(node, Index):
+        _walk_channels(node.sequence, out)
+        _walk_channels(node.index, out)
+    elif isinstance(node, Apply):
+        for arg in node.args:
+            _walk_channels(arg, out)
+    elif isinstance(node, Sum):
+        _walk_channels(node.low, out)
+        _walk_channels(node.high, out)
+        _walk_channels(node.body, out)
+    elif isinstance(node, Compare):
+        _walk_channels(node.left, out)
+        _walk_channels(node.right, out)
+    elif isinstance(node, LogicalNot):
+        _walk_channels(node.operand, out)
+    elif isinstance(node, Implies):
+        _walk_channels(node.antecedent, out)
+        _walk_channels(node.consequent, out)
+    elif isinstance(node, (ForAll, Exists)):
+        _walk_channels(node.body, out)
+    else:
+        raise SubstitutionError(f"unknown node {node!r}")
+
+
+def mentions_channel_name(node: Node, name: str) -> bool:
+    """True if any channel reference with the given *name* occurs
+    (subscripts disregarded — the chan rule conceals whole names)."""
+    return any(chan.name == name for chan in channels_mentioned(node))
+
+
+# ---------------------------------------------------------------------------
+# The generic structural transformer
+# ---------------------------------------------------------------------------
+
+
+def _map_node(node: Node, on_term, bound: FrozenSet[str]) -> Node:
+    """Rebuild ``node`` bottom-up; ``on_term(term, bound)`` may replace any
+    term after its children were rebuilt (return the term unchanged to keep
+    it)."""
+    if isinstance(node, Term):
+        rebuilt = _map_term_children(node, on_term, bound)
+        return on_term(rebuilt, bound)
+    if isinstance(node, BoolLit):
+        return node
+    if isinstance(node, Compare):
+        return Compare(
+            node.op,
+            _map_node(node.left, on_term, bound),
+            _map_node(node.right, on_term, bound),
+        )
+    if isinstance(node, LogicalAnd):
+        return LogicalAnd(
+            _map_node(node.left, on_term, bound),
+            _map_node(node.right, on_term, bound),
+        )
+    if isinstance(node, LogicalOr):
+        return LogicalOr(
+            _map_node(node.left, on_term, bound),
+            _map_node(node.right, on_term, bound),
+        )
+    if isinstance(node, LogicalNot):
+        return LogicalNot(_map_node(node.operand, on_term, bound))
+    if isinstance(node, Implies):
+        return Implies(
+            _map_node(node.antecedent, on_term, bound),
+            _map_node(node.consequent, on_term, bound),
+        )
+    if isinstance(node, ForAll):
+        return ForAll(
+            node.variable,
+            node.domain,
+            _map_node(node.body, on_term, bound | {node.variable}),
+        )
+    if isinstance(node, Exists):
+        return Exists(
+            node.variable,
+            node.domain,
+            _map_node(node.body, on_term, bound | {node.variable}),
+        )
+    raise SubstitutionError(f"unknown node {node!r}")
+
+
+def _map_term_children(term: Term, on_term, bound: FrozenSet[str]) -> Term:
+    recurse = lambda t: on_term(_map_term_children(t, on_term, bound), bound)
+    if isinstance(term, (ConstTerm, VarTerm, ChannelTrace)):
+        return term
+    if isinstance(term, SeqLit):
+        return SeqLit(tuple(recurse(e) for e in term.elements))
+    if isinstance(term, Cons):
+        return Cons(recurse(term.head), recurse(term.tail))
+    if isinstance(term, Concat):
+        return Concat(recurse(term.left), recurse(term.right))
+    if isinstance(term, Length):
+        return Length(recurse(term.sequence))
+    if isinstance(term, Index):
+        return Index(recurse(term.sequence), recurse(term.index))
+    if isinstance(term, Arith):
+        return Arith(term.op, recurse(term.left), recurse(term.right))
+    if isinstance(term, Apply):
+        return Apply(term.name, tuple(recurse(a) for a in term.args))
+    if isinstance(term, Sum):
+        inner_bound = bound | {term.variable}
+        inner = lambda t: on_term(
+            _map_term_children(t, on_term, inner_bound), inner_bound
+        )
+        return Sum(
+            term.variable, recurse(term.low), recurse(term.high), inner(term.body)
+        )
+    raise SubstitutionError(f"unknown term {term!r}")
+
+
+# ---------------------------------------------------------------------------
+# The three substitutions
+# ---------------------------------------------------------------------------
+
+
+def blank_channels(node: Node) -> Node:
+    """``R_<>`` — every channel name replaced by ⟨⟩ (emptiness rule)."""
+
+    def on_term(term: Term, bound: FrozenSet[str]) -> Term:
+        if isinstance(term, ChannelTrace):
+            return SeqLit(())
+        return term
+
+    return _map_node(node, on_term, frozenset())
+
+
+def prefix_channel(node: Node, channel: ChannelExpr, message: Term) -> Node:
+    """``R^c_{e⌢c}`` — every occurrence of channel ``c`` replaced by
+    ``e⌢c`` (output/input rules).  Matching is structural on the channel
+    reference (name and subscript expression)."""
+
+    def on_term(term: Term, bound: FrozenSet[str]) -> Term:
+        if isinstance(term, ChannelTrace) and term.channel == channel:
+            return Cons(message, term)
+        return term
+
+    return _map_node(node, on_term, frozenset())
+
+
+def substitute_variable(node: Node, name: str, replacement: Term) -> Node:
+    """``R^x_e`` — capture-avoiding substitution of a term for the free
+    variable ``x``.  Reaches channel subscripts (``col[i]``), where the
+    replacement must be a numeric term; quantifier and Σ binders shadow the
+    substituted variable and are α-renamed when they would capture a free
+    variable of the replacement."""
+    return _subst(node, name, replacement, formula_free_variables(replacement))
+
+
+def _subst(node: Node, name: str, repl: Term, repl_vars: FrozenSet[str]) -> Node:
+    if isinstance(node, VarTerm):
+        return repl if node.name == name else node
+    if isinstance(node, ChannelTrace):
+        if name in node.channel.free_variables():
+            return ChannelTrace(node.channel.substitute(name, term_to_expr(repl)))
+        return node
+    if isinstance(node, (ConstTerm, BoolLit)):
+        return node
+    if isinstance(node, SeqLit):
+        return SeqLit(tuple(_subst(e, name, repl, repl_vars) for e in node.elements))
+    if isinstance(node, Cons):
+        return Cons(
+            _subst(node.head, name, repl, repl_vars),
+            _subst(node.tail, name, repl, repl_vars),
+        )
+    if isinstance(node, Concat):
+        return Concat(
+            _subst(node.left, name, repl, repl_vars),
+            _subst(node.right, name, repl, repl_vars),
+        )
+    if isinstance(node, Length):
+        return Length(_subst(node.sequence, name, repl, repl_vars))
+    if isinstance(node, Index):
+        return Index(
+            _subst(node.sequence, name, repl, repl_vars),
+            _subst(node.index, name, repl, repl_vars),
+        )
+    if isinstance(node, Arith):
+        return Arith(
+            node.op,
+            _subst(node.left, name, repl, repl_vars),
+            _subst(node.right, name, repl, repl_vars),
+        )
+    if isinstance(node, Apply):
+        return Apply(
+            node.name, tuple(_subst(a, name, repl, repl_vars) for a in node.args)
+        )
+    if isinstance(node, Sum):
+        low = _subst(node.low, name, repl, repl_vars)
+        high = _subst(node.high, name, repl, repl_vars)
+        if node.variable == name:
+            return Sum(node.variable, low, high, node.body)
+        if node.variable in repl_vars:
+            fresh = _fresh_name(node.variable, repl_vars | {name})
+            body = _subst(node.body, node.variable, VarTerm(fresh), frozenset({fresh}))
+            return Sum(fresh, low, high, _subst(body, name, repl, repl_vars))
+        return Sum(node.variable, low, high, _subst(node.body, name, repl, repl_vars))
+    if isinstance(node, Compare):
+        return Compare(
+            node.op,
+            _subst(node.left, name, repl, repl_vars),
+            _subst(node.right, name, repl, repl_vars),
+        )
+    if isinstance(node, LogicalAnd):
+        return LogicalAnd(
+            _subst(node.left, name, repl, repl_vars),
+            _subst(node.right, name, repl, repl_vars),
+        )
+    if isinstance(node, LogicalOr):
+        return LogicalOr(
+            _subst(node.left, name, repl, repl_vars),
+            _subst(node.right, name, repl, repl_vars),
+        )
+    if isinstance(node, LogicalNot):
+        return LogicalNot(_subst(node.operand, name, repl, repl_vars))
+    if isinstance(node, Implies):
+        return Implies(
+            _subst(node.antecedent, name, repl, repl_vars),
+            _subst(node.consequent, name, repl, repl_vars),
+        )
+    if isinstance(node, (ForAll, Exists)):
+        ctor = ForAll if isinstance(node, ForAll) else Exists
+        domain = node.domain.substitute(name, term_to_expr_or_none(repl, node, name))
+        if node.variable == name:
+            return ctor(node.variable, domain, node.body)
+        if node.variable in repl_vars:
+            fresh = _fresh_name(node.variable, repl_vars | {name})
+            body = _subst(node.body, node.variable, VarTerm(fresh), frozenset({fresh}))
+            return ctor(fresh, domain, _subst(body, name, repl, repl_vars))
+        return ctor(node.variable, domain, _subst(node.body, name, repl, repl_vars))
+    raise SubstitutionError(f"unknown node {node!r}")
+
+
+def term_to_expr_or_none(repl: Term, node: Node, name: str) -> Expr:
+    """Convert the replacement for use inside a set expression; if the set
+    expression does not actually mention the variable, the conversion is
+    irrelevant and a placeholder variable suffices."""
+    if isinstance(node, (ForAll, Exists)) and name not in node.domain.free_variables():
+        return Var(name)  # substitution is a no-op inside this domain
+    return term_to_expr(repl)
+
+
+def _fresh_name(base: str, avoid: FrozenSet[str]) -> str:
+    candidate = f"{base}_"
+    while candidate in avoid:
+        candidate = f"{base}_{next(_fresh_counter)}"
+    return candidate

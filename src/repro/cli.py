@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Work with process definition files written in the paper's notation::
+
+    $ cat copier.csp
+    copier   = input?x:NAT -> wire!x -> copier;
+    recopier = wire?y:NAT -> output!y -> recopier;
+    network  = chan wire; (copier || recopier)
+
+    $ python -m repro traces copier.csp --process network --depth 4
+    $ python -m repro check copier.csp --process network --spec "output <= input"
+    $ python -m repro prove copier.csp --goal network \\
+          --invariant "copier=wire <= input" \\
+          --invariant "recopier=output <= wire" \\
+          --invariant "network=output <= input"
+    $ python -m repro simulate copier.csp --process network --steps 10
+    $ python -m repro deadlocks copier.csp --process network --depth 3
+
+Named message sets are declared with ``--set M=0,1``; the protocol's
+cancellation function is available as ``--with-cancel f``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.assertions.parser import parse_assertion
+from repro.assertions.sequences import cancel_protocol
+from repro.errors import ReproError
+from repro.process.analysis import channel_names
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions
+from repro.process.pretty import pretty_definitions
+from repro.values.domains import FiniteDomain
+from repro.values.environment import Environment
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    if text.lstrip("-").isdigit():
+        return int(text)
+    return text
+
+
+def _build_env(args: argparse.Namespace) -> Environment:
+    env = Environment()
+    for binding in args.set or []:
+        name, _, values = binding.partition("=")
+        if not _:
+            raise SystemExit(f"--set expects NAME=v1,v2,…  got {binding!r}")
+        env = env.bind(
+            name.strip(), FiniteDomain(_parse_value(v) for v in values.split(","))
+        )
+    if args.with_cancel:
+        env = env.bind(args.with_cancel, cancel_protocol)
+    return env
+
+
+def _load(args: argparse.Namespace):
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return parse_definitions(source)
+
+
+def _target(args: argparse.Namespace, defs) -> Name:
+    name = args.process
+    if name is None:
+        name = list(defs)[-1].name  # the last equation, e.g. the network
+    if name not in defs:
+        raise SystemExit(f"no process named {name!r}; defined: {sorted(defs.names())}")
+    return Name(name)
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    defs = _load(args)
+    print(pretty_definitions(defs))
+    return 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    from repro.sat.checker import SatChecker
+    from repro.semantics.config import SemanticsConfig
+
+    defs = _load(args)
+    env = _build_env(args)
+    checker = SatChecker(
+        defs,
+        env,
+        SemanticsConfig(depth=args.depth, sample=args.sample),
+        engine=args.engine,
+    )
+    closure = checker.traces_of(_target(args, defs))
+    print(f"{len(closure)} traces (depth ≤ {args.depth}, engine {args.engine}):")
+    for trace in closure:
+        inner = ", ".join(repr(e) for e in trace)
+        print(f"  ⟨{inner}⟩")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.sat.checker import SatChecker
+    from repro.semantics.config import SemanticsConfig
+
+    defs = _load(args)
+    env = _build_env(args)
+    checker = SatChecker(
+        defs,
+        env,
+        SemanticsConfig(depth=args.depth, sample=args.sample),
+        engine=args.engine,
+    )
+    target = _target(args, defs)
+    result = checker.check(target, args.spec)
+    if result.holds:
+        print(
+            f"HOLDS: {target.name} sat {args.spec}  "
+            f"({result.traces_checked} traces, depth ≤ {args.depth})"
+        )
+        return 0
+    print(f"VIOLATED: {target.name} sat {args.spec}")
+    print(result.counterexample.describe())
+    return 1
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    from repro.proof.checker import ProofChecker
+    from repro.proof.oracle import Oracle, OracleConfig
+    from repro.proof.tactics import SatProver
+
+    defs = _load(args)
+    env = _build_env(args)
+    all_channels = set()
+    for definition in defs:
+        all_channels |= channel_names(Name(definition.name), defs)
+
+    invariants = {}
+    for spec in args.invariant or []:
+        head, _, formula_text = spec.partition("=")
+        if not _:
+            raise SystemExit(f"--invariant expects NAME=FORMULA, got {spec!r}")
+        head = head.strip()
+        formula = parse_assertion(formula_text.strip(), all_channels)
+        if ":" in head:
+            name, _, param = head.partition(":")
+            invariants[name.strip()] = (param.strip(), formula)
+        else:
+            definition = defs.lookup(head)
+            if definition.is_array:
+                invariants[head] = (definition.parameter, formula)
+            else:
+                invariants[head] = formula
+
+    pool = [0, 1, "ACK", "NACK"]
+    oracle = Oracle(env, OracleConfig(value_pool=tuple(pool)))
+    prover = SatProver(defs, oracle, invariants)
+    goal = args.goal or list(defs)[-1].name
+    try:
+        proof = prover.prove_name(goal)
+        report = ProofChecker(defs, oracle).check(proof)
+    except ReproError as exc:
+        print(f"PROOF FAILED: {exc}")
+        return 1
+    print(report.summary())
+    if args.show_proof:
+        print()
+        print(proof.pretty())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.operational.scheduler import RandomScheduler, simulate
+    from repro.operational.step import OperationalSemantics
+
+    defs = _load(args)
+    env = _build_env(args)
+    semantics = OperationalSemantics(defs, env, sample=args.sample)
+    run = simulate(
+        _target(args, defs),
+        semantics,
+        max_steps=args.steps,
+        scheduler=RandomScheduler(seed=args.seed),
+    )
+    for event in run.full_history:
+        print("  τ (internal)" if event is None else f"  {event!r}")
+    if run.deadlocked:
+        print("DEADLOCK: no transition available")
+        return 1
+    return 0
+
+
+def cmd_deadlocks(args: argparse.Namespace) -> int:
+    from repro.operational.explorer import Explorer
+    from repro.operational.step import OperationalSemantics
+
+    defs = _load(args)
+    env = _build_env(args)
+    semantics = OperationalSemantics(defs, env, sample=args.sample)
+    deadlocks = Explorer(semantics).find_deadlocks(_target(args, defs), args.depth)
+    if not deadlocks:
+        print(f"no deadlock reachable within {args.depth} visible events")
+        return 0
+    print(f"{len(deadlocks)} deadlocking trace(s):")
+    for trace in deadlocks:
+        inner = ", ".join(repr(e) for e in trace)
+        print(f"  ⟨{inner}⟩")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSP partial-correctness toolkit (Zhou & Hoare 1981)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, engine: bool = False) -> None:
+        p.add_argument("file", help="definitions file in the paper's notation")
+        p.add_argument("--process", help="process name (default: last equation)")
+        p.add_argument("--depth", type=int, default=5, help="trace depth bound")
+        p.add_argument("--sample", type=int, default=2, help="values per infinite set")
+        p.add_argument(
+            "--set",
+            action="append",
+            metavar="NAME=v1,v2",
+            help="bind a named message set (repeatable)",
+        )
+        p.add_argument(
+            "--with-cancel",
+            metavar="NAME",
+            help="bind the §2.2 cancellation function under this name",
+        )
+        if engine:
+            p.add_argument(
+                "--engine",
+                choices=("denotational", "operational"),
+                default="denotational",
+            )
+
+    p = sub.add_parser("parse", help="parse and pretty-print definitions")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_parse)
+
+    p = sub.add_parser("traces", help="enumerate bounded traces")
+    common(p, engine=True)
+    p.set_defaults(func=cmd_traces)
+
+    p = sub.add_parser("check", help="model-check P sat R")
+    common(p, engine=True)
+    p.add_argument("--spec", required=True, help='assertion, e.g. "wire <= input"')
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("prove", help="prove P sat R with the §2.1 rules")
+    common(p)
+    p.add_argument(
+        "--invariant",
+        action="append",
+        metavar="NAME=FORMULA",
+        help="invariant annotation (repeatable; arrays: NAME:param=FORMULA)",
+    )
+    p.add_argument("--goal", help="name to prove (default: last equation)")
+    p.add_argument("--show-proof", action="store_true", help="print the derivation")
+    p.set_defaults(func=cmd_prove)
+
+    p = sub.add_parser("simulate", help="run one scheduled execution")
+    common(p)
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("deadlocks", help="search for reachable deadlocks")
+    common(p)
+    p.set_defaults(func=cmd_deadlocks)
+
+    p = sub.add_parser(
+        "reproduce", help="run the paper-reproduction battery (E1–E10)"
+    )
+    p.add_argument("--quick", action="store_true", help="small bounds, seconds")
+    p.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.report import reproduction_report
+
+    report = reproduction_report(quick=args.quick)
+    print(report)
+    return 0 if "FAILED" not in report else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

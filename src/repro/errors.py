@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also catching programming
+mistakes such as :class:`TypeError` from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class EvaluationError(ReproError):
+    """An expression, set expression, or assertion could not be evaluated."""
+
+
+class UnboundVariableError(EvaluationError):
+    """A variable, process name, or channel was looked up but never bound."""
+
+    def __init__(self, name: str, kind: str = "variable") -> None:
+        super().__init__(f"unbound {kind}: {name!r}")
+        self.name = name
+        self.kind = kind
+
+
+class DomainError(EvaluationError):
+    """A value fell outside the set expression that was meant to contain it,
+    or an infinite set was used where a finite one is required."""
+
+
+class ParseError(ReproError):
+    """The process- or assertion-notation parser rejected its input."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        line = text.count("\n", 0, position) + 1
+        col = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.position = position
+        self.line = line
+        self.column = col
+
+
+class DefinitionError(ReproError):
+    """A process definition list is malformed (duplicate names, unguarded
+    recursion where a guard is required, reference to an undefined name)."""
+
+
+class SemanticsError(ReproError):
+    """The denotational semantics could not be computed as requested."""
+
+
+class OperationalError(ReproError):
+    """The operational simulator was driven into an invalid configuration."""
+
+
+class SubstitutionError(ReproError):
+    """An assertion substitution would capture a bound variable or is
+    otherwise ill-formed."""
+
+
+class ProofError(ReproError):
+    """Base class for failures of the proof checker."""
+
+
+class RuleApplicationError(ProofError):
+    """An inference rule was applied to premises of the wrong shape."""
+
+
+class SideConditionError(ProofError):
+    """A rule's side condition (freshness, channel-name disjointness, ...)
+    does not hold for the attempted application."""
+
+
+class DischargeError(ProofError):
+    """The oracle could not discharge a pure (process-free) premise."""

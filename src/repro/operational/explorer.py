@@ -1,0 +1,134 @@
+"""Exhaustive exploration of a network's visible behaviours.
+
+The explorer performs a breadth-first search of the configuration space,
+treating internal (τ) steps as invisible: it computes, level by level,
+the set of *visible traces* of length ≤ depth together with the
+configurations reachable under each trace.  The result is a
+:class:`~repro.traces.prefix_closure.FiniteClosure` directly comparable
+with the bounded denotational semantics — the consistency check at the
+heart of the integration test suite.
+
+τ-cycles (e.g. the protocol's unbounded NACK retransmissions) are finite
+in configuration space and handled by the closure's visited set; a
+``max_states`` budget guards against genuinely infinite-state networks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import OperationalError
+from repro.operational.state import State
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Process
+from repro.traces.events import Event, Trace
+from repro.traces.prefix_closure import FiniteClosure
+
+
+class Explorer:
+    """Breadth-first enumerator of visible traces."""
+
+    def __init__(
+        self,
+        semantics: OperationalSemantics,
+        max_states: int = 200_000,
+    ) -> None:
+        self.semantics = semantics
+        self.max_states = max_states
+        self._closure_memo: Dict[State, FrozenSet[State]] = {}
+        self._states_touched = 0
+
+    # -- τ-closure ---------------------------------------------------------
+
+    def tau_closure(self, state: State) -> FrozenSet[State]:
+        """All configurations reachable from ``state`` by internal steps."""
+        if state in self._closure_memo:
+            return self._closure_memo[state]
+        seen: Set[State] = {state}
+        queue: Deque[State] = deque([state])
+        while queue:
+            current = queue.popleft()
+            self._touch()
+            for step in self.semantics.steps(current):
+                if step.is_internal and step.state not in seen:
+                    seen.add(step.state)
+                    queue.append(step.state)
+        result = frozenset(seen)
+        self._closure_memo[state] = result
+        return result
+
+    def _touch(self) -> None:
+        self._states_touched += 1
+        if self._states_touched > self.max_states:
+            raise OperationalError(
+                f"state budget of {self.max_states} exceeded during exploration; "
+                f"the network may be infinite-state at this depth"
+            )
+
+    # -- trace enumeration -----------------------------------------------------
+
+    def visible_traces(self, term: Process, depth: int) -> FiniteClosure:
+        """Every visible trace of length ≤ ``depth``."""
+        initial = self.semantics.initial_state(term)
+        frontier: Dict[Trace, FrozenSet[State]] = {(): self.tau_closure(initial)}
+        traces: Set[Trace] = {()}
+        for _ in range(depth):
+            next_frontier: Dict[Trace, Set[State]] = {}
+            for trace, states in frontier.items():
+                for state in states:
+                    for event, successor in self._visible_steps(state):
+                        extended = trace + (event,)
+                        next_frontier.setdefault(extended, set()).update(
+                            self.tau_closure(successor)
+                        )
+            if not next_frontier:
+                break
+            frontier = {t: frozenset(s) for t, s in next_frontier.items()}
+            traces.update(frontier)
+        return FiniteClosure(frozenset(traces), _trusted=True)
+
+    def _visible_steps(self, state: State) -> List[Tuple[Event, State]]:
+        result = []
+        for step in self.semantics.steps(state):
+            if not step.is_internal:
+                assert step.event is not None
+                result.append((step.event, step.state))
+        return result
+
+    # -- deadlock search ---------------------------------------------------
+
+    def find_deadlocks(self, term: Process, depth: int) -> List[Trace]:
+        """Visible traces after which some reachable configuration has no
+        transition at all — the behaviour the paper's partial-correctness
+        system cannot exclude (§4).  Returns shortest-first."""
+        initial = self.semantics.initial_state(term)
+        frontier: Dict[Trace, FrozenSet[State]] = {(): self.tau_closure(initial)}
+        deadlocks: List[Trace] = []
+        for _ in range(depth + 1):
+            next_frontier: Dict[Trace, Set[State]] = {}
+            for trace, states in sorted(frontier.items()):
+                for state in states:
+                    if not self.semantics.steps(state):
+                        deadlocks.append(trace)
+                        break
+            for trace, states in frontier.items():
+                for state in states:
+                    for event, successor in self._visible_steps(state):
+                        next_frontier.setdefault(trace + (event,), set()).update(
+                            self.tau_closure(successor)
+                        )
+            frontier = {t: frozenset(s) for t, s in next_frontier.items()}
+            if not frontier:
+                break
+        return sorted(deadlocks, key=len)
+
+
+def explore_traces(
+    term: Process,
+    semantics: OperationalSemantics,
+    depth: int,
+    max_states: int = 200_000,
+) -> FiniteClosure:
+    """One-shot convenience wrapper around :class:`Explorer`."""
+    return Explorer(semantics, max_states).visible_traces(term, depth)

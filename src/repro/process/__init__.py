@@ -1,0 +1,63 @@
+"""The process language (paper §1).
+
+* :mod:`repro.process.channels`    — syntactic channel references ``wire``,
+  ``col[i-1]`` and channel lists for ``chan`` declarations;
+* :mod:`repro.process.ast`         — process expressions (§1.2);
+* :mod:`repro.process.definitions` — (mutually recursive) equations (§1.1
+  items 7–9);
+* :mod:`repro.process.parser`      — parser for the paper's notation;
+* :mod:`repro.process.pretty`      — pretty-printer (inverse of the parser);
+* :mod:`repro.process.analysis`    — free variables, referenced names,
+  channel inference, guardedness.
+"""
+
+from repro.process.ast import (
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Process,
+    Stop,
+    STOP,
+)
+from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
+from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
+from repro.process.parser import parse_definitions, parse_process
+from repro.process.pretty import pretty
+from repro.process.analysis import (
+    free_variables,
+    referenced_names,
+    channel_names,
+    concrete_channels,
+    is_guarded,
+)
+
+__all__ = [
+    "Process",
+    "Stop",
+    "STOP",
+    "Output",
+    "Input",
+    "Choice",
+    "Parallel",
+    "Chan",
+    "Name",
+    "ArrayRef",
+    "ChannelExpr",
+    "ChannelArraySpec",
+    "ChannelList",
+    "ProcessDef",
+    "ArrayDef",
+    "DefinitionList",
+    "parse_process",
+    "parse_definitions",
+    "pretty",
+    "free_variables",
+    "referenced_names",
+    "channel_names",
+    "concrete_channels",
+    "is_guarded",
+]

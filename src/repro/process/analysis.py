@@ -1,0 +1,291 @@
+"""Static analysis of process expressions.
+
+* :func:`free_variables`      — free value variables;
+* :func:`referenced_names`    — process names referenced (for definition
+  validation);
+* :func:`unguarded_references` / :func:`is_guarded` — guardedness of
+  recursion (every recursive call beneath a communication prefix), the
+  condition under which the §3.3 approximation chain adds at least one
+  communication per unfolding;
+* :func:`channel_names`       — syntactic channel *names* used, following
+  definitions (the sets ``X`` and ``Y`` of the parallel rule at name
+  granularity);
+* :func:`concrete_channels`   — concrete :class:`Channel` values used,
+  with subscripts evaluated under an environment (needed to run
+  ``P ‖ Q`` when the paper "omits" the X, Y annotations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.errors import EvaluationError, SemanticsError
+from repro.process.ast import (
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Process,
+    Stop,
+)
+from repro.process.definitions import DefinitionList
+from repro.traces.events import Channel
+from repro.values.environment import Environment
+
+
+def free_variables(process: Process) -> FrozenSet[str]:
+    """Free value variables of a process expression."""
+    return process.free_variables()
+
+
+def referenced_names(process: Process) -> FrozenSet[str]:
+    """All process (and process-array) names referenced anywhere."""
+    names: Set[str] = set()
+    _collect_names(process, names)
+    return frozenset(names)
+
+
+def _collect_names(process: Process, out: Set[str]) -> None:
+    if isinstance(process, Stop):
+        return
+    if isinstance(process, Name):
+        out.add(process.name)
+    elif isinstance(process, ArrayRef):
+        out.add(process.name)
+    elif isinstance(process, (Output, Input)):
+        _collect_names(process.continuation, out)
+    elif isinstance(process, Choice):
+        _collect_names(process.left, out)
+        _collect_names(process.right, out)
+    elif isinstance(process, Parallel):
+        _collect_names(process.left, out)
+        _collect_names(process.right, out)
+    elif isinstance(process, Chan):
+        _collect_names(process.body, out)
+    else:  # pragma: no cover - exhaustiveness guard
+        raise TypeError(f"unknown process node {process!r}")
+
+
+def unguarded_references(process: Process, names: FrozenSet[str]) -> FrozenSet[str]:
+    """Names of ``names`` occurring in ``process`` *not* beneath a prefix.
+
+    A reference beneath ``c!e →`` or ``c?x:M →`` is guarded: reaching it
+    costs at least one communication.  References inside Choice, Parallel,
+    or Chan are not guarded by those operators.
+    """
+    found: Set[str] = set()
+    _collect_unguarded(process, names, found)
+    return frozenset(found)
+
+
+def _collect_unguarded(process: Process, names: FrozenSet[str], out: Set[str]) -> None:
+    if isinstance(process, (Stop, Output, Input)):
+        return  # prefixes guard their continuations; STOP references nothing
+    if isinstance(process, Name):
+        if process.name in names:
+            out.add(process.name)
+    elif isinstance(process, ArrayRef):
+        if process.name in names:
+            out.add(process.name)
+    elif isinstance(process, Choice):
+        _collect_unguarded(process.left, names, out)
+        _collect_unguarded(process.right, names, out)
+    elif isinstance(process, Parallel):
+        _collect_unguarded(process.left, names, out)
+        _collect_unguarded(process.right, names, out)
+    elif isinstance(process, Chan):
+        _collect_unguarded(process.body, names, out)
+    else:  # pragma: no cover - exhaustiveness guard
+        raise TypeError(f"unknown process node {process!r}")
+
+
+def is_guarded(process: Process, names: FrozenSet[str]) -> bool:
+    """True when ``process`` has no unguarded occurrence of any of ``names``."""
+    return not unguarded_references(process, names)
+
+
+def has_guarded_recursion(definitions: DefinitionList) -> bool:
+    """True when the definition list's unguarded-reference graph is acyclic,
+    i.e. every recursive cycle passes through at least one prefix."""
+    names = definitions.names()
+    graph: Dict[str, FrozenSet[str]] = {
+        d.name: unguarded_references(d.body, names) for d in definitions
+    }
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in graph}
+
+    def visit(node: str) -> bool:
+        colour[node] = GREY
+        for succ in graph[node]:
+            if colour[succ] == GREY:
+                return False
+            if colour[succ] == WHITE and not visit(succ):
+                return False
+        colour[node] = BLACK
+        return True
+
+    for node in graph:
+        if colour[node] == WHITE and not visit(node):
+            return False
+    return True
+
+
+def channel_names(
+    process: Process, definitions: Optional[DefinitionList] = None
+) -> FrozenSet[str]:
+    """Syntactic channel *names* used by a process, following definitions.
+
+    Recursion-safe: each definition body is visited once.
+    """
+    names: Set[str] = set()
+    visited: Set[str] = set()
+    _collect_channel_names(process, definitions, names, visited)
+    return frozenset(names)
+
+
+def _collect_channel_names(
+    process: Process,
+    definitions: Optional[DefinitionList],
+    out: Set[str],
+    visited: Set[str],
+) -> None:
+    if isinstance(process, Stop):
+        return
+    if isinstance(process, (Output, Input)):
+        out.add(process.channel.name)
+        _collect_channel_names(process.continuation, definitions, out, visited)
+    elif isinstance(process, Choice):
+        _collect_channel_names(process.left, definitions, out, visited)
+        _collect_channel_names(process.right, definitions, out, visited)
+    elif isinstance(process, Parallel):
+        _collect_channel_names(process.left, definitions, out, visited)
+        _collect_channel_names(process.right, definitions, out, visited)
+    elif isinstance(process, Chan):
+        out.update(process.channels.names())
+        _collect_channel_names(process.body, definitions, out, visited)
+    elif isinstance(process, (Name, ArrayRef)):
+        if definitions is None or process.name not in definitions:
+            return
+        if process.name in visited:
+            return
+        visited.add(process.name)
+        _collect_channel_names(
+            definitions.lookup(process.name).body, definitions, out, visited
+        )
+    else:  # pragma: no cover - exhaustiveness guard
+        raise TypeError(f"unknown process node {process!r}")
+
+
+class _Unknown:
+    """Sentinel bound to input variables during channel inference: any
+    arithmetic on it fails, flagging channels whose identity depends on a
+    communicated value."""
+
+    def __repr__(self) -> str:
+        return "<unknown input value>"
+
+
+_UNKNOWN = _Unknown()
+
+
+def concrete_channels(
+    process: Process,
+    definitions: Optional[DefinitionList],
+    env: Environment,
+) -> FrozenSet[Channel]:
+    """All concrete channels a process can use, with subscripts evaluated.
+
+    This powers alphabet inference for ``P ‖ Q`` when explicit ``X``/``Y``
+    annotations are omitted.  Channel subscripts may depend on process-array
+    parameters (``col[i-1]`` in the multiplier) — those are resolved — but
+    not on values received in input prefixes; such processes must annotate
+    their parallel compositions explicitly, and a
+    :class:`~repro.errors.SemanticsError` says so.
+    """
+    out: Set[Channel] = set()
+    visited: Set[Tuple[str, object]] = set()
+    _collect_concrete(process, definitions, env, out, visited)
+    return frozenset(out)
+
+
+def _eval_channel(channel_expr, env: Environment) -> Channel:
+    try:
+        chan = channel_expr.evaluate(env)
+    except EvaluationError as exc:
+        raise SemanticsError(
+            f"cannot infer concrete channel for {channel_expr!r}: its subscript "
+            f"depends on a value not statically known ({exc}); annotate the "
+            f"parallel composition with explicit channel lists"
+        ) from exc
+    if isinstance(chan.index, _Unknown):
+        raise SemanticsError(
+            f"cannot infer concrete channel for {channel_expr!r}: its subscript "
+            f"is a value received at run time; annotate the parallel "
+            f"composition with explicit channel lists"
+        )
+    return chan
+
+
+def _collect_concrete(
+    process: Process,
+    definitions: Optional[DefinitionList],
+    env: Environment,
+    out: Set[Channel],
+    visited: Set[Tuple[str, object]],
+) -> None:
+    if isinstance(process, Stop):
+        return
+    if isinstance(process, Output):
+        out.add(_eval_channel(process.channel, env))
+        _collect_concrete(process.continuation, definitions, env, out, visited)
+    elif isinstance(process, Input):
+        out.add(_eval_channel(process.channel, env))
+        _collect_concrete(
+            process.continuation,
+            definitions,
+            env.bind(process.variable, _UNKNOWN),
+            out,
+            visited,
+        )
+    elif isinstance(process, Choice):
+        _collect_concrete(process.left, definitions, env, out, visited)
+        _collect_concrete(process.right, definitions, env, out, visited)
+    elif isinstance(process, Parallel):
+        _collect_concrete(process.left, definitions, env, out, visited)
+        _collect_concrete(process.right, definitions, env, out, visited)
+    elif isinstance(process, Chan):
+        out.update(process.channels.evaluate(env))
+        _collect_concrete(process.body, definitions, env, out, visited)
+    elif isinstance(process, Name):
+        if definitions is None or process.name not in definitions:
+            return
+        key = (process.name, None)
+        if key in visited:
+            return
+        visited.add(key)
+        _collect_concrete(
+            definitions.lookup_process(process.name).body,
+            definitions,
+            env,
+            out,
+            visited,
+        )
+    elif isinstance(process, ArrayRef):
+        if definitions is None or process.name not in definitions:
+            return
+        array = definitions.lookup_array(process.name)
+        try:
+            value = process.index.evaluate(env)
+        except EvaluationError:
+            value = _UNKNOWN
+        key = (process.name, value if not isinstance(value, _Unknown) else "?")
+        if key in visited:
+            return
+        visited.add(key)
+        param_env = env.bind(array.parameter, value)
+        _collect_concrete(array.body, definitions, param_env, out, visited)
+    else:  # pragma: no cover - exhaustiveness guard
+        raise TypeError(f"unknown process node {process!r}")

@@ -1,0 +1,332 @@
+"""Process expressions (paper §1.2).
+
+The constructors mirror the paper's grammar:
+
+=====================  ==========================================
+paper                  here
+=====================  ==========================================
+``STOP``               :class:`Stop` (shared instance :data:`STOP`)
+``c!e → P``            :class:`Output`
+``c?x:M → P``          :class:`Input`
+``P | Q``              :class:`Choice`
+``P ‖_{X,Y} Q``        :class:`Parallel`
+``chan L; P``          :class:`Chan`
+``p`` (process name)   :class:`Name`
+``q[e]``               :class:`ArrayRef`
+=====================  ==========================================
+
+All nodes are immutable, structurally comparable, and hashable.
+Substitution of a value expression for a free variable
+(:meth:`Process.substitute`) is capture-avoiding: input prefixes bind
+their variable, and are α-renamed when a substitution would capture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Optional, Tuple
+
+from repro.process.channels import ChannelExpr, ChannelList
+from repro.values.expressions import Expr, SetExpr, Var
+
+_fresh_counter = itertools.count()
+
+
+def _fresh_variable(base: str, avoid: FrozenSet[str]) -> str:
+    """A variable name not in ``avoid``, derived from ``base``."""
+    candidate = f"{base}_"
+    while candidate in avoid:
+        candidate = f"{base}_{next(_fresh_counter)}"
+    return candidate
+
+
+class Process:
+    """Abstract process expression."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> FrozenSet[str]:
+        """Free *value* variables (input-prefix variables are binders)."""
+        raise NotImplementedError
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        """Capture-avoiding substitution of ``replacement`` for ``name``."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+
+    def _key(self) -> Tuple[object, ...]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        from repro.process.pretty import pretty
+
+        return pretty(self)
+
+    # Infix sugar so processes compose like the paper's notation:
+    #   p | q  → Choice,   p // q → Parallel (auto-inferred alphabets).
+
+    def __or__(self, other: "Process") -> "Choice":
+        return Choice(self, other)
+
+    def __floordiv__(self, other: "Process") -> "Parallel":
+        return Parallel(self, other)
+
+
+class Stop(Process):
+    """``STOP`` — the process that never communicates; its only trace is ⟨⟩."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        return self
+
+    def _key(self) -> Tuple[object, ...]:
+        return ()
+
+
+#: Shared instance of :class:`Stop`.
+STOP = Stop()
+
+
+class Output(Process):
+    """``(c!e → P)`` — transmit the value of ``e`` on channel ``c``, then
+    behave like ``P`` (§1.2 item 4)."""
+
+    __slots__ = ("channel", "message", "continuation")
+
+    def __init__(self, channel: ChannelExpr, message: Expr, continuation: Process) -> None:
+        self.channel = channel
+        self.message = message
+        self.continuation = continuation
+
+    def free_variables(self) -> FrozenSet[str]:
+        return (
+            self.channel.free_variables()
+            | self.message.free_variables()
+            | self.continuation.free_variables()
+        )
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        return Output(
+            self.channel.substitute(name, replacement),
+            self.message.substitute(name, replacement),
+            self.continuation.substitute(name, replacement),
+        )
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.channel, self.message, self.continuation)
+
+
+class Input(Process):
+    """``(c?x:M → P)`` — accept any value of ``M`` on channel ``c``, bind it
+    to ``x``, then behave like ``P`` (§1.2 item 5).  ``x`` is a binder whose
+    scope is ``P``."""
+
+    __slots__ = ("channel", "variable", "domain", "continuation")
+
+    def __init__(
+        self,
+        channel: ChannelExpr,
+        variable: str,
+        domain: SetExpr,
+        continuation: Process,
+    ) -> None:
+        self.channel = channel
+        self.variable = variable
+        self.domain = domain
+        self.continuation = continuation
+
+    def free_variables(self) -> FrozenSet[str]:
+        return (
+            self.channel.free_variables()
+            | self.domain.free_variables()
+            | (self.continuation.free_variables() - {self.variable})
+        )
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        channel = self.channel.substitute(name, replacement)
+        domain = self.domain.substitute(name, replacement)
+        if name == self.variable:
+            # The substituted variable is shadowed inside the continuation.
+            return Input(channel, self.variable, domain, self.continuation)
+        if self.variable in replacement.free_variables():
+            # α-rename the binder to avoid capturing the replacement's variable.
+            avoid = (
+                replacement.free_variables()
+                | self.continuation.free_variables()
+                | {name, self.variable}
+            )
+            fresh = _fresh_variable(self.variable, frozenset(avoid))
+            renamed = self.continuation.substitute(self.variable, Var(fresh))
+            return Input(
+                channel, fresh, domain, renamed.substitute(name, replacement)
+            )
+        return Input(
+            channel,
+            self.variable,
+            domain,
+            self.continuation.substitute(name, replacement),
+        )
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.channel, self.variable, self.domain, self.continuation)
+
+
+class Choice(Process):
+    """``(P | Q)`` — behave like ``P`` or like ``Q``; the choice is
+    non-deterministic (§1.2 item 6).  In the trace model this is set
+    union, with the §4 caveat that ``STOP | P = P``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Process, right: Process) -> None:
+        self.left = left
+        self.right = right
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        return Choice(
+            self.left.substitute(name, replacement),
+            self.right.substitute(name, replacement),
+        )
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.left, self.right)
+
+
+class Parallel(Process):
+    """``(P ‖_{X,Y} Q)`` — network of ``P`` and ``Q`` synchronising on the
+    shared channels ``X ∩ Y`` (§1.2 item 7).
+
+    ``left_channels``/``right_channels`` are optional explicit alphabets
+    (channel lists).  When omitted — the paper's "convenient to omit them"
+    convention — the alphabets are inferred from the syntactic channel
+    occurrences of each side at semantics time
+    (:func:`repro.process.analysis.concrete_channels`).
+    """
+
+    __slots__ = ("left", "right", "left_channels", "right_channels")
+
+    def __init__(
+        self,
+        left: Process,
+        right: Process,
+        left_channels: Optional[ChannelList] = None,
+        right_channels: Optional[ChannelList] = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_channels = left_channels
+        self.right_channels = right_channels
+
+    def free_variables(self) -> FrozenSet[str]:
+        result = self.left.free_variables() | self.right.free_variables()
+        if self.left_channels is not None:
+            result |= self.left_channels.free_variables()
+        if self.right_channels is not None:
+            result |= self.right_channels.free_variables()
+        return result
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        return Parallel(
+            self.left.substitute(name, replacement),
+            self.right.substitute(name, replacement),
+            None
+            if self.left_channels is None
+            else self.left_channels.substitute(name, replacement),
+            None
+            if self.right_channels is None
+            else self.right_channels.substitute(name, replacement),
+        )
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.left, self.right, self.left_channels, self.right_channels)
+
+
+class Chan(Process):
+    """``(chan L; P)`` — conceal the channels of ``L``, which become
+    internal to the network ``P`` (§1.2 item 8)."""
+
+    __slots__ = ("channels", "body")
+
+    def __init__(self, channels: ChannelList, body: Process) -> None:
+        self.channels = channels
+        self.body = body
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.channels.free_variables() | self.body.free_variables()
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        return Chan(
+            self.channels.substitute(name, replacement),
+            self.body.substitute(name, replacement),
+        )
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.channels, self.body)
+
+
+class Name(Process):
+    """A process name ``p``, referring to its defining equation (§1.2 item 2)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        return self
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.name,)
+
+
+class ArrayRef(Process):
+    """A subscripted process name ``q[e]`` (§1.2 item 3): the element of the
+    process array ``q`` selected by the value of ``e``."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, index: Expr) -> None:
+        self.name = name
+        self.index = index
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.index.free_variables()
+
+    def substitute(self, name: str, replacement: Expr) -> "Process":
+        return ArrayRef(self.name, self.index.substitute(name, replacement))
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.name, self.index)
+
+
+def output(channel_name: str, message, continuation: Process, index=None) -> Output:
+    """Convenience builder: ``output("wire", var("x"), copier)``."""
+    from repro.values.expressions import as_expr
+
+    idx = None if index is None else as_expr(index)
+    return Output(ChannelExpr(channel_name, idx), as_expr(message), continuation)
+
+
+def input_(
+    channel_name: str, variable: str, domain: SetExpr, continuation: Process, index=None
+) -> Input:
+    """Convenience builder: ``input_("input", "x", NatSet(), body)``."""
+    from repro.values.expressions import as_expr
+
+    idx = None if index is None else as_expr(index)
+    return Input(ChannelExpr(channel_name, idx), variable, domain, continuation)

@@ -1,0 +1,149 @@
+"""Syntactic channel references and channel lists (paper §1.1 items 10–13).
+
+A :class:`ChannelExpr` is a channel *name*, possibly subscripted by a value
+expression: ``wire``, ``col[i-1]``.  Evaluating it under an environment
+yields a semantic :class:`~repro.traces.events.Channel`.
+
+A :class:`ChannelList` is what follows ``chan`` in ``chan L; P``: a list of
+channel names, subscripted names, and channel arrays ``col[0..3]`` (item
+12), each expanding to a set of concrete channels.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.errors import DomainError
+from repro.traces.events import Channel
+from repro.values.environment import Environment
+from repro.values.expressions import Expr, SetExpr
+
+
+class ChannelExpr:
+    """A (possibly subscripted) channel reference: ``wire`` or ``col[i]``."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, index: Optional[Expr] = None) -> None:
+        self.name = name
+        self.index = index
+
+    def evaluate(self, env: Environment) -> Channel:
+        """The concrete channel this reference denotes under ``env``."""
+        if self.index is None:
+            return Channel(self.name)
+        return Channel(self.name, self.index.evaluate(env))
+
+    def free_variables(self) -> FrozenSet[str]:
+        if self.index is None:
+            return frozenset()
+        return self.index.free_variables()
+
+    def substitute(self, name: str, replacement: Expr) -> "ChannelExpr":
+        if self.index is None:
+            return self
+        return ChannelExpr(self.name, self.index.substitute(name, replacement))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ChannelExpr)
+            and self.name == other.name
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ChannelExpr", self.name, self.index))
+
+    def __repr__(self) -> str:
+        if self.index is None:
+            return self.name
+        return f"{self.name}[{self.index!r}]"
+
+
+class ChannelArraySpec:
+    """A channel array ``c[M]`` (item 12), e.g. ``col[0..3]`` denoting
+    ``{col[0], col[1], col[2], col[3]}``.  ``subscripts`` is a set
+    expression that must evaluate to a finite domain."""
+
+    __slots__ = ("name", "subscripts")
+
+    def __init__(self, name: str, subscripts: SetExpr) -> None:
+        self.name = name
+        self.subscripts = subscripts
+
+    def evaluate(self, env: Environment) -> FrozenSet[Channel]:
+        domain = self.subscripts.evaluate(env)
+        if not domain.is_finite:
+            raise DomainError(
+                f"channel array {self.name} subscripted by an infinite set"
+            )
+        return frozenset(Channel(self.name, v) for v in domain.require_finite())
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.subscripts.free_variables()
+
+    def substitute(self, name: str, replacement: Expr) -> "ChannelArraySpec":
+        return ChannelArraySpec(self.name, self.subscripts.substitute(name, replacement))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ChannelArraySpec)
+            and self.name == other.name
+            and self.subscripts == other.subscripts
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ChannelArraySpec", self.name, self.subscripts))
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{self.subscripts!r}]"
+
+
+#: An entry in a channel list: a single reference or a whole array.
+ChannelListEntry = object  # ChannelExpr | ChannelArraySpec
+
+
+class ChannelList:
+    """The list ``L`` of ``chan L; P`` (item 13)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Iterable[object]) -> None:
+        self.entries: Tuple[object, ...] = tuple(entries)
+        for entry in self.entries:
+            if not isinstance(entry, (ChannelExpr, ChannelArraySpec)):
+                raise TypeError(f"bad channel-list entry: {entry!r}")
+
+    def evaluate(self, env: Environment) -> FrozenSet[Channel]:
+        """Expand to the set of concrete channels being concealed."""
+        channels: Set[Channel] = set()
+        for entry in self.entries:
+            if isinstance(entry, ChannelExpr):
+                channels.add(entry.evaluate(env))
+            else:
+                channels |= entry.evaluate(env)  # type: ignore[operator]
+        return frozenset(channels)
+
+    def names(self) -> FrozenSet[str]:
+        """The channel *names* mentioned (ignoring subscripts)."""
+        return frozenset(entry.name for entry in self.entries)  # type: ignore[attr-defined]
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for entry in self.entries:
+            result |= entry.free_variables()  # type: ignore[attr-defined]
+        return result
+
+    def substitute(self, name: str, replacement: Expr) -> "ChannelList":
+        return ChannelList(
+            entry.substitute(name, replacement) for entry in self.entries  # type: ignore[attr-defined]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ChannelList) and self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash(("ChannelList", self.entries))
+
+    def __repr__(self) -> str:
+        return ", ".join(repr(entry) for entry in self.entries)

@@ -1,0 +1,184 @@
+"""Process and process-array equations (paper §1.1 items 7–9).
+
+A :class:`ProcessDef` is ``p ≜ P``; an :class:`ArrayDef` is
+``q[i:M] ≜ Q``.  A :class:`DefinitionList` collects equations — possibly
+mutually recursive — validates them (unique names, no dangling references,
+guarded recursion), and resolves name lookups for the semantics, the
+operational simulator, and the proof system's recursion rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.errors import DefinitionError
+from repro.process.ast import Process
+from repro.values.expressions import Expr, SetExpr
+
+
+class ProcessDef:
+    """``p ≜ P`` — a (possibly recursive) process equation."""
+
+    __slots__ = ("name", "body")
+
+    def __init__(self, name: str, body: Process) -> None:
+        self.name = name
+        self.body = body
+
+    @property
+    def is_array(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ProcessDef)
+            and self.name == other.name
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ProcessDef", self.name, self.body))
+
+    def __repr__(self) -> str:
+        return f"{self.name} = {self.body!r}"
+
+
+class ArrayDef:
+    """``q[i:M] ≜ Q`` — a process-array equation; the parameter ``i``
+    ranges over ``M`` and differentiates the array's elements."""
+
+    __slots__ = ("name", "parameter", "domain", "body")
+
+    def __init__(self, name: str, parameter: str, domain: SetExpr, body: Process) -> None:
+        self.name = name
+        self.parameter = parameter
+        self.domain = domain
+        self.body = body
+
+    @property
+    def is_array(self) -> bool:
+        return True
+
+    def instantiate(self, value_expr: Expr) -> Process:
+        """The body with the parameter replaced by ``value_expr`` — the
+        process ``Q'`` of §1.2 item 3."""
+        return self.body.substitute(self.parameter, value_expr)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayDef)
+            and (self.name, self.parameter, self.domain, self.body)
+            == (other.name, other.parameter, other.domain, other.body)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ArrayDef", self.name, self.parameter, self.domain, self.body))
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{self.parameter}:{self.domain!r}] = {self.body!r}"
+
+
+Definition = Union[ProcessDef, ArrayDef]
+
+
+class DefinitionList:
+    """An ordered list of equations declaring a set of processes and
+    process arrays, possibly by mutual recursion (§1.1 item 9).
+
+    Validation performed at construction:
+
+    * no duplicate names;
+    * every referenced process name is defined (``strict=True``);
+    * recursion is *guarded* — every recursive occurrence of a defined name
+      lies beneath at least one communication prefix (``require_guarded``).
+      Guardedness is what makes the §3.3 approximation chain converge
+      depth-by-depth, and all the paper's examples satisfy it.
+    """
+
+    __slots__ = ("_defs",)
+
+    def __init__(
+        self,
+        definitions: Iterable[Definition] = (),
+        strict: bool = True,
+        require_guarded: bool = True,
+    ) -> None:
+        self._defs: Dict[str, Definition] = {}
+        for definition in definitions:
+            if definition.name in self._defs:
+                raise DefinitionError(f"duplicate definition of {definition.name!r}")
+            self._defs[definition.name] = definition
+        if strict:
+            self._check_references()
+        if require_guarded:
+            self._check_guardedness()
+
+    # -- validation ----------------------------------------------------------
+
+    def _check_references(self) -> None:
+        from repro.process.analysis import referenced_names
+
+        for definition in self._defs.values():
+            for name in referenced_names(definition.body):
+                if name not in self._defs:
+                    raise DefinitionError(
+                        f"{definition.name!r} refers to undefined process {name!r}"
+                    )
+
+    def _check_guardedness(self) -> None:
+        from repro.process.analysis import has_guarded_recursion
+
+        if not has_guarded_recursion(self):
+            raise DefinitionError(
+                "the definition list has an unguarded recursive cycle: some "
+                "process can reach itself without performing a communication"
+            )
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, name: str) -> Definition:
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise DefinitionError(f"undefined process name {name!r}") from None
+
+    def lookup_process(self, name: str) -> ProcessDef:
+        definition = self.lookup(name)
+        if definition.is_array:
+            raise DefinitionError(f"{name!r} is a process array, not a process")
+        return definition  # type: ignore[return-value]
+
+    def lookup_array(self, name: str) -> ArrayDef:
+        definition = self.lookup(name)
+        if not definition.is_array:
+            raise DefinitionError(f"{name!r} is a process, not a process array")
+        return definition  # type: ignore[return-value]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._defs
+
+    def __iter__(self) -> Iterator[Definition]:
+        return iter(self._defs.values())
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset(self._defs)
+
+    def merge(self, other: "DefinitionList") -> "DefinitionList":
+        """Combine two lists (e.g. Δ1, Δ2, Δ3 of §2.2); names must not clash."""
+        return DefinitionList(list(self) + list(other))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DefinitionList) and self._defs == other._defs
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._defs.items())))
+
+    def __repr__(self) -> str:
+        return "; ".join(repr(d) for d in self._defs.values())
+
+
+#: The empty definition list.
+NO_DEFINITIONS = DefinitionList()

@@ -1,0 +1,319 @@
+"""Parser for the paper's process notation (§1).
+
+Concrete grammar (ASCII; unicode aliases from the paper also accepted)::
+
+    definitions := definition (';' definition)* ';'?
+    definition  := IDENT '=' process
+                 | IDENT '[' IDENT ':' setexpr ']' '=' process
+
+    process     := parallel
+    parallel    := chanproc ('||' chanproc)*                 -- loosest
+    chanproc    := 'chan' chanlist ';' process | choice
+    choice      := prefixed ('|' prefixed)*
+    prefixed    := comm '->' prefixed | atom                 -- tightest
+    comm        := chanref '!' expr | chanref '?' IDENT ':' setexpr
+    atom        := 'STOP' | '(' process ')'
+                 | IDENT | IDENT '[' expr ']'                -- name / q[e]
+
+    chanref     := IDENT | IDENT '[' expr ']'
+    chanlist    := chanentry (',' chanentry)*
+    chanentry   := IDENT | IDENT '[' expr ']' | IDENT '[' expr '..' expr ']'
+
+    setexpr     := setatom ('union' setatom)*
+    setatom     := 'NAT' | 'INT' | IDENT
+                 | '{' expr '..' expr '}' | '{' [expr (',' expr)*] '}'
+
+    expr        := mul (('+'|'-') mul)*
+    mul         := unary (('*'|'div'|'mod') unary)*
+    unary       := '-' unary | primary
+    primary     := INT | STRING | '(' expr ')'
+                 | IDENT | IDENT '[' expr ']' | IDENT '(' args ')'
+
+Identifier convention (matching the paper's usage): an identifier whose
+first letter is upper-case is a *constant* in value position (``ACK``) and
+a *named set* in set position (``M``); lower-case identifiers are
+variables.  ``v[i]`` in value position is a host-function call (the fixed
+vector of the multiplier example).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.process.ast import (
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Process,
+    STOP,
+)
+from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
+from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
+from repro.process.lexer import TokenStream
+from repro.values.expressions import (
+    BinOp,
+    Const,
+    Expr,
+    FuncCall,
+    IntSet,
+    NamedSet,
+    NatSet,
+    RangeSet,
+    SetExpr,
+    SetLiteral,
+    SetUnion,
+    UnaryOp,
+    Var,
+)
+
+
+RESERVED = {"STOP", "chan", "NAT", "INT", "div", "mod", "union"}
+
+
+def parse_process(text: str) -> Process:
+    """Parse a single process expression."""
+    stream = TokenStream(text)
+    process = _parse_process(stream)
+    stream.expect_eof()
+    return process
+
+
+def parse_definitions(
+    text: str, strict: bool = True, require_guarded: bool = True
+) -> DefinitionList:
+    """Parse a ``;``-separated list of process equations, e.g.::
+
+        copier   = input?x:NAT -> wire!x -> copier;
+        recopier = wire?y:NAT -> output!y -> recopier
+    """
+    stream = TokenStream(text)
+    definitions = []
+    while stream.current.kind != "eof":
+        definitions.append(_parse_definition(stream))
+        if not stream.accept_symbol(";"):
+            break
+    stream.expect_eof()
+    return DefinitionList(definitions, strict=strict, require_guarded=require_guarded)
+
+
+# ---------------------------------------------------------------------------
+# definitions
+# ---------------------------------------------------------------------------
+
+
+def _parse_definition(stream: TokenStream):
+    name = stream.expect_ident().text
+    if name in RESERVED:
+        stream.fail(f"{name!r} is reserved and cannot be defined")
+    if stream.accept_symbol("["):
+        parameter = stream.expect_ident().text
+        stream.expect_symbol(":")
+        domain = _parse_setexpr(stream)
+        stream.expect_symbol("]")
+        stream.expect_symbol("=")
+        body = _parse_process(stream)
+        return ArrayDef(name, parameter, domain, body)
+    stream.expect_symbol("=")
+    body = _parse_process(stream)
+    return ProcessDef(name, body)
+
+
+# ---------------------------------------------------------------------------
+# processes
+# ---------------------------------------------------------------------------
+
+
+def _parse_process(stream: TokenStream) -> Process:
+    return _parse_parallel(stream)
+
+
+def _parse_parallel(stream: TokenStream) -> Process:
+    left = _parse_chanproc(stream)
+    while stream.accept_symbol("||"):
+        right = _parse_chanproc(stream)
+        left = Parallel(left, right)
+    return left
+
+
+def _parse_chanproc(stream: TokenStream) -> Process:
+    if stream.at_ident("chan"):
+        stream.advance()
+        channels = _parse_chanlist(stream)
+        stream.expect_symbol(";")
+        body = _parse_process(stream)
+        return Chan(channels, body)
+    return _parse_choice(stream)
+
+
+def _parse_choice(stream: TokenStream) -> Process:
+    left = _parse_prefixed(stream)
+    while stream.accept_symbol("|"):
+        right = _parse_prefixed(stream)
+        left = Choice(left, right)
+    return left
+
+
+def _parse_prefixed(stream: TokenStream) -> Process:
+    if stream.at_symbol("("):
+        stream.advance()
+        inner = _parse_process(stream)
+        stream.expect_symbol(")")
+        return inner
+    if stream.at_ident("STOP"):
+        stream.advance()
+        return STOP
+    if stream.at_ident("chan"):
+        return _parse_chanproc(stream)
+    if stream.current.kind != "ident":
+        stream.fail(f"expected a process, found {stream.current.text!r}")
+    # IDENT possibly subscripted; decide communication vs. name by lookahead.
+    name = stream.advance().text
+    index: Optional[Expr] = None
+    if stream.accept_symbol("["):
+        index = _parse_expr(stream)
+        stream.expect_symbol("]")
+    if stream.at_symbol("!"):
+        stream.advance()
+        message = _parse_expr(stream)
+        stream.expect_symbol("->")
+        continuation = _parse_prefixed(stream)
+        return Output(ChannelExpr(name, index), message, continuation)
+    if stream.at_symbol("?"):
+        stream.advance()
+        variable = stream.expect_ident().text
+        stream.expect_symbol(":")
+        domain = _parse_setexpr(stream)
+        stream.expect_symbol("->")
+        continuation = _parse_prefixed(stream)
+        return Input(ChannelExpr(name, index), variable, domain, continuation)
+    # Not a communication: a process name or array reference.
+    if index is not None:
+        return ArrayRef(name, index)
+    return Name(name)
+
+
+def _parse_chanlist(stream: TokenStream) -> ChannelList:
+    entries = []
+    while True:
+        name = stream.expect_ident().text
+        if stream.accept_symbol("["):
+            first = _parse_expr(stream)
+            if stream.accept_symbol(".."):
+                last = _parse_expr(stream)
+                stream.expect_symbol("]")
+                entries.append(ChannelArraySpec(name, RangeSet(first, last)))
+            else:
+                stream.expect_symbol("]")
+                entries.append(ChannelExpr(name, first))
+        else:
+            entries.append(ChannelExpr(name))
+        if not stream.accept_symbol(","):
+            break
+    return ChannelList(entries)
+
+
+# ---------------------------------------------------------------------------
+# set expressions
+# ---------------------------------------------------------------------------
+
+
+def _parse_setexpr(stream: TokenStream) -> SetExpr:
+    parts = [_parse_setatom(stream)]
+    while stream.accept_ident("union"):
+        parts.append(_parse_setatom(stream))
+    if len(parts) == 1:
+        return parts[0]
+    return SetUnion(tuple(parts))
+
+
+def _parse_setatom(stream: TokenStream) -> SetExpr:
+    if stream.accept_ident("NAT"):
+        return NatSet()
+    if stream.accept_ident("INT"):
+        return IntSet()
+    if stream.current.kind == "ident":
+        name = stream.advance().text
+        return NamedSet(name)
+    if stream.accept_symbol("{"):
+        if stream.accept_symbol("}"):
+            return SetLiteral(())
+        first = _parse_expr(stream)
+        if stream.accept_symbol(".."):
+            last = _parse_expr(stream)
+            stream.expect_symbol("}")
+            return RangeSet(first, last)
+        elements = [first]
+        while stream.accept_symbol(","):
+            elements.append(_parse_expr(stream))
+        stream.expect_symbol("}")
+        return SetLiteral(tuple(elements))
+    stream.fail(f"expected a set expression, found {stream.current.text!r}")
+    raise AssertionError("unreachable")
+
+
+# ---------------------------------------------------------------------------
+# value expressions
+# ---------------------------------------------------------------------------
+
+
+def _parse_expr(stream: TokenStream) -> Expr:
+    left = _parse_mul(stream)
+    while stream.at_symbol("+", "-"):
+        op = stream.advance().text
+        right = _parse_mul(stream)
+        left = BinOp(op, left, right)
+    return left
+
+
+def _parse_mul(stream: TokenStream) -> Expr:
+    left = _parse_unary(stream)
+    while stream.at_symbol("*") or stream.at_ident("div", "mod"):
+        op = stream.advance().text
+        right = _parse_unary(stream)
+        left = BinOp(op, left, right)
+    return left
+
+
+def _parse_unary(stream: TokenStream) -> Expr:
+    if stream.accept_symbol("-"):
+        return UnaryOp("-", _parse_unary(stream))
+    return _parse_primary(stream)
+
+
+def _parse_primary(stream: TokenStream) -> Expr:
+    token = stream.current
+    if token.kind == "int":
+        stream.advance()
+        return Const(int(token.text))
+    if token.kind == "string":
+        stream.advance()
+        return Const(token.text)
+    if stream.accept_symbol("("):
+        inner = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return inner
+    if token.kind == "ident":
+        name = stream.advance().text
+        if name in RESERVED:
+            stream.fail(f"{name!r} cannot appear in a value expression")
+        if stream.accept_symbol("["):
+            index = _parse_expr(stream)
+            stream.expect_symbol("]")
+            return FuncCall(name, (index,))
+        if stream.accept_symbol("("):
+            args: List[Expr] = []
+            if not stream.at_symbol(")"):
+                args.append(_parse_expr(stream))
+                while stream.accept_symbol(","):
+                    args.append(_parse_expr(stream))
+            stream.expect_symbol(")")
+            return FuncCall(name, tuple(args))
+        if name[0].isupper():
+            return Const(name)
+        return Var(name)
+    stream.fail(f"expected an expression, found {token.text!r}")
+    raise AssertionError("unreachable")

@@ -1,0 +1,214 @@
+"""Pretty-printer for process expressions — the inverse of the parser.
+
+``parse_process(pretty(P)) == P`` for every AST ``P`` the parser can
+produce; the property tests in ``tests/process/test_roundtrip.py`` check
+this on generated processes.  Parenthesisation is minimal given the
+precedence ladder ``->``  >  ``|``  >  ``chan``  >  ``||``.
+"""
+
+from __future__ import annotations
+
+from repro.process.ast import (
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Process,
+    Stop,
+)
+from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
+from repro.process.definitions import ArrayDef, Definition, DefinitionList, ProcessDef
+from repro.values.expressions import (
+    BinOp,
+    Const,
+    Expr,
+    FuncCall,
+    IntSet,
+    NamedSet,
+    NatSet,
+    RangeSet,
+    SetExpr,
+    SetLiteral,
+    SetUnion,
+    UnaryOp,
+    Var,
+)
+
+# Precedence levels, loosest to tightest.
+_PARALLEL, _CHAN, _CHOICE, _PREFIX = range(4)
+
+
+def pretty(process: Process) -> str:
+    """Render a process in the paper's (ASCII) notation."""
+    return _render(process, _PARALLEL)
+
+
+def pretty_definition(definition: Definition) -> str:
+    """Render one equation ``p = P`` or ``q[i:M] = Q``."""
+    if isinstance(definition, ArrayDef):
+        return (
+            f"{definition.name}[{definition.parameter}:"
+            f"{pretty_setexpr(definition.domain)}] = {pretty(definition.body)}"
+        )
+    assert isinstance(definition, ProcessDef)
+    return f"{definition.name} = {pretty(definition.body)}"
+
+
+def pretty_definitions(definitions: DefinitionList) -> str:
+    """Render a whole definition list, one equation per line."""
+    return ";\n".join(pretty_definition(d) for d in definitions)
+
+
+def _render(process: Process, context: int) -> str:
+    if isinstance(process, Stop):
+        return "STOP"
+    if isinstance(process, Name):
+        return process.name
+    if isinstance(process, ArrayRef):
+        return f"{process.name}[{pretty_expr(process.index)}]"
+    if isinstance(process, Output):
+        body = (
+            f"{_render_chanref(process.channel)}!{pretty_expr(process.message)}"
+            f" -> {_render(process.continuation, _PREFIX)}"
+        )
+        return _wrap(body, context, _PREFIX)
+    if isinstance(process, Input):
+        body = (
+            f"{_render_chanref(process.channel)}?{process.variable}:"
+            f"{pretty_setexpr(process.domain)}"
+            f" -> {_render(process.continuation, _PREFIX)}"
+        )
+        return _wrap(body, context, _PREFIX)
+    if isinstance(process, Choice):
+        # '|' parses left-associatively, so a right child that is itself a
+        # Choice needs parentheses to round-trip.
+        body = (
+            f"{_render(process.left, _CHOICE)} | "
+            f"{_render(process.right, _CHOICE + 1)}"
+        )
+        return _wrap(body, context, _CHOICE)
+    if isinstance(process, Chan):
+        # 'chan L; P' extends as far to the right as possible when parsed,
+        # so it is always parenthesised; its body needs no parens of its own.
+        return (
+            f"(chan {_render_chanlist(process.channels)}; "
+            f"{_render(process.body, _PARALLEL)})"
+        )
+    if isinstance(process, Parallel):
+        if process.left_channels is not None or process.right_channels is not None:
+            # Explicit alphabets have no concrete syntax; show them in a
+            # comment-like suffix (parse round-trips only for inferred form).
+            left = _render(process.left, _PARALLEL)
+            right = _render(process.right, _PARALLEL)
+            notes = []
+            if process.left_channels is not None:
+                notes.append(f"X={{{_render_chanlist(process.left_channels)}}}")
+            if process.right_channels is not None:
+                notes.append(f"Y={{{_render_chanlist(process.right_channels)}}}")
+            return f"({left} || {right} -- {' '.join(notes)})"
+        body = (
+            f"{_render(process.left, _PARALLEL)} || "
+            f"{_render(process.right, _PARALLEL + 1)}"
+        )
+        return _wrap(body, context, _PARALLEL)
+    raise TypeError(f"unknown process node {process!r}")
+
+
+def _wrap(text: str, context: int, level: int) -> str:
+    """Parenthesise when an operator of looseness ``level`` appears where the
+    context requires at least ``context`` tightness."""
+    return f"({text})" if level < context else text
+
+
+def _render_chanref(channel: ChannelExpr) -> str:
+    if channel.index is None:
+        return channel.name
+    return f"{channel.name}[{pretty_expr(channel.index)}]"
+
+
+def _render_chanlist(channels: ChannelList) -> str:
+    rendered = []
+    for entry in channels.entries:
+        if isinstance(entry, ChannelExpr):
+            rendered.append(_render_chanref(entry))
+        else:
+            assert isinstance(entry, ChannelArraySpec)
+            sub = entry.subscripts
+            if isinstance(sub, RangeSet):
+                rendered.append(
+                    f"{entry.name}[{pretty_expr(sub.low)}..{pretty_expr(sub.high)}]"
+                )
+            else:
+                rendered.append(f"{entry.name}[{pretty_setexpr(sub)}]")
+    return ", ".join(rendered)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+_ADD, _MUL, _UNARY = range(3)
+
+
+def pretty_expr(expr: Expr) -> str:
+    """Render a value expression."""
+    return _render_expr(expr, _ADD)
+
+
+def _render_expr(expr: Expr, context: int) -> str:
+    if isinstance(expr, Const):
+        value = expr.value
+        if isinstance(value, bool):
+            return repr(value)
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, str):
+            if value.isidentifier() and value[0].isupper():
+                return value
+            return f'"{value}"'
+        return repr(value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-"):
+            level = _ADD
+            left = _render_expr(expr.left, _ADD)
+            right = _render_expr(expr.right, _MUL)
+        else:
+            level = _MUL
+            left = _render_expr(expr.left, _MUL)
+            right = _render_expr(expr.right, _UNARY)
+        text = f"{left} {expr.op} {right}"
+        return _wrap(text, context, level)
+    if isinstance(expr, UnaryOp):
+        operand = _render_expr(expr.operand, _UNARY)
+        if operand.startswith("-"):
+            operand = f"({operand})"  # avoid '--', which lexes as a comment
+        return f"-{operand}"
+    if isinstance(expr, FuncCall):
+        if len(expr.args) == 1:
+            return f"{expr.name}[{_render_expr(expr.args[0], _ADD)}]"
+        inner = ", ".join(_render_expr(arg, _ADD) for arg in expr.args)
+        return f"{expr.name}({inner})"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def pretty_setexpr(setexpr: SetExpr) -> str:
+    """Render a set expression."""
+    if isinstance(setexpr, NatSet):
+        return "NAT"
+    if isinstance(setexpr, IntSet):
+        return "INT"
+    if isinstance(setexpr, NamedSet):
+        return setexpr.name
+    if isinstance(setexpr, RangeSet):
+        return f"{{{pretty_expr(setexpr.low)}..{pretty_expr(setexpr.high)}}}"
+    if isinstance(setexpr, SetLiteral):
+        inner = ", ".join(pretty_expr(element) for element in setexpr.elements)
+        return f"{{{inner}}}"
+    if isinstance(setexpr, SetUnion):
+        return " union ".join(pretty_setexpr(part) for part in setexpr.parts)
+    raise TypeError(f"unknown set expression {setexpr!r}")

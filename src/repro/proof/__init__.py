@@ -1,0 +1,68 @@
+"""The partial-correctness proof system (paper §2.1).
+
+* :mod:`repro.proof.judgments` — the judgment forms: pure predicates,
+  ``P sat R``, and ``∀x∈M. P sat R``;
+* :mod:`repro.proof.proof`     — proofs as checkable trees of rule
+  applications;
+* :mod:`repro.proof.oracle`    — semantic discharge of pure premises
+  (the "(def f)"-style steps of Table 1);
+* :mod:`repro.proof.rules`     — the ten inference rules, plus the
+  structural rules (∀-introduction/elimination, assumption);
+* :mod:`repro.proof.checker`   — re-validates every node of a proof;
+* :mod:`repro.proof.tactics`   — backward-chaining automation that builds
+  the paper's proofs from per-process invariant annotations.
+"""
+
+from repro.proof.checker import CheckReport, ProofChecker
+from repro.proof.judgments import ForAllSat, Judgment, Pure, Sat
+from repro.proof.oracle import Oracle, OracleConfig
+from repro.proof.proof import ProofNode
+from repro.proof import rules
+from repro.proof.rules import (
+    alternative,
+    assume,
+    chan_rule,
+    conjunction,
+    consequence,
+    emptiness,
+    forall_sat_elim,
+    generalize,
+    input_rule,
+    oracle_leaf,
+    output_rule,
+    parallelism,
+    recursion,
+    triviality,
+)
+from repro.proof.table import proof_table, render_table
+from repro.proof.tactics import SatProver
+
+__all__ = [
+    "Judgment",
+    "Pure",
+    "Sat",
+    "ForAllSat",
+    "ProofNode",
+    "Oracle",
+    "OracleConfig",
+    "ProofChecker",
+    "CheckReport",
+    "SatProver",
+    "rules",
+    "assume",
+    "oracle_leaf",
+    "triviality",
+    "consequence",
+    "conjunction",
+    "emptiness",
+    "output_rule",
+    "input_rule",
+    "alternative",
+    "parallelism",
+    "chan_rule",
+    "recursion",
+    "generalize",
+    "forall_sat_elim",
+    "proof_table",
+    "render_table",
+]

@@ -1,0 +1,89 @@
+"""Judgment forms of the proof system.
+
+* :class:`Pure` — a predicate with no process: channel names universally
+  quantified over all histories, variables over all values (the premises
+  written above the line as plain formulas, e.g. ``R_<>`` or ``R ⇒ S``);
+* :class:`Sat` — ``P sat R`` (§2);
+* :class:`ForAllSat` — ``∀x∈M. P sat R``, the quantified judgment of the
+  input and recursion rules.
+
+Judgments are immutable values; proofs and assumption sets treat them
+structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.assertions.ast import Formula
+from repro.process.ast import Process
+from repro.values.expressions import SetExpr
+
+
+class Judgment:
+    """Abstract judgment."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+
+    def _key(self) -> Tuple[object, ...]:
+        raise NotImplementedError
+
+
+class Pure(Judgment):
+    """A process-free predicate, valid for all histories and values."""
+
+    __slots__ = ("formula",)
+
+    def __init__(self, formula: Formula) -> None:
+        self.formula = formula
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.formula,)
+
+    def __repr__(self) -> str:
+        return f"⊨ {self.formula!r}"
+
+
+class Sat(Judgment):
+    """``P sat R``: R is true before and after every communication of P."""
+
+    __slots__ = ("process", "formula")
+
+    def __init__(self, process: Process, formula: Formula) -> None:
+        self.process = process
+        self.formula = formula
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.process, self.formula)
+
+    def __repr__(self) -> str:
+        return f"{self.process!r} sat {self.formula!r}"
+
+
+class ForAllSat(Judgment):
+    """``∀variable ∈ domain. inner`` where ``inner`` is a :class:`Sat`
+    (or a nested :class:`ForAllSat`)."""
+
+    __slots__ = ("variable", "domain", "inner")
+
+    def __init__(self, variable: str, domain: SetExpr, inner: Judgment) -> None:
+        if not isinstance(inner, (Sat, ForAllSat)):
+            raise TypeError("ForAllSat quantifies a Sat judgment")
+        self.variable = variable
+        self.domain = domain
+        self.inner = inner
+
+    def _key(self) -> Tuple[object, ...]:
+        return (self.variable, self.domain, self.inner)
+
+    def __repr__(self) -> str:
+        return f"∀{self.variable}∈{self.domain!r}. {self.inner!r}"
+
+
+SatLike = Union[Sat, ForAllSat]

@@ -1,0 +1,310 @@
+"""Semantic discharge of pure premises (the trust boundary of proofs).
+
+The paper's proofs lean on steps justified "(def f)", "(trans ≤)",
+"(theorem)" — facts of sequence arithmetic valid for *all* channel
+histories and variable values.  §3.3 defines their semantics:
+
+    ρ⟦T⟧ = ∀s. (ρ + ch(s))⟦T⟧
+
+The oracle decides such facts by bounded exhaustive evaluation: every
+assignment of pool values to free variables (eigenvariables range over
+their declared domains instead) and every assignment of bounded-length
+histories to the mentioned channels.  When the combination space exceeds
+a limit it falls back to seeded random sampling.
+
+This is deliberately a *refutation-complete-up-to-bounds* decision
+procedure, not a theorem prover; every discharge records its method and
+instance count, and :class:`~repro.proof.checker.CheckReport` surfaces
+them, so the trust boundary of a checked proof is explicit (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.assertions.ast import BoolLit, Formula
+from repro.assertions.eval import DEFAULT_EVAL_CONFIG, EvalConfig, evaluate_formula
+from repro.assertions.substitution import channels_mentioned, formula_free_variables
+from repro.errors import DischargeError, EvaluationError
+from repro.traces.histories import ChannelHistory
+from repro.values.domains import Domain
+from repro.values.environment import Environment
+from repro.values.expressions import SetExpr
+
+
+class OracleConfig:
+    """Bounds for the oracle's search.
+
+    ``value_pool`` supplies candidate values for unconstrained variables
+    and for channel messages; ``max_history_length`` bounds the histories
+    tried per channel; above ``exhaustive_limit`` total instances the
+    oracle samples ``random_trials`` assignments instead (seeded).
+    """
+
+    __slots__ = (
+        "value_pool",
+        "max_history_length",
+        "exhaustive_limit",
+        "random_trials",
+        "seed",
+        "eval_config",
+    )
+
+    def __init__(
+        self,
+        value_pool: Sequence[object] = (0, 1, "ACK", "NACK"),
+        max_history_length: int = 3,
+        exhaustive_limit: int = 200_000,
+        random_trials: int = 5_000,
+        seed: int = 0,
+        eval_config: EvalConfig = DEFAULT_EVAL_CONFIG,
+    ) -> None:
+        self.value_pool = tuple(value_pool)
+        self.max_history_length = max_history_length
+        self.exhaustive_limit = exhaustive_limit
+        self.random_trials = random_trials
+        self.seed = seed
+        self.eval_config = eval_config
+
+    def __repr__(self) -> str:
+        return (
+            f"OracleConfig(pool={self.value_pool!r}, "
+            f"hist≤{self.max_history_length})"
+        )
+
+
+def _evaluable_channels(channel_refs, env: Environment):
+    """The concrete channels of the refs whose subscripts evaluate under
+    ``env``.  Refs whose subscript mentions a quantifier-bound variable
+    (e.g. ``row[j]`` under a Σ) are skipped: their instantiated siblings
+    cover the relevant channels, and any channel absent from a history
+    reads as ⟨⟩ — part of the oracle's documented bounds."""
+    concrete = set()
+    for ref in channel_refs:
+        try:
+            concrete.add(ref.evaluate(env))
+        except EvaluationError:
+            continue
+    return sorted(concrete, key=lambda c: c.sort_key())
+
+
+class Verdict(NamedTuple):
+    """Outcome of a discharge attempt."""
+
+    ok: bool
+    method: str  # 'exhaustive-bounded' or 'randomized'
+    instances: int
+    counterexample: Optional[str]
+
+
+DomainLike = Union[Domain, SetExpr]
+
+
+class Oracle:
+    """Decides pure formulas by bounded evaluation."""
+
+    def __init__(
+        self, env: Optional[Environment] = None, config: Optional[OracleConfig] = None
+    ) -> None:
+        self.env = env if env is not None else Environment()
+        self.config = config if config is not None else OracleConfig()
+
+    # -- public API --------------------------------------------------------
+
+    def holds(
+        self,
+        formula: Formula,
+        var_domains: Optional[Mapping[str, DomainLike]] = None,
+    ) -> Verdict:
+        """Decide ``⊨ formula``.  ``var_domains`` constrains eigenvariables
+        to their declared sets; other free variables range over the pool."""
+        var_domains = dict(var_domains or {})
+        # Fast path: many side conditions (R_<> blanks especially) fold to
+        # a literal truth value syntactically, for every history and value.
+        from repro.assertions.simplify import simplify
+
+        folded = simplify(formula)
+        if isinstance(folded, BoolLit):
+            return Verdict(folded.value, "syntactic", 1, None if folded.value else "simplifies to false")
+        variables = sorted(formula_free_variables(formula) - set(self.env.names()))
+        assignments = self._assignments(variables, var_domains)
+        total, instance_stream = self._instances(formula, assignments)
+
+        if total <= self.config.exhaustive_limit:
+            return self._run(formula, instance_stream, total, "exhaustive-bounded")
+        sampled = self._sampled_instances(formula, variables, var_domains)
+        return self._run(formula, sampled, self.config.random_trials, "randomized")
+
+    def require(
+        self,
+        formula: Formula,
+        var_domains: Optional[Mapping[str, DomainLike]] = None,
+    ) -> Verdict:
+        """Like :meth:`holds`, raising :class:`DischargeError` on failure."""
+        verdict = self.holds(formula, var_domains)
+        if not verdict.ok:
+            raise DischargeError(
+                f"oracle refuted {formula!r}"
+                + (f": {verdict.counterexample}" if verdict.counterexample else "")
+            )
+        return verdict
+
+    # -- instance generation ----------------------------------------------
+
+    def _domain_values(
+        self, domain: DomainLike, env: Optional[Environment] = None
+    ) -> Tuple[object, ...]:
+        if isinstance(domain, SetExpr):
+            domain = domain.evaluate(env if env is not None else self.env)
+        return domain.sample(len(self.config.value_pool) + 8)
+
+    def _ordered_variables(
+        self, variables: List[str], var_domains: Mapping[str, DomainLike]
+    ) -> List[str]:
+        """Order eigenvariables so that any whose domain mentions another
+        eigenvariable comes after it (e.g. ``k ∈ {j}`` inside the dining
+        philosophers' fork)."""
+        remaining = list(variables)
+        ordered: List[str] = []
+        while remaining:
+            progressed = False
+            for name in list(remaining):
+                domain = var_domains.get(name)
+                deps = (
+                    domain.free_variables() & set(remaining)
+                    if isinstance(domain, SetExpr)
+                    else set()
+                )
+                if not deps - {name}:
+                    ordered.append(name)
+                    remaining.remove(name)
+                    progressed = True
+            if not progressed:
+                raise DischargeError(
+                    f"cyclic eigenvariable domains among {remaining!r}"
+                )
+        return ordered
+
+    def _assignments(
+        self, variables: List[str], var_domains: Mapping[str, DomainLike]
+    ) -> List[Dict[str, object]]:
+        ordered = self._ordered_variables(variables, var_domains)
+        partials: List[Dict[str, object]] = [{}]
+        for name in ordered:
+            extended: List[Dict[str, object]] = []
+            for partial in partials:
+                if name in var_domains:
+                    env = self.env.bind_all(partial)
+                    values = self._domain_values(var_domains[name], env)
+                else:
+                    values = self.config.value_pool
+                for value in values:
+                    extended.append({**partial, name: value})
+            partials = extended
+        return partials
+
+    def _histories(self, channels) -> Iterator[ChannelHistory]:
+        pool = self.config.value_pool
+        per_channel: List[List[Tuple[object, ...]]] = []
+        all_seqs = [
+            seq
+            for length in range(self.config.max_history_length + 1)
+            for seq in itertools.product(pool, repeat=length)
+        ]
+        for _ in channels:
+            per_channel.append(all_seqs)
+        for combo in itertools.product(*per_channel):
+            yield ChannelHistory(dict(zip(channels, combo)))
+
+    def _history_count(self, n_channels: int) -> int:
+        pool = len(self.config.value_pool)
+        per = sum(pool ** l for l in range(self.config.max_history_length + 1))
+        return per ** n_channels
+
+    def _instances(
+        self, formula: Formula, assignments: List[Dict[str, object]]
+    ) -> Tuple[int, Iterator[Tuple[Environment, ChannelHistory]]]:
+        channel_refs = sorted(channels_mentioned(formula), key=repr)
+
+        def generate() -> Iterator[Tuple[Environment, ChannelHistory]]:
+            for assignment in assignments:
+                env = self.env.bind_all(assignment)
+                concrete = _evaluable_channels(channel_refs, env)
+                for history in self._histories(concrete):
+                    yield env, history
+
+        # Upper bound on instance count (subscripts may collapse channels).
+        n_chans = len({ref.name for ref in channel_refs}) + sum(
+            1 for ref in channel_refs if ref.index is not None
+        )
+        total = max(len(assignments), 1) * self._history_count(
+            min(n_chans, len(channel_refs))
+        )
+        return total, generate()
+
+    def _sampled_instances(
+        self,
+        formula: Formula,
+        variables: List[str],
+        var_domains: Mapping[str, DomainLike],
+    ) -> Iterator[Tuple[Environment, ChannelHistory]]:
+        rng = random.Random(self.config.seed)
+        channel_refs = sorted(channels_mentioned(formula), key=repr)
+        pool = self.config.value_pool
+        ordered = self._ordered_variables(list(variables), var_domains)
+        for _ in range(self.config.random_trials):
+            assignment: Dict[str, object] = {}
+            for name in ordered:
+                if name in var_domains:
+                    env = self.env.bind_all(assignment)
+                    values = self._domain_values(var_domains[name], env)
+                else:
+                    values = pool
+                if not values:
+                    break
+                assignment[name] = rng.choice(values)
+            if len(assignment) < len(ordered):
+                continue
+            env = self.env.bind_all(assignment)
+            concrete = _evaluable_channels(channel_refs, env)
+            history = {}
+            for chan in concrete:
+                length = rng.randrange(self.config.max_history_length + 1)
+                history[chan] = tuple(rng.choice(pool) for _ in range(length))
+            yield env, ChannelHistory(history)
+
+    # -- evaluation loop -----------------------------------------------------
+
+    def _run(
+        self,
+        formula: Formula,
+        instances: Iterator[Tuple[Environment, ChannelHistory]],
+        budget: int,
+        method: str,
+    ) -> Verdict:
+        evaluated = 0
+        errors = 0
+        for env, history in instances:
+            try:
+                ok = evaluate_formula(formula, env, history, self.config.eval_config)
+            except EvaluationError:
+                errors += 1
+                continue
+            evaluated += 1
+            if not ok:
+                detail = self._describe(env, history)
+                return Verdict(False, method, evaluated, detail)
+        if evaluated == 0:
+            raise DischargeError(
+                f"oracle could not evaluate {formula!r} on any instance "
+                f"({errors} evaluation errors) — check host-function bindings"
+            )
+        return Verdict(True, method, evaluated, None)
+
+    def _describe(self, env: Environment, history: ChannelHistory) -> str:
+        parts = []
+        for chan, seq in history.items():
+            parts.append(f"{chan!r}={seq!r}")
+        return ", ".join(parts) or "empty histories"

@@ -1,0 +1,74 @@
+"""Proofs as data: immutable trees of rule applications.
+
+A :class:`ProofNode` records the rule name, the concluded judgment, the
+sub-proofs it rests on, and rule-specific parameters (e.g. which variable
+the input rule generalised).  Nothing about a node is trusted until
+:class:`repro.proof.checker.ProofChecker` has re-validated it — building
+proofs through :mod:`repro.proof.rules` checks eagerly, but a proof
+deserialised or constructed by hand goes through the same validation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Tuple
+
+from repro.proof.judgments import Judgment
+
+
+class ProofNode:
+    """One rule application (or leaf) in a proof tree."""
+
+    __slots__ = ("rule", "conclusion", "premises", "params")
+
+    def __init__(
+        self,
+        rule: str,
+        conclusion: Judgment,
+        premises: Tuple["ProofNode", ...] = (),
+        params: Mapping[str, Any] = (),
+    ) -> None:
+        self.rule = rule
+        self.conclusion = conclusion
+        self.premises = tuple(premises)
+        self.params = dict(params) if params else {}
+
+    # -- inspection ------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return 1 + sum(p.size() for p in self.premises)
+
+    def depth(self) -> int:
+        """Height of the tree."""
+        return 1 + max((p.depth() for p in self.premises), default=0)
+
+    def walk(self) -> Iterator["ProofNode"]:
+        """All nodes, root first."""
+        yield self
+        for premise in self.premises:
+            yield from premise.walk()
+
+    def rules_used(self) -> Mapping[str, int]:
+        """Histogram of rule names across the tree."""
+        counts: dict = {}
+        for node in self.walk():
+            counts[node.rule] = counts.get(node.rule, 0) + 1
+        return counts
+
+    def oracle_obligations(self) -> Tuple["ProofNode", ...]:
+        """The semantically discharged leaves — the proof's trust boundary."""
+        return tuple(node for node in self.walk() if node.rule == "oracle")
+
+    def pretty(self, indent: int = 0) -> str:
+        """An indented rendering of the whole derivation."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.conclusion!r}   [{self.rule}]"]
+        for premise in self.premises:
+            lines.append(premise.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProofNode({self.rule!r}, {self.conclusion!r}, "
+            f"{len(self.premises)} premises)"
+        )

@@ -1,0 +1,630 @@
+"""The inference rules of §2.1, as proof-node builders and validators.
+
+Each paper rule has a *builder* (constructs a :class:`ProofNode`) and a
+*validator* (re-checks the application; used by
+:class:`~repro.proof.checker.ProofChecker`).  Builders do not validate —
+the checker is the single source of truth — so hand-built or deserialised
+proofs get exactly the same scrutiny.
+
+Rule inventory (numbers from the paper):
+
+====  ==================  =========================================
+ #    name                conclusion
+====  ==================  =========================================
+ 1    triviality          ``P sat T``             from ⊨ T
+ 2    consequence         ``P sat S``             from P sat R, ⊨ R ⇒ S
+ 3    conjunction         ``P sat R & S``         from P sat R, P sat S
+ 4    emptiness           ``STOP sat R``          from ⊨ R_<>
+ 5    output              ``(c!e → P) sat R``     from ⊨ R_<>, P sat R^c_{e⌢c}
+ 6    input               ``(c?x:M → P) sat R``   from ⊨ R_<>, ∀v∈M. P^x_v sat R^c_{v⌢c}
+ 7    alternative         ``(P | Q) sat R``       from P sat R, Q sat R
+ 8    parallelism         ``(P ‖ Q) sat R & S``   from P sat R, Q sat S
+ 9    chan                ``(chan L; P) sat R``   from P sat R, R mentions no L
+ 10   recursion           ``p sat R``             from hypothetical body proofs
+====  ==================  =========================================
+
+plus the structural rules the paper uses silently: ``assumption``,
+``oracle`` (semantic discharge of a pure premise), ``generalize``
+(∀-introduction over a sat judgment, with the eigenvariable condition),
+and ``forall-sat-elim`` (∀-elimination, with a membership side condition).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.assertions.ast import ForAll, Formula, Implies, LogicalAnd, VarTerm
+from repro.assertions.substitution import (
+    blank_channels,
+    channels_mentioned,
+    expr_to_term,
+    formula_free_variables,
+    prefix_channel,
+    substitute_variable,
+    term_to_expr,
+)
+from repro.errors import RuleApplicationError, SideConditionError
+from repro.process.analysis import channel_names
+from repro.process.ast import (
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Process,
+    Stop,
+)
+from repro.process.definitions import ArrayDef, ProcessDef
+from repro.proof.judgments import ForAllSat, Judgment, Pure, Sat
+from repro.proof.proof import ProofNode
+from repro.values.expressions import SetExpr, Var
+
+#: A recursion-rule invariant: a formula for a plain process, or
+#: ``(parameter, formula)`` for a process array.
+Invariant = Union[Formula, Tuple[str, Formula]]
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+def assume(judgment: Judgment) -> ProofNode:
+    """Use a judgment from the assumption context Γ."""
+    return ProofNode("assumption", judgment)
+
+
+def oracle_leaf(formula: Formula) -> ProofNode:
+    """A pure premise to be discharged semantically by the oracle."""
+    return ProofNode("oracle", Pure(formula))
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def triviality(process: Process, pure_premise: ProofNode) -> ProofNode:
+    """Rule 1: from ⊨ T conclude ``P sat T``."""
+    formula = _pure_formula(pure_premise)
+    return ProofNode("triviality", Sat(process, formula), (pure_premise,))
+
+
+def consequence(sat_premise: ProofNode, implication: ProofNode) -> ProofNode:
+    """Rule 2: from ``P sat R`` and ⊨ ``R ⇒ S`` conclude ``P sat S``."""
+    sat = _sat_conclusion(sat_premise)
+    impl = _pure_formula(implication)
+    if not isinstance(impl, Implies):
+        raise RuleApplicationError("consequence needs an implication premise")
+    return ProofNode(
+        "consequence", Sat(sat.process, impl.consequent), (sat_premise, implication)
+    )
+
+
+def conjunction(left: ProofNode, right: ProofNode) -> ProofNode:
+    """Rule 3: from ``P sat R`` and ``P sat S`` conclude ``P sat R & S``."""
+    l, r = _sat_conclusion(left), _sat_conclusion(right)
+    return ProofNode(
+        "conjunction",
+        Sat(l.process, LogicalAnd(l.formula, r.formula)),
+        (left, right),
+    )
+
+
+def emptiness(formula: Formula, pure_premise: ProofNode) -> ProofNode:
+    """Rule 4: from ⊨ R_<> conclude ``STOP sat R``."""
+    return ProofNode("emptiness", Sat(Stop(), formula), (pure_premise,))
+
+
+def output_rule(
+    process: Output, formula: Formula, empty_premise: ProofNode, body_premise: ProofNode
+) -> ProofNode:
+    """Rule 5: ``(c!e → P) sat R`` from ⊨ R_<> and ``P sat R^c_{e⌢c}``."""
+    return ProofNode(
+        "output", Sat(process, formula), (empty_premise, body_premise)
+    )
+
+
+def input_rule(
+    process: Input, formula: Formula, empty_premise: ProofNode, forall_premise: ProofNode
+) -> ProofNode:
+    """Rule 6: ``(c?x:M → P) sat R`` from ⊨ R_<> and
+    ``∀v∈M. P^x_v sat R^c_{v⌢c}`` (v fresh)."""
+    return ProofNode("input", Sat(process, formula), (empty_premise, forall_premise))
+
+
+def alternative(left: ProofNode, right: ProofNode) -> ProofNode:
+    """Rule 7: ``(P | Q) sat R`` from ``P sat R`` and ``Q sat R``."""
+    l, r = _sat_conclusion(left), _sat_conclusion(right)
+    return ProofNode(
+        "alternative", Sat(Choice(l.process, r.process), l.formula), (left, right)
+    )
+
+
+def parallelism(left: ProofNode, right: ProofNode, process: Optional[Parallel] = None) -> ProofNode:
+    """Rule 8: ``(P ‖ Q) sat R & S`` from ``P sat R`` and ``Q sat S``."""
+    l, r = _sat_conclusion(left), _sat_conclusion(right)
+    if process is None:
+        process = Parallel(l.process, r.process)
+    return ProofNode(
+        "parallelism",
+        Sat(process, LogicalAnd(l.formula, r.formula)),
+        (left, right),
+    )
+
+
+def chan_rule(premise: ProofNode, process: Chan) -> ProofNode:
+    """Rule 9: ``(chan L; P) sat R`` from ``P sat R``, R not mentioning L."""
+    sat = _sat_conclusion(premise)
+    return ProofNode("chan", Sat(process, sat.formula), (premise,))
+
+
+def generalize(variable: str, domain: SetExpr, premise: ProofNode) -> ProofNode:
+    """∀-introduction over a sat judgment: from ``P sat R`` (with the
+    eigenvariable free) conclude ``∀variable∈domain. P sat R``."""
+    inner = premise.conclusion
+    if not isinstance(inner, (Sat, ForAllSat)):
+        raise RuleApplicationError("generalize applies to sat judgments")
+    return ProofNode(
+        "generalize",
+        ForAllSat(variable, domain, inner),
+        (premise,),
+        params={"variable": variable},
+    )
+
+
+def forall_sat_elim(premise: ProofNode, term) -> ProofNode:
+    """∀-elimination: from ``∀v∈M. P sat R`` conclude ``P^v_t sat R^v_t``.
+
+    The membership side condition ``t ∈ M`` is checked by the validator:
+    ``t`` must be an eigenvariable declared over (a subset of) ``M`` or a
+    constant provably in ``M``.
+    """
+    forall = premise.conclusion
+    if not isinstance(forall, ForAllSat) or not isinstance(forall.inner, Sat):
+        raise RuleApplicationError("forall_sat_elim needs a ∀-sat premise")
+    inner = forall.inner
+    process = inner.process.substitute(forall.variable, term_to_expr(term))
+    formula = substitute_variable(inner.formula, forall.variable, term)
+    return ProofNode(
+        "forall-sat-elim",
+        Sat(process, formula),
+        (premise,),
+        params={"term": term},
+    )
+
+
+def recursion(
+    definitions,
+    invariants: Mapping[str, Invariant],
+    empty_premises: Mapping[str, ProofNode],
+    body_premises: Mapping[str, ProofNode],
+    goal_name: str,
+) -> ProofNode:
+    """Rule 10 (with the array and mutual-recursion extensions).
+
+    ``invariants`` maps each equation name of the (mutually recursive)
+    group to its invariant; ``body_premises[name]`` proves the equation's
+    body satisfies its invariant *under the hypothetical assumptions* that
+    every name already does.  The conclusion is the invariant judgment for
+    ``goal_name``.
+    """
+    names = tuple(sorted(invariants))
+    if goal_name not in invariants:
+        raise RuleApplicationError(f"goal {goal_name!r} not among the equations")
+    premises = []
+    for name in names:
+        premises.append(empty_premises[name])
+        premises.append(body_premises[name])
+    conclusion = recursion_goal_with_defs(goal_name, invariants[goal_name], definitions)
+    return ProofNode(
+        "recursion",
+        conclusion,
+        tuple(premises),
+        params={"invariants": dict(invariants), "names": names},
+    )
+
+
+def recursion_goal_with_defs(name: str, invariant: Invariant, definitions) -> Judgment:
+    """The judgment the recursion rule concludes (and assumes) for a name:
+    ``p sat R`` for a plain equation, ``∀x∈M. q[x] sat S`` for an array."""
+    if isinstance(invariant, tuple):
+        param, formula = invariant
+        _raise_if_not_formula(formula)
+        definition = definitions.lookup_array(name)
+        return ForAllSat(
+            param, definition.domain, Sat(ArrayRef(name, Var(param)), formula)
+        )
+    _raise_if_not_formula(invariant)
+    return Sat(Name(name), invariant)
+
+
+def _raise_if_not_formula(formula) -> None:
+    if not isinstance(formula, Formula):
+        raise RuleApplicationError(f"invariant must be a Formula, got {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Validators — one per rule, invoked by the checker.
+#
+# Each validator receives the node and a Context (see checker.py) and must
+# (a) verify the node's conclusion follows from its premises' conclusions,
+# (b) verify the rule's side conditions, and (c) recurse into premises via
+# ctx.check (possibly with extended assumptions/eigenvariables).
+# ---------------------------------------------------------------------------
+
+
+def _pure_formula(node: ProofNode) -> Formula:
+    conclusion = node.conclusion
+    if not isinstance(conclusion, Pure):
+        raise RuleApplicationError(f"expected a pure premise, got {conclusion!r}")
+    return conclusion.formula
+
+
+def _sat_conclusion(node: ProofNode) -> Sat:
+    conclusion = node.conclusion
+    if not isinstance(conclusion, Sat):
+        raise RuleApplicationError(f"expected a sat premise, got {conclusion!r}")
+    return conclusion
+
+
+def judgment_free_variables(judgment: Judgment):
+    """Free value variables of a judgment (for eigenvariable conditions)."""
+    if isinstance(judgment, Pure):
+        return formula_free_variables(judgment.formula)
+    if isinstance(judgment, Sat):
+        return judgment.process.free_variables() | formula_free_variables(
+            judgment.formula
+        )
+    assert isinstance(judgment, ForAllSat)
+    return (
+        judgment_free_variables(judgment.inner) - {judgment.variable}
+    ) | judgment.domain.free_variables()
+
+
+def _validate_triviality(node: ProofNode, ctx) -> None:
+    (premise,) = _expect_premises(node, 1)
+    formula = _pure_formula(premise)
+    conclusion = _expect_sat(node)
+    if conclusion.formula != formula:
+        raise RuleApplicationError("triviality: conclusion formula ≠ premise")
+    if premise.rule == "assumption" and channels_mentioned(formula):
+        raise SideConditionError(
+            "triviality: an assumed (not oracle-validated) premise must not "
+            "mention channel names"
+        )
+    ctx.check(premise)
+
+
+def _validate_consequence(node: ProofNode, ctx) -> None:
+    sat_premise, implication = _expect_premises(node, 2)
+    sat = _sat_conclusion(sat_premise)
+    impl = _pure_formula(implication)
+    conclusion = _expect_sat(node)
+    if not isinstance(impl, Implies):
+        raise RuleApplicationError("consequence: second premise must be R ⇒ S")
+    if impl.antecedent != sat.formula:
+        raise RuleApplicationError("consequence: implication antecedent ≠ R")
+    if conclusion.process != sat.process or conclusion.formula != impl.consequent:
+        raise RuleApplicationError("consequence: conclusion mismatch")
+    ctx.check(sat_premise)
+    ctx.check(implication)
+
+
+def _validate_conjunction(node: ProofNode, ctx) -> None:
+    left, right = _expect_premises(node, 2)
+    l, r = _sat_conclusion(left), _sat_conclusion(right)
+    conclusion = _expect_sat(node)
+    if l.process != r.process or conclusion.process != l.process:
+        raise RuleApplicationError("conjunction: premises about different processes")
+    if conclusion.formula != LogicalAnd(l.formula, r.formula):
+        raise RuleApplicationError("conjunction: conclusion is not R & S")
+    ctx.check(left)
+    ctx.check(right)
+
+
+def _validate_emptiness(node: ProofNode, ctx) -> None:
+    (premise,) = _expect_premises(node, 1)
+    conclusion = _expect_sat(node)
+    if not isinstance(conclusion.process, Stop):
+        raise RuleApplicationError("emptiness concludes about STOP only")
+    expected = blank_channels(conclusion.formula)
+    if _pure_formula(premise) != expected:
+        raise RuleApplicationError(
+            f"emptiness: premise must be R_<> = {expected!r}"
+        )
+    ctx.check(premise)
+
+
+def _validate_output(node: ProofNode, ctx) -> None:
+    empty_premise, body_premise = _expect_premises(node, 2)
+    conclusion = _expect_sat(node)
+    process = conclusion.process
+    if not isinstance(process, Output):
+        raise RuleApplicationError("output rule concludes about c!e → P")
+    formula = conclusion.formula
+    if _pure_formula(empty_premise) != blank_channels(formula):
+        raise RuleApplicationError("output: first premise must be R_<>")
+    body = _sat_conclusion(body_premise)
+    if body.process != process.continuation:
+        raise RuleApplicationError("output: body premise about the wrong process")
+    expected = prefix_channel(formula, process.channel, expr_to_term(process.message))
+    if body.formula != expected:
+        raise RuleApplicationError(
+            f"output: body premise must be R^c_(e⌢c) = {expected!r}, "
+            f"got {body.formula!r}"
+        )
+    ctx.check(empty_premise)
+    ctx.check(body_premise)
+
+
+def _validate_input(node: ProofNode, ctx) -> None:
+    empty_premise, forall_premise = _expect_premises(node, 2)
+    conclusion = _expect_sat(node)
+    process = conclusion.process
+    if not isinstance(process, Input):
+        raise RuleApplicationError("input rule concludes about c?x:M → P")
+    formula = conclusion.formula
+    if _pure_formula(empty_premise) != blank_channels(formula):
+        raise RuleApplicationError("input: first premise must be R_<>")
+    forall = forall_premise.conclusion
+    if not isinstance(forall, ForAllSat) or not isinstance(forall.inner, Sat):
+        raise RuleApplicationError("input: second premise must be ∀v∈M. …")
+    v = forall.variable
+    if forall.domain != process.domain:
+        raise RuleApplicationError("input: quantifier domain ≠ input set M")
+    # Freshness of v (§2.1 rule 6: v not free in P, R, or c).
+    if v in process.continuation.free_variables() and v != process.variable:
+        raise SideConditionError(f"input: {v!r} is free in the continuation")
+    if v in formula_free_variables(formula):
+        raise SideConditionError(f"input: {v!r} is free in R")
+    if v in process.channel.free_variables():
+        raise SideConditionError(f"input: {v!r} is free in the channel")
+    expected_process = process.continuation.substitute(process.variable, Var(v))
+    expected_formula = prefix_channel(formula, process.channel, VarTerm(v))
+    if forall.inner.process != expected_process:
+        raise RuleApplicationError("input: premise process must be P^x_v")
+    if forall.inner.formula != expected_formula:
+        raise RuleApplicationError(
+            f"input: premise formula must be R^c_(v⌢c) = {expected_formula!r}"
+        )
+    ctx.check(empty_premise)
+    ctx.check(forall_premise)
+
+
+def _validate_alternative(node: ProofNode, ctx) -> None:
+    left, right = _expect_premises(node, 2)
+    l, r = _sat_conclusion(left), _sat_conclusion(right)
+    conclusion = _expect_sat(node)
+    if l.formula != r.formula or conclusion.formula != l.formula:
+        raise RuleApplicationError("alternative: both premises must share R")
+    if conclusion.process != Choice(l.process, r.process):
+        raise RuleApplicationError("alternative: conclusion is not P | Q")
+    ctx.check(left)
+    ctx.check(right)
+
+
+def _validate_parallelism(node: ProofNode, ctx) -> None:
+    left, right = _expect_premises(node, 2)
+    l, r = _sat_conclusion(left), _sat_conclusion(right)
+    conclusion = _expect_sat(node)
+    process = conclusion.process
+    if not isinstance(process, Parallel):
+        raise RuleApplicationError("parallelism concludes about P ‖ Q")
+    if process.left != l.process or process.right != r.process:
+        raise RuleApplicationError("parallelism: component mismatch")
+    if conclusion.formula != LogicalAnd(l.formula, r.formula):
+        raise RuleApplicationError("parallelism: conclusion is not R & S")
+    # Side condition (§2.1 rule 8): X ⊇ channels(R), Y ⊇ channels(S).  With
+    # inferred alphabets this means: any channel R mentions that the partner
+    # also uses must belong to P (and symmetrically), so partner-only events
+    # cannot disturb R.
+    if process.left_channels is not None:
+        x_names = process.left_channels.names() | channel_names(
+            process.left, ctx.definitions
+        )
+    else:
+        x_names = channel_names(process.left, ctx.definitions)
+    if process.right_channels is not None:
+        y_names = process.right_channels.names() | channel_names(
+            process.right, ctx.definitions
+        )
+    else:
+        y_names = channel_names(process.right, ctx.definitions)
+    r_names = {chan.name for chan in channels_mentioned(l.formula)}
+    s_names = {chan.name for chan in channels_mentioned(r.formula)}
+    bad_r = (r_names & y_names) - x_names
+    if bad_r:
+        raise SideConditionError(
+            f"parallelism: R mentions channels {sorted(bad_r)} controlled "
+            f"only by the right component"
+        )
+    bad_s = (s_names & x_names) - y_names
+    if bad_s:
+        raise SideConditionError(
+            f"parallelism: S mentions channels {sorted(bad_s)} controlled "
+            f"only by the left component"
+        )
+    ctx.check(left)
+    ctx.check(right)
+
+
+def _may_conceal(entry, ref, env) -> bool:
+    """Could the channel list entry ``entry`` conceal the channel that the
+    assertion's reference ``ref`` denotes?  Conservative: unevaluable
+    subscripts count as a conflict."""
+    from repro.errors import DomainError, EvaluationError
+    from repro.process.channels import ChannelArraySpec, ChannelExpr
+
+    if entry.name != ref.name:
+        return False
+    if isinstance(entry, ChannelExpr):
+        if entry.index is None or ref.index is None:
+            # a plain channel `c` and a subscripted `c[e]` are distinct
+            return (entry.index is None) == (ref.index is None)
+        try:
+            return entry.index.evaluate(env) == ref.index.evaluate(env)
+        except EvaluationError:
+            return True
+    assert isinstance(entry, ChannelArraySpec)
+    if ref.index is None:
+        return False
+    try:
+        domain = entry.subscripts.evaluate(env)
+        return ref.index.evaluate(env) in domain
+    except (EvaluationError, DomainError):
+        return True
+
+
+def _validate_chan(node: ProofNode, ctx) -> None:
+    (premise,) = _expect_premises(node, 1)
+    sat = _sat_conclusion(premise)
+    conclusion = _expect_sat(node)
+    process = conclusion.process
+    if not isinstance(process, Chan):
+        raise RuleApplicationError("chan rule concludes about chan L; P")
+    if process.body != sat.process or conclusion.formula != sat.formula:
+        raise RuleApplicationError("chan: premise mismatch")
+    # Side condition (§2.1 rule 9): R mentions no channel of L.  Channels
+    # are compared at subscript granularity — `link[0]` survives the
+    # concealment of `link[1..n-1]`.
+    for ref in channels_mentioned(conclusion.formula):
+        for entry in process.channels.entries:
+            if _may_conceal(entry, ref, ctx.env):
+                raise SideConditionError(
+                    f"chan: R mentions concealed channel {ref!r}"
+                )
+    ctx.check(premise)
+
+
+def _validate_generalize(node: ProofNode, ctx) -> None:
+    (premise,) = _expect_premises(node, 1)
+    conclusion = node.conclusion
+    if not isinstance(conclusion, ForAllSat):
+        raise RuleApplicationError("generalize concludes a ∀-sat judgment")
+    if premise.conclusion != conclusion.inner:
+        raise RuleApplicationError("generalize: inner judgment mismatch")
+    v = conclusion.variable
+    # Eigenvariable condition: v may not be free in any assumption in Γ.
+    for assumption in ctx.assumptions:
+        if v in judgment_free_variables(assumption):
+            raise SideConditionError(
+                f"generalize: eigenvariable {v!r} is free in assumption "
+                f"{assumption!r}"
+            )
+    ctx.check(premise, extra_eigenvars={v: conclusion.domain})
+
+
+def _validate_forall_sat_elim(node: ProofNode, ctx) -> None:
+    (premise,) = _expect_premises(node, 1)
+    forall = premise.conclusion
+    if not isinstance(forall, ForAllSat) or not isinstance(forall.inner, Sat):
+        raise RuleApplicationError("forall-sat-elim needs a ∀-sat premise")
+    term = node.params.get("term")
+    if term is None:
+        raise RuleApplicationError("forall-sat-elim: missing instantiation term")
+    ctx.require_membership(term, forall.domain)
+    expected_process = forall.inner.process.substitute(
+        forall.variable, term_to_expr(term)
+    )
+    expected_formula = substitute_variable(forall.inner.formula, forall.variable, term)
+    conclusion = _expect_sat(node)
+    if conclusion.process != expected_process or conclusion.formula != expected_formula:
+        raise RuleApplicationError("forall-sat-elim: conclusion mismatch")
+    ctx.check(premise)
+
+
+def _validate_recursion(node: ProofNode, ctx) -> None:
+    invariants: Mapping[str, Invariant] = node.params.get("invariants", {})
+    names = tuple(node.params.get("names", ()))
+    if not invariants or tuple(sorted(invariants)) != names:
+        raise RuleApplicationError("recursion: malformed invariant table")
+    if len(node.premises) != 2 * len(names):
+        raise RuleApplicationError("recursion: need an empty and a body premise per name")
+
+    # The hypothetical assumptions available to every body proof.
+    hypotheses = tuple(
+        recursion_goal_with_defs(name, invariants[name], ctx.definitions)
+        for name in names
+    )
+
+    goal_matches = False
+    for index, name in enumerate(names):
+        empty_premise = node.premises[2 * index]
+        body_premise = node.premises[2 * index + 1]
+        invariant = invariants[name]
+        definition = ctx.definitions.lookup(name)
+        if isinstance(invariant, tuple):
+            param, formula = invariant
+            if not isinstance(definition, ArrayDef):
+                raise RuleApplicationError(f"recursion: {name!r} is not an array")
+            if param != definition.parameter:
+                # Allow a differently named parameter by rewriting the body
+                # expectation; simplest is to require agreement.
+                raise RuleApplicationError(
+                    f"recursion: invariant parameter {param!r} ≠ definition "
+                    f"parameter {definition.parameter!r}"
+                )
+            expected_empty = ForAll(param, definition.domain, blank_channels(formula))
+            expected_body = ForAllSat(
+                param, definition.domain, Sat(definition.body, formula)
+            )
+        else:
+            if not isinstance(definition, ProcessDef):
+                raise RuleApplicationError(
+                    f"recursion: {name!r} is an array; give (param, formula)"
+                )
+            expected_empty = blank_channels(invariant)
+            expected_body = Sat(definition.body, invariant)
+        if _pure_formula(empty_premise) != expected_empty:
+            raise RuleApplicationError(
+                f"recursion: empty premise for {name!r} must be {expected_empty!r}"
+            )
+        if body_premise.conclusion != expected_body:
+            raise RuleApplicationError(
+                f"recursion: body premise for {name!r} must conclude "
+                f"{expected_body!r}, got {body_premise.conclusion!r}"
+            )
+        ctx.check(empty_premise)
+        ctx.check(body_premise, extra_assumptions=hypotheses)
+        if node.conclusion == recursion_goal_with_defs(
+            name, invariant, ctx.definitions
+        ):
+            goal_matches = True
+    if not goal_matches:
+        raise RuleApplicationError(
+            "recursion: conclusion is not the invariant judgment of any equation"
+        )
+
+
+def _expect_premises(node: ProofNode, count: int) -> Tuple[ProofNode, ...]:
+    if len(node.premises) != count:
+        raise RuleApplicationError(
+            f"{node.rule}: expected {count} premises, found {len(node.premises)}"
+        )
+    return node.premises
+
+
+def _expect_sat(node: ProofNode) -> Sat:
+    if not isinstance(node.conclusion, Sat):
+        raise RuleApplicationError(f"{node.rule}: conclusion must be a sat judgment")
+    return node.conclusion
+
+
+#: Validator dispatch table used by the checker.
+VALIDATORS: Dict[str, Callable] = {
+    "triviality": _validate_triviality,
+    "consequence": _validate_consequence,
+    "conjunction": _validate_conjunction,
+    "emptiness": _validate_emptiness,
+    "output": _validate_output,
+    "input": _validate_input,
+    "alternative": _validate_alternative,
+    "parallelism": _validate_parallelism,
+    "chan": _validate_chan,
+    "generalize": _validate_generalize,
+    "forall-sat-elim": _validate_forall_sat_elim,
+    "recursion": _validate_recursion,
+}

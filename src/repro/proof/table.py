@@ -1,0 +1,72 @@
+"""Render proofs in the paper's tabular style (like Table 1).
+
+The paper displays proofs as numbered lines, each a judgment justified by
+a rule applied to earlier lines::
+
+    (1)  sender sat f(wire) <= input            (assumption)
+    (2)  ∀x∈M. q[x] sat f(wire) <= x ^ input    (assumption)
+    ...
+    (19) wire!x -> ... sat f(wire) <= x ^ input (output (18), (17))
+
+:func:`proof_table` linearises a :class:`~repro.proof.proof.ProofNode`
+tree the same way: premises first (post-order), each line numbered, each
+justification citing its premises' line numbers.  Shared leaves (the same
+assumption used twice) collapse onto a single line, matching the paper's
+habit of citing one assumption repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.proof.judgments import Judgment
+from repro.proof.proof import ProofNode
+
+
+class TableLine(NamedTuple):
+    """One numbered line of a proof table."""
+
+    number: int
+    judgment: Judgment
+    justification: str
+
+    def render(self, width: int = 0) -> str:
+        body = repr(self.judgment)
+        pad = " " * max(1, width - len(body))
+        return f"({self.number})  {body}{pad}({self.justification})"
+
+
+def proof_table(proof: ProofNode) -> List[TableLine]:
+    """The proof as numbered lines, premises before conclusions."""
+    lines: List[TableLine] = []
+    seen: Dict[Tuple[str, Judgment], int] = {}
+
+    def visit(node: ProofNode) -> int:
+        key = (node.rule, node.conclusion)
+        if not node.premises and key in seen:
+            return seen[key]  # collapse repeated leaves, as the paper does
+        premise_numbers = [visit(premise) for premise in node.premises]
+        number = len(lines) + 1
+        if node.rule == "assumption":
+            justification = "assumption"
+        elif node.rule == "oracle":
+            justification = "oracle"
+        elif premise_numbers:
+            refs = ", ".join(f"({n})" for n in premise_numbers)
+            justification = f"{node.rule} {refs}"
+        else:
+            justification = node.rule
+        lines.append(TableLine(number, node.conclusion, justification))
+        if not node.premises:
+            seen[key] = number
+        return number
+
+    visit(proof)
+    return lines
+
+
+def render_table(proof: ProofNode) -> str:
+    """The whole table as aligned text."""
+    lines = proof_table(proof)
+    width = max((len(repr(line.judgment)) for line in lines), default=0) + 4
+    return "\n".join(line.render(width) for line in lines)

@@ -1,0 +1,388 @@
+"""Backward-chaining proof search for ``sat`` judgments.
+
+Given per-process invariant annotations — exactly what the paper's proofs
+supply (``Δ1 ⊢ sender sat f(wire) ≤ input`` etc.) — :class:`SatProver`
+builds full proof trees using the §2.1 rules:
+
+* prefixes apply the output/input rules (the input rule generalising a
+  fresh eigenvariable, as in Table 1's steps (11)–(17));
+* choices split with the alternative rule;
+* defined names apply the recursion rule over the group of annotated
+  definitions they reach, assuming each name's invariant hypothetically —
+  the paper's "assume about p the very thing we are trying to prove";
+* mismatched goals are bridged by the consequence rule, with the
+  implication discharged by the oracle — the "(def f)" steps;
+* networks use the parallelism and chan rules, conjoining component
+  invariants and weakening via consequence (the §2.2(3) proof).
+
+Every generated proof is returned un-trusted; run it through
+:class:`~repro.proof.checker.ProofChecker` (``prove_checked`` does both).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple, Union
+
+from repro.assertions.ast import ForAll, Formula, Implies, LogicalAnd, VarTerm
+from repro.assertions.substitution import (
+    blank_channels,
+    expr_to_term,
+    formula_free_variables,
+    prefix_channel,
+    substitute_variable,
+)
+from repro.errors import ProofError
+from repro.process.analysis import referenced_names
+from repro.process.ast import (
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Process,
+    Stop,
+)
+from repro.process.definitions import DefinitionList, NO_DEFINITIONS
+from repro.proof.checker import CheckReport, ProofChecker
+from repro.proof.judgments import ForAllSat, Judgment, Sat
+from repro.proof.oracle import Oracle
+from repro.proof.proof import ProofNode
+from repro.proof.rules import (
+    Invariant,
+    alternative,
+    assume,
+    chan_rule,
+    consequence,
+    emptiness,
+    forall_sat_elim,
+    generalize,
+    input_rule,
+    judgment_free_variables,
+    oracle_leaf,
+    output_rule,
+    parallelism,
+    recursion,
+    recursion_goal_with_defs,
+)
+from repro.values.expressions import SetExpr, Var
+
+
+class TacticError(ProofError):
+    """Proof search failed; the message says where and why."""
+
+
+class SatProver:
+    """Builds §2.1 proofs from invariant annotations.
+
+    ``invariants`` maps process names to their specifications: a
+    :class:`Formula` for a plain process, ``(parameter, Formula)`` for a
+    process array.
+    """
+
+    _FRESH_POOL = ("v", "w", "u", "t")
+
+    def __init__(
+        self,
+        definitions: DefinitionList = NO_DEFINITIONS,
+        oracle: Optional[Oracle] = None,
+        invariants: Optional[Mapping[str, Invariant]] = None,
+    ) -> None:
+        self.definitions = definitions
+        self.oracle = oracle if oracle is not None else Oracle()
+        self.invariants: Dict[str, Invariant] = dict(invariants or {})
+
+    # -- public API -----------------------------------------------------------
+
+    def prove(
+        self,
+        process: Process,
+        formula: Formula,
+        assumptions: Tuple[Judgment, ...] = (),
+    ) -> ProofNode:
+        """A proof of ``process sat formula`` (un-trusted; check it)."""
+        return self._prove(
+            process, formula, frozenset(assumptions), eigenvars={}
+        )
+
+    def prove_name(self, name: str) -> ProofNode:
+        """A proof of the annotated invariant of a defined process name:
+        ``p sat R`` or ``∀x∈M. q[x] sat S``."""
+        invariant = self._invariant_of(name)
+        return self._recursion_proof(name, frozenset(), {})
+
+    def prove_checked(
+        self,
+        process: Process,
+        formula: Formula,
+        assumptions: Tuple[Judgment, ...] = (),
+    ) -> Tuple[ProofNode, CheckReport]:
+        """Build and validate in one call."""
+        proof = self.prove(process, formula, assumptions)
+        checker = ProofChecker(self.definitions, self.oracle)
+        report = checker.check(proof, assumptions)
+        return proof, report
+
+    # -- the search -------------------------------------------------------------
+
+    def _prove(
+        self,
+        process: Process,
+        formula: Formula,
+        assumptions: FrozenSet[Judgment],
+        eigenvars: Mapping[str, SetExpr],
+    ) -> ProofNode:
+        goal = Sat(process, formula)
+        if goal in assumptions:
+            return assume(goal)
+        if isinstance(process, Stop):
+            return emptiness(formula, self._pure(blank_channels(formula), eigenvars))
+        if isinstance(process, Output):
+            return self._prove_output(process, formula, assumptions, eigenvars)
+        if isinstance(process, Input):
+            return self._prove_input(process, formula, assumptions, eigenvars)
+        if isinstance(process, Choice):
+            left = self._prove(process.left, formula, assumptions, eigenvars)
+            right = self._prove(process.right, formula, assumptions, eigenvars)
+            return alternative(left, right)
+        if isinstance(process, Parallel):
+            return self._prove_parallel(process, formula, assumptions, eigenvars)
+        if isinstance(process, Chan):
+            inner = self._prove(process.body, formula, assumptions, eigenvars)
+            return chan_rule(inner, process)
+        if isinstance(process, Name):
+            return self._prove_named(process, formula, assumptions, eigenvars)
+        if isinstance(process, ArrayRef):
+            return self._prove_array_ref(process, formula, assumptions, eigenvars)
+        raise TacticError(f"no tactic for process {process!r}")
+
+    def _prove_output(
+        self, process: Output, formula, assumptions, eigenvars
+    ) -> ProofNode:
+        empty = self._pure(blank_channels(formula), eigenvars)
+        body_goal = prefix_channel(
+            formula, process.channel, expr_to_term(process.message)
+        )
+        body = self._prove(process.continuation, body_goal, assumptions, eigenvars)
+        return output_rule(process, formula, empty, body)
+
+    def _prove_input(
+        self, process: Input, formula, assumptions, eigenvars
+    ) -> ProofNode:
+        empty = self._pure(blank_channels(formula), eigenvars)
+        fresh = self._fresh_variable(process, formula, assumptions, eigenvars)
+        inner_process = process.continuation.substitute(process.variable, Var(fresh))
+        inner_formula = prefix_channel(formula, process.channel, VarTerm(fresh))
+        inner = self._prove(
+            inner_process,
+            inner_formula,
+            assumptions,
+            {**eigenvars, fresh: process.domain},
+        )
+        forall = generalize(fresh, process.domain, inner)
+        return input_rule(process, formula, empty, forall)
+
+    def _prove_parallel(
+        self, process: Parallel, formula, assumptions, eigenvars
+    ) -> ProofNode:
+        if isinstance(formula, LogicalAnd):
+            # First try the direct component-wise split (R for the left,
+            # S for the right); if the conjunction is not aligned with the
+            # network structure, fall through to the invariant route.
+            try:
+                left = self._prove(process.left, formula.left, assumptions, eigenvars)
+                right = self._prove(
+                    process.right, formula.right, assumptions, eigenvars
+                )
+                return parallelism(left, right, process)
+            except TacticError:
+                pass
+        # Conjoin the components' annotated invariants, then weaken.
+        left_inv = self._component_invariant(process.left, assumptions, eigenvars)
+        right_inv = self._component_invariant(process.right, assumptions, eigenvars)
+        if left_inv is None or right_inv is None:
+            raise TacticError(
+                f"parallel goal {formula!r} is not a conjunction and component "
+                f"invariants are not annotated; add them to `invariants`"
+            )
+        left = self._prove(process.left, left_inv, assumptions, eigenvars)
+        right = self._prove(process.right, right_inv, assumptions, eigenvars)
+        combined = parallelism(left, right, process)
+        implication = Implies(LogicalAnd(left_inv, right_inv), formula)
+        return consequence(combined, self._pure(implication, eigenvars))
+
+    def _component_invariant(
+        self, process: Process, assumptions, eigenvars
+    ) -> Optional[Formula]:
+        if isinstance(process, Name):
+            invariant = self.invariants.get(process.name)
+            if isinstance(invariant, Formula):
+                return invariant
+            return None
+        if isinstance(process, ArrayRef):
+            invariant = self.invariants.get(process.name)
+            if isinstance(invariant, tuple):
+                param, spec = invariant
+                return substitute_variable(spec, param, expr_to_term(process.index))
+            return None
+        if isinstance(process, Parallel):
+            left = self._component_invariant(process.left, assumptions, eigenvars)
+            right = self._component_invariant(process.right, assumptions, eigenvars)
+            if left is not None and right is not None:
+                return LogicalAnd(left, right)
+        return None
+
+    def _prove_named(
+        self, process: Name, formula, assumptions, eigenvars
+    ) -> ProofNode:
+        hypothesis = self._find_sat_assumption(process, assumptions)
+        if hypothesis is not None:
+            return self._weaken(assume(hypothesis), hypothesis.formula, formula, eigenvars)
+        invariant = self.invariants.get(process.name)
+        if invariant is None:
+            raise TacticError(
+                f"no invariant annotated for process {process.name!r} and no "
+                f"matching assumption in scope"
+            )
+        if isinstance(invariant, tuple):
+            raise TacticError(f"{process.name!r} is annotated as an array")
+        node = self._recursion_proof(process.name, assumptions, eigenvars)
+        return self._weaken(node, invariant, formula, eigenvars)
+
+    def _prove_array_ref(
+        self, process: ArrayRef, formula, assumptions, eigenvars
+    ) -> ProofNode:
+        term = expr_to_term(process.index)
+        forall_hyp = self._find_forall_assumption(process.name, assumptions)
+        if forall_hyp is not None:
+            node = forall_sat_elim(assume(forall_hyp), term)
+        else:
+            invariant = self.invariants.get(process.name)
+            if not isinstance(invariant, tuple):
+                raise TacticError(
+                    f"no array invariant annotated for {process.name!r}"
+                )
+            forall_node = self._recursion_proof(process.name, assumptions, eigenvars)
+            node = forall_sat_elim(forall_node, term)
+        derived = node.conclusion.formula  # type: ignore[union-attr]
+        return self._weaken(node, derived, formula, eigenvars)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _weaken(
+        self, node: ProofNode, have: Formula, want: Formula, eigenvars
+    ) -> ProofNode:
+        if have == want:
+            return node
+        implication = Implies(have, want)
+        return consequence(node, self._pure(implication, eigenvars))
+
+    def _pure(self, formula: Formula, eigenvars) -> ProofNode:
+        """An oracle leaf, verified eagerly so search fails at the first
+        unprovable side condition rather than at check time."""
+        verdict = self.oracle.holds(formula, eigenvars)
+        if not verdict.ok:
+            raise TacticError(
+                f"oracle refuted side condition {formula!r}"
+                + (f" ({verdict.counterexample})" if verdict.counterexample else "")
+            )
+        return oracle_leaf(formula)
+
+    def _fresh_variable(self, process: Input, formula, assumptions, eigenvars) -> str:
+        taken: Set[str] = set(eigenvars)
+        taken |= process.continuation.free_variables()
+        taken |= process.channel.free_variables()
+        taken |= formula_free_variables(formula)
+        taken.add(process.variable)
+        for judgment in assumptions:
+            taken |= judgment_free_variables(judgment)
+        for candidate in itertools.chain(
+            self._FRESH_POOL, (f"v{i}" for i in itertools.count())
+        ):
+            if candidate not in taken:
+                return candidate
+        raise AssertionError("unreachable")
+
+    def _find_sat_assumption(
+        self, process: Name, assumptions: FrozenSet[Judgment]
+    ) -> Optional[Sat]:
+        for judgment in assumptions:
+            if isinstance(judgment, Sat) and judgment.process == process:
+                return judgment
+        return None
+
+    def _find_forall_assumption(
+        self, name: str, assumptions: FrozenSet[Judgment]
+    ) -> Optional[ForAllSat]:
+        for judgment in assumptions:
+            if (
+                isinstance(judgment, ForAllSat)
+                and isinstance(judgment.inner, Sat)
+                and isinstance(judgment.inner.process, ArrayRef)
+                and judgment.inner.process.name == name
+            ):
+                return judgment
+        return None
+
+    def _invariant_of(self, name: str) -> Invariant:
+        invariant = self.invariants.get(name)
+        if invariant is None:
+            raise TacticError(f"no invariant annotated for {name!r}")
+        return invariant
+
+    def _recursion_group(self, root: str) -> Tuple[str, ...]:
+        """Annotated names reachable from ``root`` through definitions."""
+        group: Set[str] = set()
+        frontier = [root]
+        while frontier:
+            name = frontier.pop()
+            if name in group or name not in self.invariants:
+                continue
+            group.add(name)
+            if name in self.definitions:
+                for referenced in referenced_names(self.definitions.lookup(name).body):
+                    frontier.append(referenced)
+        return tuple(sorted(group))
+
+    def _recursion_proof(
+        self, root: str, assumptions: FrozenSet[Judgment], eigenvars
+    ) -> ProofNode:
+        group = self._recursion_group(root)
+        invariants = {name: self.invariants[name] for name in group}
+        hypotheses = tuple(
+            recursion_goal_with_defs(name, invariants[name], self.definitions)
+            for name in group
+        )
+        inner_assumptions = assumptions | frozenset(hypotheses)
+        empty_premises = {}
+        body_premises = {}
+        for name in group:
+            invariant = invariants[name]
+            definition = self.definitions.lookup(name)
+            if isinstance(invariant, tuple):
+                param, spec = invariant
+                empty_formula = ForAll(
+                    param, definition.domain, blank_channels(spec)  # type: ignore[attr-defined]
+                )
+                empty_premises[name] = self._pure(empty_formula, eigenvars)
+                body = self._prove(
+                    definition.body,
+                    spec,
+                    inner_assumptions,
+                    {**eigenvars, param: definition.domain},  # type: ignore[attr-defined]
+                )
+                body_premises[name] = generalize(
+                    param, definition.domain, body  # type: ignore[attr-defined]
+                )
+            else:
+                empty_premises[name] = self._pure(
+                    blank_channels(invariant), eigenvars
+                )
+                body_premises[name] = self._prove(
+                    definition.body, invariant, inner_assumptions, eigenvars
+                )
+        return recursion(
+            self.definitions, invariants, empty_premises, body_premises, root
+        )

@@ -1,0 +1,191 @@
+"""One-shot reproduction report: every paper claim, re-measured.
+
+:func:`reproduction_report` runs the experiment battery (E1–E10 of
+EXPERIMENTS.md) and renders a markdown summary of claim vs. measured —
+the programmatic counterpart of ``pytest benchmarks/``.  Exposed on the
+CLI as ``python -m repro reproduce``.
+
+``quick=True`` shrinks bounds (depth, trials) so the whole battery runs
+in seconds; the default bounds match EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, NamedTuple, Optional
+
+
+class ExperimentOutcome(NamedTuple):
+    experiment: str
+    claim: str
+    measured: str
+    ok: bool
+    seconds: float
+
+
+def _run(
+    experiment: str, claim: str, body: Callable[[], "tuple[str, bool]"]
+) -> ExperimentOutcome:
+    started = time.perf_counter()
+    try:
+        measured, ok = body()
+    except Exception as exc:  # a crash is a failed reproduction, not a crash
+        measured, ok = f"ERROR: {exc}", False
+    return ExperimentOutcome(
+        experiment, claim, measured, ok, time.perf_counter() - started
+    )
+
+
+def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
+    """Run the battery; returns one outcome per experiment row."""
+    from repro.process.ast import Choice, Name, STOP
+    from repro.process.parser import parse_process
+    from repro.semantics.config import SemanticsConfig
+    from repro.semantics.denotation import denote
+    from repro.semantics.equivalence import trace_equivalent
+    from repro.semantics.fixpoint import ApproximationChain
+    from repro.operational.explorer import explore_traces
+    from repro.operational.step import OperationalSemantics
+    from repro.soundness.harness import run_all_rule_experiments
+    from repro.systems import copier, multiplier, protocol
+
+    depth = 3 if quick else 4
+    trials = 40 if quick else 200
+    cfg = SemanticsConfig(depth=depth, sample=2)
+    outcomes: List[ExperimentOutcome] = []
+
+    def e1() -> "tuple[str, bool]":
+        defs = protocol.definitions()
+        env = protocol.environment()
+        denotational = denote(Name("protocol"), defs, env=env, config=cfg)
+        semantics = OperationalSemantics(defs, env, sample=cfg.sample)
+        operational = explore_traces(Name("protocol"), semantics, cfg.depth)
+        same = denotational == operational
+        return (
+            f"protocol: {len(denotational)} traces, denotational "
+            f"{'==' if same else '!='} operational",
+            same,
+        )
+
+    outcomes.append(
+        _run("E1", "§1.2–1.3 trace sets; denotational = operational", e1)
+    )
+
+    def e2() -> "tuple[str, bool]":
+        copier_results = copier.check_all(depth=depth + 1, sample=2)
+        mult_results = multiplier.check_all(depth=depth, sample=2)
+        all_hold = all(r.holds for r in copier_results.values()) and all(
+            r.holds for r in mult_results.values()
+        )
+        return (
+            f"copier claims {len(copier_results)}✓, multiplier claims "
+            f"{len(mult_results)}✓",
+            all_hold,
+        )
+
+    outcomes.append(_run("E2", "every §2 sat claim holds", e2))
+
+    def e3() -> "tuple[str, bool]":
+        report = protocol.check_table1_proof()
+        ok = repr(report.conclusion) == "sender sat f(wire) <= input"
+        return (
+            f"{report.nodes} nodes, {len(report.discharges)} discharges",
+            ok,
+        )
+
+    outcomes.append(_run("E3", "Table 1 checks line by line", e3))
+
+    def e4_e5() -> "tuple[str, bool]":
+        reports = protocol.prove_all()
+        ok = set(reports) == {"sender", "q", "receiver", "protocol"}
+        sizes = ", ".join(f"{k}:{v.nodes}" for k, v in sorted(reports.items()))
+        return sizes, ok
+
+    outcomes.append(
+        _run("E4+E5", "receiver exercise and protocol theorem proved", e4_e5)
+    )
+
+    def e6() -> "tuple[str, bool]":
+        from repro.traces.events import event
+        from repro.traces.operations import prefix
+        from repro.traces.prefix_closure import FiniteClosure
+
+        p = FiniteClosure.from_traces(
+            [tuple(event("a", i) for i in range(depth))]
+        )
+        lifted = prefix(event("z", 0), p)
+        return ("prefix closure preserved", lifted.is_prefix_closed())
+
+    outcomes.append(_run("E6", "§3.1 closure theorems", e6))
+
+    def e7() -> "tuple[str, bool]":
+        chain = ApproximationChain(copier.definitions(), copier.environment(), cfg)
+        steps = chain.run_until_stable()
+        ok = steps <= cfg.depth + 1 and chain.is_monotone()
+        return (f"stabilised in {steps} steps (depth {cfg.depth})", ok)
+
+    outcomes.append(_run("E7", "fixpoint chain converges monotonically", e7))
+
+    def e8() -> "tuple[str, bool]":
+        results = run_all_rule_experiments(trials=trials, seed=2026)
+        violations = sum(r.violations for r in results)
+        vacuous = [r.rule for r in results if r.premises_held == 0]
+        ok = violations == 0 and not vacuous
+        return (f"{len(results)} rules, {violations} violations", ok)
+
+    outcomes.append(_run("E8", "§3.4 validity: zero violations", e8))
+
+    def e9() -> "tuple[str, bool]":
+        p = parse_process("a!0 -> b!1 -> STOP")
+        identity = trace_equivalent(Choice(STOP, p), p, config=cfg)
+        from repro.semantics.failures import failures_equivalent
+
+        distinguished = not failures_equivalent(Choice(STOP, p), p)
+        return (
+            f"STOP|P = P in traces: {identity}; ≠ in failures: {distinguished}",
+            identity and distinguished,
+        )
+
+    outcomes.append(
+        _run("E9", "§4 limitations (and the failures fix)", e9)
+    )
+
+    def e10() -> "tuple[str, bool]":
+        from repro.traces.events import channel, trace
+        from repro.traces.histories import ch
+
+        s = trace(
+            ("input", 27), ("wire", 27), ("input", 0), ("wire", 0), ("input", 3)
+        )
+        h = ch(s)
+        ok = h(channel("input")) == (27, 0, 3) and h(channel("wire")) == (27, 0)
+        return ("ch example matches §3.3", ok)
+
+    outcomes.append(_run("E10", "the worked ch(s) example", e10))
+
+    return outcomes
+
+
+def reproduction_report(quick: bool = False) -> str:
+    """The battery's outcomes rendered as a markdown table."""
+    outcomes = run_experiments(quick=quick)
+    lines = [
+        "# Reproduction report",
+        "",
+        f"mode: {'quick' if quick else 'full'}",
+        "",
+        "| exp | claim | measured | status | time |",
+        "|-----|-------|----------|--------|------|",
+    ]
+    for outcome in outcomes:
+        status = "✓" if outcome.ok else "✗ FAILED"
+        lines.append(
+            f"| {outcome.experiment} | {outcome.claim} | {outcome.measured} "
+            f"| {status} | {outcome.seconds:.1f}s |"
+        )
+    failed = sum(1 for o in outcomes if not o.ok)
+    lines.append("")
+    lines.append(
+        f"**{len(outcomes) - failed}/{len(outcomes)} experiments reproduce.**"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Bounded model checking of ``P sat R`` (paper §2 / §3.3).
+
+``P sat R`` means: ``R`` is true before and after every communication of
+``P`` — semantically, ``(ρ + ch(s))⟦R⟧`` for *every* trace ``s ∈ ⟦P⟧``
+(§3.3).  The checker enumerates the bounded denotation (or the operational
+trace set) and evaluates ``R`` over each trace: a ✗ answer comes with a
+concrete counterexample trace; a ✓ answer certifies the invariant *up to
+the bounds* (exact proof is the job of :mod:`repro.proof`).
+"""
+
+from repro.sat.checker import SatChecker, SatResult, check_sat
+from repro.sat.counterexample import Counterexample
+
+__all__ = ["SatChecker", "SatResult", "check_sat", "Counterexample"]

@@ -1,0 +1,171 @@
+"""The bounded ``sat`` checker.
+
+Implements the §3.3 definition directly::
+
+    ρ⟦P sat R⟧  =  ∀s. s ∈ ρ⟦P⟧ ⇒ (ρ + ch(s))⟦R⟧
+
+quantifying over the bounded trace set.  Free variables shared between
+``P`` and ``R`` must hold for *all* values (§2: "P sat R must be true for
+all values it can take"); :meth:`SatChecker.check_forall` quantifies a
+variable over a sampled domain for that purpose.
+
+An evaluation error while judging ``R`` on a trace (e.g. an unguarded
+out-of-range index) counts as a violation and is reported on the
+counterexample — an assertion that cannot be evaluated on a reachable
+history is not invariantly true.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, NamedTuple, Optional, Union
+
+from repro.assertions.ast import Formula
+from repro.assertions.eval import DEFAULT_EVAL_CONFIG, EvalConfig, evaluate_formula
+from repro.assertions.parser import parse_assertion
+from repro.errors import EvaluationError
+from repro.process.analysis import channel_names
+from repro.process.ast import Process
+from repro.process.definitions import DefinitionList, NO_DEFINITIONS
+from repro.sat.counterexample import Counterexample
+from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
+from repro.semantics.denotation import Denoter
+from repro.traces.histories import ch
+from repro.traces.prefix_closure import FiniteClosure
+from repro.values.domains import Domain
+from repro.values.environment import Environment
+
+
+class SatResult(NamedTuple):
+    """Outcome of a bounded ``sat`` check."""
+
+    holds: bool
+    counterexample: Optional[Counterexample]
+    traces_checked: int
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class SatChecker:
+    """Checks ``P sat R`` over bounded trace sets.
+
+    ``engine`` selects where traces come from: ``"denotational"`` (the
+    default, :class:`~repro.semantics.denotation.Denoter`) or
+    ``"operational"`` (the state-space explorer — preferable for networks
+    whose synchronised values are computed, like the multiplier).
+    """
+
+    def __init__(
+        self,
+        definitions: DefinitionList = NO_DEFINITIONS,
+        env: Optional[Environment] = None,
+        config: SemanticsConfig = DEFAULT_CONFIG,
+        eval_config: EvalConfig = DEFAULT_EVAL_CONFIG,
+        engine: str = "denotational",
+    ) -> None:
+        if engine not in ("denotational", "operational"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.definitions = definitions
+        self.env = env if env is not None else Environment()
+        self.config = config
+        self.eval_config = eval_config
+        self.engine = engine
+
+    # -- trace supply ------------------------------------------------------
+
+    def traces_of(self, process: Process) -> FiniteClosure:
+        """The bounded trace set of ``process`` under the chosen engine."""
+        if self.engine == "denotational":
+            return Denoter(self.definitions, self.env, self.config).denote(process)
+        from repro.operational.explorer import explore_traces
+        from repro.operational.step import OperationalSemantics
+
+        semantics = OperationalSemantics(
+            self.definitions, self.env, sample=self.config.sample
+        )
+        return explore_traces(process, semantics, self.config.depth)
+
+    # -- checking -----------------------------------------------------------
+
+    def check(
+        self,
+        process: Process,
+        assertion: Union[Formula, str],
+        bindings: Optional[Mapping[str, Any]] = None,
+    ) -> SatResult:
+        """Check ``process sat assertion``; extra variable ``bindings``
+        extend the environment (e.g. a specific ``x`` for ``q[x]``)."""
+        formula = self._coerce(assertion, process)
+        env = self.env.bind_all(dict(bindings or {}))
+        closure = self.traces_of(process)
+        checked = 0
+        for trace in closure:
+            checked += 1
+            try:
+                ok = evaluate_formula(formula, env, ch(trace), self.eval_config)
+            except EvaluationError as exc:
+                return SatResult(
+                    False,
+                    Counterexample(trace, formula, bindings, error=str(exc)),
+                    checked,
+                )
+            if not ok:
+                return SatResult(
+                    False, Counterexample(trace, formula, bindings), checked
+                )
+        return SatResult(True, None, checked)
+
+    def check_forall(
+        self,
+        variable: str,
+        domain: Domain,
+        process_for: "ProcessFactory",
+        assertion: Union[Formula, str],
+        sample: Optional[int] = None,
+    ) -> SatResult:
+        """Check ``∀v ∈ M. P(v) sat R`` over a sampled domain.
+
+        ``process_for(value)`` builds the process instance (e.g.
+        ``q[value]``); the variable is also bound in the assertion's
+        environment, so ``R`` may mention it.
+        """
+        limit = sample if sample is not None else self.config.sample
+        formula_template = assertion
+        total = 0
+        for value in domain.enumerate(limit):
+            process = process_for(value)
+            formula = self._coerce(formula_template, process)
+            result = self.check(process, formula, bindings={variable: value})
+            total += result.traces_checked
+            if not result.holds:
+                return SatResult(False, result.counterexample, total)
+        return SatResult(True, None, total)
+
+    def _coerce(self, assertion: Union[Formula, str], process: Process) -> Formula:
+        if isinstance(assertion, Formula):
+            return assertion
+        channels = channel_names(process, self.definitions)
+        return parse_assertion(assertion, channels)
+
+
+ProcessFactory = Any  # Callable[[value], Process]
+
+
+def check_sat(
+    process: Process,
+    assertion: Union[Formula, str],
+    definitions: DefinitionList = NO_DEFINITIONS,
+    env: Optional[Environment] = None,
+    config: SemanticsConfig = DEFAULT_CONFIG,
+    engine: str = "denotational",
+    bindings: Optional[Mapping[str, Any]] = None,
+) -> SatResult:
+    """One-shot convenience wrapper: check ``process sat assertion``.
+
+    >>> from repro.process import parse_definitions, Name
+    >>> defs = parse_definitions("copier = input?x:NAT -> wire!x -> copier")
+    >>> bool(check_sat(Name("copier"), "wire <= input", defs))
+    True
+    """
+    checker = SatChecker(definitions, env, config, engine=engine)
+    return checker.check(process, assertion, bindings)

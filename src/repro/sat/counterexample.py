@@ -1,0 +1,52 @@
+"""Counterexamples to ``P sat R``: a trace of ``P`` falsifying ``R``."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.assertions.ast import Formula
+from repro.traces.events import Trace
+from repro.traces.histories import ChannelHistory, ch
+
+
+class Counterexample:
+    """A witness that ``P sat R`` fails: a trace of ``P`` under which ``R``
+    evaluates to false (or fails to evaluate)."""
+
+    __slots__ = ("trace", "formula", "bindings", "error")
+
+    def __init__(
+        self,
+        trace: Trace,
+        formula: Formula,
+        bindings: Optional[Mapping[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        self.trace = trace
+        self.formula = formula
+        self.bindings = dict(bindings or {})
+        self.error = error
+
+    @property
+    def history(self) -> ChannelHistory:
+        """The channel histories ``ch(s)`` of the witnessing trace."""
+        return ch(self.trace)
+
+    def describe(self) -> str:
+        """A multi-line human-readable account of the failure."""
+        lines = [f"assertion violated: {self.formula!r}"]
+        lines.append(f"  by trace: ⟨{', '.join(repr(e) for e in self.trace)}⟩")
+        for channel, seq in self.history.items():
+            lines.append(f"  ch(s)({channel!r}) = {seq!r}")
+        if self.bindings:
+            binds = ", ".join(f"{k}={v!r}" for k, v in sorted(self.bindings.items()))
+            lines.append(f"  with {binds}")
+        if self.error:
+            lines.append(f"  (evaluation failed: {self.error})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Counterexample({self.trace!r})"
+
+    def __str__(self) -> str:
+        return self.describe()

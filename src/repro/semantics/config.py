@@ -1,0 +1,70 @@
+"""Bounds for the bounded denotational semantics.
+
+The paper's model is exact but infinite; we enumerate it breadth-first up
+to configurable bounds (DESIGN.md §4).  Within the bounds the enumeration
+is *complete*: every trace of length ≤ ``depth`` whose messages are drawn
+from the sampled value sets is present.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SemanticsConfig:
+    """Enumeration bounds for :class:`~repro.semantics.denotation.Denoter`.
+
+    Parameters
+    ----------
+    depth:
+        Maximum length of enumerated traces.
+    sample:
+        Maximum number of values enumerated per input prefix (and per
+        process-array domain).  Finite sets smaller than ``sample`` are
+        enumerated completely; infinite sets like ``NAT`` contribute their
+        first ``sample`` elements in canonical order.
+    hide_depth:
+        Depth budget for the *body* of a ``chan L; P`` construct, which
+        must be explored deeper than ``depth`` because hiding deletes
+        events.  Defaults to ``2 * depth + 2``, enough for every paper
+        example (each external event costs at most one hidden event plus a
+        bounded number of acknowledgements).
+    """
+
+    __slots__ = ("depth", "sample", "hide_depth")
+
+    def __init__(
+        self, depth: int = 6, sample: int = 3, hide_depth: Optional[int] = None
+    ) -> None:
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if sample < 1:
+            raise ValueError("sample must be at least 1")
+        self.depth = depth
+        self.sample = sample
+        self.hide_depth = hide_depth if hide_depth is not None else 2 * depth + 2
+
+    def with_depth(self, depth: int) -> "SemanticsConfig":
+        """A copy with a different trace depth (hide budget rescaled unless
+        it was set explicitly — copies always rescale)."""
+        return SemanticsConfig(depth=depth, sample=self.sample)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SemanticsConfig)
+            and (self.depth, self.sample, self.hide_depth)
+            == (other.depth, other.sample, other.hide_depth)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.depth, self.sample, self.hide_depth))
+
+    def __repr__(self) -> str:
+        return (
+            f"SemanticsConfig(depth={self.depth}, sample={self.sample}, "
+            f"hide_depth={self.hide_depth})"
+        )
+
+
+#: Default bounds used when none are supplied.
+DEFAULT_CONFIG = SemanticsConfig()

@@ -1,0 +1,208 @@
+"""The semantic function ⟦·⟧ρ as bounded trace enumeration (paper §3.2).
+
+Each process expression is mapped onto the prefix closure of its possible
+traces, truncated at ``config.depth``:
+
+* ``⟦STOP⟧ = {⟨⟩}``;
+* ``⟦c!e → P⟧ = (c.ρ⟦e⟧ → ⟦P⟧)``;
+* ``⟦c?x:M → P⟧ = ∪_{v∈M} (c.v → ⟦P⟧ρ[v/x])`` — with ``M`` sampled when
+  infinite;
+* ``⟦P | Q⟧ = ⟦P⟧ ∪ ⟦Q⟧``;
+* ``⟦P ‖ Q⟧`` — synchronised merge over the inferred or annotated
+  alphabets;
+* ``⟦chan L; P⟧ = ⟦P⟧ \\ L`` — with the body explored to
+  ``config.hide_depth``;
+* names and array references unfold their defining equations; guardedness
+  (validated by :class:`~repro.process.definitions.DefinitionList`)
+  guarantees the unfolding terminates at the depth bound.  Unfolding
+  computes exactly ``∪ᵢ aᵢ`` restricted to the depth bound — the least
+  fixed point of §3.3 — which the test suite confirms against the explicit
+  :class:`~repro.semantics.fixpoint.ApproximationChain`.
+
+Definition bodies are denoted in the *base* environment (plus the array
+parameter, for arrays): equations are closed except for global bindings
+such as message types ``M`` and host functions, which makes memoisation by
+``(name, argument, depth)`` sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SemanticsError
+from repro.process.analysis import concrete_channels
+from repro.process.ast import (
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Process,
+    Stop,
+)
+from repro.process.definitions import DefinitionList, NO_DEFINITIONS
+from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
+from repro.traces.events import Event
+from repro.traces.operations import hide, parallel, prefix, union_all
+from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
+from repro.values.environment import Environment
+
+
+class Denoter:
+    """Computes bounded denotations of process expressions.
+
+    One instance holds the environment (variables, set names, host
+    functions), the definition list, the bounds, and a memo table for
+    unfolded definitions.  Optionally, ``process_bindings`` maps process
+    names directly to closures (plain processes) or to ``value → closure``
+    functions (process arrays); the fixpoint chain uses this to denote a
+    body under the *previous* approximation, exactly the paper's
+    ``ρ[aᵢ/p]⟦P⟧``.
+    """
+
+    def __init__(
+        self,
+        definitions: DefinitionList = NO_DEFINITIONS,
+        env: Optional[Environment] = None,
+        config: SemanticsConfig = DEFAULT_CONFIG,
+        process_bindings: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.definitions = definitions
+        self.env = env if env is not None else Environment()
+        self.config = config
+        self.process_bindings = process_bindings or {}
+        self._memo: Dict[Tuple[str, object, int], FiniteClosure] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def denote(self, process: Process, depth: Optional[int] = None) -> FiniteClosure:
+        """``⟦process⟧`` up to ``depth`` (default: the configured depth)."""
+        if depth is None:
+            depth = self.config.depth
+        return self._denote(process, self.env, depth)
+
+    def denote_name(self, name: str, depth: Optional[int] = None) -> FiniteClosure:
+        """``⟦p⟧`` for a defined process name."""
+        return self.denote(Name(name), depth)
+
+    # -- the semantic equations ------------------------------------------------
+
+    def _denote(self, process: Process, env: Environment, depth: int) -> FiniteClosure:
+        if isinstance(process, Stop):
+            return STOP_CLOSURE
+        if isinstance(process, Output):
+            return self._denote_output(process, env, depth)
+        if isinstance(process, Input):
+            return self._denote_input(process, env, depth)
+        if isinstance(process, Choice):
+            return self._denote(process.left, env, depth).union(
+                self._denote(process.right, env, depth)
+            )
+        if isinstance(process, Parallel):
+            return self._denote_parallel(process, env, depth)
+        if isinstance(process, Chan):
+            return self._denote_chan(process, env, depth)
+        if isinstance(process, Name):
+            return self._denote_name(process, env, depth)
+        if isinstance(process, ArrayRef):
+            return self._denote_array_ref(process, env, depth)
+        raise SemanticsError(f"unknown process node {process!r}")
+
+    def _denote_output(self, process: Output, env: Environment, depth: int) -> FiniteClosure:
+        if depth <= 0:
+            return STOP_CLOSURE
+        channel = process.channel.evaluate(env)
+        message = process.message.evaluate(env)
+        continuation = self._denote(process.continuation, env, depth - 1)
+        return prefix(Event(channel, message), continuation)
+
+    def _denote_input(self, process: Input, env: Environment, depth: int) -> FiniteClosure:
+        if depth <= 0:
+            return STOP_CLOSURE
+        channel = process.channel.evaluate(env)
+        domain = process.domain.evaluate(env)
+        branches = []
+        for value in domain.enumerate(self.config.sample):
+            continuation = self._denote(
+                process.continuation, env.bind(process.variable, value), depth - 1
+            )
+            branches.append(prefix(Event(channel, value), continuation))
+        return union_all(branches)
+
+    def _denote_parallel(self, process: Parallel, env: Environment, depth: int) -> FiniteClosure:
+        if process.left_channels is not None:
+            x = process.left_channels.evaluate(env)
+        else:
+            x = concrete_channels(process.left, self.definitions, env)
+        if process.right_channels is not None:
+            y = process.right_channels.evaluate(env)
+        else:
+            y = concrete_channels(process.right, self.definitions, env)
+        left = self._denote(process.left, env, depth)
+        right = self._denote(process.right, env, depth)
+        return parallel(left, x, right, y, depth=depth)
+
+    def _denote_chan(self, process: Chan, env: Environment, depth: int) -> FiniteClosure:
+        hidden = process.channels.evaluate(env)
+        inner_depth = max(self.config.hide_depth, depth)
+        body = self._denote(process.body, env, inner_depth)
+        return hide(body, hidden).truncate(depth)
+
+    def _denote_name(self, process: Name, env: Environment, depth: int) -> FiniteClosure:
+        if process.name in self.process_bindings:
+            bound = self.process_bindings[process.name]
+            if not isinstance(bound, FiniteClosure):
+                raise SemanticsError(
+                    f"process name {process.name!r} bound to a non-closure"
+                )
+            return bound.truncate(depth)
+        key = (process.name, None, depth)
+        if key in self._memo:
+            return self._memo[key]
+        definition = self.definitions.lookup_process(process.name)
+        result = self._denote(definition.body, self.env, depth)
+        self._memo[key] = result
+        return result
+
+    def _denote_array_ref(self, process: ArrayRef, env: Environment, depth: int) -> FiniteClosure:
+        value = process.index.evaluate(env)
+        if process.name in self.process_bindings:
+            bound = self.process_bindings[process.name]
+            if not callable(bound):
+                raise SemanticsError(
+                    f"process array {process.name!r} bound to a non-function"
+                )
+            closure = bound(value)
+            if not isinstance(closure, FiniteClosure):
+                raise SemanticsError(
+                    f"array binding for {process.name!r} returned a non-closure"
+                )
+            return closure.truncate(depth)
+        definition = self.definitions.lookup_array(process.name)
+        domain = definition.domain.evaluate(self.env)
+        if value not in domain:
+            raise SemanticsError(
+                f"subscript {value!r} of {process.name!r} outside its domain "
+                f"{domain!r}"
+            )
+        key = (process.name, value, depth)
+        if key in self._memo:
+            return self._memo[key]
+        result = self._denote(
+            definition.body, self.env.bind(definition.parameter, value), depth
+        )
+        self._memo[key] = result
+        return result
+
+
+def denote(
+    process: Process,
+    definitions: DefinitionList = NO_DEFINITIONS,
+    env: Optional[Environment] = None,
+    config: SemanticsConfig = DEFAULT_CONFIG,
+    depth: Optional[int] = None,
+) -> FiniteClosure:
+    """One-shot convenience wrapper around :class:`Denoter`."""
+    return Denoter(definitions, env, config).denote(process, depth)

@@ -1,0 +1,53 @@
+"""Trace equivalence of processes up to a depth bound.
+
+Two processes are trace-equivalent at depth ``d`` when their bounded
+denotations agree.  This is the paper's notion of process identity (a
+process *is* its trace set), and also how the §4 limitation
+``STOP | P = P`` is demonstrated (experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.process.ast import Process
+from repro.process.definitions import DefinitionList, NO_DEFINITIONS
+from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
+from repro.semantics.denotation import Denoter
+from repro.traces.events import Trace
+from repro.values.environment import Environment
+
+
+def trace_equivalent(
+    left: Process,
+    right: Process,
+    definitions: DefinitionList = NO_DEFINITIONS,
+    env: Optional[Environment] = None,
+    config: SemanticsConfig = DEFAULT_CONFIG,
+) -> bool:
+    """True when ``⟦left⟧ = ⟦right⟧`` at the configured depth."""
+    return trace_difference(left, right, definitions, env, config) is None
+
+
+def trace_difference(
+    left: Process,
+    right: Process,
+    definitions: DefinitionList = NO_DEFINITIONS,
+    env: Optional[Environment] = None,
+    config: SemanticsConfig = DEFAULT_CONFIG,
+) -> Optional[Tuple[str, Trace]]:
+    """A witness trace separating two processes, or ``None`` if equivalent.
+
+    The witness is ``("left-only", s)`` or ``("right-only", s)`` with ``s``
+    a shortest separating trace.
+    """
+    denoter = Denoter(definitions, env, config)
+    lhs = denoter.denote(left)
+    rhs = denoter.denote(right)
+    if lhs == rhs:
+        return None
+    left_only = sorted(lhs.traces - rhs.traces, key=len)
+    right_only = sorted(rhs.traces - lhs.traces, key=len)
+    if left_only and (not right_only or len(left_only[0]) <= len(right_only[0])):
+        return ("left-only", left_only[0])
+    return ("right-only", right_only[0])

@@ -1,0 +1,192 @@
+"""The §3.3 fixed-point construction, made explicit.
+
+For a definition list ``p ≜ P, q[x:M] ≜ Q, ...`` the paper defines::
+
+    a₀      = ⟦STOP⟧                      (arrays: λv:M. ⟦STOP⟧)
+    aᵢ₊₁    = ρ[aᵢ/p]⟦P⟧                  (arrays: λv:M. ρ[aᵢ/q][v/x]⟦Q⟧)
+    ⟦p⟧     = ∪ᵢ aᵢ
+
+:class:`ApproximationChain` computes the chain at a fixed trace depth.
+Because bounded closures are finite and the chain is monotone
+(``aᵢ ⊆ aᵢ₊₁`` — all operators are monotone), it stabilises; for guarded
+definitions it does so within ``depth + 1`` steps, since approximation
+``aᵢ`` already contains every trace of length < i (each unfolding is
+forced through at least one communication prefix).
+
+The chain is the reproduction target of experiment E7 and doubles as an
+independent check of :class:`~repro.semantics.denotation.Denoter`'s
+unfold-on-demand strategy: both must agree at every depth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticsError
+from repro.process.definitions import ArrayDef, DefinitionList
+from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
+from repro.semantics.denotation import Denoter
+from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
+from repro.values.environment import Environment
+
+#: One approximation level: per process name, a closure; per array name, a
+#: mapping from (sampled) subscript values to closures.
+Approximation = Dict[str, object]
+
+
+class ApproximationChain:
+    """Iterates the §3.3 approximation chain for a definition list.
+
+    Array domains are sampled with ``config.sample`` subscript values (the
+    paper's λv:M over an abstract set M); a reference to a subscript
+    outside the sample raises, which keeps the approximation honest rather
+    than silently empty.
+    """
+
+    def __init__(
+        self,
+        definitions: DefinitionList,
+        env: Optional[Environment] = None,
+        config: SemanticsConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.definitions = definitions
+        self.env = env if env is not None else Environment()
+        self.config = config
+        self._levels: List[Approximation] = [self._bottom()]
+
+    # -- chain construction ------------------------------------------------
+
+    def _bottom(self) -> Approximation:
+        """a₀: every name denotes ⟦STOP⟧."""
+        bottom: Approximation = {}
+        for definition in self.definitions:
+            if isinstance(definition, ArrayDef):
+                values = self._array_values(definition)
+                bottom[definition.name] = {v: STOP_CLOSURE for v in values}
+            else:
+                bottom[definition.name] = STOP_CLOSURE
+        return bottom
+
+    def _array_values(self, definition: ArrayDef) -> Tuple[object, ...]:
+        domain = definition.domain.evaluate(self.env)
+        return domain.sample(self.config.sample)
+
+    def _bindings_from(self, level: Approximation) -> Dict[str, object]:
+        """Wrap one approximation level as Denoter process bindings."""
+        bindings: Dict[str, object] = {}
+        for name, value in level.items():
+            if isinstance(value, dict):
+                table = value
+
+                def lookup(v, table=table, name=name):
+                    try:
+                        return table[v]
+                    except KeyError:
+                        raise SemanticsError(
+                            f"array {name!r} approximated only for subscripts "
+                            f"{sorted(map(repr, table))}; {v!r} requested — "
+                            f"raise config.sample"
+                        ) from None
+
+                bindings[name] = lookup
+            else:
+                bindings[name] = value
+        return bindings
+
+    def step(self) -> Approximation:
+        """Compute and record a_{i+1} from the latest level."""
+        previous = self._levels[-1]
+        denoter = Denoter(
+            self.definitions,
+            self.env,
+            self.config,
+            process_bindings=self._bindings_from(previous),
+        )
+        nxt: Approximation = {}
+        for definition in self.definitions:
+            if isinstance(definition, ArrayDef):
+                table = {}
+                for value in self._array_values(definition):
+                    body_env = self.env.bind(definition.parameter, value)
+                    table[value] = denoter._denote(
+                        definition.body, body_env, self.config.depth
+                    )
+                nxt[definition.name] = table
+            else:
+                nxt[definition.name] = denoter._denote(
+                    definition.body, self.env, self.config.depth
+                )
+        self._levels.append(nxt)
+        return nxt
+
+    def level(self, i: int) -> Approximation:
+        """aᵢ, computing further levels on demand."""
+        while len(self._levels) <= i:
+            self.step()
+        return self._levels[i]
+
+    def run_until_stable(self, max_steps: int = 1000) -> int:
+        """Iterate until aᵢ₊₁ = aᵢ; returns the number of steps taken.
+
+        Raises :class:`SemanticsError` if the chain fails to stabilise
+        within ``max_steps`` (impossible for guarded definitions at finite
+        depth, so hitting it signals a configuration bug).
+        """
+        for step_count in range(max_steps):
+            before = self._levels[-1]
+            after = self.step()
+            if before == after:
+                return step_count + 1
+        raise SemanticsError(
+            f"approximation chain did not stabilise in {max_steps} steps"
+        )
+
+    # -- results -----------------------------------------------------------
+
+    def fixpoint(self) -> Approximation:
+        """∪ᵢ aᵢ at the configured depth (= the stable level, by
+        monotonicity)."""
+        self.run_until_stable()
+        return self._levels[-1]
+
+    def closure_for(self, name: str, subscript: object = None) -> FiniteClosure:
+        """The fixpoint denotation of ``p`` or ``q[subscript]``."""
+        fixed = self.fixpoint()
+        entry = fixed[name]
+        if isinstance(entry, dict):
+            if subscript not in entry:
+                raise SemanticsError(
+                    f"array {name!r} has no sampled subscript {subscript!r}"
+                )
+            return entry[subscript]
+        if subscript is not None:
+            raise SemanticsError(f"{name!r} is not a process array")
+        return entry  # type: ignore[return-value]
+
+    def levels_computed(self) -> int:
+        return len(self._levels)
+
+    def is_monotone(self) -> bool:
+        """Check aᵢ ⊆ aᵢ₊₁ across all computed levels (a model property the
+        soundness experiments re-verify)."""
+        for earlier, later in zip(self._levels, self._levels[1:]):
+            for name, value in earlier.items():
+                other = later[name]
+                if isinstance(value, dict):
+                    if any(not value[v].issubset(other[v]) for v in value):
+                        return False
+                elif not value.issubset(other):
+                    return False
+        return True
+
+
+def fixpoint_denotation(
+    definitions: DefinitionList,
+    name: str,
+    subscript: object = None,
+    env: Optional[Environment] = None,
+    config: SemanticsConfig = DEFAULT_CONFIG,
+) -> FiniteClosure:
+    """Denote ``name`` (or ``name[subscript]``) by the explicit §3.3 chain."""
+    chain = ApproximationChain(definitions, env, config)
+    return chain.closure_for(name, subscript)

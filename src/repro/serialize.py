@@ -1,0 +1,426 @@
+"""JSON-serializable encodings of every AST in the library.
+
+Proofs are data (DESIGN.md §5); this module makes them *portable* data:
+processes, definitions, assertions, judgments, and whole proof trees
+round-trip through plain JSON-compatible dictionaries, so a proof can be
+stored next to the code it verifies and re-checked later —
+:class:`~repro.proof.checker.ProofChecker` gives deserialised proofs
+exactly the same scrutiny as fresh ones.
+
+Every node encodes as ``{"kind": "<Node>", ...fields}``; values (message
+constants) encode as tagged scalars so that tuples survive JSON's
+list/tuple collapse.
+
+Entry points: :func:`encode` / :func:`decode` (dicts), and
+:func:`dumps` / :func:`loads` (JSON strings).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict
+
+from repro.assertions import ast as A
+from repro.errors import ReproError
+from repro.process import ast as P
+from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
+from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
+from repro.proof.judgments import ForAllSat, Judgment, Pure, Sat
+from repro.proof.proof import ProofNode
+from repro.values import expressions as E
+
+
+class SerializationError(ReproError):
+    """The object graph cannot be encoded, or the data cannot be decoded."""
+
+
+# ---------------------------------------------------------------------------
+# scalar message values
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bool) or isinstance(value, (int, str)):
+        return value
+    if value is None:
+        return None
+    if isinstance(value, tuple):
+        return {"kind": "tuple", "items": [_encode_value(v) for v in value]}
+    raise SerializationError(f"cannot encode value {value!r}")
+
+
+def _decode_value(data: Any) -> Any:
+    if isinstance(data, dict):
+        if data.get("kind") != "tuple":
+            raise SerializationError(f"bad value payload {data!r}")
+        return tuple(_decode_value(v) for v in data["items"])
+    return data
+
+
+# ---------------------------------------------------------------------------
+# generic dispatch
+# ---------------------------------------------------------------------------
+
+_ENCODERS: Dict[type, Callable[[Any], dict]] = {}
+_DECODERS: Dict[str, Callable[[dict], Any]] = {}
+
+
+def _register(cls: type, encoder: Callable[[Any], dict], decoder: Callable[[dict], Any]) -> None:
+    _ENCODERS[cls] = encoder
+    _DECODERS[cls.__name__] = decoder
+
+
+def encode(node: Any) -> dict:
+    """Encode any library AST node to a JSON-compatible dict."""
+    encoder = _ENCODERS.get(type(node))
+    if encoder is None:
+        raise SerializationError(f"cannot encode {type(node).__name__}: {node!r}")
+    return encoder(node)
+
+
+def decode(data: dict) -> Any:
+    """Decode a dict produced by :func:`encode`."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise SerializationError(f"not an encoded node: {data!r}")
+    decoder = _DECODERS.get(data["kind"])
+    if decoder is None:
+        raise SerializationError(f"unknown kind {data['kind']!r}")
+    return decoder(data)
+
+
+def dumps(node: Any, **kwargs: Any) -> str:
+    """Encode to a JSON string."""
+    return json.dumps(encode(node), **kwargs)
+
+
+def loads(text: str) -> Any:
+    """Decode from a JSON string."""
+    return decode(json.loads(text))
+
+
+def _k(node: Any, **fields: Any) -> dict:
+    return {"kind": type(node).__name__, **fields}
+
+
+# ---------------------------------------------------------------------------
+# value expressions and set expressions
+# ---------------------------------------------------------------------------
+
+_register(
+    E.Const,
+    lambda n: _k(n, value=_encode_value(n.value)),
+    lambda d: E.Const(_decode_value(d["value"])),
+)
+_register(E.Var, lambda n: _k(n, name=n.name), lambda d: E.Var(d["name"]))
+_register(
+    E.BinOp,
+    lambda n: _k(n, op=n.op, left=encode(n.left), right=encode(n.right)),
+    lambda d: E.BinOp(d["op"], decode(d["left"]), decode(d["right"])),
+)
+_register(
+    E.UnaryOp,
+    lambda n: _k(n, op=n.op, operand=encode(n.operand)),
+    lambda d: E.UnaryOp(d["op"], decode(d["operand"])),
+)
+_register(
+    E.FuncCall,
+    lambda n: _k(n, name=n.name, args=[encode(a) for a in n.args]),
+    lambda d: E.FuncCall(d["name"], tuple(decode(a) for a in d["args"])),
+)
+_register(E.NatSet, lambda n: _k(n), lambda d: E.NatSet())
+_register(E.IntSet, lambda n: _k(n), lambda d: E.IntSet())
+_register(
+    E.SetLiteral,
+    lambda n: _k(n, elements=[encode(e) for e in n.elements]),
+    lambda d: E.SetLiteral(tuple(decode(e) for e in d["elements"])),
+)
+_register(
+    E.RangeSet,
+    lambda n: _k(n, low=encode(n.low), high=encode(n.high)),
+    lambda d: E.RangeSet(decode(d["low"]), decode(d["high"])),
+)
+_register(E.NamedSet, lambda n: _k(n, name=n.name), lambda d: E.NamedSet(d["name"]))
+_register(
+    E.SetUnion,
+    lambda n: _k(n, parts=[encode(p) for p in n.parts]),
+    lambda d: E.SetUnion(tuple(decode(p) for p in d["parts"])),
+)
+
+# ---------------------------------------------------------------------------
+# channels
+# ---------------------------------------------------------------------------
+
+_register(
+    ChannelExpr,
+    lambda n: _k(n, name=n.name, index=None if n.index is None else encode(n.index)),
+    lambda d: ChannelExpr(
+        d["name"], None if d["index"] is None else decode(d["index"])
+    ),
+)
+_register(
+    ChannelArraySpec,
+    lambda n: _k(n, name=n.name, subscripts=encode(n.subscripts)),
+    lambda d: ChannelArraySpec(d["name"], decode(d["subscripts"])),
+)
+_register(
+    ChannelList,
+    lambda n: _k(n, entries=[encode(e) for e in n.entries]),
+    lambda d: ChannelList([decode(e) for e in d["entries"]]),
+)
+
+# ---------------------------------------------------------------------------
+# processes and definitions
+# ---------------------------------------------------------------------------
+
+_register(P.Stop, lambda n: _k(n), lambda d: P.STOP)
+_register(
+    P.Output,
+    lambda n: _k(
+        n,
+        channel=encode(n.channel),
+        message=encode(n.message),
+        continuation=encode(n.continuation),
+    ),
+    lambda d: P.Output(
+        decode(d["channel"]), decode(d["message"]), decode(d["continuation"])
+    ),
+)
+_register(
+    P.Input,
+    lambda n: _k(
+        n,
+        channel=encode(n.channel),
+        variable=n.variable,
+        domain=encode(n.domain),
+        continuation=encode(n.continuation),
+    ),
+    lambda d: P.Input(
+        decode(d["channel"]),
+        d["variable"],
+        decode(d["domain"]),
+        decode(d["continuation"]),
+    ),
+)
+_register(
+    P.Choice,
+    lambda n: _k(n, left=encode(n.left), right=encode(n.right)),
+    lambda d: P.Choice(decode(d["left"]), decode(d["right"])),
+)
+_register(
+    P.Parallel,
+    lambda n: _k(
+        n,
+        left=encode(n.left),
+        right=encode(n.right),
+        left_channels=None if n.left_channels is None else encode(n.left_channels),
+        right_channels=None if n.right_channels is None else encode(n.right_channels),
+    ),
+    lambda d: P.Parallel(
+        decode(d["left"]),
+        decode(d["right"]),
+        None if d["left_channels"] is None else decode(d["left_channels"]),
+        None if d["right_channels"] is None else decode(d["right_channels"]),
+    ),
+)
+_register(
+    P.Chan,
+    lambda n: _k(n, channels=encode(n.channels), body=encode(n.body)),
+    lambda d: P.Chan(decode(d["channels"]), decode(d["body"])),
+)
+_register(P.Name, lambda n: _k(n, name=n.name), lambda d: P.Name(d["name"]))
+_register(
+    P.ArrayRef,
+    lambda n: _k(n, name=n.name, index=encode(n.index)),
+    lambda d: P.ArrayRef(d["name"], decode(d["index"])),
+)
+_register(
+    ProcessDef,
+    lambda n: _k(n, name=n.name, body=encode(n.body)),
+    lambda d: ProcessDef(d["name"], decode(d["body"])),
+)
+_register(
+    ArrayDef,
+    lambda n: _k(
+        n,
+        name=n.name,
+        parameter=n.parameter,
+        domain=encode(n.domain),
+        body=encode(n.body),
+    ),
+    lambda d: ArrayDef(
+        d["name"], d["parameter"], decode(d["domain"]), decode(d["body"])
+    ),
+)
+_register(
+    DefinitionList,
+    lambda n: _k(n, definitions=[encode(defn) for defn in n]),
+    lambda d: DefinitionList([decode(x) for x in d["definitions"]]),
+)
+
+# ---------------------------------------------------------------------------
+# assertions
+# ---------------------------------------------------------------------------
+
+_register(
+    A.ConstTerm,
+    lambda n: _k(n, value=_encode_value(n.value)),
+    lambda d: A.ConstTerm(_decode_value(d["value"])),
+)
+_register(A.VarTerm, lambda n: _k(n, name=n.name), lambda d: A.VarTerm(d["name"]))
+_register(
+    A.ChannelTrace,
+    lambda n: _k(n, channel=encode(n.channel)),
+    lambda d: A.ChannelTrace(decode(d["channel"])),
+)
+_register(
+    A.SeqLit,
+    lambda n: _k(n, elements=[encode(e) for e in n.elements]),
+    lambda d: A.SeqLit(tuple(decode(e) for e in d["elements"])),
+)
+_register(
+    A.Cons,
+    lambda n: _k(n, head=encode(n.head), tail=encode(n.tail)),
+    lambda d: A.Cons(decode(d["head"]), decode(d["tail"])),
+)
+_register(
+    A.Concat,
+    lambda n: _k(n, left=encode(n.left), right=encode(n.right)),
+    lambda d: A.Concat(decode(d["left"]), decode(d["right"])),
+)
+_register(
+    A.Length,
+    lambda n: _k(n, sequence=encode(n.sequence)),
+    lambda d: A.Length(decode(d["sequence"])),
+)
+_register(
+    A.Index,
+    lambda n: _k(n, sequence=encode(n.sequence), index=encode(n.index)),
+    lambda d: A.Index(decode(d["sequence"]), decode(d["index"])),
+)
+_register(
+    A.Arith,
+    lambda n: _k(n, op=n.op, left=encode(n.left), right=encode(n.right)),
+    lambda d: A.Arith(d["op"], decode(d["left"]), decode(d["right"])),
+)
+_register(
+    A.Apply,
+    lambda n: _k(n, name=n.name, args=[encode(a) for a in n.args]),
+    lambda d: A.Apply(d["name"], tuple(decode(a) for a in d["args"])),
+)
+_register(
+    A.Sum,
+    lambda n: _k(
+        n,
+        variable=n.variable,
+        low=encode(n.low),
+        high=encode(n.high),
+        body=encode(n.body),
+    ),
+    lambda d: A.Sum(
+        d["variable"], decode(d["low"]), decode(d["high"]), decode(d["body"])
+    ),
+)
+_register(A.BoolLit, lambda n: _k(n, value=n.value), lambda d: A.BoolLit(d["value"]))
+_register(
+    A.Compare,
+    lambda n: _k(n, op=n.op, left=encode(n.left), right=encode(n.right)),
+    lambda d: A.Compare(d["op"], decode(d["left"]), decode(d["right"])),
+)
+_register(
+    A.LogicalAnd,
+    lambda n: _k(n, left=encode(n.left), right=encode(n.right)),
+    lambda d: A.LogicalAnd(decode(d["left"]), decode(d["right"])),
+)
+_register(
+    A.LogicalOr,
+    lambda n: _k(n, left=encode(n.left), right=encode(n.right)),
+    lambda d: A.LogicalOr(decode(d["left"]), decode(d["right"])),
+)
+_register(
+    A.LogicalNot,
+    lambda n: _k(n, operand=encode(n.operand)),
+    lambda d: A.LogicalNot(decode(d["operand"])),
+)
+_register(
+    A.Implies,
+    lambda n: _k(n, antecedent=encode(n.antecedent), consequent=encode(n.consequent)),
+    lambda d: A.Implies(decode(d["antecedent"]), decode(d["consequent"])),
+)
+_register(
+    A.ForAll,
+    lambda n: _k(n, variable=n.variable, domain=encode(n.domain), body=encode(n.body)),
+    lambda d: A.ForAll(d["variable"], decode(d["domain"]), decode(d["body"])),
+)
+_register(
+    A.Exists,
+    lambda n: _k(n, variable=n.variable, domain=encode(n.domain), body=encode(n.body)),
+    lambda d: A.Exists(d["variable"], decode(d["domain"]), decode(d["body"])),
+)
+
+# ---------------------------------------------------------------------------
+# judgments and proofs
+# ---------------------------------------------------------------------------
+
+_register(
+    Pure,
+    lambda n: _k(n, formula=encode(n.formula)),
+    lambda d: Pure(decode(d["formula"])),
+)
+_register(
+    Sat,
+    lambda n: _k(n, process=encode(n.process), formula=encode(n.formula)),
+    lambda d: Sat(decode(d["process"]), decode(d["formula"])),
+)
+_register(
+    ForAllSat,
+    lambda n: _k(
+        n, variable=n.variable, domain=encode(n.domain), inner=encode(n.inner)
+    ),
+    lambda d: ForAllSat(d["variable"], decode(d["domain"]), decode(d["inner"])),
+)
+
+
+def _encode_param(value: Any) -> Any:
+    if type(value) in _ENCODERS:
+        return {"param-kind": "node", "node": encode(value)}
+    if isinstance(value, dict):
+        return {
+            "param-kind": "dict",
+            "items": [[k, _encode_param(v)] for k, v in sorted(value.items())],
+        }
+    if isinstance(value, tuple):
+        return {"param-kind": "tuple", "items": [_encode_param(v) for v in value]}
+    if isinstance(value, (str, int, bool)) or value is None:
+        return {"param-kind": "scalar", "value": value}
+    raise SerializationError(f"cannot encode proof parameter {value!r}")
+
+
+def _decode_param(data: Any) -> Any:
+    kind = data.get("param-kind")
+    if kind == "node":
+        return decode(data["node"])
+    if kind == "dict":
+        return {k: _decode_param(v) for k, v in data["items"]}
+    if kind == "tuple":
+        return tuple(_decode_param(v) for v in data["items"])
+    if kind == "scalar":
+        return data["value"]
+    raise SerializationError(f"bad proof parameter payload {data!r}")
+
+
+_register(
+    ProofNode,
+    lambda n: _k(
+        n,
+        rule=n.rule,
+        conclusion=encode(n.conclusion),
+        premises=[encode(p) for p in n.premises],
+        params={key: _encode_param(value) for key, value in sorted(n.params.items())},
+    ),
+    lambda d: ProofNode(
+        d["rule"],
+        decode(d["conclusion"]),
+        tuple(decode(p) for p in d["premises"]),
+        {key: _decode_param(value) for key, value in d.get("params", {}).items()},
+    ),
+)

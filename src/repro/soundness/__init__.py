@@ -1,0 +1,26 @@
+"""Empirical validation of the inference rules (paper §3.4, experiment E8).
+
+§3.4 proves each inference rule valid in the prefix-closure model.  This
+package re-verifies those theorems *experimentally*: random processes and
+assertions are generated, each rule's premises are evaluated in the
+bounded model, and whenever they hold the conclusion is checked too.  A
+sound rule yields **zero violations**; the harness also reports how often
+the premises actually held, so vacuous runs are visible.
+"""
+
+from repro.soundness.generators import AssertionGenerator, ProcessGenerator
+from repro.soundness.harness import (
+    ALL_RULE_EXPERIMENTS,
+    RuleExperimentResult,
+    run_all_rule_experiments,
+    run_rule_experiment,
+)
+
+__all__ = [
+    "ProcessGenerator",
+    "AssertionGenerator",
+    "RuleExperimentResult",
+    "run_rule_experiment",
+    "run_all_rule_experiments",
+    "ALL_RULE_EXPERIMENTS",
+]

@@ -1,0 +1,150 @@
+"""Seeded random generators for processes and assertions.
+
+The generators produce *closed, finite* process terms (prefixes, choices,
+and optionally parallel/chan composites) over a small channel/value
+universe, and assertions built from the paper's operators over the same
+channels.  They are deterministic given a seed, so soundness experiments
+and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.assertions.ast import (
+    Compare,
+    Formula,
+    Implies,
+    Length,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SeqLit,
+    Term,
+)
+from repro.assertions.builders import chan_, const_
+from repro.process.ast import (
+    STOP,
+    Chan,
+    Choice,
+    Input,
+    Output,
+    Process,
+)
+from repro.process.channels import ChannelExpr, ChannelList
+from repro.values.expressions import Const, SetLiteral
+
+
+class ProcessGenerator:
+    """Random closed process terms."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        channels: Sequence[str] = ("a", "b", "wire"),
+        values: Sequence[object] = (0, 1),
+        max_depth: int = 4,
+        allow_networks: bool = False,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.channels = tuple(channels)
+        self.values = tuple(values)
+        self.max_depth = max_depth
+        self.allow_networks = allow_networks
+
+    def process(self, depth: Optional[int] = None) -> Process:
+        """One random process term."""
+        if depth is None:
+            depth = self.max_depth
+        if depth <= 0:
+            return STOP
+        choices = ["stop", "output", "input", "choice"]
+        if self.allow_networks and depth >= 2:
+            choices += ["chan"]
+        kind = self.rng.choice(choices)
+        if kind == "stop":
+            return STOP
+        if kind == "output":
+            return Output(
+                self._channel(),
+                Const(self.rng.choice(self.values)),
+                self.process(depth - 1),
+            )
+        if kind == "input":
+            variable = self.rng.choice(("x", "y"))
+            domain = SetLiteral(
+                tuple(Const(v) for v in self._value_subset())
+            )
+            return Input(self._channel(), variable, domain, self.process(depth - 1))
+        if kind == "choice":
+            return Choice(self.process(depth - 1), self.process(depth - 1))
+        assert kind == "chan"
+        hidden = self.rng.choice(self.channels)
+        return Chan(ChannelList([ChannelExpr(hidden)]), self.process(depth - 1))
+
+    def _channel(self) -> ChannelExpr:
+        return ChannelExpr(self.rng.choice(self.channels))
+
+    def _value_subset(self) -> Tuple[object, ...]:
+        count = self.rng.randint(1, len(self.values))
+        return tuple(self.rng.sample(self.values, count))
+
+
+class AssertionGenerator:
+    """Random assertions over a channel universe."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        channels: Sequence[str] = ("a", "b", "wire"),
+        values: Sequence[object] = (0, 1),
+        max_depth: int = 3,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.channels = tuple(channels)
+        self.values = tuple(values)
+        self.max_depth = max_depth
+
+    def formula(self, depth: Optional[int] = None) -> Formula:
+        if depth is None:
+            depth = self.max_depth
+        if depth <= 0:
+            return self._comparison()
+        kind = self.rng.choice(["cmp", "cmp", "and", "or", "not", "implies"])
+        if kind == "cmp":
+            return self._comparison()
+        if kind == "and":
+            return LogicalAnd(self.formula(depth - 1), self.formula(depth - 1))
+        if kind == "or":
+            return LogicalOr(self.formula(depth - 1), self.formula(depth - 1))
+        if kind == "not":
+            return LogicalNot(self.formula(depth - 1))
+        return Implies(self.formula(depth - 1), self.formula(depth - 1))
+
+    def formula_over(self, channels: Sequence[str], depth: Optional[int] = None) -> Formula:
+        """A formula mentioning only the given channels."""
+        saved = self.channels
+        self.channels = tuple(channels) or ("unused",)
+        try:
+            return self.formula(depth)
+        finally:
+            self.channels = saved
+
+    def _comparison(self) -> Formula:
+        kind = self.rng.choice(["prefix", "length", "length-const"])
+        if kind == "prefix":
+            return Compare("<=", self._seq_term(), self._seq_term())
+        if kind == "length":
+            op = self.rng.choice(["<=", "<", "=", ">="])
+            return Compare(op, Length(self._seq_term()), Length(self._seq_term()))
+        bound = self.rng.randint(0, 4)
+        op = self.rng.choice(["<=", "<", ">="])
+        return Compare(op, Length(self._seq_term()), const_(bound))
+
+    def _seq_term(self) -> Term:
+        kind = self.rng.choice(["chan", "chan", "chan", "lit"])
+        if kind == "chan":
+            return chan_(self.rng.choice(self.channels))
+        size = self.rng.randint(0, 2)
+        return SeqLit(tuple(const_(self.rng.choice(self.values)) for _ in range(size)))

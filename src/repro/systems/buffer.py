@@ -1,0 +1,118 @@
+"""An n-place FIFO buffer as a chain of copier cells.
+
+The paper's intro motivates networks built from simple cells; the
+canonical CSP example is the buffer chain: ``n`` one-place copiers
+composed head-to-tail, internal links concealed::
+
+    cell[i:{1..n}] = link[i-1]?x:NAT -> link[i]!x -> cell[i]
+    buffer         = chan link[1..n-1]; (cell[1] || … || cell[n])
+
+``link[0]`` is the buffer's input, ``link[n]`` its output.  Two theorems
+characterise it:
+
+* **order**:    ``link[n] ≤ link[0]``        (outputs are a prefix of inputs)
+* **capacity**: ``#link[0] ≤ #link[n] + n``  (at most n messages in flight)
+
+Both are proved compositionally from the per-cell invariant
+``link[i] ≤ link[i-1] & #link[i-1] ≤ #link[i] + 1`` via the parallelism
+and consequence rules — the same §2.1 argument as the two-stage copier,
+scaled to arbitrary n.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.assertions.ast import Formula
+from repro.assertions.parser import parse_assertion
+from repro.process.ast import Name
+from repro.process.definitions import DefinitionList
+from repro.process.parser import parse_definitions
+from repro.proof.checker import CheckReport, ProofChecker
+from repro.proof.oracle import Oracle, OracleConfig
+from repro.proof.tactics import SatProver
+from repro.sat.checker import SatChecker, SatResult
+from repro.semantics.config import SemanticsConfig
+from repro.values.environment import Environment
+
+CHANNELS = frozenset({"link"})
+
+
+def source(places: int) -> str:
+    """The definition text for an ``places``-cell buffer."""
+    if places < 1:
+        raise ValueError("a buffer needs at least one cell")
+    chain = " || ".join(f"cell[{i}]" for i in range(1, places + 1))
+    if places == 1:
+        hiding = ""  # no internal links to conceal
+        network = chain
+    else:
+        hiding = f"chan link[1..{places - 1}]; "
+        network = f"({chain})"
+    return (
+        f"cell[i:{{1..{places}}}] = link[i-1]?x:NAT -> link[i]!x -> cell[i];\n"
+        f"buffer = {hiding}{network}"
+    )
+
+
+def definitions(places: int = 3) -> DefinitionList:
+    return parse_definitions(source(places))
+
+
+def environment() -> Environment:
+    return Environment()
+
+
+def order_spec(places: int) -> Formula:
+    """``link[n] ≤ link[0]``."""
+    return parse_assertion(f"link[{places}] <= link[0]", CHANNELS)
+
+
+def capacity_spec(places: int) -> Formula:
+    """``#link[0] ≤ #link[n] + n``."""
+    return parse_assertion(f"#link[0] <= #link[{places}] + {places}", CHANNELS)
+
+
+def buffer_spec(places: int) -> Formula:
+    from repro.assertions.builders import and_
+
+    return and_(order_spec(places), capacity_spec(places))
+
+
+def cell_invariant() -> Formula:
+    """The per-cell invariant, parametric in the cell index ``i``."""
+    return parse_assertion(
+        "link[i] <= link[i-1] & #link[i-1] <= #link[i] + 1", CHANNELS
+    )
+
+
+def invariants(places: int) -> Dict[str, object]:
+    return {
+        "cell": ("i", cell_invariant()),
+        "buffer": buffer_spec(places),
+    }
+
+
+def oracle() -> Oracle:
+    return Oracle(environment(), OracleConfig(value_pool=(0, 1)))
+
+
+def prove(places: int = 2) -> CheckReport:
+    """Prove order + capacity for an ``places``-cell buffer."""
+    defs = definitions(places)
+    prover = SatProver(defs, oracle(), invariants(places))
+    proof = prover.prove_name("buffer")
+    return ProofChecker(defs, prover.oracle).check(proof)
+
+
+def check(places: int = 3, depth: int = 5, sample: int = 2) -> Dict[str, SatResult]:
+    """Model-check order + capacity on bounded traces."""
+    checker = SatChecker(
+        definitions(places),
+        environment(),
+        SemanticsConfig(depth=depth, sample=sample),
+    )
+    return {
+        "order": checker.check(Name("buffer"), order_spec(places)),
+        "capacity": checker.check(Name("buffer"), capacity_spec(places)),
+    }

@@ -1,0 +1,192 @@
+"""The matrix–vector multiplier network (paper §1.3 example 5).
+
+Definitions::
+
+    mult[i:{1..3}] = row[i]?x:NAT -> col[i-1]?y:NAT
+                     -> col[i]!(v[i]*x + y) -> mult[i]
+    zeroes  = col[0]!0 -> zeroes
+    last    = col[3]?y:NAT -> output!y -> last
+    network = zeroes || mult[1] || mult[2] || mult[3] || last
+    multiplier = chan col[0..3]; network
+
+The network inputs successive rows of a matrix on ``row[1..3]`` and emits
+on ``output`` the scalar product of each row with the fixed vector
+``v[1..3]``.  The paper's §2 item 3 invariant::
+
+    multiplier sat ∀i:NAT. 1 ≤ i ∧ i ≤ #output
+                   ⇒ output_i = Σ_{j=1..3} v[j] × row[j]_i
+
+is reproduced by bounded model checking over the operational explorer
+(the synchronised column values are *computed*, so the receptive
+operational engine is the right tool — see
+:mod:`repro.operational.step`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.assertions.ast import Formula
+from repro.assertions.parser import parse_assertion
+from repro.process.ast import Name
+from repro.process.definitions import DefinitionList
+from repro.process.parser import parse_definitions
+from repro.sat.checker import SatChecker, SatResult
+from repro.semantics.config import SemanticsConfig
+from repro.traces.prefix_closure import FiniteClosure
+from repro.values.environment import Environment
+
+SOURCE = """
+mult[i:{1..3}] = row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!(v[i]*x + y) -> mult[i];
+zeroes = col[0]!0 -> zeroes;
+last = col[3]?y:NAT -> output!y -> last;
+network = zeroes || mult[1] || mult[2] || mult[3] || last;
+multiplier = chan col[0..3]; network
+"""
+
+CHANNELS = frozenset({"row", "col", "output"})
+
+#: The paper's fixed vector is abstract; any v[1..3] works.  Index 0 is
+#: unused padding so that v[i] reads naturally.
+DEFAULT_VECTOR: Sequence[int] = (0, 2, 3, 5)
+
+
+def definitions() -> DefinitionList:
+    return parse_definitions(SOURCE)
+
+
+def environment(vector: Sequence[int] = DEFAULT_VECTOR) -> Environment:
+    """Binds the fixed vector ``v`` as a host function."""
+    values = tuple(vector)
+
+    def v(i: int) -> int:
+        return values[i]
+
+    return Environment().bind("v", v)
+
+
+def specification() -> Formula:
+    """§2 item 3: every output is the scalar product of the corresponding
+    row inputs with v."""
+    return parse_assertion(
+        "forall i : NAT . 1 <= i & i <= #output =>"
+        " output@i = (sum j : 1..3 . v(j) * row[j]@i)",
+        CHANNELS,
+    )
+
+
+def progress_specification() -> Formula:
+    """A sanity bound: outputs never outrun the slowest row stream."""
+    return parse_assertion(
+        "#output <= #row[1] & #output <= #row[2] & #output <= #row[3]",
+        CHANNELS,
+    )
+
+
+def checker(
+    depth: int = 4,
+    sample: int = 2,
+    vector: Sequence[int] = DEFAULT_VECTOR,
+) -> SatChecker:
+    return SatChecker(
+        definitions(),
+        environment(vector),
+        SemanticsConfig(depth=depth, sample=sample),
+        engine="operational",
+    )
+
+
+def check_all(
+    depth: int = 4, sample: int = 2, vector: Sequence[int] = DEFAULT_VECTOR
+) -> Dict[str, SatResult]:
+    """Model-check the multiplier's invariants."""
+    sat = checker(depth, sample, vector)
+    return {
+        "scalar-product": sat.check(Name("multiplier"), specification()),
+        "progress": sat.check(Name("multiplier"), progress_specification()),
+    }
+
+
+def traces(
+    depth: int = 4, sample: int = 2, vector: Sequence[int] = DEFAULT_VECTOR
+) -> FiniteClosure:
+    """The multiplier's visible traces up to ``depth``."""
+    return checker(depth, sample, vector).traces_of(Name("multiplier"))
+
+
+# ---------------------------------------------------------------------------
+# The compositional proof (the paper states the invariant; we prove it).
+# ---------------------------------------------------------------------------
+
+
+def cell_invariant() -> "Formula":
+    """The per-cell invariant of ``mult[i]``: every column output so far is
+    this cell's contribution added to the partial sum it received, and the
+    cell never runs ahead of its inputs."""
+    return parse_assertion(
+        "(forall k : NAT . 1 <= k & k <= #col[i] =>"
+        "   col[i]@k = v(i) * row[i]@k + col[i-1]@k)"
+        " & #col[i] <= #row[i] & #col[i] <= #col[i-1]",
+        CHANNELS,
+    )
+
+
+def zeroes_invariant() -> "Formula":
+    """``zeroes`` only ever emits 0 on ``col[0]``."""
+    return parse_assertion(
+        "forall k : NAT . 1 <= k & k <= #col[0] => col[0]@k = 0", CHANNELS
+    )
+
+
+def last_invariant() -> "Formula":
+    """``last`` copies ``col[3]`` to ``output``."""
+    return parse_assertion(
+        "(forall k : NAT . 1 <= k & k <= #output => output@k = col[3]@k)"
+        " & #output <= #col[3]",
+        CHANNELS,
+    )
+
+
+def invariants() -> dict:
+    """Invariant annotations for the proof search (all five components,
+    the visible network, and the hidden multiplier)."""
+    spec = specification()
+    return {
+        "mult": ("i", cell_invariant()),
+        "zeroes": zeroes_invariant(),
+        "last": last_invariant(),
+        "network": spec,
+        "multiplier": spec,
+    }
+
+
+def prove_scalar_product(
+    vector: Sequence[int] = DEFAULT_VECTOR, random_trials: int = 1500
+):
+    """Prove the §2 scalar-product invariant with the §2.1 rules.
+
+    The paper *states* ``multiplier sat …`` (§2 item 3) without proof;
+    this derivation supplies one: the recursion rule gives each component
+    its invariant, the parallelism rule conjoins the five, consequence
+    collapses the chain ``output_k = col3_k = v₃·row3_k + col2_k = … =
+    Σ v_j·row j_k``, and the chan rule conceals the columns.  The collapse
+    implications quantify over eight channels, so their oracle discharges
+    are randomized (recorded on the report, as always).
+    """
+    from repro.proof.checker import ProofChecker
+    from repro.proof.oracle import Oracle, OracleConfig
+    from repro.proof.tactics import SatProver
+
+    defs = definitions()
+    env = environment(vector)
+    oracle = Oracle(
+        env,
+        OracleConfig(
+            value_pool=(0, 1),
+            max_history_length=2,
+            random_trials=random_trials,
+        ),
+    )
+    prover = SatProver(defs, oracle, invariants())
+    proof = prover.prove_name("multiplier")
+    return ProofChecker(defs, oracle).check(proof)

@@ -1,0 +1,151 @@
+"""Dining philosophers — the §4 deadlock, made concrete.
+
+The paper's conclusion laments that its proof system "cannot prove (or
+even express) the absence of deadlock".  This module supplies the classic
+witness: ``n`` philosophers and ``n`` forks, each philosopher grabbing
+the left fork then the right.  A channel connects exactly one philosopher
+to one fork (a communication on a channel involves *every* process whose
+alphabet contains it, so fork access must be point-to-point)::
+
+    phil[i] = grab[i]!i -> reach[i]!i -> eat[i]!i
+              -> drop[i]!i -> release[i]!i -> phil[i]
+    fork[i] = grab[i]?j:M -> drop[i]?k:{j} -> fork[i]
+            | reach[(i-1) mod n]?j:M -> release[(i-1) mod n]?k:{j} -> fork[i]
+    table   = phil[0] || … || fork[n-1]
+
+``grab[i]``/``drop[i]`` join philosopher i with their left fork i;
+``reach[i]``/``release[i]`` join philosopher i with their right fork
+(i+1) mod n.
+
+Every fork's safety invariant is provable with the §2.1 rules — and the
+system still deadlocks when every philosopher holds their left fork.  The
+partial-correctness theory is satisfied; the operational explorer finds
+the deadlock the theory cannot see (experiment E9's constructive half).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.assertions.ast import Formula
+from repro.assertions.parser import parse_assertion
+from repro.operational.explorer import Explorer
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Name
+from repro.process.definitions import DefinitionList
+from repro.process.parser import parse_definitions
+from repro.sat.checker import SatChecker, SatResult
+from repro.semantics.config import SemanticsConfig
+from repro.traces.events import Trace
+from repro.values.environment import Environment
+
+CHANNELS = frozenset({"grab", "reach", "drop", "release", "eat"})
+
+
+def source(seats: int) -> str:
+    """The definition text for ``seats`` philosophers."""
+    if seats < 2:
+        raise ValueError("the table needs at least two seats")
+    components = [f"phil[{i}]" for i in range(seats)] + [
+        f"fork[{i}]" for i in range(seats)
+    ]
+    n = seats
+    m = f"{{0..{n - 1}}}"
+    return (
+        f"phil[i:{m}] = grab[i]!i -> reach[i]!i -> eat[i]!i ->"
+        f" drop[i]!i -> release[i]!i -> phil[i];\n"
+        f"fork[i:{m}] = grab[i]?j:{m} -> drop[i]?k:{{j}} -> fork[i]"
+        f" | reach[(i+{n - 1}) mod {n}]?j:{m} ->"
+        f" release[(i+{n - 1}) mod {n}]?k:{{j}} -> fork[i];\n"
+        f"table = {' || '.join(components)}"
+    )
+
+
+def definitions(seats: int = 3) -> DefinitionList:
+    return parse_definitions(source(seats))
+
+
+def environment() -> Environment:
+    return Environment()
+
+
+def fork_safety_spec(fork_index: int) -> Formula:
+    """Fork ``i`` is never grabbed while held:
+    ``#drop[i] ≤ #grab[i] ≤ #drop[i]+1`` (and likewise for the right-hand
+    pair) — the partial-correctness half of mutual exclusion."""
+    i = fork_index
+    return parse_assertion(
+        f"#drop[{i}] <= #grab[{i}] & #grab[{i}] <= #drop[{i}] + 1"
+        f" & #release[{i}] <= #reach[{i}]"
+        f" & #reach[{i}] <= #release[{i}] + 1",
+        CHANNELS,
+    )
+
+
+def semantics(seats: int = 3) -> OperationalSemantics:
+    return OperationalSemantics(definitions(seats), environment(), sample=seats)
+
+
+def check_safety(seats: int = 3, depth: int = 4) -> Dict[str, SatResult]:
+    """The partial-correctness story: every fork invariant holds."""
+    checker = SatChecker(
+        definitions(seats),
+        environment(),
+        SemanticsConfig(depth=depth, sample=seats),
+        engine="operational",
+    )
+    return {
+        f"fork-{i}": checker.check(Name("table"), fork_safety_spec(i))
+        for i in range(seats)
+    }
+
+
+def find_deadlocks(seats: int = 3, depth: int = None, max_states: int = 500_000) -> List[Trace]:
+    """The total-correctness story the paper cannot tell: the all-pick-left
+    deadlock, reached after exactly ``seats`` visible events."""
+    if depth is None:
+        depth = seats
+    explorer = Explorer(semantics(seats), max_states=max_states)
+    return explorer.find_deadlocks(Name("table"), depth)
+
+
+def fork_invariant(seats: int) -> Formula:
+    """The fork-array invariant, parametric in the fork index ``i``.
+
+    The right-hand channel is written ``(i+n-1) mod n`` with the same
+    literal spelling as the definition, so the proof rules' structural
+    channel matching lines up.
+    """
+    n = seats
+    right = f"(i+{n - 1}) mod {n}"
+    return parse_assertion(
+        f"#drop[i] <= #grab[i] & #grab[i] <= #drop[i] + 1"
+        f" & #release[{right}] <= #reach[{right}]"
+        f" & #reach[{right}] <= #release[{right}] + 1",
+        CHANNELS,
+    )
+
+
+def prove_fork_safety(seats: int = 2):
+    """Prove the fork lemma ``∀i. fork[i] sat …`` with the §2.1 rules —
+    the partial-correctness half that *is* expressible in the paper's
+    system (the deadlock half is not)."""
+    from repro.proof.checker import ProofChecker
+    from repro.proof.oracle import Oracle, OracleConfig
+    from repro.proof.tactics import SatProver
+
+    defs = definitions(seats)
+    pool = tuple(range(seats))
+    oracle = Oracle(
+        environment(), OracleConfig(value_pool=pool, max_history_length=2)
+    )
+    prover = SatProver(defs, oracle, {"fork": ("i", fork_invariant(seats))})
+    proof = prover.prove_name("fork")
+    return ProofChecker(defs, oracle).check(proof)
+
+
+def classic_deadlock_trace(seats: int = 3) -> Trace:
+    """The canonical witness: philosopher i grabs left fork i, for every i."""
+    from repro.traces.events import Channel, Event
+
+    return tuple(Event(Channel("grab", i), i) for i in range(seats))

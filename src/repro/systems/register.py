@@ -1,0 +1,125 @@
+"""A storage register as a process — state without variables.
+
+The paper's language deliberately "does not include local variables [or]
+assignments" (§0); mutable state is modelled the CSP way, as a process
+remembering a value through its recursion parameter::
+
+    reg[v:M] = get!v -> reg[v] | set?w:M -> reg[w]
+    register = reg[d]          -- d the initial value
+
+Two specification observations, both reproduced here:
+
+* **Provable**: every value ever read was the initial value or some value
+  previously written::
+
+      ∀i. 1 ≤ i ≤ #get ⇒ (get_i = d ∨ ∃j. 1 ≤ j ≤ #set ∧ get_i = set_j)
+
+  This goes through the §2.1 recursion rule with the parametric invariant
+  ``∀i ≤ #get. get_i = v ∨ ∃j ≤ #set. get_i = set_j``.
+
+* **Not even expressible**: "every read returns the *most recent* write".
+  Assertions see only the per-channel sequences ``ch(s)(get)`` and
+  ``ch(s)(set)`` — the *interleaving* of reads and writes is lost, so
+  freshness cannot be stated, let alone proved.
+  :func:`freshness_is_inexpressible_witnesses` exhibits two traces with
+  identical channel histories, one fresh and one stale: no assertion can
+  separate them.  (This is a genuine boundary of the paper's assertion
+  language, distinct from the §4 deadlock limitation.)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.assertions.ast import Formula
+from repro.assertions.parser import parse_assertion
+from repro.process.ast import ArrayRef
+from repro.process.definitions import DefinitionList
+from repro.process.parser import parse_definitions
+from repro.proof.checker import CheckReport, ProofChecker
+from repro.proof.oracle import Oracle, OracleConfig
+from repro.proof.tactics import SatProver
+from repro.sat.checker import SatChecker, SatResult
+from repro.semantics.config import SemanticsConfig
+from repro.traces.events import Trace, trace
+from repro.values.domains import FiniteDomain
+from repro.values.environment import Environment
+
+SOURCE = """
+reg[v:M] = get!v -> reg[v] | set?w:M -> reg[w]
+"""
+
+CHANNELS = frozenset({"get", "set"})
+
+DEFAULT_VALUES = frozenset({0, 1})
+
+
+def definitions() -> DefinitionList:
+    return parse_definitions(SOURCE)
+
+
+def environment(values=DEFAULT_VALUES) -> Environment:
+    return Environment().bind("M", FiniteDomain(values))
+
+
+def integrity_invariant() -> Formula:
+    """The parametric invariant of ``reg[v]``: every value read is ``v``
+    or some previously written value."""
+    return parse_assertion(
+        "forall i : NAT . 1 <= i & i <= #get =>"
+        " (get@i = v or (exists j : NAT . 1 <= j & j <= #set & get@i = set@j))",
+        CHANNELS,
+    )
+
+
+def integrity_spec(initial: int) -> Formula:
+    """The instance for a register initialised to ``initial``."""
+    from repro.assertions.substitution import substitute_variable
+    from repro.assertions.builders import const_
+
+    return substitute_variable(integrity_invariant(), "v", const_(initial))
+
+
+def oracle(values=DEFAULT_VALUES) -> Oracle:
+    return Oracle(
+        environment(values),
+        OracleConfig(value_pool=tuple(sorted(values)), max_history_length=3),
+    )
+
+
+def prove_integrity(values=DEFAULT_VALUES) -> CheckReport:
+    """Prove ``∀v∈M. reg[v] sat integrity`` with the §2.1 rules."""
+    defs = definitions()
+    prover = SatProver(defs, oracle(values), {"reg": ("v", integrity_invariant())})
+    proof = prover.prove_name("reg")
+    return ProofChecker(defs, prover.oracle).check(proof)
+
+
+def check_integrity(
+    initial: int = 0, depth: int = 5, sample: int = 2, values=DEFAULT_VALUES
+) -> SatResult:
+    """Bounded model checking of the integrity spec for one instance."""
+    from repro.values.expressions import Const
+
+    checker = SatChecker(
+        definitions(), environment(values), SemanticsConfig(depth, sample)
+    )
+    return checker.check(ArrayRef("reg", Const(initial)), integrity_spec(initial))
+
+
+def freshness_is_inexpressible_witnesses() -> Tuple[Trace, Trace]:
+    """Two register traces with *identical channel histories*:
+
+    * fresh:  ``set.1, get.1, set.0, get.0``  — every read is up to date;
+    * stale:  ``set.1, set.0, get.1, get.0``  — impossible for a real
+      register (reads 1 after 0 was written), yet
+      ``ch`` maps both to ``get ↦ ⟨1,0⟩, set ↦ ⟨1,0⟩``.
+
+    Any assertion R has the same truth value on both (assertions only see
+    ``ch(s)``), so "reads return the latest write" cannot be expressed.
+    The stale trace is *not* a trace of ``reg`` — the semantics knows the
+    difference — but the assertion language cannot say so.
+    """
+    fresh = trace(("set", 1), ("get", 1), ("set", 0), ("get", 0))
+    stale = trace(("set", 1), ("set", 0), ("get", 1), ("get", 0))
+    return fresh, stale

@@ -1,0 +1,57 @@
+"""Trace algebra substrate (paper §3.1 and §3.3).
+
+A process denotes a *prefix-closed* set of traces over the alphabet of
+communications ``c.m``.  This package provides:
+
+* :mod:`repro.traces.events` — channels, communications, traces;
+* :mod:`repro.traces.prefix_closure` — finite prefix-closed trace sets;
+* :mod:`repro.traces.operations` — the paper's operators ``a → P``,
+  ``P \\ C`` (hiding), ``P ⇑ C`` (padding), and ``P ‖ Q`` (parallel);
+* :mod:`repro.traces.histories` — the channel-history map ``ch(s)``.
+"""
+
+from repro.traces.events import (
+    Channel,
+    Event,
+    Trace,
+    EMPTY_TRACE,
+    channel,
+    event,
+    trace,
+    trace_channels,
+    restrict,
+    project,
+)
+from repro.traces.histories import ChannelHistory, ch
+from repro.traces.operations import (
+    after_event,
+    hide,
+    interleavings,
+    pad,
+    parallel,
+    prefix,
+)
+from repro.traces.prefix_closure import FiniteClosure, STOP_CLOSURE
+
+__all__ = [
+    "Channel",
+    "Event",
+    "Trace",
+    "EMPTY_TRACE",
+    "channel",
+    "event",
+    "trace",
+    "trace_channels",
+    "restrict",
+    "project",
+    "ChannelHistory",
+    "ch",
+    "FiniteClosure",
+    "STOP_CLOSURE",
+    "prefix",
+    "after_event",
+    "hide",
+    "pad",
+    "parallel",
+    "interleavings",
+]

@@ -1,0 +1,144 @@
+"""Channels, communications, and traces (paper §0 and §3.1).
+
+A *communication* is a pair ``c.m`` of a channel and a message value; the
+paper writes ``output.3`` or ``col[1].7``.  A *trace* is a finite sequence
+of communications, represented as a plain tuple of :class:`Event` so that
+traces hash, sort, and slice for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Optional, Tuple
+
+Value = Any
+
+
+class Channel:
+    """A channel name, optionally subscripted: ``wire``, ``col[2]``.
+
+    Channels are value objects; two channels are the same iff their name
+    and subscript agree (paper §1.1 items 10–12: ``col[e]`` denotes a
+    distinct channel for each distinct value of ``e``).
+    """
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, index: Optional[Value] = None) -> None:
+        self.name = name
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Channel)
+            and self.name == other.name
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.index))
+
+    def __lt__(self, other: "Channel") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> Tuple[str, str]:
+        return (self.name, "" if self.index is None else repr(self.index))
+
+    def __repr__(self) -> str:
+        if self.index is None:
+            return self.name
+        return f"{self.name}[{self.index!r}]"
+
+
+class Event:
+    """A single communication ``c.m`` — simultaneous send/receive of message
+    ``m`` on channel ``c`` (the paper does not distinguish direction)."""
+
+    __slots__ = ("channel", "message")
+
+    def __init__(self, channel: Channel, message: Value) -> None:
+        self.channel = channel
+        self.message = message
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Event)
+            and self.channel == other.channel
+            and self.message == other.message
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.channel, self.message))
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> Tuple[Tuple[str, str], str]:
+        return (self.channel.sort_key(), repr(self.message))
+
+    def __repr__(self) -> str:
+        return f"{self.channel!r}.{self.message!r}"
+
+
+#: A trace is an immutable sequence of events.
+Trace = Tuple[Event, ...]
+
+#: The empty trace ⟨⟩.
+EMPTY_TRACE: Trace = ()
+
+
+def channel(name: str, index: Optional[Value] = None) -> Channel:
+    """Shorthand constructor for :class:`Channel`."""
+    return Channel(name, index)
+
+
+def event(chan: Any, message: Value) -> Event:
+    """Build an :class:`Event`; ``chan`` may be a :class:`Channel` or name."""
+    if isinstance(chan, str):
+        chan = Channel(chan)
+    return Event(chan, message)
+
+
+def trace(*pairs: Any) -> Trace:
+    """Build a trace from ``(channel, message)`` pairs or :class:`Event`\\ s.
+
+    >>> trace(("input", 3), ("wire", 3))
+    (input.3, wire.3)
+    """
+    events = []
+    for pair in pairs:
+        if isinstance(pair, Event):
+            events.append(pair)
+        else:
+            chan, message = pair
+            events.append(event(chan, message))
+    return tuple(events)
+
+
+def trace_channels(s: Trace) -> FrozenSet[Channel]:
+    """The set of channels mentioned in a trace."""
+    return frozenset(e.channel for e in s)
+
+
+def restrict(s: Trace, channels: Iterable[Channel]) -> Trace:
+    """``s \\ C`` — omit every communication on a channel of ``C`` (§3.1)."""
+    hidden = frozenset(channels)
+    return tuple(e for e in s if e.channel not in hidden)
+
+
+def project(s: Trace, channels: Iterable[Channel]) -> Trace:
+    """Keep only communications on channels of ``C`` (the complement of
+    :func:`restrict`, used when projecting a network trace onto one
+    component's alphabet)."""
+    kept = frozenset(channels)
+    return tuple(e for e in s if e.channel in kept)
+
+
+def is_prefix(s: Trace, t: Trace) -> bool:
+    """The prefix order ``s ≤ t`` of §2: ∃u. s++u = t."""
+    return len(s) <= len(t) and t[: len(s)] == s
+
+
+def prefixes(s: Trace) -> Iterable[Trace]:
+    """All prefixes of ``s``, shortest first, including ⟨⟩ and ``s``."""
+    for i in range(len(s) + 1):
+        yield s[:i]

@@ -1,0 +1,183 @@
+"""The paper's operators on prefix closures (§3.1).
+
+* ``prefix(a, P)``       — ``(a → P) = {⟨⟩} ∪ {a⌢s | s ∈ P}``;
+* ``hide(P, C)``         — ``P \\ C = {s \\ C | s ∈ P}`` (the ``chan`` operator);
+* ``pad(P, C, events)``  — ``P ⇑ C``: traces of ``P`` interleaved with
+  arbitrary communications on the channels of ``C``;
+* ``parallel(P, X, Q, Y)`` — ``P ‖_{X,Y} Q = (P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y))``,
+  computed directly by synchronised merge rather than by building the two
+  padded sets (which are huge);
+* ``after_event(P, a)``  — the derivative ``{s | a⌢s ∈ P}``.
+
+All functions return new :class:`FiniteClosure` values; every result is
+prefix-closed by construction (the §3.1 theorems, which the property tests
+re-verify).
+"""
+
+from __future__ import annotations
+
+from typing import Deque, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from collections import deque
+
+from repro.traces.events import (
+    EMPTY_TRACE,
+    Channel,
+    Event,
+    Trace,
+    restrict,
+)
+from repro.traces.prefix_closure import FiniteClosure
+
+
+def prefix(a: Event, p: FiniteClosure) -> FiniteClosure:
+    """``(a → P)`` — the process that first communicates ``a``, then
+    behaves like ``P`` (§3.1)."""
+    traces: Set[Trace] = {EMPTY_TRACE}
+    for s in p.traces:
+        traces.add((a,) + s)
+    return FiniteClosure(frozenset(traces), _trusted=True)
+
+
+def after_event(p: FiniteClosure, a: Event) -> FiniteClosure:
+    """``P after a`` — the behaviours of ``P`` once ``a`` has occurred:
+    ``{s | a⌢s ∈ P}``.  Empty behaviour (STOP) if ``a`` is impossible."""
+    traces = frozenset(s[1:] for s in p.traces if s and s[0] == a)
+    return FiniteClosure(traces | {EMPTY_TRACE}, _trusted=True)
+
+
+def hide(p: FiniteClosure, channels: Iterable[Channel]) -> FiniteClosure:
+    """``P \\ C`` — conceal all communications on channels of ``C``
+    (the semantics of ``chan C; P``, §3.1/§3.2).
+
+    Restricting a prefix-closed set is prefix-closed: ``(st)\\C`` always
+    begins with ``s\\C``.
+    """
+    hidden = frozenset(channels)
+    return FiniteClosure(
+        frozenset(restrict(s, hidden) for s in p.traces), _trusted=True
+    )
+
+
+def pad(
+    p: FiniteClosure,
+    channels: Iterable[Channel],
+    pad_events: Iterable[Event],
+    depth: int,
+) -> FiniteClosure:
+    """``P ⇑ C`` — interleave each trace of ``P`` with arbitrary
+    communications on the channels of ``C`` (§3.1: the communications
+    "ignored by P").
+
+    The paper's ``⇑`` adjoins *all* messages on the channels of ``C``; a
+    finite representation needs an explicit finite alphabet, so callers
+    pass ``pad_events`` (every event must lie on a channel of ``C``) and a
+    ``depth`` bound on result length.
+    """
+    pad_set = tuple(sorted(set(pad_events), key=Event.sort_key))
+    chan_set = frozenset(channels)
+    for e in pad_set:
+        if e.channel not in chan_set:
+            raise ValueError(f"padding event {e!r} not on a padding channel")
+
+    results: Set[Trace] = set()
+    # BFS over (emitted trace, progress inside P).
+    queue: Deque[Tuple[Trace, Trace]] = deque([(EMPTY_TRACE, EMPTY_TRACE)])
+    seen: Set[Tuple[Trace, Trace]] = {(EMPTY_TRACE, EMPTY_TRACE)}
+    while queue:
+        emitted, progress = queue.popleft()
+        results.add(emitted)
+        if len(emitted) >= depth:
+            continue
+        for a in p.initials_after(progress):
+            state = (emitted + (a,), progress + (a,))
+            if state not in seen:
+                seen.add(state)
+                queue.append(state)
+        for a in pad_set:
+            state = (emitted + (a,), progress)
+            if state not in seen:
+                seen.add(state)
+                queue.append(state)
+    return FiniteClosure(frozenset(results), _trusted=True)
+
+
+def parallel(
+    p: FiniteClosure,
+    x: Iterable[Channel],
+    q: FiniteClosure,
+    y: Iterable[Channel],
+    depth: Optional[int] = None,
+) -> FiniteClosure:
+    """``P ‖_{X,Y} Q`` (§3.1).
+
+    ``X`` must cover every channel ``P`` uses and ``Y`` every channel ``Q``
+    uses.  A product trace ``s`` over ``X ∪ Y`` is included iff
+    ``s \\ (Y−X) ∈ P`` and ``s \\ (X−Y) ∈ Q``: events on shared channels
+    ``X ∩ Y`` need simultaneous participation of both components, events on
+    private channels proceed independently.
+
+    Computed by synchronised merge over the two tries — equivalent to the
+    paper's ``(P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y))`` but without materialising the
+    padded sets (an equivalence the test suite checks on small instances).
+    """
+    x_set = frozenset(x)
+    y_set = frozenset(y)
+    missing_p = p.channels() - x_set
+    if missing_p:
+        raise ValueError(f"left process uses channels outside X: {sorted(missing_p)}")
+    missing_q = q.channels() - y_set
+    if missing_q:
+        raise ValueError(f"right process uses channels outside Y: {sorted(missing_q)}")
+    shared = x_set & y_set
+
+    if depth is None:
+        depth = p.depth() + q.depth()
+
+    results: Set[Trace] = set()
+    # BFS over (product trace, P-projection, Q-projection).
+    queue: Deque[Tuple[Trace, Trace, Trace]] = deque(
+        [(EMPTY_TRACE, EMPTY_TRACE, EMPTY_TRACE)]
+    )
+    while queue:
+        emitted, sp, sq = queue.popleft()
+        results.add(emitted)
+        if len(emitted) >= depth:
+            continue
+        p_next = p.initials_after(sp)
+        q_next = q.initials_after(sq)
+        for a in p_next:
+            if a.channel in shared:
+                if a in q_next:
+                    queue.append((emitted + (a,), sp + (a,), sq + (a,)))
+            else:
+                queue.append((emitted + (a,), sp + (a,), sq))
+        for a in q_next:
+            if a.channel not in shared:
+                queue.append((emitted + (a,), sp, sq + (a,)))
+    return FiniteClosure(frozenset(results), _trusted=True)
+
+
+def interleavings(s: Trace, t: Trace) -> Iterator[Trace]:
+    """All merges of two traces preserving each one's internal order.
+
+    A reference helper used to cross-check :func:`pad` and
+    :func:`parallel` on small inputs.
+    """
+    if not s:
+        yield t
+        return
+    if not t:
+        yield s
+        return
+    for rest in interleavings(s[1:], t):
+        yield (s[0],) + rest
+    for rest in interleavings(s, t[1:]):
+        yield (t[0],) + rest
+
+
+def union_all(closures: Iterable[FiniteClosure]) -> FiniteClosure:
+    """∪ᵢ Pᵢ — prefix closures are closed under arbitrary unions (§3.1)."""
+    traces: Set[Trace] = {EMPTY_TRACE}
+    for c in closures:
+        traces |= c.traces
+    return FiniteClosure(frozenset(traces), _trusted=True)

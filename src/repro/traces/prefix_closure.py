@@ -1,0 +1,167 @@
+"""Finite prefix-closed trace sets (paper §3.1).
+
+The paper's model of a process is a *prefix closure*: a set ``P ⊆ A*``
+with ``⟨⟩ ∈ P`` and ``st ∈ P ⇒ s ∈ P``.  Real denotations are usually
+infinite; :class:`FiniteClosure` holds the finite fragment up to some
+depth, which is exactly what the bounded denotational semantics
+(:mod:`repro.semantics.denotation`) computes.
+
+A :class:`FiniteClosure` indexes its traces as a trie so that
+``initials_after`` — the set of possible next events after a trace — is a
+dictionary lookup.  That operation drives both the parallel-composition
+operator and the satisfaction checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.traces.events import EMPTY_TRACE, Channel, Event, Trace, trace_channels
+
+
+class FiniteClosure:
+    """An immutable, finite, prefix-closed set of traces.
+
+    Construct with :meth:`from_traces` (which closes the input under
+    prefixes) or the constructor (which *verifies* closure).  All set
+    operations from §3.1 that stay finite are provided: union,
+    intersection, membership, and the lattice order.
+    """
+
+    __slots__ = ("_traces", "_initials", "_channels")
+
+    def __init__(self, traces: Iterable[Trace], _trusted: bool = False) -> None:
+        trace_set = frozenset(traces)
+        if not _trusted:
+            if EMPTY_TRACE not in trace_set:
+                raise ValueError("a prefix closure must contain the empty trace")
+            for s in trace_set:
+                if s and s[:-1] not in trace_set:
+                    raise ValueError(f"not prefix-closed: missing prefix of {s!r}")
+        self._traces: FrozenSet[Trace] = trace_set
+        self._initials: Optional[Dict[Trace, FrozenSet[Event]]] = None
+        self._channels: Optional[FrozenSet[Channel]] = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_traces(cls, traces: Iterable[Trace]) -> "FiniteClosure":
+        """The prefix closure of an arbitrary finite set of traces."""
+        closed: Set[Trace] = {EMPTY_TRACE}
+        for s in traces:
+            for i in range(1, len(s) + 1):
+                closed.add(s[:i])
+        return cls(frozenset(closed), _trusted=True)
+
+    @classmethod
+    def stop(cls) -> "FiniteClosure":
+        """⟦STOP⟧ = {⟨⟩} (§3.2)."""
+        return STOP_CLOSURE
+
+    # -- basic queries ---------------------------------------------------
+
+    @property
+    def traces(self) -> FrozenSet[Trace]:
+        return self._traces
+
+    def __contains__(self, s: object) -> bool:
+        return s in self._traces
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(sorted(self._traces, key=lambda s: (len(s), tuple(e.sort_key() for e in s))))
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def depth(self) -> int:
+        """Length of the longest trace present."""
+        return max((len(s) for s in self._traces), default=0)
+
+    def channels(self) -> FrozenSet[Channel]:
+        """All channels occurring in any trace."""
+        if self._channels is None:
+            chans: Set[Channel] = set()
+            for s in self._traces:
+                chans |= trace_channels(s)
+            self._channels = frozenset(chans)
+        return self._channels
+
+    def maximal_traces(self) -> FrozenSet[Trace]:
+        """Traces with no extension in the set (the trie's leaves)."""
+        return frozenset(
+            s for s in self._traces if not self.initials_after(s)
+        )
+
+    # -- trie view ---------------------------------------------------------
+
+    def _build_index(self) -> Dict[Trace, FrozenSet[Event]]:
+        index: Dict[Trace, Set[Event]] = {s: set() for s in self._traces}
+        for s in self._traces:
+            if s:
+                index[s[:-1]].add(s[-1])
+        return {s: frozenset(events) for s, events in index.items()}
+
+    def initials_after(self, s: Trace) -> FrozenSet[Event]:
+        """The events ``a`` with ``s ++ ⟨a⟩`` in the set; empty frozenset if
+        ``s`` itself is absent."""
+        if self._initials is None:
+            self._initials = self._build_index()
+        return self._initials.get(s, frozenset())
+
+    def initials(self) -> FrozenSet[Event]:
+        """Possible first events: ``initials_after(⟨⟩)``."""
+        return self.initials_after(EMPTY_TRACE)
+
+    # -- lattice operations (§3.1) -----------------------------------------
+
+    def union(self, other: "FiniteClosure") -> "FiniteClosure":
+        """Set union; prefix closures are closed under arbitrary unions."""
+        return FiniteClosure(self._traces | other._traces, _trusted=True)
+
+    def intersection(self, other: "FiniteClosure") -> "FiniteClosure":
+        """Set intersection; closed under arbitrary intersections."""
+        return FiniteClosure(self._traces & other._traces, _trusted=True)
+
+    def issubset(self, other: "FiniteClosure") -> bool:
+        """The lattice order ⊆."""
+        return self._traces <= other._traces
+
+    def truncate(self, depth: int) -> "FiniteClosure":
+        """Only the traces of length ≤ ``depth`` (still prefix-closed)."""
+        return FiniteClosure(
+            frozenset(s for s in self._traces if len(s) <= depth), _trusted=True
+        )
+
+    def is_prefix_closed(self) -> bool:
+        """Re-verify the closure invariant (used by property tests)."""
+        if EMPTY_TRACE not in self._traces:
+            return False
+        return all(s[:-1] in self._traces for s in self._traces if s)
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FiniteClosure) and self._traces == other._traces
+
+    def __hash__(self) -> int:
+        return hash(self._traces)
+
+    def __repr__(self) -> str:
+        n = len(self._traces)
+        if n <= 8:
+            inner = ", ".join(repr(s) for s in self)
+            return f"FiniteClosure({{{inner}}})"
+        return f"FiniteClosure(<{n} traces, depth {self.depth()}>)"
+
+
+#: Shared ⟦STOP⟧ = {⟨⟩}.
+STOP_CLOSURE = FiniteClosure(frozenset({EMPTY_TRACE}), _trusted=True)
+
+
+def closure_union(closures: Iterable[FiniteClosure]) -> FiniteClosure:
+    """Union of arbitrarily many closures, e.g. ∪ᵢ aᵢ in the fixpoint
+    construction (§3.3)."""
+    traces: Set[Trace] = {EMPTY_TRACE}
+    for closure in closures:
+        traces |= closure.traces
+    return FiniteClosure(frozenset(traces), _trusted=True)

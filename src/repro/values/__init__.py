@@ -1,0 +1,63 @@
+"""Value domain and expression substrate (paper §1.1 items 1–4).
+
+This package provides:
+
+* :mod:`repro.values.environment` — immutable variable environments ρ;
+* :mod:`repro.values.domains` — semantic value sets (``NAT``, finite sets,
+  ranges) with membership and bounded enumeration;
+* :mod:`repro.values.expressions` — the expression language used in output
+  prefixes ``c!e``, subscripts ``q[e]``/``col[e]``, and set expressions
+  ``M`` of input prefixes ``c?x:M``.
+"""
+
+from repro.values.domains import (
+    Domain,
+    FiniteDomain,
+    NaturalsDomain,
+    IntegersDomain,
+    UnionDomain,
+    NAT,
+    INT,
+)
+from repro.values.environment import Environment
+from repro.values.expressions import (
+    Expr,
+    Const,
+    Var,
+    BinOp,
+    UnaryOp,
+    FuncCall,
+    SetExpr,
+    SetLiteral,
+    RangeSet,
+    NamedSet,
+    SetUnion,
+    NatSet,
+    const,
+    var,
+)
+
+__all__ = [
+    "Domain",
+    "FiniteDomain",
+    "NaturalsDomain",
+    "IntegersDomain",
+    "UnionDomain",
+    "NAT",
+    "INT",
+    "Environment",
+    "Expr",
+    "Const",
+    "Var",
+    "BinOp",
+    "UnaryOp",
+    "FuncCall",
+    "SetExpr",
+    "SetLiteral",
+    "RangeSet",
+    "NamedSet",
+    "SetUnion",
+    "NatSet",
+    "const",
+    "var",
+]

@@ -1,0 +1,275 @@
+"""Semantic value sets (paper §1.1 item 4).
+
+A *domain* is the meaning of a set expression such as ``NAT``, ``{0..3}``
+or ``{ACK, NACK}``: a set of message values supporting membership tests
+and *bounded enumeration*.  Bounded enumeration is the reproduction
+substitute for the paper's infinite sets (DESIGN.md §4): ``NAT`` is
+infinite, so wherever the library must enumerate it (input prefixes during
+trace enumeration, ∀-elimination during model checking) it draws the first
+``limit`` elements in a fixed canonical order.  Membership, by contrast,
+is always exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterator, Tuple
+
+from repro.errors import DomainError
+
+Value = Any  # message values: ints, strings, tuples thereof
+
+
+def _value_sort_key(value: Value) -> Tuple[str, Any]:
+    """A total order across the mixed value universe, for canonical output."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, str):
+        return ("str", value)
+    if isinstance(value, tuple):
+        return ("tuple", tuple(_value_sort_key(v) for v in value))
+    return ("other", repr(value))
+
+
+class Domain:
+    """Abstract set of message values.
+
+    Subclasses implement :meth:`__contains__` (exact membership) and
+    :meth:`enumerate` (canonical bounded enumeration).
+    """
+
+    #: True when :meth:`enumerate` with a large enough limit yields every
+    #: element of the domain.
+    is_finite: bool = False
+
+    def __contains__(self, value: Value) -> bool:
+        raise NotImplementedError
+
+    def enumerate(self, limit: int) -> Iterator[Value]:
+        """Yield up to ``limit`` elements in a deterministic canonical order."""
+        raise NotImplementedError
+
+    def sample(self, limit: int) -> Tuple[Value, ...]:
+        """The canonical bounded enumeration as a tuple."""
+        return tuple(self.enumerate(limit))
+
+    def require_finite(self) -> FrozenSet[Value]:
+        """Return all elements, or raise :class:`DomainError` if infinite."""
+        if not self.is_finite:
+            raise DomainError(f"domain {self!r} is not finite")
+        return frozenset(self.enumerate(10 ** 9))
+
+    def union(self, other: "Domain") -> "Domain":
+        return UnionDomain((self, other))
+
+
+class FiniteDomain(Domain):
+    """An explicit finite set of values, e.g. ``{ACK, NACK}`` or ``{0..3}``."""
+
+    is_finite = True
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Any) -> None:
+        self._values: FrozenSet[Value] = frozenset(values)
+
+    @property
+    def values(self) -> FrozenSet[Value]:
+        return self._values
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self._values
+
+    def enumerate(self, limit: int) -> Iterator[Value]:
+        ordered = sorted(self._values, key=_value_sort_key)
+        yield from ordered[:limit]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FiniteDomain) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(("FiniteDomain", self._values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in sorted(self._values, key=_value_sort_key))
+        return f"{{{inner}}}"
+
+
+class NaturalsDomain(Domain):
+    """The natural numbers ``NAT`` = {0, 1, 2, ...} (paper §1.1)."""
+
+    is_finite = False
+
+    def __contains__(self, value: Value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+    def enumerate(self, limit: int) -> Iterator[Value]:
+        yield from range(max(limit, 0))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NaturalsDomain)
+
+    def __hash__(self) -> int:
+        return hash("NaturalsDomain")
+
+    def __repr__(self) -> str:
+        return "NAT"
+
+
+class IntegersDomain(Domain):
+    """All integers; enumerated canonically as 0, -1, 1, -2, 2, ..."""
+
+    is_finite = False
+
+    def __contains__(self, value: Value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def enumerate(self, limit: int) -> Iterator[Value]:
+        count = 0
+        n = 0
+        while count < limit:
+            yield n
+            count += 1
+            if count >= limit:
+                return
+            if n >= 0:
+                n = -(n + 1)
+            else:
+                n = -n
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntegersDomain)
+
+    def __hash__(self) -> int:
+        return hash("IntegersDomain")
+
+    def __repr__(self) -> str:
+        return "INT"
+
+
+class UnionDomain(Domain):
+    """Union of several domains, e.g. ``M ∪ {ACK, NACK}`` (§2.2)."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: Any) -> None:
+        flattened = []
+        for part in parts:
+            if isinstance(part, UnionDomain):
+                flattened.extend(part._parts)
+            else:
+                flattened.append(part)
+        self._parts: Tuple[Domain, ...] = tuple(flattened)
+        if not self._parts:
+            raise DomainError("union of no domains")
+
+    @property
+    def parts(self) -> Tuple[Domain, ...]:
+        return self._parts
+
+    @property
+    def is_finite(self) -> bool:  # type: ignore[override]
+        return all(part.is_finite for part in self._parts)
+
+    def __contains__(self, value: Value) -> bool:
+        return any(value in part for part in self._parts)
+
+    def enumerate(self, limit: int) -> Iterator[Value]:
+        seen = set()
+        # Round-robin across parts so an infinite first part cannot starve
+        # the finite ones.
+        iterators = [part.enumerate(limit) for part in self._parts]
+        active = list(iterators)
+        while active and len(seen) < limit:
+            next_round = []
+            for iterator in active:
+                try:
+                    value = next(iterator)
+                except StopIteration:
+                    continue
+                next_round.append(iterator)
+                if value not in seen:
+                    seen.add(value)
+                    yield value
+                    if len(seen) >= limit:
+                        return
+            active = next_round
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UnionDomain) and self._parts == other._parts
+
+    def __hash__(self) -> int:
+        return hash(("UnionDomain", self._parts))
+
+    def __repr__(self) -> str:
+        return " ∪ ".join(repr(part) for part in self._parts)
+
+
+class IntersectionDomain(Domain):
+    """Intersection of several domains.
+
+    Arises when two processes *input* on the same shared channel (the
+    paper's "all such inputs occur simultaneously" note, §1.2): the
+    communicated value must lie in every input's set.  Enumeration filters
+    the first part's canonical enumeration, over-scanning by a bounded
+    factor, so a sparse intersection may enumerate fewer than ``limit``
+    elements; membership is always exact.
+    """
+
+    __slots__ = ("_parts",)
+
+    _SCAN_FACTOR = 64
+
+    def __init__(self, parts: Any) -> None:
+        flattened = []
+        for part in parts:
+            if isinstance(part, IntersectionDomain):
+                flattened.extend(part._parts)
+            else:
+                flattened.append(part)
+        self._parts: Tuple[Domain, ...] = tuple(flattened)
+        if not self._parts:
+            raise DomainError("intersection of no domains")
+
+    @property
+    def parts(self) -> Tuple[Domain, ...]:
+        return self._parts
+
+    @property
+    def is_finite(self) -> bool:  # type: ignore[override]
+        return any(part.is_finite for part in self._parts)
+
+    def __contains__(self, value: Value) -> bool:
+        return all(value in part for part in self._parts)
+
+    def enumerate(self, limit: int) -> Iterator[Value]:
+        finite = [p for p in self._parts if p.is_finite]
+        base = finite[0] if finite else self._parts[0]
+        scan = limit * self._SCAN_FACTOR if not base.is_finite else 10 ** 9
+        count = 0
+        for value in base.enumerate(scan):
+            if count >= limit:
+                return
+            if all(value in part for part in self._parts if part is not base):
+                count += 1
+                yield value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntersectionDomain) and self._parts == other._parts
+
+    def __hash__(self) -> int:
+        return hash(("IntersectionDomain", self._parts))
+
+    def __repr__(self) -> str:
+        return " ∩ ".join(repr(part) for part in self._parts)
+
+
+#: Shared instance of the naturals, the paper's default message type.
+NAT = NaturalsDomain()
+
+#: Shared instance of the integers.
+INT = IntegersDomain()

@@ -1,0 +1,111 @@
+"""Immutable environments ρ (paper §3.2).
+
+An environment maps names to values.  In the paper an environment ascribes
+meanings to *variables* (message values), *process names* (prefix closures),
+and — when extended with a channel history ``ch(s)`` — *channel names*
+(sequences of messages).  One immutable class serves all three uses; the
+packages that need a particular kind of binding document which names they
+expect to find.
+
+Environments are persistent: :meth:`Environment.bind` returns a new
+environment sharing structure with the old one, so proof search and
+fixed-point iteration can freely extend environments without copying.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import UnboundVariableError
+
+
+class Environment:
+    """A persistent mapping from names to arbitrary values.
+
+    The empty environment is ``Environment()``; bindings are added with
+    :meth:`bind` (one name) or :meth:`bind_all` (many), each returning a
+    *new* environment.  Lookup of an unbound name raises
+    :class:`~repro.errors.UnboundVariableError`.
+    """
+
+    __slots__ = ("_bindings", "_parent")
+
+    def __init__(
+        self,
+        bindings: Optional[Mapping[str, Any]] = None,
+        _parent: Optional["Environment"] = None,
+    ) -> None:
+        self._bindings: Dict[str, Any] = dict(bindings) if bindings else {}
+        self._parent = _parent
+
+    # -- construction ------------------------------------------------------
+
+    def bind(self, name: str, value: Any) -> "Environment":
+        """Return a new environment in which ``name`` maps to ``value``.
+
+        Shadows any earlier binding of the same name, exactly like the
+        paper's ρ[v/x] notation.
+        """
+        return Environment({name: value}, _parent=self)
+
+    def bind_all(self, bindings: Mapping[str, Any]) -> "Environment":
+        """Return a new environment with every binding of ``bindings`` added."""
+        if not bindings:
+            return self
+        return Environment(dict(bindings), _parent=self)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, name: str, kind: str = "variable") -> Any:
+        """Return the value bound to ``name``.
+
+        ``kind`` only affects the error message (e.g. ``"process name"``).
+        """
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env._bindings:
+                return env._bindings[name]
+            env = env._parent
+        raise UnboundVariableError(name, kind)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return the value bound to ``name`` or ``default`` if unbound."""
+        try:
+            return self.lookup(name)
+        except UnboundVariableError:
+            return default
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env._bindings:
+                return True
+            env = env._parent
+        return False
+
+    def names(self) -> Tuple[str, ...]:
+        """All bound names, innermost shadowing outermost, in sorted order."""
+        seen: Dict[str, None] = {}
+        env: Optional[Environment] = self
+        while env is not None:
+            for key in env._bindings:
+                seen.setdefault(key, None)
+            env = env._parent
+        return tuple(sorted(seen))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def flatten(self) -> Dict[str, Any]:
+        """A plain dict snapshot of all visible bindings."""
+        return {name: self.lookup(name) for name in self.names()}
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v!r}" for k, v in sorted(self.flatten().items()))
+        return f"Environment({items})"
+
+
+#: The empty environment, shared since environments are immutable.
+EMPTY = Environment()

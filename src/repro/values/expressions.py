@@ -1,0 +1,471 @@
+"""The expression language (paper §1.1 items 1–4).
+
+Expressions appear in output prefixes ``c!e``, process subscripts ``q[e]``,
+channel subscripts ``col[e]``, and — as *set expressions* — in input
+prefixes ``c?x:M``.  Per the paper's restriction, expressions contain
+constants, variables, and operators only: never process names or channel
+names.
+
+Two ASTs live here:
+
+* :class:`Expr` — value-producing expressions (``3*x + y``, ``v[i]``);
+* :class:`SetExpr` — set-valued expressions (``NAT``, ``{0..3}``,
+  ``{ACK, NACK}``) evaluating to a :class:`~repro.values.domains.Domain`.
+
+Both support :meth:`evaluate` under an :class:`Environment`,
+:meth:`free_variables`, and capture-free :meth:`substitute` of a variable
+by an expression — the workhorse of the input rule's ``P^x_v``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Tuple
+
+from repro.errors import DomainError, EvaluationError
+from repro.values.domains import (
+    NAT,
+    Domain,
+    FiniteDomain,
+    UnionDomain,
+    Value,
+)
+from repro.values.environment import Environment
+
+# ---------------------------------------------------------------------------
+# Value expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Abstract value expression."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Environment) -> Value:
+        """The value of this expression under ``env``."""
+        raise NotImplementedError
+
+    def free_variables(self) -> FrozenSet[str]:
+        """Names of variables occurring free in this expression."""
+        raise NotImplementedError
+
+    def substitute(self, name: str, replacement: "Expr") -> "Expr":
+        """This expression with free occurrences of ``name`` replaced."""
+        raise NotImplementedError
+
+    # Expressions are plain data: equality is structural and they hash, so
+    # they can key dictionaries during proof search.
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+
+    def _key(self) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+
+class Const(Expr):
+    """A literal value: ``3``, ``"ACK"``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def evaluate(self, env: Environment) -> Value:
+        return self.value
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, name: str, replacement: Expr) -> Expr:
+        return self
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Var(Expr):
+    """A variable reference: ``x``, ``i``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, env: Environment) -> Value:
+        return env.lookup(self.name)
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def substitute(self, name: str, replacement: Expr) -> Expr:
+        return replacement if name == self.name else self
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_BINARY_OPS: Dict[str, Callable[[Value, Value], Value]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "div": lambda a, b: a // b,
+    "mod": lambda a, b: a % b,
+}
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation: ``3*x + y``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _BINARY_OPS:
+            raise EvaluationError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Environment) -> Value:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        try:
+            return _BINARY_OPS[self.op](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise EvaluationError(
+                f"cannot evaluate {left!r} {self.op} {right!r}: {exc}"
+            ) from exc
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def substitute(self, name: str, replacement: Expr) -> Expr:
+        return BinOp(
+            self.op,
+            self.left.substitute(name, replacement),
+            self.right.substitute(name, replacement),
+        )
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.op, self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class UnaryOp(Expr):
+    """A unary operation; only negation is needed by the paper's examples."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if op != "-":
+            raise EvaluationError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def evaluate(self, env: Environment) -> Value:
+        value = self.operand.evaluate(env)
+        try:
+            return -value
+        except TypeError as exc:
+            raise EvaluationError(f"cannot negate {value!r}") from exc
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.operand.free_variables()
+
+    def substitute(self, name: str, replacement: Expr) -> Expr:
+        return UnaryOp(self.op, self.operand.substitute(name, replacement))
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.op, self.operand)
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+
+class FuncCall(Expr):
+    """Application of a named host function, e.g. the fixed vector ``v[i]``
+    of the multiplier network (§1.3 example 5).
+
+    The environment must bind ``name`` to a Python callable.  This is how
+    constant tables and pure helper functions enter expressions without
+    extending the core grammar.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Tuple[Expr, ...]) -> None:
+        self.name = name
+        self.args = tuple(args)
+
+    def evaluate(self, env: Environment) -> Value:
+        func = env.lookup(self.name, kind="function")
+        if not callable(func):
+            raise EvaluationError(f"{self.name!r} is bound to a non-callable")
+        values = [arg.evaluate(env) for arg in self.args]
+        try:
+            return func(*values)
+        except Exception as exc:  # host function failure is an eval failure
+            raise EvaluationError(f"{self.name}({values}) raised {exc!r}") from exc
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            result |= arg.free_variables()
+        return result
+
+    def substitute(self, name: str, replacement: Expr) -> Expr:
+        return FuncCall(
+            self.name, tuple(arg.substitute(name, replacement) for arg in self.args)
+        )
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.name, self.args)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(arg) for arg in self.args)
+        return f"{self.name}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Set expressions
+# ---------------------------------------------------------------------------
+
+
+class SetExpr:
+    """Abstract set-valued expression, evaluating to a :class:`Domain`."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Environment) -> Domain:
+        raise NotImplementedError
+
+    def free_variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def substitute(self, name: str, replacement: Expr) -> "SetExpr":
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+
+    def _key(self) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+
+class NatSet(SetExpr):
+    """The literal set expression ``NAT``."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Environment) -> Domain:
+        return NAT
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, name: str, replacement: Expr) -> SetExpr:
+        return self
+
+    def _key(self) -> Tuple[Any, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "NAT"
+
+
+class IntSet(SetExpr):
+    """The literal set expression ``INT`` (all integers)."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Environment) -> Domain:
+        from repro.values.domains import INT
+
+        return INT
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, name: str, replacement: Expr) -> SetExpr:
+        return self
+
+    def _key(self) -> Tuple[Any, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "INT"
+
+
+class SetLiteral(SetExpr):
+    """A finite set of expressions, e.g. ``{ACK, NACK}`` or ``{x+1, 0}``."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Tuple[Expr, ...]) -> None:
+        self.elements = tuple(elements)
+
+    def evaluate(self, env: Environment) -> Domain:
+        return FiniteDomain(element.evaluate(env) for element in self.elements)
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for element in self.elements:
+            result |= element.free_variables()
+        return result
+
+    def substitute(self, name: str, replacement: Expr) -> SetExpr:
+        return SetLiteral(
+            tuple(element.substitute(name, replacement) for element in self.elements)
+        )
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.elements,)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(element) for element in self.elements)
+        return f"{{{inner}}}"
+
+
+class RangeSet(SetExpr):
+    """A finite integer range ``{lo..hi}``, inclusive at both ends."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Expr, high: Expr) -> None:
+        self.low = low
+        self.high = high
+
+    def evaluate(self, env: Environment) -> Domain:
+        low = self.low.evaluate(env)
+        high = self.high.evaluate(env)
+        if not isinstance(low, int) or not isinstance(high, int):
+            raise DomainError(f"range bounds must be integers: {low!r}..{high!r}")
+        return FiniteDomain(range(low, high + 1))
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.low.free_variables() | self.high.free_variables()
+
+    def substitute(self, name: str, replacement: Expr) -> SetExpr:
+        return RangeSet(
+            self.low.substitute(name, replacement),
+            self.high.substitute(name, replacement),
+        )
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"{{{self.low!r}..{self.high!r}}}"
+
+
+class NamedSet(SetExpr):
+    """A set named in the environment, e.g. the abstract message type ``M``
+    of the protocol example (§1.3).  The environment must bind the name to a
+    :class:`Domain`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, env: Environment) -> Domain:
+        domain = env.lookup(self.name, kind="set name")
+        if not isinstance(domain, Domain):
+            raise DomainError(f"{self.name!r} is bound to {domain!r}, not a Domain")
+        return domain
+
+    def free_variables(self) -> FrozenSet[str]:
+        # Set names are resolved from the environment but are not message
+        # variables; they are not substitutable and not "free variables" in
+        # the paper's sense.
+        return frozenset()
+
+    def substitute(self, name: str, replacement: Expr) -> SetExpr:
+        return self
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class SetUnion(SetExpr):
+    """Union of set expressions, e.g. ``M ∪ {ACK, NACK}`` (§2.2)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Tuple[SetExpr, ...]) -> None:
+        self.parts = tuple(parts)
+        if not self.parts:
+            raise DomainError("union of no set expressions")
+
+    def evaluate(self, env: Environment) -> Domain:
+        domains = [part.evaluate(env) for part in self.parts]
+        if len(domains) == 1:
+            return domains[0]
+        return UnionDomain(domains)
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def substitute(self, name: str, replacement: Expr) -> SetExpr:
+        return SetUnion(tuple(part.substitute(name, replacement) for part in self.parts))
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.parts,)
+
+    def __repr__(self) -> str:
+        return " ∪ ".join(repr(part) for part in self.parts)
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def const(value: Value) -> Const:
+    """Shorthand for :class:`Const`."""
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    """Shorthand for :class:`Var`."""
+    return Var(name)
+
+
+def as_expr(value: Any) -> Expr:
+    """Coerce a Python value, name, or Expr into an :class:`Expr`.
+
+    Ints and strings become constants — except that by convention a string
+    that is a lower-case identifier becomes a variable reference.  Use
+    explicit :func:`const`/:func:`var` when the convention is wrong.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool) or isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        if value.isidentifier() and value == value.lower():
+            return Var(value)
+        return Const(value)
+    if isinstance(value, tuple):
+        return Const(value)
+    raise EvaluationError(f"cannot coerce {value!r} to an expression")

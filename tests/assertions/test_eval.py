@@ -1,0 +1,175 @@
+"""Unit tests for assertion evaluation under ρ + ch(s) (§3.3)."""
+
+import pytest
+
+from repro.assertions.builders import (
+    EMPTY_SEQ,
+    FALSE,
+    TRUE,
+    and_,
+    apply_,
+    at_,
+    cat_,
+    chan_,
+    cons_,
+    const_,
+    eq_,
+    exists_,
+    forall_,
+    implies_,
+    le_,
+    len_,
+    lt_,
+    ne_,
+    not_,
+    or_,
+    plus_,
+    seq_,
+    sum_,
+    times_,
+    var_,
+)
+from repro.assertions.eval import EvalConfig, evaluate_formula, evaluate_term
+from repro.errors import EvaluationError
+from repro.traces.events import channel, trace
+from repro.traces.histories import ch
+from repro.values.environment import Environment
+from repro.values.expressions import NatSet, RangeSet, const
+
+ENV = Environment()
+S = trace(("input", 27), ("wire", 27), ("input", 0), ("wire", 0), ("input", 3))
+H = ch(S)
+
+
+class TestTermEvaluation:
+    def test_channel_trace_is_history(self):
+        assert evaluate_term(chan_("input"), ENV, H) == (27, 0, 3)
+        assert evaluate_term(chan_("wire"), ENV, H) == (27, 0)
+
+    def test_unused_channel_is_empty(self):
+        assert evaluate_term(chan_("output"), ENV, H) == ()
+
+    def test_subscripted_channel(self):
+        h = ch(trace((channel("col", 1), 5)))
+        env = ENV.bind("i", 1)
+        assert evaluate_term(chan_("col", "i"), env, h) == (5,)
+        assert evaluate_term(chan_("col", 0), env, h) == ()
+
+    def test_variables_and_constants(self):
+        env = ENV.bind("x", 9)
+        assert evaluate_term(var_("x"), env, H) == 9
+        assert evaluate_term(const_("ACK"), env, H) == "ACK"
+
+    def test_sequence_literal(self):
+        assert evaluate_term(seq_(1, 2, 3), ENV, H) == (1, 2, 3)
+        assert evaluate_term(EMPTY_SEQ, ENV, H) == ()
+
+    def test_cons_and_concat(self):
+        assert evaluate_term(cons_(0, chan_("wire")), ENV, H) == (0, 27, 0)
+        assert evaluate_term(cat_(seq_(1), seq_(2)), ENV, H) == (1, 2)
+
+    def test_cons_onto_non_sequence_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_term(cons_(0, const_(5)), ENV, H)
+
+    def test_length(self):
+        assert evaluate_term(len_(chan_("input")), ENV, H) == 3
+
+    def test_index_is_one_based(self):
+        assert evaluate_term(at_(chan_("input"), 1), ENV, H) == 27
+        assert evaluate_term(at_(chan_("input"), 3), ENV, H) == 3
+
+    def test_index_out_of_range(self):
+        with pytest.raises(EvaluationError):
+            evaluate_term(at_(chan_("input"), 4), ENV, H)
+
+    def test_arithmetic(self):
+        assert evaluate_term(plus_(len_(chan_("wire")), 1), ENV, H) == 3
+        assert evaluate_term(times_(const_(3), const_(4)), ENV, H) == 12
+
+    def test_apply_host_function(self):
+        env = ENV.bind("double", lambda s: s + s)
+        assert evaluate_term(apply_("double", seq_(1)), env, H) == (1, 1)
+
+    def test_sum(self):
+        term = sum_("j", 1, 3, times_(var_("j"), var_("j")))
+        assert evaluate_term(term, ENV, H) == 14
+
+    def test_empty_sum_is_zero(self):
+        assert evaluate_term(sum_("j", 2, 1, var_("j")), ENV, H) == 0
+
+
+class TestFormulaEvaluation:
+    def test_paper_copier_invariant(self):
+        # wire ≤ input holds of the §3.3 example trace
+        assert evaluate_formula(le_(chan_("wire"), chan_("input")), ENV, H)
+
+    def test_prefix_violated(self):
+        h = ch(trace(("wire", 9), ("input", 1)))
+        assert not evaluate_formula(le_(chan_("wire"), chan_("input")), ENV, h)
+
+    def test_length_bound_invariant(self):
+        # #input ≤ #wire + 1 (§2 item 2 example)
+        formula = le_(len_(chan_("input")), plus_(len_(chan_("wire")), 1))
+        assert evaluate_formula(formula, ENV, H)
+
+    def test_numeric_vs_sequence_comparison(self):
+        assert evaluate_formula(lt_(const_(1), const_(2)), ENV, H)
+        assert evaluate_formula(lt_(seq_(1), seq_(1, 2)), ENV, H)
+        with pytest.raises(EvaluationError):
+            evaluate_formula(le_(const_(1), seq_(1)), ENV, H)
+
+    def test_equality_is_generic(self):
+        assert evaluate_formula(eq_(seq_(1), seq_(1)), ENV, H)
+        assert evaluate_formula(ne_(const_(1), const_(2)), ENV, H)
+
+    def test_connectives(self):
+        assert evaluate_formula(and_(TRUE, TRUE), ENV, H)
+        assert not evaluate_formula(and_(TRUE, FALSE), ENV, H)
+        assert evaluate_formula(or_(FALSE, TRUE), ENV, H)
+        assert evaluate_formula(not_(FALSE), ENV, H)
+        assert evaluate_formula(implies_(FALSE, FALSE), ENV, H)
+        assert not evaluate_formula(implies_(TRUE, FALSE), ENV, H)
+
+    def test_implication_short_circuits_guarded_index(self):
+        # 4 ≤ #input ⇒ input_4 = 0 must not raise though input_4 is undefined
+        guarded = implies_(
+            le_(const_(4), len_(chan_("input"))), eq_(at_(chan_("input"), 4), const_(0))
+        )
+        assert evaluate_formula(guarded, ENV, H)
+
+    def test_forall_over_finite_range(self):
+        formula = forall_(
+            "i",
+            RangeSet(const(1), const(3)),
+            lt_(at_(chan_("input"), var_("i")), const_(100)),
+        )
+        assert evaluate_formula(formula, ENV, H)
+
+    def test_forall_over_nat_is_bounded(self):
+        formula = forall_("i", NatSet(), lt_(var_("i"), const_(10)))
+        assert evaluate_formula(formula, ENV, H, EvalConfig(quant_bound=5))
+        assert not evaluate_formula(formula, ENV, H, EvalConfig(quant_bound=20))
+
+    def test_exists(self):
+        formula = exists_(
+            "i",
+            RangeSet(const(1), const(3)),
+            eq_(at_(chan_("input"), var_("i")), const_(0)),
+        )
+        assert evaluate_formula(formula, ENV, H)
+
+    def test_guarded_forall_pattern_from_paper(self):
+        # ∀i:NAT. 1 ≤ i & i ≤ #wire ⇒ wire_i = input_i
+        formula = forall_(
+            "i",
+            NatSet(),
+            implies_(
+                and_(
+                    le_(const_(1), var_("i")),
+                    le_(var_("i"), len_(chan_("wire"))),
+                ),
+                eq_(at_(chan_("wire"), var_("i")), at_(chan_("input"), var_("i"))),
+            ),
+        )
+        assert evaluate_formula(formula, ENV, H)

@@ -1,0 +1,227 @@
+"""Unit tests for the assertion parser and pretty-printer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assertions.ast import (
+    Apply,
+    ChannelTrace,
+    Compare,
+    Cons,
+    ConstTerm,
+    ForAll,
+    Implies,
+    Index,
+    Length,
+    LogicalAnd,
+    SeqLit,
+    Sum,
+    VarTerm,
+)
+from repro.assertions.builders import (
+    and_,
+    apply_,
+    at_,
+    cat_,
+    chan_,
+    cons_,
+    const_,
+    eq_,
+    forall_,
+    implies_,
+    le_,
+    len_,
+    lt_,
+    not_,
+    or_,
+    plus_,
+    seq_,
+    sum_,
+    times_,
+    var_,
+)
+from repro.assertions.parser import parse_assertion
+from repro.assertions.pretty import pretty_assertion
+from repro.errors import ParseError
+from repro.values.expressions import NatSet
+
+CHANS = {"input", "wire", "output", "col", "row"}
+
+
+class TestPaperAssertions:
+    def test_copier_spec(self):
+        assert parse_assertion("wire <= input", CHANS) == le_(
+            chan_("wire"), chan_("input")
+        )
+
+    def test_length_spec(self):
+        assert parse_assertion("#input <= #wire + 1", CHANS) == le_(
+            len_(chan_("input")), plus_(len_(chan_("wire")), 1)
+        )
+
+    def test_table1_invariant(self):
+        assert parse_assertion("f(wire) <= x ^ input", CHANS) == le_(
+            apply_("f", chan_("wire")), cons_(var_("x"), chan_("input"))
+        )
+
+    def test_multiplier_invariant_shape(self):
+        formula = parse_assertion(
+            "forall i : NAT . 1 <= i & i <= #output =>"
+            " output@i = (sum j : 1..3 . v(j) * row[j]@i)",
+            CHANS,
+        )
+        assert isinstance(formula, ForAll)
+        assert isinstance(formula.body, Implies)
+        assert isinstance(formula.body.consequent.right, Sum)
+
+    def test_unicode_paper_spelling(self):
+        ascii_f = parse_assertion("forall x : M . <> <= wire => wire <= input", CHANS)
+        unicode_f = parse_assertion("∀ x : M . ⟨⟩ ≤ wire ⇒ wire ≤ input", CHANS)
+        assert ascii_f == unicode_f
+
+
+class TestResolution:
+    def test_channel_vs_variable(self):
+        f = parse_assertion("wire <= x", {"wire"})
+        assert isinstance(f.left, ChannelTrace)
+        assert isinstance(f.right, VarTerm)
+
+    def test_uppercase_is_constant(self):
+        f = parse_assertion("x = ACK", set())
+        assert f.right == const_("ACK")
+
+    def test_subscripted_channel_vs_function(self):
+        f = parse_assertion("col[1] = v[1]", {"col"})
+        assert isinstance(f.left, ChannelTrace)
+        assert isinstance(f.right, Apply)
+
+    def test_quoted_string(self):
+        f = parse_assertion('x = "hello"', set())
+        assert f.right == const_("hello")
+
+
+class TestTermSyntax:
+    def test_cons_right_associative(self):
+        f = parse_assertion("a ^ b ^ s = s", set())
+        assert f.left == cons_(var_("a"), cons_(var_("b"), var_("s")))
+
+    def test_concat(self):
+        f = parse_assertion("s ++ t = u", set())
+        assert f.left == cat_(var_("s"), var_("t"))
+
+    def test_sequence_literals(self):
+        assert parse_assertion("<> = <>", set()).left == SeqLit(())
+        f = parse_assertion("<3, 4> = s", set())
+        assert f.left == seq_(3, 4)
+
+    def test_index_binds_tightest(self):
+        f = parse_assertion("wire@i * 2 = x", {"wire"})
+        assert f.left == times_(at_(chan_("wire"), var_("i")), const_(2))
+
+    def test_length_of_indexed(self):
+        f = parse_assertion("#f(s) = n", set())
+        assert f.left == len_(apply_("f", var_("s")))
+
+    def test_arith_precedence(self):
+        f = parse_assertion("1 + 2 * 3 = 7", set())
+        assert f.left == plus_(const_(1), times_(const_(2), const_(3)))
+
+    def test_parenthesised_term(self):
+        f = parse_assertion("(1 + 2) * 3 = 9", set())
+        assert f.left == times_(plus_(const_(1), const_(2)), const_(3))
+
+
+class TestFormulaSyntax:
+    def test_precedence_chain(self):
+        f = parse_assertion("a = b & c = d or e = g => h = i", set())
+        assert isinstance(f, Implies)
+        assert isinstance(f.antecedent.left, LogicalAnd)
+
+    def test_implication_right_associative(self):
+        f = parse_assertion("a = b => c = d => e = g", set())
+        assert isinstance(f.consequent, Implies)
+
+    def test_parenthesised_formula(self):
+        f = parse_assertion("(a = b or c = d) & e = g", set())
+        assert isinstance(f, LogicalAnd)
+
+    def test_parenthesised_term_followed_by_relop(self):
+        f = parse_assertion("(x) <= y", set())
+        assert f == le_(var_("x"), var_("y"))
+
+    def test_not(self):
+        f = parse_assertion("not a = b", set())
+        assert f == not_(eq_(var_("a"), var_("b")))
+
+    def test_nested_quantifiers(self):
+        f = parse_assertion("forall i : NAT . exists j : NAT . i < j", set())
+        assert isinstance(f.body.body, Compare)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "wire",  # bare term, no comparison
+            "wire <=",
+            "forall : NAT . x = y",
+            "forall i NAT . x = y",
+            "<3, 4 = s",
+            "x = y extra",
+            "sum j 1..3 . j = 0",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_assertion(bad, CHANS)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property
+# ---------------------------------------------------------------------------
+
+_terms = st.recursive(
+    st.one_of(
+        st.integers(0, 9).map(const_),
+        st.sampled_from(["x", "y", "i"]).map(var_),
+        st.sampled_from(["wire", "input"]).map(chan_),
+        st.just(SeqLit(())),
+    ),
+    lambda children: st.one_of(
+        st.builds(cons_, children, children),
+        st.builds(cat_, children, children),
+        st.builds(len_, children),
+        st.builds(at_, children, children),
+        st.builds(plus_, children, children),
+        st.builds(times_, children, children),
+        st.builds(lambda a: apply_("f", a), children),
+        st.builds(lambda lo, hi, b: sum_("j", lo, hi, b), children, children, children),
+    ),
+    max_leaves=5,
+)
+
+_formulas = st.recursive(
+    st.builds(
+        lambda op, l, r: Compare(op, l, r),
+        st.sampled_from(["<=", "<", "=", "!=", ">", ">="]),
+        _terms,
+        _terms,
+    ),
+    lambda children: st.one_of(
+        st.builds(and_, children, children),
+        st.builds(or_, children, children),
+        st.builds(not_, children),
+        st.builds(implies_, children, children),
+        st.builds(lambda b: forall_("k", NatSet(), b), children),
+    ),
+    max_leaves=5,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_formulas)
+def test_parse_pretty_roundtrip(formula):
+    rendered = pretty_assertion(formula)
+    assert parse_assertion(rendered, {"wire", "input"}) == formula

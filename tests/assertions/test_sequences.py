@@ -1,0 +1,106 @@
+"""Unit tests for sequence operators and the cancellation function f (§2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assertions.sequences import (
+    cancel_protocol,
+    is_seq_prefix,
+    is_strict_seq_prefix,
+    seq_index,
+)
+
+
+class TestPrefixOrder:
+    def test_empty_prefix_of_all(self):
+        assert is_seq_prefix((), (1, 2))
+        assert is_seq_prefix((), ())
+
+    def test_reflexive(self):
+        assert is_seq_prefix((1, 2), (1, 2))
+
+    def test_proper_prefix(self):
+        assert is_seq_prefix((1,), (1, 2))
+        assert not is_seq_prefix((2,), (1, 2))
+        assert not is_seq_prefix((1, 2, 3), (1, 2))
+
+    def test_strict(self):
+        assert is_strict_seq_prefix((1,), (1, 2))
+        assert not is_strict_seq_prefix((1, 2), (1, 2))
+
+    @given(st.lists(st.integers(0, 3), max_size=5), st.lists(st.integers(0, 3), max_size=5))
+    def test_matches_existential_definition(self, s, t):
+        # s ≤ t ⇔ ∃u. s ++ u = t
+        s, t = tuple(s), tuple(t)
+        witness = any(s + u == t for u in [t[len(s):]]) if len(s) <= len(t) else False
+        assert is_seq_prefix(s, t) == witness
+
+
+class TestIndexing:
+    def test_one_based(self):
+        assert seq_index((10, 20, 30), 1) == 10
+        assert seq_index((10, 20, 30), 3) == 30
+
+    @pytest.mark.parametrize("i", [0, 4, -1])
+    def test_out_of_range(self, i):
+        with pytest.raises(IndexError):
+            seq_index((10, 20, 30), i)
+
+
+class TestCancellationFunction:
+    """The function f of §2.2 with its defining laws."""
+
+    def test_paper_worked_example(self):
+        # f(⟨x, NACK, y, ACK⟩) = ⟨y⟩
+        assert cancel_protocol(("x", "NACK", "y", "ACK")) == ("y",)
+
+    def test_empty(self):
+        assert cancel_protocol(()) == ()
+
+    def test_single_message(self):
+        assert cancel_protocol((5,)) == (5,)
+
+    def test_law_ack(self):
+        # f(x ⌢ ⟨ACK⟩ ⌢ s) = x ⌢ f(s)
+        s = (1, "NACK", 2, "ACK")
+        assert cancel_protocol((9, "ACK") + s) == (9,) + cancel_protocol(s)
+
+    def test_law_nack(self):
+        # f(x ⌢ ⟨NACK⟩ ⌢ s) = f(s)
+        s = (1, "ACK", 2)
+        assert cancel_protocol((9, "NACK") + s) == cancel_protocol(s)
+
+    def test_lone_ack_cancelled(self):
+        assert cancel_protocol(("ACK",)) == ()
+
+    def test_lone_nack_cancelled(self):
+        assert cancel_protocol(("NACK",)) == ()
+
+    def test_pending_message_kept(self):
+        # a message not yet acknowledged is already in f(s): f(⟨x⟩) = ⟨x⟩
+        assert cancel_protocol((7, "ACK", 8)) == (7, 8)
+
+    def test_repeated_retransmission(self):
+        assert cancel_protocol((5, "NACK", 5, "NACK", 5, "ACK")) == (5,)
+
+    def test_custom_signal_values(self):
+        assert cancel_protocol((1, "no", 2, "yes"), ack="yes", nack="no") == (2,)
+
+    @given(st.lists(st.sampled_from([0, 1, "ACK", "NACK"]), max_size=8))
+    def test_result_contains_no_signals(self, s):
+        out = cancel_protocol(tuple(s))
+        assert "ACK" not in out and "NACK" not in out
+
+    @given(st.lists(st.sampled_from([0, 1]), max_size=6))
+    def test_identity_on_pure_messages(self, s):
+        assert cancel_protocol(tuple(s)) == tuple(s)
+
+    @given(
+        st.lists(st.sampled_from([0, 1, "ACK", "NACK"]), max_size=6),
+        st.sampled_from([0, 1]),
+    )
+    def test_laws_hold_generically(self, s, x):
+        s = tuple(s)
+        assert cancel_protocol((x, "ACK") + s) == (x,) + cancel_protocol(s)
+        assert cancel_protocol((x, "NACK") + s) == cancel_protocol(s)

@@ -1,0 +1,175 @@
+"""Unit + property tests for the assertion simplifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assertions.ast import BoolLit, Compare, ConstTerm, SeqLit
+from repro.assertions.builders import (
+    FALSE,
+    TRUE,
+    and_,
+    at_,
+    chan_,
+    cons_,
+    const_,
+    eq_,
+    implies_,
+    le_,
+    len_,
+    not_,
+    or_,
+    seq_,
+    var_,
+)
+from repro.assertions.eval import evaluate_formula
+from repro.assertions.parser import parse_assertion
+from repro.assertions.simplify import simplify, simplify_term
+from repro.assertions.substitution import blank_channels
+from repro.errors import EvaluationError
+from repro.traces.events import channel, event
+from repro.traces.histories import ChannelHistory
+from repro.values.environment import Environment
+
+CHANS = {"input", "wire", "output"}
+
+
+def S(text):
+    return simplify(parse_assertion(text, CHANS))
+
+
+class TestConstantFolding:
+    def test_ground_prefix_comparison(self):
+        assert S("<> <= <3>") == TRUE
+        assert S("<4> <= <3>") == FALSE
+        assert S("<3> <= <3, 4>") == TRUE
+
+    def test_ground_arithmetic(self):
+        assert S("1 + 2 * 3 = 7") == TRUE
+        assert S("7 div 2 = 3") == TRUE
+        assert S("1 div 0 = 0") != TRUE  # not folded: would raise at eval
+
+    def test_length_of_literal(self):
+        assert S("#<3, 4> = 2") == TRUE
+
+    def test_index_into_literal(self):
+        assert S("<3, 4>@2 = 4") == TRUE
+        # out-of-range indexing is left alone (it raises at eval time)
+        out = S("<3>@5 = 0")
+        assert not isinstance(out, BoolLit)
+
+    def test_cons_and_concat_fold_to_literals(self):
+        assert simplify_term(cons_(1, seq_(2))) == seq_(1, 2)
+        assert simplify_term(
+            parse_assertion("<1> ++ <2> = s", {"s"}).left
+        ) == seq_(1, 2)
+
+    def test_concat_unit(self):
+        t = parse_assertion("<> ++ wire = wire", CHANS)
+        assert simplify(t) == TRUE  # folds to wire = wire, then reflexivity
+
+    def test_empty_sum_is_zero(self):
+        assert S("(sum j : 3..2 . j) = 0") == TRUE
+
+
+class TestReflexivity:
+    def test_channel_reflexive(self):
+        assert S("wire <= wire") == TRUE
+        assert S("wire < wire") == FALSE
+        assert S("wire = wire") == TRUE
+
+    def test_variable_equality_reflexive(self):
+        assert S("x = x") == TRUE
+
+    def test_variable_order_not_folded(self):
+        # x might be a string: x <= x would be ill-typed, so keep it
+        out = S("x <= x")
+        assert isinstance(out, Compare)
+
+    def test_partial_term_not_folded(self):
+        # input@5 may be out of range: input@5 = input@5 must survive
+        out = S("input@5 = input@5")
+        assert isinstance(out, Compare)
+
+    def test_host_function_not_folded(self):
+        out = S("f(wire) = f(wire)")
+        assert isinstance(out, Compare)
+
+
+class TestPropositional:
+    def test_units_and_absorbers(self):
+        x = parse_assertion("wire <= input", CHANS)
+        assert simplify(and_(TRUE, x)) == x
+        assert simplify(and_(x, FALSE)) == FALSE
+        assert simplify(or_(x, TRUE)) == TRUE
+        assert simplify(or_(FALSE, x)) == x
+
+    def test_idempotence(self):
+        x = parse_assertion("wire <= input", CHANS)
+        assert simplify(and_(x, x)) == x
+        assert simplify(or_(x, x)) == x
+
+    def test_negation(self):
+        x = parse_assertion("wire <= input", CHANS)
+        assert simplify(not_(TRUE)) == FALSE
+        assert simplify(not_(not_(x))) == x
+
+    def test_implication(self):
+        x = parse_assertion("wire <= input", CHANS)
+        assert simplify(implies_(FALSE, x)) == TRUE
+        assert simplify(implies_(TRUE, x)) == x
+        assert simplify(implies_(x, x)) == TRUE
+
+    def test_quantifiers(self):
+        assert S("forall i : NAT . <> <= <>") == TRUE
+        assert S("exists i : NAT . <1> <= <>") == FALSE
+
+
+class TestBlankedSideConditions:
+    """The oracle fast path: typical R_<> premises fold to true."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "wire <= input",
+            "output <= input",
+            "#input <= #wire + 1",
+            "wire <= x ^ input",
+        ],
+    )
+    def test_blanked_claim_is_syntactically_true(self, spec):
+        formula = parse_assertion(spec, CHANS)
+        assert simplify(blank_channels(formula)) == TRUE
+
+    def test_oracle_uses_the_fast_path(self):
+        from repro.proof.oracle import Oracle
+
+        formula = blank_channels(parse_assertion("wire <= input", CHANS))
+        verdict = Oracle().holds(formula)
+        assert verdict.ok and verdict.method == "syntactic"
+
+
+# ---------------------------------------------------------------------------
+# Property: simplify preserves meaning.
+# ---------------------------------------------------------------------------
+
+from repro.soundness.generators import AssertionGenerator
+
+_histories = st.builds(
+    lambda a, w: ChannelHistory({channel("a"): tuple(a), channel("wire"): tuple(w)}),
+    st.lists(st.integers(0, 2), max_size=3),
+    st.lists(st.integers(0, 2), max_size=3),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.integers(0, 10_000), _histories)
+def test_simplify_preserves_evaluation(seed, history):
+    formula = AssertionGenerator(seed=seed).formula()
+    simplified = simplify(formula)
+    env = Environment()
+    try:
+        expected = evaluate_formula(formula, env, history)
+    except EvaluationError:
+        return  # partial formulas stay partial; nothing to compare
+    assert evaluate_formula(simplified, env, history) == expected

@@ -1,0 +1,191 @@
+"""Unit tests for the §3.4 substitution operators and their lemmas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assertions.builders import (
+    and_,
+    apply_,
+    at_,
+    chan_,
+    cons_,
+    const_,
+    eq_,
+    forall_,
+    implies_,
+    le_,
+    len_,
+    seq_,
+    sum_,
+    var_,
+)
+from repro.assertions.ast import ForAll, SeqLit, Sum, VarTerm
+from repro.assertions.eval import evaluate_formula
+from repro.assertions.parser import parse_assertion
+from repro.assertions.substitution import (
+    blank_channels,
+    channels_mentioned,
+    expr_to_term,
+    formula_free_variables,
+    mentions_channel_name,
+    prefix_channel,
+    substitute_variable,
+    term_to_expr,
+)
+from repro.errors import SubstitutionError
+from repro.process.channels import ChannelExpr
+from repro.traces.events import Channel, event, trace
+from repro.traces.histories import ch
+from repro.values.environment import Environment
+from repro.values.expressions import BinOp, Const, NatSet, RangeSet, Var, const
+
+CHANS = {"input", "wire", "output"}
+ENV = Environment()
+
+
+class TestBlankChannels:
+    def test_replaces_every_channel(self):
+        r = parse_assertion("wire <= input", CHANS)
+        assert blank_channels(r) == parse_assertion("<> <= <>", CHANS)
+
+    def test_leaves_variables_alone(self):
+        r = parse_assertion("f(wire) <= x ^ input", CHANS)
+        blanked = blank_channels(r)
+        assert blanked == parse_assertion("f(<>) <= x ^ <>", CHANS)
+
+    def test_lemma_b(self):
+        # (ρ + ch(⟨⟩))⟦R⟧ = ρ⟦R_<>⟧ (§3.4 lemma b)
+        r = parse_assertion("#wire + 1 <= #input + 1 & wire <= wire", CHANS)
+        lhs = evaluate_formula(r, ENV, ch(()))
+        rhs = evaluate_formula(blank_channels(r), ENV, ch(()))
+        assert lhs == rhs
+
+
+class TestPrefixChannel:
+    WIRE = ChannelExpr("wire")
+
+    def test_rewrites_only_target_channel(self):
+        r = parse_assertion("wire <= input", CHANS)
+        out = prefix_channel(r, self.WIRE, const_(3))
+        assert out == parse_assertion("3 ^ wire <= input", CHANS)
+
+    def test_rewrites_all_occurrences(self):
+        r = parse_assertion("wire <= wire", CHANS)
+        out = prefix_channel(r, self.WIRE, var_("x"))
+        assert out == parse_assertion("x ^ wire <= x ^ wire", CHANS)
+
+    def test_subscripted_channels_matched_structurally(self):
+        r = parse_assertion("col[i] <= col[j]", {"col"})
+        out = prefix_channel(r, ChannelExpr("col", Var("i")), const_(0))
+        assert out == parse_assertion("0 ^ col[i] <= col[j]", {"col"})
+
+    def test_lemma_c(self):
+        # (ρ+ch(s))⟦R^c_{e⌢c}⟧ = (ρ+ch(c.e ⌢ s))⟦R⟧ (§3.4 lemma c)
+        r = parse_assertion("wire <= input & #wire <= 5", CHANS)
+        s = trace(("input", 3), ("wire", 3))
+        substituted = prefix_channel(r, self.WIRE, const_(3))
+        extended = (event("wire", 3),) + s
+        assert evaluate_formula(substituted, ENV, ch(s)) == evaluate_formula(
+            r, ENV, ch(extended)
+        )
+
+
+class TestSubstituteVariable:
+    def test_simple(self):
+        r = parse_assertion("f(wire) <= x ^ input", CHANS)
+        out = substitute_variable(r, "x", const_(5))
+        assert out == parse_assertion("f(wire) <= 5 ^ input", CHANS)
+
+    def test_reaches_channel_subscripts(self):
+        r = parse_assertion("col[i] <= col[i]", {"col"})
+        out = substitute_variable(r, "i", const_(2))
+        assert out == parse_assertion("col[2] <= col[2]", {"col"})
+
+    def test_sequence_replacement_in_subscript_rejected(self):
+        r = parse_assertion("col[i] <= col[i]", {"col"})
+        with pytest.raises(SubstitutionError):
+            substitute_variable(r, "i", seq_(1, 2))
+
+    def test_quantifier_shadows(self):
+        r = forall_("x", NatSet(), eq_(var_("x"), var_("x")))
+        assert substitute_variable(r, "x", const_(5)) == r
+
+    def test_capture_avoided_in_quantifier(self):
+        # (∀i. x ≤ i)[x := i] must not capture i
+        r = forall_("i", NatSet(), le_(var_("x"), var_("i")))
+        out = substitute_variable(r, "x", var_("i"))
+        assert isinstance(out, ForAll)
+        assert out.variable != "i"
+        assert formula_free_variables(out) == {"i"}
+
+    def test_capture_avoided_in_sum(self):
+        t = sum_("j", 1, 3, at_(chan_("input"), var_("k")))
+        out = substitute_variable(eq_(t, const_(0)), "k", var_("j"))
+        inner = out.left
+        assert isinstance(inner, Sum)
+        assert inner.variable != "j"
+
+    def test_sum_binder_shadows(self):
+        t = sum_("j", 1, var_("j"), var_("j"))
+        out = substitute_variable(eq_(t, const_(0)), "j", const_(9))
+        # the bound occurrences stay, the free bound-expression is replaced
+        assert out.left.high == const_(9)
+        assert out.left.body == var_("j")
+
+    def test_lemma_a(self):
+        # (ρ+ch(s))⟦R^x_e⟧ = (ρ[ρ⟦e⟧/x]+ch(s))⟦R⟧ (§3.4 lemma a)
+        r = parse_assertion("f(wire) <= x ^ input", CHANS)
+        s = trace(("wire", 5))
+        env = ENV.bind("f", lambda seq: seq).bind("y", 5)
+        substituted = substitute_variable(r, "x", var_("y"))
+        assert evaluate_formula(substituted, env, ch(s)) == evaluate_formula(
+            r, env.bind("x", 5), ch(s)
+        )
+
+
+class TestChannelsMentioned:
+    def test_collects_channels(self):
+        r = parse_assertion("wire <= input & #output < 3", CHANS)
+        assert channels_mentioned(r) == {
+            ChannelExpr("wire"),
+            ChannelExpr("input"),
+            ChannelExpr("output"),
+        }
+
+    def test_mentions_by_name_ignores_subscripts(self):
+        r = parse_assertion("col[i] <= col[j]", {"col"})
+        assert mentions_channel_name(r, "col")
+        assert not mentions_channel_name(r, "wire")
+
+    def test_variables_not_counted(self):
+        r = parse_assertion("x <= y", set())
+        assert channels_mentioned(r) == frozenset()
+
+
+class TestFreeVariables:
+    def test_quantifier_binds(self):
+        r = parse_assertion("forall i : NAT . x <= i", set())
+        assert formula_free_variables(r) == {"x"}
+
+    def test_sum_binds(self):
+        r = parse_assertion("(sum j : 1..n . j) = m", set())
+        assert formula_free_variables(r) == {"n", "m"}
+
+    def test_channel_subscript_variables_free(self):
+        r = parse_assertion("col[i] <= col[i]", {"col"})
+        assert formula_free_variables(r) == {"i"}
+
+
+class TestConversion:
+    def test_term_expr_roundtrip(self):
+        t = parse_assertion("v(i) + 2 * k <= 9", set()).left
+        assert expr_to_term(term_to_expr(t)) == t
+
+    def test_sequence_terms_not_convertible(self):
+        with pytest.raises(SubstitutionError):
+            term_to_expr(seq_(1))
+
+    def test_const_var(self):
+        assert term_to_expr(const_(3)) == Const(3)
+        assert expr_to_term(Var("x")) == var_("x")

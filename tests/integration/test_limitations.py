@@ -1,0 +1,99 @@
+"""The paper's §4 self-reported limitations, demonstrated (experiment E9).
+
+1. *Partial correctness only*: ``STOP`` satisfies every satisfiable
+   invariant, so the proof system cannot express deadlock-freedom — but
+   the operational explorer can observe deadlocks directly.
+2. *Naive non-determinism*: in the prefix-closure model
+   ``STOP | P = P`` — the possibility of deciding to deadlock is
+   invisible, even after some communications.
+"""
+
+from repro.operational.explorer import Explorer
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Name, STOP, Choice
+from repro.process.parser import parse_definitions, parse_process
+from repro.sat.checker import check_sat
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.equivalence import trace_equivalent
+from repro.traces.events import EMPTY_TRACE, trace
+
+CFG = SemanticsConfig(depth=4, sample=2)
+
+
+class TestStopSatisfiesEverything:
+    def test_stop_satisfies_copier_spec(self):
+        from repro.assertions.builders import chan_, le_
+
+        assert check_sat(STOP, le_(chan_("wire"), chan_("input")))
+
+    def test_stop_provably_satisfies_copier_spec(self):
+        # Not just model-checked: the emptiness rule proves it (§4's point
+        # that a deadlocked process passes every partial-correctness proof).
+        from repro.assertions.builders import chan_, le_
+        from repro.proof import Oracle, ProofChecker, SatProver
+
+        prover = SatProver(oracle=Oracle())
+        proof, report = prover.prove_checked(STOP, le_(chan_("wire"), chan_("input")))
+        assert report.rules_used.get("emptiness") == 1
+
+    def test_but_stop_deadlocks_operationally(self):
+        semantics = OperationalSemantics(parse_definitions("p = STOP"))
+        deadlocks = Explorer(semantics).find_deadlocks(Name("p"), depth=1)
+        assert EMPTY_TRACE in deadlocks
+
+
+class TestStopChoiceIdentity:
+    """§4: Q = STOP | P is identically equal to P in this model."""
+
+    def test_identity_simple(self):
+        p = parse_process("a!0 -> b!1 -> STOP")
+        assert trace_equivalent(Choice(STOP, p), p, config=CFG)
+
+    def test_identity_after_communications(self):
+        # "the same identity holds if the deadlock could happen after a
+        # certain number of communications"
+        p = parse_process("a!0 -> (STOP | b!1 -> STOP)")
+        q = parse_process("a!0 -> b!1 -> STOP")
+        assert trace_equivalent(p, q, config=CFG)
+
+    def test_identity_with_recursion(self):
+        defs = parse_definitions("loop = a!0 -> loop; hedged = STOP | a!0 -> loop")
+        assert trace_equivalent(
+            Name("hedged"), Name("loop"), definitions=defs, config=CFG
+        )
+
+    def test_yet_the_two_differ_operationally_in_deadlock(self):
+        # The trace model cannot see it, but the transition system can:
+        # (STOP | P) still has no deadlock *state* in our semantics because
+        # choice is resolved at the first event — exactly the paper's
+        # observation that this model forces that implementation.
+        defs = parse_definitions("loop = a!0 -> loop")
+        semantics = OperationalSemantics(defs)
+        hedged = Choice(STOP, Name("loop"))
+        deadlocks = Explorer(semantics).find_deadlocks(hedged, depth=3)
+        assert deadlocks == []  # the STOP branch is unreachable: no event starts it
+
+
+class TestDeadlockDetectionBeyondThePaper:
+    """What the paper says cannot be proved in its system, we detect
+    operationally — the extension promised for 'total correctness'."""
+
+    def test_protocol_is_deadlock_free_to_depth(self):
+        from repro.systems import protocol
+
+        semantics = OperationalSemantics(
+            protocol.definitions(), protocol.environment(), sample=2
+        )
+        deadlocks = Explorer(semantics).find_deadlocks(Name("protocol"), depth=3)
+        assert deadlocks == []
+
+    def test_mismatched_network_deadlocks_but_passes_sat(self):
+        defs = parse_definitions(
+            "p = w!1 -> out!1 -> STOP; q = w?x:{2..3} -> q2; q2 = STOP;"
+            "net = p || q"
+        )
+        # sat cannot rule the deadlock out: the invariant holds vacuously
+        assert check_sat(Name("net"), "out <= <1>", defs, config=CFG)
+        semantics = OperationalSemantics(defs)
+        deadlocks = Explorer(semantics).find_deadlocks(Name("net"), depth=2)
+        assert EMPTY_TRACE in deadlocks

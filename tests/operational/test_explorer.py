@@ -1,0 +1,94 @@
+"""Unit tests for the exhaustive state-space explorer."""
+
+import pytest
+
+from repro.errors import OperationalError
+from repro.operational.explorer import Explorer, explore_traces
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions, parse_process
+from repro.traces.events import EMPTY_TRACE, channel, trace
+
+
+def sem(defs, sample=2):
+    return OperationalSemantics(parse_definitions(defs), sample=sample)
+
+
+class TestVisibleTraces:
+    def test_stop(self):
+        s = sem("p = STOP")
+        assert explore_traces(Name("p"), s, depth=3).traces == {EMPTY_TRACE}
+
+    def test_prefix_chain(self):
+        s = sem("p = a!0 -> b!1 -> STOP")
+        t = explore_traces(Name("p"), s, depth=5)
+        assert t.traces == {
+            EMPTY_TRACE,
+            trace(("a", 0)),
+            trace(("a", 0), ("b", 1)),
+        }
+
+    def test_depth_bound_respected(self):
+        s = sem("p = a!0 -> p")
+        t = explore_traces(Name("p"), s, depth=3)
+        assert t.depth() == 3
+
+    def test_tau_cycle_terminates(self):
+        # sender/receiver NACK loop: infinitely many τ-paths, finitely many
+        # configurations.
+        s = OperationalSemantics(
+            parse_definitions(
+                "p = w!0 -> p2; p2 = w?y:{NACK} -> p;"
+                "r = w?x:{0} -> w!NACK -> r;"
+                "net = chan w; (p || r)"
+            ),
+            sample=2,
+        )
+        t = explore_traces(Name("net"), s, depth=3)
+        assert t.traces == {EMPTY_TRACE}  # pure internal chatter, no visible events
+
+    def test_result_is_prefix_closed(self):
+        s = sem("p = a!0 -> p | b!1 -> STOP")
+        assert explore_traces(Name("p"), s, depth=4).is_prefix_closed()
+
+    def test_state_budget_enforced(self):
+        # a counter emitting ever-larger values is infinite-state
+        s = sem("count[n:NAT] = c!n -> count[n+1]")
+        from repro.process.ast import ArrayRef
+        from repro.values.expressions import const
+
+        with pytest.raises(OperationalError, match="budget"):
+            Explorer(s, max_states=50).visible_traces(ArrayRef("count", const(0)), 60)
+
+    def test_matches_denotational_semantics_on_network(self):
+        from repro.semantics import SemanticsConfig, denote
+
+        defs = parse_definitions(
+            "copier = input?x:NAT -> wire!x -> copier;"
+            "recopier = wire?y:NAT -> output!y -> recopier;"
+            "net = chan wire; (copier || recopier)"
+        )
+        s = OperationalSemantics(defs, sample=2)
+        operational = explore_traces(Name("net"), s, depth=4)
+        denotational = denote(Name("net"), defs, config=SemanticsConfig(depth=4, sample=2))
+        assert operational == denotational
+
+
+class TestDeadlocks:
+    def test_stop_deadlocks_immediately(self):
+        s = sem("p = STOP")
+        assert Explorer(s).find_deadlocks(Name("p"), depth=2) == [EMPTY_TRACE]
+
+    def test_deadlock_after_trace(self):
+        s = sem("p = a!0 -> STOP")
+        deadlocks = Explorer(s).find_deadlocks(Name("p"), depth=2)
+        assert trace(("a", 0)) in deadlocks
+
+    def test_live_process_has_no_deadlock(self):
+        s = sem("p = a!0 -> p")
+        assert Explorer(s).find_deadlocks(Name("p"), depth=3) == []
+
+    def test_mismatched_sync_deadlocks(self):
+        # §4's motivating worry: a network that can do nothing at all
+        s = sem("p = w!1 -> STOP; q = w?x:{2..3} -> STOP; net = p || q")
+        assert Explorer(s).find_deadlocks(Name("net"), depth=2) == [EMPTY_TRACE]

@@ -1,0 +1,72 @@
+"""Unit tests for single-run simulation."""
+
+from repro.operational.scheduler import (
+    DeterministicScheduler,
+    RandomScheduler,
+    SimulationRun,
+    simulate,
+)
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions, parse_process
+from repro.traces.events import event
+
+
+def sem(defs, sample=2):
+    return OperationalSemantics(parse_definitions(defs), sample=sample)
+
+
+class TestSimulate:
+    def test_deterministic_copier_run(self):
+        s = sem("copier = input?x:NAT -> wire!x -> copier")
+        run = simulate(Name("copier"), s, max_steps=6, scheduler=DeterministicScheduler())
+        assert run.trace == (
+            event("input", 0),
+            event("wire", 0),
+        ) * 3
+        assert not run.deadlocked
+
+    def test_deadlock_detected(self):
+        s = sem("p = a!0 -> STOP")
+        run = simulate(Name("p"), s, max_steps=10)
+        assert run.deadlocked
+        assert run.trace == (event("a", 0),)
+
+    def test_internal_steps_counted_not_traced(self):
+        s = sem(
+            "p = w!0 -> done!1 -> STOP; q = w?x:NAT -> STOP;"
+            "net = chan w; (p || q)"
+        )
+        run = simulate(Name("net"), s, max_steps=10)
+        assert run.internal_steps == 1
+        assert run.trace == (event("done", 1),)
+        assert run.full_history[0] is None
+
+    def test_random_scheduler_reproducible_by_seed(self):
+        s = sem("p = a!0 -> p | b!1 -> p")
+        first = simulate(Name("p"), s, max_steps=20, scheduler=RandomScheduler(seed=42))
+        second = simulate(Name("p"), s, max_steps=20, scheduler=RandomScheduler(seed=42))
+        assert first.trace == second.trace
+
+    def test_random_scheduler_explores_both_branches(self):
+        s = sem("p = a!0 -> p | b!1 -> p")
+        run = simulate(Name("p"), s, max_steps=50, scheduler=RandomScheduler(seed=1))
+        channels = {e.channel.name for e in run.trace}
+        assert channels == {"a", "b"}
+
+    def test_max_steps_bounds_run_length(self):
+        s = sem("p = a!0 -> p")
+        run = simulate(Name("p"), s, max_steps=7)
+        assert len(run.full_history) == 7
+
+    def test_default_scheduler_is_seeded_random(self):
+        s = sem("p = a!0 -> p | b!1 -> p")
+        assert simulate(Name("p"), s, max_steps=9).trace == simulate(
+            Name("p"), s, max_steps=9
+        ).trace
+
+    def test_run_is_named_tuple_with_final_state(self):
+        s = sem("p = a!0 -> STOP")
+        run = simulate(Name("p"), s, max_steps=5)
+        assert isinstance(run, SimulationRun)
+        assert not s.steps(run.final_state)

@@ -1,0 +1,74 @@
+"""Unit tests for operational configurations."""
+
+import pytest
+
+from repro.errors import OperationalError
+from repro.operational.state import ChanState, LeafState, ParallelState, lift
+from repro.process.ast import Name
+from repro.process.definitions import DefinitionList
+from repro.process.parser import parse_definitions, parse_process
+from repro.traces.events import Channel
+from repro.values.environment import Environment
+
+ENV = Environment()
+
+
+class TestLift:
+    def test_sequential_term_is_leaf(self):
+        term = parse_process("a!0 -> STOP")
+        state = lift(term, DefinitionList(), ENV)
+        assert state == LeafState(term)
+
+    def test_parallel_root_becomes_structural(self):
+        defs = parse_definitions(
+            "p = a!0 -> p; q = a?x:NAT -> q; net = p || q"
+        )
+        state = lift(parse_process("p || q"), defs, ENV)
+        assert isinstance(state, ParallelState)
+        assert state.x == {Channel("a")}
+        assert state.shared == {Channel("a")}
+
+    def test_chan_root(self):
+        defs = parse_definitions("p = w!0 -> p")
+        state = lift(parse_process("chan w; p"), defs, ENV)
+        assert isinstance(state, ChanState)
+        assert state.hidden == {Channel("w")}
+
+    def test_name_whose_body_is_network_unfolds(self):
+        defs = parse_definitions(
+            "p = a!0 -> p; q = b!0 -> q; net = p || q"
+        )
+        state = lift(Name("net"), defs, ENV)
+        assert isinstance(state, ParallelState)
+
+    def test_name_with_sequential_body_stays_leaf(self):
+        defs = parse_definitions("p = a!0 -> p")
+        state = lift(Name("p"), defs, ENV)
+        assert state == LeafState(Name("p"))
+
+    def test_explicit_alphabets_respected(self):
+        from repro.process.ast import Parallel
+        from repro.process.channels import ChannelExpr, ChannelList
+
+        term = Parallel(
+            parse_process("a!0 -> STOP"),
+            parse_process("b!0 -> STOP"),
+            ChannelList([ChannelExpr("a"), ChannelExpr("shared")]),
+            ChannelList([ChannelExpr("b"), ChannelExpr("shared")]),
+        )
+        state = lift(term, DefinitionList(), ENV)
+        assert state.shared == {Channel("shared")}
+
+    def test_alias_cycle_budget(self):
+        defs = parse_definitions(
+            "p = q; q = a!0 -> p", strict=True
+        )
+        # p aliases q whose body is sequential: fine.
+        state = lift(Name("p"), defs, ENV)
+        assert isinstance(state, LeafState)
+
+    def test_states_are_hashable_and_equal_structurally(self):
+        term = parse_process("a!0 -> STOP")
+        assert hash(LeafState(term)) == hash(LeafState(term))
+        p = ParallelState(LeafState(term), LeafState(term), frozenset(), frozenset())
+        assert p == ParallelState(LeafState(term), LeafState(term), frozenset(), frozenset())

@@ -1,0 +1,182 @@
+"""Unit tests for the operational transition relation."""
+
+import pytest
+
+from repro.errors import OperationalError
+from repro.operational.state import LeafState
+from repro.operational.step import Comm, Offer, OperationalSemantics, Tau
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions, parse_process
+from repro.traces.events import Channel, Event, channel, event
+from repro.values.domains import FiniteDomain, IntersectionDomain
+from repro.values.environment import Environment
+
+
+def sem(defs="", env=None, sample=3):
+    definitions = parse_definitions(defs) if defs else parse_definitions("x0 = STOP")
+    return OperationalSemantics(definitions, env, sample=sample)
+
+
+class TestSequentialTransitions:
+    def test_stop_has_no_transitions(self):
+        s = sem()
+        assert s.transitions(s.initial_state(parse_process("STOP"))) == []
+
+    def test_output_is_single_comm(self):
+        s = sem()
+        (t,) = s.transitions(s.initial_state(parse_process("wire!3 -> STOP")))
+        assert isinstance(t, Comm)
+        assert t.event == event("wire", 3)
+
+    def test_output_evaluates_expression(self):
+        s = OperationalSemantics(
+            parse_definitions("x0 = STOP"), Environment().bind("k", 4)
+        )
+        (t,) = s.transitions(s.initial_state(parse_process("c!(2*k) -> STOP")))
+        assert t.event == event("c", 8)
+
+    def test_input_is_symbolic_offer(self):
+        s = sem()
+        (t,) = s.transitions(s.initial_state(parse_process("c?x:NAT -> d!x -> STOP")))
+        assert isinstance(t, Offer)
+        assert t.channel == channel("c")
+        assert 12345 in t.domain  # receptive: any natural, not just the sample
+
+    def test_offer_resume_substitutes_value(self):
+        s = sem()
+        (t,) = s.transitions(s.initial_state(parse_process("c?x:NAT -> d!x -> STOP")))
+        successor = t.resume(7)
+        (t2,) = s.transitions(successor)
+        assert t2.event == event("d", 7)
+
+    def test_choice_combines_branches(self):
+        s = sem()
+        ts = s.transitions(s.initial_state(parse_process("a!0 -> STOP | b!1 -> STOP")))
+        assert {t.event for t in ts if isinstance(t, Comm)} == {
+            event("a", 0),
+            event("b", 1),
+        }
+
+    def test_name_unfolds(self):
+        s = sem("p = a!0 -> p")
+        (t,) = s.transitions(s.initial_state(Name("p")))
+        assert t.event == event("a", 0)
+
+    def test_array_subscript_checked(self):
+        s = sem("q[x:{0..1}] = a!x -> STOP")
+        with pytest.raises(OperationalError, match="outside its domain"):
+            s.transitions(s.initial_state(parse_process("q[5]")))
+
+
+class TestSynchronisation:
+    def test_output_meets_offer(self):
+        s = sem("p = wire!7 -> STOP; q = wire?x:NAT -> out!x -> STOP; net = p || q")
+        state = s.initial_state(Name("net"))
+        (t,) = s.transitions(state)
+        assert isinstance(t, Comm) and t.event == event("wire", 7)
+        # and the received value flows on
+        (t2,) = s.transitions(t.state)
+        assert t2.event == event("out", 7)
+
+    def test_receptive_sync_beyond_sample(self):
+        # the whole point of symbolic offers: 1000 is far outside sample=2
+        s = sem(
+            "p = wire!1000 -> STOP; q = wire?x:NAT -> STOP; net = p || q",
+            sample=2,
+        )
+        (t,) = s.transitions(s.initial_state(Name("net")))
+        assert t.event == event("wire", 1000)
+
+    def test_sync_blocked_by_domain(self):
+        s = sem("p = wire!7 -> STOP; q = wire?x:{0..3} -> STOP; net = p || q")
+        assert s.transitions(s.initial_state(Name("net"))) == []
+
+    def test_output_output_sync_requires_equality(self):
+        agree = sem("p = w!1 -> STOP; q = w!1 -> STOP; net = p || q")
+        (t,) = agree.transitions(agree.initial_state(Name("net")))
+        assert t.event == event("w", 1)
+        disagree = sem("p = w!1 -> STOP; q = w!2 -> STOP; net = p || q")
+        assert disagree.transitions(disagree.initial_state(Name("net"))) == []
+
+    def test_input_input_sync_intersects_domains(self):
+        s = sem("p = w?x:{0..5} -> STOP; q = w?y:{3..9} -> STOP; net = p || q")
+        (t,) = s.transitions(s.initial_state(Name("net")))
+        assert isinstance(t, Offer)
+        assert isinstance(t.domain, IntersectionDomain)
+        assert 4 in t.domain and 1 not in t.domain and 8 not in t.domain
+
+    def test_private_channels_interleave(self):
+        s = sem("p = a!0 -> STOP; q = b!0 -> STOP; net = p || q")
+        ts = s.transitions(s.initial_state(Name("net")))
+        assert {t.event for t in ts} == {event("a", 0), event("b", 0)}
+
+    def test_shared_channel_cannot_fire_alone(self):
+        s = sem("p = w!0 -> STOP; q = w?x:NAT -> w!0 -> STOP; net = p || q")
+        state = s.initial_state(Name("net"))
+        (t,) = s.transitions(state)  # only the synchronised w.0
+        assert t.event == event("w", 0)
+
+
+class TestHiding:
+    def test_hidden_comm_becomes_tau(self):
+        s = sem(
+            "p = w!0 -> done!1 -> STOP; q = w?x:NAT -> STOP;"
+            "net = chan w; (p || q)"
+        )
+        (t,) = s.transitions(s.initial_state(Name("net")))
+        assert isinstance(t, Tau)
+
+    def test_visible_events_pass_through(self):
+        s = sem(
+            "p = w!0 -> done!1 -> STOP; q = w?x:NAT -> STOP;"
+            "net = chan w; (p || q)"
+        )
+        state = s.initial_state(Name("net"))
+        (tau,) = s.transitions(state)
+        ts = s.transitions(tau.state)
+        assert any(isinstance(t, Comm) and t.event == event("done", 1) for t in ts)
+
+    def test_lone_hidden_offer_fires_silently(self):
+        # §1.2 item 8 / §3.1: ⟦chan C; P⟧ = ⟦P⟧\C — a concealed input
+        # happens with a non-determinate (sampled) value.
+        s = sem("p = w?x:NAT -> d!x -> STOP; net = chan w; p", sample=2)
+        ts = s.transitions(s.initial_state(Name("net")))
+        assert all(isinstance(t, Tau) for t in ts)
+        assert len(ts) == 2  # one τ per sampled value
+        followups = {t2.event for t in ts for t2 in s.transitions(t.state)}
+        assert followups == {event("d", 0), event("d", 1)}
+
+    def test_each_hidden_offer_resumes_its_own_branch(self):
+        # regression: late-binding bug once made all offers share one resume
+        s = sem(
+            "m1 = a?x:NAT -> done[1]!x -> STOP;"
+            "m2 = b?x:NAT -> done[2]!x -> STOP;"
+            "net = m1 || m2"
+        )
+        state = s.initial_state(Name("net"))
+        offers = {t.channel.name: t for t in s.transitions(state)}
+        after_a = offers["a"].resume(5)
+        events = {
+            t.event for t in s.transitions(after_a) if isinstance(t, Comm)
+        }
+        assert Event(Channel("done", 1), 5) in events
+
+
+class TestSteps:
+    def test_steps_expand_offers_with_sample(self):
+        s = sem(sample=2)
+        steps = s.steps(s.initial_state(parse_process("c?x:NAT -> STOP")))
+        assert {st.event for st in steps} == {event("c", 0), event("c", 1)}
+
+    def test_steps_are_sorted_and_deterministic(self):
+        s = sem()
+        state = s.initial_state(parse_process("b!1 -> STOP | a!0 -> STOP"))
+        steps = s.steps(state)
+        assert steps == s.steps(state)
+        events = [repr(st.event) for st in steps]
+        assert events == sorted(events)
+
+    def test_internal_steps_first_have_none_event(self):
+        s = sem("p = w!0 -> STOP; q = w?x:NAT -> STOP; net = chan w; (p || q)")
+        (step,) = s.steps(s.initial_state(Name("net")))
+        assert step.is_internal

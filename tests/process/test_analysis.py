@@ -1,0 +1,145 @@
+"""Unit tests for static analysis of process expressions."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.process.analysis import (
+    channel_names,
+    concrete_channels,
+    free_variables,
+    has_guarded_recursion,
+    is_guarded,
+    referenced_names,
+    unguarded_references,
+)
+from repro.process.ast import (
+    STOP,
+    ArrayRef,
+    Chan,
+    Choice,
+    Name,
+    Parallel,
+    input_,
+    output,
+)
+from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
+from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
+from repro.process.parser import parse_definitions, parse_process
+from repro.traces.events import Channel
+from repro.values.environment import Environment
+from repro.values.expressions import BinOp, NamedSet, NatSet, RangeSet, const, var
+
+
+class TestReferencedNames:
+    def test_collects_names_and_array_refs(self):
+        p = Choice(Name("p"), output("c", 0, ArrayRef("q", const(1))))
+        assert referenced_names(p) == {"p", "q"}
+
+    def test_stop_references_nothing(self):
+        assert referenced_names(STOP) == frozenset()
+
+    def test_through_all_constructs(self):
+        p = Chan(
+            ChannelList([ChannelExpr("w")]),
+            Parallel(Name("a"), input_("c", "x", NatSet(), Name("b"))),
+        )
+        assert referenced_names(p) == {"a", "b"}
+
+
+class TestGuardedness:
+    def test_prefix_guards(self):
+        assert is_guarded(output("c", 0, Name("p")), frozenset({"p"}))
+        assert is_guarded(input_("c", "x", NatSet(), Name("p")), frozenset({"p"}))
+
+    def test_bare_name_unguarded(self):
+        assert not is_guarded(Name("p"), frozenset({"p"}))
+        assert unguarded_references(Choice(Name("p"), STOP), frozenset({"p"})) == {"p"}
+
+    def test_choice_parallel_chan_do_not_guard(self):
+        assert not is_guarded(Choice(Name("p"), STOP), frozenset({"p"}))
+        assert not is_guarded(Parallel(Name("p"), STOP), frozenset({"p"}))
+        assert not is_guarded(
+            Chan(ChannelList([ChannelExpr("w")]), Name("p")), frozenset({"p"})
+        )
+
+    def test_graph_cycle_detection(self):
+        guarded = DefinitionList(
+            [ProcessDef("p", Name("q")), ProcessDef("q", output("a", 0, Name("p")))]
+        )
+        assert has_guarded_recursion(guarded)
+
+    def test_graph_cycle_detected_as_unguarded(self):
+        cyclic = DefinitionList(
+            [ProcessDef("p", Name("q")), ProcessDef("q", Name("p"))],
+            require_guarded=False,
+        )
+        assert not has_guarded_recursion(cyclic)
+
+
+class TestChannelNames:
+    def test_direct(self):
+        p = parse_process("input?x:NAT -> wire!x -> STOP")
+        assert channel_names(p) == {"input", "wire"}
+
+    def test_follows_definitions(self):
+        defs = parse_definitions("copier = input?x:NAT -> wire!x -> copier")
+        assert channel_names(Name("copier"), defs) == {"input", "wire"}
+
+    def test_recursion_safe(self):
+        defs = parse_definitions(
+            "p = a!0 -> q; q = b!0 -> p"
+        )
+        assert channel_names(Name("p"), defs) == {"a", "b"}
+
+    def test_chan_names_included(self):
+        p = parse_process("chan wire; STOP")
+        assert channel_names(p) == {"wire"}
+
+    def test_unknown_name_without_defs_ignored(self):
+        assert channel_names(Name("ghost")) == frozenset()
+
+
+class TestConcreteChannels:
+    ENV = Environment()
+
+    def test_simple(self):
+        p = parse_process("input?x:NAT -> wire!x -> STOP")
+        assert concrete_channels(p, None, self.ENV) == {
+            Channel("input"),
+            Channel("wire"),
+        }
+
+    def test_array_parameter_resolved(self):
+        # mult[2] uses row[2], col[1], col[2]
+        defs = parse_definitions(
+            "mult[i:{1..3}] = row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!x+y -> mult[i]",
+        )
+        chans = concrete_channels(ArrayRef("mult", const(2)), defs, self.ENV)
+        assert chans == {Channel("row", 2), Channel("col", 1), Channel("col", 2)}
+
+    def test_input_dependent_channel_rejected(self):
+        # the channel d[x] depends on the received value x
+        p = parse_process("c?x:NAT -> d[x]!0 -> STOP")
+        with pytest.raises(SemanticsError, match="annotate"):
+            concrete_channels(p, None, self.ENV)
+
+    def test_input_variable_not_needed_is_fine(self):
+        p = parse_process("c?x:NAT -> d!x -> STOP")
+        assert concrete_channels(p, None, self.ENV) == {Channel("c"), Channel("d")}
+
+    def test_chan_list_channels_included(self):
+        p = parse_process("chan col[0..1]; STOP")
+        assert concrete_channels(p, None, self.ENV) == {
+            Channel("col", 0),
+            Channel("col", 1),
+        }
+
+    def test_recursive_array_terminates(self):
+        defs = parse_definitions("zeroes = col[0]!0 -> zeroes")
+        assert concrete_channels(Name("zeroes"), defs, self.ENV) == {Channel("col", 0)}
+
+
+class TestFreeVariables:
+    def test_delegates_to_ast(self):
+        p = parse_process("wire!x -> STOP")
+        assert free_variables(p) == {"x"}

@@ -1,0 +1,131 @@
+"""Unit tests for the process AST (paper §1.2)."""
+
+from repro.process.ast import (
+    STOP,
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Stop,
+    input_,
+    output,
+)
+from repro.process.channels import ChannelExpr, ChannelList
+from repro.values.expressions import BinOp, NatSet, SetLiteral, const, var
+
+
+def copier_body():
+    # input?x:NAT -> wire!x -> copier
+    return input_("input", "x", NatSet(), output("wire", var("x"), Name("copier")))
+
+
+class TestConstruction:
+    def test_stop_is_shared(self):
+        assert Stop() == STOP
+
+    def test_output_structure(self):
+        p = output("wire", 3, STOP)
+        assert p.channel == ChannelExpr("wire")
+        assert p.message == const(3)
+        assert p.continuation is STOP
+
+    def test_builders_with_subscripts(self):
+        p = output("col", var("x"), STOP, index=BinOp("-", var("i"), const(1)))
+        assert p.channel.name == "col"
+        assert p.channel.index == BinOp("-", var("i"), const(1))
+
+    def test_infix_choice_sugar(self):
+        p = STOP | Name("p")
+        assert p == Choice(STOP, Name("p"))
+
+    def test_infix_parallel_sugar(self):
+        p = Name("copier") // Name("recopier")
+        assert p == Parallel(Name("copier"), Name("recopier"))
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert copier_body() == copier_body()
+        assert hash(copier_body()) == hash(copier_body())
+
+    def test_inequality_on_different_variable(self):
+        a = input_("input", "x", NatSet(), STOP)
+        b = input_("input", "y", NatSet(), STOP)
+        assert a != b  # syntactic, not α-equivalence
+
+    def test_name_vs_arrayref(self):
+        assert Name("q") != ArrayRef("q", const(0))
+
+
+class TestFreeVariables:
+    def test_input_binds_its_variable(self):
+        p = copier_body()
+        assert p.free_variables() == frozenset()
+
+    def test_free_variable_in_output(self):
+        p = output("wire", var("x"), STOP)
+        assert p.free_variables() == {"x"}
+
+    def test_array_index_variables_are_free(self):
+        assert ArrayRef("q", var("y")).free_variables() == {"y"}
+
+    def test_channel_subscript_variables_are_free(self):
+        p = output("col", 0, STOP, index=var("i"))
+        assert p.free_variables() == {"i"}
+
+    def test_domain_variables_are_free(self):
+        p = input_("c", "x", SetLiteral((var("m"),)), STOP)
+        assert p.free_variables() == {"m"}
+
+    def test_shadowing_nested_input(self):
+        inner = output("d", var("x"), STOP)
+        p = input_("c", "x", NatSet(), inner)
+        assert p.free_variables() == frozenset()
+
+
+class TestSubstitution:
+    def test_substitute_into_output(self):
+        p = output("wire", var("x"), STOP).substitute("x", const(5))
+        assert p == output("wire", 5, STOP)
+
+    def test_substitute_into_array_ref(self):
+        p = ArrayRef("q", var("y")).substitute("y", const(1))
+        assert p == ArrayRef("q", const(1))
+
+    def test_substitute_stops_at_binder(self):
+        p = input_("c", "x", NatSet(), output("d", var("x"), STOP))
+        assert p.substitute("x", const(9)) == p
+
+    def test_substitute_reaches_channel_and_domain_of_binder(self):
+        p = Input(
+            ChannelExpr("col", var("i")),
+            "x",
+            SetLiteral((var("i"),)),
+            STOP,
+        )
+        q = p.substitute("i", const(2))
+        assert q.channel == ChannelExpr("col", const(2))
+        assert q.domain == SetLiteral((const(2),))
+
+    def test_capture_avoiding_substitution(self):
+        # (c?x:NAT -> d!y -> STOP)[y := x] must NOT capture x.
+        p = input_("c", "x", NatSet(), output("d", var("y"), STOP))
+        q = p.substitute("y", var("x"))
+        assert isinstance(q, Input)
+        assert q.variable != "x"  # binder renamed
+        assert isinstance(q.continuation, Output)
+        assert q.continuation.message == var("x")  # the substituted x is free
+
+    def test_substitution_in_chan_and_parallel(self):
+        body = output("col", var("i"), STOP, index=var("i"))
+        p = Chan(ChannelList([ChannelExpr("col", var("i"))]), body)
+        q = p.substitute("i", const(0))
+        assert q.channels == ChannelList([ChannelExpr("col", const(0))])
+        par = Parallel(body, STOP).substitute("i", const(1))
+        assert par.left == output("col", const(1), STOP, index=const(1))
+
+    def test_substitute_name_is_identity(self):
+        assert Name("p").substitute("x", const(0)) == Name("p")

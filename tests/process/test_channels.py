@@ -1,0 +1,100 @@
+"""Unit tests for syntactic channel references (paper §1.1 items 10–13)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
+from repro.traces.events import Channel
+from repro.values.environment import Environment
+from repro.values.expressions import BinOp, NatSet, RangeSet, const, var
+
+ENV = Environment().bind("i", 2)
+
+
+class TestChannelExpr:
+    def test_plain_channel(self):
+        assert ChannelExpr("wire").evaluate(ENV) == Channel("wire")
+
+    def test_subscripted_channel(self):
+        # col[i-1] with i=2 denotes col[1]
+        ref = ChannelExpr("col", BinOp("-", var("i"), const(1)))
+        assert ref.evaluate(ENV) == Channel("col", 1)
+
+    def test_free_variables(self):
+        assert ChannelExpr("wire").free_variables() == frozenset()
+        assert ChannelExpr("col", var("i")).free_variables() == {"i"}
+
+    def test_substitute(self):
+        ref = ChannelExpr("col", var("i")).substitute("i", const(3))
+        assert ref.evaluate(Environment()) == Channel("col", 3)
+
+    def test_substitute_plain_is_identity(self):
+        ref = ChannelExpr("wire")
+        assert ref.substitute("i", const(3)) is ref
+
+    def test_equality(self):
+        assert ChannelExpr("col", var("i")) == ChannelExpr("col", var("i"))
+        assert ChannelExpr("col") != ChannelExpr("row")
+
+
+class TestChannelArraySpec:
+    def test_expands_to_concrete_channels(self):
+        # col[0..3] = {col[0], col[1], col[2], col[3]} (§1.1 item 12)
+        spec = ChannelArraySpec("col", RangeSet(const(0), const(3)))
+        assert spec.evaluate(ENV) == {
+            Channel("col", 0),
+            Channel("col", 1),
+            Channel("col", 2),
+            Channel("col", 3),
+        }
+
+    def test_infinite_subscripts_rejected(self):
+        spec = ChannelArraySpec("col", NatSet())
+        with pytest.raises(DomainError):
+            spec.evaluate(ENV)
+
+    def test_variable_bounds(self):
+        spec = ChannelArraySpec("col", RangeSet(const(0), var("i")))
+        assert len(spec.evaluate(ENV)) == 3
+
+    def test_substitute(self):
+        spec = ChannelArraySpec("col", RangeSet(const(0), var("i")))
+        fixed = spec.substitute("i", const(1))
+        assert fixed.evaluate(Environment()) == {Channel("col", 0), Channel("col", 1)}
+
+
+class TestChannelList:
+    def test_mixed_entries(self):
+        clist = ChannelList(
+            [
+                ChannelExpr("wire"),
+                ChannelExpr("col", const(7)),
+                ChannelArraySpec("row", RangeSet(const(1), const(2))),
+            ]
+        )
+        assert clist.evaluate(ENV) == {
+            Channel("wire"),
+            Channel("col", 7),
+            Channel("row", 1),
+            Channel("row", 2),
+        }
+
+    def test_names_ignores_subscripts(self):
+        clist = ChannelList([ChannelExpr("col", const(0)), ChannelExpr("wire")])
+        assert clist.names() == {"col", "wire"}
+
+    def test_rejects_bad_entries(self):
+        with pytest.raises(TypeError):
+            ChannelList(["wire"])
+
+    def test_free_variables_and_substitute(self):
+        clist = ChannelList([ChannelExpr("col", var("i"))])
+        assert clist.free_variables() == {"i"}
+        assert clist.substitute("i", const(0)).evaluate(Environment()) == {
+            Channel("col", 0)
+        }
+
+    def test_equality_and_hash(self):
+        a = ChannelList([ChannelExpr("wire")])
+        b = ChannelList([ChannelExpr("wire")])
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,110 @@
+"""Unit tests for process equations and definition lists (§1.1 items 7–9)."""
+
+import pytest
+
+from repro.errors import DefinitionError
+from repro.process.ast import STOP, ArrayRef, Choice, Name, input_, output
+from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
+from repro.values.expressions import NamedSet, NatSet, const, var
+
+
+def copier_def():
+    return ProcessDef(
+        "copier", input_("input", "x", NatSet(), output("wire", var("x"), Name("copier")))
+    )
+
+
+class TestProcessDef:
+    def test_fields(self):
+        d = copier_def()
+        assert d.name == "copier"
+        assert not d.is_array
+
+    def test_equality(self):
+        assert copier_def() == copier_def()
+
+
+class TestArrayDef:
+    def test_instantiate_substitutes_parameter(self):
+        # q[x:M] = wire!x -> q[x];   q[3] = wire!3 -> q[3]
+        d = ArrayDef(
+            "q", "x", NamedSet("M"), output("wire", var("x"), ArrayRef("q", var("x")))
+        )
+        inst = d.instantiate(const(3))
+        assert inst == output("wire", const(3), ArrayRef("q", const(3)))
+
+    def test_is_array(self):
+        d = ArrayDef("q", "x", NamedSet("M"), STOP)
+        assert d.is_array
+
+
+class TestDefinitionList:
+    def test_lookup(self):
+        defs = DefinitionList([copier_def()])
+        assert defs.lookup("copier") == copier_def()
+        assert "copier" in defs
+        assert len(defs) == 1
+
+    def test_lookup_undefined_raises(self):
+        with pytest.raises(DefinitionError, match="undefined"):
+            DefinitionList().lookup("ghost")
+
+    def test_lookup_kind_mismatch(self):
+        defs = DefinitionList(
+            [copier_def(), ArrayDef("q", "x", NamedSet("M"), output("w", var("x"), STOP))]
+        )
+        with pytest.raises(DefinitionError, match="process array"):
+            defs.lookup_process("q")
+        with pytest.raises(DefinitionError, match="not a process array"):
+            defs.lookup_array("copier")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DefinitionError, match="duplicate"):
+            DefinitionList([copier_def(), ProcessDef("copier", STOP)])
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(DefinitionError, match="undefined process"):
+            DefinitionList([ProcessDef("p", output("c", 0, Name("ghost")))])
+
+    def test_dangling_reference_allowed_when_not_strict(self):
+        defs = DefinitionList(
+            [ProcessDef("p", output("c", 0, Name("ghost")))], strict=False
+        )
+        assert "p" in defs
+
+    def test_unguarded_self_recursion_rejected(self):
+        # p = p | a!0 -> STOP reaches itself without communicating
+        with pytest.raises(DefinitionError, match="unguarded"):
+            DefinitionList([ProcessDef("p", Choice(Name("p"), output("a", 0, STOP)))])
+
+    def test_unguarded_mutual_cycle_rejected(self):
+        with pytest.raises(DefinitionError, match="unguarded"):
+            DefinitionList([ProcessDef("p", Name("q")), ProcessDef("q", Name("p"))])
+
+    def test_unguarded_alias_without_cycle_accepted(self):
+        # p = q is fine when q itself is guarded
+        defs = DefinitionList(
+            [ProcessDef("p", Name("q")), ProcessDef("q", output("a", 0, Name("q")))]
+        )
+        assert len(defs) == 2
+
+    def test_guard_check_can_be_disabled(self):
+        defs = DefinitionList(
+            [ProcessDef("p", Name("p"))], require_guarded=False
+        )
+        assert "p" in defs
+
+    def test_merge(self):
+        d1 = DefinitionList([copier_def()])
+        d2 = DefinitionList([ProcessDef("stopper", STOP)])
+        merged = d1.merge(d2)
+        assert merged.names() == {"copier", "stopper"}
+
+    def test_merge_name_clash_rejected(self):
+        d1 = DefinitionList([copier_def()])
+        with pytest.raises(DefinitionError):
+            d1.merge(d1)
+
+    def test_iteration_preserves_order(self):
+        defs = DefinitionList([ProcessDef("a", STOP), ProcessDef("b", STOP)])
+        assert [d.name for d in defs] == ["a", "b"]

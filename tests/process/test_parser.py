@@ -1,0 +1,230 @@
+"""Unit tests for the process-notation parser (§1)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.process.ast import (
+    STOP,
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+)
+from repro.process.channels import ChannelArraySpec, ChannelExpr
+from repro.process.parser import parse_definitions, parse_process
+from repro.values.expressions import (
+    BinOp,
+    Const,
+    FuncCall,
+    IntSet,
+    NamedSet,
+    NatSet,
+    RangeSet,
+    SetLiteral,
+    SetUnion,
+    Var,
+)
+
+
+class TestAtoms:
+    def test_stop(self):
+        assert parse_process("STOP") is STOP
+
+    def test_name(self):
+        assert parse_process("copier") == Name("copier")
+
+    def test_array_ref(self):
+        assert parse_process("q[y]") == ArrayRef("q", Var("y"))
+        assert parse_process("mult[i+1]") == ArrayRef(
+            "mult", BinOp("+", Var("i"), Const(1))
+        )
+
+    def test_parenthesised(self):
+        assert parse_process("(STOP)") is STOP
+
+
+class TestPrefixes:
+    def test_output(self):
+        p = parse_process("wire!3 -> STOP")
+        assert p == Output(ChannelExpr("wire"), Const(3), STOP)
+
+    def test_output_of_expression(self):
+        p = parse_process("col[i]!(v[i]*x + y) -> STOP")
+        assert isinstance(p, Output)
+        assert p.channel == ChannelExpr("col", Var("i"))
+        assert p.message == BinOp("+", BinOp("*", FuncCall("v", (Var("i"),)), Var("x")), Var("y"))
+
+    def test_input(self):
+        p = parse_process("input?x:NAT -> STOP")
+        assert p == Input(ChannelExpr("input"), "x", NatSet(), STOP)
+
+    def test_arrow_is_right_associative(self):
+        p = parse_process("input?x:NAT -> wire!x -> copier")
+        assert isinstance(p, Input)
+        assert isinstance(p.continuation, Output)
+        assert p.continuation.continuation == Name("copier")
+
+    def test_uppercase_message_is_constant(self):
+        p = parse_process("wire!ACK -> STOP")
+        assert p.message == Const("ACK")
+
+    def test_quoted_string_message(self):
+        p = parse_process('wire!"hello world" -> STOP')
+        assert p.message == Const("hello world")
+
+
+class TestSetExpressions:
+    def test_singleton_ack(self):
+        p = parse_process("wire?y:{ACK} -> STOP")
+        assert p.domain == SetLiteral((Const("ACK"),))
+
+    def test_named_set(self):
+        p = parse_process("input?y:M -> STOP")
+        assert p.domain == NamedSet("M")
+
+    def test_range(self):
+        p = parse_process("c?x:{0..3} -> STOP")
+        assert p.domain == RangeSet(Const(0), Const(3))
+
+    def test_int_set(self):
+        p = parse_process("c?x:INT -> STOP")
+        assert p.domain == IntSet()
+
+    def test_union(self):
+        p = parse_process("c?x:M union {ACK, NACK} -> STOP")
+        assert p.domain == SetUnion(
+            (NamedSet("M"), SetLiteral((Const("ACK"), Const("NACK"))))
+        )
+
+    def test_empty_set(self):
+        p = parse_process("c?x:{} -> STOP")
+        assert p.domain == SetLiteral(())
+
+
+class TestOperators:
+    def test_choice(self):
+        p = parse_process("a!0 -> STOP | b!1 -> STOP")
+        assert isinstance(p, Choice)
+
+    def test_arrow_binds_tighter_than_choice(self):
+        # §1.2: "→ binds tighter than |"
+        p = parse_process("wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x]")
+        assert isinstance(p, Choice)
+        assert isinstance(p.left, Input)
+        assert isinstance(p.right, Input)
+
+    def test_choice_left_associative(self):
+        p = parse_process("STOP | STOP | STOP")
+        assert isinstance(p, Choice) and isinstance(p.left, Choice)
+
+    def test_parallel(self):
+        p = parse_process("copier || recopier")
+        assert p == Parallel(Name("copier"), Name("recopier"))
+
+    def test_choice_binds_tighter_than_parallel(self):
+        p = parse_process("a!0 -> STOP | b!0 -> STOP || c!0 -> STOP")
+        assert isinstance(p, Parallel)
+        assert isinstance(p.left, Choice)
+
+    def test_chan(self):
+        p = parse_process("chan wire; copier || recopier")
+        assert isinstance(p, Chan)
+        assert p.channels.names() == {"wire"}
+        assert isinstance(p.body, Parallel)
+
+    def test_chan_array(self):
+        p = parse_process("chan col[0..3]; network")
+        (entry,) = p.channels.entries
+        assert isinstance(entry, ChannelArraySpec)
+        assert entry.subscripts == RangeSet(Const(0), Const(3))
+
+    def test_chan_list_mixed(self):
+        p = parse_process("chan wire, col[0], row[1..2]; STOP")
+        assert len(p.channels.entries) == 3
+
+    def test_parenthesised_chan_inside_parallel(self):
+        p = parse_process("(chan w; a!0 -> STOP) || b!0 -> STOP")
+        assert isinstance(p, Parallel)
+        assert isinstance(p.left, Chan)
+
+
+class TestUnicodeAliases:
+    def test_paper_spelling(self):
+        ascii_p = parse_process("input?x:NAT -> wire!x -> copier")
+        unicode_p = parse_process("input?x:NAT → wire!x → copier")
+        assert ascii_p == unicode_p
+
+    def test_parallel_and_define(self):
+        d_ascii = parse_definitions("net = copier || recopier", strict=False)
+        d_unicode = parse_definitions("net ≜ copier ‖ recopier", strict=False)
+        assert d_ascii == d_unicode
+
+
+class TestDefinitions:
+    def test_paper_protocol_definitions(self):
+        defs = parse_definitions(
+            """
+            sender = input?y:M -> q[y];
+            q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x]);
+            receiver = wire?z:M -> (wire!ACK -> output!z -> receiver
+                                   | wire!NACK -> receiver);
+            protocol = chan wire; (sender || receiver)
+            """
+        )
+        assert defs.names() == {"sender", "q", "receiver", "protocol"}
+        q = defs.lookup_array("q")
+        assert q.parameter == "x"
+        assert q.domain == NamedSet("M")
+
+    def test_trailing_semicolon_allowed(self):
+        defs = parse_definitions("p = a!0 -> p;")
+        assert "p" in defs
+
+    def test_comments_ignored(self):
+        defs = parse_definitions(
+            """
+            -- the endless copier from section 1.3
+            copier = input?x:NAT -> wire!x -> copier
+            """
+        )
+        assert "copier" in defs
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(ParseError, match="reserved"):
+            parse_definitions("STOP = a!0 -> STOP")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "wire!3",  # missing arrow and continuation
+            "input?x -> STOP",  # missing :M
+            "c?x:NAT -> ",  # dangling arrow
+            "(STOP",  # unbalanced paren
+            "chan ; STOP",  # empty channel list
+            "a!0 -> STOP |",  # dangling choice
+            "q[",  # unbalanced subscript
+            'wire!"unterminated -> STOP',
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_process(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse_process("input?x:NAT =>")
+        except ParseError as exc:
+            assert exc.line == 1
+            assert exc.column > 1
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_process("STOP STOP")

@@ -1,0 +1,147 @@
+"""Pretty-printer tests, including the parse∘pretty round-trip property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.process.ast import (
+    STOP,
+    ArrayRef,
+    Chan,
+    Choice,
+    Input,
+    Name,
+    Output,
+    Parallel,
+    Process,
+)
+from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
+from repro.process.parser import parse_definitions, parse_process
+from repro.process.pretty import pretty, pretty_definition, pretty_definitions
+from repro.values.expressions import (
+    BinOp,
+    Const,
+    FuncCall,
+    NamedSet,
+    NatSet,
+    RangeSet,
+    SetLiteral,
+    UnaryOp,
+    Var,
+)
+
+
+class TestExamples:
+    def test_copier(self):
+        text = "input?x:NAT -> wire!x -> copier"
+        assert pretty(parse_process(text)) == text
+
+    def test_choice_parens_inside_prefix(self):
+        text = "wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])"
+        assert parse_process(pretty(parse_process(text))) == parse_process(text)
+
+    def test_chan_always_parenthesised(self):
+        p = parse_process("(chan w; a!0 -> STOP) || b!0 -> STOP")
+        assert parse_process(pretty(p)) == p
+
+    def test_nested_parallel(self):
+        p = parse_process("a!0 -> STOP || b!0 -> STOP || c!0 -> STOP")
+        assert parse_process(pretty(p)) == p
+
+    def test_expression_precedence(self):
+        p = parse_process("c!(x + 1) * 2 -> STOP")
+        assert parse_process(pretty(p)) == p
+
+    def test_double_negation_does_not_emit_comment(self):
+        p = Output(ChannelExpr("c"), UnaryOp("-", UnaryOp("-", Var("x"))), STOP)
+        assert "--" not in pretty(p)
+        assert parse_process(pretty(p)) == p
+
+    def test_definition_rendering(self):
+        defs = parse_definitions("q[x:M] = wire!x -> q[x]")
+        assert pretty_definition(defs.lookup("q")) == "q[x:M] = wire!x -> q[x]"
+
+    def test_definitions_rendering_round_trip(self):
+        text = """
+        copier = input?x:NAT -> wire!x -> copier;
+        recopier = wire?y:NAT -> output!y -> recopier;
+        net = chan wire; (copier || recopier)
+        """
+        defs = parse_definitions(text)
+        assert parse_definitions(pretty_definitions(defs)) == defs
+
+    def test_explicit_alphabets_render_with_note(self):
+        p = Parallel(
+            Name("a"),
+            Name("b"),
+            ChannelList([ChannelExpr("x")]),
+            ChannelList([ChannelExpr("y")]),
+        )
+        rendered = pretty(p)
+        assert "X={x}" in rendered and "Y={y}" in rendered
+
+
+# ---------------------------------------------------------------------------
+# Property: parse(pretty(P)) == P on generated ASTs.
+# ---------------------------------------------------------------------------
+
+_exprs = st.recursive(
+    st.one_of(
+        st.integers(min_value=0, max_value=9).map(Const),
+        st.sampled_from(["x", "y", "i"]).map(Var),
+        st.sampled_from(["ACK", "NACK"]).map(Const),
+    ),
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(["+", "-", "*"]), children, children).map(
+            lambda t: BinOp(*t)
+        ),
+        children.map(lambda e: UnaryOp("-", e)),
+        children.map(lambda e: FuncCall("v", (e,))),
+    ),
+    max_leaves=4,
+)
+
+_setexprs = st.one_of(
+    st.just(NatSet()),
+    st.just(NamedSet("M")),
+    st.builds(RangeSet, st.integers(0, 3).map(Const), st.integers(4, 6).map(Const)),
+    st.lists(_exprs, min_size=1, max_size=2).map(lambda es: SetLiteral(tuple(es))),
+)
+
+_channel_exprs = st.one_of(
+    st.sampled_from(["a", "b", "wire"]).map(ChannelExpr),
+    st.builds(ChannelExpr, st.just("col"), _exprs),
+)
+
+
+def _processes():
+    return st.recursive(
+        st.one_of(
+            st.just(STOP),
+            st.sampled_from(["p", "q2"]).map(Name),
+            st.builds(ArrayRef, st.just("q"), _exprs),
+        ),
+        lambda children: st.one_of(
+            st.builds(Output, _channel_exprs, _exprs, children),
+            st.builds(
+                Input,
+                _channel_exprs,
+                st.sampled_from(["x", "y"]),
+                _setexprs,
+                children,
+            ),
+            st.builds(Choice, children, children),
+            st.builds(Parallel, children, children),
+            st.builds(
+                Chan,
+                st.lists(_channel_exprs, min_size=1, max_size=2).map(ChannelList),
+                children,
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(_processes())
+def test_parse_pretty_roundtrip(process: Process):
+    assert parse_process(pretty(process)) == process

@@ -1,0 +1,194 @@
+"""Adversarial tests: the checker rejects every tampered proof.
+
+A proof checker earns its keep by what it *rejects*.  Starting from the
+valid Table 1 proof, we mutate single nodes — conclusions, rule names,
+premise order, quantifier domains, instantiation terms — and assert the
+checker raises on every mutant.  (A mutant that still checks would be a
+soundness hole.)
+"""
+
+import pytest
+
+from repro.assertions.parser import parse_assertion
+from repro.errors import ProofError
+from repro.proof.checker import ProofChecker
+from repro.proof.judgments import ForAllSat, Pure, Sat
+from repro.proof.proof import ProofNode
+from repro.systems import protocol
+
+CHANS = {"input", "wire", "output"}
+
+
+def checker():
+    return ProofChecker(protocol.definitions(), protocol.oracle())
+
+
+def valid_proof():
+    return protocol.table1_proof()
+
+
+def rebuild(node: ProofNode, path, replace):
+    """Return a copy of the tree with the node at ``path`` replaced by
+    ``replace(old_node)``."""
+    if not path:
+        return replace(node)
+    index = path[0]
+    premises = list(node.premises)
+    premises[index] = rebuild(premises[index], path[1:], replace)
+    return ProofNode(node.rule, node.conclusion, tuple(premises), node.params)
+
+
+def all_paths(node: ProofNode, prefix=()):
+    yield prefix
+    for i, premise in enumerate(node.premises):
+        yield from all_paths(premise, prefix + (i,))
+
+
+class TestTamperedConclusions:
+    def test_every_sat_conclusion_is_load_bearing(self):
+        """Flipping any Sat conclusion's formula must break the proof."""
+        wrong = parse_assertion("output <= wire", CHANS)
+        proof = valid_proof()
+        rejected = 0
+        for path in list(all_paths(proof)):
+            target = proof
+            for index in path:
+                target = target.premises[index]
+            if not isinstance(target.conclusion, Sat):
+                continue
+
+            def tamper(old):
+                return ProofNode(
+                    old.rule,
+                    Sat(old.conclusion.process, wrong),
+                    old.premises,
+                    old.params,
+                )
+
+            mutant = rebuild(proof, path, tamper)
+            with pytest.raises(ProofError):
+                checker().check(mutant)
+            rejected += 1
+        assert rejected >= 5  # the proof has many sat nodes, all protected
+
+    def test_root_conclusion_cannot_be_strengthened(self):
+        proof = valid_proof()
+        stronger = parse_assertion("f(wire) <= input & output <= input", CHANS)
+
+        def tamper(old):
+            from repro.process.ast import Name
+
+            return ProofNode(old.rule, Sat(Name("sender"), stronger), old.premises, old.params)
+
+        with pytest.raises(ProofError):
+            checker().check(rebuild(proof, (), tamper))
+
+
+class TestTamperedStructure:
+    def test_rule_rename_rejected(self):
+        proof = valid_proof()
+
+        def tamper(old):
+            return ProofNode("conjunction", old.conclusion, old.premises, old.params)
+
+        with pytest.raises(ProofError):
+            checker().check(rebuild(proof, (), tamper))
+
+    def test_dropping_a_premise_rejected(self):
+        proof = valid_proof()
+
+        def tamper(old):
+            return ProofNode(old.rule, old.conclusion, old.premises[:-1], old.params)
+
+        with pytest.raises(ProofError):
+            checker().check(rebuild(proof, (), tamper))
+
+    def test_swapping_recursion_premises_rejected(self):
+        proof = valid_proof()
+        reordered = tuple(reversed(proof.premises))
+        mutant = ProofNode(proof.rule, proof.conclusion, reordered, proof.params)
+        with pytest.raises(ProofError):
+            checker().check(mutant)
+
+    def test_unlicensed_assumption_rejected(self):
+        # replace an oracle leaf with a bald assumption of the same fact
+        proof = valid_proof()
+        found = []
+
+        for path in all_paths(proof):
+            target = proof
+            for index in path:
+                target = target.premises[index]
+            if target.rule == "oracle":
+                found.append(path)
+        assert found
+
+        def tamper(old):
+            return ProofNode("assumption", old.conclusion)
+
+        mutant = rebuild(proof, found[0], tamper)
+        with pytest.raises(ProofError):
+            checker().check(mutant)
+
+    def test_smuggled_oracle_fact_rejected(self):
+        # an oracle leaf claiming something false
+        proof = valid_proof()
+        lie = Pure(parse_assertion("input <= wire", CHANS))
+
+        for path in all_paths(proof):
+            target = proof
+            for index in path:
+                target = target.premises[index]
+            if target.rule == "oracle":
+                def tamper(old):
+                    return ProofNode("oracle", lie)
+
+                mutant = rebuild(proof, path, tamper)
+                with pytest.raises(ProofError):
+                    checker().check(mutant)
+                break
+
+
+class TestTamperedQuantifiers:
+    def test_widened_eigenvariable_domain_rejected(self):
+        # generalize over NAT instead of {ACK}: the oracle must refute the
+        # consequence step for non-ACK values
+        from repro.values.expressions import NatSet
+
+        proof = valid_proof()
+        mutated = []
+
+        def widen(node: ProofNode) -> ProofNode:
+            premises = tuple(widen(p) for p in node.premises)
+            if (
+                node.rule == "generalize"
+                and isinstance(node.conclusion, ForAllSat)
+                and repr(node.conclusion.domain) == "{'ACK'}"
+            ):
+                mutated.append(True)
+                inner = node.premises[0]
+                widened_premises = tuple(widen(p) for p in node.premises)
+                return ProofNode(
+                    "generalize",
+                    ForAllSat(node.conclusion.variable, NatSet(), node.conclusion.inner),
+                    widened_premises,
+                    node.params,
+                )
+            return ProofNode(node.rule, node.conclusion, premises, node.params)
+
+        mutant = widen(proof)
+        assert mutated
+        with pytest.raises(ProofError):
+            checker().check(mutant)
+
+    def test_elim_outside_domain_rejected(self):
+        from repro.assertions.builders import const_
+        from repro.proof.rules import assume, forall_sat_elim, recursion_goal_with_defs
+
+        defs = protocol.definitions()
+        hyp = recursion_goal_with_defs(
+            "q", ("x", protocol.specifications()["q"]), defs
+        )
+        node = forall_sat_elim(assume(hyp), const_("NACK"))  # NACK ∉ M
+        with pytest.raises(ProofError):
+            checker().check(node, assumptions=(hyp,))

@@ -1,0 +1,168 @@
+"""Unit tests for the semantic discharge oracle."""
+
+import pytest
+
+from repro.assertions.parser import parse_assertion
+from repro.assertions.sequences import cancel_protocol
+from repro.errors import DischargeError
+from repro.proof.oracle import Oracle, OracleConfig
+from repro.values.domains import FiniteDomain
+from repro.values.environment import Environment
+
+CHANS = {"input", "wire", "output"}
+ENV = Environment().bind("f", cancel_protocol).bind("M", FiniteDomain({0, 1}))
+
+
+def oracle(**kwargs):
+    return Oracle(ENV, OracleConfig(**kwargs))
+
+
+class TestValidFacts:
+    """Facts the paper cites as justifications."""
+
+    def test_prefix_reflexive(self):
+        # "⊢ wire ≤ wire" (triviality example)
+        assert oracle().holds(parse_assertion("wire <= wire", CHANS)).ok
+
+    def test_empty_prefix(self):
+        # "⟨⟩ ≤ ⟨⟩" (emptiness example)
+        assert oracle().holds(parse_assertion("<> <= <>", CHANS)).ok
+
+    def test_cons_monotone(self):
+        # wire ≤ input ⇒ x⌢wire ≤ x⌢input (consequence example)
+        f = parse_assertion("wire <= input => x ^ wire <= x ^ input", CHANS)
+        assert oracle().holds(f).ok
+
+    def test_transitivity_of_prefix(self):
+        # output ≤ f(wire) & f(wire) ≤ input ⇒ output ≤ input ("trans ≤")
+        f = parse_assertion(
+            "output <= f(wire) & f(wire) <= input => output <= input", CHANS
+        )
+        assert oracle().holds(f).ok
+
+    def test_def_f_ack_law(self):
+        # step (8)-(9) of Table 1: f(wire) ≤ input ⇒ f(x⌢ACK⌢wire) ≤ x⌢input,
+        # valid for x ∈ M (messages) — not for x = ACK, so the eigenvariable
+        # domain matters.
+        f = parse_assertion(
+            "f(wire) <= input => f(x ^ ACK ^ wire) <= x ^ input", CHANS
+        )
+        assert oracle().holds(f, {"x": FiniteDomain({0, 1})}).ok
+        assert not oracle().holds(f).ok  # x = ACK refutes it
+
+    def test_def_f_nack_law(self):
+        f = parse_assertion(
+            "f(wire) <= x ^ input => f(x ^ NACK ^ wire) <= x ^ input", CHANS
+        )
+        assert oracle().holds(f).ok
+
+
+class TestRefutations:
+    def test_false_prefix_claim_refuted(self):
+        verdict = oracle().holds(parse_assertion("input <= wire", CHANS))
+        assert not verdict.ok
+        assert verdict.counterexample is not None
+
+    def test_false_implication_refuted(self):
+        f = parse_assertion("wire <= input => input <= wire", CHANS)
+        assert not oracle().holds(f).ok
+
+    def test_require_raises(self):
+        with pytest.raises(DischargeError, match="refuted"):
+            oracle().require(parse_assertion("input <= wire", CHANS))
+
+
+class TestEigenvariables:
+    def test_domain_constrains_variable(self):
+        # f(x⌢v⌢wire) ≤ x⌢input given f(wire) ≤ x⌢input: true only if v
+        # is known to be NACK.
+        f = parse_assertion(
+            "f(wire) <= x ^ input => f(x ^ v ^ wire) <= x ^ input", CHANS
+        )
+        assert oracle().holds(f, {"v": FiniteDomain({"NACK"})}).ok
+        assert not oracle().holds(f).ok  # unconstrained v ranges over the pool
+
+    def test_variable_domains_from_setexpr(self):
+        from repro.values.expressions import NamedSet
+
+        f = parse_assertion("x <= 1", set())
+        assert oracle().holds(f, {"x": NamedSet("M")}).ok
+
+
+class TestDependentDomains:
+    """Eigenvariable domains may mention earlier eigenvariables (the
+    dining philosophers' fork binds k ∈ {j})."""
+
+    def test_dependent_domain_enumerated_under_partial_assignment(self):
+        from repro.values.expressions import SetLiteral, Var
+
+        # ∀j∈{0,1}, ∀k∈{j}: k = j — true precisely because k's domain
+        # depends on j.
+        f = parse_assertion("k = j", set())
+        domains = {
+            "j": FiniteDomain({0, 1}),
+            "k": SetLiteral((Var("j"),)),
+        }
+        assert oracle().holds(f, domains).ok
+
+    def test_dependent_domain_ordering_is_found(self):
+        from repro.values.expressions import SetLiteral, Var
+
+        f = parse_assertion("k <= j", set())
+        # declare in the "wrong" order: the oracle must topologically sort
+        domains = {
+            "k": SetLiteral((Var("j"),)),
+            "j": FiniteDomain({0, 1}),
+        }
+        assert oracle().holds(f, domains).ok
+
+    def test_cyclic_domains_rejected(self):
+        from repro.errors import DischargeError
+        from repro.values.expressions import SetLiteral, Var
+
+        f = parse_assertion("k = j", set())
+        domains = {
+            "k": SetLiteral((Var("j"),)),
+            "j": SetLiteral((Var("k"),)),
+        }
+        with pytest.raises(DischargeError, match="cyclic"):
+            oracle().holds(f, domains)
+
+    def test_independent_domains_unaffected(self):
+        f = parse_assertion("x <= 1 & y <= 1", set())
+        domains = {"x": FiniteDomain({0, 1}), "y": FiniteDomain({0, 1})}
+        assert oracle().holds(f, domains).ok
+
+
+class TestMethodsAndBounds:
+    def test_exhaustive_method_reported(self):
+        # not syntactically foldable: goes through enumeration
+        verdict = oracle().holds(parse_assertion("#wire <= #wire + 1", CHANS))
+        assert verdict.method == "exhaustive-bounded"
+        assert verdict.instances >= 1
+
+    def test_syntactic_fast_path_reported(self):
+        verdict = oracle().holds(parse_assertion("0 <= 1", set()))
+        assert verdict.ok and verdict.method == "syntactic"
+
+    def test_randomized_fallback_over_limit(self):
+        small = oracle(exhaustive_limit=10, random_trials=50)
+        verdict = small.holds(parse_assertion("wire <= wire ++ input", CHANS))
+        assert verdict.method == "randomized"
+        assert verdict.ok
+
+    def test_randomized_still_refutes(self):
+        small = oracle(exhaustive_limit=10, random_trials=500)
+        verdict = small.holds(parse_assertion("wire <= input", CHANS))
+        assert not verdict.ok
+
+    def test_all_instances_erroring_raises(self):
+        # comparing a number with a sequence errors on every instance
+        f = parse_assertion("#wire <= wire", CHANS)
+        with pytest.raises(DischargeError, match="could not evaluate"):
+            oracle().holds(f)
+
+    def test_env_bound_names_not_enumerated(self):
+        # 'f' is bound in the environment, not treated as a free variable
+        f = parse_assertion("#f(wire) <= #wire", CHANS)
+        assert oracle().holds(f).ok

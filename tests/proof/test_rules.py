@@ -1,0 +1,300 @@
+"""Unit tests for the §2.1 inference rules: each rule accepts its intended
+instances and rejects malformed ones."""
+
+import pytest
+
+from repro.assertions.builders import and_, chan_, implies_, le_, seq_, var_
+from repro.assertions.parser import parse_assertion
+from repro.errors import ProofError, RuleApplicationError, SideConditionError
+from repro.process.ast import STOP, Chan, Choice, Input, Name, Output, Parallel
+from repro.process.parser import parse_definitions, parse_process
+from repro.proof.checker import ProofChecker
+from repro.proof.judgments import ForAllSat, Pure, Sat
+from repro.proof.oracle import Oracle
+from repro.proof.proof import ProofNode
+from repro.proof.rules import (
+    alternative,
+    assume,
+    chan_rule,
+    conjunction,
+    consequence,
+    emptiness,
+    forall_sat_elim,
+    generalize,
+    input_rule,
+    oracle_leaf,
+    output_rule,
+    parallelism,
+    triviality,
+)
+from repro.values.environment import Environment
+from repro.values.expressions import NatSet, SetLiteral, const
+
+CHANS = {"a", "b", "wire", "input", "output"}
+DEFS = parse_definitions(
+    "copier = input?x:NAT -> wire!x -> copier;"
+    "recopier = wire?y:NAT -> output!y -> recopier"
+)
+
+
+def checker():
+    return ProofChecker(DEFS, Oracle(Environment()))
+
+
+def check(node, assumptions=()):
+    return checker().check(node, assumptions)
+
+
+def R(text, chans=CHANS):
+    return parse_assertion(text, chans)
+
+
+class TestLeaves:
+    def test_assumption_licensed(self):
+        j = Sat(STOP, R("wire <= input"))
+        check(assume(j), assumptions=(j,))
+
+    def test_assumption_unlicensed_rejected(self):
+        j = Sat(STOP, R("wire <= input"))
+        with pytest.raises(RuleApplicationError, match="not in the context"):
+            check(assume(j))
+
+    def test_oracle_leaf_valid(self):
+        report = check(oracle_leaf(R("wire <= wire")))
+        assert len(report.discharges) == 1
+
+    def test_oracle_leaf_refuted(self):
+        with pytest.raises(ProofError):
+            check(oracle_leaf(R("input <= wire")))
+
+
+class TestTriviality:
+    def test_valid(self):
+        node = triviality(Name("copier"), oracle_leaf(R("wire <= wire")))
+        check(node)
+
+    def test_assumed_pure_with_channels_rejected(self):
+        pure = Pure(R("wire <= wire"))
+        node = triviality(Name("copier"), assume(pure))
+        with pytest.raises(SideConditionError, match="channel"):
+            check(node, assumptions=(pure,))
+
+    def test_assumed_pure_without_channels_ok(self):
+        pure = Pure(R("x <= y", set()))
+        node = triviality(Name("copier"), assume(pure))
+        check(node, assumptions=(pure,))
+
+
+class TestConsequence:
+    def test_paper_example(self):
+        # copier sat wire ≤ input, (wire ≤ input ⇒ x⌢wire ≤ x⌢input)
+        # ⊢ copier sat x⌢wire ≤ x⌢input
+        premise = Sat(Name("copier"), R("wire <= input"))
+        node = consequence(
+            assume(premise),
+            oracle_leaf(R("wire <= input => x ^ wire <= x ^ input")),
+        )
+        assert node.conclusion == Sat(Name("copier"), R("x ^ wire <= x ^ input"))
+        check(node, assumptions=(premise,))
+
+    def test_non_implication_rejected(self):
+        premise = Sat(Name("copier"), R("wire <= input"))
+        with pytest.raises(RuleApplicationError, match="implication"):
+            consequence(assume(premise), oracle_leaf(R("wire <= wire")))
+
+    def test_antecedent_mismatch_rejected(self):
+        premise = Sat(Name("copier"), R("wire <= input"))
+        bad = consequence(
+            assume(premise), oracle_leaf(R("output <= input => wire <= wire"))
+        )
+        # builder can't see it (it checks shape only at build time for the
+        # implication); the checker must reject
+        with pytest.raises(RuleApplicationError, match="antecedent"):
+            check(bad, assumptions=(premise,))
+
+
+class TestConjunctionAlternative:
+    def test_conjunction(self):
+        a = Sat(Name("copier"), R("wire <= input"))
+        b = Sat(Name("copier"), R("#wire <= #input"))
+        node = conjunction(assume(a), assume(b))
+        assert node.conclusion.formula == and_(a.formula, b.formula)
+        check(node, assumptions=(a, b))
+
+    def test_conjunction_different_processes_rejected(self):
+        a = Sat(Name("copier"), R("wire <= input"))
+        b = Sat(Name("recopier"), R("output <= wire"))
+        with pytest.raises(RuleApplicationError, match="different"):
+            check(conjunction(assume(a), assume(b)), assumptions=(a, b))
+
+    def test_alternative(self):
+        p = parse_process("a!0 -> STOP")
+        q = parse_process("b!1 -> STOP")
+        formula = R("<> <= a")
+        a = Sat(p, formula)
+        b = Sat(q, formula)
+        node = alternative(assume(a), assume(b))
+        assert node.conclusion == Sat(Choice(p, q), formula)
+        check(node, assumptions=(a, b))
+
+    def test_alternative_formula_mismatch_rejected(self):
+        a = Sat(STOP, R("wire <= input"))
+        b = Sat(STOP, R("output <= wire"))
+        with pytest.raises(RuleApplicationError):
+            check(alternative(assume(a), assume(b)), assumptions=(a, b))
+
+
+class TestEmptiness:
+    def test_paper_example(self):
+        # ⊢ STOP sat wire ≤ input, because ⟨⟩ ≤ ⟨⟩
+        node = emptiness(R("wire <= input"), oracle_leaf(R("<> <= <>")))
+        check(node)
+
+    def test_wrong_blanking_rejected(self):
+        node = emptiness(R("wire <= input"), oracle_leaf(R("wire <= wire")))
+        with pytest.raises(RuleApplicationError, match="R_<>"):
+            check(node)
+
+    def test_non_stop_rejected(self):
+        node = ProofNode(
+            "emptiness",
+            Sat(Name("copier"), R("wire <= input")),
+            (oracle_leaf(R("<> <= <>")),),
+        )
+        with pytest.raises(RuleApplicationError, match="STOP"):
+            check(node)
+
+
+class TestOutputRule:
+    def test_valid(self):
+        # (wire!3 → STOP) sat wire ≤ ⟨3⟩
+        process = parse_process("wire!3 -> STOP")
+        formula = R("wire <= <3>")
+        body_goal = R("3 ^ wire <= <3>")
+        body = emptiness(body_goal, oracle_leaf(R("3 ^ <> <= <3>")))
+        node = output_rule(process, formula, oracle_leaf(R("<> <= <3>")), body)
+        check(node)
+
+    def test_body_formula_mismatch_rejected(self):
+        process = parse_process("wire!3 -> STOP")
+        formula = R("wire <= <3>")
+        wrong_body = emptiness(formula, oracle_leaf(R("<> <= <3>")))
+        node = output_rule(process, formula, oracle_leaf(R("<> <= <3>")), wrong_body)
+        with pytest.raises(RuleApplicationError, match="R\\^c"):
+            check(node)
+
+
+class TestInputRule:
+    def test_valid(self):
+        # (input?x:{0} → STOP) sat input ≤ ⟨0⟩
+        process = parse_process("input?x:{0} -> STOP")
+        formula = R("input <= <0>")
+        inner_goal = R("v ^ input <= <0>")
+        inner = emptiness(inner_goal, oracle_leaf(R("v ^ <> <= <0>")))
+        forall = generalize("v", SetLiteral((const(0),)), inner)
+        node = input_rule(process, formula, oracle_leaf(R("<> <= <0>")), forall)
+        check(node)
+
+    def test_non_fresh_variable_rejected(self):
+        # use the formula's own variable as the eigenvariable
+        process = parse_process("input?x:{0} -> STOP")
+        formula = R("input <= v ^ <>")
+        inner = emptiness(
+            R("v ^ input <= v ^ <>"), oracle_leaf(R("v ^ <> <= v ^ <>"))
+        )
+        forall = generalize("v", SetLiteral((const(0),)), inner)
+        node = input_rule(process, formula, oracle_leaf(R("<> <= v ^ <>")), forall)
+        with pytest.raises(SideConditionError, match="free in R"):
+            check(node)
+
+    def test_wrong_domain_rejected(self):
+        process = parse_process("input?x:{0} -> STOP")
+        formula = R("input <= <0>")
+        inner = emptiness(R("v ^ input <= <0>"), oracle_leaf(R("v ^ <> <= <0>")))
+        forall = generalize("v", NatSet(), inner)
+        node = input_rule(process, formula, oracle_leaf(R("<> <= <0>")), forall)
+        with pytest.raises(RuleApplicationError, match="domain"):
+            check(node)
+
+
+class TestParallelism:
+    def test_paper_example(self):
+        # copier sat wire ≤ input, recopier sat output ≤ wire
+        # ⊢ copier ‖ recopier sat (wire ≤ input & output ≤ wire)
+        a = Sat(Name("copier"), R("wire <= input"))
+        b = Sat(Name("recopier"), R("output <= wire"))
+        node = parallelism(assume(a), assume(b))
+        check(node, assumptions=(a, b))
+
+    def test_side_condition_violation(self):
+        # R mentions 'output', which only the right component uses
+        a = Sat(Name("copier"), R("output <= input"))
+        b = Sat(Name("recopier"), R("output <= wire"))
+        node = parallelism(assume(a), assume(b))
+        with pytest.raises(SideConditionError, match="right component"):
+            check(node, assumptions=(a, b))
+
+    def test_symmetric_side_condition(self):
+        a = Sat(Name("copier"), R("wire <= input"))
+        b = Sat(Name("recopier"), R("input <= wire"))
+        node = parallelism(assume(a), assume(b))
+        with pytest.raises(SideConditionError, match="left component"):
+            check(node, assumptions=(a, b))
+
+
+class TestChanRule:
+    def test_paper_example(self):
+        # (copier ‖ recopier) sat output ≤ input
+        # ⊢ (chan wire; copier ‖ recopier) sat output ≤ input
+        inner = Sat(parse_process("copier || recopier"), R("output <= input"))
+        process = parse_process("chan wire; (copier || recopier)")
+        node = chan_rule(assume(inner), process)
+        check(node, assumptions=(inner,))
+
+    def test_concealed_channel_in_assertion_rejected(self):
+        inner = Sat(parse_process("copier || recopier"), R("wire <= input"))
+        process = parse_process("chan wire; (copier || recopier)")
+        node = chan_rule(assume(inner), process)
+        with pytest.raises(SideConditionError, match="concealed"):
+            check(node, assumptions=(inner,))
+
+
+class TestGeneralizeAndElim:
+    def test_generalize_eigenvariable_condition(self):
+        # v free in an assumption: must be rejected
+        hyp = Sat(STOP, R("wire <= v ^ <>"))
+        inner = assume(hyp)
+        node = generalize("v", NatSet(), inner)
+        with pytest.raises(SideConditionError, match="eigenvariable"):
+            check(node, assumptions=(hyp,))
+
+    def test_elim_with_constant_in_domain(self):
+        from repro.assertions.builders import const_
+
+        hyp = ForAllSat(
+            "x", SetLiteral((const(0), const(1))), Sat(STOP, R("wire <= x ^ <>"))
+        )
+        node = forall_sat_elim(assume(hyp), const_(1))
+        assert node.conclusion == Sat(STOP, R("wire <= 1 ^ <>"))
+        check(node, assumptions=(hyp,))
+
+    def test_elim_with_constant_outside_domain_rejected(self):
+        from repro.assertions.builders import const_
+
+        hyp = ForAllSat(
+            "x", SetLiteral((const(0),)), Sat(STOP, R("wire <= x ^ <>"))
+        )
+        node = forall_sat_elim(assume(hyp), const_(9))
+        with pytest.raises(SideConditionError, match="not in"):
+            check(node, assumptions=(hyp,))
+
+    def test_elim_with_unconstrained_variable_rejected(self):
+        hyp = ForAllSat("x", NatSet(), Sat(STOP, R("wire <= x ^ <>")))
+        node = forall_sat_elim(assume(hyp), var_("k"))
+        with pytest.raises(SideConditionError, match="eigenvariable"):
+            check(node, assumptions=(hyp,))
+
+    def test_unknown_rule_rejected(self):
+        node = ProofNode("teleport", Sat(STOP, R("<> <= <>")))
+        with pytest.raises(RuleApplicationError, match="unknown rule"):
+            check(node)

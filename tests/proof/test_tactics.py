@@ -1,0 +1,171 @@
+"""Unit tests for proof search (and the paper's proofs end to end)."""
+
+import pytest
+
+from repro.assertions.parser import parse_assertion
+from repro.assertions.sequences import cancel_protocol
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions, parse_process
+from repro.proof.checker import ProofChecker
+from repro.proof.judgments import ForAllSat, Sat
+from repro.proof.oracle import Oracle, OracleConfig
+from repro.proof.tactics import SatProver, TacticError
+from repro.values.domains import FiniteDomain
+from repro.values.environment import Environment
+
+PROTOCOL_DEFS = parse_definitions(
+    "sender = input?y:M -> q[y];"
+    "q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x]);"
+    "receiver = wire?z:M -> (wire!ACK -> output!z -> receiver"
+    "                        | wire!NACK -> receiver);"
+    "protocol = chan wire; (sender || receiver)"
+)
+PROTOCOL_ENV = Environment().bind("M", FiniteDomain({0, 1})).bind("f", cancel_protocol)
+CHANS = {"input", "wire", "output"}
+
+
+def protocol_prover():
+    oracle = Oracle(PROTOCOL_ENV, OracleConfig())
+    invariants = {
+        "sender": parse_assertion("f(wire) <= input", CHANS),
+        "q": ("x", parse_assertion("f(wire) <= x ^ input", CHANS)),
+        "receiver": parse_assertion("output <= f(wire)", CHANS),
+        "protocol": parse_assertion("output <= input", CHANS),
+    }
+    return SatProver(PROTOCOL_DEFS, oracle, invariants)
+
+
+COPIER_DEFS = parse_definitions(
+    "copier = input?x:NAT -> wire!x -> copier;"
+    "recopier = wire?y:NAT -> output!y -> recopier;"
+    "network = chan wire; (copier || recopier)"
+)
+
+
+def copier_prover():
+    invariants = {
+        "copier": parse_assertion("wire <= input", CHANS),
+        "recopier": parse_assertion("output <= wire", CHANS),
+        "network": parse_assertion("output <= input", CHANS),
+    }
+    return SatProver(COPIER_DEFS, Oracle(Environment()), invariants)
+
+
+class TestCopierProofs:
+    """The running example of §2: copier sat wire ≤ input and friends."""
+
+    def test_copier_invariant(self):
+        prover = copier_prover()
+        proof = prover.prove_name("copier")
+        report = ProofChecker(COPIER_DEFS, prover.oracle).check(proof)
+        assert report.conclusion == Sat(
+            Name("copier"), parse_assertion("wire <= input", CHANS)
+        )
+
+    def test_network_end_to_end(self):
+        # the §2.1 rule-8/9 worked example: output ≤ input for the hidden net
+        prover = copier_prover()
+        proof = prover.prove_name("network")
+        report = ProofChecker(COPIER_DEFS, prover.oracle).check(proof)
+        assert "chan" in report.rules_used
+        assert "parallelism" in report.rules_used
+        assert "consequence" in report.rules_used
+
+    def test_structural_goal_without_name(self):
+        prover = copier_prover()
+        process = parse_process("wire!3 -> STOP")
+        formula = parse_assertion("wire <= <3>", CHANS)
+        proof, report = prover.prove_checked(process, formula)
+        assert report.conclusion == Sat(process, formula)
+
+
+class TestTable1:
+    """Experiment E3: the sender lemma of Table 1, machine-checked."""
+
+    def test_sender_lemma(self):
+        prover = protocol_prover()
+        proof = prover.prove_name("sender")
+        report = ProofChecker(PROTOCOL_DEFS, prover.oracle).check(proof)
+        assert report.conclusion == Sat(
+            Name("sender"), parse_assertion("f(wire) <= input", CHANS)
+        )
+        # The proof uses exactly the rule repertoire of Table 1.
+        used = set(report.rules_used)
+        assert {"recursion", "input", "output", "alternative", "consequence"} <= used
+
+    def test_q_lemma_is_proved_inside_the_same_recursion(self):
+        prover = protocol_prover()
+        proof = prover.prove_name("q")
+        assert isinstance(proof.conclusion, ForAllSat)
+        ProofChecker(PROTOCOL_DEFS, prover.oracle).check(proof)
+
+    def test_receiver_exercise(self):
+        # §2.2(2), "left as an exercise" — experiment E4
+        prover = protocol_prover()
+        proof = prover.prove_name("receiver")
+        report = ProofChecker(PROTOCOL_DEFS, prover.oracle).check(proof)
+        assert report.conclusion == Sat(
+            Name("receiver"), parse_assertion("output <= f(wire)", CHANS)
+        )
+
+    def test_protocol_theorem(self):
+        # §2.2(3): protocol sat output ≤ input — experiment E5
+        prover = protocol_prover()
+        proof = prover.prove_name("protocol")
+        report = ProofChecker(PROTOCOL_DEFS, prover.oracle).check(proof)
+        assert report.conclusion == Sat(
+            Name("protocol"), parse_assertion("output <= input", CHANS)
+        )
+        used = set(report.rules_used)
+        assert {"chan", "parallelism", "consequence", "recursion"} <= used
+
+
+class TestFailures:
+    def test_unannotated_name_fails(self):
+        prover = SatProver(COPIER_DEFS, Oracle(Environment()), {})
+        with pytest.raises(TacticError, match="no invariant"):
+            prover.prove(Name("copier"), parse_assertion("wire <= input", CHANS))
+
+    def test_false_invariant_refuted_during_search(self):
+        prover = SatProver(
+            COPIER_DEFS,
+            Oracle(Environment()),
+            {"copier": parse_assertion("input <= wire", CHANS)},
+        )
+        with pytest.raises(TacticError, match="refuted"):
+            prover.prove_name("copier")
+
+    def test_parallel_without_annotations_fails_helpfully(self):
+        prover = SatProver(COPIER_DEFS, Oracle(Environment()), {})
+        process = parse_process("copier || recopier")
+        with pytest.raises(TacticError):
+            prover.prove(process, parse_assertion("output <= input", CHANS))
+
+    def test_prove_name_requires_annotation(self):
+        prover = SatProver(COPIER_DEFS, Oracle(Environment()), {})
+        with pytest.raises(TacticError):
+            prover.prove_name("copier")
+
+
+class TestProofObjects:
+    def test_proof_statistics(self):
+        prover = copier_prover()
+        proof = prover.prove_name("copier")
+        assert proof.size() > 5
+        assert proof.depth() > 2
+        assert sum(proof.rules_used().values()) == proof.size()
+        assert all(n.rule == "oracle" for n in proof.oracle_obligations())
+
+    def test_pretty_rendering(self):
+        prover = copier_prover()
+        proof = prover.prove_name("copier")
+        text = proof.pretty()
+        assert "[recursion]" in text
+        assert "copier" in text
+
+    def test_report_summary(self):
+        prover = copier_prover()
+        _, report = prover.prove_checked(
+            parse_process("STOP"), parse_assertion("<> <= <>", set())
+        )
+        assert "checked" in report.summary()

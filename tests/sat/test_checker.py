@@ -1,0 +1,155 @@
+"""Unit tests for the bounded sat checker (the §2 example claims)."""
+
+import pytest
+
+from repro.process.ast import ArrayRef, Name
+from repro.process.parser import parse_definitions, parse_process
+from repro.sat.checker import SatChecker, check_sat
+from repro.semantics.config import SemanticsConfig
+from repro.values.domains import FiniteDomain
+from repro.values.environment import Environment
+from repro.values.expressions import const
+
+CFG = SemanticsConfig(depth=5, sample=2)
+
+COPIER_DEFS = parse_definitions(
+    "copier = input?x:NAT -> wire!x -> copier;"
+    "recopier = wire?y:NAT -> output!y -> recopier;"
+    "protocolnet = chan wire; (copier || recopier)"
+)
+
+
+class TestPaperClaims:
+    """The example claims stated in §2."""
+
+    def test_copier_sat_wire_le_input(self):
+        assert check_sat(Name("copier"), "wire <= input", COPIER_DEFS, config=CFG)
+
+    def test_recopier_sat_output_le_wire(self):
+        assert check_sat(Name("recopier"), "output <= wire", COPIER_DEFS, config=CFG)
+
+    def test_network_sat_output_le_input(self):
+        assert check_sat(Name("protocolnet"), "output <= input", COPIER_DEFS, config=CFG)
+
+    def test_copier_sat_length_bound(self):
+        # copier sat #input ≤ #wire + 1 (§2 item 2)
+        assert check_sat(
+            Name("copier"), "#input <= #wire + 1", COPIER_DEFS, config=CFG
+        )
+
+    def test_stop_sats_everything_satisfiable(self):
+        # §4: STOP satisfies any satisfiable invariant.  (STOP mentions no
+        # channels, so the assertion is built explicitly rather than parsed
+        # with inferred channel names.)
+        from repro.assertions.builders import chan_, le_
+
+        assert check_sat(parse_process("STOP"), le_(chan_("wire"), chan_("input")))
+
+
+class TestViolations:
+    def test_false_claim_yields_counterexample(self):
+        result = check_sat(Name("copier"), "input <= wire", COPIER_DEFS, config=CFG)
+        assert not result.holds
+        assert result.counterexample is not None
+        # shortest violation: a single input
+        assert len(result.counterexample.trace) == 1
+
+    def test_counterexample_describes_histories(self):
+        result = check_sat(Name("copier"), "input <= wire", COPIER_DEFS, config=CFG)
+        text = str(result.counterexample)
+        assert "input" in text and "violated" in text
+
+    def test_evaluation_error_counts_as_violation(self):
+        # input_1 is undefined on the empty trace: not invariantly true
+        result = check_sat(Name("copier"), "input@1 = 0", COPIER_DEFS, config=CFG)
+        assert not result.holds
+        assert result.counterexample.error is not None
+
+    def test_traces_checked_counted(self):
+        result = check_sat(Name("copier"), "wire <= input", COPIER_DEFS, config=CFG)
+        assert result.traces_checked == len(
+            SatChecker(COPIER_DEFS, config=CFG).traces_of(Name("copier"))
+        )
+
+
+class TestBindingsAndForall:
+    ENV = Environment().bind("M", FiniteDomain({0, 1}))
+    DEFS = parse_definitions(
+        "sender = input?y:M -> q[y];"
+        "q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])"
+    )
+
+    def _checker(self):
+        from repro.assertions.sequences import cancel_protocol
+
+        env = self.ENV.bind("f", cancel_protocol)
+        return SatChecker(self.DEFS, env, SemanticsConfig(depth=5, sample=3))
+
+    def test_table1_invariant_for_fixed_x(self):
+        checker = self._checker()
+        result = checker.check(
+            ArrayRef("q", const(1)), "f(wire) <= x ^ input", bindings={"x": 1}
+        )
+        assert result.holds
+
+    def test_table1_invariant_forall_x(self):
+        checker = self._checker()
+        result = checker.check_forall(
+            "x",
+            FiniteDomain({0, 1}),
+            lambda v: ArrayRef("q", const(v)),
+            "f(wire) <= x ^ input",
+        )
+        assert result.holds
+
+    def test_sender_invariant(self):
+        checker = self._checker()
+        assert checker.check(Name("sender"), "f(wire) <= input").holds
+
+    def test_forall_reports_failing_instance(self):
+        checker = self._checker()
+        result = checker.check_forall(
+            "x",
+            FiniteDomain({0, 1}),
+            lambda v: ArrayRef("q", const(v)),
+            "f(wire) <= <>",  # wrong for every x once the wire fires
+        )
+        assert not result.holds
+        assert result.counterexample.bindings["x"] in (0, 1)
+
+
+class TestEngines:
+    def test_operational_engine_agrees(self):
+        for engine in ("denotational", "operational"):
+            assert check_sat(
+                Name("protocolnet"),
+                "output <= input",
+                COPIER_DEFS,
+                config=SemanticsConfig(depth=4, sample=2),
+                engine=engine,
+            ).holds
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            SatChecker(COPIER_DEFS, engine="symbolic")
+
+    def test_multiplier_invariant_operationally(self):
+        defs = parse_definitions(
+            "mult[i:{1..3}] = row[i]?x:NAT -> col[i-1]?y:NAT ->"
+            " col[i]!(v[i]*x + y) -> mult[i];"
+            "zeroes = col[0]!0 -> zeroes;"
+            "last = col[3]?y:NAT -> output!y -> last;"
+            "network = zeroes || mult[1] || mult[2] || mult[3] || last;"
+            "multiplier = chan col[0..3]; network"
+        )
+        v = [0, 2, 3, 5]
+        env = Environment().bind("v", lambda i: v[i])
+        checker = SatChecker(
+            defs, env, SemanticsConfig(depth=4, sample=2), engine="operational"
+        )
+        # the paper's §2 multiplier invariant
+        spec = (
+            "forall i : NAT . 1 <= i & i <= #output =>"
+            " output@i = (sum j : 1..3 . v(j) * row[j]@i)"
+        )
+        assert checker.check(Name("multiplier"), spec).holds

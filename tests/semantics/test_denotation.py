@@ -1,0 +1,179 @@
+"""Unit tests for the bounded denotational semantics (paper §3.2)."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.process.ast import Name, STOP
+from repro.process.parser import parse_definitions, parse_process
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import Denoter, denote
+from repro.traces.events import EMPTY_TRACE, channel, event, trace
+from repro.traces.prefix_closure import STOP_CLOSURE
+from repro.values.domains import FiniteDomain
+from repro.values.environment import Environment
+
+CFG = SemanticsConfig(depth=4, sample=2)
+
+
+class TestBasicForms:
+    def test_stop(self):
+        assert denote(STOP) == STOP_CLOSURE
+
+    def test_output_prefix(self):
+        p = parse_process("wire!3 -> STOP")
+        assert denote(p).traces == {EMPTY_TRACE, trace(("wire", 3))}
+
+    def test_output_evaluates_expression(self):
+        p = parse_process("wire!(2*x + 1) -> STOP")
+        env = Environment().bind("x", 3)
+        assert trace(("wire", 7)) in denote(p, env=env)
+
+    def test_input_branches_over_domain(self):
+        p = parse_process("c?x:{0..1} -> STOP")
+        assert denote(p).traces == {
+            EMPTY_TRACE,
+            trace(("c", 0)),
+            trace(("c", 1)),
+        }
+
+    def test_input_binds_variable(self):
+        p = parse_process("c?x:{0..1} -> d!x -> STOP")
+        d = denote(p)
+        assert trace(("c", 0), ("d", 0)) in d
+        assert trace(("c", 1), ("d", 1)) in d
+        assert trace(("c", 0), ("d", 1)) not in d
+
+    def test_nat_input_sampled(self):
+        p = parse_process("c?x:NAT -> STOP")
+        d = denote(p, config=SemanticsConfig(depth=2, sample=3))
+        assert {s[0].message for s in d.traces if s} == {0, 1, 2}
+
+    def test_choice_is_union(self):
+        p = parse_process("a!0 -> STOP | b!1 -> STOP")
+        d = denote(p)
+        assert trace(("a", 0)) in d and trace(("b", 1)) in d
+
+    def test_depth_zero_is_stop(self):
+        p = parse_process("a!0 -> STOP")
+        assert denote(p, depth=0) == STOP_CLOSURE
+
+    def test_depth_truncates(self):
+        defs = parse_definitions("loop = a!0 -> loop")
+        d = denote(Name("loop"), defs, depth=3)
+        assert d.depth() == 3
+
+    def test_subscripted_channels(self):
+        p = parse_process("col[1]!5 -> STOP")
+        assert trace((channel("col", 1), 5)) in denote(p)
+
+
+class TestRecursion:
+    DEFS = parse_definitions("copier = input?x:NAT -> wire!x -> copier")
+
+    def test_copier_alternates_input_wire(self):
+        d = denote(Name("copier"), self.DEFS, config=CFG)
+        assert trace(("input", 1), ("wire", 1), ("input", 0), ("wire", 0)) in d
+
+    def test_copier_never_outputs_uncopied_value(self):
+        d = denote(Name("copier"), self.DEFS, config=CFG)
+        for s in d.traces:
+            for i, e in enumerate(s):
+                if e.channel == channel("wire"):
+                    assert s[i - 1] == event("input", e.message)
+
+    def test_memoisation_shares_unfoldings(self):
+        denoter = Denoter(self.DEFS, config=SemanticsConfig(depth=6, sample=2))
+        first = denoter.denote(Name("copier"))
+        second = denoter.denote(Name("copier"))
+        assert first is second  # memo hit, not recompute
+
+    def test_mutual_recursion(self):
+        defs = parse_definitions("ping = a!0 -> pong; pong = b!1 -> ping")
+        d = denote(Name("ping"), defs, depth=4)
+        assert trace(("a", 0), ("b", 1), ("a", 0), ("b", 1)) in d
+
+    def test_undefined_name_raises(self):
+        with pytest.raises(Exception):
+            denote(Name("ghost"))
+
+
+class TestProcessArrays:
+    ENV = Environment().bind("M", FiniteDomain({0, 1}))
+    DEFS = parse_definitions(
+        "sender = input?y:M -> q[y];"
+        "q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])"
+    )
+
+    def test_array_instantiation(self):
+        from repro.process.ast import ArrayRef
+        from repro.values.expressions import const
+
+        d = denote(ArrayRef("q", const(1)), self.DEFS, env=self.ENV, config=CFG)
+        assert trace(("wire", 1)) in d
+        assert trace(("wire", 0)) not in d
+
+    def test_retransmission_on_nack(self):
+        d = denote(Name("sender"), self.DEFS, env=self.ENV, config=SemanticsConfig(depth=5, sample=3))
+        assert (
+            trace(("input", 1), ("wire", 1), ("wire", "NACK"), ("wire", 1)) in d
+        )
+
+    def test_ack_returns_to_sender(self):
+        d = denote(Name("sender"), self.DEFS, env=self.ENV, config=SemanticsConfig(depth=5, sample=3))
+        assert (
+            trace(("input", 1), ("wire", 1), ("wire", "ACK"), ("input", 0)) in d
+        )
+
+    def test_subscript_outside_domain_raises(self):
+        from repro.process.ast import ArrayRef
+        from repro.values.expressions import const
+
+        with pytest.raises(SemanticsError, match="outside its domain"):
+            denote(ArrayRef("q", const(9)), self.DEFS, env=self.ENV, config=CFG)
+
+
+class TestParallelAndChan:
+    DEFS = parse_definitions(
+        "copier = input?x:NAT -> wire!x -> copier;"
+        "recopier = wire?y:NAT -> output!y -> recopier;"
+        "net = copier || recopier;"
+        "hiddennet = chan wire; (copier || recopier)"
+    )
+
+    def test_network_synchronises_on_wire(self):
+        d = denote(Name("net"), self.DEFS, config=CFG)
+        assert trace(("input", 1), ("wire", 1), ("output", 1)) in d
+        # wire value must match what copier sends
+        for s in d.traces:
+            for i, e in enumerate(s):
+                if e.channel == channel("wire"):
+                    assert event("input", e.message) in s[:i]
+
+    def test_hiding_removes_wire(self):
+        d = denote(Name("hiddennet"), self.DEFS, config=CFG)
+        assert all(e.channel != channel("wire") for s in d.traces for e in s)
+        assert trace(("input", 1), ("output", 1)) in d
+
+    def test_hide_depth_allows_deep_internal_chatter(self):
+        # external trace of length 4 needs 8 internal events
+        d = denote(Name("hiddennet"), self.DEFS, config=SemanticsConfig(depth=4, sample=2))
+        assert trace(("input", 1), ("output", 1), ("input", 0), ("output", 0)) in d
+
+    def test_explicit_alphabets(self):
+        from repro.process.ast import Parallel
+        from repro.process.channels import ChannelExpr, ChannelList
+
+        p = Parallel(
+            parse_process("wire!1 -> STOP"),
+            parse_process("wire?x:NAT -> STOP"),
+            ChannelList([ChannelExpr("wire")]),
+            ChannelList([ChannelExpr("wire")]),
+        )
+        d = denote(p, config=CFG)
+        assert d.traces == {EMPTY_TRACE, trace(("wire", 1))}
+
+    def test_section4_stop_choice_identity(self):
+        # §4: STOP | P = P in the prefix-closure model
+        p = parse_process("a!0 -> STOP")
+        q = parse_process("STOP | a!0 -> STOP")
+        assert denote(p) == denote(q)

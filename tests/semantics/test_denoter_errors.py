@@ -1,0 +1,83 @@
+"""Error-path tests for the denotational semantics plumbing."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.process.ast import ArrayRef, Name
+from repro.process.parser import parse_definitions
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import Denoter
+from repro.traces.prefix_closure import STOP_CLOSURE
+from repro.values.expressions import Const
+
+
+class TestProcessBindings:
+    DEFS = parse_definitions("p = a!0 -> p; q[x:{0..1}] = b!x -> q[x]")
+
+    def test_name_bound_to_closure(self):
+        denoter = Denoter(
+            self.DEFS, config=SemanticsConfig(3, 2), process_bindings={"p": STOP_CLOSURE}
+        )
+        assert denoter.denote(Name("p")) == STOP_CLOSURE
+
+    def test_name_bound_to_garbage_rejected(self):
+        denoter = Denoter(
+            self.DEFS, config=SemanticsConfig(3, 2), process_bindings={"p": 42}
+        )
+        with pytest.raises(SemanticsError, match="non-closure"):
+            denoter.denote(Name("p"))
+
+    def test_array_bound_to_function(self):
+        denoter = Denoter(
+            self.DEFS,
+            config=SemanticsConfig(3, 2),
+            process_bindings={"q": lambda v: STOP_CLOSURE},
+        )
+        assert denoter.denote(ArrayRef("q", Const(0))) == STOP_CLOSURE
+
+    def test_array_bound_to_non_callable_rejected(self):
+        denoter = Denoter(
+            self.DEFS, config=SemanticsConfig(3, 2), process_bindings={"q": 42}
+        )
+        with pytest.raises(SemanticsError, match="non-function"):
+            denoter.denote(ArrayRef("q", Const(0)))
+
+    def test_array_function_returning_garbage_rejected(self):
+        denoter = Denoter(
+            self.DEFS,
+            config=SemanticsConfig(3, 2),
+            process_bindings={"q": lambda v: "oops"},
+        )
+        with pytest.raises(SemanticsError, match="non-closure"):
+            denoter.denote(ArrayRef("q", Const(0)))
+
+
+class TestConfigValidation:
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticsConfig(depth=-1)
+
+    def test_zero_sample_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticsConfig(sample=0)
+
+    def test_with_depth_copies(self):
+        cfg = SemanticsConfig(depth=4, sample=3)
+        deeper = cfg.with_depth(8)
+        assert deeper.depth == 8 and deeper.sample == 3
+        assert cfg.depth == 4  # original untouched
+
+    def test_equality_and_repr(self):
+        assert SemanticsConfig(4, 2) == SemanticsConfig(4, 2)
+        assert "depth=4" in repr(SemanticsConfig(4, 2))
+
+
+class TestOperationalStateErrors:
+    def test_array_name_without_subscript_rejected(self):
+        from repro.errors import OperationalError
+        from repro.operational.state import lift
+        from repro.values.environment import Environment
+
+        defs = parse_definitions("q[x:{0..1}] = b!x -> q[x]")
+        with pytest.raises(OperationalError, match="without subscript"):
+            lift(Name("q"), defs, Environment())

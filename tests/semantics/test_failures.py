@@ -1,0 +1,166 @@
+"""The failures extension (§4's future work): bounded failures model."""
+
+import pytest
+
+from repro.process.ast import Choice, Name, STOP
+from repro.process.parser import parse_definitions, parse_process
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.equivalence import trace_equivalent
+from repro.semantics.failures import (
+    InternalChoiceSemantics,
+    failures,
+    failures_difference,
+    failures_equivalent,
+    failures_of,
+)
+from repro.traces.events import EMPTY_TRACE, event, trace
+
+P = parse_process("a!0 -> b!1 -> STOP")
+
+
+class TestBasicFailures:
+    def test_stop_refuses_everything(self):
+        f = failures_of(STOP)
+        assert f.traces() == {EMPTY_TRACE}
+        assert f.after(EMPTY_TRACE).can_refuse(f.alphabet)
+        assert not f.after(EMPTY_TRACE).diverges
+
+    def test_prefix_cannot_refuse_its_event_initially(self):
+        f = failures_of(P)
+        assert not f.can_refuse(EMPTY_TRACE, frozenset({event("a", 0)}))
+        assert f.can_refuse(EMPTY_TRACE, frozenset({event("b", 1)}))
+
+    def test_refusals_after_trace(self):
+        f = failures_of(P)
+        after_a = (event("a", 0),)
+        assert f.can_refuse(after_a, frozenset({event("a", 0)}))
+        assert not f.can_refuse(after_a, frozenset({event("b", 1)}))
+
+    def test_terminal_state_refuses_all(self):
+        f = failures_of(P)
+        full = trace(("a", 0), ("b", 1))
+        assert full in f.deadlock_failures()
+
+    def test_unknown_trace_raises(self):
+        f = failures_of(P)
+        with pytest.raises(KeyError):
+            f.after(trace(("z", 9)))
+
+
+class TestSection4Resolution:
+    """The model §4 hoped for: STOP | P ≠ P here, = P in traces."""
+
+    def test_stop_choice_distinguished(self):
+        hedged = Choice(STOP, P)
+        assert trace_equivalent(hedged, P, config=SemanticsConfig(4, 2))
+        assert not failures_equivalent(hedged, P)
+
+    def test_difference_is_initial_total_refusal(self):
+        hedged = Choice(STOP, P)
+        witness = failures_difference(hedged, P)
+        assert witness is not None and "refusals differ" in witness
+        f = failures_of(hedged)
+        assert EMPTY_TRACE in f.deadlock_failures()
+        assert EMPTY_TRACE not in failures_of(P).deadlock_failures()
+
+    def test_mid_run_deadlock_option_distinguished(self):
+        # §4: "the same identity holds if the deadlock could happen after
+        # a certain number of communications" — failures see that too.
+        early = parse_process("a!0 -> (STOP | b!1 -> STOP)")
+        late = parse_process("a!0 -> b!1 -> STOP")
+        assert trace_equivalent(early, late, config=SemanticsConfig(4, 2))
+        assert not failures_equivalent(early, late)
+
+    def test_internal_choice_union_law(self):
+        # failures(P ⊓ Q) ⊇ failures(P): either branch's refusals appear
+        q = parse_process("b!1 -> STOP")
+        both = Choice(P, q)
+        f_both = failures_of(both)
+        f_p = failures_of(P)
+        # P's initial refusal of b is still available after ⟨⟩ in P ⊓ Q
+        assert f_both.can_refuse(EMPTY_TRACE, frozenset({event("b", 1)}))
+        assert f_both.can_refuse(EMPTY_TRACE, frozenset({event("a", 0)}))
+
+    def test_deterministic_processes_unchanged(self):
+        assert failures_equivalent(P, P)
+        q = parse_process("a!0 -> b!1 -> STOP")
+        assert failures_equivalent(P, q)
+
+
+class TestFailuresRefinement:
+    """Spec ⊑F Impl: trace containment plus refusal containment."""
+
+    def test_reflexive(self):
+        from repro.semantics.failures import failures_refines
+
+        assert failures_refines(P, P)
+
+    def test_branch_refines_choice_in_traces_but_also_failures(self):
+        from repro.semantics.failures import failures_refines
+
+        left = parse_process("a!0 -> STOP")
+        both = Choice(parse_process("a!0 -> STOP"), parse_process("b!1 -> STOP"))
+        # internal choice may refuse a or refuse b, so the deterministic
+        # branch (which refuses only b) refines it
+        assert failures_refines(left, both)
+
+    def test_stop_does_not_failures_refine_a_live_spec(self):
+        from repro.semantics.failures import failures_refines
+
+        # STOP trace-refines everything; failures refinement rejects it
+        # when the spec cannot refuse its initial events
+        from repro.semantics.laws import refines
+
+        assert refines(STOP, P)  # trace refinement accepts
+        assert not failures_refines(STOP, P)  # failures refinement does not
+
+    def test_hedged_implementation_rejected(self):
+        from repro.semantics.failures import failures_refines
+
+        hedged = Choice(STOP, P)
+        assert failures_refines(P, hedged)  # spec allows the deadlock
+        assert not failures_refines(hedged, P)  # impl may deadlock: rejected
+
+    def test_trace_violation_rejected(self):
+        from repro.semantics.failures import failures_refines
+
+        bigger = parse_process("a!0 -> b!1 -> c!2 -> STOP")
+        assert not failures_refines(bigger, P)
+
+
+class TestWithNetworks:
+    def test_hidden_network_failures(self):
+        defs = parse_definitions(
+            "p = w!0 -> done!1 -> STOP; q = w?x:NAT -> STOP;"
+            "net = chan w; (p || q)"
+        )
+        semantics = InternalChoiceSemantics(defs, sample=2)
+        f = failures(Name("net"), semantics, depth=3)
+        # before the hidden sync happens the state is unstable (τ
+        # available), so the only stable refusals appear once it fired
+        assert (event("done", 1),) in f.traces()
+
+    def test_divergence_reported(self):
+        # an endless hidden loop never reaches a stable state
+        defs = parse_definitions(
+            "spin = w!0 -> spin; sink = w?x:NAT -> sink;"
+            "net = chan w; (spin || sink)"
+        )
+        semantics = InternalChoiceSemantics(defs, sample=1)
+        f = failures(Name("net"), semantics, depth=2)
+        assert EMPTY_TRACE in f.diverging_traces()
+
+    def test_recursion_through_names(self):
+        defs = parse_definitions("loop = a!0 -> loop")
+        semantics = InternalChoiceSemantics(defs, sample=1)
+        f = failures(Name("loop"), semantics, depth=3)
+        assert not f.after(EMPTY_TRACE).can_refuse(frozenset({event("a", 0)}))
+
+    def test_failures_respect_trace_set(self):
+        from repro.semantics.denotation import denote
+
+        defs = parse_definitions("p = a!0 -> p | b!1 -> STOP")
+        semantics = InternalChoiceSemantics(defs, sample=2)
+        f = failures(Name("p"), semantics, depth=3)
+        closure = denote(Name("p"), defs, config=SemanticsConfig(3, 2))
+        assert f.traces() == closure.traces

@@ -1,0 +1,129 @@
+"""Unit tests for the §3.3 approximation chain (experiment E7)."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import denote
+from repro.semantics.fixpoint import ApproximationChain, fixpoint_denotation
+from repro.traces.events import trace
+from repro.traces.prefix_closure import STOP_CLOSURE
+from repro.values.domains import FiniteDomain
+from repro.values.environment import Environment
+
+CFG = SemanticsConfig(depth=4, sample=2)
+COPIER = parse_definitions("copier = input?x:NAT -> wire!x -> copier")
+
+
+class TestChainShape:
+    def test_a0_is_stop(self):
+        chain = ApproximationChain(COPIER, config=CFG)
+        assert chain.level(0) == {"copier": STOP_CLOSURE}
+
+    def test_a1_allows_one_unfolding(self):
+        # a₁ allows recursion to depth 1: two events, then stops
+        chain = ApproximationChain(COPIER, config=CFG)
+        a1 = chain.level(1)["copier"]
+        assert trace(("input", 1), ("wire", 1)) in a1
+        assert trace(("input", 1), ("wire", 1), ("input", 0)) not in a1
+
+    def test_chain_is_monotone(self):
+        chain = ApproximationChain(COPIER, config=CFG)
+        chain.level(3)
+        assert chain.is_monotone()
+
+    def test_stabilises_within_depth_plus_one(self):
+        chain = ApproximationChain(COPIER, config=CFG)
+        steps = chain.run_until_stable()
+        assert steps <= CFG.depth + 1
+
+    def test_fixpoint_equals_unfolding_denotation(self):
+        # The explicit chain and the on-demand unfolder must agree.
+        assert fixpoint_denotation(COPIER, "copier", config=CFG) == denote(
+            Name("copier"), COPIER, config=CFG
+        )
+
+    def test_deeper_bound_needs_more_steps(self):
+        shallow = ApproximationChain(COPIER, config=SemanticsConfig(depth=2, sample=2))
+        deep = ApproximationChain(COPIER, config=SemanticsConfig(depth=8, sample=2))
+        assert shallow.run_until_stable() < deep.run_until_stable()
+
+
+class TestMutualRecursion:
+    DEFS = parse_definitions("ping = a!0 -> pong; pong = b!1 -> ping")
+
+    def test_both_names_reach_fixpoint(self):
+        chain = ApproximationChain(self.DEFS, config=CFG)
+        fixed = chain.fixpoint()
+        assert trace(("a", 0), ("b", 1)) in fixed["ping"]
+        assert trace(("b", 1), ("a", 0)) in fixed["pong"]
+
+    def test_agrees_with_unfolding(self):
+        for name in ("ping", "pong"):
+            assert fixpoint_denotation(self.DEFS, name, config=CFG) == denote(
+                Name(name), self.DEFS, config=CFG
+            )
+
+
+class TestArrays:
+    ENV = Environment().bind("M", FiniteDomain({0, 1}))
+    DEFS = parse_definitions(
+        "sender = input?y:M -> q[y];"
+        "q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])"
+    )
+
+    def test_array_fixpoint_per_subscript(self):
+        chain = ApproximationChain(self.DEFS, env=self.ENV, config=CFG)
+        q0 = chain.closure_for("q", 0)
+        q1 = chain.closure_for("q", 1)
+        assert trace(("wire", 0)) in q0
+        assert trace(("wire", 1)) in q1
+        assert q0 != q1
+
+    def test_array_agrees_with_unfolding(self):
+        from repro.process.ast import ArrayRef
+        from repro.values.expressions import const
+
+        chain = ApproximationChain(self.DEFS, env=self.ENV, config=CFG)
+        assert chain.closure_for("q", 1) == denote(
+            ArrayRef("q", const(1)), self.DEFS, env=self.ENV, config=CFG
+        )
+
+    def test_missing_subscript_raises(self):
+        chain = ApproximationChain(self.DEFS, env=self.ENV, config=CFG)
+        with pytest.raises(SemanticsError, match="no sampled subscript"):
+            chain.closure_for("q", 99)
+
+    def test_non_array_subscript_rejected(self):
+        chain = ApproximationChain(self.DEFS, env=self.ENV, config=CFG)
+        with pytest.raises(SemanticsError, match="not a process array"):
+            chain.closure_for("sender", 0)
+
+
+class TestEquivalence:
+    def test_trace_equivalent(self):
+        from repro.process.parser import parse_process
+        from repro.semantics.equivalence import trace_difference, trace_equivalent
+
+        p = parse_process("a!0 -> STOP")
+        q = parse_process("STOP | a!0 -> STOP")
+        assert trace_equivalent(p, q)
+
+    def test_trace_difference_witness(self):
+        from repro.process.parser import parse_process
+        from repro.semantics.equivalence import trace_difference
+
+        p = parse_process("a!0 -> b!1 -> STOP")
+        q = parse_process("a!0 -> STOP")
+        side, witness = trace_difference(p, q)
+        assert side == "left-only"
+        assert witness == trace(("a", 0), ("b", 1))
+
+    def test_trace_difference_none_when_equal(self):
+        from repro.process.parser import parse_process
+        from repro.semantics.equivalence import trace_difference
+
+        p = parse_process("a!0 -> STOP")
+        assert trace_difference(p, p) is None

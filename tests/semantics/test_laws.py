@@ -1,0 +1,84 @@
+"""Algebraic laws of the trace model, checked concretely and on random
+processes (extending the §3.1 theorems)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.process.ast import STOP
+from repro.process.channels import ChannelExpr, ChannelList
+from repro.process.parser import parse_process
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.laws import (
+    ALL_LAWS,
+    check_law,
+    choice_idempotent,
+    choice_unit_stop,
+    hide_choice_distribution,
+    parallel_commutative,
+    refines,
+)
+from repro.soundness.generators import ProcessGenerator
+
+CFG = SemanticsConfig(depth=4, sample=2)
+WIRE_LIST = ChannelList([ChannelExpr("wire")])
+A_LIST = ChannelList([ChannelExpr("a")])
+
+P = parse_process("a!0 -> wire!1 -> STOP")
+Q = parse_process("wire?x:NAT -> b!0 -> STOP")
+R = parse_process("b!1 -> STOP | a!2 -> STOP")
+
+LAW_BY_NAME = {law.name: law for law in ALL_LAWS}
+
+
+class TestConcreteInstances:
+    @pytest.mark.parametrize("law", ALL_LAWS, ids=lambda l: l.name)
+    def test_law_on_paper_style_processes(self, law):
+        processes = (P, Q, R)[: law.arity]
+        channels = (WIRE_LIST, A_LIST) if law.needs_channels else None
+        result = check_law(law, processes, channels, config=CFG)
+        assert result.holds, f"{law.name}: {result.witness}"
+
+    def test_choice_unit_is_the_section4_defect(self):
+        lhs, rhs = choice_unit_stop(P)
+        result = check_law(LAW_BY_NAME["choice-unit-stop"], (P,), config=CFG)
+        assert result.holds  # in THIS model; the failures model disagrees
+
+    def test_witness_on_a_non_law(self):
+        from repro.semantics.laws import _check
+
+        bad = _check("fake", P, Q, __import__("repro.process.definitions", fromlist=["NO_DEFINITIONS"]).NO_DEFINITIONS, None, CFG)
+        assert not bad.holds
+        assert bad.witness is not None
+
+
+class TestRandomSweep:
+    GEN = ProcessGenerator(seed=99, max_depth=3)
+
+    @pytest.mark.parametrize("law", ALL_LAWS, ids=lambda l: l.name)
+    def test_law_on_random_processes(self, law):
+        for _ in range(15):
+            processes = tuple(self.GEN.process() for _ in range(law.arity))
+            channels = (WIRE_LIST, A_LIST) if law.needs_channels else None
+            result = check_law(law, processes, channels, config=CFG)
+            assert result.holds, f"{law.name}: {result.witness}"
+
+
+class TestRefinement:
+    def test_reflexive(self):
+        assert refines(P, P, config=CFG)
+
+    def test_stop_refines_everything(self):
+        # {⟨⟩} ⊆ P for every prefix closure (§3.1)
+        assert refines(STOP, P, config=CFG)
+
+    def test_branch_refines_choice(self):
+        left = parse_process("a!0 -> STOP")
+        both = parse_process("a!0 -> STOP | b!1 -> STOP")
+        assert refines(left, both, config=CFG)
+        assert not refines(both, left, config=CFG)
+
+    def test_deeper_process_does_not_refine_shallower(self):
+        small = parse_process("a!0 -> STOP")
+        big = parse_process("a!0 -> a!1 -> STOP")
+        assert not refines(big, small, config=CFG)
+        assert refines(small, big, config=CFG)

@@ -1,0 +1,84 @@
+"""Property-based consistency tests of the semantics on random processes.
+
+The heavyweight cross-checks: for arbitrary generated processes,
+
+* bounded denotations are prefix-closed and monotone in depth;
+* the denotational and operational semantics agree exactly;
+* the explicit fixpoint chain agrees with unfold-on-demand on random
+  guarded recursions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operational.explorer import explore_traces
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Name
+from repro.process.definitions import NO_DEFINITIONS
+from repro.process.parser import parse_definitions
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import denote
+from repro.semantics.fixpoint import fixpoint_denotation
+from repro.soundness.generators import ProcessGenerator
+
+
+@st.composite
+def random_processes(draw, allow_networks=True):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return ProcessGenerator(
+        seed=seed, max_depth=4, allow_networks=allow_networks
+    ).process()
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_processes())
+def test_denotation_is_prefix_closed(process):
+    closure = denote(process, config=SemanticsConfig(depth=4, sample=2))
+    assert closure.is_prefix_closed()
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_processes())
+def test_denotation_monotone_in_depth(process):
+    shallow = denote(process, config=SemanticsConfig(depth=3, sample=2))
+    deep = denote(process, config=SemanticsConfig(depth=5, sample=2))
+    assert shallow.issubset(deep)
+    assert deep.truncate(3) == shallow
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_processes())
+def test_denotation_monotone_in_sample(process):
+    narrow = denote(process, config=SemanticsConfig(depth=4, sample=1))
+    wide = denote(process, config=SemanticsConfig(depth=4, sample=3))
+    assert narrow.issubset(wide)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_processes())
+def test_operational_agrees_with_denotational(process):
+    cfg = SemanticsConfig(depth=4, sample=2)
+    denotational = denote(process, config=cfg)
+    semantics = OperationalSemantics(NO_DEFINITIONS, sample=cfg.sample)
+    operational = explore_traces(process, semantics, cfg.depth)
+    assert operational == denotational
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=3),
+)
+def test_fixpoint_agrees_on_random_linear_recursion(seed, length):
+    import random
+
+    rng = random.Random(seed)
+    body = " -> ".join(
+        f"{rng.choice('ab')}!{rng.choice((0, 1))}" for _ in range(length)
+    )
+    defs = parse_definitions(f"p = {body} -> p")
+    cfg = SemanticsConfig(depth=4, sample=2)
+    assert fixpoint_denotation(defs, "p", config=cfg) == denote(
+        Name("p"), defs, config=cfg
+    )

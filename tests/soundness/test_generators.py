@@ -1,0 +1,77 @@
+"""Unit tests for the random generators."""
+
+from repro.process.ast import Process
+from repro.assertions.ast import Formula
+from repro.assertions.substitution import channels_mentioned
+from repro.soundness.generators import AssertionGenerator, ProcessGenerator
+
+
+class TestProcessGenerator:
+    def test_deterministic_by_seed(self):
+        a = [ProcessGenerator(seed=7).process() for _ in range(10)]
+        b = [ProcessGenerator(seed=7).process() for _ in range(10)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [ProcessGenerator(seed=1).process() for _ in range(10)]
+        b = [ProcessGenerator(seed=2).process() for _ in range(10)]
+        assert a != b
+
+    def test_generates_processes(self):
+        gen = ProcessGenerator(seed=0)
+        for _ in range(50):
+            assert isinstance(gen.process(), Process)
+
+    def test_generated_processes_are_closed(self):
+        gen = ProcessGenerator(seed=3)
+        for _ in range(50):
+            assert gen.process().free_variables() == frozenset()
+
+    def test_depth_zero_is_stop(self):
+        from repro.process.ast import STOP
+
+        assert ProcessGenerator(seed=0).process(0) is STOP
+
+    def test_generated_processes_denote(self):
+        from repro.semantics.denotation import denote
+        from repro.semantics.config import SemanticsConfig
+
+        gen = ProcessGenerator(seed=5, allow_networks=True)
+        for _ in range(30):
+            closure = denote(gen.process(), config=SemanticsConfig(depth=3, sample=2))
+            assert closure.is_prefix_closed()
+
+
+class TestAssertionGenerator:
+    def test_deterministic_by_seed(self):
+        a = [AssertionGenerator(seed=7).formula() for _ in range(10)]
+        b = [AssertionGenerator(seed=7).formula() for _ in range(10)]
+        assert a == b
+
+    def test_generates_formulas(self):
+        gen = AssertionGenerator(seed=0)
+        for _ in range(50):
+            assert isinstance(gen.formula(), Formula)
+
+    def test_formula_over_restricts_channels(self):
+        gen = AssertionGenerator(seed=1)
+        for _ in range(30):
+            formula = gen.formula_over(("a",))
+            assert {c.name for c in channels_mentioned(formula)} <= {"a"}
+
+    def test_formula_over_restores_universe(self):
+        gen = AssertionGenerator(seed=2)
+        gen.formula_over(("a",))
+        assert gen.channels == ("a", "b", "wire")
+
+    def test_generated_formulas_evaluate(self):
+        from repro.assertions.eval import evaluate_formula
+        from repro.errors import EvaluationError
+        from repro.traces.histories import ch
+        from repro.traces.events import trace
+        from repro.values.environment import Environment
+
+        gen = AssertionGenerator(seed=4)
+        history = ch(trace(("a", 0), ("wire", 1)))
+        for _ in range(50):
+            evaluate_formula(gen.formula(), Environment(), history)

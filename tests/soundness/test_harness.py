@@ -1,0 +1,38 @@
+"""The §3.4 soundness experiments (E8): every rule, zero violations."""
+
+import pytest
+
+from repro.soundness.harness import (
+    ALL_RULE_EXPERIMENTS,
+    run_all_rule_experiments,
+    run_rule_experiment,
+)
+
+
+class TestPerRule:
+    @pytest.mark.parametrize("rule", sorted(ALL_RULE_EXPERIMENTS))
+    def test_rule_is_sound(self, rule):
+        result = run_rule_experiment(rule, trials=120, seed=11)
+        assert result.sound, result.example_violation
+        assert result.premises_held > 0, f"{rule}: experiment was vacuous"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            run_rule_experiment("modus-ponens")
+
+
+class TestHarness:
+    def test_run_all_covers_every_rule(self):
+        results = run_all_rule_experiments(trials=30, seed=3)
+        assert {r.rule for r in results} == set(ALL_RULE_EXPERIMENTS)
+        assert all(r.sound for r in results)
+
+    def test_results_are_reproducible(self):
+        a = run_rule_experiment("consequence", trials=40, seed=5)
+        b = run_rule_experiment("consequence", trials=40, seed=5)
+        assert a == b
+
+    def test_summary_format(self):
+        result = run_rule_experiment("emptiness", trials=20, seed=0)
+        assert "emptiness" in result.summary()
+        assert "violations=0" in result.summary()

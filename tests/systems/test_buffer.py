@@ -1,0 +1,70 @@
+"""Integration tests: the n-place buffer chain."""
+
+import pytest
+
+from repro.systems import buffer
+
+
+class TestConstruction:
+    def test_source_single_cell(self):
+        text = buffer.source(1)
+        assert "chan" not in text  # nothing internal to hide
+
+    def test_source_three_cells(self):
+        text = buffer.source(3)
+        assert "chan link[1..2]" in text
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            buffer.source(0)
+
+    @pytest.mark.parametrize("places", [1, 2, 3, 4])
+    def test_definitions_parse(self, places):
+        defs = buffer.definitions(places)
+        assert defs.names() == {"cell", "buffer"}
+
+
+class TestModelChecking:
+    @pytest.mark.parametrize("places", [1, 2, 3])
+    def test_order_and_capacity(self, places):
+        results = buffer.check(places=places, depth=5)
+        assert results["order"].holds
+        assert results["capacity"].holds
+
+    def test_capacity_is_tight(self):
+        # a 2-buffer violates the capacity bound of a 1-buffer
+        from repro.process.ast import Name
+        from repro.sat.checker import SatChecker
+        from repro.semantics.config import SemanticsConfig
+
+        checker = SatChecker(
+            buffer.definitions(2), buffer.environment(), SemanticsConfig(5, 2)
+        )
+        too_tight = buffer.capacity_spec(1)  # #link[0] ≤ #link[1] + 1: wrong channel
+        import repro.assertions.parser as ap
+
+        # claim capacity 1 of the 2-buffer, on its real channels
+        spec = ap.parse_assertion("#link[0] <= #link[2] + 1", buffer.CHANNELS)
+        assert not checker.check(Name("buffer"), spec).holds
+
+
+class TestProofs:
+    @pytest.mark.parametrize("places", [1, 2, 3])
+    def test_buffer_theorem_proved(self, places):
+        report = buffer.prove(places=places)
+        text = repr(report.conclusion)
+        assert f"link[{places}] <= link[0]" in text
+        assert f"#link[0] <= #link[{places}] + {places}" in text
+
+    def test_proof_uses_compositional_rules(self):
+        report = buffer.prove(places=2)
+        used = report.rules_used
+        assert used.get("parallelism", 0) >= 1
+        assert used.get("chan", 0) == 1
+        assert used.get("recursion", 0) == 1
+
+    def test_chan_side_condition_is_subscript_granular(self):
+        # the buffer spec mentions link[0] and link[n] while link[1..n-1]
+        # are concealed — the chan rule must allow this
+        report = buffer.prove(places=2)
+        assert report.nodes > 0

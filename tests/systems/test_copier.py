@@ -1,0 +1,32 @@
+"""Integration tests: the copier system's paper claims (E1, E2)."""
+
+from repro.proof.judgments import Sat
+from repro.systems import copier
+
+
+class TestModelChecking:
+    def test_all_claims_hold_bounded(self):
+        results = copier.check_all(depth=5, sample=2)
+        assert all(result.holds for result in results.values())
+
+    def test_deeper_bound_still_holds(self):
+        results = copier.check_all(depth=7, sample=2)
+        assert all(result.holds for result in results.values())
+
+
+class TestProofs:
+    def test_all_claims_proved(self):
+        reports = copier.prove_all()
+        assert set(reports) == {"copier", "recopier", "network", "copier-length"}
+        for report in reports.values():
+            assert report.nodes > 0
+
+    def test_network_proof_conclusion(self):
+        reports = copier.prove_all()
+        conclusion = reports["network"].conclusion
+        assert isinstance(conclusion, Sat)
+        assert repr(conclusion.formula) == "output <= input"
+
+    def test_length_invariant_proved(self):
+        reports = copier.prove_all()
+        assert repr(reports["copier-length"].conclusion.formula) == "#input <= #wire + 1"

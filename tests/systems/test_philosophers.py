@@ -1,0 +1,71 @@
+"""Integration tests: dining philosophers — provable safety, detectable
+deadlock (the §4 gap)."""
+
+import pytest
+
+from repro.systems import philosophers
+from repro.traces.events import Channel, Event
+
+
+class TestConstruction:
+    def test_source_parses(self):
+        for seats in (2, 3):
+            defs = philosophers.definitions(seats)
+            assert defs.names() == {"phil", "fork", "table"}
+
+    def test_too_few_seats_rejected(self):
+        with pytest.raises(ValueError):
+            philosophers.source(1)
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seats", [2, 3])
+    def test_fork_invariants_hold(self, seats):
+        results = philosophers.check_safety(seats=seats, depth=4)
+        assert all(r.holds for r in results.values())
+
+    def test_fork_lemma_proved(self):
+        report = philosophers.prove_fork_safety(seats=2)
+        from repro.proof.judgments import ForAllSat
+
+        assert isinstance(report.conclusion, ForAllSat)
+        assert report.rules_used.get("recursion") == 1
+
+    def test_eating_requires_both_forks(self):
+        # no eat[i] before both grab[i] and reach[i]
+        from repro.operational.explorer import explore_traces
+        from repro.process.ast import Name
+
+        semantics = philosophers.semantics(2)
+        traces = explore_traces(Name("table"), semantics, depth=3)
+        for trace in traces.traces:
+            for k, event in enumerate(trace):
+                if event.channel.name == "eat":
+                    i = event.channel.index
+                    prior = {(e.channel.name, e.channel.index) for e in trace[:k]}
+                    assert ("grab", i) in prior and ("reach", i) in prior
+
+
+class TestDeadlock:
+    @pytest.mark.parametrize("seats", [2, 3])
+    def test_classic_deadlock_found(self, seats):
+        deadlocks = philosophers.find_deadlocks(seats=seats)
+        classic = set(philosophers.classic_deadlock_trace(seats))
+        assert any(set(trace) == classic for trace in deadlocks)
+
+    def test_deadlock_needs_all_seats_to_act(self):
+        # no deadlock reachable in fewer visible events than seats
+        deadlocks = philosophers.find_deadlocks(seats=3, depth=2)
+        assert deadlocks == []
+
+    def test_all_minimal_deadlocks_are_left_grab_permutations(self):
+        deadlocks = philosophers.find_deadlocks(seats=3, depth=3)
+        classic = set(philosophers.classic_deadlock_trace(3))
+        for trace in deadlocks:
+            assert set(trace) == classic
+
+    def test_partial_correctness_holds_despite_deadlock(self):
+        # the §4 gap in one test: safety provable, deadlock present
+        safety = philosophers.check_safety(seats=2, depth=4)
+        assert all(r.holds for r in safety.values())
+        assert philosophers.find_deadlocks(seats=2)

@@ -1,0 +1,90 @@
+"""Integration tests: the protocol's paper theorems (E3, E4, E5)."""
+
+import functools
+
+import pytest
+
+from repro.proof.judgments import ForAllSat, Sat
+from repro.systems import protocol
+
+prove_all_cached = functools.lru_cache(maxsize=1)(protocol.prove_all)
+check_table1_cached = functools.lru_cache(maxsize=1)(protocol.check_table1_proof)
+
+
+class TestModelChecking:
+    def test_all_claims_hold_bounded(self):
+        results = protocol.check_all(depth=5, sample=3)
+        for label, result in results.items():
+            assert result.holds, f"{label}: {result.counterexample}"
+
+    def test_larger_message_alphabet(self):
+        results = protocol.check_all(depth=4, sample=3, messages={0, 1, 2})
+        assert all(result.holds for result in results.values())
+
+
+class TestAutomatedProofs:
+    def test_prove_all(self):
+        reports = prove_all_cached()
+        assert set(reports) == {"sender", "q", "receiver", "protocol"}
+
+    def test_sender_theorem(self):
+        reports = prove_all_cached()
+        assert repr(reports["sender"].conclusion) == "sender sat f(wire) <= input"
+
+    def test_q_lemma_is_universally_quantified(self):
+        reports = prove_all_cached()
+        assert isinstance(reports["q"].conclusion, ForAllSat)
+
+    def test_protocol_theorem_uses_expected_rules(self):
+        reports = prove_all_cached()
+        used = set(reports["protocol"].rules_used)
+        assert {"chan", "parallelism", "consequence", "recursion"} <= used
+
+
+class TestTable1Explicit:
+    """Experiment E3: the displayed Table 1 proof, line by line."""
+
+    def test_checks(self):
+        report = check_table1_cached()
+        assert repr(report.conclusion) == "sender sat f(wire) <= input"
+
+    def test_rule_profile_matches_the_table(self):
+        # Table 1 uses: input ×3 (lines 4, 15, 16), alternative (17),
+        # output (19), consequence (10, 12), ∀-elim (5, 7), ∀-intro
+        # (11, 13, 21), plus the recursion wrapper and its assumptions.
+        report = check_table1_cached()
+        rules = report.rules_used
+        assert rules["input"] == 3
+        assert rules["alternative"] == 1
+        assert rules["output"] == 1
+        assert rules["consequence"] == 2
+        assert rules["forall-sat-elim"] == 2
+        assert rules["recursion"] == 1
+
+    def test_def_f_side_conditions_discharged(self):
+        report = check_table1_cached()
+        # the "(def f)" lines become oracle discharges
+        assert len(report.discharges) == 8
+        assert all(d.verdict.ok for d in report.discharges)
+
+    def test_agrees_with_tactic_built_proof(self):
+        explicit = check_table1_cached()
+        automated = prove_all_cached()["sender"]
+        assert explicit.conclusion == automated.conclusion
+
+
+class TestTamperedProofRejected:
+    def test_wrong_invariant_fails(self):
+        from repro.assertions.parser import parse_assertion
+        from repro.errors import ProofError
+        from repro.proof.checker import ProofChecker
+        from repro.proof.tactics import SatProver, TacticError
+
+        bad_invariants = dict(protocol.invariants())
+        bad_invariants["sender"] = parse_assertion(
+            "input <= f(wire)", protocol.CHANNELS
+        )
+        prover = SatProver(protocol.definitions(), protocol.oracle(), bad_invariants)
+        with pytest.raises((ProofError, TacticError)):
+            proof = prover.prove_name("sender")
+            ProofChecker(protocol.definitions(), protocol.oracle()).check(proof)

@@ -1,0 +1,89 @@
+"""Integration tests: the register — provable integrity, inexpressible
+freshness."""
+
+import pytest
+
+from repro.assertions.eval import evaluate_formula
+from repro.systems import register
+from repro.traces.events import trace
+from repro.traces.histories import ch
+from repro.values.environment import Environment
+
+
+class TestIntegrity:
+    def test_model_checked(self):
+        result = register.check_integrity(initial=0, depth=5)
+        assert result.holds
+
+    @pytest.mark.parametrize("initial", [0, 1])
+    def test_each_initial_value(self, initial):
+        assert register.check_integrity(initial=initial, depth=4).holds
+
+    def test_proved_for_all_initial_values(self):
+        report = register.prove_integrity()
+        from repro.proof.judgments import ForAllSat
+
+        assert isinstance(report.conclusion, ForAllSat)
+        assert report.rules_used.get("recursion") == 1
+
+    def test_bigger_value_alphabet(self):
+        report = register.prove_integrity(values={0, 1, 2})
+        assert report.nodes > 0
+
+    def test_violating_register_detected(self):
+        # a register that invents the value 9
+        from repro.process.parser import parse_definitions
+        from repro.process.ast import ArrayRef
+        from repro.sat.checker import SatChecker
+        from repro.semantics.config import SemanticsConfig
+        from repro.values.expressions import Const
+
+        broken = parse_definitions(
+            "reg[v:M] = get!9 -> reg[v] | set?w:M -> reg[w]"
+        )
+        checker = SatChecker(
+            broken, register.environment(), SemanticsConfig(4, 2)
+        )
+        result = checker.check(
+            ArrayRef("reg", Const(0)), register.integrity_spec(0)
+        )
+        assert not result.holds
+
+
+class TestFreshnessInexpressibility:
+    def test_witnesses_have_identical_histories(self):
+        fresh, stale = register.freshness_is_inexpressible_witnesses()
+        assert fresh != stale
+        assert ch(fresh) == ch(stale)
+
+    def test_no_assertion_separates_the_witnesses(self):
+        # spot-check: a battery of assertions evaluates identically on both
+        from repro.soundness.generators import AssertionGenerator
+
+        fresh, stale = register.freshness_is_inexpressible_witnesses()
+        generator = AssertionGenerator(seed=3, channels=("get", "set"))
+        env = Environment()
+        for _ in range(200):
+            formula = generator.formula()
+            try:
+                left = evaluate_formula(formula, env, ch(fresh))
+                right = evaluate_formula(formula, env, ch(stale))
+            except Exception:
+                continue
+            assert left == right
+
+    def test_stale_witness_is_not_a_register_trace(self):
+        # the semantics distinguishes what the assertions cannot
+        from repro.process.ast import ArrayRef
+        from repro.sat.checker import SatChecker
+        from repro.semantics.config import SemanticsConfig
+        from repro.values.expressions import Const
+
+        fresh, stale = register.freshness_is_inexpressible_witnesses()
+        checker = SatChecker(
+            register.definitions(), register.environment(), SemanticsConfig(4, 2)
+        )
+        traces = checker.traces_of(ArrayRef("reg", Const(0)))
+        # prepend nothing: reg[0] with set.1 first matches the fresh trace
+        assert fresh in traces
+        assert stale not in traces

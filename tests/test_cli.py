@@ -1,0 +1,237 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+COPIER = """
+copier = input?x:NAT -> wire!x -> copier;
+recopier = wire?y:NAT -> output!y -> recopier;
+network = chan wire; (copier || recopier)
+"""
+
+PROTOCOL = """
+sender = input?y:M -> q[y];
+q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x]);
+receiver = wire?z:M -> (wire!ACK -> output!z -> receiver | wire!NACK -> receiver);
+protocol = chan wire; (sender || receiver)
+"""
+
+DEADLOCKER = """
+p = w!1 -> out!1 -> STOP;
+q = w?x:{2..3} -> STOP;
+net = p || q
+"""
+
+
+@pytest.fixture
+def copier_file(tmp_path):
+    path = tmp_path / "copier.csp"
+    path.write_text(COPIER)
+    return str(path)
+
+
+@pytest.fixture
+def protocol_file(tmp_path):
+    path = tmp_path / "protocol.csp"
+    path.write_text(PROTOCOL)
+    return str(path)
+
+
+@pytest.fixture
+def deadlock_file(tmp_path):
+    path = tmp_path / "net.csp"
+    path.write_text(DEADLOCKER)
+    return str(path)
+
+
+class TestParse:
+    def test_pretty_prints(self, copier_file, capsys):
+        assert main(["parse", copier_file]) == 0
+        out = capsys.readouterr().out
+        assert "copier = input?x:NAT -> wire!x -> copier" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["parse", "/nonexistent.csp"]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.csp"
+        path.write_text("p = wire!")
+        assert main(["parse", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTraces:
+    def test_lists_traces(self, copier_file, capsys):
+        assert main(["traces", copier_file, "--process", "copier", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "input.0" in out and "wire.0" in out
+
+    def test_default_process_is_last_equation(self, copier_file, capsys):
+        assert main(["traces", copier_file, "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "input" in out
+
+    def test_unknown_process(self, copier_file):
+        with pytest.raises(SystemExit):
+            main(["traces", copier_file, "--process", "ghost"])
+
+    def test_operational_engine(self, copier_file, capsys):
+        assert (
+            main(
+                [
+                    "traces",
+                    copier_file,
+                    "--depth",
+                    "2",
+                    "--engine",
+                    "operational",
+                ]
+            )
+            == 0
+        )
+
+
+class TestCheck:
+    def test_holds(self, copier_file, capsys):
+        code = main(
+            ["check", copier_file, "--process", "copier", "--spec", "wire <= input"]
+        )
+        assert code == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_violated_with_counterexample(self, copier_file, capsys):
+        code = main(
+            ["check", copier_file, "--process", "copier", "--spec", "input <= wire"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "violated" in out
+
+    def test_named_set_binding(self, protocol_file, capsys):
+        code = main(
+            [
+                "check",
+                protocol_file,
+                "--process",
+                "protocol",
+                "--spec",
+                "output <= input",
+                "--set",
+                "M=0,1",
+                "--with-cancel",
+                "f",
+                "--depth",
+                "4",
+                "--sample",
+                "3",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_set_syntax(self, protocol_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "check",
+                    protocol_file,
+                    "--spec",
+                    "output <= input",
+                    "--set",
+                    "M",
+                ]
+            )
+
+
+class TestProve:
+    def test_proves_network(self, copier_file, capsys):
+        code = main(
+            [
+                "prove",
+                copier_file,
+                "--goal",
+                "network",
+                "--invariant",
+                "copier=wire <= input",
+                "--invariant",
+                "recopier=output <= wire",
+                "--invariant",
+                "network=output <= input",
+            ]
+        )
+        assert code == 0
+        assert "checked" in capsys.readouterr().out
+
+    def test_show_proof(self, copier_file, capsys):
+        code = main(
+            [
+                "prove",
+                copier_file,
+                "--goal",
+                "copier",
+                "--invariant",
+                "copier=wire <= input",
+                "--show-proof",
+            ]
+        )
+        assert code == 0
+        assert "[recursion]" in capsys.readouterr().out
+
+    def test_false_invariant_fails(self, copier_file, capsys):
+        code = main(
+            [
+                "prove",
+                copier_file,
+                "--goal",
+                "copier",
+                "--invariant",
+                "copier=input <= wire",
+            ]
+        )
+        assert code == 1
+        assert "PROOF FAILED" in capsys.readouterr().out
+
+    def test_array_invariant_uses_definition_parameter(self, protocol_file, capsys):
+        code = main(
+            [
+                "prove",
+                protocol_file,
+                "--goal",
+                "sender",
+                "--set",
+                "M=0,1",
+                "--with-cancel",
+                "f",
+                "--invariant",
+                "sender=f(wire) <= input",
+                "--invariant",
+                "q=f(wire) <= x ^ input",
+            ]
+        )
+        assert code == 0
+        assert "sender sat" in capsys.readouterr().out
+
+
+class TestSimulateAndDeadlocks:
+    def test_simulate_runs(self, copier_file, capsys):
+        code = main(
+            ["simulate", copier_file, "--process", "copier", "--steps", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "input" in out
+
+    def test_simulate_reports_deadlock(self, deadlock_file, capsys):
+        code = main(["simulate", deadlock_file, "--process", "net", "--steps", "5"])
+        assert code == 1
+        assert "DEADLOCK" in capsys.readouterr().out
+
+    def test_deadlocks_found(self, deadlock_file, capsys):
+        code = main(["deadlocks", deadlock_file, "--process", "net", "--depth", "2"])
+        assert code == 1
+        assert "deadlocking" in capsys.readouterr().out
+
+    def test_no_deadlocks(self, copier_file, capsys):
+        code = main(["deadlocks", copier_file, "--process", "copier", "--depth", "3"])
+        assert code == 0
+        assert "no deadlock" in capsys.readouterr().out

@@ -1,0 +1,23 @@
+"""The reproduction battery itself, as a test."""
+
+from repro.report import reproduction_report, run_experiments
+
+
+class TestBattery:
+    def test_quick_battery_reproduces_everything(self):
+        outcomes = run_experiments(quick=True)
+        assert len(outcomes) == 9
+        failures = [o for o in outcomes if not o.ok]
+        assert not failures, failures
+
+    def test_report_rendering(self):
+        report = reproduction_report(quick=True)
+        assert "9/9 experiments reproduce" in report
+        assert "FAILED" not in report
+        assert "| E3 |" in report
+
+    def test_cli_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["reproduce", "--quick"]) == 0
+        assert "reproduce" in capsys.readouterr().out

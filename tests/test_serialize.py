@@ -1,0 +1,129 @@
+"""JSON round-trip tests for the serialization layer."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.assertions.parser import parse_assertion
+from repro.process.parser import parse_definitions, parse_process
+from repro.serialize import SerializationError, decode, dumps, encode, loads
+from repro.systems import protocol
+
+
+CHANS = {"input", "wire", "output", "col"}
+
+
+class TestProcessRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "STOP",
+            "wire!3 -> STOP",
+            "input?x:NAT -> wire!x -> copier",
+            "a!0 -> STOP | b!1 -> STOP",
+            "copier || recopier",
+            "chan wire; (copier || recopier)",
+            "q[x+1]",
+            "col[i-1]?y:{0..3} -> col[i]!(v[i]*x + y) -> mult[i]",
+            "c?x:M union {ACK, NACK} -> STOP",
+        ],
+    )
+    def test_round_trip(self, text):
+        process = parse_process(text)
+        assert decode(encode(process)) == process
+        assert loads(dumps(process)) == process
+
+    def test_payload_is_plain_json(self):
+        process = parse_process("input?x:NAT -> wire!x -> STOP")
+        payload = dumps(process)
+        assert json.loads(payload)["kind"] == "Input"
+
+    def test_definitions_round_trip(self):
+        defs = protocol.definitions()
+        assert decode(encode(defs)) == defs
+
+    def test_explicit_parallel_alphabets_round_trip(self):
+        from repro.process.ast import Parallel
+        from repro.process.channels import ChannelExpr, ChannelList
+
+        process = Parallel(
+            parse_process("a!0 -> STOP"),
+            parse_process("b!0 -> STOP"),
+            ChannelList([ChannelExpr("a")]),
+            ChannelList([ChannelExpr("b")]),
+        )
+        assert decode(encode(process)) == process
+
+
+class TestAssertionRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "wire <= input",
+            "#input <= #wire + 1",
+            "f(wire) <= x ^ input",
+            "<> <= <3, 4> ++ s",
+            "forall i : NAT . 1 <= i & i <= #output =>"
+            " output@i = (sum j : 1..3 . v(j) * row[j]@i)",
+            "not (a = b) => true",
+            "exists k : {0..9} . wire@k = 0",
+        ],
+    )
+    def test_round_trip(self, text):
+        formula = parse_assertion(text, CHANS | {"a", "b", "s"})
+        assert decode(encode(formula)) == formula
+
+    def test_tuple_constants_survive(self):
+        from repro.assertions.builders import const_, eq_
+
+        formula = eq_(const_((1, 2)), const_((1, 2)))
+        assert decode(encode(formula)) == formula
+
+
+class TestProofRoundTrip:
+    def test_table1_proof_round_trips(self):
+        proof = protocol.table1_proof()
+        restored = loads(dumps(proof))
+        assert restored.conclusion == proof.conclusion
+        assert restored.size() == proof.size()
+        assert restored.rules_used() == proof.rules_used()
+
+    def test_restored_proof_still_checks(self):
+        from repro.proof.checker import ProofChecker
+
+        proof = protocol.table1_proof()
+        restored = loads(dumps(proof))
+        report = ProofChecker(protocol.definitions(), protocol.oracle()).check(restored)
+        assert repr(report.conclusion) == "sender sat f(wire) <= input"
+
+    def test_tampered_proof_rejected_after_decode(self):
+        from repro.errors import ProofError
+        from repro.proof.checker import ProofChecker
+
+        payload = json.loads(dumps(protocol.table1_proof()))
+        # tamper: claim a different conclusion channel
+        text = json.dumps(payload).replace('"input"', '"output"')
+        restored = loads(text)
+        with pytest.raises(ProofError):
+            ProofChecker(protocol.definitions(), protocol.oracle()).check(restored)
+
+
+class TestErrors:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError, match="unknown kind"):
+            decode({"kind": "Teleport"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SerializationError):
+            decode([1, 2, 3])
+
+    def test_unencodable_object_rejected(self):
+        with pytest.raises(SerializationError):
+            encode(object())
+
+    def test_unencodable_value_rejected(self):
+        from repro.values.expressions import Const
+
+        with pytest.raises(SerializationError):
+            encode(Const(3.5j))

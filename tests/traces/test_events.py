@@ -1,0 +1,108 @@
+"""Unit tests for channels, events, and trace helpers (paper §0, §3.1)."""
+
+from repro.traces.events import (
+    EMPTY_TRACE,
+    Channel,
+    Event,
+    channel,
+    event,
+    is_prefix,
+    prefixes,
+    project,
+    restrict,
+    trace,
+    trace_channels,
+)
+
+
+class TestChannel:
+    def test_equality_by_name(self):
+        assert Channel("wire") == Channel("wire")
+        assert Channel("wire") != Channel("input")
+
+    def test_subscripted_channels_distinct_per_index(self):
+        # §1.1 item 11: col[e] denotes a distinct channel per value of e
+        assert Channel("col", 0) != Channel("col", 1)
+        assert Channel("col", 0) == Channel("col", 0)
+
+    def test_subscripted_differs_from_plain(self):
+        assert Channel("col", 0) != Channel("col")
+
+    def test_hashable(self):
+        assert len({Channel("a"), Channel("a"), Channel("b")}) == 2
+
+    def test_ordering_is_stable(self):
+        chans = [Channel("col", 2), Channel("col", 0), Channel("a")]
+        assert sorted(chans) == [Channel("a"), Channel("col", 0), Channel("col", 2)]
+
+    def test_repr(self):
+        assert repr(Channel("wire")) == "wire"
+        assert repr(Channel("col", 3)) == "col[3]"
+
+
+class TestEvent:
+    def test_equality(self):
+        assert event("wire", 3) == event("wire", 3)
+        assert event("wire", 3) != event("wire", 4)
+        assert event("wire", 3) != event("input", 3)
+
+    def test_repr_matches_paper_notation(self):
+        assert repr(event("output", 3)) == "output.3"
+
+    def test_event_accepts_channel_object(self):
+        assert event(Channel("col", 1), 5).channel == Channel("col", 1)
+
+    def test_hashable(self):
+        assert len({event("a", 1), event("a", 1)}) == 1
+
+
+class TestTraceHelpers:
+    def test_trace_builder(self):
+        s = trace(("input", 3), ("wire", 3))
+        assert s == (event("input", 3), event("wire", 3))
+
+    def test_trace_builder_accepts_events(self):
+        s = trace(event("a", 1), ("b", 2))
+        assert len(s) == 2
+
+    def test_empty_trace(self):
+        assert EMPTY_TRACE == ()
+        assert trace() == EMPTY_TRACE
+
+    def test_trace_channels(self):
+        s = trace(("input", 3), ("wire", 3), ("input", 0))
+        assert trace_channels(s) == {channel("input"), channel("wire")}
+
+    def test_restrict_removes_hidden_channels(self):
+        # s \ C from §3.1
+        s = trace(("input", 1), ("wire", 1), ("output", 1))
+        assert restrict(s, [channel("wire")]) == trace(("input", 1), ("output", 1))
+
+    def test_restrict_empty_channel_set_is_identity(self):
+        s = trace(("a", 1))
+        assert restrict(s, []) == s
+
+    def test_project_keeps_only_given_channels(self):
+        s = trace(("input", 1), ("wire", 1), ("output", 1))
+        assert project(s, [channel("wire")]) == trace(("wire", 1))
+
+    def test_project_restrict_partition(self):
+        s = trace(("a", 1), ("b", 2), ("a", 3))
+        c = [channel("a")]
+        assert len(project(s, c)) + len(restrict(s, c)) == len(s)
+
+
+class TestPrefixOrder:
+    def test_empty_is_prefix_of_everything(self):
+        assert is_prefix(EMPTY_TRACE, trace(("a", 1)))
+
+    def test_prefix_examples(self):
+        s = trace(("a", 1), ("b", 2))
+        assert is_prefix(trace(("a", 1)), s)
+        assert is_prefix(s, s)
+        assert not is_prefix(trace(("b", 2)), s)
+        assert not is_prefix(trace(("a", 1), ("b", 2), ("c", 3)), s)
+
+    def test_prefixes_enumeration(self):
+        s = trace(("a", 1), ("b", 2))
+        assert list(prefixes(s)) == [EMPTY_TRACE, trace(("a", 1)), s]

@@ -1,0 +1,94 @@
+"""Unit tests for the channel-history map ch(s) (paper §3.3)."""
+
+from repro.traces.events import channel, trace
+from repro.traces.histories import ChannelHistory, ch
+
+INPUT = channel("input")
+WIRE = channel("wire")
+OUTPUT = channel("output")
+
+
+class TestPaperExample:
+    """The worked example of §3.3."""
+
+    S = trace(("input", 27), ("wire", 27), ("input", 0), ("wire", 0), ("input", 3))
+
+    def test_input_history(self):
+        assert ch(self.S)(INPUT) == (27, 0, 3)
+
+    def test_wire_history(self):
+        assert ch(self.S)(WIRE) == (27, 0)
+
+    def test_other_channels_empty(self):
+        assert ch(self.S)(OUTPUT) == ()
+        assert ch(self.S)(channel("anything")) == ()
+
+
+class TestChLaws:
+    def test_ch_of_empty_trace(self):
+        # ch(⟨⟩) = λc.⟨⟩
+        h = ch(())
+        assert h(INPUT) == ()
+        assert h.channels() == frozenset()
+
+    def test_ch_recursion_law(self):
+        # ch(c.m ⌢ s) = ch(s) with m prefixed on channel c
+        s = trace(("wire", 1), ("input", 2))
+        full = trace(("input", 9), ("wire", 1), ("input", 2))
+        assert ch(full) == ch(s).with_prefixed(INPUT, 9)
+
+    def test_ch_respects_subscripted_channels(self):
+        s = trace((channel("col", 0), 5), (channel("col", 1), 6))
+        h = ch(s)
+        assert h(channel("col", 0)) == (5,)
+        assert h(channel("col", 1)) == (6,)
+
+    def test_ch_restrict_commutes(self):
+        # ch(s)(c) = ch(s \ C)(c) whenever c ∉ C (lemma (d) of §3.4)
+        from repro.traces.events import restrict
+
+        s = trace(("input", 1), ("wire", 1), ("input", 2))
+        assert ch(restrict(s, [WIRE]))(INPUT) == ch(s)(INPUT)
+
+    def test_total_length(self):
+        s = trace(("a", 1), ("b", 2), ("a", 3))
+        assert ch(s).total_length() == 3
+
+
+class TestChannelHistory:
+    def test_empty_sequences_are_normalised_away(self):
+        h = ChannelHistory({INPUT: (), WIRE: (1,)})
+        assert h.channels() == {WIRE}
+        assert h(INPUT) == ()
+
+    def test_equality_ignores_empty_entries(self):
+        assert ChannelHistory({INPUT: ()}) == ChannelHistory()
+
+    def test_hashable(self):
+        assert hash(ChannelHistory({WIRE: (1,)})) == hash(ChannelHistory({WIRE: (1,)}))
+
+    def test_with_prefixed(self):
+        h = ChannelHistory({WIRE: (2,)}).with_prefixed(WIRE, 1)
+        assert h(WIRE) == (1, 2)
+
+    def test_with_prefixed_new_channel(self):
+        h = ChannelHistory().with_prefixed(INPUT, 5)
+        assert h(INPUT) == (5,)
+
+    def test_restrict_away(self):
+        h = ChannelHistory({WIRE: (1,), INPUT: (2,)})
+        r = h.restrict_away(frozenset({WIRE}))
+        assert r(WIRE) == ()
+        assert r(INPUT) == (2,)
+
+    def test_items_sorted(self):
+        h = ChannelHistory({WIRE: (1,), INPUT: (2,)})
+        names = [chan.name for chan, _ in h.items()]
+        assert names == sorted(names)
+
+    def test_lists_coerced_to_tuples(self):
+        h = ChannelHistory({WIRE: [1, 2]})
+        assert h(WIRE) == (1, 2)
+
+    def test_repr(self):
+        assert "wire" in repr(ChannelHistory({WIRE: (1,)}))

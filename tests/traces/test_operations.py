@@ -1,0 +1,218 @@
+"""Unit tests for the §3.1 operators on prefix closures."""
+
+import pytest
+
+from repro.traces.events import EMPTY_TRACE, channel, event, trace
+from repro.traces.operations import (
+    after_event,
+    hide,
+    interleavings,
+    pad,
+    parallel,
+    prefix,
+    union_all,
+)
+from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
+
+A = channel("a")
+B = channel("b")
+C = channel("c")
+WIRE = channel("wire")
+INPUT = channel("input")
+OUTPUT = channel("output")
+
+
+class TestPrefix:
+    def test_prefix_of_stop(self):
+        # (a → STOP) = {⟨⟩, ⟨a⟩}
+        p = prefix(event("a", 1), STOP_CLOSURE)
+        assert p.traces == {EMPTY_TRACE, trace(("a", 1))}
+
+    def test_prefix_preserves_closure(self):
+        p = FiniteClosure.from_traces([trace(("b", 2), ("c", 3))])
+        q = prefix(event("a", 1), p)
+        assert q.is_prefix_closed()
+        assert trace(("a", 1), ("b", 2), ("c", 3)) in q
+
+    def test_prefix_always_contains_empty(self):
+        # §3.1 definition: (a → P) = {⟨⟩} ∪ {a⌢s | s ∈ P}
+        assert EMPTY_TRACE in prefix(event("a", 1), STOP_CLOSURE)
+
+    def test_prefix_distributes_through_union(self):
+        # §3.1 theorem: (a → ∪ P_x) = ∪ (a → P_x)
+        p = FiniteClosure.from_traces([trace(("b", 1))])
+        q = FiniteClosure.from_traces([trace(("c", 2))])
+        a = event("a", 0)
+        assert prefix(a, p.union(q)) == prefix(a, p).union(prefix(a, q))
+
+
+class TestAfterEvent:
+    def test_after_undoes_prefix(self):
+        p = FiniteClosure.from_traces([trace(("b", 2))])
+        assert after_event(prefix(event("a", 1), p), event("a", 1)) == p
+
+    def test_after_impossible_event_is_stop(self):
+        p = FiniteClosure.from_traces([trace(("b", 2))])
+        assert after_event(p, event("z", 0)) == STOP_CLOSURE
+
+
+class TestHide:
+    def test_hide_removes_channel_events(self):
+        p = FiniteClosure.from_traces([trace(("input", 1), ("wire", 1), ("output", 1))])
+        h = hide(p, [WIRE])
+        assert trace(("input", 1), ("output", 1)) in h
+        assert all(e.channel != WIRE for s in h.traces for e in s)
+
+    def test_hide_preserves_closure(self):
+        p = FiniteClosure.from_traces(
+            [trace(("wire", 1), ("a", 1)), trace(("a", 2), ("wire", 2))]
+        )
+        assert hide(p, [WIRE]).is_prefix_closed()
+
+    def test_hide_everything_gives_stop(self):
+        p = FiniteClosure.from_traces([trace(("a", 1), ("a", 2))])
+        assert hide(p, [A]) == STOP_CLOSURE
+
+    def test_hide_nothing_is_identity(self):
+        p = FiniteClosure.from_traces([trace(("a", 1))])
+        assert hide(p, []) == p
+
+    def test_hide_distributes_through_union(self):
+        p = FiniteClosure.from_traces([trace(("a", 1), ("w", 1))])
+        q = FiniteClosure.from_traces([trace(("w", 2), ("b", 2))])
+        w = [channel("w")]
+        assert hide(p.union(q), w) == hide(p, w).union(hide(q, w))
+
+
+class TestPad:
+    def test_pad_interleaves_arbitrary_events(self):
+        p = FiniteClosure.from_traces([trace(("a", 1))])
+        w = event("w", 0)
+        padded = pad(p, [channel("w")], [w], depth=2)
+        assert trace(("a", 1)) in padded
+        assert trace(("w", 0), ("a", 1)) in padded
+        assert trace(("a", 1), ("w", 0)) in padded
+        assert trace(("w", 0), ("w", 0)) in padded
+
+    def test_pad_respects_depth(self):
+        padded = pad(STOP_CLOSURE, [A], [event("a", 0)], depth=3)
+        assert padded.depth() == 3
+
+    def test_pad_rejects_event_off_padding_channels(self):
+        with pytest.raises(ValueError):
+            pad(STOP_CLOSURE, [A], [event("b", 0)], depth=1)
+
+    def test_pad_preserves_closure(self):
+        p = FiniteClosure.from_traces([trace(("a", 1), ("a", 2))])
+        assert pad(p, [B], [event("b", 0)], depth=4).is_prefix_closed()
+
+    def test_pad_no_channels_truncates_only(self):
+        p = FiniteClosure.from_traces([trace(("a", 1), ("a", 2))])
+        assert pad(p, [], [], depth=5) == p
+
+
+class TestParallel:
+    def test_paper_copier_recopier_network(self):
+        # input → copier → wire → recopier → output (§1.2 example)
+        copier = FiniteClosure.from_traces([trace(("input", 1), ("wire", 1))])
+        recopier = FiniteClosure.from_traces([trace(("wire", 1), ("output", 1))])
+        net = parallel(copier, [INPUT, WIRE], recopier, [WIRE, OUTPUT])
+        assert trace(("input", 1), ("wire", 1), ("output", 1)) in net
+
+    def test_shared_channel_requires_both(self):
+        p = FiniteClosure.from_traces([trace(("wire", 1))])
+        q = FiniteClosure.from_traces([trace(("wire", 2))])  # disagrees on value
+        net = parallel(p, [WIRE], q, [WIRE])
+        assert net == STOP_CLOSURE
+
+    def test_shared_channel_synchronises_on_agreement(self):
+        p = FiniteClosure.from_traces([trace(("wire", 1)), trace(("wire", 2))])
+        q = FiniteClosure.from_traces([trace(("wire", 2))])
+        net = parallel(p, [WIRE], q, [WIRE])
+        assert net.traces == {EMPTY_TRACE, trace(("wire", 2))}
+
+    def test_private_channels_interleave(self):
+        p = FiniteClosure.from_traces([trace(("a", 1))])
+        q = FiniteClosure.from_traces([trace(("b", 2))])
+        net = parallel(p, [A], q, [B])
+        assert trace(("a", 1), ("b", 2)) in net
+        assert trace(("b", 2), ("a", 1)) in net
+
+    def test_projections_of_product_lie_in_components(self):
+        p = FiniteClosure.from_traces([trace(("a", 1), ("wire", 5))])
+        q = FiniteClosure.from_traces([trace(("wire", 5), ("b", 2))])
+        net = parallel(p, [A, WIRE], q, [WIRE, B])
+        from repro.traces.events import restrict
+
+        for s in net.traces:
+            assert restrict(s, [B]) in p  # s \ (Y−X) ∈ P
+            assert restrict(s, [A]) in q  # s \ (X−Y) ∈ Q
+
+    def test_rejects_uncovered_channels(self):
+        p = FiniteClosure.from_traces([trace(("a", 1))])
+        with pytest.raises(ValueError, match="outside X"):
+            parallel(p, [B], STOP_CLOSURE, [B])
+        with pytest.raises(ValueError, match="outside Y"):
+            parallel(STOP_CLOSURE, [B], p, [B])
+
+    def test_stop_blocks_partner_on_shared_channels(self):
+        p = FiniteClosure.from_traces([trace(("wire", 1))])
+        net = parallel(p, [WIRE], STOP_CLOSURE, [WIRE])
+        assert net == STOP_CLOSURE
+
+    def test_stop_with_disjoint_alphabet_is_identity(self):
+        p = FiniteClosure.from_traces([trace(("a", 1))])
+        net = parallel(p, [A], STOP_CLOSURE, [B])
+        assert net == p
+
+    def test_depth_bound(self):
+        p = FiniteClosure.from_traces([trace(("a", 1), ("a", 2), ("a", 3))])
+        net = parallel(p, [A], STOP_CLOSURE, [B], depth=2)
+        assert net.depth() == 2
+
+    def test_parallel_equals_padded_intersection_on_small_instance(self):
+        # The definitional form: P ‖ Q = (P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y))
+        p = FiniteClosure.from_traces([trace(("a", 1), ("wire", 7))])
+        q = FiniteClosure.from_traces([trace(("wire", 7), ("b", 2))])
+        x, y = [A, WIRE], [WIRE, B]
+        depth = 4
+        merged = parallel(p, x, q, y, depth=depth)
+        padded_p = pad(p, [B], [event("b", 2)], depth=depth)
+        padded_q = pad(q, [A], [event("a", 1)], depth=depth)
+        assert merged == padded_p.intersection(padded_q)
+
+    def test_parallel_is_commutative_up_to_trace_set(self):
+        p = FiniteClosure.from_traces([trace(("a", 1), ("wire", 7))])
+        q = FiniteClosure.from_traces([trace(("wire", 7), ("b", 2))])
+        assert parallel(p, [A, WIRE], q, [WIRE, B], depth=4) == parallel(
+            q, [WIRE, B], p, [A, WIRE], depth=4
+        )
+
+
+class TestInterleavings:
+    def test_counts_binomial(self):
+        s = trace(("a", 1), ("a", 2))
+        t = trace(("b", 1), ("b", 2))
+        assert len(set(interleavings(s, t))) == 6  # C(4,2)
+
+    def test_empty_cases(self):
+        s = trace(("a", 1))
+        assert list(interleavings(s, EMPTY_TRACE)) == [s]
+        assert list(interleavings(EMPTY_TRACE, s)) == [s]
+
+    def test_preserves_relative_order(self):
+        s = trace(("a", 1), ("a", 2))
+        t = trace(("b", 9))
+        for merged in interleavings(s, t):
+            filtered = tuple(e for e in merged if e.channel == A)
+            assert filtered == s
+
+
+class TestUnionAll:
+    def test_union_all(self):
+        parts = [FiniteClosure.from_traces([trace(("a", i))]) for i in range(3)]
+        u = union_all(parts)
+        assert len(u) == 4
+
+    def test_union_all_empty_is_stop(self):
+        assert union_all([]) == STOP_CLOSURE

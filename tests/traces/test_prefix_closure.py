@@ -1,0 +1,129 @@
+"""Unit tests for finite prefix closures (paper §3.1)."""
+
+import pytest
+
+from repro.traces.events import EMPTY_TRACE, channel, event, trace
+from repro.traces.prefix_closure import (
+    STOP_CLOSURE,
+    FiniteClosure,
+    closure_union,
+)
+
+AB = trace(("a", 1), ("b", 2))
+ABC = trace(("a", 1), ("b", 2), ("c", 3))
+
+
+class TestConstruction:
+    def test_from_traces_closes_under_prefix(self):
+        p = FiniteClosure.from_traces([ABC])
+        assert EMPTY_TRACE in p
+        assert trace(("a", 1)) in p
+        assert AB in p
+        assert ABC in p
+        assert len(p) == 4
+
+    def test_constructor_verifies_empty_trace(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            FiniteClosure([AB])
+
+    def test_constructor_verifies_closure(self):
+        with pytest.raises(ValueError, match="prefix-closed"):
+            FiniteClosure([EMPTY_TRACE, AB])
+
+    def test_constructor_accepts_valid_closure(self):
+        p = FiniteClosure([EMPTY_TRACE, trace(("a", 1)), AB])
+        assert len(p) == 3
+
+    def test_stop_is_singleton_empty(self):
+        assert STOP_CLOSURE.traces == {EMPTY_TRACE}
+        assert FiniteClosure.stop() is STOP_CLOSURE
+
+
+class TestQueries:
+    def test_depth(self):
+        assert STOP_CLOSURE.depth() == 0
+        assert FiniteClosure.from_traces([ABC]).depth() == 3
+
+    def test_channels(self):
+        p = FiniteClosure.from_traces([AB])
+        assert p.channels() == {channel("a"), channel("b")}
+
+    def test_iteration_is_deterministic_shortest_first(self):
+        p = FiniteClosure.from_traces([AB, trace(("z", 0))])
+        listed = list(p)
+        assert listed[0] == EMPTY_TRACE
+        assert listed == list(p)
+        assert [len(s) for s in listed] == sorted(len(s) for s in listed)
+
+    def test_maximal_traces(self):
+        p = FiniteClosure.from_traces([AB, trace(("a", 1), ("c", 3))])
+        assert p.maximal_traces() == {AB, trace(("a", 1), ("c", 3))}
+
+
+class TestTrieView:
+    def test_initials(self):
+        p = FiniteClosure.from_traces([AB, trace(("z", 0))])
+        assert p.initials() == {event("a", 1), event("z", 0)}
+
+    def test_initials_after(self):
+        p = FiniteClosure.from_traces([ABC])
+        assert p.initials_after(AB) == {event("c", 3)}
+        assert p.initials_after(ABC) == frozenset()
+
+    def test_initials_after_absent_trace_is_empty(self):
+        p = FiniteClosure.from_traces([AB])
+        assert p.initials_after(trace(("q", 9))) == frozenset()
+
+
+class TestLattice:
+    def test_union(self):
+        p = FiniteClosure.from_traces([trace(("a", 1))])
+        q = FiniteClosure.from_traces([trace(("b", 2))])
+        u = p.union(q)
+        assert trace(("a", 1)) in u and trace(("b", 2)) in u
+        assert u.is_prefix_closed()
+
+    def test_intersection(self):
+        p = FiniteClosure.from_traces([AB])
+        q = FiniteClosure.from_traces([trace(("a", 1), ("z", 9))])
+        i = p.intersection(q)
+        assert i.traces == {EMPTY_TRACE, trace(("a", 1))}
+        assert i.is_prefix_closed()
+
+    def test_stop_is_bottom(self):
+        # §3.1: {⟨⟩} ⊆ P ⊆ A* for every prefix closure P
+        p = FiniteClosure.from_traces([ABC])
+        assert STOP_CLOSURE.issubset(p)
+        assert not p.issubset(STOP_CLOSURE)
+
+    def test_truncate(self):
+        p = FiniteClosure.from_traces([ABC])
+        t = p.truncate(2)
+        assert t.depth() == 2
+        assert AB in t and ABC not in t
+        assert t.is_prefix_closed()
+
+    def test_closure_union_many(self):
+        parts = [FiniteClosure.from_traces([trace(("a", i))]) for i in range(5)]
+        u = closure_union(parts)
+        assert len(u) == 6  # empty + five singletons
+        assert u.is_prefix_closed()
+
+    def test_closure_union_empty_is_stop(self):
+        assert closure_union([]) == STOP_CLOSURE
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        p = FiniteClosure.from_traces([AB])
+        q = FiniteClosure.from_traces([AB])
+        assert p == q and hash(p) == hash(q)
+
+    def test_repr_small_lists_traces(self):
+        assert "a.1" in repr(FiniteClosure.from_traces([trace(("a", 1))]))
+
+    def test_repr_large_summarises(self):
+        p = FiniteClosure.from_traces(
+            [trace(*((("c", i), ("d", i)))) for i in range(10)]
+        )
+        assert "traces" in repr(p)

@@ -1,0 +1,105 @@
+"""Property-based tests re-verifying the §3.1 theorems with hypothesis.
+
+The paper proves: prefix, hiding, padding, and parallel composition map
+prefix closures to prefix closures, and distribute through arbitrary
+unions.  These properties are checked here on randomly generated finite
+closures.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.events import channel, event, restrict, trace_channels
+from repro.traces.operations import after_event, hide, pad, parallel, prefix
+from repro.traces.prefix_closure import FiniteClosure
+
+CHANNELS = [channel("a"), channel("b"), channel("wire")]
+
+
+def events_strategy():
+    return st.builds(
+        event,
+        st.sampled_from(CHANNELS),
+        st.integers(min_value=0, max_value=2),
+    )
+
+
+def traces_strategy(max_size=4):
+    return st.lists(events_strategy(), max_size=max_size).map(tuple)
+
+
+def closures_strategy():
+    return st.lists(traces_strategy(), max_size=6).map(FiniteClosure.from_traces)
+
+
+@given(closures_strategy(), events_strategy())
+def test_prefix_yields_prefix_closure(p, a):
+    assert prefix(a, p).is_prefix_closed()
+
+
+@given(closures_strategy(), events_strategy())
+def test_after_prefix_roundtrip(p, a):
+    assert after_event(prefix(a, p), a) == p
+
+
+@given(closures_strategy())
+def test_hide_yields_prefix_closure(p):
+    assert hide(p, [channel("wire")]).is_prefix_closed()
+
+
+@given(closures_strategy(), closures_strategy())
+def test_union_and_intersection_are_closures(p, q):
+    assert p.union(q).is_prefix_closed()
+    assert p.intersection(q).is_prefix_closed()
+
+
+@given(closures_strategy(), closures_strategy(), events_strategy())
+def test_prefix_distributes_through_union(p, q, a):
+    # (a → P ∪ Q) = (a → P) ∪ (a → Q), §3.1 distributivity theorem
+    assert prefix(a, p.union(q)) == prefix(a, p).union(prefix(a, q))
+
+
+@given(closures_strategy(), closures_strategy())
+def test_hide_distributes_through_union(p, q):
+    c = [channel("wire")]
+    assert hide(p.union(q), c) == hide(p, c).union(hide(q, c))
+
+
+@settings(max_examples=30, deadline=None)
+@given(closures_strategy())
+def test_pad_yields_prefix_closure(p):
+    padded = pad(p, [channel("z")], [event("z", 0)], depth=p.depth() + 1)
+    assert padded.is_prefix_closed()
+
+
+@settings(max_examples=30, deadline=None)
+@given(closures_strategy(), closures_strategy())
+def test_parallel_yields_prefix_closure(p, q):
+    x = trace_channels_of(p) | {channel("a"), channel("wire")}
+    y = trace_channels_of(q) | {channel("b"), channel("wire")}
+    net = parallel(p, x, q, y, depth=4)
+    assert net.is_prefix_closed()
+
+
+@settings(max_examples=30, deadline=None)
+@given(closures_strategy(), closures_strategy())
+def test_parallel_projections_lie_in_components(p, q):
+    x = trace_channels_of(p) | {channel("a"), channel("wire")}
+    y = trace_channels_of(q) | {channel("b"), channel("wire")}
+    net = parallel(p, x, q, y, depth=4)
+    for s in net.traces:
+        assert restrict(s, y - x) in p
+        assert restrict(s, x - y) in q
+
+
+def trace_channels_of(p):
+    chans = set()
+    for s in p.traces:
+        chans |= trace_channels(s)
+    return chans
+
+
+@given(closures_strategy())
+def test_truncate_monotone(p):
+    for d in range(p.depth() + 1):
+        assert p.truncate(d).issubset(p.truncate(d + 1))

@@ -1,0 +1,124 @@
+"""Unit tests for value domains (paper §1.1 item 4)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.values.domains import (
+    INT,
+    NAT,
+    FiniteDomain,
+    IntegersDomain,
+    NaturalsDomain,
+    UnionDomain,
+)
+
+
+class TestFiniteDomain:
+    def test_membership(self):
+        d = FiniteDomain({"ACK", "NACK"})
+        assert "ACK" in d
+        assert "NACK" in d
+        assert "SYN" not in d
+
+    def test_enumeration_is_sorted_and_deterministic(self):
+        d = FiniteDomain({3, 1, 2})
+        assert d.sample(10) == (1, 2, 3)
+        assert d.sample(10) == d.sample(10)
+
+    def test_enumeration_respects_limit(self):
+        d = FiniteDomain(range(100))
+        assert d.sample(5) == (0, 1, 2, 3, 4)
+
+    def test_mixed_value_enumeration_is_total_order(self):
+        d = FiniteDomain({1, "a", (2, 3)})
+        assert len(d.sample(10)) == 3
+
+    def test_len_and_equality(self):
+        assert len(FiniteDomain({1, 2})) == 2
+        assert FiniteDomain({1, 2}) == FiniteDomain([2, 1])
+        assert hash(FiniteDomain({1, 2})) == hash(FiniteDomain({2, 1}))
+
+    def test_require_finite(self):
+        assert FiniteDomain({1, 2}).require_finite() == frozenset({1, 2})
+
+    def test_is_finite_flag(self):
+        assert FiniteDomain({1}).is_finite
+
+    def test_empty_finite_domain(self):
+        d = FiniteDomain(())
+        assert 0 not in d
+        assert d.sample(5) == ()
+
+
+class TestNaturalsDomain:
+    def test_membership(self):
+        assert 0 in NAT
+        assert 17 in NAT
+        assert -1 not in NAT
+        assert "x" not in NAT
+        assert True not in NAT  # bools are not naturals
+
+    def test_enumeration(self):
+        assert NAT.sample(4) == (0, 1, 2, 3)
+
+    def test_not_finite(self):
+        assert not NAT.is_finite
+        with pytest.raises(DomainError):
+            NAT.require_finite()
+
+    def test_singleton_equality(self):
+        assert NAT == NaturalsDomain()
+        assert hash(NAT) == hash(NaturalsDomain())
+
+    def test_repr(self):
+        assert repr(NAT) == "NAT"
+
+
+class TestIntegersDomain:
+    def test_membership(self):
+        assert -5 in INT
+        assert 0 in INT
+        assert "x" not in INT
+
+    def test_zigzag_enumeration(self):
+        assert INT.sample(5) == (0, -1, 1, -2, 2)
+
+    def test_zero_limit(self):
+        assert INT.sample(0) == ()
+
+    def test_equality(self):
+        assert INT == IntegersDomain()
+
+
+class TestUnionDomain:
+    def test_membership_across_parts(self):
+        d = UnionDomain([FiniteDomain({"ACK"}), NAT])
+        assert "ACK" in d
+        assert 7 in d
+        assert "NACK" not in d
+
+    def test_enumeration_round_robin_no_starvation(self):
+        d = UnionDomain([NAT, FiniteDomain({"ACK", "NACK"})])
+        sample = d.sample(6)
+        assert "ACK" in sample and "NACK" in sample
+
+    def test_enumeration_deduplicates(self):
+        d = UnionDomain([FiniteDomain({1, 2}), FiniteDomain({2, 3})])
+        assert sorted(d.sample(10)) == [1, 2, 3]
+
+    def test_finite_iff_all_parts_finite(self):
+        assert UnionDomain([FiniteDomain({1}), FiniteDomain({2})]).is_finite
+        assert not UnionDomain([FiniteDomain({1}), NAT]).is_finite
+
+    def test_nested_unions_flatten(self):
+        inner = UnionDomain([FiniteDomain({1}), FiniteDomain({2})])
+        outer = UnionDomain([inner, FiniteDomain({3})])
+        assert len(outer.parts) == 3
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(DomainError):
+            UnionDomain([])
+
+    def test_union_method(self):
+        d = FiniteDomain({1}).union(FiniteDomain({2}))
+        assert 1 in d and 2 in d

@@ -1,0 +1,90 @@
+"""Unit tests for immutable environments (paper §3.2)."""
+
+import pytest
+
+from repro.errors import UnboundVariableError
+from repro.values.environment import EMPTY, Environment
+
+
+class TestBindLookup:
+    def test_empty_lookup_raises(self):
+        with pytest.raises(UnboundVariableError):
+            Environment().lookup("x")
+
+    def test_bind_then_lookup(self):
+        env = Environment().bind("x", 3)
+        assert env.lookup("x") == 3
+
+    def test_bind_returns_new_environment(self):
+        base = Environment().bind("x", 1)
+        extended = base.bind("y", 2)
+        assert "y" not in base
+        assert extended.lookup("x") == 1
+        assert extended.lookup("y") == 2
+
+    def test_shadowing_is_innermost_wins(self):
+        env = Environment().bind("x", 1).bind("x", 2)
+        assert env.lookup("x") == 2
+
+    def test_shadowing_does_not_mutate_outer(self):
+        outer = Environment().bind("x", 1)
+        inner = outer.bind("x", 2)
+        assert outer.lookup("x") == 1
+        assert inner.lookup("x") == 2
+
+    def test_bind_all(self):
+        env = Environment().bind_all({"x": 1, "y": 2})
+        assert env.lookup("x") == 1
+        assert env.lookup("y") == 2
+
+    def test_bind_all_empty_returns_self(self):
+        env = Environment().bind("x", 1)
+        assert env.bind_all({}) is env
+
+    def test_error_kind_in_message(self):
+        with pytest.raises(UnboundVariableError, match="process name"):
+            Environment().lookup("p", kind="process name")
+
+
+class TestQueries:
+    def test_contains(self):
+        env = Environment().bind("x", 1)
+        assert "x" in env
+        assert "y" not in env
+        assert 42 not in env  # non-string never contained
+
+    def test_get_default(self):
+        env = Environment().bind("x", 1)
+        assert env.get("x") == 1
+        assert env.get("y") is None
+        assert env.get("y", "fallback") == "fallback"
+
+    def test_names_sorted_and_deduplicated(self):
+        env = Environment().bind("b", 1).bind("a", 2).bind("b", 3)
+        assert env.names() == ("a", "b")
+
+    def test_flatten_reflects_shadowing(self):
+        env = Environment().bind("x", 1).bind("x", 9).bind("y", 2)
+        assert env.flatten() == {"x": 9, "y": 2}
+
+    def test_iter_yields_names(self):
+        env = Environment().bind("x", 1).bind("y", 2)
+        assert list(env) == ["x", "y"]
+
+    def test_none_value_is_a_real_binding(self):
+        env = Environment().bind("x", None)
+        assert "x" in env
+        assert env.lookup("x") is None
+
+    def test_shared_empty_instance(self):
+        assert EMPTY.names() == ()
+
+    def test_repr_mentions_bindings(self):
+        assert "x=1" in repr(Environment().bind("x", 1))
+
+    def test_deep_chain_lookup(self):
+        env = Environment()
+        for i in range(200):
+            env = env.bind(f"v{i}", i)
+        assert env.lookup("v0") == 0
+        assert env.lookup("v199") == 199

@@ -1,0 +1,185 @@
+"""Unit tests for the expression language (paper §1.1)."""
+
+import pytest
+
+from repro.errors import DomainError, EvaluationError, UnboundVariableError
+from repro.values.domains import NAT, FiniteDomain
+from repro.values.environment import Environment
+from repro.values.expressions import (
+    BinOp,
+    Const,
+    FuncCall,
+    NamedSet,
+    NatSet,
+    RangeSet,
+    SetLiteral,
+    SetUnion,
+    UnaryOp,
+    Var,
+    as_expr,
+    const,
+    var,
+)
+
+ENV = Environment().bind("x", 4).bind("y", 10).bind("i", 2)
+
+
+class TestValueExpressions:
+    def test_const_evaluates_to_itself(self):
+        assert Const(3).evaluate(ENV) == 3
+        assert Const("ACK").evaluate(ENV) == "ACK"
+
+    def test_var_lookup(self):
+        assert Var("x").evaluate(ENV) == 4
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(UnboundVariableError):
+            Var("z").evaluate(ENV)
+
+    def test_paper_expression_3x_plus_y(self):
+        # (3×x + y) from §1.1 item 3
+        e = BinOp("+", BinOp("*", const(3), var("x")), var("y"))
+        assert e.evaluate(ENV) == 22
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [("+", 7, 3, 10), ("-", 7, 3, 4), ("*", 7, 3, 21), ("div", 7, 3, 2), ("mod", 7, 3, 1)],
+    )
+    def test_all_binary_operators(self, op, left, right, expected):
+        assert BinOp(op, const(left), const(right)).evaluate(ENV) == expected
+
+    def test_unknown_operator_rejected_at_construction(self):
+        with pytest.raises(EvaluationError):
+            BinOp("**", const(2), const(3))
+
+    def test_division_by_zero_is_evaluation_error(self):
+        with pytest.raises(EvaluationError):
+            BinOp("div", const(1), const(0)).evaluate(ENV)
+
+    def test_type_mismatch_is_evaluation_error(self):
+        with pytest.raises(EvaluationError):
+            BinOp("-", const("ACK"), const(1)).evaluate(ENV)
+
+    def test_unary_negation(self):
+        assert UnaryOp("-", var("x")).evaluate(ENV) == -4
+
+    def test_func_call_evaluates_host_function(self):
+        env = ENV.bind("v", lambda i: [0, 10, 20, 30][i])
+        assert FuncCall("v", (var("i"),)).evaluate(env) == 20
+
+    def test_func_call_non_callable_rejected(self):
+        env = ENV.bind("v", 42)
+        with pytest.raises(EvaluationError):
+            FuncCall("v", (const(0),)).evaluate(env)
+
+    def test_func_call_host_exception_wrapped(self):
+        env = ENV.bind("v", lambda i: [0][i])
+        with pytest.raises(EvaluationError):
+            FuncCall("v", (const(5),)).evaluate(env)
+
+
+class TestFreeVariablesAndSubstitution:
+    def test_free_variables(self):
+        e = BinOp("+", BinOp("*", const(3), var("x")), var("y"))
+        assert e.free_variables() == {"x", "y"}
+
+    def test_const_has_no_free_variables(self):
+        assert Const(3).free_variables() == frozenset()
+
+    def test_substitute_replaces_only_target(self):
+        e = BinOp("+", var("x"), var("y"))
+        e2 = e.substitute("x", const(1))
+        assert e2.evaluate(Environment().bind("y", 2)) == 3
+
+    def test_substitute_is_nonmutating(self):
+        e = var("x")
+        e.substitute("x", const(1))
+        assert e == var("x")
+
+    def test_substitute_in_func_call_args(self):
+        e = FuncCall("v", (var("i"),)).substitute("i", const(0))
+        assert e == FuncCall("v", (const(0),))
+
+    def test_structural_equality_and_hash(self):
+        a = BinOp("+", var("x"), const(1))
+        b = BinOp("+", var("x"), const(1))
+        assert a == b and hash(a) == hash(b)
+        assert a != BinOp("+", var("x"), const(2))
+        assert a != BinOp("-", var("x"), const(1))
+
+
+class TestSetExpressions:
+    def test_nat_set(self):
+        assert NatSet().evaluate(ENV) is NAT
+
+    def test_set_literal_evaluates_elements(self):
+        m = SetLiteral((const("ACK"), const("NACK")))
+        assert m.evaluate(ENV) == FiniteDomain({"ACK", "NACK"})
+
+    def test_set_literal_with_variables(self):
+        m = SetLiteral((var("x"), BinOp("+", var("x"), const(1))))
+        assert m.evaluate(ENV) == FiniteDomain({4, 5})
+
+    def test_range_set(self):
+        assert RangeSet(const(0), const(3)).evaluate(ENV) == FiniteDomain({0, 1, 2, 3})
+
+    def test_range_set_with_variable_bounds(self):
+        assert RangeSet(const(0), var("i")).evaluate(ENV) == FiniteDomain({0, 1, 2})
+
+    def test_empty_range(self):
+        assert RangeSet(const(3), const(2)).evaluate(ENV) == FiniteDomain(())
+
+    def test_range_non_integer_bounds_rejected(self):
+        with pytest.raises(DomainError):
+            RangeSet(const("a"), const("z")).evaluate(ENV)
+
+    def test_named_set_resolved_from_environment(self):
+        env = ENV.bind("M", FiniteDomain({1, 2}))
+        assert NamedSet("M").evaluate(env) == FiniteDomain({1, 2})
+
+    def test_named_set_wrong_binding_rejected(self):
+        env = ENV.bind("M", 42)
+        with pytest.raises(DomainError):
+            NamedSet("M").evaluate(env)
+
+    def test_set_union(self):
+        env = ENV.bind("M", FiniteDomain({1}))
+        u = SetUnion((NamedSet("M"), SetLiteral((const("ACK"),))))
+        d = u.evaluate(env)
+        assert 1 in d and "ACK" in d
+
+    def test_set_union_single_part_unwraps(self):
+        u = SetUnion((SetLiteral((const(1),)),))
+        assert u.evaluate(ENV) == FiniteDomain({1})
+
+    def test_set_free_variables(self):
+        m = SetLiteral((var("x"),))
+        assert m.free_variables() == {"x"}
+        assert RangeSet(var("a"), var("b")).free_variables() == {"a", "b"}
+        assert NamedSet("M").free_variables() == frozenset()
+
+    def test_set_substitution(self):
+        m = SetLiteral((var("x"),)).substitute("x", const(9))
+        assert m.evaluate(ENV) == FiniteDomain({9})
+
+
+class TestCoercion:
+    def test_int_to_const(self):
+        assert as_expr(3) == Const(3)
+
+    def test_lowercase_identifier_to_var(self):
+        assert as_expr("x") == Var("x")
+
+    def test_uppercase_string_to_const(self):
+        assert as_expr("ACK") == Const("ACK")
+
+    def test_expr_passthrough(self):
+        e = var("x")
+        assert as_expr(e) is e
+
+    def test_tuple_to_const(self):
+        assert as_expr((1, 2)) == Const((1, 2))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(EvaluationError):
+            as_expr(3.5j)
