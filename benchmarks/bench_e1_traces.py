@@ -10,7 +10,6 @@ Also the scheduler ablation from DESIGN.md §7: exhaustive exploration vs
 random simulation coverage.
 """
 
-import pytest
 
 from repro.operational.explorer import explore_traces
 from repro.operational.scheduler import RandomScheduler, simulate

@@ -11,7 +11,6 @@ ablation from DESIGN.md §7 (exhaustive-bounded vs randomized discharge of
 the "(def f)" side conditions).
 """
 
-import pytest
 
 from repro.proof.checker import ProofChecker
 from repro.proof.oracle import Oracle, OracleConfig

@@ -11,7 +11,7 @@ import pytest
 from repro.operational.explorer import Explorer
 from repro.operational.step import OperationalSemantics
 from repro.process.ast import Choice, Name, STOP
-from repro.process.parser import parse_definitions, parse_process
+from repro.process.parser import parse_definitions
 from repro.sat.checker import check_sat
 from repro.semantics.config import SemanticsConfig
 from repro.semantics.equivalence import trace_equivalent

@@ -11,7 +11,7 @@ library's added capabilities, exercised at scale:
 
 import pytest
 
-from repro.process.ast import Choice, Name, STOP
+from repro.process.ast import Choice, STOP
 from repro.process.channels import ChannelExpr, ChannelList
 from repro.process.parser import parse_process
 from repro.semantics.config import SemanticsConfig

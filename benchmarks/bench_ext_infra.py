@@ -5,7 +5,6 @@ user leans on (parsing definition files, round-tripping notation,
 shipping proofs as JSON).
 """
 
-import pytest
 
 from repro.process.parser import parse_definitions, parse_process
 from repro.process.pretty import pretty, pretty_definitions

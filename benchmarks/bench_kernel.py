@@ -1,0 +1,242 @@
+"""Kernel microbenchmarks: hash-consed trie vs. flat-set reference.
+
+Times each §3.1 operator (`union`, `parallel`, `hide`), full denotation,
+and sat checking at depths 4–8 on the paper's three workhorse systems
+(copier, protocol, multiplier), in both kernels:
+
+* **trie** — the hash-consed :mod:`repro.traces.operations` with
+  per-operator memo tables and the trie-walking sat checker;
+* **baseline** — the flat-set :mod:`repro.traces._reference` operators
+  and the per-trace ``ch(s)`` sat loop, the representation the seed
+  shipped with.
+
+Run as pytest (timed via pytest-benchmark, with agreement asserted), or
+run this file as a script to regenerate ``BENCH_kernel.json``::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+
+The JSON records per-case wall-clock for both kernels and the speedup;
+EXPERIMENTS.md cites it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.process.ast import Name
+from repro.sat.checker import SatChecker
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import Denoter
+from repro.systems import copier, multiplier, protocol
+from repro.traces import _reference as ref_ops
+from repro.traces import operations as trie_ops
+from repro.traces.stats import reset_stats, snapshot
+from repro.traces.trie import clear_interner
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def _denote(system, name: str, depth: int, kernel: str):
+    cfg = SemanticsConfig(depth=depth, sample=2)
+    denoter = Denoter(
+        system.definitions(), system.environment(), cfg, kernel=kernel
+    )
+    return denoter.denote(Name(name))
+
+
+def _sat_multiplier(depth: int, trie_walk: bool):
+    """The multiplier's §2 scalar-product check (operational engine, as the
+    system module prescribes); ``trie_walk`` selects incremental channel
+    histories vs. the per-trace ``ch(s)`` baseline."""
+    checker = SatChecker(
+        multiplier.definitions(),
+        multiplier.environment(),
+        SemanticsConfig(depth=depth, sample=2),
+        engine="operational",
+        trie_walk=trie_walk,
+    )
+    return checker.check(Name("multiplier"), multiplier.specification())
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (timed, with agreement asserted)
+# ---------------------------------------------------------------------------
+
+
+class TestOperatorBenchmarks:
+    @pytest.fixture(autouse=True)
+    def _fresh_kernel(self):
+        clear_interner()
+        reset_stats()
+        yield
+
+    @pytest.mark.parametrize("depth", [4, 6])
+    def test_union_trie_vs_reference(self, benchmark, depth):
+        p = _denote(copier, "network", depth, "trie")
+        q = _denote(protocol, "protocol", depth, "trie")
+        got = benchmark(lambda: trie_ops.union(p, q))
+        assert got == ref_ops.union(p, q)
+
+    @pytest.mark.parametrize("depth", [4, 6])
+    def test_hide_trie_vs_reference(self, benchmark, depth):
+        from repro.traces.events import channel
+
+        p = _denote(copier, "network", depth, "trie")
+        got = benchmark(lambda: trie_ops.hide(p, [channel("wire")]))
+        assert got == ref_ops.hide(p, [channel("wire")])
+
+    @pytest.mark.parametrize("depth", [4, 6])
+    def test_parallel_trie_vs_reference(self, benchmark, depth):
+        defs = copier.definitions()
+        cfg = SemanticsConfig(depth=depth, sample=2)
+        denoter = Denoter(defs, copier.environment(), cfg)
+        left = denoter.denote_name("copier")
+        right = denoter.denote_name("recopier")
+        from repro.traces.events import channel
+
+        x = [channel("input"), channel("wire")]
+        y = [channel("wire"), channel("output")]
+        got = benchmark(lambda: trie_ops.parallel(left, x, right, y, depth=depth))
+        assert got == ref_ops.parallel(left, x, right, y, depth=depth)
+
+    @pytest.mark.parametrize("depth", [4, 6])
+    def test_denote_protocol(self, benchmark, depth):
+        got = benchmark(lambda: _denote(protocol, "protocol", depth, "trie"))
+        assert got == _denote(protocol, "protocol", depth, "reference")
+
+    @pytest.mark.parametrize("depth", [4, 5])
+    def test_sat_multiplier(self, benchmark, depth):
+        got = benchmark(lambda: _sat_multiplier(depth, trie_walk=True))
+        want = _sat_multiplier(depth, trie_walk=False)
+        assert got.holds == want.holds
+        assert got.traces_checked == want.traces_checked
+
+
+# ---------------------------------------------------------------------------
+# Standalone baseline-vs-trie comparison (regenerates BENCH_kernel.json)
+# ---------------------------------------------------------------------------
+
+
+def _time(fn, repeat: int = 3) -> float:
+    """Best-of-N wall clock; each call starts from a cold kernel so memo
+    warm-up is *included* (that is the honest comparison)."""
+    best = float("inf")
+    for _ in range(repeat):
+        clear_interner()
+        reset_stats()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _case(name: str, baseline_fn, trie_fn, check_equal: bool = True) -> dict:
+    baseline_result = trie_result = None
+
+    def run_baseline():
+        nonlocal baseline_result
+        baseline_result = baseline_fn()
+
+    def run_trie():
+        nonlocal trie_result
+        trie_result = trie_fn()
+
+    baseline_s = _time(run_baseline)
+    trie_s = _time(run_trie)
+    if check_equal:
+        # The timed runs call clear_interner(), so closures from different
+        # runs live in different interner generations — pointer equality
+        # does not apply across them.  Compare flat trace sets instead.
+        want = getattr(baseline_result, "traces", baseline_result)
+        got = getattr(trie_result, "traces", trie_result)
+        if want != got:
+            raise AssertionError(f"{name}: kernels disagree")
+    case = {
+        "case": name,
+        "baseline_s": round(baseline_s, 6),
+        "trie_s": round(trie_s, 6),
+        "speedup": round(baseline_s / trie_s, 2) if trie_s else float("inf"),
+    }
+    print(
+        f"{name:<42} baseline {baseline_s * 1000:9.2f} ms   "
+        f"trie {trie_s * 1000:9.2f} ms   ×{case['speedup']}"
+    )
+    return case
+
+
+def generate(depths=(4, 5, 6, 7, 8)) -> dict:
+    cases = []
+
+    for depth in depths:
+        for system, proc in (
+            (copier, "network"),
+            (protocol, "protocol"),
+        ):
+            label = f"denote {system.__name__.split('.')[-1]}.{proc} depth={depth}"
+            cases.append(
+                _case(
+                    label,
+                    lambda s=system, p=proc, d=depth: _denote(s, p, d, "reference"),
+                    lambda s=system, p=proc, d=depth: _denote(s, p, d, "trie"),
+                )
+            )
+
+    for depth in (4, 5):
+        cases.append(
+            _case(
+                f"sat multiplier scalar-product depth={depth}",
+                lambda d=depth: _sat_multiplier(d, trie_walk=False).traces_checked,
+                lambda d=depth: _sat_multiplier(d, trie_walk=True).traces_checked,
+            )
+        )
+
+    for depth in (6, 8):
+        p = _denote(copier, "network", depth, "trie")
+        q = _denote(protocol, "protocol", depth, "trie")
+        cases.append(
+            _case(
+                f"union copier∪protocol depth={depth}",
+                lambda p=p, q=q: ref_ops.union(p, q),
+                lambda p=p, q=q: trie_ops.union(p, q),
+            )
+        )
+        from repro.traces.events import channel
+
+        cases.append(
+            _case(
+                f"hide network\\wire depth={depth}",
+                lambda p=p: ref_ops.hide(p, [channel("wire")]),
+                lambda p=p: trie_ops.hide(p, [channel("wire")]),
+            )
+        )
+
+    clear_interner()
+    reset_stats()
+    _denote(protocol, "protocol", 6, "trie")
+    kernel_stats = snapshot()
+
+    report = {
+        "description": (
+            "Hash-consed trace-trie kernel vs. flat-set reference "
+            "(seed representation); best-of-3 cold-kernel wall clock"
+        ),
+        "cases": cases,
+        "kernel_stats_after_protocol_depth6": kernel_stats,
+        "max_speedup": max(c["speedup"] for c in cases),
+    }
+    return report
+
+
+def main() -> None:
+    report = generate()
+    RESULT_PATH.write_text(json.dumps(report, indent=2))
+    print(f"\nwrote {RESULT_PATH}")
+    print(f"max speedup ×{report['max_speedup']}")
+
+
+if __name__ == "__main__":
+    main()

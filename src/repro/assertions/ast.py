@@ -36,7 +36,7 @@ manipulate them as data.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Optional, Tuple
+from typing import Any, Tuple
 
 from repro.process.channels import ChannelExpr
 from repro.values.expressions import SetExpr

@@ -17,7 +17,7 @@ the prover alike.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Sequence, Union
 
 from repro.assertions.ast import Formula, Term
 from repro.assertions.builders import (

@@ -15,6 +15,7 @@ Work with process definition files written in the paper's notation::
           --invariant "network=output <= input"
     $ python -m repro simulate copier.csp --process network --steps 10
     $ python -m repro deadlocks copier.csp --process network --depth 3
+    $ python -m repro stats copier.csp --process network --depth 6
 
 Named message sets are declared with ``--set M=0,1``; the protocol's
 cancellation function is available as ``--with-cancel f``.
@@ -24,7 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.assertions.parser import parse_assertion
 from repro.assertions.sequences import cancel_protocol
@@ -122,6 +123,39 @@ def cmd_check(args: argparse.Namespace) -> int:
     print(f"VIOLATED: {target.name} sat {args.spec}")
     print(result.counterexample.describe())
     return 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.sat.checker import SatChecker
+    from repro.semantics.config import SemanticsConfig
+    from repro.traces.stats import format_stats, reset_stats
+
+    defs = _load(args)
+    env = _build_env(args)
+    reset_stats()
+    checker = SatChecker(
+        defs,
+        env,
+        SemanticsConfig(depth=args.depth, sample=args.sample),
+        engine=args.engine,
+    )
+    target = _target(args, defs)
+    if args.spec:
+        result = checker.check(target, args.spec)
+        verdict = "HOLDS" if result.holds else "VIOLATED"
+        print(
+            f"{verdict}: {target.name} sat {args.spec}  "
+            f"({result.traces_checked} traces, depth ≤ {args.depth})"
+        )
+    else:
+        closure = checker.traces_of(target)
+        print(
+            f"{target.name}: {len(closure)} traces in {closure.node_count()} "
+            f"trie nodes (depth ≤ {args.depth}, engine {args.engine})"
+        )
+    print()
+    print(format_stats())
+    return 0
 
 
 def cmd_prove(args: argparse.Namespace) -> int:
@@ -250,6 +284,18 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, engine=True)
     p.add_argument("--spec", required=True, help='assertion, e.g. "wire <= input"')
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a traces/check workload and report trace-trie kernel "
+        "counters (interner size, memo hit rates)",
+    )
+    common(p, engine=True)
+    p.add_argument(
+        "--spec",
+        help="optionally check this assertion instead of only denoting",
+    )
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("prove", help="prove P sat R with the §2.1 rules")
     common(p)

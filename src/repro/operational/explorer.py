@@ -16,7 +16,7 @@ in configuration space and handled by the closure's visited set; a
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, List, Set, Tuple
 
 from repro.errors import OperationalError
 from repro.operational.state import State

@@ -20,7 +20,7 @@ into the corresponding configuration, unfolding name references as needed.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, Tuple
 
 from repro.errors import OperationalError
 from repro.process.analysis import concrete_channels

@@ -9,7 +9,7 @@ operational simulator, and the proof system's recursion rule.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, Union
 
 from repro.errors import DefinitionError
 from repro.process.ast import Process

@@ -16,7 +16,7 @@ Unicode spellings from the paper are accepted as aliases: ``→``, ``‖``,
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Optional
+from typing import List, NamedTuple, Optional
 
 from repro.errors import ParseError
 

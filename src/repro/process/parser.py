@@ -38,7 +38,7 @@ vector of the multiplier example).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.process.ast import (
     ArrayRef,

@@ -22,7 +22,7 @@ Every generated proof is returned un-trusted; run it through
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
 
 from repro.assertions.ast import ForAll, Formula, Implies, LogicalAnd, VarTerm
 from repro.assertions.substitution import (

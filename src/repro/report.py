@@ -12,7 +12,7 @@ in seconds; the default bounds match EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, NamedTuple, Optional
+from typing import Callable, List, NamedTuple
 
 
 class ExperimentOutcome(NamedTuple):

@@ -9,6 +9,15 @@ quantifying over the bounded trace set.  Free variables shared between
 all values it can take"); :meth:`SatChecker.check_forall` quantifies a
 variable over a sampled domain for that purpose.
 
+The quantification walks the closure's trace **trie** breadth-first,
+threading the channel history incrementally down each edge — the §3.3
+update ``ch(c.m⌢s) = ch(s)[(m⌢ch(s)(c))/c]`` (E10) read left-to-right —
+so the history of a shared prefix is built once, not recomputed from the
+root for every extending trace.  ``trie_walk=False`` restores the flat
+per-trace loop (kept as a cross-check and benchmark baseline); both modes
+visit traces in the same shortest-first order and therefore report the
+same counterexample.
+
 An evaluation error while judging ``R`` on a trace (e.g. an unguarded
 out-of-range index) counts as a violation and is reported on the
 counterexample — an assertion that cannot be evaluated on a reachable
@@ -17,7 +26,8 @@ history is not invariantly true.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, NamedTuple, Optional, Union
+from collections import deque
+from typing import Any, Deque, Mapping, NamedTuple, Optional, Tuple, Union
 
 from repro.assertions.ast import Formula
 from repro.assertions.eval import DEFAULT_EVAL_CONFIG, EvalConfig, evaluate_formula
@@ -29,7 +39,8 @@ from repro.process.definitions import DefinitionList, NO_DEFINITIONS
 from repro.sat.counterexample import Counterexample
 from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
 from repro.semantics.denotation import Denoter
-from repro.traces.histories import ch
+from repro.traces.events import Trace
+from repro.traces.histories import ChannelHistory, ch
 from repro.traces.prefix_closure import FiniteClosure
 from repro.values.domains import Domain
 from repro.values.environment import Environment
@@ -62,6 +73,7 @@ class SatChecker:
         config: SemanticsConfig = DEFAULT_CONFIG,
         eval_config: EvalConfig = DEFAULT_EVAL_CONFIG,
         engine: str = "denotational",
+        trie_walk: bool = True,
     ) -> None:
         if engine not in ("denotational", "operational"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -70,6 +82,7 @@ class SatChecker:
         self.config = config
         self.eval_config = eval_config
         self.engine = engine
+        self.trie_walk = trie_walk
 
     # -- trace supply ------------------------------------------------------
 
@@ -98,6 +111,59 @@ class SatChecker:
         formula = self._coerce(assertion, process)
         env = self.env.bind_all(dict(bindings or {}))
         closure = self.traces_of(process)
+        if self.trie_walk:
+            return self._check_trie(closure, formula, env, bindings)
+        return self._check_flat(closure, formula, env, bindings)
+
+    def _check_trie(
+        self,
+        closure: FiniteClosure,
+        formula: Formula,
+        env: Environment,
+        bindings: Optional[Mapping[str, Any]],
+    ) -> SatResult:
+        """Breadth-first trie walk with the channel history threaded down
+        each edge — one :meth:`ChannelHistory.with_appended` per *node*
+        instead of one full ``ch(s)`` pass per trace."""
+        root = closure.root
+        queue: Deque[Tuple[Trace, Any, ChannelHistory]] = deque(
+            [((), root, ChannelHistory())]
+        )
+        checked = 0
+        while queue:
+            trace, node, history = queue.popleft()
+            checked += 1
+            try:
+                ok = evaluate_formula(formula, env, history, self.eval_config)
+            except EvaluationError as exc:
+                return SatResult(
+                    False,
+                    Counterexample(trace, formula, bindings, error=str(exc)),
+                    checked,
+                )
+            if not ok:
+                return SatResult(
+                    False, Counterexample(trace, formula, bindings), checked
+                )
+            for event, child in node.items:
+                queue.append(
+                    (
+                        trace + (event,),
+                        child,
+                        history.with_appended(event.channel, event.message),
+                    )
+                )
+        return SatResult(True, None, checked)
+
+    def _check_flat(
+        self,
+        closure: FiniteClosure,
+        formula: Formula,
+        env: Environment,
+        bindings: Optional[Mapping[str, Any]],
+    ) -> SatResult:
+        """The reference per-trace loop: recompute ``ch(s)`` from scratch
+        for every trace (kept as the cross-check baseline)."""
         checked = 0
         for trace in closure:
             checked += 1

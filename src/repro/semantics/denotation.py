@@ -23,6 +23,14 @@ Definition bodies are denoted in the *base* environment (plus the array
 parameter, for arrays): equations are closed except for global bindings
 such as message types ``M`` and host functions, which makes memoisation by
 ``(name, argument, depth)`` sound.
+
+Unfoldings are memoised as hash-consed trie roots: a memo hit returns the
+*same* :class:`~repro.traces.trie.ClosureNode`, so every downstream
+operator's own memo table hits by pointer equality and shared subtrees
+are processed once per shape, not once per unfolding site.  ``kernel``
+selects the operator implementation — ``"trie"`` (the default, memoised
+recursive node functions) or ``"reference"`` (the flat-set baseline in
+:mod:`repro.traces._reference`, kept for cross-checks and benchmarks).
 """
 
 from __future__ import annotations
@@ -44,10 +52,15 @@ from repro.process.ast import (
 )
 from repro.process.definitions import DefinitionList, NO_DEFINITIONS
 from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
+from repro.traces import _reference as _reference_ops
+from repro.traces import operations as _trie_ops
 from repro.traces.events import Event
-from repro.traces.operations import hide, parallel, prefix, union_all
 from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
+from repro.traces.stats import KERNEL_STATS
 from repro.values.environment import Environment
+
+#: Operator implementations selectable per Denoter.
+KERNELS = {"trie": _trie_ops, "reference": _reference_ops}
 
 
 class Denoter:
@@ -68,11 +81,18 @@ class Denoter:
         env: Optional[Environment] = None,
         config: SemanticsConfig = DEFAULT_CONFIG,
         process_bindings: Optional[Dict[str, object]] = None,
+        kernel: str = "trie",
     ) -> None:
+        if kernel not in KERNELS:
+            raise SemanticsError(
+                f"unknown kernel {kernel!r}; choose from {sorted(KERNELS)}"
+            )
         self.definitions = definitions
         self.env = env if env is not None else Environment()
         self.config = config
         self.process_bindings = process_bindings or {}
+        self.kernel = kernel
+        self._ops = KERNELS[kernel]
         self._memo: Dict[Tuple[str, object, int], FiniteClosure] = {}
 
     # -- public API ---------------------------------------------------------
@@ -97,8 +117,9 @@ class Denoter:
         if isinstance(process, Input):
             return self._denote_input(process, env, depth)
         if isinstance(process, Choice):
-            return self._denote(process.left, env, depth).union(
-                self._denote(process.right, env, depth)
+            return self._ops.union(
+                self._denote(process.left, env, depth),
+                self._denote(process.right, env, depth),
             )
         if isinstance(process, Parallel):
             return self._denote_parallel(process, env, depth)
@@ -116,7 +137,7 @@ class Denoter:
         channel = process.channel.evaluate(env)
         message = process.message.evaluate(env)
         continuation = self._denote(process.continuation, env, depth - 1)
-        return prefix(Event(channel, message), continuation)
+        return self._ops.prefix(Event(channel, message), continuation)
 
     def _denote_input(self, process: Input, env: Environment, depth: int) -> FiniteClosure:
         if depth <= 0:
@@ -128,8 +149,8 @@ class Denoter:
             continuation = self._denote(
                 process.continuation, env.bind(process.variable, value), depth - 1
             )
-            branches.append(prefix(Event(channel, value), continuation))
-        return union_all(branches)
+            branches.append(self._ops.prefix(Event(channel, value), continuation))
+        return self._ops.union_all(branches)
 
     def _denote_parallel(self, process: Parallel, env: Environment, depth: int) -> FiniteClosure:
         if process.left_channels is not None:
@@ -142,13 +163,13 @@ class Denoter:
             y = concrete_channels(process.right, self.definitions, env)
         left = self._denote(process.left, env, depth)
         right = self._denote(process.right, env, depth)
-        return parallel(left, x, right, y, depth=depth)
+        return self._ops.parallel(left, x, right, y, depth=depth)
 
     def _denote_chan(self, process: Chan, env: Environment, depth: int) -> FiniteClosure:
         hidden = process.channels.evaluate(env)
         inner_depth = max(self.config.hide_depth, depth)
         body = self._denote(process.body, env, inner_depth)
-        return hide(body, hidden).truncate(depth)
+        return self._ops.truncate(self._ops.hide(body, hidden), depth)
 
     def _denote_name(self, process: Name, env: Environment, depth: int) -> FiniteClosure:
         if process.name in self.process_bindings:
@@ -157,10 +178,13 @@ class Denoter:
                 raise SemanticsError(
                     f"process name {process.name!r} bound to a non-closure"
                 )
-            return bound.truncate(depth)
+            return self._ops.truncate(bound, depth)
         key = (process.name, None, depth)
+        stats = KERNEL_STATS.memo("denote-unfold")
         if key in self._memo:
+            stats.hits += 1
             return self._memo[key]
+        stats.misses += 1
         definition = self.definitions.lookup_process(process.name)
         result = self._denote(definition.body, self.env, depth)
         self._memo[key] = result
@@ -179,7 +203,7 @@ class Denoter:
                 raise SemanticsError(
                     f"array binding for {process.name!r} returned a non-closure"
                 )
-            return closure.truncate(depth)
+            return self._ops.truncate(closure, depth)
         definition = self.definitions.lookup_array(process.name)
         domain = definition.domain.evaluate(self.env)
         if value not in domain:
@@ -188,8 +212,11 @@ class Denoter:
                 f"{domain!r}"
             )
         key = (process.name, value, depth)
+        stats = KERNEL_STATS.memo("denote-unfold")
         if key in self._memo:
+            stats.hits += 1
             return self._memo[key]
+        stats.misses += 1
         result = self._denote(
             definition.body, self.env.bind(definition.parameter, value), depth
         )
@@ -203,6 +230,7 @@ def denote(
     env: Optional[Environment] = None,
     config: SemanticsConfig = DEFAULT_CONFIG,
     depth: Optional[int] = None,
+    kernel: str = "trie",
 ) -> FiniteClosure:
     """One-shot convenience wrapper around :class:`Denoter`."""
-    return Denoter(definitions, env, config).denote(process, depth)
+    return Denoter(definitions, env, config, kernel=kernel).denote(process, depth)

@@ -30,8 +30,7 @@ treatment.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set
 
 from repro.operational.explorer import Explorer
 from repro.operational.state import State

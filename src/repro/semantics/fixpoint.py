@@ -16,11 +16,19 @@ forced through at least one communication prefix).
 The chain is the reproduction target of experiment E7 and doubles as an
 independent check of :class:`~repro.semantics.denotation.Denoter`'s
 unfold-on-demand strategy: both must agree at every depth.
+
+With the hash-consed trie kernel, each approximation level is a set of
+interned trie roots, so stabilisation is detected by **root identity**
+(``aᵢ₊₁.root is aᵢ.root`` per definition) — a handful of pointer
+comparisons instead of a trace-set comparison — and
+:meth:`ApproximationChain.level_deltas` reports how many traces and
+distinct nodes each level added, the paper's ``aᵢ ⊆ aᵢ₊₁`` made
+quantitative.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import SemanticsError
 from repro.process.definitions import ArrayDef, DefinitionList
@@ -32,6 +40,40 @@ from repro.values.environment import Environment
 #: One approximation level: per process name, a closure; per array name, a
 #: mapping from (sampled) subscript values to closures.
 Approximation = Dict[str, object]
+
+
+class LevelDelta(NamedTuple):
+    """Growth report for one approximation level aᵢ."""
+
+    level: int
+    traces: int  #: total traces across all definitions at this level
+    nodes: int  #: total distinct trie nodes across all definitions
+    new_traces: int  #: traces added relative to a_{i-1} (0 at the bottom)
+
+    def __str__(self) -> str:
+        return (
+            f"a{self.level}: {self.traces} traces in {self.nodes} nodes "
+            f"(+{self.new_traces})"
+        )
+
+
+def _level_closures(level: Approximation) -> Iterator[FiniteClosure]:
+    for value in level.values():
+        if isinstance(value, dict):
+            yield from value.values()
+        else:
+            yield value  # type: ignore[misc]
+
+
+def _levels_identical(before: Approximation, after: Approximation) -> bool:
+    """aᵢ₊₁ = aᵢ by root identity — hash-consing makes semantic equality
+    of closures coincide with pointer equality of their trie roots."""
+    for before_closure, after_closure in zip(
+        _level_closures(before), _level_closures(after)
+    ):
+        if before_closure.root is not after_closure.root:
+            return False
+    return True
 
 
 class ApproximationChain:
@@ -48,10 +90,12 @@ class ApproximationChain:
         definitions: DefinitionList,
         env: Optional[Environment] = None,
         config: SemanticsConfig = DEFAULT_CONFIG,
+        kernel: str = "trie",
     ) -> None:
         self.definitions = definitions
         self.env = env if env is not None else Environment()
         self.config = config
+        self.kernel = kernel
         self._levels: List[Approximation] = [self._bottom()]
 
     # -- chain construction ------------------------------------------------
@@ -101,6 +145,7 @@ class ApproximationChain:
             self.env,
             self.config,
             process_bindings=self._bindings_from(previous),
+            kernel=self.kernel,
         )
         nxt: Approximation = {}
         for definition in self.definitions:
@@ -135,7 +180,7 @@ class ApproximationChain:
         for step_count in range(max_steps):
             before = self._levels[-1]
             after = self.step()
-            if before == after:
+            if _levels_identical(before, after):
                 return step_count + 1
         raise SemanticsError(
             f"approximation chain did not stabilise in {max_steps} steps"
@@ -165,6 +210,23 @@ class ApproximationChain:
 
     def levels_computed(self) -> int:
         return len(self._levels)
+
+    def level_deltas(self) -> List[LevelDelta]:
+        """Per-level growth of the computed chain: total traces, distinct
+        trie nodes, and traces added over the previous level — the §3.3
+        monotone chain made quantitative (and the progress report of the
+        E7 benchmark)."""
+        deltas: List[LevelDelta] = []
+        previous_traces = 0
+        for i, level in enumerate(self._levels):
+            closures = list(_level_closures(level))
+            traces = sum(len(c) for c in closures)
+            nodes = sum(c.node_count() for c in closures)
+            deltas.append(
+                LevelDelta(i, traces, nodes, traces - previous_traces if i else 0)
+            )
+            previous_traces = traces
+        return deltas
 
     def is_monotone(self) -> bool:
         """Check aᵢ ⊆ aᵢ₊₁ across all computed levels (a model property the

@@ -25,7 +25,7 @@ from repro.errors import ReproError
 from repro.process import ast as P
 from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
 from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
-from repro.proof.judgments import ForAllSat, Judgment, Pure, Sat
+from repro.proof.judgments import ForAllSat, Pure, Sat
 from repro.proof.proof import ProofNode
 from repro.values import expressions as E
 

@@ -12,7 +12,9 @@ from repro.soundness.generators import AssertionGenerator, ProcessGenerator
 from repro.soundness.harness import (
     ALL_RULE_EXPERIMENTS,
     RuleExperimentResult,
+    SoundnessRun,
     run_all_rule_experiments,
+    run_all_with_kernel_stats,
     run_rule_experiment,
 )
 
@@ -20,7 +22,9 @@ __all__ = [
     "ProcessGenerator",
     "AssertionGenerator",
     "RuleExperimentResult",
+    "SoundnessRun",
     "run_rule_experiment",
     "run_all_rule_experiments",
+    "run_all_with_kernel_stats",
     "ALL_RULE_EXPERIMENTS",
 ]

@@ -10,7 +10,7 @@ and benchmarks are reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.assertions.ast import (
     Compare,

@@ -22,7 +22,6 @@ from repro.assertions.substitution import (
     expr_to_term,
     prefix_channel,
 )
-from repro.assertions.builders import chan_
 from repro.process.analysis import channel_names
 from repro.process.ast import (
     STOP,
@@ -316,3 +315,27 @@ def run_all_rule_experiments(
     return [
         run_rule_experiment(rule, trials, seed) for rule in ALL_RULE_EXPERIMENTS
     ]
+
+
+class SoundnessRun(NamedTuple):
+    """Rule-experiment results together with the trace-trie kernel
+    counters the run accumulated — E8 doubles as a stress test of the
+    kernel (thousands of small random closures), so its memo hit rates
+    are worth recording alongside the violation counts."""
+
+    results: List[RuleExperimentResult]
+    kernel_stats: Dict[str, object]
+
+    @property
+    def sound(self) -> bool:
+        return all(result.sound for result in self.results)
+
+
+def run_all_with_kernel_stats(trials: int = 200, seed: int = 0) -> SoundnessRun:
+    """Like :func:`run_all_rule_experiments`, but reset the kernel
+    counters first and return their snapshot with the results."""
+    from repro.traces.stats import reset_stats, snapshot
+
+    reset_stats()
+    results = run_all_rule_experiments(trials, seed)
+    return SoundnessRun(results, snapshot())

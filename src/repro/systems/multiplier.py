@@ -24,7 +24,7 @@ operational engine is the right tool — see
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Sequence
 
 from repro.assertions.ast import Formula
 from repro.assertions.parser import parse_assertion

@@ -25,7 +25,7 @@ Theorems reproduced:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from repro.assertions.ast import Formula, Implies, VarTerm
 from repro.assertions.parser import parse_assertion

@@ -4,9 +4,18 @@ A process denotes a *prefix-closed* set of traces over the alphabet of
 communications ``c.m``.  This package provides:
 
 * :mod:`repro.traces.events` — channels, communications, traces;
-* :mod:`repro.traces.prefix_closure` — finite prefix-closed trace sets;
+* :mod:`repro.traces.trie` — the hash-consed trace-trie kernel
+  (:class:`~repro.traces.trie.ClosureNode`): interned, shared subtrees,
+  pointer-equality semantics;
+* :mod:`repro.traces.prefix_closure` — finite prefix-closed trace sets,
+  a thin view over a trie root;
 * :mod:`repro.traces.operations` — the paper's operators ``a → P``,
-  ``P \\ C`` (hiding), ``P ⇑ C`` (padding), and ``P ‖ Q`` (parallel);
+  ``P \\ C`` (hiding), ``P ⇑ C`` (padding), and ``P ‖ Q`` (parallel),
+  as memoised recursive node functions;
+* :mod:`repro.traces._reference` — the flat-set reference operators the
+  kernel is property-tested against;
+* :mod:`repro.traces.stats` — interner / memo-table observability
+  counters (surfaced by ``repro stats``);
 * :mod:`repro.traces.histories` — the channel-history map ``ch(s)``.
 """
 
@@ -27,11 +36,16 @@ from repro.traces.operations import (
     after_event,
     hide,
     interleavings,
+    intersection,
     pad,
     parallel,
     prefix,
+    truncate,
+    union,
 )
 from repro.traces.prefix_closure import FiniteClosure, STOP_CLOSURE
+from repro.traces.stats import format_stats, reset_stats, snapshot
+from repro.traces.trie import ClosureNode, EMPTY_NODE, clear_interner, interner_size
 
 __all__ = [
     "Channel",
@@ -53,5 +67,15 @@ __all__ = [
     "hide",
     "pad",
     "parallel",
+    "union",
+    "intersection",
+    "truncate",
     "interleavings",
+    "ClosureNode",
+    "EMPTY_NODE",
+    "clear_interner",
+    "interner_size",
+    "format_stats",
+    "reset_stats",
+    "snapshot",
 ]

@@ -1,0 +1,155 @@
+"""Reference flat-set implementations of the §3.1 operators.
+
+These are the pre-kernel implementations: every operator enumerates the
+flat trace set and rebuilds the result trace by trace.  They are kept —
+unchanged in behaviour — as the *oracle* that the hash-consed trie
+operators in :mod:`repro.traces.operations` are property-tested against
+(``tests/traces/test_trie_equivalence.py``), the same cross-check
+discipline the denotational/operational engines already use (E1/E7).
+They also serve as the baseline side of ``benchmarks/bench_kernel.py``.
+
+Do not use these in production paths: they are O(traces), where the trie
+operators are O(distinct subtrees).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional, Set, Tuple
+
+from repro.traces.events import (
+    EMPTY_TRACE,
+    Channel,
+    Event,
+    Trace,
+    restrict,
+)
+from repro.traces.prefix_closure import FiniteClosure
+
+
+def prefix(a: Event, p: FiniteClosure) -> FiniteClosure:
+    """``(a → P)`` by per-trace concatenation."""
+    traces: Set[Trace] = {EMPTY_TRACE}
+    for s in p.traces:
+        traces.add((a,) + s)
+    return FiniteClosure(frozenset(traces), _trusted=True)
+
+
+def after_event(p: FiniteClosure, a: Event) -> FiniteClosure:
+    """``P after a`` by per-trace slicing."""
+    traces = frozenset(s[1:] for s in p.traces if s and s[0] == a)
+    return FiniteClosure(traces | {EMPTY_TRACE}, _trusted=True)
+
+
+def hide(p: FiniteClosure, channels: Iterable[Channel]) -> FiniteClosure:
+    """``P \\ C`` by per-trace restriction."""
+    hidden = frozenset(channels)
+    return FiniteClosure(
+        frozenset(restrict(s, hidden) for s in p.traces), _trusted=True
+    )
+
+
+def union(p: FiniteClosure, q: FiniteClosure) -> FiniteClosure:
+    """``P ∪ Q`` on the flat sets."""
+    return FiniteClosure(p.traces | q.traces, _trusted=True)
+
+
+def intersection(p: FiniteClosure, q: FiniteClosure) -> FiniteClosure:
+    """``P ∩ Q`` on the flat sets."""
+    return FiniteClosure(p.traces & q.traces, _trusted=True)
+
+
+def truncate(p: FiniteClosure, depth: int) -> FiniteClosure:
+    """Length filter on the flat set."""
+    return FiniteClosure(
+        frozenset(s for s in p.traces if len(s) <= depth), _trusted=True
+    )
+
+
+def pad(
+    p: FiniteClosure,
+    channels: Iterable[Channel],
+    pad_events: Iterable[Event],
+    depth: int,
+) -> FiniteClosure:
+    """``P ⇑ C`` by breadth-first state enumeration."""
+    pad_set = tuple(sorted(set(pad_events), key=Event.sort_key))
+    chan_set = frozenset(channels)
+    for e in pad_set:
+        if e.channel not in chan_set:
+            raise ValueError(f"padding event {e!r} not on a padding channel")
+
+    results: Set[Trace] = set()
+    # BFS over (emitted trace, progress inside P).
+    queue: Deque[Tuple[Trace, Trace]] = deque([(EMPTY_TRACE, EMPTY_TRACE)])
+    seen: Set[Tuple[Trace, Trace]] = {(EMPTY_TRACE, EMPTY_TRACE)}
+    while queue:
+        emitted, progress = queue.popleft()
+        results.add(emitted)
+        if len(emitted) >= depth:
+            continue
+        for a in p.initials_after(progress):
+            state = (emitted + (a,), progress + (a,))
+            if state not in seen:
+                seen.add(state)
+                queue.append(state)
+        for a in pad_set:
+            state = (emitted + (a,), progress)
+            if state not in seen:
+                seen.add(state)
+                queue.append(state)
+    return FiniteClosure(frozenset(results), _trusted=True)
+
+
+def parallel(
+    p: FiniteClosure,
+    x: Iterable[Channel],
+    q: FiniteClosure,
+    y: Iterable[Channel],
+    depth: Optional[int] = None,
+) -> FiniteClosure:
+    """``P ‖_{X,Y} Q`` by breadth-first synchronised merge over flat
+    projections."""
+    x_set = frozenset(x)
+    y_set = frozenset(y)
+    missing_p = p.channels() - x_set
+    if missing_p:
+        raise ValueError(f"left process uses channels outside X: {sorted(missing_p)}")
+    missing_q = q.channels() - y_set
+    if missing_q:
+        raise ValueError(f"right process uses channels outside Y: {sorted(missing_q)}")
+    shared = x_set & y_set
+
+    if depth is None:
+        depth = p.depth() + q.depth()
+
+    results: Set[Trace] = set()
+    # BFS over (product trace, P-projection, Q-projection).
+    queue: Deque[Tuple[Trace, Trace, Trace]] = deque(
+        [(EMPTY_TRACE, EMPTY_TRACE, EMPTY_TRACE)]
+    )
+    while queue:
+        emitted, sp, sq = queue.popleft()
+        results.add(emitted)
+        if len(emitted) >= depth:
+            continue
+        p_next = p.initials_after(sp)
+        q_next = q.initials_after(sq)
+        for a in p_next:
+            if a.channel in shared:
+                if a in q_next:
+                    queue.append((emitted + (a,), sp + (a,), sq + (a,)))
+            else:
+                queue.append((emitted + (a,), sp + (a,), sq))
+        for a in q_next:
+            if a.channel not in shared:
+                queue.append((emitted + (a,), sp, sq + (a,)))
+    return FiniteClosure(frozenset(results), _trusted=True)
+
+
+def union_all(closures: Iterable[FiniteClosure]) -> FiniteClosure:
+    """∪ᵢ Pᵢ on the flat sets."""
+    traces: Set[Trace] = {EMPTY_TRACE}
+    for c in closures:
+        traces |= c.traces
+    return FiniteClosure(frozenset(traces), _trusted=True)

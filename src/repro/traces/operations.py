@@ -1,4 +1,4 @@
-"""The paper's operators on prefix closures (§3.1).
+"""The paper's operators on prefix closures (§3.1), over the trie kernel.
 
 * ``prefix(a, P)``       — ``(a → P) = {⟨⟩} ∪ {a⌢s | s ∈ P}``;
 * ``hide(P, C)``         — ``P \\ C = {s \\ C | s ∈ P}`` (the ``chan`` operator);
@@ -7,42 +7,76 @@
 * ``parallel(P, X, Q, Y)`` — ``P ‖_{X,Y} Q = (P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y))``,
   computed directly by synchronised merge rather than by building the two
   padded sets (which are huge);
-* ``after_event(P, a)``  — the derivative ``{s | a⌢s ∈ P}``.
+* ``after_event(P, a)``  — the derivative ``{s | a⌢s ∈ P}``;
+* ``union``/``intersection``/``truncate`` — the lattice operations,
+  re-exported from the kernel for symmetry.
 
-All functions return new :class:`FiniteClosure` values; every result is
-prefix-closed by construction (the §3.1 theorems, which the property tests
-re-verify).
+Every operator is a recursive function over hash-consed
+:class:`~repro.traces.trie.ClosureNode` values with a per-operation memo
+table: a subtree shared by many traces is processed **once**, not once
+per trace.  Results are prefix-closed by construction (the §3.1
+theorems; the property tests in ``tests/traces/test_trie_equivalence.py``
+re-verify each operator against the flat-set reference in
+:mod:`repro.traces._reference`).
 """
 
 from __future__ import annotations
 
-from typing import Deque, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
-from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
-from repro.traces.events import (
-    EMPTY_TRACE,
-    Channel,
-    Event,
-    Trace,
-    restrict,
-)
+from repro.errors import SemanticsError
+from repro.traces.events import Channel, Event, Trace
 from repro.traces.prefix_closure import FiniteClosure
+from repro.traces.stats import KERNEL_STATS
+from repro.traces.trie import (
+    EMPTY_NODE,
+    ClosureNode,
+    make_node,
+    register_memo,
+    truncate_node,
+    union_nodes,
+)
+
+#: Refuse a fully-interleaved (no shared channel) parallel composition
+#: once the product of the component trace counts passes this bound: the
+#: result would be a combinatorial interleaving explosion that no sharing
+#: can absorb.  Callers that really mean it can pre-truncate the
+#: components or pass an explicit small ``depth``.
+MAX_DISJOINT_PRODUCT = 250_000
+
+_HIDE_MEMO: Dict[Tuple[ClosureNode, FrozenSet[Channel]], ClosureNode] = register_memo({})
+_PAD_MEMO: Dict[Tuple[ClosureNode, Tuple[Event, ...], int], ClosureNode] = register_memo({})
+_PAR_MEMO: Dict[Tuple[ClosureNode, ClosureNode, FrozenSet[Channel], int], ClosureNode] = register_memo({})
 
 
 def prefix(a: Event, p: FiniteClosure) -> FiniteClosure:
     """``(a → P)`` — the process that first communicates ``a``, then
-    behaves like ``P`` (§3.1)."""
-    traces: Set[Trace] = {EMPTY_TRACE}
-    for s in p.traces:
-        traces.add((a,) + s)
-    return FiniteClosure(frozenset(traces), _trusted=True)
+    behaves like ``P`` (§3.1).  One node allocation; ``P``'s trie is
+    shared, not copied."""
+    return FiniteClosure.from_node(make_node({a: p.root}))
 
 
 def after_event(p: FiniteClosure, a: Event) -> FiniteClosure:
     """``P after a`` — the behaviours of ``P`` once ``a`` has occurred:
-    ``{s | a⌢s ∈ P}``.  Empty behaviour (STOP) if ``a`` is impossible."""
-    traces = frozenset(s[1:] for s in p.traces if s and s[0] == a)
-    return FiniteClosure(traces | {EMPTY_TRACE}, _trusted=True)
+    ``{s | a⌢s ∈ P}``.  Empty behaviour (STOP) if ``a`` is impossible.
+    A single child lookup on the trie."""
+    child = p.root.children.get(a)
+    return FiniteClosure.from_node(child if child is not None else EMPTY_NODE)
+
+
+def union(p: FiniteClosure, q: FiniteClosure) -> FiniteClosure:
+    """``P ∪ Q`` (§3.1) — memoised recursive merge."""
+    return p.union(q)
+
+
+def intersection(p: FiniteClosure, q: FiniteClosure) -> FiniteClosure:
+    """``P ∩ Q`` (§3.1) — memoised recursive meet."""
+    return p.intersection(q)
+
+
+def truncate(p: FiniteClosure, depth: int) -> FiniteClosure:
+    """Traces of length ≤ ``depth``."""
+    return p.truncate(depth)
 
 
 def hide(p: FiniteClosure, channels: Iterable[Channel]) -> FiniteClosure:
@@ -50,12 +84,35 @@ def hide(p: FiniteClosure, channels: Iterable[Channel]) -> FiniteClosure:
     (the semantics of ``chan C; P``, §3.1/§3.2).
 
     Restricting a prefix-closed set is prefix-closed: ``(st)\\C`` always
-    begins with ``s\\C``.
+    begins with ``s\\C``.  On the trie, hiding a child edge unions the
+    hidden child's (recursively hidden) subtree into the current node.
     """
     hidden = frozenset(channels)
-    return FiniteClosure(
-        frozenset(restrict(s, hidden) for s in p.traces), _trusted=True
-    )
+    if not hidden:
+        return p
+    return FiniteClosure.from_node(_hide_node(p.root, hidden))
+
+
+def _hide_node(node: ClosureNode, hidden: FrozenSet[Channel]) -> ClosureNode:
+    if node is EMPTY_NODE:
+        return EMPTY_NODE
+    key = (node, hidden)
+    stats = KERNEL_STATS.memo("hide")
+    cached = _HIDE_MEMO.get(key)
+    if cached is not None:
+        stats.hits += 1
+        return cached
+    stats.misses += 1
+    visible: Dict[Event, ClosureNode] = {}
+    absorbed = EMPTY_NODE
+    for event, child in node.items:
+        if event.channel in hidden:
+            absorbed = union_nodes(absorbed, _hide_node(child, hidden))
+        else:
+            visible[event] = _hide_node(child, hidden)
+    result = union_nodes(make_node(visible), absorbed)
+    _HIDE_MEMO[key] = result
+    return result
 
 
 def pad(
@@ -72,33 +129,52 @@ def pad(
     finite representation needs an explicit finite alphabet, so callers
     pass ``pad_events`` (every event must lie on a channel of ``C``) and a
     ``depth`` bound on result length.
+
+    .. warning::
+       Padding is intrinsically exponential: every one of the ``k``
+       padding events may occur at every position of every trace, so the
+       result grows as Θ((k+1)^depth) even for a singleton ``P``.  Keep
+       ``depth`` small, or prefer :func:`parallel`, which merges without
+       materialising the padded sets.
     """
+    if depth < 0:
+        raise ValueError(f"pad depth must be non-negative, got {depth}")
     pad_set = tuple(sorted(set(pad_events), key=Event.sort_key))
     chan_set = frozenset(channels)
     for e in pad_set:
         if e.channel not in chan_set:
             raise ValueError(f"padding event {e!r} not on a padding channel")
+    return FiniteClosure.from_node(_pad_node(p.root, pad_set, depth))
 
-    results: Set[Trace] = set()
-    # BFS over (emitted trace, progress inside P).
-    queue: Deque[Tuple[Trace, Trace]] = deque([(EMPTY_TRACE, EMPTY_TRACE)])
-    seen: Set[Tuple[Trace, Trace]] = {(EMPTY_TRACE, EMPTY_TRACE)}
-    while queue:
-        emitted, progress = queue.popleft()
-        results.add(emitted)
-        if len(emitted) >= depth:
-            continue
-        for a in p.initials_after(progress):
-            state = (emitted + (a,), progress + (a,))
-            if state not in seen:
-                seen.add(state)
-                queue.append(state)
-        for a in pad_set:
-            state = (emitted + (a,), progress)
-            if state not in seen:
-                seen.add(state)
-                queue.append(state)
-    return FiniteClosure(frozenset(results), _trusted=True)
+
+def _pad_node(
+    node: ClosureNode, pad_set: Tuple[Event, ...], depth: int
+) -> ClosureNode:
+    if depth <= 0:
+        return EMPTY_NODE
+    if not pad_set:
+        return truncate_node(node, depth)
+    key = (node, pad_set, depth)
+    stats = KERNEL_STATS.memo("pad")
+    cached = _PAD_MEMO.get(key)
+    if cached is not None:
+        stats.hits += 1
+        return cached
+    stats.misses += 1
+    children: Dict[Event, ClosureNode] = {
+        event: _pad_node(child, pad_set, depth - 1) for event, child in node.items
+    }
+    # A padding event leaves progress inside P unchanged; if P itself can
+    # also perform it, both continuations are possible — union them.
+    stalled = _pad_node(node, pad_set, depth - 1)
+    for event in pad_set:
+        existing = children.get(event)
+        children[event] = (
+            union_nodes(existing, stalled) if existing is not None else stalled
+        )
+    result = make_node(children)
+    _PAD_MEMO[key] = result
+    return result
 
 
 def parallel(
@@ -116,9 +192,17 @@ def parallel(
     ``X ∩ Y`` need simultaneous participation of both components, events on
     private channels proceed independently.
 
-    Computed by synchronised merge over the two tries — equivalent to the
-    paper's ``(P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y))`` but without materialising the
-    padded sets (an equivalence the test suite checks on small instances).
+    Computed by memoised synchronised merge over the two tries —
+    equivalent to the paper's ``(P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y))`` but without
+    materialising the padded sets (an equivalence the test suite checks on
+    small instances).  Each distinct ``(P-subtree, Q-subtree)`` pair is
+    merged once, however many interleavings reach it.
+
+    When ``X`` and ``Y`` are disjoint there is no synchronisation at all
+    and the result is the full interleaving of the two trace sets, which
+    explodes combinatorially; beyond :data:`MAX_DISJOINT_PRODUCT` the
+    composition raises :class:`~repro.errors.SemanticsError` rather than
+    silently building an enormous intermediate.
     """
     x_set = frozenset(x)
     y_set = frozenset(y)
@@ -130,31 +214,55 @@ def parallel(
         raise ValueError(f"right process uses channels outside Y: {sorted(missing_q)}")
     shared = x_set & y_set
 
+    if not shared and len(p) * len(q) > MAX_DISJOINT_PRODUCT:
+        raise SemanticsError(
+            f"parallel composition with disjoint alphabets X ∩ Y = ∅ would "
+            f"interleave {len(p)} × {len(q)} traces — an exponential padding "
+            f"blow-up; truncate the components or synchronise on a shared "
+            f"channel"
+        )
+
     if depth is None:
         depth = p.depth() + q.depth()
 
-    results: Set[Trace] = set()
-    # BFS over (product trace, P-projection, Q-projection).
-    queue: Deque[Tuple[Trace, Trace, Trace]] = deque(
-        [(EMPTY_TRACE, EMPTY_TRACE, EMPTY_TRACE)]
-    )
-    while queue:
-        emitted, sp, sq = queue.popleft()
-        results.add(emitted)
-        if len(emitted) >= depth:
-            continue
-        p_next = p.initials_after(sp)
-        q_next = q.initials_after(sq)
-        for a in p_next:
-            if a.channel in shared:
-                if a in q_next:
-                    queue.append((emitted + (a,), sp + (a,), sq + (a,)))
-            else:
-                queue.append((emitted + (a,), sp + (a,), sq))
-        for a in q_next:
-            if a.channel not in shared:
-                queue.append((emitted + (a,), sp, sq + (a,)))
-    return FiniteClosure(frozenset(results), _trusted=True)
+    return FiniteClosure.from_node(_par_node(p.root, q.root, shared, depth))
+
+
+def _par_node(
+    np: ClosureNode,
+    nq: ClosureNode,
+    shared: FrozenSet[Channel],
+    depth: int,
+) -> ClosureNode:
+    if depth <= 0 or (np is EMPTY_NODE and nq is EMPTY_NODE):
+        return EMPTY_NODE
+    key = (np, nq, shared, depth)
+    stats = KERNEL_STATS.memo("parallel")
+    cached = _PAR_MEMO.get(key)
+    if cached is not None:
+        stats.hits += 1
+        return cached
+    stats.misses += 1
+    children: Dict[Event, ClosureNode] = {}
+    for event, p_child in np.items:
+        if event.channel in shared:
+            q_child = nq.children.get(event)
+            if q_child is not None:
+                children[event] = _par_node(p_child, q_child, shared, depth - 1)
+        else:
+            children[event] = _par_node(p_child, nq, shared, depth - 1)
+    for event, q_child in nq.items:
+        if event.channel not in shared:
+            # X-coverage makes a private-event collision impossible (it
+            # would put the channel in X ∩ Y); union defensively anyway.
+            existing = children.get(event)
+            merged = _par_node(np, q_child, shared, depth - 1)
+            children[event] = (
+                union_nodes(existing, merged) if existing is not None else merged
+            )
+    result = make_node(children)
+    _PAR_MEMO[key] = result
+    return result
 
 
 def interleavings(s: Trace, t: Trace) -> Iterator[Trace]:
@@ -177,7 +285,7 @@ def interleavings(s: Trace, t: Trace) -> Iterator[Trace]:
 
 def union_all(closures: Iterable[FiniteClosure]) -> FiniteClosure:
     """∪ᵢ Pᵢ — prefix closures are closed under arbitrary unions (§3.1)."""
-    traces: Set[Trace] = {EMPTY_TRACE}
+    root = EMPTY_NODE
     for c in closures:
-        traces |= c.traces
-    return FiniteClosure(frozenset(traces), _trusted=True)
+        root = union_nodes(root, c.root)
+    return FiniteClosure.from_node(root)

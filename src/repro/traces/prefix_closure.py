@@ -6,17 +6,35 @@ infinite; :class:`FiniteClosure` holds the finite fragment up to some
 depth, which is exactly what the bounded denotational semantics
 (:mod:`repro.semantics.denotation`) computes.
 
-A :class:`FiniteClosure` indexes its traces as a trie so that
-``initials_after`` — the set of possible next events after a trace — is a
-dictionary lookup.  That operation drives both the parallel-composition
-operator and the satisfaction checker.
+A :class:`FiniteClosure` is a thin view over a hash-consed trace trie
+(:mod:`repro.traces.trie`): the closure *is* its root
+:class:`~repro.traces.trie.ClosureNode`, prefix closure holds by
+construction, equality is pointer equality of roots, and the flat
+``frozenset`` of traces is a lazily derived property kept only for
+callers that ask for it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, Optional
 
-from repro.traces.events import EMPTY_TRACE, Channel, Event, Trace, trace_channels
+from repro.traces.events import EMPTY_TRACE, Channel, Event, Trace
+from repro.traces.trie import (
+    EMPTY_NODE,
+    ClosureNode,
+    contains_trace,
+    descend,
+    distinct_nodes,
+    intersect_nodes,
+    iter_trace_set,
+    iter_traces,
+    maximal_traces,
+    node_channels,
+    node_from_traces,
+    subset_nodes,
+    truncate_node,
+    union_nodes,
+)
 
 
 class FiniteClosure:
@@ -25,10 +43,12 @@ class FiniteClosure:
     Construct with :meth:`from_traces` (which closes the input under
     prefixes) or the constructor (which *verifies* closure).  All set
     operations from §3.1 that stay finite are provided: union,
-    intersection, membership, and the lattice order.
+    intersection, membership, and the lattice order.  Internally the set
+    is an interned trie, so two equal closures share one root node and
+    ``==`` is a pointer comparison.
     """
 
-    __slots__ = ("_traces", "_initials", "_channels")
+    __slots__ = ("_root", "_traces")
 
     def __init__(self, traces: Iterable[Trace], _trusted: bool = False) -> None:
         trace_set = frozenset(traces)
@@ -38,20 +58,29 @@ class FiniteClosure:
             for s in trace_set:
                 if s and s[:-1] not in trace_set:
                     raise ValueError(f"not prefix-closed: missing prefix of {s!r}")
-        self._traces: FrozenSet[Trace] = trace_set
-        self._initials: Optional[Dict[Trace, FrozenSet[Event]]] = None
-        self._channels: Optional[FrozenSet[Channel]] = None
+        self._root: ClosureNode = node_from_traces(trace_set)
+        # Cache the flat set only when it matches the trie exactly (a
+        # trusted caller passing a non-closed set gets the closure).
+        self._traces: Optional[FrozenSet[Trace]] = (
+            trace_set if len(trace_set) == self._root.count else None
+        )
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
     def from_traces(cls, traces: Iterable[Trace]) -> "FiniteClosure":
         """The prefix closure of an arbitrary finite set of traces."""
-        closed: Set[Trace] = {EMPTY_TRACE}
-        for s in traces:
-            for i in range(1, len(s) + 1):
-                closed.add(s[:i])
-        return cls(frozenset(closed), _trusted=True)
+        return cls.from_node(node_from_traces(traces))
+
+    @classmethod
+    def from_node(cls, root: ClosureNode) -> "FiniteClosure":
+        """Wrap an interned trie root directly (the operators' fast path)."""
+        if root is EMPTY_NODE:
+            return STOP_CLOSURE
+        closure = cls.__new__(cls)
+        closure._root = root
+        closure._traces = None
+        return closure
 
     @classmethod
     def stop(cls) -> "FiniteClosure":
@@ -61,93 +90,99 @@ class FiniteClosure:
     # -- basic queries ---------------------------------------------------
 
     @property
+    def root(self) -> ClosureNode:
+        """The interned trie root — the canonical identity of this set."""
+        return self._root
+
+    @property
     def traces(self) -> FrozenSet[Trace]:
+        """The flat trace set, derived from the trie on first access."""
+        if self._traces is None:
+            self._traces = iter_trace_set(self._root)
         return self._traces
 
     def __contains__(self, s: object) -> bool:
-        return s in self._traces
+        return isinstance(s, tuple) and contains_trace(self._root, s)
 
     def __iter__(self) -> Iterator[Trace]:
-        return iter(sorted(self._traces, key=lambda s: (len(s), tuple(e.sort_key() for e in s))))
+        return iter_traces(self._root)
 
     def __len__(self) -> int:
-        return len(self._traces)
+        return self._root.count
 
     def depth(self) -> int:
         """Length of the longest trace present."""
-        return max((len(s) for s in self._traces), default=0)
+        return self._root.height
+
+    def node_count(self) -> int:
+        """Distinct trie nodes reachable from the root — the storage cost
+        after sharing, as opposed to ``len(self)`` traces."""
+        return distinct_nodes(self._root)
 
     def channels(self) -> FrozenSet[Channel]:
         """All channels occurring in any trace."""
-        if self._channels is None:
-            chans: Set[Channel] = set()
-            for s in self._traces:
-                chans |= trace_channels(s)
-            self._channels = frozenset(chans)
-        return self._channels
+        return node_channels(self._root)
 
     def maximal_traces(self) -> FrozenSet[Trace]:
         """Traces with no extension in the set (the trie's leaves)."""
-        return frozenset(
-            s for s in self._traces if not self.initials_after(s)
-        )
+        return maximal_traces(self._root)
 
     # -- trie view ---------------------------------------------------------
 
-    def _build_index(self) -> Dict[Trace, FrozenSet[Event]]:
-        index: Dict[Trace, Set[Event]] = {s: set() for s in self._traces}
-        for s in self._traces:
-            if s:
-                index[s[:-1]].add(s[-1])
-        return {s: frozenset(events) for s, events in index.items()}
+    def after(self, s: Trace) -> Optional[ClosureNode]:
+        """The subtree after ``s`` — ``{t | s⌢t ∈ P}`` — or ``None`` if
+        ``s`` is not a trace of the set."""
+        return descend(self._root, s)
 
     def initials_after(self, s: Trace) -> FrozenSet[Event]:
         """The events ``a`` with ``s ++ ⟨a⟩`` in the set; empty frozenset if
         ``s`` itself is absent."""
-        if self._initials is None:
-            self._initials = self._build_index()
-        return self._initials.get(s, frozenset())
+        node = descend(self._root, s)
+        if node is None:
+            return frozenset()
+        return frozenset(node.children)
 
     def initials(self) -> FrozenSet[Event]:
         """Possible first events: ``initials_after(⟨⟩)``."""
-        return self.initials_after(EMPTY_TRACE)
+        return frozenset(self._root.children)
 
     # -- lattice operations (§3.1) -----------------------------------------
 
     def union(self, other: "FiniteClosure") -> "FiniteClosure":
         """Set union; prefix closures are closed under arbitrary unions."""
-        return FiniteClosure(self._traces | other._traces, _trusted=True)
+        return FiniteClosure.from_node(union_nodes(self._root, other._root))
 
     def intersection(self, other: "FiniteClosure") -> "FiniteClosure":
         """Set intersection; closed under arbitrary intersections."""
-        return FiniteClosure(self._traces & other._traces, _trusted=True)
+        return FiniteClosure.from_node(intersect_nodes(self._root, other._root))
 
     def issubset(self, other: "FiniteClosure") -> bool:
         """The lattice order ⊆."""
-        return self._traces <= other._traces
+        return subset_nodes(self._root, other._root)
 
     def truncate(self, depth: int) -> "FiniteClosure":
         """Only the traces of length ≤ ``depth`` (still prefix-closed)."""
-        return FiniteClosure(
-            frozenset(s for s in self._traces if len(s) <= depth), _trusted=True
-        )
+        return FiniteClosure.from_node(truncate_node(self._root, depth))
 
     def is_prefix_closed(self) -> bool:
-        """Re-verify the closure invariant (used by property tests)."""
-        if EMPTY_TRACE not in self._traces:
+        """Closure holds by construction in the trie representation; kept
+        (and re-derived from the flat set) for the property tests that
+        re-verify the §3.1 theorems against the definition."""
+        trace_set = self.traces
+        if EMPTY_TRACE not in trace_set:
             return False
-        return all(s[:-1] in self._traces for s in self._traces if s)
+        return all(s[:-1] in trace_set for s in trace_set if s)
 
     # -- value semantics -----------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, FiniteClosure) and self._traces == other._traces
+        return isinstance(other, FiniteClosure) and self._root is other._root
 
     def __hash__(self) -> int:
-        return hash(self._traces)
+        return hash(self._root)
 
     def __repr__(self) -> str:
-        n = len(self._traces)
+        n = len(self)
         if n <= 8:
             inner = ", ".join(repr(s) for s in self)
             return f"FiniteClosure({{{inner}}})"
@@ -155,13 +190,15 @@ class FiniteClosure:
 
 
 #: Shared ⟦STOP⟧ = {⟨⟩}.
-STOP_CLOSURE = FiniteClosure(frozenset({EMPTY_TRACE}), _trusted=True)
+STOP_CLOSURE = FiniteClosure.__new__(FiniteClosure)
+STOP_CLOSURE._root = EMPTY_NODE
+STOP_CLOSURE._traces = frozenset({EMPTY_TRACE})
 
 
 def closure_union(closures: Iterable[FiniteClosure]) -> FiniteClosure:
     """Union of arbitrarily many closures, e.g. ∪ᵢ aᵢ in the fixpoint
     construction (§3.3)."""
-    traces: Set[Trace] = {EMPTY_TRACE}
+    root = EMPTY_NODE
     for closure in closures:
-        traces |= closure.traces
-    return FiniteClosure(frozenset(traces), _trusted=True)
+        root = union_nodes(root, closure._root)
+    return FiniteClosure.from_node(root)

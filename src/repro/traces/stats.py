@@ -1,0 +1,134 @@
+"""Observability counters for the trace-trie kernel.
+
+Every hash-consed node construction and every per-operator memo table in
+:mod:`repro.traces.trie` and :mod:`repro.traces.operations` reports into
+the process-wide :class:`KernelStats` singleton.  The counters answer the
+questions every later performance PR needs answered first:
+
+* how large is the interner (distinct subtrees alive)?
+* how often does hash-consing pay (interner hits vs. fresh nodes)?
+* which operator memo tables are hot, and what are their hit rates?
+
+``repro stats`` (the CLI subcommand) prints :func:`format_stats` after a
+denotation or sat-check run; benchmarks snapshot/reset around timed
+sections so numbers are attributable to one workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MemoStats:
+    """Hit/miss counters for one operator's memo table."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class KernelStats:
+    """Process-wide kernel counters (one instance: :data:`KERNEL_STATS`)."""
+
+    __slots__ = ("interner_hits", "interner_misses", "memos")
+
+    def __init__(self) -> None:
+        self.interner_hits = 0
+        self.interner_misses = 0
+        self.memos: Dict[str, MemoStats] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def memo(self, operator: str) -> MemoStats:
+        """The counters for ``operator``, created on first use."""
+        try:
+            return self.memos[operator]
+        except KeyError:
+            stats = self.memos[operator] = MemoStats()
+            return stats
+
+    # -- reporting ---------------------------------------------------------
+
+    def interner_size(self) -> int:
+        """Distinct subtrees currently interned."""
+        from repro.traces.trie import interner_size
+
+        return interner_size()
+
+    def snapshot(self) -> Dict[str, object]:
+        """All counters as a JSON-friendly dict."""
+        lookups = self.interner_hits + self.interner_misses
+        return {
+            "interner": {
+                "size": self.interner_size(),
+                "hits": self.interner_hits,
+                "misses": self.interner_misses,
+                "hit_rate": round(self.interner_hits / lookups, 4) if lookups else 0.0,
+            },
+            "memos": {
+                name: stats.as_dict() for name, stats in sorted(self.memos.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (the interner itself is cleared separately by
+        :func:`repro.traces.trie.clear_interner`)."""
+        self.interner_hits = 0
+        self.interner_misses = 0
+        self.memos.clear()
+
+
+#: The process-wide counter registry.
+KERNEL_STATS = KernelStats()
+
+
+def reset_stats() -> None:
+    """Zero all kernel counters."""
+    KERNEL_STATS.reset()
+
+
+def snapshot() -> Dict[str, object]:
+    """Current counters as a JSON-friendly dict."""
+    return KERNEL_STATS.snapshot()
+
+
+def format_stats() -> str:
+    """Human-readable counter report (the body of ``repro stats``)."""
+    snap = KERNEL_STATS.snapshot()
+    interner = snap["interner"]
+    lines = [
+        "trace-trie kernel statistics",
+        f"  interner: {interner['size']} nodes alive, "
+        f"{interner['hits']} hits / {interner['misses']} misses "
+        f"(hit rate {interner['hit_rate']:.1%})",
+    ]
+    memos = snap["memos"]
+    if memos:
+        lines.append("  memo tables:")
+        width = max(len(name) for name in memos)
+        for name, stats in memos.items():
+            lines.append(
+                f"    {name:<{width}}  hits={stats['hits']:<8} "
+                f"misses={stats['misses']:<8} hit rate {stats['hit_rate']:.1%}"
+            )
+    else:
+        lines.append("  memo tables: (no operator calls recorded)")
+    return "\n".join(lines)

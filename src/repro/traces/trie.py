@@ -1,0 +1,332 @@
+"""Hash-consed trace tries — the kernel representation of prefix closures.
+
+A prefix-closed set of traces (paper §3.1) *is* a tree: the root is the
+empty trace, and a node has one child per event that can extend it.  A
+:class:`ClosureNode` is one such tree, immutable and **structurally
+hash-consed**: building a node whose (event → child) map was built before
+returns the existing object, so
+
+* identical subtrees are shared, storing a closure in space proportional
+  to its *distinct* suffix behaviours rather than its trace count;
+* semantic equality of closures is **pointer equality** of roots, making
+  memo tables keyed on nodes O(1) and exact;
+* prefix closure holds **by construction** — every node reachable from a
+  root is itself a member, so there is nothing to verify at runtime.
+
+Operators over nodes live in :mod:`repro.traces.operations`; this module
+provides construction, interning, and the derived queries
+(:func:`iter_traces`, :func:`descend`, :func:`node_channels`).  All
+counters report into :mod:`repro.traces.stats`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Tuple,
+)
+
+from repro.traces.events import EMPTY_TRACE, Channel, Event, Trace
+from repro.traces.stats import KERNEL_STATS
+
+
+class ClosureNode:
+    """One interned trie node = one prefix-closed trace set.
+
+    Never construct directly — go through :func:`make_node` (or the
+    operators), which intern structurally identical nodes.  Equality and
+    hashing are object identity, which interning makes coincide with
+    structural equality.
+    """
+
+    __slots__ = ("children", "items", "count", "height", "_channels")
+
+    def __init__(self, items: Tuple[Tuple[Event, "ClosureNode"], ...]) -> None:
+        self.items = items
+        self.children: Dict[Event, ClosureNode] = dict(items)
+        self.count: int = 1 + sum(child.count for _, child in items)
+        self.height: int = (
+            1 + max(child.height for _, child in items) if items else 0
+        )
+        self._channels: Optional[FrozenSet[Channel]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.items
+
+    def __repr__(self) -> str:
+        return f"ClosureNode(<{self.count} traces, height {self.height}>)"
+
+
+#: event → child-id pairs; children are interned first, so their ids are
+#: stable for as long as the interner holds them.
+_InternKey = Tuple[Tuple[Event, int], ...]
+
+_INTERNER: Dict[_InternKey, ClosureNode] = {}
+
+#: Memo tables (registered by the operator layer) that key on node
+#: identity; cleared together with the interner so no table can hold a
+#: key whose id might be reused.
+_MEMO_REGISTRY: List[MutableMapping] = []
+
+
+def register_memo(table: MutableMapping) -> MutableMapping:
+    """Register an identity-keyed memo table for interner-reset clearing."""
+    _MEMO_REGISTRY.append(table)
+    return table
+
+
+def make_node(children: Mapping[Event, "ClosureNode"]) -> ClosureNode:
+    """The interned node with exactly the given children."""
+    items = tuple(sorted(children.items(), key=lambda kv: kv[0].sort_key()))
+    key: _InternKey = tuple((event, id(child)) for event, child in items)
+    node = _INTERNER.get(key)
+    if node is not None:
+        KERNEL_STATS.interner_hits += 1
+        return node
+    KERNEL_STATS.interner_misses += 1
+    node = ClosureNode(items)
+    _INTERNER[key] = node
+    return node
+
+
+#: ⟦STOP⟧ = {⟨⟩} — the leaf, shared by every trie.
+EMPTY_NODE: ClosureNode = make_node({})
+
+
+def interner_size() -> int:
+    """Number of distinct subtrees currently interned."""
+    return len(_INTERNER)
+
+
+def clear_interner() -> None:
+    """Drop every interned node and every registered memo table.
+
+    Only for benchmarks and tests that need a cold kernel;
+    :data:`EMPTY_NODE` is re-interned so existing references stay
+    canonical.
+    """
+    _INTERNER.clear()
+    for table in _MEMO_REGISTRY:
+        table.clear()
+    _INTERNER[()] = EMPTY_NODE
+
+
+# -- construction -----------------------------------------------------------
+
+
+def node_from_traces(traces: Iterable[Trace]) -> ClosureNode:
+    """The interned trie of the prefix closure of ``traces``.
+
+    Closure is automatic: inserting a trace creates every node along its
+    path, i.e. every prefix.
+    """
+    root: Dict = {}
+    for s in traces:
+        level = root
+        for event in s:
+            level = level.setdefault(event, {})
+    return _intern_tree(root)
+
+
+def _intern_tree(tree: Dict) -> ClosureNode:
+    if not tree:
+        return EMPTY_NODE
+    return make_node({event: _intern_tree(sub) for event, sub in tree.items()})
+
+
+# -- derived queries --------------------------------------------------------
+
+
+def descend(node: ClosureNode, s: Trace) -> Optional[ClosureNode]:
+    """The subtree reached by following ``s`` from ``node`` — the closure
+    ``{t | s⌢t ∈ P}`` — or ``None`` when ``s ∉ P``."""
+    for event in s:
+        node = node.children.get(event)  # type: ignore[assignment]
+        if node is None:
+            return None
+    return node
+
+
+def contains_trace(node: ClosureNode, s: Trace) -> bool:
+    """``s ∈ P`` by trie walk."""
+    return descend(node, s) is not None
+
+
+def iter_traces(node: ClosureNode) -> Iterator[Trace]:
+    """All traces, shortest first, lexicographic (by event sort key)
+    within a length — the canonical enumeration order of the flat-set
+    representation, preserved for reproducibility."""
+    queue: Deque[Tuple[Trace, ClosureNode]] = deque([(EMPTY_TRACE, node)])
+    while queue:
+        prefix, current = queue.popleft()
+        yield prefix
+        for event, child in current.items:
+            queue.append((prefix + (event,), child))
+
+
+def iter_trace_set(node: ClosureNode) -> FrozenSet[Trace]:
+    """The flat ``frozenset`` of traces (materialised on demand)."""
+    return frozenset(iter_traces(node))
+
+
+def node_channels(node: ClosureNode) -> FrozenSet[Channel]:
+    """All channels occurring anywhere in the trie (cached per node;
+    shared subtrees are visited once)."""
+    cached = node._channels
+    if cached is not None:
+        return cached
+    chans = set()
+    for event, child in node.items:
+        chans.add(event.channel)
+        chans |= node_channels(child)
+    result = frozenset(chans)
+    node._channels = result
+    return result
+
+
+def maximal_traces(node: ClosureNode) -> FrozenSet[Trace]:
+    """Traces ending at leaves — those with no extension in the set."""
+    return frozenset(
+        prefix
+        for prefix, current in _walk_with_prefix(node)
+        if current.is_leaf
+    )
+
+
+def _walk_with_prefix(
+    node: ClosureNode,
+) -> Iterator[Tuple[Trace, ClosureNode]]:
+    queue: Deque[Tuple[Trace, ClosureNode]] = deque([(EMPTY_TRACE, node)])
+    while queue:
+        prefix, current = queue.popleft()
+        yield prefix, current
+        for event, child in current.items:
+            queue.append((prefix + (event,), child))
+
+
+# -- lattice operations (§3.1) ---------------------------------------------
+#
+# The lattice structure lives in the kernel (rather than in
+# repro.traces.operations) because FiniteClosure's own methods need it and
+# the operator layer imports FiniteClosure.
+
+_UNION_MEMO: Dict[Tuple[ClosureNode, ClosureNode], ClosureNode] = register_memo({})
+_INTERSECT_MEMO: Dict[Tuple[ClosureNode, ClosureNode], ClosureNode] = register_memo({})
+_TRUNCATE_MEMO: Dict[Tuple[ClosureNode, int], ClosureNode] = register_memo({})
+
+
+def union_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
+    """``P ∪ Q`` — prefix closures are closed under union (§3.1).
+
+    Shared subtrees are merged once: recursion is memoised on the node
+    *pair*, and pointer-equal arguments short-circuit immediately.
+    """
+    if a is b:
+        return a
+    if a is EMPTY_NODE:
+        return b
+    if b is EMPTY_NODE:
+        return a
+    key = (a, b) if id(a) <= id(b) else (b, a)
+    stats = KERNEL_STATS.memo("union")
+    cached = _UNION_MEMO.get(key)
+    if cached is not None:
+        stats.hits += 1
+        return cached
+    stats.misses += 1
+    children = dict(a.children)
+    for event, b_child in b.items:
+        a_child = children.get(event)
+        children[event] = union_nodes(a_child, b_child) if a_child else b_child
+    result = make_node(children)
+    _UNION_MEMO[key] = result
+    return result
+
+
+def intersect_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
+    """``P ∩ Q`` — closed under intersection (§3.1)."""
+    if a is b:
+        return a
+    if a is EMPTY_NODE or b is EMPTY_NODE:
+        return EMPTY_NODE
+    key = (a, b) if id(a) <= id(b) else (b, a)
+    stats = KERNEL_STATS.memo("intersection")
+    cached = _INTERSECT_MEMO.get(key)
+    if cached is not None:
+        stats.hits += 1
+        return cached
+    stats.misses += 1
+    children = {}
+    for event, a_child in a.items:
+        b_child = b.children.get(event)
+        if b_child is not None:
+            children[event] = intersect_nodes(a_child, b_child)
+    result = make_node(children)
+    _INTERSECT_MEMO[key] = result
+    return result
+
+
+def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
+    """Traces of length ≤ ``depth`` — still prefix-closed."""
+    if depth <= 0:
+        return EMPTY_NODE
+    if node.height <= depth:
+        return node
+    key = (node, depth)
+    stats = KERNEL_STATS.memo("truncate")
+    cached = _TRUNCATE_MEMO.get(key)
+    if cached is not None:
+        stats.hits += 1
+        return cached
+    stats.misses += 1
+    result = make_node(
+        {event: truncate_node(child, depth - 1) for event, child in node.items}
+    )
+    _TRUNCATE_MEMO[key] = result
+    return result
+
+
+def subset_nodes(a: ClosureNode, b: ClosureNode) -> bool:
+    """The lattice order ``P ⊆ Q``, by simultaneous walk with sharing."""
+    if a is b or a is EMPTY_NODE:
+        return True
+    seen = set()
+
+    def walk(x: ClosureNode, y: ClosureNode) -> bool:
+        if x is y:
+            return True
+        pair = (id(x), id(y))
+        if pair in seen:
+            return True
+        seen.add(pair)
+        for event, x_child in x.items:
+            y_child = y.children.get(event)
+            if y_child is None or not walk(x_child, y_child):
+                return False
+        return True
+
+    return walk(a, b)
+
+
+def distinct_nodes(node: ClosureNode) -> int:
+    """Number of *distinct* nodes reachable from ``node`` — the kernel's
+    actual storage cost, as opposed to ``node.count`` traces."""
+    seen = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        stack.extend(child for _, child in current.items)
+    return len(seen)

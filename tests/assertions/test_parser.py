@@ -8,12 +8,8 @@ from repro.assertions.ast import (
     Apply,
     ChannelTrace,
     Compare,
-    Cons,
-    ConstTerm,
     ForAll,
     Implies,
-    Index,
-    Length,
     LogicalAnd,
     SeqLit,
     Sum,
@@ -32,7 +28,6 @@ from repro.assertions.builders import (
     implies_,
     le_,
     len_,
-    lt_,
     not_,
     or_,
     plus_,

@@ -4,30 +4,23 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.assertions.ast import BoolLit, Compare, ConstTerm, SeqLit
+from repro.assertions.ast import BoolLit, Compare
 from repro.assertions.builders import (
     FALSE,
     TRUE,
     and_,
-    at_,
-    chan_,
     cons_,
-    const_,
-    eq_,
     implies_,
-    le_,
-    len_,
     not_,
     or_,
     seq_,
-    var_,
 )
 from repro.assertions.eval import evaluate_formula
 from repro.assertions.parser import parse_assertion
 from repro.assertions.simplify import simplify, simplify_term
 from repro.assertions.substitution import blank_channels
 from repro.errors import EvaluationError
-from repro.traces.events import channel, event
+from repro.traces.events import channel
 from repro.traces.histories import ChannelHistory
 from repro.values.environment import Environment
 

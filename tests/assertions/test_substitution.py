@@ -1,26 +1,19 @@
 """Unit tests for the §3.4 substitution operators and their lemmas."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.assertions.builders import (
-    and_,
-    apply_,
     at_,
     chan_,
-    cons_,
     const_,
     eq_,
     forall_,
-    implies_,
     le_,
-    len_,
     seq_,
     sum_,
     var_,
 )
-from repro.assertions.ast import ForAll, SeqLit, Sum, VarTerm
+from repro.assertions.ast import ForAll, Sum
 from repro.assertions.eval import evaluate_formula
 from repro.assertions.parser import parse_assertion
 from repro.assertions.substitution import (
@@ -35,10 +28,10 @@ from repro.assertions.substitution import (
 )
 from repro.errors import SubstitutionError
 from repro.process.channels import ChannelExpr
-from repro.traces.events import Channel, event, trace
+from repro.traces.events import event, trace
 from repro.traces.histories import ch
 from repro.values.environment import Environment
-from repro.values.expressions import BinOp, Const, NatSet, RangeSet, Var, const
+from repro.values.expressions import Const, NatSet, Var
 
 CHANS = {"input", "wire", "output"}
 ENV = Environment()

@@ -17,12 +17,11 @@ import pytest
 from repro.operational.explorer import explore_traces
 from repro.operational.step import OperationalSemantics
 from repro.process.ast import Name
-from repro.process.parser import parse_definitions
 from repro.sat.checker import SatChecker
 from repro.semantics.config import SemanticsConfig
 from repro.semantics.denotation import denote
 from repro.semantics.fixpoint import fixpoint_denotation
-from repro.systems import copier, multiplier, protocol
+from repro.systems import copier, protocol
 from repro.values.environment import Environment
 
 CFG = SemanticsConfig(depth=4, sample=2)

@@ -7,7 +7,7 @@ random assertions, traces, and substitution instances.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.assertions.builders import const_, var_
+from repro.assertions.builders import const_
 from repro.assertions.eval import evaluate_formula
 from repro.assertions.substitution import (
     blank_channels,

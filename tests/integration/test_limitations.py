@@ -15,7 +15,7 @@ from repro.process.parser import parse_definitions, parse_process
 from repro.sat.checker import check_sat
 from repro.semantics.config import SemanticsConfig
 from repro.semantics.equivalence import trace_equivalent
-from repro.traces.events import EMPTY_TRACE, trace
+from repro.traces.events import EMPTY_TRACE
 
 CFG = SemanticsConfig(depth=4, sample=2)
 
@@ -30,7 +30,7 @@ class TestStopSatisfiesEverything:
         # Not just model-checked: the emptiness rule proves it (§4's point
         # that a deadlocked process passes every partial-correctness proof).
         from repro.assertions.builders import chan_, le_
-        from repro.proof import Oracle, ProofChecker, SatProver
+        from repro.proof import Oracle, SatProver
 
         prover = SatProver(oracle=Oracle())
         proof, report = prover.prove_checked(STOP, le_(chan_("wire"), chan_("input")))

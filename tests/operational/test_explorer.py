@@ -6,8 +6,8 @@ from repro.errors import OperationalError
 from repro.operational.explorer import Explorer, explore_traces
 from repro.operational.step import OperationalSemantics
 from repro.process.ast import Name
-from repro.process.parser import parse_definitions, parse_process
-from repro.traces.events import EMPTY_TRACE, channel, trace
+from repro.process.parser import parse_definitions
+from repro.traces.events import EMPTY_TRACE, trace
 
 
 def sem(defs, sample=2):

@@ -8,7 +8,7 @@ from repro.operational.scheduler import (
 )
 from repro.operational.step import OperationalSemantics
 from repro.process.ast import Name
-from repro.process.parser import parse_definitions, parse_process
+from repro.process.parser import parse_definitions
 from repro.traces.events import event
 
 

@@ -1,8 +1,6 @@
 """Unit tests for operational configurations."""
 
-import pytest
 
-from repro.errors import OperationalError
 from repro.operational.state import ChanState, LeafState, ParallelState, lift
 from repro.process.ast import Name
 from repro.process.definitions import DefinitionList

@@ -3,12 +3,11 @@
 import pytest
 
 from repro.errors import OperationalError
-from repro.operational.state import LeafState
 from repro.operational.step import Comm, Offer, OperationalSemantics, Tau
 from repro.process.ast import Name
 from repro.process.parser import parse_definitions, parse_process
 from repro.traces.events import Channel, Event, channel, event
-from repro.values.domains import FiniteDomain, IntersectionDomain
+from repro.values.domains import IntersectionDomain
 from repro.values.environment import Environment
 
 

@@ -22,12 +22,12 @@ from repro.process.ast import (
     input_,
     output,
 )
-from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
-from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
+from repro.process.channels import ChannelExpr, ChannelList
+from repro.process.definitions import DefinitionList, ProcessDef
 from repro.process.parser import parse_definitions, parse_process
 from repro.traces.events import Channel
 from repro.values.environment import Environment
-from repro.values.expressions import BinOp, NamedSet, NatSet, RangeSet, const, var
+from repro.values.expressions import NatSet, const
 
 
 class TestReferencedNames:

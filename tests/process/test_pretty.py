@@ -14,7 +14,7 @@ from repro.process.ast import (
     Parallel,
     Process,
 )
-from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
+from repro.process.channels import ChannelExpr, ChannelList
 from repro.process.parser import parse_definitions, parse_process
 from repro.process.pretty import pretty, pretty_definition, pretty_definitions
 from repro.values.expressions import (

@@ -3,10 +3,10 @@ instances and rejects malformed ones."""
 
 import pytest
 
-from repro.assertions.builders import and_, chan_, implies_, le_, seq_, var_
+from repro.assertions.builders import and_, var_
 from repro.assertions.parser import parse_assertion
 from repro.errors import ProofError, RuleApplicationError, SideConditionError
-from repro.process.ast import STOP, Chan, Choice, Input, Name, Output, Parallel
+from repro.process.ast import STOP, Choice, Name
 from repro.process.parser import parse_definitions, parse_process
 from repro.proof.checker import ProofChecker
 from repro.proof.judgments import ForAllSat, Pure, Sat

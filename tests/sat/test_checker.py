@@ -153,3 +153,33 @@ class TestEngines:
             " output@i = (sum j : 1..3 . v(j) * row[j]@i)"
         )
         assert checker.check(Name("multiplier"), spec).holds
+
+
+class TestTrieWalk:
+    """The trie-walking mode must agree with the flat per-trace loop —
+    same verdict, same counterexample, same traces_checked count."""
+
+    def test_holding_spec_agrees(self):
+        trie = SatChecker(COPIER_DEFS, config=CFG, trie_walk=True)
+        flat = SatChecker(COPIER_DEFS, config=CFG, trie_walk=False)
+        a = trie.check(Name("protocolnet"), "output <= input")
+        b = flat.check(Name("protocolnet"), "output <= input")
+        assert a.holds and b.holds
+        assert a.traces_checked == b.traces_checked
+
+    def test_violated_spec_same_counterexample(self):
+        trie = SatChecker(COPIER_DEFS, config=CFG, trie_walk=True)
+        flat = SatChecker(COPIER_DEFS, config=CFG, trie_walk=False)
+        a = trie.check(Name("copier"), "input <= wire")
+        b = flat.check(Name("copier"), "input <= wire")
+        assert not a.holds and not b.holds
+        assert a.counterexample.trace == b.counterexample.trace
+        assert a.traces_checked == b.traces_checked
+
+    def test_evaluation_error_same_counterexample(self):
+        trie = SatChecker(COPIER_DEFS, config=CFG, trie_walk=True)
+        flat = SatChecker(COPIER_DEFS, config=CFG, trie_walk=False)
+        a = trie.check(Name("copier"), "input@3 = 0")
+        b = flat.check(Name("copier"), "input@3 = 0")
+        assert not a.holds and not b.holds
+        assert a.counterexample.trace == b.counterexample.trace

@@ -177,3 +177,42 @@ class TestParallelAndChan:
         p = parse_process("a!0 -> STOP")
         q = parse_process("STOP | a!0 -> STOP")
         assert denote(p) == denote(q)
+
+
+class TestKernelSelection:
+    def test_reference_kernel_agrees_with_trie(self):
+        from repro.process.parser import parse_definitions
+        from repro.semantics.config import SemanticsConfig
+        from repro.semantics.denotation import Denoter
+
+        defs = parse_definitions(
+            "copier = input?x:NAT -> wire!x -> copier;"
+            "recopier = wire?y:NAT -> output!y -> recopier;"
+            "network = chan wire; (copier || recopier)"
+        )
+        cfg = SemanticsConfig(depth=5, sample=2)
+        for name in ("copier", "recopier", "network"):
+            trie = Denoter(defs, config=cfg, kernel="trie").denote_name(name)
+            ref = Denoter(defs, config=cfg, kernel="reference").denote_name(name)
+            assert trie == ref
+
+    def test_unknown_kernel_rejected(self):
+        import pytest
+
+        from repro.errors import SemanticsError
+        from repro.semantics.denotation import Denoter
+
+        with pytest.raises(SemanticsError, match="unknown kernel"):
+            Denoter(kernel="flat-set")
+
+    def test_memo_hits_are_pointer_equal(self):
+        from repro.process.ast import Name
+        from repro.process.parser import parse_definitions
+        from repro.semantics.config import SemanticsConfig
+        from repro.semantics.denotation import Denoter
+
+        defs = parse_definitions("copier = input?x:NAT -> wire!x -> copier")
+        denoter = Denoter(defs, config=SemanticsConfig(depth=4, sample=2))
+        first = denoter.denote(Name("copier"))
+        second = denoter.denote(Name("copier"))
+        assert first.root is second.root

@@ -127,3 +127,30 @@ class TestEquivalence:
 
         p = parse_process("a!0 -> STOP")
         assert trace_difference(p, p) is None
+
+
+class TestKernelIntegration:
+    def test_stabilisation_by_root_identity(self):
+        # Once stable, consecutive levels hold the *same* interned root.
+        chain = ApproximationChain(COPIER, config=CFG)
+        chain.run_until_stable()
+        last, previous = chain.level(chain.levels_computed() - 1), chain.level(
+            chain.levels_computed() - 2
+        )
+        assert last["copier"].root is previous["copier"].root
+
+    def test_level_deltas_report_monotone_growth(self):
+        chain = ApproximationChain(COPIER, config=CFG)
+        chain.run_until_stable()
+        deltas = chain.level_deltas()
+        assert deltas[0].traces == 1  # a₀ = ⟦STOP⟧
+        assert deltas[0].new_traces == 0
+        assert all(d.new_traces >= 0 for d in deltas)
+        assert all(d.nodes <= d.traces for d in deltas)  # sharing never loses
+        assert deltas[-1].new_traces == 0  # stable level adds nothing
+        assert "a0" in str(deltas[0])
+
+    def test_reference_kernel_chain_agrees(self):
+        trie_chain = ApproximationChain(COPIER, config=CFG, kernel="trie")
+        ref_chain = ApproximationChain(COPIER, config=CFG, kernel="reference")
+        assert trie_chain.fixpoint()["copier"] == ref_chain.fixpoint()["copier"]

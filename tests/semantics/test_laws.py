@@ -2,21 +2,12 @@
 processes (extending the §3.1 theorems)."""
 
 import pytest
-from hypothesis import given, settings
 
 from repro.process.ast import STOP
 from repro.process.channels import ChannelExpr, ChannelList
 from repro.process.parser import parse_process
 from repro.semantics.config import SemanticsConfig
-from repro.semantics.laws import (
-    ALL_LAWS,
-    check_law,
-    choice_idempotent,
-    choice_unit_stop,
-    hide_choice_distribution,
-    parallel_commutative,
-    refines,
-)
+from repro.semantics.laws import ALL_LAWS, check_law, choice_unit_stop, refines
 from repro.soundness.generators import ProcessGenerator
 
 CFG = SemanticsConfig(depth=4, sample=2)

@@ -8,7 +8,6 @@ The heavyweight cross-checks: for arbitrary generated processes,
   guarded recursions.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

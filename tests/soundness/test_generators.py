@@ -66,7 +66,6 @@ class TestAssertionGenerator:
 
     def test_generated_formulas_evaluate(self):
         from repro.assertions.eval import evaluate_formula
-        from repro.errors import EvaluationError
         from repro.traces.histories import ch
         from repro.traces.events import trace
         from repro.values.environment import Environment

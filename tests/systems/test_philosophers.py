@@ -4,7 +4,6 @@ deadlock (the §4 gap)."""
 import pytest
 
 from repro.systems import philosophers
-from repro.traces.events import Channel, Event
 
 
 class TestConstruction:

@@ -4,7 +4,7 @@ import functools
 
 import pytest
 
-from repro.proof.judgments import ForAllSat, Sat
+from repro.proof.judgments import ForAllSat
 from repro.systems import protocol
 
 prove_all_cached = functools.lru_cache(maxsize=1)(protocol.prove_all)

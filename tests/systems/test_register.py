@@ -5,7 +5,6 @@ import pytest
 
 from repro.assertions.eval import evaluate_formula
 from repro.systems import register
-from repro.traces.events import trace
 from repro.traces.histories import ch
 from repro.values.environment import Environment
 

@@ -235,3 +235,31 @@ class TestSimulateAndDeadlocks:
         code = main(["deadlocks", copier_file, "--process", "copier", "--depth", "3"])
         assert code == 0
         assert "no deadlock" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_reports_kernel_counters(self, copier_file, capsys):
+        code = main(["stats", copier_file, "--process", "network", "--depth", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trie nodes" in out
+        assert "interner" in out
+        assert "memo tables" in out
+
+    def test_stats_with_spec_checks_and_reports(self, copier_file, capsys):
+        code = main(
+            [
+                "stats",
+                copier_file,
+                "--process",
+                "network",
+                "--depth",
+                "4",
+                "--spec",
+                "output <= input",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+        assert "interner" in out

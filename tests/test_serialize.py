@@ -3,10 +3,9 @@
 import json
 
 import pytest
-from hypothesis import given, settings
 
 from repro.assertions.parser import parse_assertion
-from repro.process.parser import parse_definitions, parse_process
+from repro.process.parser import parse_process
 from repro.serialize import SerializationError, decode, dumps, encode, loads
 from repro.systems import protocol
 

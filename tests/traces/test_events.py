@@ -3,7 +3,6 @@
 from repro.traces.events import (
     EMPTY_TRACE,
     Channel,
-    Event,
     channel,
     event,
     is_prefix,

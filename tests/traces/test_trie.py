@@ -1,0 +1,150 @@
+"""Unit tests for the hash-consed trace-trie kernel."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.traces.events import EMPTY_TRACE, channel, event, trace
+from repro.traces.operations import pad, parallel
+from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
+from repro.traces.stats import KERNEL_STATS, reset_stats, snapshot
+from repro.traces.trie import (
+    EMPTY_NODE,
+    descend,
+    distinct_nodes,
+    interner_size,
+    iter_traces,
+    node_from_traces,
+    subset_nodes,
+    union_nodes,
+)
+
+AB = trace(("a", 1), ("b", 2))
+
+
+class TestInterning:
+    def test_structurally_equal_nodes_are_the_same_object(self):
+        n1 = node_from_traces([AB])
+        n2 = node_from_traces([AB])
+        assert n1 is n2
+
+    def test_empty_node_is_canonical(self):
+        assert node_from_traces([]) is EMPTY_NODE
+        assert node_from_traces([EMPTY_TRACE]) is EMPTY_NODE
+
+    def test_shared_subtrees_are_shared_objects(self):
+        # Two distinct first events leading to the same continuation must
+        # share the continuation subtree.
+        t1 = trace(("a", 1), ("wire", 9))
+        t2 = trace(("b", 2), ("wire", 9))
+        root = node_from_traces([t1, t2])
+        children = list(root.children.values())
+        assert children[0] is children[1]
+        assert root.count == 5  # ⟨⟩, a, b, a-wire, b-wire
+        assert distinct_nodes(root) == 3  # root, mid (shared), leaf
+
+    def test_interner_grows_monotonically(self):
+        before = interner_size()
+        node_from_traces([trace(("a", 1), ("a", 2), ("a", 3))])
+        assert interner_size() >= before
+
+    def test_closure_equality_is_pointer_equality(self):
+        p = FiniteClosure.from_traces([AB])
+        q = FiniteClosure.from_traces([AB])
+        assert p == q and p.root is q.root
+
+
+class TestNodeQueries:
+    def test_count_and_height(self):
+        root = node_from_traces([AB])
+        assert root.count == 3
+        assert root.height == 2
+
+    def test_descend(self):
+        root = node_from_traces([AB])
+        assert descend(root, AB) is EMPTY_NODE
+        assert descend(root, trace(("z", 0))) is None
+
+    def test_iter_traces_shortest_first(self):
+        root = node_from_traces([AB, trace(("z", 0))])
+        listed = list(iter_traces(root))
+        assert listed[0] == EMPTY_TRACE
+        assert [len(s) for s in listed] == sorted(len(s) for s in listed)
+
+    def test_subset_nodes(self):
+        small = node_from_traces([trace(("a", 1))])
+        big = node_from_traces([AB])
+        assert subset_nodes(small, big)
+        assert not subset_nodes(big, small)
+
+    def test_union_nodes_shares_on_pointer_equality(self):
+        n = node_from_traces([AB])
+        assert union_nodes(n, n) is n
+        assert union_nodes(n, EMPTY_NODE) is n
+
+
+class TestClosureView:
+    def test_node_count_reports_sharing(self):
+        p = FiniteClosure.from_traces(
+            [trace(("a", 1), ("wire", 9)), trace(("b", 2), ("wire", 9))]
+        )
+        assert len(p) == 5
+        assert p.node_count() == 3
+
+    def test_after_returns_subtree(self):
+        p = FiniteClosure.from_traces([AB])
+        node = p.after(trace(("a", 1)))
+        assert node is not None and node.count == 2
+
+    def test_from_node_round_trip(self):
+        p = FiniteClosure.from_traces([AB])
+        assert FiniteClosure.from_node(p.root) == p
+
+    def test_stop_closure_is_empty_node(self):
+        assert STOP_CLOSURE.root is EMPTY_NODE
+        assert FiniteClosure.from_node(EMPTY_NODE) is STOP_CLOSURE
+
+
+class TestGuards:
+    def test_pad_rejects_negative_depth(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            pad(STOP_CLOSURE, [channel("a")], [event("a", 0)], depth=-1)
+
+    def test_parallel_small_disjoint_instances_still_interleave(self):
+        p = FiniteClosure.from_traces([trace(("a", 1))])
+        q = FiniteClosure.from_traces([trace(("b", 2))])
+        net = parallel(p, [channel("a")], q, [channel("b")])
+        assert trace(("a", 1), ("b", 2)) in net
+        assert trace(("b", 2), ("a", 1)) in net
+
+    def test_parallel_disjoint_explosion_raises(self):
+        import repro.traces.operations as ops
+
+        p = FiniteClosure.from_traces([trace(("a", 1))])
+        q = FiniteClosure.from_traces([trace(("b", 1))])
+        old = ops.MAX_DISJOINT_PRODUCT
+        ops.MAX_DISJOINT_PRODUCT = 1
+        try:
+            with pytest.raises(SemanticsError, match="disjoint alphabets"):
+                ops.parallel(p, [channel("a")], q, [channel("b")])
+        finally:
+            ops.MAX_DISJOINT_PRODUCT = old
+
+
+class TestStats:
+    def test_counters_accumulate_and_reset(self):
+        reset_stats()
+        p = FiniteClosure.from_traces([AB])
+        q = FiniteClosure.from_traces([trace(("b", 2))])
+        p.union(q)
+        p.union(q)  # second call must hit the memo
+        snap = snapshot()
+        assert snap["memos"]["union"]["hits"] >= 1
+        assert snap["interner"]["size"] > 0
+        reset_stats()
+        assert snapshot()["memos"] == {}
+
+    def test_format_stats_mentions_interner(self):
+        from repro.traces.stats import format_stats
+
+        KERNEL_STATS.memo("union")
+        assert "interner" in format_stats()

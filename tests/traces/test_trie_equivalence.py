@@ -1,0 +1,104 @@
+"""Property tests: trie operators ≡ flat-set reference operators.
+
+The hash-consed kernel (:mod:`repro.traces.operations`) and the
+pre-kernel flat-set implementations (:mod:`repro.traces._reference`)
+must compute the same trace sets on arbitrary closures — the same
+cross-check discipline E1/E7 apply between the denotational and
+operational engines, applied one layer down.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import _reference as ref
+from repro.traces import operations as ops
+from repro.traces.events import Channel, channel, event
+from repro.traces.prefix_closure import FiniteClosure
+
+CHANNELS = ("a", "b", "wire")
+VALUES = (0, 1)
+
+events = st.builds(
+    event, st.sampled_from(CHANNELS), st.sampled_from(VALUES)
+)
+traces = st.lists(events, max_size=5).map(tuple)
+closures = st.lists(traces, max_size=8).map(FiniteClosure.from_traces)
+channels = st.lists(
+    st.sampled_from([channel(c) for c in CHANNELS]), max_size=3
+).map(frozenset)
+
+
+def same(p: FiniteClosure, q: FiniteClosure) -> bool:
+    """Equality both ways: pointer equality of roots AND flat-set
+    equality, so a kernel bug cannot hide behind a broken interner."""
+    return p == q and p.traces == q.traces
+
+
+@given(events, closures)
+def test_prefix_agrees(a, p):
+    assert same(ops.prefix(a, p), ref.prefix(a, p))
+
+
+@given(closures, events)
+def test_after_event_agrees(p, a):
+    assert same(ops.after_event(p, a), ref.after_event(p, a))
+
+
+@given(closures, closures)
+def test_union_agrees(p, q):
+    assert same(ops.union(p, q), ref.union(p, q))
+
+
+@given(closures, closures)
+def test_intersection_agrees(p, q):
+    assert same(ops.intersection(p, q), ref.intersection(p, q))
+
+
+@given(closures, st.integers(min_value=0, max_value=6))
+def test_truncate_agrees(p, depth):
+    assert same(ops.truncate(p, depth), ref.truncate(p, depth))
+
+
+@given(closures, channels)
+def test_hide_agrees(p, hidden):
+    assert same(ops.hide(p, hidden), ref.hide(p, hidden))
+
+
+@settings(max_examples=50, deadline=None)
+@given(closures, st.sampled_from(CHANNELS), st.integers(min_value=0, max_value=4))
+def test_pad_agrees(p, pad_chan, depth):
+    # Pad on a channel outside the closure's alphabet (the paper's use)
+    # *and* potentially inside it (both code paths merge states).
+    pad_events = [event(pad_chan, v) for v in VALUES]
+    got = ops.pad(p, [channel(pad_chan)], pad_events, depth)
+    want = ref.pad(p, [channel(pad_chan)], pad_events, depth)
+    assert same(got, want)
+
+
+@settings(max_examples=50, deadline=None)
+@given(closures, closures, st.integers(min_value=1, max_value=6))
+def test_parallel_agrees(p, q, depth):
+    x = sorted(p.channels() | {Channel("a"), Channel("wire")})
+    y = sorted(q.channels() | {Channel("b"), Channel("wire")})
+    got = ops.parallel(p, x, q, y, depth=depth)
+    want = ref.parallel(p, x, q, y, depth=depth)
+    assert same(got, want)
+
+
+@given(st.lists(closures, max_size=5))
+def test_union_all_agrees(parts):
+    assert same(ops.union_all(parts), ref.union_all(parts))
+
+
+@given(closures)
+def test_operator_results_are_prefix_closed(p):
+    assert ops.hide(p, [channel("wire")]).is_prefix_closed()
+    assert ops.truncate(p, 2).is_prefix_closed()
+
+
+@given(closures, closures)
+def test_pointer_equality_is_semantic_equality(p, q):
+    # Hash-consing: two closures are == iff their roots are the same
+    # object iff their flat trace sets coincide.
+    assert (p == q) == (p.traces == q.traces)
+    assert (p.root is q.root) == (p.traces == q.traces)
