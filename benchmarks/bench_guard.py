@@ -1,0 +1,75 @@
+"""Regression guard for the trie kernel's recorded speedups.
+
+Re-measures the denotation cases from ``BENCH_kernel.json`` whose
+recorded baseline is slow enough to time reliably (≥ 40 ms) and fails
+if the measured trie-vs-reference *speedup ratio* falls below
+``TOLERANCE`` of the recorded one.  Comparing ratios rather than raw
+wall-clock makes the guard robust to machine speed: both kernels run on
+the same box, so a uniformly slower host cancels out.
+
+Run in CI (or by hand) as::
+
+    PYTHONPATH=src python -m benchmarks.bench_guard
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from benchmarks.bench_kernel import RESULT_PATH, _denote, _time
+from repro.systems import copier, protocol
+
+#: Measured speedup must stay above this fraction of the recorded one.
+TOLERANCE = 0.75
+
+#: Recorded baselines below this are too fast to re-time stably.
+MIN_BASELINE_S = 0.04
+
+#: Cap re-measurement cost: the depth-7/8 baselines take seconds each.
+MAX_DEPTH = 6
+
+SYSTEMS = {"copier": (copier, "network"), "protocol": (protocol, "protocol")}
+
+_CASE = re.compile(r"denote (\w+)\.(\w+) depth=(\d+)")
+
+
+def guarded_cases(report: dict):
+    for case in report["cases"]:
+        match = _CASE.fullmatch(case["case"])
+        if not match:
+            continue
+        system, _proc, depth = match.group(1), match.group(2), int(match.group(3))
+        if case["baseline_s"] >= MIN_BASELINE_S and depth <= MAX_DEPTH:
+            yield case, SYSTEMS[system], depth
+
+
+def measure(system, proc: str, depth: int) -> float:
+    baseline_s = _time(lambda: _denote(system, proc, depth, "reference"))
+    trie_s = _time(lambda: _denote(system, proc, depth, "trie"))
+    return baseline_s / trie_s if trie_s else float("inf")
+
+
+def main() -> None:
+    report = json.loads(RESULT_PATH.read_text())
+    failures = []
+    for case, (system, proc), depth in guarded_cases(report):
+        recorded = case["speedup"]
+        measured = measure(system, proc, depth)
+        ok = measured >= TOLERANCE * recorded
+        print(
+            f"{'ok' if ok else 'FAIL':<4} {case['case']:<42} "
+            f"recorded ×{recorded:<8} measured ×{measured:.2f} "
+            f"(floor ×{TOLERANCE * recorded:.2f})"
+        )
+        if not ok:
+            failures.append(case["case"])
+    if failures:
+        raise SystemExit(
+            f"kernel speedup regressed >25% on: {', '.join(failures)}"
+        )
+    print("kernel speedups within tolerance of BENCH_kernel.json")
+
+
+if __name__ == "__main__":
+    main()

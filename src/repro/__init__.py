@@ -29,11 +29,14 @@ Subpackages
 ``repro.proof``        the inference rules and proof checker (§2.1)
 ``repro.soundness``    empirical rule-validity harness (§3.4)
 ``repro.systems``      the paper's example systems and their proofs
+``repro.runtime``      resource governor: budgets, deadlines, checkpoints,
+                       and the deterministic fault-injection harness
 """
 
 __version__ = "1.0.0"
 
 from repro.errors import (
+    BudgetExceeded,
     DischargeError,
     ParseError,
     ProofError,
@@ -41,6 +44,7 @@ from repro.errors import (
     RuleApplicationError,
     SideConditionError,
 )
+from repro.runtime import Budget, Checkpoint, Governor, activate
 from repro.values import Environment, FiniteDomain, NAT
 from repro.traces import FiniteClosure, ch, channel, event, trace
 from repro.process import (
@@ -68,6 +72,12 @@ __all__ = [
     "RuleApplicationError",
     "SideConditionError",
     "DischargeError",
+    "BudgetExceeded",
+    # runtime governance
+    "Budget",
+    "Governor",
+    "Checkpoint",
+    "activate",
     # values
     "Environment",
     "FiniteDomain",

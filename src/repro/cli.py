@@ -9,9 +9,9 @@ Work with process definition files written in the paper's notation::
 
     $ python -m repro traces copier.csp --process network --depth 4
     $ python -m repro check copier.csp --process network --spec "output <= input"
-    $ python -m repro prove copier.csp --goal network \\
-          --invariant "copier=wire <= input" \\
-          --invariant "recopier=output <= wire" \\
+    $ python -m repro prove copier.csp --goal network \
+          --invariant "copier=wire <= input" \
+          --invariant "recopier=output <= wire" \
           --invariant "network=output <= input"
     $ python -m repro simulate copier.csp --process network --steps 10
     $ python -m repro deadlocks copier.csp --process network --depth 3
@@ -19,6 +19,15 @@ Work with process definition files written in the paper's notation::
 
 Named message sets are declared with ``--set M=0,1``; the protocol's
 cancellation function is available as ``--with-cancel f``.
+
+Long-running commands accept resource budgets — ``--deadline SECONDS``,
+``--max-nodes N`` (freshly interned trie nodes), ``--max-states N``
+(explorer configurations).  A command whose budget runs out prints the
+sound *partial* result ("verified to depth k") and exits with the budget
+exit code (4) instead of dying mid-computation.  Every failure class
+maps to its own exit code (parse 2, semantics 3, budget 4, operational
+5, proof 6, other 7); ``--debug`` re-raises the underlying exception
+with its full traceback.
 """
 
 from __future__ import annotations
@@ -29,11 +38,18 @@ from typing import Optional, Sequence
 
 from repro.assertions.parser import parse_assertion
 from repro.assertions.sequences import cancel_protocol
-from repro.errors import ReproError
+from repro.errors import (
+    EXIT_BUDGET,
+    BudgetExceeded,
+    ReproError,
+    exit_code_for,
+)
 from repro.process.analysis import channel_names
 from repro.process.ast import Name
 from repro.process.parser import parse_definitions
 from repro.process.pretty import pretty_definitions
+from repro.runtime.governor import Budget, Governor, activate
+from repro.runtime import governor as _governor
 from repro.values.domains import FiniteDomain
 from repro.values.environment import Environment
 
@@ -59,6 +75,18 @@ def _build_env(args: argparse.Namespace) -> Environment:
     return env
 
 
+def _build_governor(args: argparse.Namespace) -> Optional[Governor]:
+    """A governor for the budget flags, or ``None`` when none were given."""
+    deadline = getattr(args, "deadline", None)
+    max_nodes = getattr(args, "max_nodes", None)
+    max_states = getattr(args, "max_states", None)
+    if deadline is None and max_nodes is None and max_states is None:
+        return None
+    return Budget(
+        deadline=deadline, max_nodes=max_nodes, max_states=max_states
+    ).start()
+
+
 def _load(args: argparse.Namespace):
     with open(args.file, "r", encoding="utf-8") as handle:
         source = handle.read()
@@ -72,6 +100,12 @@ def _target(args: argparse.Namespace, defs) -> Name:
     if name not in defs:
         raise SystemExit(f"no process named {name!r}; defined: {sorted(defs.names())}")
     return Name(name)
+
+
+def _print_traces(closure) -> None:
+    for trace in closure:
+        inner = ", ".join(repr(e) for e in trace)
+        print(f"  ⟨{inner}⟩")
 
 
 def cmd_parse(args: argparse.Namespace) -> int:
@@ -92,15 +126,36 @@ def cmd_traces(args: argparse.Namespace) -> int:
         SemanticsConfig(depth=args.depth, sample=args.sample),
         engine=args.engine,
     )
-    closure = checker.traces_of(_target(args, defs))
-    print(f"{len(closure)} traces (depth ≤ {args.depth}, engine {args.engine}):")
-    for trace in closure:
-        inner = ", ".join(repr(e) for e in trace)
-        print(f"  ⟨{inner}⟩")
-    return 0
+    result = checker.traces_partial(_target(args, defs))
+    if result.closure is None:
+        print(
+            "budget exhausted before even depth 0 completed; no traces "
+            "to report",
+            file=sys.stderr,
+        )
+        return EXIT_BUDGET
+    if result.complete:
+        print(
+            f"{len(result.closure)} traces (depth ≤ {args.depth}, "
+            f"engine {args.engine}):"
+        )
+        _print_traces(result.closure)
+        return 0
+    print(
+        f"PARTIAL: {len(result.closure)} traces (verified to depth "
+        f"{result.verified_depth} of {args.depth}, engine {args.engine}):"
+    )
+    _print_traces(result.closure)
+    print(
+        f"budget exhausted at depth {result.verified_depth}; traces up to "
+        f"that length are exact",
+        file=sys.stderr,
+    )
+    return EXIT_BUDGET
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    from repro.report import render_partial
     from repro.sat.checker import SatChecker
     from repro.semantics.config import SemanticsConfig
 
@@ -113,11 +168,21 @@ def cmd_check(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     target = _target(args, defs)
-    result = checker.check(target, args.spec)
+    try:
+        result = checker.check(target, args.spec)
+    except BudgetExceeded as exc:
+        print(f"PARTIAL: {target.name} sat {args.spec} — no counterexample found")
+        print(render_partial(exc), file=sys.stderr)
+        return EXIT_BUDGET
     if result.holds:
+        depth_note = (
+            f"depth ≤ {result.verified_depth}"
+            if result.verified_depth is not None
+            else f"depth ≤ {args.depth}"
+        )
         print(
             f"HOLDS: {target.name} sat {args.spec}  "
-            f"({result.traces_checked} traces, depth ≤ {args.depth})"
+            f"({result.traces_checked} traces, {depth_note})"
         )
         return 0
     print(f"VIOLATED: {target.name} sat {args.spec}")
@@ -126,6 +191,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.report import render_partial
     from repro.sat.checker import SatChecker
     from repro.semantics.config import SemanticsConfig
     from repro.traces.stats import format_stats, reset_stats
@@ -140,22 +206,31 @@ def cmd_stats(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     target = _target(args, defs)
-    if args.spec:
-        result = checker.check(target, args.spec)
-        verdict = "HOLDS" if result.holds else "VIOLATED"
-        print(
-            f"{verdict}: {target.name} sat {args.spec}  "
-            f"({result.traces_checked} traces, depth ≤ {args.depth})"
-        )
-    else:
-        closure = checker.traces_of(target)
-        print(
-            f"{target.name}: {len(closure)} traces in {closure.node_count()} "
-            f"trie nodes (depth ≤ {args.depth}, engine {args.engine})"
-        )
+    code = 0
+    try:
+        if args.spec:
+            result = checker.check(target, args.spec)
+            verdict = "HOLDS" if result.holds else "VIOLATED"
+            print(
+                f"{verdict}: {target.name} sat {args.spec}  "
+                f"({result.traces_checked} traces, depth ≤ {args.depth})"
+            )
+        else:
+            closure = checker.traces_of(target)
+            print(
+                f"{target.name}: {len(closure)} traces in {closure.node_count()} "
+                f"trie nodes (depth ≤ {args.depth}, engine {args.engine})"
+            )
+    except BudgetExceeded as exc:
+        print(render_partial(exc), file=sys.stderr)
+        code = EXIT_BUDGET
     print()
     print(format_stats())
-    return 0
+    governor = _governor.current()
+    if governor is not None:
+        print()
+        print(governor.summary())
+    return code
 
 
 def cmd_prove(args: argparse.Namespace) -> int:
@@ -193,6 +268,8 @@ def cmd_prove(args: argparse.Namespace) -> int:
     try:
         proof = prover.prove_name(goal)
         report = ProofChecker(defs, oracle).check(proof)
+    except BudgetExceeded:
+        raise
     except ReproError as exc:
         print(f"PROOF FAILED: {exc}")
         return 1
@@ -227,18 +304,39 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_deadlocks(args: argparse.Namespace) -> int:
     from repro.operational.explorer import Explorer
     from repro.operational.step import OperationalSemantics
+    from repro.report import render_partial
 
     defs = _load(args)
     env = _build_env(args)
     semantics = OperationalSemantics(defs, env, sample=args.sample)
-    deadlocks = Explorer(semantics).find_deadlocks(_target(args, defs), args.depth)
-    if not deadlocks:
-        print(f"no deadlock reachable within {args.depth} visible events")
+    try:
+        report = Explorer(semantics).deadlock_report(_target(args, defs), args.depth)
+    except BudgetExceeded as exc:
+        checkpoint = exc.checkpoint
+        payload = (
+            checkpoint.payload
+            if checkpoint is not None and isinstance(checkpoint.payload, dict)
+            else {}
+        )
+        found = tuple(payload.get("deadlocks") or ())
+        print(
+            f"PARTIAL: search stopped early with {len(found)} deadlocking "
+            f"trace(s) found so far:"
+        )
+        _print_traces(found)
+        print(render_partial(exc), file=sys.stderr)
+        return EXIT_BUDGET
+    if not report.deadlocks:
+        print(
+            f"no deadlock reachable within {args.depth} visible events "
+            f"({report.states_touched} states touched)"
+        )
         return 0
-    print(f"{len(deadlocks)} deadlocking trace(s):")
-    for trace in deadlocks:
-        inner = ", ".join(repr(e) for e in trace)
-        print(f"  ⟨{inner}⟩")
+    print(
+        f"{len(report.deadlocks)} deadlocking trace(s) "
+        f"({report.states_touched} states touched):"
+    )
+    _print_traces(report.deadlocks)
     return 1
 
 
@@ -248,6 +346,34 @@ def build_parser() -> argparse.ArgumentParser:
         description="CSP partial-correctness toolkit (Zhou & Hoare 1981)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def debug_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--debug",
+            action="store_true",
+            help="re-raise errors with full tracebacks instead of one-line "
+            "stderr summaries",
+        )
+
+    def budget_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--deadline",
+            type=float,
+            metavar="SECONDS",
+            help="wall-clock budget; exceeded → partial result, exit 4",
+        )
+        p.add_argument(
+            "--max-nodes",
+            type=int,
+            metavar="N",
+            help="budget of freshly interned trie nodes",
+        )
+        p.add_argument(
+            "--max-states",
+            type=int,
+            metavar="N",
+            help="budget of explored operational configurations",
+        )
 
     def common(p: argparse.ArgumentParser, engine: bool = False) -> None:
         p.add_argument("file", help="definitions file in the paper's notation")
@@ -271,9 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=("denotational", "operational"),
                 default="denotational",
             )
+        budget_flags(p)
+        debug_flag(p)
 
     p = sub.add_parser("parse", help="parse and pretty-print definitions")
     p.add_argument("file")
+    debug_flag(p)
     p.set_defaults(func=cmd_parse)
 
     p = sub.add_parser("traces", help="enumerate bounded traces")
@@ -323,30 +452,45 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduce", help="run the paper-reproduction battery (E1–E10)"
     )
     p.add_argument("--quick", action="store_true", help="small bounds, seconds")
+    budget_flags(p)
+    debug_flag(p)
     p.set_defaults(func=cmd_reproduce)
 
     return parser
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    from repro.report import reproduction_report
+    from repro.report import render_report, run_experiments
 
-    report = reproduction_report(quick=args.quick)
-    print(report)
-    return 0 if "FAILED" not in report else 1
+    outcomes = run_experiments(quick=args.quick)
+    print(render_report(outcomes, quick=args.quick))
+    if any(o.partial for o in outcomes):
+        return EXIT_BUDGET
+    return 0 if all(o.ok for o in outcomes) else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.report import render_partial
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    debug = getattr(args, "debug", False)
+    governor = _build_governor(args)
     try:
-        return args.func(args)
-    except ReproError as exc:
+        with activate(governor):
+            return args.func(args)
+    except BudgetExceeded as exc:
+        # Backstop for trips that escape a command's own partial-result
+        # rendering (e.g. prove, simulate).
+        if debug:
+            raise
+        print(render_partial(exc), file=sys.stderr)
+        return EXIT_BUDGET
+    except (ReproError, OSError) as exc:
+        if debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

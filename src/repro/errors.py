@@ -12,6 +12,32 @@ class ReproError(Exception):
     """Base class of all errors raised by the repro library."""
 
 
+class BudgetExceeded(ReproError):
+    """A resource budget tripped and the computation stopped cooperatively.
+
+    Carries the :class:`~repro.runtime.governor.Checkpoint` describing
+    what had been *soundly completed* when the budget ran out — the
+    deepest finished approximation level, traces verified so far, states
+    explored — so callers can report a partial result ("verified to depth
+    k, no counterexample") and, where supported, resume from it.
+    """
+
+    def __init__(self, resource: str, limit: object, checkpoint: object = None) -> None:
+        message = f"{resource} budget of {limit} exceeded"
+        if checkpoint is not None:
+            message += f" — {checkpoint.describe()}"
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.checkpoint = checkpoint
+
+    def with_checkpoint(self, checkpoint: object) -> "BudgetExceeded":
+        """The same trip, re-raised with an enriched checkpoint (outer
+        layers know more about what they had completed than the inner
+        counter that tripped)."""
+        return BudgetExceeded(self.resource, self.limit, checkpoint)
+
+
 class EvaluationError(ReproError):
     """An expression, set expression, or assertion could not be evaluated."""
 
@@ -75,3 +101,40 @@ class SideConditionError(ProofError):
 
 class DischargeError(ProofError):
     """The oracle could not discharge a pure (process-free) premise."""
+
+
+# ---------------------------------------------------------------------------
+# CLI exit-code taxonomy
+# ---------------------------------------------------------------------------
+
+#: Input could not be read or parsed (bad file, bad notation).
+EXIT_PARSE = 2
+#: The semantics could not be computed (bad bounds, unbound names, ...).
+EXIT_SEMANTICS = 3
+#: A resource budget tripped; a partial result was reported.
+EXIT_BUDGET = 4
+#: The operational simulator hit an invalid configuration.
+EXIT_OPERATIONAL = 5
+#: The proof checker rejected a derivation.
+EXIT_PROOF = 6
+#: Any other library error.
+EXIT_ERROR = 7
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI's exit-code taxonomy.
+
+    One family, one code, so scripts can branch on the *kind* of failure
+    without scraping stderr.
+    """
+    if isinstance(exc, BudgetExceeded):
+        return EXIT_BUDGET
+    if isinstance(exc, (ParseError, DefinitionError, OSError)):
+        return EXIT_PARSE
+    if isinstance(exc, (SemanticsError, EvaluationError, SubstitutionError)):
+        return EXIT_SEMANTICS
+    if isinstance(exc, OperationalError):
+        return EXIT_OPERATIONAL
+    if isinstance(exc, ProofError):
+        return EXIT_PROOF
+    return EXIT_ERROR

@@ -7,12 +7,21 @@ CLI as ``python -m repro reproduce``.
 
 ``quick=True`` shrinks bounds (depth, trials) so the whole battery runs
 in seconds; the default bounds match EXPERIMENTS.md.
+
+Under an ambient :class:`~repro.runtime.governor.Governor` the battery
+degrades instead of dying: an experiment that trips its budget is
+reported as ``PARTIAL`` with the checkpoint's "verified to depth k"
+line, and once the governor is exhausted the remaining experiments are
+skipped rather than started against a spent budget.
 """
 
 from __future__ import annotations
 
 import time
 from typing import Callable, List, NamedTuple
+
+from repro.errors import BudgetExceeded
+from repro.runtime import governor as _governor
 
 
 class ExperimentOutcome(NamedTuple):
@@ -21,19 +30,41 @@ class ExperimentOutcome(NamedTuple):
     measured: str
     ok: bool
     seconds: float
+    partial: bool = False
 
 
 def _run(
     experiment: str, claim: str, body: Callable[[], "tuple[str, bool]"]
 ) -> ExperimentOutcome:
     started = time.perf_counter()
+    partial = False
     try:
         measured, ok = body()
+    except BudgetExceeded as exc:  # a budget trip is a partial result
+        checkpoint = exc.checkpoint
+        detail = checkpoint.describe() if checkpoint is not None else str(exc)
+        measured, ok, partial = f"PARTIAL: {detail}", False, True
     except Exception as exc:  # a crash is a failed reproduction, not a crash
         measured, ok = f"ERROR: {exc}", False
     return ExperimentOutcome(
-        experiment, claim, measured, ok, time.perf_counter() - started
+        experiment, claim, measured, ok, time.perf_counter() - started, partial
     )
+
+
+def _skipped(experiment: str, claim: str) -> ExperimentOutcome:
+    return ExperimentOutcome(
+        experiment, claim, "SKIPPED (budget exhausted)", False, 0.0, True
+    )
+
+
+def render_partial(exc: BudgetExceeded) -> str:
+    """One structured stderr block for a CLI command cut short by its
+    budget: what ran out, and what was soundly established before it did."""
+    lines = [f"budget exhausted: {exc.resource} limit of {exc.limit} reached"]
+    checkpoint = exc.checkpoint
+    if checkpoint is not None:
+        lines.append(f"partial result: {checkpoint.describe()}")
+    return "\n".join(lines)
 
 
 def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
@@ -52,7 +83,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
     depth = 3 if quick else 4
     trials = 40 if quick else 200
     cfg = SemanticsConfig(depth=depth, sample=2)
-    outcomes: List[ExperimentOutcome] = []
+    specs: List[tuple] = []
 
     def e1() -> "tuple[str, bool]":
         defs = protocol.definitions()
@@ -67,9 +98,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
             same,
         )
 
-    outcomes.append(
-        _run("E1", "§1.2–1.3 trace sets; denotational = operational", e1)
-    )
+    specs.append(("E1", "§1.2–1.3 trace sets; denotational = operational", e1))
 
     def e2() -> "tuple[str, bool]":
         copier_results = copier.check_all(depth=depth + 1, sample=2)
@@ -83,7 +112,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
             all_hold,
         )
 
-    outcomes.append(_run("E2", "every §2 sat claim holds", e2))
+    specs.append(("E2", "every §2 sat claim holds", e2))
 
     def e3() -> "tuple[str, bool]":
         report = protocol.check_table1_proof()
@@ -93,7 +122,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
             ok,
         )
 
-    outcomes.append(_run("E3", "Table 1 checks line by line", e3))
+    specs.append(("E3", "Table 1 checks line by line", e3))
 
     def e4_e5() -> "tuple[str, bool]":
         reports = protocol.prove_all()
@@ -101,9 +130,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
         sizes = ", ".join(f"{k}:{v.nodes}" for k, v in sorted(reports.items()))
         return sizes, ok
 
-    outcomes.append(
-        _run("E4+E5", "receiver exercise and protocol theorem proved", e4_e5)
-    )
+    specs.append(("E4+E5", "receiver exercise and protocol theorem proved", e4_e5))
 
     def e6() -> "tuple[str, bool]":
         from repro.traces.events import event
@@ -116,7 +143,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
         lifted = prefix(event("z", 0), p)
         return ("prefix closure preserved", lifted.is_prefix_closed())
 
-    outcomes.append(_run("E6", "§3.1 closure theorems", e6))
+    specs.append(("E6", "§3.1 closure theorems", e6))
 
     def e7() -> "tuple[str, bool]":
         chain = ApproximationChain(copier.definitions(), copier.environment(), cfg)
@@ -124,7 +151,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
         ok = steps <= cfg.depth + 1 and chain.is_monotone()
         return (f"stabilised in {steps} steps (depth {cfg.depth})", ok)
 
-    outcomes.append(_run("E7", "fixpoint chain converges monotonically", e7))
+    specs.append(("E7", "fixpoint chain converges monotonically", e7))
 
     def e8() -> "tuple[str, bool]":
         results = run_all_rule_experiments(trials=trials, seed=2026)
@@ -133,7 +160,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
         ok = violations == 0 and not vacuous
         return (f"{len(results)} rules, {violations} violations", ok)
 
-    outcomes.append(_run("E8", "§3.4 validity: zero violations", e8))
+    specs.append(("E8", "§3.4 validity: zero violations", e8))
 
     def e9() -> "tuple[str, bool]":
         p = parse_process("a!0 -> b!1 -> STOP")
@@ -146,9 +173,7 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
             identity and distinguished,
         )
 
-    outcomes.append(
-        _run("E9", "§4 limitations (and the failures fix)", e9)
-    )
+    specs.append(("E9", "§4 limitations (and the failures fix)", e9))
 
     def e10() -> "tuple[str, bool]":
         from repro.traces.events import channel, trace
@@ -161,14 +186,22 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
         ok = h(channel("input")) == (27, 0, 3) and h(channel("wire")) == (27, 0)
         return ("ch example matches §3.3", ok)
 
-    outcomes.append(_run("E10", "the worked ch(s) example", e10))
+    specs.append(("E10", "the worked ch(s) example", e10))
 
+    outcomes: List[ExperimentOutcome] = []
+    governor = _governor.current()
+    for name, claim, body in specs:
+        if governor is not None and governor.expired():
+            # Don't start an experiment against a spent budget: report it
+            # as skipped so the table still accounts for every row.
+            outcomes.append(_skipped(name, claim))
+            continue
+        outcomes.append(_run(name, claim, body))
     return outcomes
 
 
-def reproduction_report(quick: bool = False) -> str:
-    """The battery's outcomes rendered as a markdown table."""
-    outcomes = run_experiments(quick=quick)
+def render_report(outcomes: List[ExperimentOutcome], quick: bool = False) -> str:
+    """Render battery outcomes as a markdown table."""
     lines = [
         "# Reproduction report",
         "",
@@ -178,14 +211,28 @@ def reproduction_report(quick: bool = False) -> str:
         "|-----|-------|----------|--------|------|",
     ]
     for outcome in outcomes:
-        status = "✓" if outcome.ok else "✗ FAILED"
+        if outcome.ok:
+            status = "✓"
+        elif outcome.partial:
+            status = "◐ PARTIAL"
+        else:
+            status = "✗ FAILED"
         lines.append(
             f"| {outcome.experiment} | {outcome.claim} | {outcome.measured} "
             f"| {status} | {outcome.seconds:.1f}s |"
         )
-    failed = sum(1 for o in outcomes if not o.ok)
+    failed = sum(1 for o in outcomes if not o.ok and not o.partial)
+    partial = sum(1 for o in outcomes if o.partial)
+    reproduced = len(outcomes) - failed - partial
+    summary = f"**{reproduced}/{len(outcomes)} experiments reproduce"
+    if partial:
+        summary += f" ({partial} partial under the active budget)"
+    summary += ".**"
     lines.append("")
-    lines.append(
-        f"**{len(outcomes) - failed}/{len(outcomes)} experiments reproduce.**"
-    )
+    lines.append(summary)
     return "\n".join(lines)
+
+
+def reproduction_report(quick: bool = False) -> str:
+    """The battery's outcomes rendered as a markdown table."""
+    return render_report(run_experiments(quick=quick), quick=quick)

@@ -1,0 +1,29 @@
+"""Resource-governed execution (budgets, deadlines, partial results).
+
+See :mod:`repro.runtime.governor` for the budget/checkpoint machinery and
+:mod:`repro.runtime.faults` for the deterministic fault-injection harness
+that proves aborts are exception-safe.  ``docs/robustness.md`` documents
+the budget semantics and the partial-result guarantees.
+"""
+
+from repro.errors import BudgetExceeded
+from repro.runtime import faults
+from repro.runtime.governor import (
+    Budget,
+    Checkpoint,
+    Governor,
+    activate,
+    current,
+    recursion_guard,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "Checkpoint",
+    "Governor",
+    "activate",
+    "current",
+    "faults",
+    "recursion_guard",
+]

@@ -1,0 +1,390 @@
+"""Resource-governed execution: budgets, deadlines, and checkpoints.
+
+The paper's checkers are sound only on the bounded approximations that
+can actually be computed (§3's chain ``a₀ ⊆ a₁ ⊆ …``).  This module
+makes the bound a first-class, *enforced* object rather than an implicit
+property of whatever finishes before the operator crashes:
+
+* a :class:`Budget` declares limits — wall-clock deadline, interned-node
+  budget, explored-state budget;
+* a :class:`Governor` enforces one budget over one computation, fed by
+  cheap cooperative hooks threaded through the trie interner
+  (:func:`note_node`), the operational explorer (:func:`note_state`), and
+  every operator/denoter recursion (:func:`tick`);
+* when a limit trips, the governor raises
+  :class:`~repro.errors.BudgetExceeded` carrying a :class:`Checkpoint` —
+  the deepest *completed* approximation level, verified-trace count, and
+  (where the caller recorded one) a resume payload — so ``P sat R``
+  degrades to "verified to depth k, no counterexample" instead of dying.
+
+The governor is installed ambiently with :func:`activate` (a context
+manager) so the hash-consed interner, which is process-global, can report
+without every caller threading a parameter through.  With no governor
+active every hook is a single ``is None`` check — the ungoverned fast
+path stays fast.
+
+Exception safety is the design invariant that makes a trip *sound*: memo
+tables and the interner only ever store **completed** results, so a
+computation aborted at any trigger point leaves them consistent and a
+re-run (or a resume) computes exactly what an undisturbed run would have
+— the property :mod:`repro.runtime.faults` exists to prove.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import BudgetExceeded
+
+#: Wall-clock reads are comparatively expensive; the governor checks the
+#: deadline only every this-many cooperative events.
+DEADLINE_STRIDE = 256
+
+
+class Checkpoint:
+    """What a governed computation had soundly completed when it stopped.
+
+    ``completed_depth`` is the deepest *fully finished* level — an
+    approximation level of the §3.3 chain, a BFS level of the explorer,
+    or a verified trace depth of the sat checker — ``None`` when not even
+    level 0 finished.  ``payload`` optionally carries in-process resume
+    data (e.g. the fixpoint chain's completed levels or the explorer's
+    frontier); its shape is owned by whichever subsystem recorded it.
+    """
+
+    __slots__ = (
+        "phase",
+        "completed_depth",
+        "traces_verified",
+        "states_explored",
+        "nodes_interned",
+        "elapsed",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        phase: str = "",
+        completed_depth: Optional[int] = None,
+        traces_verified: int = 0,
+        states_explored: int = 0,
+        nodes_interned: int = 0,
+        elapsed: float = 0.0,
+        payload: Any = None,
+    ) -> None:
+        self.phase = phase
+        self.completed_depth = completed_depth
+        self.traces_verified = traces_verified
+        self.states_explored = states_explored
+        self.nodes_interned = nodes_interned
+        self.elapsed = elapsed
+        self.payload = payload
+
+    def describe(self) -> str:
+        """One human line: what was verified before the budget ran out."""
+        parts = []
+        if self.completed_depth is not None:
+            parts.append(f"verified to depth {self.completed_depth}")
+        else:
+            parts.append("no depth completed")
+        if self.traces_verified:
+            parts.append(f"{self.traces_verified} traces checked")
+        if self.states_explored:
+            parts.append(f"{self.states_explored} states explored")
+        if self.nodes_interned:
+            parts.append(f"{self.nodes_interned} nodes interned")
+        parts.append(f"{self.elapsed:.2f}s elapsed")
+        prefix = f"{self.phase}: " if self.phase else ""
+        return prefix + ", ".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "completed_depth": self.completed_depth,
+            "traces_verified": self.traces_verified,
+            "states_explored": self.states_explored,
+            "nodes_interned": self.nodes_interned,
+            "elapsed_s": round(self.elapsed, 4),
+        }
+
+    def __repr__(self) -> str:
+        return f"Checkpoint({self.describe()})"
+
+
+class Budget:
+    """Immutable resource limits; ``None`` means unlimited.
+
+    ``deadline`` is wall-clock seconds from :meth:`start`; ``max_nodes``
+    bounds *newly interned* trie nodes (the kernel's real storage cost);
+    ``max_states`` bounds configurations touched by the operational
+    explorer across the governed computation.
+    """
+
+    __slots__ = ("deadline", "max_nodes", "max_states")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+        max_states: Optional[int] = None,
+    ) -> None:
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be non-negative")
+        if max_nodes is not None and max_nodes < 0:
+            raise ValueError("max_nodes must be non-negative")
+        if max_states is not None and max_states < 0:
+            raise ValueError("max_states must be non-negative")
+        self.deadline = deadline
+        self.max_nodes = max_nodes
+        self.max_states = max_states
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.deadline is None
+            and self.max_nodes is None
+            and self.max_states is None
+        )
+
+    def start(self) -> "Governor":
+        """A fresh governor enforcing this budget, clock started now."""
+        return Governor(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Budget(deadline={self.deadline}, max_nodes={self.max_nodes}, "
+            f"max_states={self.max_states})"
+        )
+
+
+class Governor:
+    """Enforces one :class:`Budget` over one computation.
+
+    Counters accumulate across the whole governed region (several
+    denotations, a fixpoint chain, an exploration, a sat walk); subsystems
+    call :meth:`record_progress` as they complete sound units of work so
+    that the checkpoint attached to a trip reflects the *latest completed*
+    state, not the interrupted one.
+    """
+
+    __slots__ = (
+        "budget",
+        "started",
+        "nodes_interned",
+        "states_touched",
+        "ticks",
+        "exhausted",
+        "_phase",
+        "_completed_depth",
+        "_traces_verified",
+        "_payload",
+    )
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self.started = time.monotonic()
+        self.nodes_interned = 0
+        self.states_touched = 0
+        self.ticks = 0
+        self.exhausted = False
+        self._phase = ""
+        self._completed_depth: Optional[int] = None
+        self._traces_verified = 0
+        self._payload: Any = None
+
+    # -- cooperative hooks --------------------------------------------------
+
+    def note_node(self) -> None:
+        """One freshly interned trie node (called on interner misses)."""
+        self.nodes_interned += 1
+        limit = self.budget.max_nodes
+        if limit is not None and self.nodes_interned > limit:
+            self.trip("interned-node", limit)
+        self._stride_deadline()
+
+    def note_state(self) -> None:
+        """One configuration touched by the operational explorer."""
+        self.states_touched += 1
+        limit = self.budget.max_states
+        if limit is not None and self.states_touched > limit:
+            self.trip("explored-state", limit)
+        self._stride_deadline()
+
+    def tick(self) -> None:
+        """One unit of cooperative work (operator recursion, trie walk)."""
+        self._stride_deadline()
+
+    def _stride_deadline(self) -> None:
+        self.ticks += 1
+        if self.ticks % DEADLINE_STRIDE == 0:
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        """Trip immediately if the wall-clock deadline has passed."""
+        deadline = self.budget.deadline
+        if deadline is not None and self.elapsed() > deadline:
+            self.trip("wall-clock", f"{deadline}s")
+
+    # -- state --------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    def expired(self) -> bool:
+        """Non-raising deadline probe (the battery uses it to skip work)."""
+        deadline = self.budget.deadline
+        return self.exhausted or (
+            deadline is not None and self.elapsed() > deadline
+        )
+
+    def record_progress(
+        self,
+        phase: Optional[str] = None,
+        completed_depth: Optional[int] = None,
+        traces_verified: Optional[int] = None,
+        payload: Any = None,
+    ) -> None:
+        """Note a *completed* sound unit of work; a later trip's checkpoint
+        reports the most recent record."""
+        if phase is not None:
+            self._phase = phase
+        if completed_depth is not None:
+            self._completed_depth = completed_depth
+        if traces_verified is not None:
+            self._traces_verified = traces_verified
+        if payload is not None:
+            self._payload = payload
+
+    def checkpoint(self, **overrides: Any) -> Checkpoint:
+        """The current sound-progress snapshot (recorded progress plus live
+        counters), with optional field overrides."""
+        fields: Dict[str, Any] = {
+            "phase": self._phase,
+            "completed_depth": self._completed_depth,
+            "traces_verified": self._traces_verified,
+            "states_explored": self.states_touched,
+            "nodes_interned": self.nodes_interned,
+            "elapsed": self.elapsed(),
+            "payload": self._payload,
+        }
+        fields.update(overrides)
+        return Checkpoint(**fields)
+
+    def trip(self, resource: str, limit: object) -> None:
+        """Stop now: raise :class:`BudgetExceeded` with the checkpoint."""
+        self.exhausted = True
+        raise BudgetExceeded(resource, limit, self.checkpoint())
+
+    def counters(self) -> Dict[str, object]:
+        """Governor counters for ``repro stats`` / battery reports."""
+        return {
+            "elapsed_s": round(self.elapsed(), 4),
+            "nodes_interned": self.nodes_interned,
+            "states_touched": self.states_touched,
+            "ticks": self.ticks,
+            "exhausted": self.exhausted,
+            "budget": {
+                "deadline_s": self.budget.deadline,
+                "max_nodes": self.budget.max_nodes,
+                "max_states": self.budget.max_states,
+            },
+        }
+
+    def summary(self) -> str:
+        """Human-readable counter block (appended to ``repro stats``)."""
+        budget = self.budget
+        limits = ", ".join(
+            f"{name}={value}"
+            for name, value in (
+                ("deadline", f"{budget.deadline}s" if budget.deadline is not None else None),
+                ("max-nodes", budget.max_nodes),
+                ("max-states", budget.max_states),
+            )
+            if value is not None
+        )
+        lines = [
+            "resource governor",
+            f"  budget: {limits or 'unlimited'}",
+            f"  spent: {self.elapsed():.3f}s, {self.nodes_interned} nodes "
+            f"interned, {self.states_touched} states touched, "
+            f"{self.ticks} cooperative checks",
+        ]
+        if self.exhausted:
+            lines.append("  status: EXHAUSTED (partial results only)")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# ambient governor
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Governor] = None
+
+
+def current() -> Optional[Governor]:
+    """The ambient governor, or ``None`` when execution is ungoverned."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(governor: Optional[Governor]) -> Iterator[Optional[Governor]]:
+    """Install ``governor`` as the ambient governor for the ``with`` body.
+
+    ``activate(None)`` is a no-op, so call sites can thread an optional
+    governor without branching.  Nesting replaces the outer governor for
+    the inner region and restores it afterwards.
+    """
+    global _ACTIVE
+    if governor is None:
+        yield None
+        return
+    previous = _ACTIVE
+    _ACTIVE = governor
+    try:
+        yield governor
+    finally:
+        _ACTIVE = previous
+
+
+def note_node() -> None:
+    """Hot-path hook for the trie interner (no-op when ungoverned)."""
+    g = _ACTIVE
+    if g is not None:
+        g.note_node()
+
+
+def note_state() -> None:
+    """Hot-path hook for the operational explorer."""
+    g = _ACTIVE
+    if g is not None:
+        g.note_state()
+
+
+def tick() -> None:
+    """Hot-path hook for operator/denoter recursions and trie walks."""
+    g = _ACTIVE
+    if g is not None:
+        g.tick()
+
+
+@contextmanager
+def recursion_guard(phase: str) -> Iterator[None]:
+    """Convert an escaped :class:`RecursionError` into a structured
+    :class:`BudgetExceeded` at a *non-recursive* entry point.
+
+    The interpreter's recursion limit is treated as one more resource
+    budget: deep tries and deep process terms stop with "recursion depth
+    budget of N exceeded" plus the governor's checkpoint instead of an
+    unbounded traceback.  By the time the except clause runs the stack has
+    unwound to the entry frame, so building the replacement is safe.
+    """
+    try:
+        yield
+    except RecursionError:
+        limit = sys.getrecursionlimit()
+        g = _ACTIVE
+        checkpoint = g.checkpoint(phase=phase) if g is not None else Checkpoint(phase=phase)
+        raise BudgetExceeded("recursion-depth", limit, checkpoint) from None

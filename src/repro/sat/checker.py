@@ -32,10 +32,12 @@ from typing import Any, Deque, Mapping, NamedTuple, Optional, Tuple, Union
 from repro.assertions.ast import Formula
 from repro.assertions.eval import DEFAULT_EVAL_CONFIG, EvalConfig, evaluate_formula
 from repro.assertions.parser import parse_assertion
-from repro.errors import EvaluationError
+from repro.errors import BudgetExceeded, EvaluationError
 from repro.process.analysis import channel_names
 from repro.process.ast import Process
 from repro.process.definitions import DefinitionList, NO_DEFINITIONS
+from repro.runtime import governor as _governor
+from repro.runtime.governor import Checkpoint, Governor
 from repro.sat.counterexample import Counterexample
 from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
 from repro.semantics.denotation import Denoter
@@ -47,14 +49,30 @@ from repro.values.environment import Environment
 
 
 class SatResult(NamedTuple):
-    """Outcome of a bounded ``sat`` check."""
+    """Outcome of a bounded ``sat`` check.
+
+    ``complete`` is False only for partial results assembled after a
+    budget trip; ``verified_depth`` is the deepest trace length the check
+    actually covered (``None`` under the ungoverned single-pass path,
+    where it is always the configured depth).
+    """
 
     holds: bool
     counterexample: Optional[Counterexample]
     traces_checked: int
+    complete: bool = True
+    verified_depth: Optional[int] = None
 
     def __bool__(self) -> bool:
         return self.holds
+
+
+class PartialTraces(NamedTuple):
+    """A trace set together with how far it was soundly computed."""
+
+    closure: Optional[FiniteClosure]  #: None when not even depth 0 finished
+    verified_depth: Optional[int]
+    complete: bool
 
 
 class SatChecker:
@@ -86,17 +104,52 @@ class SatChecker:
 
     # -- trace supply ------------------------------------------------------
 
-    def traces_of(self, process: Process) -> FiniteClosure:
-        """The bounded trace set of ``process`` under the chosen engine."""
+    def traces_of(
+        self, process: Process, depth: Optional[int] = None
+    ) -> FiniteClosure:
+        """The bounded trace set of ``process`` under the chosen engine
+        (``depth`` overrides the configured bound, e.g. for deepening)."""
+        if depth is None:
+            depth = self.config.depth
         if self.engine == "denotational":
-            return Denoter(self.definitions, self.env, self.config).denote(process)
+            return Denoter(self.definitions, self.env, self.config).denote(
+                process, depth
+            )
         from repro.operational.explorer import explore_traces
         from repro.operational.step import OperationalSemantics
 
         semantics = OperationalSemantics(
             self.definitions, self.env, sample=self.config.sample
         )
-        return explore_traces(process, semantics, self.config.depth)
+        return explore_traces(process, semantics, depth)
+
+    def traces_partial(self, process: Process) -> PartialTraces:
+        """The trace set under the ambient budget: deepen from 0 to the
+        configured depth and keep the last closure that *finished*.
+
+        Bounded closures are monotone in depth, so the kept closure is a
+        sound under-approximation — every trace in it is a real trace.
+        Returns ``complete=False`` (instead of raising) when the budget
+        stops the deepening early.
+        """
+        governor = _governor.current()
+        if governor is None:
+            return PartialTraces(self.traces_of(process), self.config.depth, True)
+        closure: Optional[FiniteClosure] = None
+        verified: Optional[int] = None
+        for depth in range(self.config.depth + 1):
+            try:
+                governor.check_deadline()
+                candidate = self.traces_of(process, depth)
+            except BudgetExceeded:
+                return PartialTraces(closure, verified, False)
+            closure = candidate
+            verified = depth
+            governor.record_progress(
+                phase="traces", completed_depth=depth,
+                traces_verified=len(candidate),
+            )
+        return PartialTraces(closure, verified, True)
 
     # -- checking -----------------------------------------------------------
 
@@ -107,13 +160,81 @@ class SatChecker:
         bindings: Optional[Mapping[str, Any]] = None,
     ) -> SatResult:
         """Check ``process sat assertion``; extra variable ``bindings``
-        extend the environment (e.g. a specific ``x`` for ``q[x]``)."""
+        extend the environment (e.g. a specific ``x`` for ``q[x]``).
+
+        Under an ambient governor the check runs by iterative deepening so
+        a budget trip can still report "verified to depth k": the raised
+        :class:`~repro.errors.BudgetExceeded` carries a checkpoint whose
+        ``completed_depth`` is the deepest depth at which *every* trace
+        satisfied the assertion.
+        """
         formula = self._coerce(assertion, process)
         env = self.env.bind_all(dict(bindings or {}))
+        governor = _governor.current()
+        if governor is not None:
+            return self._check_governed(process, formula, env, bindings, governor)
         closure = self.traces_of(process)
         if self.trie_walk:
             return self._check_trie(closure, formula, env, bindings)
         return self._check_flat(closure, formula, env, bindings)
+
+    def _check_governed(
+        self,
+        process: Process,
+        formula: Formula,
+        env: Environment,
+        bindings: Optional[Mapping[str, Any]],
+        governor: Governor,
+    ) -> SatResult:
+        """Iterative deepening: check at depth 0, 1, …, configured depth.
+
+        Each completed depth is a sound partial verdict (§3.3: the bounded
+        closure at depth d contains exactly the traces of length ≤ d of
+        the full denotation).  A counterexample found at any depth is a
+        real trace of the process, so refutations are always *complete*
+        results no matter how early the budget would have tripped.
+        """
+        verified: Optional[int] = None
+        traces_done = 0
+        try:
+            for depth in range(self.config.depth + 1):
+                governor.check_deadline()
+                closure = self.traces_of(process, depth)
+                if self.trie_walk:
+                    result = self._check_trie(closure, formula, env, bindings)
+                else:
+                    result = self._check_flat(closure, formula, env, bindings)
+                if not result.holds:
+                    return SatResult(
+                        False,
+                        result.counterexample,
+                        result.traces_checked,
+                        complete=True,
+                        verified_depth=depth,
+                    )
+                verified = depth
+                traces_done = result.traces_checked
+                governor.record_progress(
+                    phase="sat",
+                    completed_depth=depth,
+                    traces_verified=traces_done,
+                )
+        except BudgetExceeded as exc:
+            inner = exc.checkpoint
+            raise exc.with_checkpoint(
+                Checkpoint(
+                    phase="sat",
+                    completed_depth=verified,
+                    traces_verified=traces_done,
+                    states_explored=inner.states_explored if inner is not None else 0,
+                    nodes_interned=inner.nodes_interned if inner is not None else 0,
+                    elapsed=inner.elapsed if inner is not None else governor.elapsed(),
+                    payload={"verified_depth": verified},
+                )
+            ) from None
+        return SatResult(
+            True, None, traces_done, complete=True, verified_depth=verified
+        )
 
     def _check_trie(
         self,
@@ -132,6 +253,7 @@ class SatChecker:
         checked = 0
         while queue:
             trace, node, history = queue.popleft()
+            _governor.tick()
             checked += 1
             try:
                 ok = evaluate_formula(formula, env, history, self.eval_config)

@@ -39,6 +39,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import SemanticsError
 from repro.process.analysis import concrete_channels
+from repro.runtime import faults as _faults
+from repro.runtime import governor as _governor
 from repro.process.ast import (
     ArrayRef,
     Chan,
@@ -101,7 +103,8 @@ class Denoter:
         """``⟦process⟧`` up to ``depth`` (default: the configured depth)."""
         if depth is None:
             depth = self.config.depth
-        return self._denote(process, self.env, depth)
+        with _governor.recursion_guard("denotation"):
+            return self._denote(process, self.env, depth)
 
     def denote_name(self, name: str, depth: Optional[int] = None) -> FiniteClosure:
         """``⟦p⟧`` for a defined process name."""
@@ -110,6 +113,7 @@ class Denoter:
     # -- the semantic equations ------------------------------------------------
 
     def _denote(self, process: Process, env: Environment, depth: int) -> FiniteClosure:
+        _governor.tick()
         if isinstance(process, Stop):
             return STOP_CLOSURE
         if isinstance(process, Output):
@@ -185,6 +189,7 @@ class Denoter:
             stats.hits += 1
             return self._memo[key]
         stats.misses += 1
+        _faults.maybe_fail("denote.unfold")
         definition = self.definitions.lookup_process(process.name)
         result = self._denote(definition.body, self.env, depth)
         self._memo[key] = result
@@ -217,6 +222,7 @@ class Denoter:
             stats.hits += 1
             return self._memo[key]
         stats.misses += 1
+        _faults.maybe_fail("denote.unfold")
         result = self._denote(
             definition.body, self.env.bind(definition.parameter, value), depth
         )

@@ -30,8 +30,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
-from repro.errors import SemanticsError
+from repro.errors import BudgetExceeded, SemanticsError
 from repro.process.definitions import ArrayDef, DefinitionList
+from repro.runtime import faults as _faults
+from repro.runtime import governor as _governor
+from repro.runtime.governor import Checkpoint
 from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
 from repro.semantics.denotation import Denoter
 from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
@@ -91,12 +94,29 @@ class ApproximationChain:
         env: Optional[Environment] = None,
         config: SemanticsConfig = DEFAULT_CONFIG,
         kernel: str = "trie",
+        resume_from: Optional[Checkpoint] = None,
     ) -> None:
         self.definitions = definitions
         self.env = env if env is not None else Environment()
         self.config = config
         self.kernel = kernel
-        self._levels: List[Approximation] = [self._bottom()]
+        if resume_from is not None:
+            levels = (
+                resume_from.payload.get("levels")
+                if isinstance(resume_from.payload, dict)
+                else None
+            )
+            if not levels:
+                raise SemanticsError(
+                    "checkpoint carries no fixpoint levels to resume from"
+                )
+            # The interned roots in the checkpoint stay canonical for the
+            # life of the process, so the chain continues exactly where
+            # the budget stopped it — iteration cost already spent is not
+            # re-spent.
+            self._levels = list(levels)
+        else:
+            self._levels = [self._bottom()]
 
     # -- chain construction ------------------------------------------------
 
@@ -138,7 +158,20 @@ class ApproximationChain:
         return bindings
 
     def step(self) -> Approximation:
-        """Compute and record a_{i+1} from the latest level."""
+        """Compute and record a_{i+1} from the latest level.
+
+        Cooperates with the ambient governor: the wall-clock deadline is
+        force-checked at every level boundary, and a budget trip anywhere
+        inside the level's denotations is re-raised with a checkpoint
+        holding the chain's *completed* levels — a sound partial result
+        (every aᵢ under-approximates the fixpoint) that a later chain can
+        resume from via ``resume_from``.
+        """
+        _faults.maybe_fail("fixpoint.step")
+        governor = _governor.current()
+        if governor is not None:
+            governor.check_deadline()
+            self._record_progress(governor)
         previous = self._levels[-1]
         denoter = Denoter(
             self.definitions,
@@ -147,22 +180,51 @@ class ApproximationChain:
             process_bindings=self._bindings_from(previous),
             kernel=self.kernel,
         )
-        nxt: Approximation = {}
-        for definition in self.definitions:
-            if isinstance(definition, ArrayDef):
-                table = {}
-                for value in self._array_values(definition):
-                    body_env = self.env.bind(definition.parameter, value)
-                    table[value] = denoter._denote(
-                        definition.body, body_env, self.config.depth
-                    )
-                nxt[definition.name] = table
-            else:
-                nxt[definition.name] = denoter._denote(
-                    definition.body, self.env, self.config.depth
-                )
+        try:
+            with _governor.recursion_guard("fixpoint"):
+                nxt: Approximation = {}
+                for definition in self.definitions:
+                    if isinstance(definition, ArrayDef):
+                        table = {}
+                        for value in self._array_values(definition):
+                            body_env = self.env.bind(definition.parameter, value)
+                            table[value] = denoter._denote(
+                                definition.body, body_env, self.config.depth
+                            )
+                        nxt[definition.name] = table
+                    else:
+                        nxt[definition.name] = denoter._denote(
+                            definition.body, self.env, self.config.depth
+                        )
+        except BudgetExceeded as exc:
+            raise exc.with_checkpoint(self._checkpoint(exc)) from None
         self._levels.append(nxt)
+        if governor is not None:
+            self._record_progress(governor)
         return nxt
+
+    def _record_progress(self, governor: "_governor.Governor") -> None:
+        governor.record_progress(
+            phase="fixpoint",
+            completed_depth=len(self._levels) - 1,
+            traces_verified=sum(
+                len(c) for c in _level_closures(self._levels[-1])
+            ),
+            payload={"levels": tuple(self._levels)},
+        )
+
+    def _checkpoint(self, exc: BudgetExceeded) -> Checkpoint:
+        """The chain's own view of sound progress: a_{0..k} completed."""
+        inner = exc.checkpoint
+        return Checkpoint(
+            phase="fixpoint",
+            completed_depth=len(self._levels) - 1,
+            traces_verified=sum(len(c) for c in _level_closures(self._levels[-1])),
+            states_explored=inner.states_explored if inner is not None else 0,
+            nodes_interned=inner.nodes_interned if inner is not None else 0,
+            elapsed=inner.elapsed if inner is not None else 0.0,
+            payload={"levels": tuple(self._levels)},
+        )
 
     def level(self, i: int) -> Approximation:
         """aᵢ, computing further levels on demand."""

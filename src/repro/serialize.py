@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict
 from repro.assertions import ast as A
 from repro.errors import ReproError
 from repro.process import ast as P
+from repro.runtime.governor import recursion_guard
 from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
 from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
 from repro.proof.judgments import ForAllSat, Pure, Sat
@@ -70,8 +71,35 @@ def _register(cls: type, encoder: Callable[[Any], dict], decoder: Callable[[dict
     _DECODERS[cls.__name__] = decoder
 
 
+# Codecs recurse through these public entry points (the registered
+# lambdas call encode/decode on children), so a depth guard wrapped
+# around every call would both add a try/except per node and catch the
+# RecursionError in the deepest frame, where no stack is left to build
+# the replacement.  Instead only the *outermost* call guards, tracked by
+# a reentrancy flag; nested calls see the flag and skip straight to
+# dispatch.
+_GUARDED = False
+
+
 def encode(node: Any) -> dict:
-    """Encode any library AST node to a JSON-compatible dict."""
+    """Encode any library AST node to a JSON-compatible dict.
+
+    A term too deep for the interpreter stack raises
+    :class:`~repro.errors.BudgetExceeded` ("recursion-depth") rather
+    than an unstructured :class:`RecursionError`.
+    """
+    global _GUARDED
+    if _GUARDED:
+        return _encode(node)
+    _GUARDED = True
+    try:
+        with recursion_guard("serialize-encode"):
+            return _encode(node)
+    finally:
+        _GUARDED = False
+
+
+def _encode(node: Any) -> dict:
     encoder = _ENCODERS.get(type(node))
     if encoder is None:
         raise SerializationError(f"cannot encode {type(node).__name__}: {node!r}")
@@ -79,7 +107,19 @@ def encode(node: Any) -> dict:
 
 
 def decode(data: dict) -> Any:
-    """Decode a dict produced by :func:`encode`."""
+    """Decode a dict produced by :func:`encode` (same depth guarding)."""
+    global _GUARDED
+    if _GUARDED:
+        return _decode(data)
+    _GUARDED = True
+    try:
+        with recursion_guard("serialize-decode"):
+            return _decode(data)
+    finally:
+        _GUARDED = False
+
+
+def _decode(data: dict) -> Any:
     if not isinstance(data, dict) or "kind" not in data:
         raise SerializationError(f"not an encoded node: {data!r}")
     decoder = _DECODERS.get(data["kind"])

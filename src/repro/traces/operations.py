@@ -25,6 +25,8 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import SemanticsError
+from repro.runtime import faults as _faults
+from repro.runtime import governor as _governor
 from repro.traces.events import Channel, Event, Trace
 from repro.traces.prefix_closure import FiniteClosure
 from repro.traces.stats import KERNEL_STATS
@@ -90,7 +92,8 @@ def hide(p: FiniteClosure, channels: Iterable[Channel]) -> FiniteClosure:
     hidden = frozenset(channels)
     if not hidden:
         return p
-    return FiniteClosure.from_node(_hide_node(p.root, hidden))
+    with _governor.recursion_guard("hide"):
+        return FiniteClosure.from_node(_hide_node(p.root, hidden))
 
 
 def _hide_node(node: ClosureNode, hidden: FrozenSet[Channel]) -> ClosureNode:
@@ -103,6 +106,8 @@ def _hide_node(node: ClosureNode, hidden: FrozenSet[Channel]) -> ClosureNode:
         stats.hits += 1
         return cached
     stats.misses += 1
+    _faults.maybe_fail("op.hide")
+    _governor.tick()
     visible: Dict[Event, ClosureNode] = {}
     absorbed = EMPTY_NODE
     for event, child in node.items:
@@ -144,7 +149,8 @@ def pad(
     for e in pad_set:
         if e.channel not in chan_set:
             raise ValueError(f"padding event {e!r} not on a padding channel")
-    return FiniteClosure.from_node(_pad_node(p.root, pad_set, depth))
+    with _governor.recursion_guard("pad"):
+        return FiniteClosure.from_node(_pad_node(p.root, pad_set, depth))
 
 
 def _pad_node(
@@ -161,6 +167,8 @@ def _pad_node(
         stats.hits += 1
         return cached
     stats.misses += 1
+    _faults.maybe_fail("op.pad")
+    _governor.tick()
     children: Dict[Event, ClosureNode] = {
         event: _pad_node(child, pad_set, depth - 1) for event, child in node.items
     }
@@ -225,7 +233,8 @@ def parallel(
     if depth is None:
         depth = p.depth() + q.depth()
 
-    return FiniteClosure.from_node(_par_node(p.root, q.root, shared, depth))
+    with _governor.recursion_guard("parallel"):
+        return FiniteClosure.from_node(_par_node(p.root, q.root, shared, depth))
 
 
 def _par_node(
@@ -243,6 +252,8 @@ def _par_node(
         stats.hits += 1
         return cached
     stats.misses += 1
+    _faults.maybe_fail("op.parallel")
+    _governor.tick()
     children: Dict[Event, ClosureNode] = {}
     for event, p_child in np.items:
         if event.channel in shared:

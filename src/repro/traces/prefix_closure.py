@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Iterator, Optional
 
+from repro.runtime.governor import recursion_guard
 from repro.traces.events import EMPTY_TRACE, Channel, Event, Trace
 from repro.traces.trie import (
     EMPTY_NODE,
@@ -150,15 +151,20 @@ class FiniteClosure:
 
     def union(self, other: "FiniteClosure") -> "FiniteClosure":
         """Set union; prefix closures are closed under arbitrary unions."""
-        return FiniteClosure.from_node(union_nodes(self._root, other._root))
+        with recursion_guard("union"):
+            return FiniteClosure.from_node(union_nodes(self._root, other._root))
 
     def intersection(self, other: "FiniteClosure") -> "FiniteClosure":
         """Set intersection; closed under arbitrary intersections."""
-        return FiniteClosure.from_node(intersect_nodes(self._root, other._root))
+        with recursion_guard("intersection"):
+            return FiniteClosure.from_node(
+                intersect_nodes(self._root, other._root)
+            )
 
     def issubset(self, other: "FiniteClosure") -> bool:
         """The lattice order ⊆."""
-        return subset_nodes(self._root, other._root)
+        with recursion_guard("subset"):
+            return subset_nodes(self._root, other._root)
 
     def truncate(self, depth: int) -> "FiniteClosure":
         """Only the traces of length ≤ ``depth`` (still prefix-closed)."""

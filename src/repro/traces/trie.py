@@ -35,6 +35,8 @@ from typing import (
     Tuple,
 )
 
+from repro.runtime import faults as _faults
+from repro.runtime import governor as _governor
 from repro.traces.events import EMPTY_TRACE, Channel, Event, Trace
 from repro.traces.stats import KERNEL_STATS
 
@@ -94,6 +96,10 @@ def make_node(children: Mapping[Event, "ClosureNode"]) -> ClosureNode:
         KERNEL_STATS.interner_hits += 1
         return node
     KERNEL_STATS.interner_misses += 1
+    # Governed/fault-injected runs may abort here; nothing has been
+    # inserted yet, so the interner stays consistent (exception safety).
+    _faults.maybe_fail("trie.intern")
+    _governor.note_node()
     node = ClosureNode(items)
     _INTERNER[key] = node
     return node
@@ -139,9 +145,28 @@ def node_from_traces(traces: Iterable[Trace]) -> ClosureNode:
 
 
 def _intern_tree(tree: Dict) -> ClosureNode:
+    """Intern a nested-dict trie bottom-up with an explicit stack, so a
+    trace of any length can be inserted without touching the interpreter
+    recursion limit (deep linear processes are legitimate inputs)."""
     if not tree:
         return EMPTY_NODE
-    return make_node({event: _intern_tree(sub) for event, sub in tree.items()})
+    interned: Dict[int, ClosureNode] = {}
+    stack: List[Tuple[Dict, bool]] = [(tree, False)]
+    while stack:
+        subtree, expanded = stack.pop()
+        if expanded:
+            interned[id(subtree)] = make_node(
+                {
+                    event: interned[id(sub)] if sub else EMPTY_NODE
+                    for event, sub in subtree.items()
+                }
+            )
+            continue
+        stack.append((subtree, True))
+        for sub in subtree.values():
+            if sub:
+                stack.append((sub, False))
+    return interned[id(tree)]
 
 
 # -- derived queries --------------------------------------------------------
@@ -181,17 +206,28 @@ def iter_trace_set(node: ClosureNode) -> FrozenSet[Trace]:
 
 def node_channels(node: ClosureNode) -> FrozenSet[Channel]:
     """All channels occurring anywhere in the trie (cached per node;
-    shared subtrees are visited once)."""
+    shared subtrees are visited once).  Computed bottom-up with an
+    explicit stack so arbitrarily deep tries cannot overflow."""
     cached = node._channels
     if cached is not None:
         return cached
-    chans = set()
-    for event, child in node.items:
-        chans.add(event.channel)
-        chans |= node_channels(child)
-    result = frozenset(chans)
-    node._channels = result
-    return result
+    stack: List[Tuple[ClosureNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if current._channels is not None:
+            continue
+        if expanded:
+            chans = set()
+            for event, child in current.items:
+                chans.add(event.channel)
+                chans |= child._channels  # type: ignore[arg-type]
+            current._channels = frozenset(chans)
+            continue
+        stack.append((current, True))
+        for _, child in current.items:
+            if child._channels is None:
+                stack.append((child, False))
+    return node._channels  # type: ignore[return-value]
 
 
 def maximal_traces(node: ClosureNode) -> FrozenSet[Trace]:
@@ -276,24 +312,56 @@ def intersect_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
     return result
 
 
+def _truncated_child(child: ClosureNode, depth: int) -> ClosureNode:
+    """The already-resolved truncation of ``child`` to ``depth`` (base
+    cases inline, recursive cases from the memo filled by the driver)."""
+    if depth <= 0:
+        return EMPTY_NODE
+    if child.height <= depth:
+        return child
+    return _TRUNCATE_MEMO[(child, depth)]
+
+
 def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
-    """Traces of length ≤ ``depth`` — still prefix-closed."""
+    """Traces of length ≤ ``depth`` — still prefix-closed.
+
+    Driven by an explicit post-order stack rather than recursion: the
+    recursion depth would equal the trie height, and deep linear tries
+    (a 10⁴-event process is legitimate input) must truncate without
+    overflowing the interpreter stack.
+    """
     if depth <= 0:
         return EMPTY_NODE
     if node.height <= depth:
         return node
-    key = (node, depth)
     stats = KERNEL_STATS.memo("truncate")
-    cached = _TRUNCATE_MEMO.get(key)
+    cached = _TRUNCATE_MEMO.get((node, depth))
     if cached is not None:
         stats.hits += 1
         return cached
-    stats.misses += 1
-    result = make_node(
-        {event: truncate_node(child, depth - 1) for event, child in node.items}
-    )
-    _TRUNCATE_MEMO[key] = result
-    return result
+    stack: List[Tuple[ClosureNode, int]] = [(node, depth)]
+    while stack:
+        current, d = stack[-1]
+        if (current, d) in _TRUNCATE_MEMO:
+            stack.pop()
+            continue
+        pending = [
+            (child, d - 1)
+            for _, child in current.items
+            if d - 1 > 0
+            and child.height > d - 1
+            and (child, d - 1) not in _TRUNCATE_MEMO
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        stats.misses += 1
+        _faults.maybe_fail("trie.truncate")
+        _TRUNCATE_MEMO[(current, d)] = make_node(
+            {event: _truncated_child(child, d - 1) for event, child in current.items}
+        )
+    return _TRUNCATE_MEMO[(node, depth)]
 
 
 def subset_nodes(a: ClosureNode, b: ClosureNode) -> bool:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import OperationalError
+from repro.errors import BudgetExceeded
 from repro.operational.explorer import Explorer, explore_traces
 from repro.operational.step import OperationalSemantics
 from repro.process.ast import Name
@@ -57,8 +57,13 @@ class TestVisibleTraces:
         from repro.process.ast import ArrayRef
         from repro.values.expressions import const
 
-        with pytest.raises(OperationalError, match="budget"):
+        with pytest.raises(BudgetExceeded, match="budget") as info:
             Explorer(s, max_states=50).visible_traces(ArrayRef("count", const(0)), 60)
+        # the trip carries the sound partial result
+        checkpoint = info.value.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.phase == "explore"
+        assert checkpoint.states_explored > 50
 
     def test_matches_denotational_semantics_on_network(self):
         from repro.semantics import SemanticsConfig, denote

@@ -1,0 +1,106 @@
+"""Deep-structure hardening: no raw RecursionError escapes the library.
+
+Deep linear processes are legitimate inputs (a protocol unrolled a few
+thousand steps), so the structural trie walks — interning, truncation,
+channel collection — run on an explicit stack and handle any depth.
+The remaining genuinely recursive paths (lattice merges, denotation of
+deep terms, serialisation) trap :class:`RecursionError` at their entry
+points and convert it into a structured
+:class:`~repro.errors.BudgetExceeded` ("recursion-depth"), leaving the
+kernel consistent for subsequent work.
+"""
+
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.process.ast import Output, STOP
+from repro.process.channels import ChannelExpr
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import denote
+from repro import serialize
+from repro.traces.events import channel, event
+from repro.traces.prefix_closure import FiniteClosure
+from repro.values.expressions import const
+
+#: Comfortably past CPython's default recursion limit of 1000.
+DEEP = 3000
+
+
+def _chain_trace(length, chan="a", value=0):
+    return tuple(event(chan, value) for _ in range(length))
+
+
+def _deep_output_term(length):
+    term = STOP
+    for _ in range(length):
+        term = Output(ChannelExpr("a"), const(0), term)
+    return term
+
+
+class TestIterativeTrieWalks:
+    def test_deep_linear_trace_interns_without_recursion(self):
+        closure = FiniteClosure.from_traces([_chain_trace(DEEP)])
+        assert len(closure) == DEEP + 1
+        assert closure.depth() == DEEP
+
+    def test_deep_truncation_is_iterative(self):
+        closure = FiniteClosure.from_traces([_chain_trace(DEEP)])
+        half = closure.truncate(DEEP // 2)
+        assert half.depth() == DEEP // 2
+        assert len(half) == DEEP // 2 + 1
+
+    def test_deep_channel_collection_is_iterative(self):
+        closure = FiniteClosure.from_traces([_chain_trace(DEEP)])
+        assert closure.channels() == frozenset({channel("a")})
+
+
+class TestGuardedRecursions:
+    def test_deep_union_trips_recursion_budget(self):
+        # two chains sharing a 3000-event prefix force the merge that deep
+        long = _chain_trace(DEEP)
+        left = FiniteClosure.from_traces([long])
+        right = FiniteClosure.from_traces([long + (event("b", 1),)])
+        with pytest.raises(BudgetExceeded) as info:
+            left.union(right)
+        assert info.value.resource == "recursion-depth"
+
+    def test_kernel_still_consistent_after_recursion_trip(self):
+        long = _chain_trace(DEEP)
+        left = FiniteClosure.from_traces([long])
+        right = FiniteClosure.from_traces([long + (event("b", 1),)])
+        with pytest.raises(BudgetExceeded):
+            left.union(right)
+        # shallow work on the same tries still computes correctly
+        shallow = left.truncate(5).union(right.truncate(5))
+        assert shallow == left.truncate(5)  # identical 5-deep prefixes
+        assert len(shallow) == 6
+
+    def test_deep_term_denotation_trips_recursion_budget(self):
+        term = _deep_output_term(DEEP)
+        with pytest.raises(BudgetExceeded) as info:
+            denote(term, config=SemanticsConfig(depth=DEEP + 1, sample=2))
+        assert info.value.resource == "recursion-depth"
+        assert info.value.checkpoint.phase == "denotation"
+
+    def test_moderate_term_denotes_fine(self):
+        term = _deep_output_term(50)
+        closure = denote(term, config=SemanticsConfig(depth=60, sample=2))
+        assert closure.depth() == 50
+
+
+class TestSerializeGuard:
+    def test_deep_encode_trips_recursion_budget(self):
+        term = _deep_output_term(DEEP)
+        with pytest.raises(BudgetExceeded) as info:
+            serialize.encode(term)
+        assert info.value.resource == "recursion-depth"
+
+    def test_moderate_term_round_trips(self):
+        term = _deep_output_term(60)
+        assert serialize.decode(serialize.encode(term)) == term
+
+    def test_errors_still_structured_after_guard(self):
+        with pytest.raises(serialize.SerializationError):
+            serialize.encode(object())
+        # the guard's reentrancy flag must be reset after an error
+        assert serialize.decode(serialize.encode(STOP)) == STOP

@@ -237,6 +237,154 @@ class TestSimulateAndDeadlocks:
         assert "no deadlock" in capsys.readouterr().out
 
 
+class TestBudgetsAndExitCodes:
+    """The robustness contract: budget flags, partial results, exit taxonomy."""
+
+    @pytest.fixture(autouse=True)
+    def cold_kernel(self):
+        # --max-nodes counts fresh interner misses; the interner is
+        # process-global, so start these tests from a cold kernel.
+        from repro.traces.trie import clear_interner
+
+        clear_interner()
+
+    def test_check_max_nodes_partial(self, copier_file, capsys):
+        code = main(
+            [
+                "check",
+                copier_file,
+                "--process",
+                "copier",
+                "--spec",
+                "wire <= input",
+                "--depth",
+                "8",
+                "--max-nodes",
+                "15",
+            ]
+        )
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "PARTIAL" in captured.out
+        assert "verified to depth" in captured.err
+
+    def test_check_deadline_zero_is_budget_exit(self, copier_file, capsys):
+        code = main(
+            [
+                "check",
+                copier_file,
+                "--process",
+                "copier",
+                "--spec",
+                "wire <= input",
+                "--deadline",
+                "0",
+            ]
+        )
+        assert code == 4
+        assert "budget exhausted" in capsys.readouterr().err
+
+    def test_check_with_ample_budget_still_holds(self, copier_file, capsys):
+        code = main(
+            [
+                "check",
+                copier_file,
+                "--process",
+                "copier",
+                "--spec",
+                "wire <= input",
+                "--max-nodes",
+                "1000000",
+            ]
+        )
+        assert code == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_traces_partial_lists_verified_prefix(self, copier_file, capsys):
+        code = main(
+            [
+                "traces",
+                copier_file,
+                "--process",
+                "copier",
+                "--depth",
+                "8",
+                "--max-nodes",
+                "15",
+            ]
+        )
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "PARTIAL" in captured.out
+        assert "input.0" in captured.out  # the sound prefix is still printed
+
+    def test_deadlocks_budget_partial(self, copier_file, capsys):
+        # the copier network keeps running, so a one-state budget trips
+        code = main(
+            [
+                "deadlocks",
+                copier_file,
+                "--process",
+                "network",
+                "--depth",
+                "4",
+                "--max-states",
+                "1",
+            ]
+        )
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "PARTIAL" in captured.out
+        assert "budget exhausted" in captured.err
+
+    def test_deadlocks_reports_states_touched(self, deadlock_file, capsys):
+        code = main(["deadlocks", deadlock_file, "--process", "net", "--depth", "2"])
+        assert code == 1
+        assert "states touched" in capsys.readouterr().out
+
+    def test_stats_appends_governor_counters(self, copier_file, capsys):
+        code = main(
+            [
+                "stats",
+                copier_file,
+                "--process",
+                "copier",
+                "--depth",
+                "3",
+                "--max-nodes",
+                "1000000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resource governor" in out
+        assert "max-nodes=1000000" in out
+
+    def test_semantics_error_exit_code(self, protocol_file, capsys):
+        # protocol needs --set M=…; without it the semantics layer fails
+        code = main(
+            ["check", protocol_file, "--process", "protocol", "--spec", "output <= input"]
+        )
+        assert code == 3
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csp"
+        bad.write_text("p = wire!")
+        assert main(["check", str(bad), "--spec", "wire <= input"]) == 2
+
+    def test_debug_reraises(self, copier_file):
+        with pytest.raises(Exception):
+            main(["check", "/nonexistent.csp", "--spec", "x <= y", "--debug"])
+
+    def test_reproduce_deadline_zero_skips_everything(self, capsys):
+        code = main(["reproduce", "--quick", "--deadline", "0"])
+        assert code == 4
+        out = capsys.readouterr().out
+        assert "SKIPPED (budget exhausted)" in out
+        assert "partial under the active budget" in out
+
+
 class TestStats:
     def test_stats_reports_kernel_counters(self, copier_file, capsys):
         code = main(["stats", copier_file, "--process", "network", "--depth", "5"])
