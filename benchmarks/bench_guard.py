@@ -1,4 +1,4 @@
-"""Regression guard for the trie kernel's recorded speedups.
+"""Regression guard for the kernel's and engine's recorded wins.
 
 Re-measures the denotation cases from ``BENCH_kernel.json`` whose
 recorded baseline is slow enough to time reliably (≥ 40 ms) and fails
@@ -6,6 +6,11 @@ if the measured trie-vs-reference *speedup ratio* falls below
 ``TOLERANCE`` of the recorded one.  Comparing ratios rather than raw
 wall-clock makes the guard robust to machine speed: both kernels run on
 the same box, so a uniformly slower host cancels out.
+
+Also re-derives ``BENCH_engine.json``'s definition-level accounting —
+which is *deterministic*, so it must match the recording exactly and the
+multiplier reduction must stay ≥ ``MIN_ENGINE_REDUCTION`` — and
+re-times the warm-cache case against ``MIN_WARM_SPEEDUP``.
 
 Run in CI (or by hand) as::
 
@@ -17,11 +22,31 @@ from __future__ import annotations
 import json
 import re
 
-from benchmarks.bench_kernel import RESULT_PATH, _denote, _time
-from repro.systems import copier, protocol
+from benchmarks.bench_kernel import (
+    ENGINE_RESULT_PATH,
+    RESULT_PATH,
+    _denote,
+    _engine_cache_case,
+    _engine_levels_case,
+    _time,
+)
+from repro.systems import copier, multiplier, protocol
 
 #: Measured speedup must stay above this fraction of the recorded one.
 TOLERANCE = 0.75
+
+#: The engine must re-denote at least this factor fewer definition-levels
+#: than the naive monolithic chain on the multiplier (the acceptance bar).
+MIN_ENGINE_REDUCTION = 2.0
+
+#: Depth at which the reduction bar applies (shallower runs amortise the
+#: non-recursive savings over fewer levels).
+ENGINE_GUARD_DEPTH = 5
+
+#: Warm snapshot restarts must beat a cold solve by at least this factor.
+#: (Recorded speedups are ~50×; the floor is deliberately loose because
+#: the warm run is sub-millisecond and timing-noisy.)
+MIN_WARM_SPEEDUP = 3.0
 
 #: Recorded baselines below this are too fast to re-time stably.
 MIN_BASELINE_S = 0.04
@@ -50,6 +75,52 @@ def measure(system, proc: str, depth: int) -> float:
     return baseline_s / trie_s if trie_s else float("inf")
 
 
+def check_engine(report: dict) -> list:
+    """Deterministic definition-level accounting + warm-cache timing."""
+    failures = []
+    _LEVELS = re.compile(r"definition-levels (\w+) depth=(\d+)")
+    systems = {"multiplier": multiplier, "protocol": protocol}
+    for case in report["definition_level_cases"]:
+        match = _LEVELS.fullmatch(case["case"])
+        if not match:
+            continue
+        system, depth = systems[match.group(1)], int(match.group(2))
+        measured = _engine_levels_case(system, depth)
+        exact = measured["engine_levels"] == case["engine_levels"] and (
+            measured["naive_chain_levels"] == case["naive_chain_levels"]
+        )
+        bar_applies = (
+            match.group(1) == "multiplier" and depth >= ENGINE_GUARD_DEPTH
+        )
+        above_bar = (
+            measured["reduction"] >= MIN_ENGINE_REDUCTION
+            if bar_applies
+            else True
+        )
+        ok = exact and above_bar
+        print(
+            f"{'ok' if ok else 'FAIL':<4} {case['case']:<42} "
+            f"recorded ×{case['reduction']:<6} measured ×{measured['reduction']}"
+            + (f" (floor ×{MIN_ENGINE_REDUCTION})" if bar_applies else "")
+        )
+        if not ok:
+            failures.append(case["case"])
+    for case in report["cache_cases"]:
+        match = re.fullmatch(r"warm-cache multiplier depth=(\d+)", case["case"])
+        if not match:
+            continue
+        measured = _engine_cache_case(int(match.group(1)))
+        ok = measured["speedup"] >= MIN_WARM_SPEEDUP
+        print(
+            f"{'ok' if ok else 'FAIL':<4} {case['case']:<42} "
+            f"recorded ×{case['speedup']:<6} measured ×{measured['speedup']} "
+            f"(floor ×{MIN_WARM_SPEEDUP})"
+        )
+        if not ok:
+            failures.append(case["case"])
+    return failures
+
+
 def main() -> None:
     report = json.loads(RESULT_PATH.read_text())
     failures = []
@@ -64,11 +135,15 @@ def main() -> None:
         )
         if not ok:
             failures.append(case["case"])
+    failures += check_engine(json.loads(ENGINE_RESULT_PATH.read_text()))
     if failures:
         raise SystemExit(
-            f"kernel speedup regressed >25% on: {', '.join(failures)}"
+            f"recorded performance regressed on: {', '.join(failures)}"
         )
-    print("kernel speedups within tolerance of BENCH_kernel.json")
+    print(
+        "kernel speedups within tolerance of BENCH_kernel.json; engine "
+        "accounting matches BENCH_engine.json"
+    )
 
 
 if __name__ == "__main__":

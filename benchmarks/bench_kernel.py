@@ -38,6 +38,7 @@ from repro.traces.stats import reset_stats, snapshot
 from repro.traces.trie import clear_interner
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+ENGINE_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def _denote(system, name: str, depth: int, kernel: str):
@@ -231,11 +232,120 @@ def generate(depths=(4, 5, 6, 7, 8)) -> dict:
     return report
 
 
+# ---------------------------------------------------------------------------
+# Dependency-graph engine vs. monolithic chain (regenerates BENCH_engine.json)
+# ---------------------------------------------------------------------------
+
+
+def _engine_levels_case(system, depth: int, sample: int = 3) -> dict:
+    """Definition-level accounting: the (entry, level) denotations each
+    scheduler performs to reach the same fixpoint.  Deterministic — no
+    timing noise — so the recorded ratios are exact."""
+    from repro.semantics.engine import DenotationEngine
+    from repro.semantics.fixpoint import ApproximationChain
+
+    cfg = SemanticsConfig(depth=depth, sample=sample)
+    defs, env = system.definitions(), system.environment()
+    chain = ApproximationChain(defs, env, cfg)
+    chain.run_until_stable()
+    # the monolithic schedule before the per-entry delta fix: every level
+    # re-denotes every entry
+    naive = chain.redenoted_entries + chain.delta_skipped
+    engine = DenotationEngine(defs, env, cfg)
+    engine.run()
+    label = system.__name__.split(".")[-1]
+    case = {
+        "case": f"definition-levels {label} depth={depth}",
+        "naive_chain_levels": naive,
+        "delta_chain_levels": chain.redenoted_entries,
+        "engine_levels": engine.redenoted_entries,
+        "engine_delta_skipped": engine.delta_skipped,
+        "reduction": round(naive / engine.redenoted_entries, 2)
+        if engine.redenoted_entries
+        else float("inf"),
+    }
+    print(
+        f"{case['case']:<42} naive {naive:4d}   delta-chain "
+        f"{chain.redenoted_entries:4d}   engine {engine.redenoted_entries:4d}"
+        f"   ×{case['reduction']}"
+    )
+    return case
+
+
+def _engine_cache_case(depth: int) -> dict:
+    """Cold vs. warm snapshot-cache wall clock for the multiplier fixpoint.
+
+    Each run starts from a private (empty) interner, so the warm run's
+    advantage is exactly what the snapshot buys: decoding + re-interning
+    instead of re-denoting the whole system."""
+    import tempfile
+
+    from repro.semantics.engine import DenotationEngine
+    from repro.traces.snapshot import SnapshotCache, cache_key
+    from repro.traces.trie import private_state
+
+    cfg = SemanticsConfig(depth=depth, sample=3)
+    defs, env = multiplier.definitions(), multiplier.environment()
+
+    def run(directory) -> float:
+        with private_state():
+            cache = SnapshotCache(directory, cache_key(defs, cfg))
+            start = time.perf_counter()
+            engine = DenotationEngine(defs, env, cfg, cache=cache)
+            engine.run()
+            elapsed = time.perf_counter() - start
+            cache.save()
+        return elapsed
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as directory:
+        directory = Path(directory)
+        cold_s = run(directory)  # writes the snapshot
+        warm_s = min(run(directory) for _ in range(3))
+    case = {
+        "case": f"warm-cache multiplier depth={depth}",
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else float("inf"),
+    }
+    print(
+        f"{case['case']:<42} cold {cold_s * 1000:9.2f} ms   "
+        f"warm {warm_s * 1000:9.2f} ms   ×{case['speedup']}"
+    )
+    return case
+
+
+def generate_engine(depths=(4, 5, 6)) -> dict:
+    level_cases = [
+        _engine_levels_case(system, depth)
+        for depth in depths
+        for system in (multiplier, protocol)
+    ]
+    cache_cases = [_engine_cache_case(depth) for depth in (6, 7)]
+    return {
+        "description": (
+            "Dependency-graph denotation engine vs. monolithic "
+            "approximation chain: (entry, level) denotations performed "
+            "(deterministic) and cold-vs-warm snapshot-cache wall clock"
+        ),
+        "definition_level_cases": level_cases,
+        "cache_cases": cache_cases,
+        "max_level_reduction": max(c["reduction"] for c in level_cases),
+        "max_cache_speedup": max(c["speedup"] for c in cache_cases),
+    }
+
+
 def main() -> None:
     report = generate()
     RESULT_PATH.write_text(json.dumps(report, indent=2))
     print(f"\nwrote {RESULT_PATH}")
     print(f"max speedup ×{report['max_speedup']}")
+    engine_report = generate_engine()
+    ENGINE_RESULT_PATH.write_text(json.dumps(engine_report, indent=2))
+    print(f"\nwrote {ENGINE_RESULT_PATH}")
+    print(
+        f"max definition-level reduction ×{engine_report['max_level_reduction']}"
+        f", max warm-cache speedup ×{engine_report['max_cache_speedup']}"
+    )
 
 
 if __name__ == "__main__":

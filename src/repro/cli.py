@@ -20,6 +20,13 @@ Work with process definition files written in the paper's notation::
 Named message sets are declared with ``--set M=0,1``; the protocol's
 cancellation function is available as ``--with-cancel f``.
 
+``traces``/``check``/``stats`` run on the dependency-graph denotation
+engine: ``--jobs N`` solves independent fixpoint components on worker
+threads, and solved closures are snapshotted under ``~/.cache/repro``
+(override with ``--cache-dir``, disable with ``--no-cache``) so repeated
+invocations on the same system warm-start.  ``stats --explain-plan``
+prints the engine's SCC schedule and per-level delta/cache account.
+
 Long-running commands accept resource budgets — ``--deadline SECONDS``,
 ``--max-nodes N`` (freshly interned trie nodes), ``--max-states N``
 (explorer configurations).  A command whose budget runs out prints the
@@ -34,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.assertions.parser import parse_assertion
@@ -73,6 +81,33 @@ def _build_env(args: argparse.Namespace) -> Environment:
     if args.with_cancel:
         env = env.bind(args.with_cancel, cancel_protocol)
     return env
+
+
+def _open_cache(args: argparse.Namespace, defs, config):
+    """A snapshot cache for this (definitions, config, bindings) situation,
+    or ``None`` when caching is off.
+
+    Caching is also disabled under a budget governor: governed runs
+    deepen iteratively to produce sound *partial* results, and serving
+    traces from a warm cache would make "how far did the budget reach"
+    depend on what some earlier invocation happened to compute.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    if _governor.current() is not None:
+        return None
+    from repro.traces.snapshot import SnapshotCache, cache_key
+
+    directory = (
+        Path(args.cache_dir)
+        if getattr(args, "cache_dir", None)
+        else Path.home() / ".cache" / "repro"
+    )
+    extra = {
+        "sets": sorted(args.set or []),
+        "with_cancel": args.with_cancel,
+    }
+    return SnapshotCache(directory, cache_key(defs, config, extra))
 
 
 def _build_governor(args: argparse.Namespace) -> Optional[Governor]:
@@ -120,13 +155,19 @@ def cmd_traces(args: argparse.Namespace) -> int:
 
     defs = _load(args)
     env = _build_env(args)
+    config = SemanticsConfig(depth=args.depth, sample=args.sample)
+    cache = _open_cache(args, defs, config)
     checker = SatChecker(
         defs,
         env,
-        SemanticsConfig(depth=args.depth, sample=args.sample),
+        config,
         engine=args.engine,
+        jobs=args.jobs,
+        cache=cache,
     )
     result = checker.traces_partial(_target(args, defs))
+    if cache is not None:
+        cache.save()
     if result.closure is None:
         print(
             "budget exhausted before even depth 0 completed; no traces "
@@ -161,11 +202,15 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     defs = _load(args)
     env = _build_env(args)
+    config = SemanticsConfig(depth=args.depth, sample=args.sample)
+    cache = _open_cache(args, defs, config)
     checker = SatChecker(
         defs,
         env,
-        SemanticsConfig(depth=args.depth, sample=args.sample),
+        config,
         engine=args.engine,
+        jobs=args.jobs,
+        cache=cache,
     )
     target = _target(args, defs)
     try:
@@ -174,6 +219,9 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(f"PARTIAL: {target.name} sat {args.spec} — no counterexample found")
         print(render_partial(exc), file=sys.stderr)
         return EXIT_BUDGET
+    finally:
+        if cache is not None:
+            cache.save()
     if result.holds:
         depth_note = (
             f"depth ≤ {result.verified_depth}"
@@ -199,16 +247,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
     defs = _load(args)
     env = _build_env(args)
     reset_stats()
+    config = SemanticsConfig(depth=args.depth, sample=args.sample)
+    cache = _open_cache(args, defs, config)
     checker = SatChecker(
         defs,
         env,
-        SemanticsConfig(depth=args.depth, sample=args.sample),
+        config,
         engine=args.engine,
+        jobs=args.jobs,
+        cache=cache,
     )
     target = _target(args, defs)
     code = 0
     try:
-        if args.spec:
+        if args.explain_plan:
+            from repro.semantics.engine import DenotationEngine
+
+            engine = DenotationEngine(
+                defs, env, config, jobs=args.jobs, cache=cache
+            )
+            print(engine.explain())
+            if cache is not None:
+                print(
+                    f"snapshot cache: {cache.hits} hits, {cache.misses} "
+                    f"misses{' (rebuilt: stale/corrupt)' if cache.rebuilt else ''}"
+                )
+        elif args.spec:
             result = checker.check(target, args.spec)
             verdict = "HOLDS" if result.holds else "VIOLATED"
             print(
@@ -224,6 +288,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
     except BudgetExceeded as exc:
         print(render_partial(exc), file=sys.stderr)
         code = EXIT_BUDGET
+    finally:
+        if cache is not None:
+            cache.save()
     print()
     print(format_stats())
     governor = _governor.current()
@@ -397,6 +464,23 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=("denotational", "operational"),
                 default="denotational",
             )
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=1,
+                metavar="N",
+                help="worker threads for independent fixpoint components",
+            )
+            p.add_argument(
+                "--cache-dir",
+                metavar="DIR",
+                help="snapshot cache directory (default: ~/.cache/repro)",
+            )
+            p.add_argument(
+                "--no-cache",
+                action="store_true",
+                help="neither read nor write the snapshot cache",
+            )
         budget_flags(p)
         debug_flag(p)
 
@@ -423,6 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--spec",
         help="optionally check this assertion instead of only denoting",
+    )
+    p.add_argument(
+        "--explain-plan",
+        action="store_true",
+        help="print the engine's SCC condensation, topological ranks, and "
+        "per-level delta-skip / cache-hit account instead of denoting",
     )
     p.set_defaults(func=cmd_stats)
 

@@ -12,12 +12,24 @@
   granularity);
 * :func:`concrete_channels`   — concrete :class:`Channel` values used,
   with subscripts evaluated under an environment (needed to run
-  ``P ‖ Q`` when the paper "omits" the X, Y annotations).
+  ``P ‖ Q`` when the paper "omits" the X, Y annotations);
+* :func:`uses_chan`           — whether a process (following definitions)
+  contains a ``chan`` operator anywhere, the eligibility condition for
+  swapping unfold-on-demand denotation for fixpoint bindings;
+* the **entry-level dependency graph** — :func:`definition_entries`,
+  :func:`entry_dependencies`, :func:`condense_entries`, :func:`scc_ranks`
+  — the call structure the §3.3 approximation chain actually iterates
+  over, at the granularity of one *entry* per plain definition and one
+  per sampled array subscript.  The graph is a conservative
+  over-approximation (an array reference whose subscript cannot be
+  evaluated statically depends on every sampled entry of that array),
+  which is exactly what delta-based fixpoint iteration and SCC-wise
+  scheduling need to stay exact.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
 
 from repro.errors import EvaluationError, SemanticsError
 from repro.process.ast import (
@@ -289,3 +301,271 @@ def _collect_concrete(
         _collect_concrete(array.body, definitions, param_env, out, visited)
     else:  # pragma: no cover - exhaustiveness guard
         raise TypeError(f"unknown process node {process!r}")
+
+
+def uses_chan(process: Process, definitions: Optional[DefinitionList] = None) -> bool:
+    """True when ``process`` contains a ``chan`` operator, following
+    definitions (recursion-safe).
+
+    ``chan`` is the one operator whose denotation depth diverges from the
+    request depth (``_denote_chan`` deepens to ``config.hide_depth`` before
+    hiding), so closures computed *at* depth ``d`` for chan-bearing
+    processes are not truncations of deeper ones.  Callers use this to
+    decide whether a fixpoint binding computed once can stand in for
+    unfold-on-demand denotation.
+    """
+    stack: List[Process] = [process]
+    visited: Set[str] = set()
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Chan):
+            return True
+        if isinstance(node, Stop):
+            continue
+        if isinstance(node, (Output, Input)):
+            stack.append(node.continuation)
+        elif isinstance(node, (Choice, Parallel)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, (Name, ArrayRef)):
+            if definitions is None or node.name not in definitions:
+                continue
+            if node.name in visited:
+                continue
+            visited.add(node.name)
+            stack.append(definitions.lookup(node.name).body)
+        else:  # pragma: no cover - exhaustiveness guard
+            raise TypeError(f"unknown process node {node!r}")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Entry-level dependency graph
+# ---------------------------------------------------------------------------
+
+
+class EntryKey(NamedTuple):
+    """One fixpoint unknown: a plain definition (``subscript is None``) or
+    a single sampled subscript of a process array."""
+
+    name: str
+    subscript: object = None
+
+    def pretty(self) -> str:
+        if self.subscript is None:
+            return self.name
+        return f"{self.name}[{self.subscript!r}]"
+
+
+class Scc(NamedTuple):
+    """A strongly connected component of the entry graph.
+
+    ``recursive`` is true for components of more than one entry or with a
+    self-loop — exactly the entries that need an approximation chain; the
+    rest are denoted once against already-solved dependencies.
+    """
+
+    entries: Tuple[EntryKey, ...]
+    recursive: bool
+
+
+def definition_entries(
+    definitions: DefinitionList, env: Environment, sample: int
+) -> List[EntryKey]:
+    """The fixpoint unknowns of a definition list, in definition order.
+
+    Arrays contribute one entry per sampled subscript, mirroring
+    ``ApproximationChain._array_values`` so engine and chain solve the
+    same system.
+    """
+    entries: List[EntryKey] = []
+    for definition in definitions:
+        if definition.is_array:
+            values = definition.domain.evaluate(env).sample(sample)
+            entries.extend(EntryKey(definition.name, v) for v in values)
+        else:
+            entries.append(EntryKey(definition.name))
+    return entries
+
+
+def entry_dependencies(
+    definitions: DefinitionList, env: Environment, sample: int
+) -> Dict[EntryKey, Tuple[EntryKey, ...]]:
+    """Conservative entry-level dependency edges.
+
+    For each entry, walk its body recording which other entries its
+    denotation may consult.  Array references whose subscript cannot be
+    evaluated statically (it depends on a received value) or falls outside
+    the sampled set depend conservatively on *every* sampled entry of that
+    array.  Over-approximating edges is always sound here: edges only
+    schedule work and gate delta-skips, they never change what a
+    :class:`~repro.semantics.denotation.Denoter` computes.
+    """
+    sampled: Dict[str, Tuple[object, ...]] = {}
+    for definition in definitions:
+        if definition.is_array:
+            sampled[definition.name] = tuple(
+                definition.domain.evaluate(env).sample(sample)
+            )
+
+    deps: Dict[EntryKey, Tuple[EntryKey, ...]] = {}
+    for entry in definition_entries(definitions, env, sample):
+        definition = definitions.lookup(entry.name)
+        if definition.is_array:
+            body_env = env.bind(definition.parameter, entry.subscript)
+        else:
+            body_env = env
+        found: List[EntryKey] = []
+        seen: Set[EntryKey] = set()
+        _collect_entry_deps(
+            definition.body, definitions, body_env, sampled, found, seen
+        )
+        deps[entry] = tuple(found)
+    return deps
+
+
+def _collect_entry_deps(
+    process: Process,
+    definitions: DefinitionList,
+    env: Environment,
+    sampled: Dict[str, Tuple[object, ...]],
+    out: List[EntryKey],
+    seen: Set[EntryKey],
+) -> None:
+    if isinstance(process, Stop):
+        return
+    if isinstance(process, Output):
+        _collect_entry_deps(
+            process.continuation, definitions, env, sampled, out, seen
+        )
+    elif isinstance(process, Input):
+        _collect_entry_deps(
+            process.continuation,
+            definitions,
+            env.bind(process.variable, _UNKNOWN),
+            sampled,
+            out,
+            seen,
+        )
+    elif isinstance(process, (Choice, Parallel)):
+        _collect_entry_deps(process.left, definitions, env, sampled, out, seen)
+        _collect_entry_deps(process.right, definitions, env, sampled, out, seen)
+    elif isinstance(process, Chan):
+        _collect_entry_deps(process.body, definitions, env, sampled, out, seen)
+    elif isinstance(process, Name):
+        if process.name not in definitions:
+            return
+        if process.name in sampled:
+            # A bare Name can still resolve to an array definition in a
+            # malformed list; depend on every sampled entry.
+            for value in sampled[process.name]:
+                _note_dep(EntryKey(process.name, value), out, seen)
+        else:
+            _note_dep(EntryKey(process.name), out, seen)
+    elif isinstance(process, ArrayRef):
+        if process.name not in definitions:
+            return
+        values = sampled.get(process.name, ())
+        try:
+            value = process.index.evaluate(env)
+        except EvaluationError:
+            value = _UNKNOWN
+        if not isinstance(value, _Unknown) and value in values:
+            _note_dep(EntryKey(process.name, value), out, seen)
+        else:
+            # Unknown or out-of-sample subscript: conservatively depend on
+            # every sampled entry of the array.
+            for v in values:
+                _note_dep(EntryKey(process.name, v), out, seen)
+    else:  # pragma: no cover - exhaustiveness guard
+        raise TypeError(f"unknown process node {process!r}")
+
+
+def _note_dep(key: EntryKey, out: List[EntryKey], seen: Set[EntryKey]) -> None:
+    if key not in seen:
+        seen.add(key)
+        out.append(key)
+
+
+def condense_entries(
+    deps: Dict[EntryKey, Tuple[EntryKey, ...]]
+) -> List[Scc]:
+    """Condense the entry graph into SCCs, emitted dependencies-first.
+
+    Iterative Tarjan.  Because edges point from an entry *to* its
+    dependencies, Tarjan's pop order (all successors of a component are
+    popped before it) is exactly the topological order the engine needs:
+    by the time an SCC is emitted, everything it depends on already was.
+    """
+    index: Dict[EntryKey, int] = {}
+    lowlink: Dict[EntryKey, int] = {}
+    on_stack: Set[EntryKey] = set()
+    stack: List[EntryKey] = []
+    sccs: List[Scc] = []
+    counter = [0]
+
+    def strongconnect(root: EntryKey) -> None:
+        work: List[Tuple[EntryKey, int]] = [(root, 0)]
+        while work:
+            node, edge_idx = work.pop()
+            if edge_idx == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = deps.get(node, ())
+            for i in range(edge_idx, len(successors)):
+                succ = successors[i]
+                if succ not in deps:
+                    continue
+                if succ not in index:
+                    work.append((node, i + 1))
+                    work.append((succ, 0))
+                    recurse = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                members: List[EntryKey] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    if member is node or member == node:
+                        break
+                members.reverse()
+                recursive = len(members) > 1 or node in deps.get(node, ())
+                sccs.append(Scc(tuple(members), recursive))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for entry in deps:
+        if entry not in index:
+            strongconnect(entry)
+    return sccs
+
+
+def scc_ranks(
+    sccs: List[Scc], deps: Dict[EntryKey, Tuple[EntryKey, ...]]
+) -> List[int]:
+    """Topological rank of each SCC: 0 for leaves, else 1 + the maximum
+    rank among the SCCs it depends on.  Equal-rank SCCs share no
+    dependency path, so they may be solved concurrently."""
+    scc_of: Dict[EntryKey, int] = {}
+    for i, scc in enumerate(sccs):
+        for entry in scc.entries:
+            scc_of[entry] = i
+    ranks: List[int] = []
+    for i, scc in enumerate(sccs):
+        rank = 0
+        for entry in scc.entries:
+            for dep in deps.get(entry, ()):
+                j = scc_of.get(dep)
+                if j is not None and j != i:
+                    rank = max(rank, ranks[j] + 1)
+        ranks.append(rank)
+    return ranks

@@ -146,10 +146,26 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
     specs.append(("E6", "§3.1 closure theorems", e6))
 
     def e7() -> "tuple[str, bool]":
+        from repro.semantics.engine import DenotationEngine
+
         chain = ApproximationChain(copier.definitions(), copier.environment(), cfg)
         steps = chain.run_until_stable()
         ok = steps <= cfg.depth + 1 and chain.is_monotone()
-        return (f"stabilised in {steps} steps (depth {cfg.depth})", ok)
+        # The dependency-graph engine must reproduce the monolithic chain
+        # exactly: pointer-identical roots per definition.
+        engine = DenotationEngine(copier.definitions(), copier.environment(), cfg)
+        fixed = chain.fixpoint()
+        agreed = all(
+            engine.closure_for(name).root is closure.root
+            for name, closure in fixed.items()
+            if not isinstance(closure, dict)
+        )
+        ok = ok and agreed
+        return (
+            f"stabilised in {steps} steps (depth {cfg.depth}); "
+            f"engine roots {'identical' if agreed else 'DIVERGED'}",
+            ok,
+        )
 
     specs.append(("E7", "fixpoint chain converges monotonically", e7))
 

@@ -321,6 +321,13 @@ class Governor:
 # ambient governor
 # ---------------------------------------------------------------------------
 
+# Deliberately a plain module global, *not* a thread-local: the
+# denotation engine's worker threads (``DenotationEngine(jobs=N)``) must
+# count nodes against — and be tripped by — the same budget as the
+# thread that activated it.  Unsynchronised counter increments can race,
+# but a race only *under*-counts slightly (budgets are resource limits,
+# not exact quotas), and a budget trip observed in any worker thread is
+# sound: it propagates to the parent as the original BudgetExceeded.
 _ACTIVE: Optional[Governor] = None
 
 
@@ -336,6 +343,10 @@ def activate(governor: Optional[Governor]) -> Iterator[Optional[Governor]]:
     ``activate(None)`` is a no-op, so call sites can thread an optional
     governor without branching.  Nesting replaces the outer governor for
     the inner region and restores it afterwards.
+
+    The installed governor is visible to *all* threads, including engine
+    worker threads spawned inside the ``with`` body — that sharing is
+    what makes budget trips sound under ``--jobs > 1``.
     """
     global _ACTIVE
     if governor is None:

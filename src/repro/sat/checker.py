@@ -33,8 +33,8 @@ from repro.assertions.ast import Formula
 from repro.assertions.eval import DEFAULT_EVAL_CONFIG, EvalConfig, evaluate_formula
 from repro.assertions.parser import parse_assertion
 from repro.errors import BudgetExceeded, EvaluationError
-from repro.process.analysis import channel_names
-from repro.process.ast import Process
+from repro.process.analysis import channel_names, uses_chan
+from repro.process.ast import Name, Process
 from repro.process.definitions import DefinitionList, NO_DEFINITIONS
 from repro.runtime import governor as _governor
 from repro.runtime.governor import Checkpoint, Governor
@@ -44,6 +44,7 @@ from repro.semantics.denotation import Denoter
 from repro.traces.events import Trace
 from repro.traces.histories import ChannelHistory, ch
 from repro.traces.prefix_closure import FiniteClosure
+from repro.traces.snapshot import SnapshotCache
 from repro.values.domains import Domain
 from repro.values.environment import Environment
 
@@ -82,6 +83,14 @@ class SatChecker:
     default, :class:`~repro.semantics.denotation.Denoter`) or
     ``"operational"`` (the state-space explorer — preferable for networks
     whose synchronised values are computed, like the multiplier).
+
+    ``jobs``/``cache`` feed the dependency-graph
+    :class:`~repro.semantics.engine.DenotationEngine` behind the
+    denotational supply: named targets reachable only through chan-free,
+    array-free definitions are denoted against the engine's solved
+    fixpoint bindings (pointer-identical to unfold-on-demand for such
+    targets), and a :class:`~repro.traces.snapshot.SnapshotCache` makes
+    repeated invocations on the same system warm-start.
     """
 
     def __init__(
@@ -92,6 +101,8 @@ class SatChecker:
         eval_config: EvalConfig = DEFAULT_EVAL_CONFIG,
         engine: str = "denotational",
         trie_walk: bool = True,
+        jobs: int = 1,
+        cache: Optional[SnapshotCache] = None,
     ) -> None:
         if engine not in ("denotational", "operational"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -101,6 +112,9 @@ class SatChecker:
         self.eval_config = eval_config
         self.engine = engine
         self.trie_walk = trie_walk
+        self.jobs = jobs
+        self.cache = cache
+        self._engine_bindings: Optional[dict] = None
 
     # -- trace supply ------------------------------------------------------
 
@@ -111,7 +125,27 @@ class SatChecker:
         (``depth`` overrides the configured bound, e.g. for deepening)."""
         if depth is None:
             depth = self.config.depth
+        slot = None
+        if self.cache is not None and isinstance(process, Name):
+            slot = f"traces:{self.engine}:{process.name}:d{depth}"
+            node = self.cache.get(slot)
+            if node is not None:
+                return FiniteClosure.from_node(node)
+        closure = self._compute_traces(process, depth)
+        if slot is not None:
+            self.cache.put(slot, closure.root)
+        return closure
+
+    def _compute_traces(self, process: Process, depth: int) -> FiniteClosure:
         if self.engine == "denotational":
+            bindings = self._fixpoint_bindings(process, depth)
+            if bindings is not None:
+                return Denoter(
+                    self.definitions,
+                    self.env,
+                    self.config,
+                    process_bindings=bindings,
+                ).denote(process, depth)
             return Denoter(self.definitions, self.env, self.config).denote(
                 process, depth
             )
@@ -122,6 +156,51 @@ class SatChecker:
             self.definitions, self.env, sample=self.config.sample
         )
         return explore_traces(process, semantics, depth)
+
+    def _fixpoint_bindings(self, process: Process, depth: int) -> Optional[dict]:
+        """Engine-solved bindings, when substituting them for
+        unfold-on-demand is exact for ``process``.
+
+        Eligibility:
+
+        * ``depth ≤ config.depth`` — bindings are solved at the
+          configured depth and truncated down (exact for chan-free
+          definitions: bounded denotation at depth *d* is the
+          depth-*d* truncation of any deeper one);
+        * no ambient governor — governed runs deepen iteratively for
+          sound partial results, and solving the whole fixpoint up
+          front would spend the budget before the first partial
+          verdict;
+        * no process arrays — array bodies may reference out-of-sample
+          subscripts that unfold-on-demand handles over the full
+          domain but sampled fixpoint tables cannot;
+        * everything reachable from ``process`` is chan-free — the
+          ``chan`` denotation deepens to ``config.hide_depth`` before
+          hiding, so fixpoint values at ``config.depth`` are not what
+          unfolding computes for chan-bearing names.
+        """
+        if depth > self.config.depth:
+            return None
+        if _governor.current() is not None:
+            return None
+        if len(self.definitions) == 0:
+            return None
+        if any(d.is_array for d in self.definitions):
+            return None
+        if uses_chan(process, self.definitions):
+            return None
+        if self._engine_bindings is None:
+            from repro.semantics.engine import DenotationEngine
+
+            engine = DenotationEngine(
+                self.definitions,
+                self.env,
+                self.config,
+                jobs=self.jobs,
+                cache=self.cache,
+            )
+            self._engine_bindings = engine.bindings()
+        return self._engine_bindings
 
     def traces_partial(self, process: Process) -> PartialTraces:
         """The trace set under the ambient budget: deepen from 0 to the

@@ -29,6 +29,7 @@ from repro.semantics.failures import (
     failures_of,
     failures_refines,
 )
+from repro.semantics.engine import DenotationEngine, engine_denotation
 from repro.semantics.fixpoint import ApproximationChain, fixpoint_denotation
 from repro.semantics.laws import ALL_LAWS, Law, LawCheck, check_law, refines
 
@@ -37,6 +38,8 @@ __all__ = [
     "Denoter",
     "denote",
     "ApproximationChain",
+    "DenotationEngine",
+    "engine_denotation",
     "fixpoint_denotation",
     "trace_equivalent",
     "trace_difference",

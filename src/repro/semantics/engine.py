@@ -1,0 +1,568 @@
+"""Dependency-graph denotation engine — SCC-scheduled §3.3 fixpoints.
+
+:class:`~repro.semantics.fixpoint.ApproximationChain` iterates the whole
+definition list as one monolithic chain: every level re-denotes every
+definition.  But the fixpoint the paper constructs is over a *system* of
+equations whose coupling structure is a graph, and chaotic iteration
+theory says any fair per-component schedule reaches the same least
+fixpoint.  :class:`DenotationEngine` exploits that:
+
+1. **Plan** — build the entry-level call graph (one unknown per plain
+   definition, one per sampled array subscript;
+   :func:`~repro.process.analysis.entry_dependencies`), condense it into
+   SCCs, and order the SCCs topologically.
+2. **Solve** — walk SCCs dependencies-first.  A non-recursive SCC is a
+   single definition with no self-reference: denote it *once* against
+   its already-solved dependencies — no chain at all.  A recursive SCC
+   runs a local chain from ⟦STOP⟧, but **delta-based**: level *i+1*
+   re-denotes only members whose intra-SCC dependencies changed root at
+   level *i* (an entry whose inputs are unchanged is already at its
+   level-(i+1) value — denotation is a function of the bindings).
+3. **Parallelise** — SCCs of equal topological rank share no dependency
+   path, so with ``jobs > 1`` they are solved concurrently by worker
+   *threads*, each against a private kernel state
+   (:func:`~repro.traces.trie.private_state`); the main thread then
+   re-interns their roots in plan order.  Interning is idempotent on
+   structural keys, so the merge is deterministic and the final roots
+   are pointer-identical to a sequential run.  Threads (not processes)
+   keep environments with host functions usable and let every worker
+   share the ambient :class:`~repro.runtime.governor.Governor`, so
+   budgets and deadlines stay sound across workers and a worker's
+   :class:`~repro.errors.ReproError` propagates to the caller as
+   itself, not a pickled pool failure.
+4. **Cache** — with a :class:`~repro.traces.snapshot.SnapshotCache`
+   attached, solved roots are recorded per entry and whole SCCs whose
+   members are all cached are skipped entirely on the next run.
+
+The engine reproduces the monolithic chain *exactly* (same roots per
+definition — the equivalence suite checks pointer identity), it just
+refuses to pay for levels that cannot change anything.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.errors import BudgetExceeded, SemanticsError
+from repro.process.analysis import (
+    EntryKey,
+    Scc,
+    condense_entries,
+    definition_entries,
+    entry_dependencies,
+    scc_ranks,
+)
+from repro.process.definitions import ArrayDef, DefinitionList
+from repro.runtime import governor as _governor
+from repro.runtime.governor import Checkpoint
+from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
+from repro.semantics.denotation import Denoter
+from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
+from repro.traces.snapshot import SnapshotCache
+from repro.traces.trie import private_state, reintern
+from repro.values.environment import Environment
+
+#: Bound on per-SCC chain length — unreachable for guarded definitions at
+#: finite depth (they stabilise within depth+1 levels), so hitting it
+#: signals a configuration bug, mirroring ApproximationChain.
+MAX_LEVELS = 1000
+
+
+class _Poison:
+    """Bound to definitions the plan says an SCC cannot reach.  Not a
+    closure and not callable, so any consultation makes the Denoter fail
+    loudly ("bound to a non-closure") instead of silently unfolding —
+    a dependency-analysis bug must never be masked."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<unscheduled definition {self.name!r}>"
+
+
+class LevelReport(NamedTuple):
+    """One level of one SCC's local chain."""
+
+    level: int
+    redenoted: Tuple[str, ...]
+    skipped: Tuple[str, ...]
+
+
+class SccReport(NamedTuple):
+    """How one SCC was solved."""
+
+    entries: Tuple[str, ...]
+    rank: int
+    recursive: bool
+    cache_hit: bool
+    levels: Tuple[LevelReport, ...]
+
+    @property
+    def redenoted(self) -> int:
+        return sum(len(lv.redenoted) for lv in self.levels)
+
+    @property
+    def skipped(self) -> int:
+        return sum(len(lv.skipped) for lv in self.levels)
+
+
+class DenotationEngine:
+    """Solve a definition list's §3.3 fixpoint by dependency order.
+
+    Drop-in source of the same results as
+    :class:`~repro.semantics.fixpoint.ApproximationChain` —
+    :meth:`fixpoint` / :meth:`closure_for` return closures whose roots
+    are pointer-identical to the chain's — with SCC scheduling, delta
+    iteration, optional worker threads (``jobs``), and an optional
+    persisted snapshot cache (``cache``).
+    """
+
+    def __init__(
+        self,
+        definitions: DefinitionList,
+        env: Optional[Environment] = None,
+        config: SemanticsConfig = DEFAULT_CONFIG,
+        kernel: str = "trie",
+        jobs: int = 1,
+        cache: Optional[SnapshotCache] = None,
+    ) -> None:
+        self.definitions = definitions
+        self.env = env if env is not None else Environment()
+        self.config = config
+        self.kernel = kernel
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        # Plan (built lazily by _plan).
+        self._entries: Optional[List[EntryKey]] = None
+        self._deps: Dict[EntryKey, Tuple[EntryKey, ...]] = {}
+        self._sccs: List[Scc] = []
+        self._ranks: List[int] = []
+        self._sampled: Dict[str, Tuple[object, ...]] = {}
+        # Solution state.
+        self._resolved: Dict[EntryKey, FiniteClosure] = {}
+        self._solved = False
+        self.reports: List[SccReport] = []
+        #: (entry, level) denotations actually performed — the unit the
+        #: monolithic chain spends (levels × entries) of.
+        self.redenoted_entries = 0
+        #: (entry, level) denotations avoided because no intra-SCC
+        #: dependency changed root at the previous level.
+        self.delta_skipped = 0
+        #: entries restored from the snapshot cache without denoting.
+        self.cache_hits = 0
+
+    # -- planning ----------------------------------------------------------
+
+    def _plan(self) -> None:
+        if self._entries is not None:
+            return
+        sample = self.config.sample
+        self._entries = definition_entries(self.definitions, self.env, sample)
+        self._deps = entry_dependencies(self.definitions, self.env, sample)
+        self._sccs = condense_entries(self._deps)
+        self._ranks = scc_ranks(self._sccs, self._deps)
+        for definition in self.definitions:
+            if isinstance(definition, ArrayDef):
+                self._sampled[definition.name] = tuple(
+                    definition.domain.evaluate(self.env).sample(sample)
+                )
+
+    def plan(self) -> List[Tuple[int, Scc]]:
+        """The (rank, SCC) schedule, dependencies-first."""
+        self._plan()
+        return list(zip(self._ranks, self._sccs))
+
+    # -- solving -----------------------------------------------------------
+
+    def run(self) -> None:
+        """Solve every SCC (idempotent)."""
+        if self._solved:
+            return
+        self._plan()
+        assert self._entries is not None
+        groups: Dict[int, List[int]] = {}
+        for i, rank in enumerate(self._ranks):
+            groups.setdefault(rank, []).append(i)
+        try:
+            for rank in sorted(groups):
+                self._run_rank(rank, groups[rank])
+        except BudgetExceeded as exc:
+            raise exc.with_checkpoint(self._checkpoint(exc)) from None
+        if self.cache is not None:
+            for entry, closure in self._resolved.items():
+                self.cache.put(_slot(entry), closure.root)
+        self._solved = True
+
+    def _run_rank(self, rank: int, indices: List[int]) -> None:
+        governor = _governor.current()
+        if governor is not None:
+            governor.check_deadline()
+        pending: List[int] = []
+        for i in indices:
+            cached = self._from_cache(self._sccs[i], rank)
+            if not cached:
+                pending.append(i)
+        if self.jobs > 1 and len(pending) > 1:
+            self._solve_parallel(rank, pending)
+        else:
+            for i in pending:
+                solution, report = self._solve_scc(self._sccs[i], rank)
+                self._merge(solution, report, reintern_roots=False)
+        if governor is not None:
+            self._record_progress(governor)
+
+    def _from_cache(self, scc: Scc, rank: int) -> bool:
+        """Restore a whole SCC from the snapshot, if every member is there."""
+        if self.cache is None:
+            return False
+        roots = {}
+        for entry in scc.entries:
+            node = self.cache.get(_slot(entry))
+            if node is None:
+                return False
+            roots[entry] = node
+        for entry, node in roots.items():
+            self._resolved[entry] = FiniteClosure.from_node(node)
+        self.cache_hits += len(roots)
+        self.reports.append(
+            SccReport(
+                entries=tuple(e.pretty() for e in scc.entries),
+                rank=rank,
+                recursive=scc.recursive,
+                cache_hit=True,
+                levels=(),
+            )
+        )
+        return True
+
+    def _solve_parallel(self, rank: int, indices: List[int]) -> None:
+        """Solve independent same-rank SCCs on worker threads.
+
+        Each worker interns into a private kernel state; the main thread
+        re-interns results in plan order, so the canonical interner sees
+        the same insertion sequence regardless of worker timing.  The
+        governor is ambient process state shared by all threads: node
+        budgets count globally (increment races can only under-count by
+        a handful — budgets are resource limits, not exact quotas) and a
+        trip in any worker surfaces here as the original exception.
+        """
+
+        def solve(index: int):
+            with private_state():
+                return self._solve_scc(self._sccs[index], rank)
+
+        with ThreadPoolExecutor(max_workers=min(self.jobs, len(indices))) as pool:
+            futures = [pool.submit(solve, i) for i in indices]
+        # Pool exit joins all workers; collect in plan order so the first
+        # plan-order failure (not the first temporal one) is reported,
+        # keeping error output deterministic.
+        outcomes = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            error = future.exception()
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+            else:
+                outcomes.append(future.result())
+        if first_error is not None:
+            raise first_error
+        for solution, report in outcomes:
+            self._merge(solution, report, reintern_roots=True)
+
+    def _merge(
+        self,
+        solution: Dict[EntryKey, FiniteClosure],
+        report: SccReport,
+        reintern_roots: bool,
+    ) -> None:
+        for entry, closure in solution.items():
+            if reintern_roots:
+                closure = FiniteClosure.from_node(reintern(closure.root))
+            self._resolved[entry] = closure
+        self.reports.append(report)
+        self.redenoted_entries += report.redenoted
+        self.delta_skipped += report.skipped
+
+    def _solve_scc(
+        self, scc: Scc, rank: int
+    ) -> Tuple[Dict[EntryKey, FiniteClosure], SccReport]:
+        if not scc.recursive:
+            entry = scc.entries[0]
+            denoter = self._denoter({})
+            closure = self._denote_entry(denoter, entry)
+            report = SccReport(
+                entries=(entry.pretty(),),
+                rank=rank,
+                recursive=False,
+                cache_hit=False,
+                levels=(LevelReport(1, (entry.pretty(),), ()),),
+            )
+            return {entry: closure}, report
+        return self._solve_recursive(scc, rank)
+
+    def _solve_recursive(
+        self, scc: Scc, rank: int
+    ) -> Tuple[Dict[EntryKey, FiniteClosure], SccReport]:
+        """Delta-based local chain: start every member at ⟦STOP⟧, then
+        re-denote per level only members with a changed intra-SCC input.
+
+        Soundness of the skip: denotation at fixed depth is a pure
+        function of the bindings it consults, and a member's bindings
+        are its dependencies' closures.  If none of them changed root
+        between levels *i−1* and *i*, its level-(i+1) value equals its
+        level-(i) value — the re-denotation is skipped because its
+        result is already known, not because it is assumed.  Level 1
+        always denotes every member (everything changed at the bottom),
+        so errors a denotation would raise are never masked.
+        """
+        members = set(scc.entries)
+        local_deps: Dict[EntryKey, Tuple[EntryKey, ...]] = {
+            e: tuple(d for d in self._deps.get(e, ()) if d in members)
+            for e in scc.entries
+        }
+        local: Dict[EntryKey, FiniteClosure] = {
+            e: STOP_CLOSURE for e in scc.entries
+        }
+        changed: Set[EntryKey] = set(scc.entries)
+        levels: List[LevelReport] = []
+        governor = _governor.current()
+        with _governor.recursion_guard("fixpoint"):
+            for level in range(1, MAX_LEVELS + 1):
+                if governor is not None:
+                    governor.check_deadline()
+                denoter = self._denoter(local)
+                nxt: Dict[EntryKey, FiniteClosure] = {}
+                now_changed: Set[EntryKey] = set()
+                redenoted: List[str] = []
+                skipped: List[str] = []
+                for entry in scc.entries:
+                    if level > 1 and not any(
+                        d in changed for d in local_deps[entry]
+                    ):
+                        nxt[entry] = local[entry]
+                        skipped.append(entry.pretty())
+                        continue
+                    closure = self._denote_entry(denoter, entry)
+                    nxt[entry] = closure
+                    redenoted.append(entry.pretty())
+                    if closure.root is not local[entry].root:
+                        now_changed.add(entry)
+                levels.append(LevelReport(level, tuple(redenoted), tuple(skipped)))
+                if not now_changed:
+                    report = SccReport(
+                        entries=tuple(e.pretty() for e in scc.entries),
+                        rank=rank,
+                        recursive=True,
+                        cache_hit=False,
+                        levels=tuple(levels),
+                    )
+                    return nxt, report
+                local = nxt
+                changed = now_changed
+        raise SemanticsError(
+            f"approximation chain did not stabilise in {MAX_LEVELS} steps"
+        )
+
+    # -- denotation helpers ------------------------------------------------
+
+    def _denoter(self, local: Dict[EntryKey, FiniteClosure]) -> Denoter:
+        return Denoter(
+            self.definitions,
+            self.env,
+            self.config,
+            process_bindings=self._bindings(local),
+            kernel=self.kernel,
+        )
+
+    def _denote_entry(self, denoter: Denoter, entry: EntryKey) -> FiniteClosure:
+        definition = self.definitions.lookup(entry.name)
+        if isinstance(definition, ArrayDef):
+            body_env = self.env.bind(definition.parameter, entry.subscript)
+            return denoter._denote(definition.body, body_env, self.config.depth)
+        return denoter._denote(definition.body, self.env, self.config.depth)
+
+    def _bindings(self, local: Dict[EntryKey, FiniteClosure]) -> Dict[str, object]:
+        """Process bindings for one denotation pass: solved entries, the
+        current SCC's local level, and loud poisons for everything the
+        plan says is unreachable from here."""
+        available: Dict[EntryKey, FiniteClosure] = dict(self._resolved)
+        available.update(local)
+        bindings: Dict[str, object] = {}
+        for definition in self.definitions:
+            name = definition.name
+            if isinstance(definition, ArrayDef):
+                table = {
+                    entry.subscript: closure
+                    for entry, closure in available.items()
+                    if entry.name == name
+                }
+                bindings[name] = self._array_lookup(name, table)
+            else:
+                entry = EntryKey(name)
+                if entry in available:
+                    bindings[name] = available[entry]
+                else:
+                    bindings[name] = _Poison(name)
+        return bindings
+
+    def _array_lookup(self, name: str, table: Dict[object, FiniteClosure]):
+        sampled = self._sampled.get(name, ())
+
+        def lookup(v):
+            try:
+                return table[v]
+            except KeyError:
+                if v in sampled:
+                    # In-sample but not yet solved: the dependency walk
+                    # failed to record this edge — a scheduling bug, not
+                    # a user error.
+                    raise SemanticsError(
+                        f"array {name!r} subscript {v!r} consulted before "
+                        f"its SCC was scheduled — dependency analysis bug"
+                    ) from None
+                raise SemanticsError(
+                    f"array {name!r} approximated only for subscripts "
+                    f"{sorted(map(repr, sampled))}; {v!r} requested — "
+                    f"raise config.sample"
+                ) from None
+
+        return lookup
+
+    # -- budget cooperation ------------------------------------------------
+
+    def _record_progress(self, governor: "_governor.Governor") -> None:
+        governor.record_progress(
+            phase="engine",
+            completed_depth=len(self.reports),
+            traces_verified=sum(len(c) for c in self._resolved.values()),
+            payload={"resolved": tuple(e.pretty() for e in self._resolved)},
+        )
+
+    def _checkpoint(self, exc: BudgetExceeded) -> Checkpoint:
+        inner = exc.checkpoint
+        return Checkpoint(
+            phase="engine",
+            completed_depth=len(self.reports),
+            traces_verified=sum(len(c) for c in self._resolved.values()),
+            states_explored=inner.states_explored if inner is not None else 0,
+            nodes_interned=inner.nodes_interned if inner is not None else 0,
+            elapsed=inner.elapsed if inner is not None else 0.0,
+            payload={"resolved": tuple(e.pretty() for e in self._resolved)},
+        )
+
+    # -- results -----------------------------------------------------------
+
+    def fixpoint(self) -> Dict[str, object]:
+        """The solved system, shaped exactly like
+        :meth:`ApproximationChain.fixpoint`: closures for plain names,
+        subscript→closure tables for arrays."""
+        self.run()
+        result: Dict[str, object] = {}
+        for definition in self.definitions:
+            if isinstance(definition, ArrayDef):
+                result[definition.name] = {
+                    v: self._resolved[EntryKey(definition.name, v)]
+                    for v in self._sampled[definition.name]
+                }
+            else:
+                result[definition.name] = self._resolved[EntryKey(definition.name)]
+        return result
+
+    def closure_for(self, name: str, subscript: object = None) -> FiniteClosure:
+        """The fixpoint denotation of ``p`` or ``q[subscript]`` (same
+        error behaviour as the chain)."""
+        self.run()
+        definition = self.definitions.lookup(name)
+        if isinstance(definition, ArrayDef):
+            entry = EntryKey(name, subscript)
+            if entry not in self._resolved:
+                raise SemanticsError(
+                    f"array {name!r} has no sampled subscript {subscript!r}"
+                )
+            return self._resolved[entry]
+        if subscript is not None:
+            raise SemanticsError(f"{name!r} is not a process array")
+        return self._resolved[EntryKey(name)]
+
+    def bindings(self) -> Dict[str, object]:
+        """The solved system as Denoter ``process_bindings`` (plain names
+        → closures, arrays → sampled-subscript lookups)."""
+        self.run()
+        return self._bindings({})
+
+    def levels_computed(self) -> int:
+        """Longest local chain among recursive SCCs (+1 for the bottom) —
+        comparable to :meth:`ApproximationChain.levels_computed`."""
+        self.run()
+        deepest = max(
+            (len(r.levels) for r in self.reports if r.recursive and not r.cache_hit),
+            default=0,
+        )
+        return deepest + 1
+
+    # -- introspection -----------------------------------------------------
+
+    def explain(self) -> str:
+        """Human-readable solve plan and per-level delta/cache account —
+        the payload of ``repro stats --explain-plan``."""
+        self.run()
+        assert self._entries is not None
+        lines = [
+            f"engine plan: {len(self._entries)} entries, "
+            f"{len(self._sccs)} SCCs, "
+            f"{(max(self._ranks) + 1) if self._ranks else 0} ranks, "
+            f"jobs={self.jobs}",
+        ]
+        for report in sorted(self.reports, key=lambda r: r.rank):
+            label = " ".join(report.entries)
+            kind = "recursive" if report.recursive else "direct"
+            if report.cache_hit:
+                lines.append(
+                    f"  rank {report.rank} · {{{label}}} ({kind}): cache hit"
+                )
+                continue
+            lines.append(
+                f"  rank {report.rank} · {{{label}}} ({kind}): "
+                f"{len(report.levels)} level(s), "
+                f"{report.redenoted} denoted, {report.skipped} delta-skipped"
+            )
+            for lv in report.levels:
+                if not lv.skipped:
+                    continue
+                lines.append(
+                    f"      level {lv.level}: denoted "
+                    f"{', '.join(lv.redenoted) if lv.redenoted else '—'}; "
+                    f"skipped {', '.join(lv.skipped)}"
+                )
+        total = self.redenoted_entries + self.delta_skipped + self.cache_hits
+        lines.append(
+            f"  totals: {self.redenoted_entries} definition-levels denoted, "
+            f"{self.delta_skipped} delta-skipped, {self.cache_hits} cache "
+            f"hits ({total} accounted)"
+        )
+        return "\n".join(lines)
+
+
+def _slot(entry: EntryKey) -> str:
+    return f"fix:{entry.pretty()}"
+
+
+def engine_denotation(
+    definitions: DefinitionList,
+    name: str,
+    subscript: object = None,
+    env: Optional[Environment] = None,
+    config: SemanticsConfig = DEFAULT_CONFIG,
+    jobs: int = 1,
+    cache: Optional[SnapshotCache] = None,
+) -> FiniteClosure:
+    """Denote ``name`` (or ``name[subscript]``) via the dependency-graph
+    engine — the engine-backed counterpart of
+    :func:`~repro.semantics.fixpoint.fixpoint_denotation`."""
+    engine = DenotationEngine(
+        definitions, env, config, jobs=jobs, cache=cache
+    )
+    return engine.closure_for(name, subscript)

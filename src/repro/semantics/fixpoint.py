@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import BudgetExceeded, SemanticsError
+from repro.process.analysis import EntryKey, entry_dependencies
 from repro.process.definitions import ArrayDef, DefinitionList
 from repro.runtime import faults as _faults
 from repro.runtime import governor as _governor
@@ -117,6 +118,14 @@ class ApproximationChain:
             self._levels = list(levels)
         else:
             self._levels = [self._bottom()]
+        #: Entries whose root changed at the latest computed level; None
+        #: means unknown (fresh or resumed chain) and forces a full level.
+        self._changed_last: Optional[set] = None
+        self._entry_deps: Optional[Dict[EntryKey, Tuple[EntryKey, ...]]] = None
+        #: (entry, level) denotations performed vs. skipped because no
+        #: dependency's root changed at the previous level.
+        self.redenoted_entries = 0
+        self.delta_skipped = 0
 
     # -- chain construction ------------------------------------------------
 
@@ -160,6 +169,16 @@ class ApproximationChain:
     def step(self) -> Approximation:
         """Compute and record a_{i+1} from the latest level.
 
+        **Delta-based**: an entry — a plain definition or one sampled
+        array subscript — is re-denoted only when some dependency's root
+        changed at the previous level; otherwise its previous closure is
+        carried forward unchanged (denotation is a pure function of the
+        bindings it consults, so an entry with unchanged inputs has an
+        unchanged output).  Tracking is per-(name, value): an array
+        subscript whose closure stabilised early stops costing anything,
+        even while sibling subscripts keep growing.  The first computed
+        level always denotes everything, so errors are never masked.
+
         Cooperates with the ambient governor: the wall-clock deadline is
         force-checked at every level boundary, and a budget trip anywhere
         inside the level's denotations is re-raised with a checkpoint
@@ -180,25 +199,54 @@ class ApproximationChain:
             process_bindings=self._bindings_from(previous),
             kernel=self.kernel,
         )
+        if self._entry_deps is None:
+            self._entry_deps = entry_dependencies(
+                self.definitions, self.env, self.config.sample
+            )
+        changed = self._changed_last
+        now_changed: set = set()
+
+        def resolve(entry: EntryKey, prev_closure, denote):
+            if changed is not None and not any(
+                d in changed for d in self._entry_deps.get(entry, ())
+            ):
+                self.delta_skipped += 1
+                return prev_closure
+            closure = denote()
+            self.redenoted_entries += 1
+            if closure.root is not prev_closure.root:
+                now_changed.add(entry)
+            return closure
+
         try:
             with _governor.recursion_guard("fixpoint"):
                 nxt: Approximation = {}
                 for definition in self.definitions:
                     if isinstance(definition, ArrayDef):
                         table = {}
+                        prev_table = previous[definition.name]
                         for value in self._array_values(definition):
                             body_env = self.env.bind(definition.parameter, value)
-                            table[value] = denoter._denote(
-                                definition.body, body_env, self.config.depth
+                            table[value] = resolve(
+                                EntryKey(definition.name, value),
+                                prev_table[value],
+                                lambda env=body_env: denoter._denote(
+                                    definition.body, env, self.config.depth
+                                ),
                             )
                         nxt[definition.name] = table
                     else:
-                        nxt[definition.name] = denoter._denote(
-                            definition.body, self.env, self.config.depth
+                        nxt[definition.name] = resolve(
+                            EntryKey(definition.name),
+                            previous[definition.name],
+                            lambda: denoter._denote(
+                                definition.body, self.env, self.config.depth
+                            ),
                         )
         except BudgetExceeded as exc:
             raise exc.with_checkpoint(self._checkpoint(exc)) from None
         self._levels.append(nxt)
+        self._changed_last = now_changed
         if governor is not None:
             self._record_progress(governor)
         return nxt
@@ -311,6 +359,15 @@ def fixpoint_denotation(
     env: Optional[Environment] = None,
     config: SemanticsConfig = DEFAULT_CONFIG,
 ) -> FiniteClosure:
-    """Denote ``name`` (or ``name[subscript]``) by the explicit §3.3 chain."""
-    chain = ApproximationChain(definitions, env, config)
-    return chain.closure_for(name, subscript)
+    """Denote ``name`` (or ``name[subscript]``) by the §3.3 fixpoint.
+
+    Routed through the dependency-graph
+    :class:`~repro.semantics.engine.DenotationEngine`, which reproduces
+    this module's monolithic chain exactly (pointer-identical roots —
+    the equivalence suite checks it) while skipping levels that cannot
+    change anything.
+    """
+    from repro.semantics.engine import DenotationEngine
+
+    engine = DenotationEngine(definitions, env, config)
+    return engine.closure_for(name, subscript)

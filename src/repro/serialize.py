@@ -28,6 +28,7 @@ from repro.process.channels import ChannelArraySpec, ChannelExpr, ChannelList
 from repro.process.definitions import ArrayDef, DefinitionList, ProcessDef
 from repro.proof.judgments import ForAllSat, Pure, Sat
 from repro.proof.proof import ProofNode
+from repro.traces.events import Channel, Event
 from repro.values import expressions as E
 
 
@@ -184,6 +185,21 @@ _register(
     E.SetUnion,
     lambda n: _k(n, parts=[encode(p) for p in n.parts]),
     lambda d: E.SetUnion(tuple(decode(p) for p in d["parts"])),
+)
+
+# ---------------------------------------------------------------------------
+# concrete events (snapshot payloads)
+# ---------------------------------------------------------------------------
+
+_register(
+    Channel,
+    lambda n: _k(n, name=n.name, index=_encode_value(n.index)),
+    lambda d: Channel(d["name"], _decode_value(d["index"])),
+)
+_register(
+    Event,
+    lambda n: _k(n, channel=encode(n.channel), message=_encode_value(n.message)),
+    lambda d: Event(decode(d["channel"]), _decode_value(d["message"])),
 )
 
 # ---------------------------------------------------------------------------

@@ -34,7 +34,7 @@ from repro.traces.trie import (
     EMPTY_NODE,
     ClosureNode,
     make_node,
-    register_memo,
+    memo_table,
     truncate_node,
     union_nodes,
 )
@@ -46,9 +46,9 @@ from repro.traces.trie import (
 #: components or pass an explicit small ``depth``.
 MAX_DISJOINT_PRODUCT = 250_000
 
-_HIDE_MEMO: Dict[Tuple[ClosureNode, FrozenSet[Channel]], ClosureNode] = register_memo({})
-_PAD_MEMO: Dict[Tuple[ClosureNode, Tuple[Event, ...], int], ClosureNode] = register_memo({})
-_PAR_MEMO: Dict[Tuple[ClosureNode, ClosureNode, FrozenSet[Channel], int], ClosureNode] = register_memo({})
+# Memo tables live in the kernel state (per-thread during engine worker
+# runs); each public operator resolves its table once and threads it
+# through the recursion.
 
 
 def prefix(a: Event, p: FiniteClosure) -> FiniteClosure:
@@ -93,15 +93,18 @@ def hide(p: FiniteClosure, channels: Iterable[Channel]) -> FiniteClosure:
     if not hidden:
         return p
     with _governor.recursion_guard("hide"):
-        return FiniteClosure.from_node(_hide_node(p.root, hidden))
+        memo = memo_table("hide")
+        stats = KERNEL_STATS.memo("hide")
+        return FiniteClosure.from_node(_hide_node(p.root, hidden, memo, stats))
 
 
-def _hide_node(node: ClosureNode, hidden: FrozenSet[Channel]) -> ClosureNode:
+def _hide_node(
+    node: ClosureNode, hidden: FrozenSet[Channel], memo: Dict, stats
+) -> ClosureNode:
     if node is EMPTY_NODE:
         return EMPTY_NODE
     key = (node, hidden)
-    stats = KERNEL_STATS.memo("hide")
-    cached = _HIDE_MEMO.get(key)
+    cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
         return cached
@@ -112,11 +115,11 @@ def _hide_node(node: ClosureNode, hidden: FrozenSet[Channel]) -> ClosureNode:
     absorbed = EMPTY_NODE
     for event, child in node.items:
         if event.channel in hidden:
-            absorbed = union_nodes(absorbed, _hide_node(child, hidden))
+            absorbed = union_nodes(absorbed, _hide_node(child, hidden, memo, stats))
         else:
-            visible[event] = _hide_node(child, hidden)
+            visible[event] = _hide_node(child, hidden, memo, stats)
     result = union_nodes(make_node(visible), absorbed)
-    _HIDE_MEMO[key] = result
+    memo[key] = result
     return result
 
 
@@ -150,19 +153,20 @@ def pad(
         if e.channel not in chan_set:
             raise ValueError(f"padding event {e!r} not on a padding channel")
     with _governor.recursion_guard("pad"):
-        return FiniteClosure.from_node(_pad_node(p.root, pad_set, depth))
+        memo = memo_table("pad")
+        stats = KERNEL_STATS.memo("pad")
+        return FiniteClosure.from_node(_pad_node(p.root, pad_set, depth, memo, stats))
 
 
 def _pad_node(
-    node: ClosureNode, pad_set: Tuple[Event, ...], depth: int
+    node: ClosureNode, pad_set: Tuple[Event, ...], depth: int, memo: Dict, stats
 ) -> ClosureNode:
     if depth <= 0:
         return EMPTY_NODE
     if not pad_set:
         return truncate_node(node, depth)
     key = (node, pad_set, depth)
-    stats = KERNEL_STATS.memo("pad")
-    cached = _PAD_MEMO.get(key)
+    cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
         return cached
@@ -170,18 +174,19 @@ def _pad_node(
     _faults.maybe_fail("op.pad")
     _governor.tick()
     children: Dict[Event, ClosureNode] = {
-        event: _pad_node(child, pad_set, depth - 1) for event, child in node.items
+        event: _pad_node(child, pad_set, depth - 1, memo, stats)
+        for event, child in node.items
     }
     # A padding event leaves progress inside P unchanged; if P itself can
     # also perform it, both continuations are possible — union them.
-    stalled = _pad_node(node, pad_set, depth - 1)
+    stalled = _pad_node(node, pad_set, depth - 1, memo, stats)
     for event in pad_set:
         existing = children.get(event)
         children[event] = (
             union_nodes(existing, stalled) if existing is not None else stalled
         )
     result = make_node(children)
-    _PAD_MEMO[key] = result
+    memo[key] = result
     return result
 
 
@@ -234,7 +239,11 @@ def parallel(
         depth = p.depth() + q.depth()
 
     with _governor.recursion_guard("parallel"):
-        return FiniteClosure.from_node(_par_node(p.root, q.root, shared, depth))
+        memo = memo_table("parallel")
+        stats = KERNEL_STATS.memo("parallel")
+        return FiniteClosure.from_node(
+            _par_node(p.root, q.root, shared, depth, memo, stats)
+        )
 
 
 def _par_node(
@@ -242,12 +251,13 @@ def _par_node(
     nq: ClosureNode,
     shared: FrozenSet[Channel],
     depth: int,
+    memo: Dict,
+    stats,
 ) -> ClosureNode:
     if depth <= 0 or (np is EMPTY_NODE and nq is EMPTY_NODE):
         return EMPTY_NODE
     key = (np, nq, shared, depth)
-    stats = KERNEL_STATS.memo("parallel")
-    cached = _PAR_MEMO.get(key)
+    cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
         return cached
@@ -259,20 +269,22 @@ def _par_node(
         if event.channel in shared:
             q_child = nq.children.get(event)
             if q_child is not None:
-                children[event] = _par_node(p_child, q_child, shared, depth - 1)
+                children[event] = _par_node(
+                    p_child, q_child, shared, depth - 1, memo, stats
+                )
         else:
-            children[event] = _par_node(p_child, nq, shared, depth - 1)
+            children[event] = _par_node(p_child, nq, shared, depth - 1, memo, stats)
     for event, q_child in nq.items:
         if event.channel not in shared:
             # X-coverage makes a private-event collision impossible (it
             # would put the channel in X ∩ Y); union defensively anyway.
             existing = children.get(event)
-            merged = _par_node(np, q_child, shared, depth - 1)
+            merged = _par_node(np, q_child, shared, depth - 1, memo, stats)
             children[event] = (
                 union_nodes(existing, merged) if existing is not None else merged
             )
     result = make_node(children)
-    _PAR_MEMO[key] = result
+    memo[key] = result
     return result
 
 

@@ -1,0 +1,232 @@
+"""Persisted closure snapshots — warm-starting the kernel across runs.
+
+Hash-consed tries serialise naturally: list the distinct nodes reachable
+from a set of roots in post-order, write each node as its (event-index,
+child-index) pairs against a deduplicated event table, and record each
+root as an index into the node list.  Decoding replays the list through
+:func:`~repro.traces.trie.make_node`, so every decoded node is
+**re-interned**: a snapshot can never introduce a non-canonical node,
+only save the work of building canonical ones.
+
+A snapshot is trusted only as a cache, never as truth:
+
+* it is keyed by a content hash of the definition list, the
+  :class:`~repro.semantics.config.SemanticsConfig`, and any extra
+  inputs (``--set`` bindings, cancel-protocol flags) — any change to
+  the inputs changes the key and orphans the old snapshot;
+* the key and a format version are stored *inside* the payload and
+  re-checked on load;
+* any structural defect — bad JSON, dangling indices, wrong version,
+  wrong key — discards the snapshot and rebuilds from scratch
+  (``SnapshotCache.rebuilt`` reports that this happened).
+
+Writes are atomic (temp file + ``os.replace``) and failures to persist
+are swallowed: a read-only cache directory degrades to cold starts, it
+never breaks the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import serialize
+from repro.errors import ReproError
+from repro.traces.events import Event
+from repro.traces.trie import ClosureNode, make_node
+
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """The snapshot payload is structurally invalid (internal — callers
+    of :class:`SnapshotCache` see a rebuild, not an exception)."""
+
+
+def encode_roots(roots: Dict[str, ClosureNode]) -> dict:
+    """Encode named closure roots as a post-order node list.
+
+    Shared subtrees are written once, preserving the kernel's sharing in
+    the file: snapshot size tracks *distinct* nodes, not traces.
+    """
+    events: List[Event] = []
+    event_index: Dict[Event, int] = {}
+    nodes: List[List[List[int]]] = []
+    node_index: Dict[int, int] = {}
+
+    def event_id(event: Event) -> int:
+        idx = event_index.get(event)
+        if idx is None:
+            idx = event_index[event] = len(events)
+            events.append(event)
+        return idx
+
+    for root in roots.values():
+        if id(root) in node_index:
+            continue
+        stack: List[Tuple[ClosureNode, bool]] = [(root, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if id(current) in node_index:
+                continue
+            if expanded:
+                node_index[id(current)] = len(nodes)
+                nodes.append(
+                    [
+                        [event_id(event), node_index[id(child)]]
+                        for event, child in current.items
+                    ]
+                )
+                continue
+            stack.append((current, True))
+            for _, child in current.items:
+                if id(child) not in node_index:
+                    stack.append((child, False))
+
+    return {
+        "events": [serialize.encode(e) for e in events],
+        "nodes": nodes,
+        "roots": {slot: node_index[id(root)] for slot, root in roots.items()},
+    }
+
+
+def decode_roots(data: dict) -> Dict[str, ClosureNode]:
+    """Decode :func:`encode_roots` output, re-interning every node.
+
+    Raises :class:`SnapshotError` on any structural defect; never
+    returns partially decoded state.
+    """
+    try:
+        events = [serialize.decode(e) for e in data["events"]]
+        if not all(isinstance(e, Event) for e in events):
+            raise SnapshotError("event table holds a non-event")
+        decoded: List[ClosureNode] = []
+        for entry in data["nodes"]:
+            children = {}
+            for event_idx, child_idx in entry:
+                if not 0 <= child_idx < len(decoded):
+                    raise SnapshotError(
+                        f"child index {child_idx} breaks post-order"
+                    )
+                children[events[event_idx]] = decoded[child_idx]
+            decoded.append(make_node(children))
+        roots: Dict[str, ClosureNode] = {}
+        for slot, idx in data["roots"].items():
+            if not isinstance(slot, str) or not 0 <= idx < len(decoded):
+                raise SnapshotError(f"bad root entry {slot!r}: {idx!r}")
+            roots[slot] = decoded[idx]
+        return roots
+    except SnapshotError:
+        raise
+    except (serialize.SerializationError, ReproError) as exc:
+        raise SnapshotError(f"undecodable snapshot payload: {exc}") from exc
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
+        raise SnapshotError(f"malformed snapshot payload: {exc!r}") from exc
+
+
+def cache_key(definitions: Any, config: Any, extra: Any = None) -> str:
+    """Content hash identifying one semantic situation.
+
+    Any input that can change a closure must feed the key: the
+    definition list itself, the denotation config (depth, sample,
+    hide-depth), and caller-provided extras (environment ``--set``
+    bindings, protocol flags).  Hash collisions aside, equal keys imply
+    equal denotations — the invariant the cache relies on.
+    """
+    payload = {
+        "version": FORMAT_VERSION,
+        "definitions": serialize.encode(definitions),
+        "config": [config.depth, config.sample, config.hide_depth],
+        "extra": extra,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class SnapshotCache:
+    """One snapshot file: named closure slots for one cache key.
+
+    Slots are free-form strings (``fix:name``, ``traces:...:d5``); the
+    engine and sat checker agree on the vocabulary.  ``get`` misses
+    rather than raising; ``save`` silently degrades on unwritable
+    directories.
+    """
+
+    def __init__(self, directory: Path, key: str) -> None:
+        self.directory = Path(directory)
+        self.key = key
+        self.path = self.directory / f"snapshot-{key}.json"
+        self.hits = 0
+        self.misses = 0
+        self.loaded = False
+        self.rebuilt = False
+        self._dirty = False
+        self._roots: Dict[str, ClosureNode] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict):
+                raise SnapshotError("payload is not an object")
+            if data.get("format") != FORMAT_VERSION:
+                raise SnapshotError(f"format {data.get('format')!r}")
+            if data.get("key") != self.key:
+                raise SnapshotError("key mismatch")
+            self._roots = decode_roots(data)
+            self.loaded = True
+        except (json.JSONDecodeError, SnapshotError, ReproError):
+            # Corrupted, stale, or foreign snapshot: rebuild from scratch.
+            self._roots = {}
+            self.rebuilt = True
+
+    def get(self, slot: str) -> Optional[ClosureNode]:
+        node = self._roots.get(slot)
+        if node is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return node
+
+    def put(self, slot: str, node: ClosureNode) -> None:
+        if self._roots.get(slot) is not node:
+            self._roots[slot] = node
+            self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def save(self) -> None:
+        """Persist atomically; never raises on filesystem trouble."""
+        if not self._dirty:
+            return
+        data = encode_roots(self._roots)
+        data["format"] = FORMAT_VERSION
+        data["key"] = self.key
+        blob = json.dumps(data, separators=(",", ":"))
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".snapshot-", suffix=".tmp", dir=str(self.directory)
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(blob)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._dirty = False

@@ -13,6 +13,15 @@ returns the existing object, so
 * prefix closure holds **by construction** — every node reachable from a
   root is itself a member, so there is nothing to verify at runtime.
 
+Interner and memo tables live in a :class:`KernelState`.  There is one
+global state; worker threads of the denotation engine swap in a private
+state via :func:`private_state` so concurrent interning needs no locks,
+then the main thread canonicalises their roots with :func:`reintern`.
+Interning is idempotent on structural keys, so re-interning a privately
+built trie into the global state yields exactly the node the global
+state would have built itself — per-worker states are an implementation
+detail, not a semantic one.
+
 Operators over nodes live in :mod:`repro.traces.operations`; this module
 provides construction, interning, and the derived queries
 (:func:`iter_traces`, :func:`descend`, :func:`node_channels`).  All
@@ -21,7 +30,9 @@ counters report into :mod:`repro.traces.stats`.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
+from contextlib import contextmanager
 from typing import (
     Deque,
     Dict,
@@ -30,7 +41,6 @@ from typing import (
     Iterator,
     List,
     Mapping,
-    MutableMapping,
     Optional,
     Tuple,
 )
@@ -73,25 +83,68 @@ class ClosureNode:
 #: stable for as long as the interner holds them.
 _InternKey = Tuple[Tuple[Event, int], ...]
 
-_INTERNER: Dict[_InternKey, ClosureNode] = {}
 
-#: Memo tables (registered by the operator layer) that key on node
-#: identity; cleared together with the interner so no table can hold a
-#: key whose id might be reused.
-_MEMO_REGISTRY: List[MutableMapping] = []
+class KernelState:
+    """An interner plus its identity-keyed memo tables.
+
+    Memo keys hold node ids, so memos are only valid against the interner
+    whose nodes they reference — clearing or swapping the interner must
+    drop the memos with it, which is why they live together.
+    """
+
+    __slots__ = ("interner", "memos")
+
+    def __init__(self) -> None:
+        self.interner: Dict[_InternKey, ClosureNode] = {}
+        self.memos: Dict[str, Dict] = {}
+
+    def memo(self, name: str) -> Dict:
+        """The (lazily created) memo table for operator ``name``."""
+        table = self.memos.get(name)
+        if table is None:
+            table = self.memos[name] = {}
+        return table
 
 
-def register_memo(table: MutableMapping) -> MutableMapping:
-    """Register an identity-keyed memo table for interner-reset clearing."""
-    _MEMO_REGISTRY.append(table)
-    return table
+_GLOBAL = KernelState()
+_TLS = threading.local()
+
+
+def _state() -> KernelState:
+    return getattr(_TLS, "state", None) or _GLOBAL
+
+
+def memo_table(name: str) -> Dict:
+    """The current state's memo table for ``name`` (resolved once per
+    top-level operator call, then threaded through the recursion)."""
+    return _state().memo(name)
+
+
+@contextmanager
+def private_state() -> Iterator[KernelState]:
+    """Run the calling *thread* against a fresh private kernel state.
+
+    Nodes built inside are interned privately (no contention with other
+    threads); canonicalise their roots afterwards with :func:`reintern`
+    on the thread that owns the target state.  :data:`EMPTY_NODE` is
+    seeded so the ⟦STOP⟧ closure stays canonical everywhere.
+    """
+    previous = getattr(_TLS, "state", None)
+    state = KernelState()
+    state.interner[()] = EMPTY_NODE
+    _TLS.state = state
+    try:
+        yield state
+    finally:
+        _TLS.state = previous
 
 
 def make_node(children: Mapping[Event, "ClosureNode"]) -> ClosureNode:
     """The interned node with exactly the given children."""
     items = tuple(sorted(children.items(), key=lambda kv: kv[0].sort_key()))
     key: _InternKey = tuple((event, id(child)) for event, child in items)
-    node = _INTERNER.get(key)
+    interner = _state().interner
+    node = interner.get(key)
     if node is not None:
         KERNEL_STATS.interner_hits += 1
         return node
@@ -101,30 +154,57 @@ def make_node(children: Mapping[Event, "ClosureNode"]) -> ClosureNode:
     _faults.maybe_fail("trie.intern")
     _governor.note_node()
     node = ClosureNode(items)
-    _INTERNER[key] = node
+    interner[key] = node
     return node
 
 
-#: ⟦STOP⟧ = {⟨⟩} — the leaf, shared by every trie.
+#: ⟦STOP⟧ = {⟨⟩} — the leaf, shared by every trie and every kernel state.
 EMPTY_NODE: ClosureNode = make_node({})
 
 
 def interner_size() -> int:
-    """Number of distinct subtrees currently interned."""
-    return len(_INTERNER)
+    """Number of distinct subtrees interned in the current state."""
+    return len(_state().interner)
 
 
 def clear_interner() -> None:
-    """Drop every interned node and every registered memo table.
+    """Drop every interned node and memo table of the current state.
 
     Only for benchmarks and tests that need a cold kernel;
     :data:`EMPTY_NODE` is re-interned so existing references stay
     canonical.
     """
-    _INTERNER.clear()
-    for table in _MEMO_REGISTRY:
-        table.clear()
-    _INTERNER[()] = EMPTY_NODE
+    state = _state()
+    state.interner.clear()
+    state.memos.clear()
+    state.interner[()] = EMPTY_NODE
+
+
+def reintern(node: ClosureNode) -> ClosureNode:
+    """The canonical equivalent of ``node`` in the *current* state.
+
+    Re-interns bottom-up with an explicit stack (deep tries are
+    legitimate inputs).  Because interning keys are structural, this is
+    idempotent: a node already canonical in the current state maps to
+    itself, and two structurally equal foreign nodes map to the same
+    canonical node — the property that makes per-worker interners sound.
+    """
+    memo: Dict[int, ClosureNode] = {}
+    stack: List[Tuple[ClosureNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if id(current) in memo:
+            continue
+        if expanded:
+            memo[id(current)] = make_node(
+                {event: memo[id(child)] for event, child in current.items}
+            )
+            continue
+        stack.append((current, True))
+        for _, child in current.items:
+            if id(child) not in memo:
+                stack.append((child, False))
+    return memo[id(node)]
 
 
 # -- construction -----------------------------------------------------------
@@ -254,11 +334,10 @@ def _walk_with_prefix(
 #
 # The lattice structure lives in the kernel (rather than in
 # repro.traces.operations) because FiniteClosure's own methods need it and
-# the operator layer imports FiniteClosure.
-
-_UNION_MEMO: Dict[Tuple[ClosureNode, ClosureNode], ClosureNode] = register_memo({})
-_INTERSECT_MEMO: Dict[Tuple[ClosureNode, ClosureNode], ClosureNode] = register_memo({})
-_TRUNCATE_MEMO: Dict[Tuple[ClosureNode, int], ClosureNode] = register_memo({})
+# the operator layer imports FiniteClosure.  Each public operator resolves
+# its memo table from the current kernel state once, then threads it
+# through the recursion — per-call resolution would cost a thread-local
+# lookup on every node visit.
 
 
 def union_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
@@ -273,9 +352,18 @@ def union_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
         return b
     if b is EMPTY_NODE:
         return a
+    return _union(a, b, _state().memo("union"), KERNEL_STATS.memo("union"))
+
+
+def _union(a: ClosureNode, b: ClosureNode, memo: Dict, stats) -> ClosureNode:
+    if a is b:
+        return a
+    if a is EMPTY_NODE:
+        return b
+    if b is EMPTY_NODE:
+        return a
     key = (a, b) if id(a) <= id(b) else (b, a)
-    stats = KERNEL_STATS.memo("union")
-    cached = _UNION_MEMO.get(key)
+    cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
         return cached
@@ -283,9 +371,9 @@ def union_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
     children = dict(a.children)
     for event, b_child in b.items:
         a_child = children.get(event)
-        children[event] = union_nodes(a_child, b_child) if a_child else b_child
+        children[event] = _union(a_child, b_child, memo, stats) if a_child else b_child
     result = make_node(children)
-    _UNION_MEMO[key] = result
+    memo[key] = result
     return result
 
 
@@ -295,9 +383,18 @@ def intersect_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
         return a
     if a is EMPTY_NODE or b is EMPTY_NODE:
         return EMPTY_NODE
+    return _intersect(
+        a, b, _state().memo("intersection"), KERNEL_STATS.memo("intersection")
+    )
+
+
+def _intersect(a: ClosureNode, b: ClosureNode, memo: Dict, stats) -> ClosureNode:
+    if a is b:
+        return a
+    if a is EMPTY_NODE or b is EMPTY_NODE:
+        return EMPTY_NODE
     key = (a, b) if id(a) <= id(b) else (b, a)
-    stats = KERNEL_STATS.memo("intersection")
-    cached = _INTERSECT_MEMO.get(key)
+    cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
         return cached
@@ -306,20 +403,20 @@ def intersect_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
     for event, a_child in a.items:
         b_child = b.children.get(event)
         if b_child is not None:
-            children[event] = intersect_nodes(a_child, b_child)
+            children[event] = _intersect(a_child, b_child, memo, stats)
     result = make_node(children)
-    _INTERSECT_MEMO[key] = result
+    memo[key] = result
     return result
 
 
-def _truncated_child(child: ClosureNode, depth: int) -> ClosureNode:
+def _truncated_child(child: ClosureNode, depth: int, memo: Dict) -> ClosureNode:
     """The already-resolved truncation of ``child`` to ``depth`` (base
     cases inline, recursive cases from the memo filled by the driver)."""
     if depth <= 0:
         return EMPTY_NODE
     if child.height <= depth:
         return child
-    return _TRUNCATE_MEMO[(child, depth)]
+    return memo[(child, depth)]
 
 
 def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
@@ -335,14 +432,15 @@ def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
     if node.height <= depth:
         return node
     stats = KERNEL_STATS.memo("truncate")
-    cached = _TRUNCATE_MEMO.get((node, depth))
+    memo = _state().memo("truncate")
+    cached = memo.get((node, depth))
     if cached is not None:
         stats.hits += 1
         return cached
     stack: List[Tuple[ClosureNode, int]] = [(node, depth)]
     while stack:
         current, d = stack[-1]
-        if (current, d) in _TRUNCATE_MEMO:
+        if (current, d) in memo:
             stack.pop()
             continue
         pending = [
@@ -350,7 +448,7 @@ def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
             for _, child in current.items
             if d - 1 > 0
             and child.height > d - 1
-            and (child, d - 1) not in _TRUNCATE_MEMO
+            and (child, d - 1) not in memo
         ]
         if pending:
             stack.extend(pending)
@@ -358,10 +456,13 @@ def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
         stack.pop()
         stats.misses += 1
         _faults.maybe_fail("trie.truncate")
-        _TRUNCATE_MEMO[(current, d)] = make_node(
-            {event: _truncated_child(child, d - 1) for event, child in current.items}
+        memo[(current, d)] = make_node(
+            {
+                event: _truncated_child(child, d - 1, memo)
+                for event, child in current.items
+            }
         )
-    return _TRUNCATE_MEMO[(node, depth)]
+    return memo[(node, depth)]
 
 
 def subset_nodes(a: ClosureNode, b: ClosureNode) -> bool:

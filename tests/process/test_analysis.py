@@ -4,13 +4,19 @@ import pytest
 
 from repro.errors import SemanticsError
 from repro.process.analysis import (
+    EntryKey,
     channel_names,
     concrete_channels,
+    condense_entries,
+    definition_entries,
+    entry_dependencies,
     free_variables,
     has_guarded_recursion,
     is_guarded,
     referenced_names,
+    scc_ranks,
     unguarded_references,
+    uses_chan,
 )
 from repro.process.ast import (
     STOP,
@@ -143,3 +149,110 @@ class TestFreeVariables:
     def test_delegates_to_ast(self):
         p = parse_process("wire!x -> STOP")
         assert free_variables(p) == {"x"}
+
+
+class TestUsesChan:
+    def test_direct_chan(self):
+        assert uses_chan(parse_process("chan wire; STOP"))
+
+    def test_chan_free(self):
+        assert not uses_chan(parse_process("a!0 -> (b!1 -> STOP | c?x:NAT -> STOP)"))
+
+    def test_follows_definitions(self):
+        defs = parse_definitions(
+            "net = chan wire; STOP; top = a!0 -> net"
+        )
+        assert uses_chan(Name("top"), defs)
+        assert not uses_chan(Name("top"))  # without defs the name is opaque
+
+    def test_recursion_safe(self):
+        defs = parse_definitions("p = a!0 -> q; q = b!0 -> p")
+        assert not uses_chan(Name("p"), defs)
+
+
+def _graph(source, sample=2, env=None):
+    defs = parse_definitions(source)
+    env = env if env is not None else Environment()
+    return defs, definition_entries(defs, env, sample), entry_dependencies(
+        defs, env, sample
+    )
+
+
+class TestEntryGraph:
+    def test_plain_definitions_one_entry_each(self):
+        _, entries, deps = _graph("p = a!0 -> q; q = b!0 -> p")
+        assert entries == [EntryKey("p"), EntryKey("q")]
+        assert deps[EntryKey("p")] == (EntryKey("q"),)
+        assert deps[EntryKey("q")] == (EntryKey("p"),)
+
+    def test_array_one_entry_per_sampled_subscript(self):
+        _, entries, deps = _graph(
+            "arr[i:{0..4}] = a[i]!0 -> arr[i]", sample=3
+        )
+        assert entries == [EntryKey("arr", 0), EntryKey("arr", 1), EntryKey("arr", 2)]
+        # arr[i] under i=1 resolves concretely to arr[1]: a single edge.
+        assert deps[EntryKey("arr", 1)] == (EntryKey("arr", 1),)
+
+    def test_unknown_subscript_depends_on_all_sampled(self):
+        # the subscript depends on a received value → conservative edges
+        _, _, deps = _graph(
+            "p = c?x:NAT -> arr[x]; arr[i:{0..2}] = a!0 -> STOP", sample=2
+        )
+        assert deps[EntryKey("p")] == (EntryKey("arr", 0), EntryKey("arr", 1))
+
+    def test_out_of_sample_subscript_depends_on_all_sampled(self):
+        _, _, deps = _graph(
+            "p = c!0 -> arr[7]; arr[i:{0..2}] = a!0 -> STOP", sample=2
+        )
+        assert deps[EntryKey("p")] == (EntryKey("arr", 0), EntryKey("arr", 1))
+
+    def test_undefined_names_contribute_no_edges(self):
+        # a non-strict list may reference names it does not define
+        defs = DefinitionList(
+            [ProcessDef("p", output("a", 0, Name("ghost")))], strict=False
+        )
+        deps = entry_dependencies(defs, Environment(), 2)
+        assert deps[EntryKey("p")] == ()
+
+
+class TestCondense:
+    def test_mutual_recursion_is_one_recursive_scc(self):
+        _, _, deps = _graph("p = a!0 -> q; q = b!0 -> p")
+        sccs = condense_entries(deps)
+        assert len(sccs) == 1
+        assert set(sccs[0].entries) == {EntryKey("p"), EntryKey("q")}
+        assert sccs[0].recursive
+
+    def test_self_loop_is_recursive(self):
+        _, _, deps = _graph("p = a!0 -> p")
+        (scc,) = condense_entries(deps)
+        assert scc.recursive
+
+    def test_acyclic_definition_not_recursive(self):
+        _, _, deps = _graph("leaf = a!0 -> STOP; top = b!0 -> leaf")
+        sccs = condense_entries(deps)
+        assert all(not s.recursive for s in sccs)
+
+    def test_dependencies_emitted_first(self):
+        _, _, deps = _graph(
+            "top = a!0 -> mid; mid = b!0 -> leaf; leaf = c!0 -> leaf"
+        )
+        sccs = condense_entries(deps)
+        order = [scc.entries[0].name for scc in sccs]
+        assert order.index("leaf") < order.index("mid") < order.index("top")
+
+
+class TestSccRanks:
+    def test_leaves_rank_zero_dependents_above(self):
+        _, _, deps = _graph(
+            "top = a!0 -> mid; mid = b!0 -> leaf; leaf = c!0 -> leaf"
+        )
+        sccs = condense_entries(deps)
+        ranks = scc_ranks(sccs, deps)
+        by_name = {scc.entries[0].name: rank for scc, rank in zip(sccs, ranks)}
+        assert by_name == {"leaf": 0, "mid": 1, "top": 2}
+
+    def test_independent_sccs_share_a_rank(self):
+        _, _, deps = _graph("p = a!0 -> p; q = b!0 -> q")
+        sccs = condense_entries(deps)
+        assert scc_ranks(sccs, deps) == [0, 0]

@@ -385,6 +385,117 @@ class TestBudgetsAndExitCodes:
         assert "partial under the active budget" in out
 
 
+class TestEngineFlags:
+    """--jobs / --cache-dir / --no-cache / --explain-plan plumbing."""
+
+    def test_jobs_two_traces_identical(self, copier_file, capsys):
+        assert (
+            main(
+                ["traces", copier_file, "--process", "copier", "--depth", "3",
+                 "--no-cache"]
+            )
+            == 0
+        )
+        sequential = capsys.readouterr().out
+        assert (
+            main(
+                ["traces", copier_file, "--process", "copier", "--depth", "3",
+                 "--jobs", "2", "--no-cache"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == sequential
+
+    def test_check_warm_cache_second_run(self, copier_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "check", copier_file, "--process", "copier",
+            "--spec", "wire <= input", "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        assert "HOLDS" in capsys.readouterr().out
+        snapshots = list((tmp_path / "cache").glob("snapshot-*.json"))
+        assert len(snapshots) == 1
+        assert main(argv) == 0  # warm start, same verdict
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_no_cache_writes_nothing(self, copier_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "check", copier_file, "--process", "copier",
+            "--spec", "wire <= input", "--cache-dir", str(cache_dir),
+            "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert not cache_dir.exists()
+
+    def test_budgeted_run_bypasses_cache(self, copier_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "traces", copier_file, "--process", "copier", "--depth", "3",
+            "--cache-dir", str(cache_dir), "--deadline", "30",
+        ]
+        assert main(argv) == 0
+        assert not cache_dir.exists()  # governed runs never touch the cache
+
+    def test_explain_plan_cold_then_warm(self, copier_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "stats", copier_file, "--explain-plan", "--depth", "3",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "engine plan:" in cold
+        assert "rank 0" in cold
+        assert "definition-levels denoted" in cold
+        assert "snapshot cache:" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache hit" in warm
+
+    def test_explain_plan_jobs_two(self, copier_file, capsys):
+        assert (
+            main(
+                ["stats", copier_file, "--explain-plan", "--depth", "3",
+                 "--jobs", "2", "--no-cache"]
+            )
+            == 0
+        )
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_traces_budget_trip_under_jobs(self, copier_file, capsys):
+        code = main(
+            ["traces", copier_file, "--process", "copier", "--depth", "6",
+             "--jobs", "2", "--deadline", "0"]
+        )
+        assert code == 4
+
+    def test_worker_error_exit_code_without_debug(self, tmp_path, capsys):
+        # two independent recursive definitions over an unbound set: both
+        # SCCs fail during denotation (on worker threads with --jobs 2),
+        # and the CLI must still map the error to the semantics exit code
+        path = tmp_path / "unbound.csp"
+        path.write_text("p = a?x:S -> p; q = b?y:S -> q")
+        code = main(
+            ["traces", str(path), "--process", "p", "--jobs", "2",
+             "--no-cache"]
+        )
+        assert code == 3
+        assert "unbound" in capsys.readouterr().err
+
+    def test_worker_error_debug_reraises_original_class(self, tmp_path):
+        from repro.errors import UnboundVariableError
+
+        path = tmp_path / "unbound.csp"
+        path.write_text("p = a?x:S -> p; q = b?y:S -> q")
+        with pytest.raises(UnboundVariableError):
+            main(
+                ["traces", str(path), "--process", "p", "--jobs", "2",
+                 "--no-cache", "--debug"]
+            )
+
+
 class TestStats:
     def test_stats_reports_kernel_counters(self, copier_file, capsys):
         code = main(["stats", copier_file, "--process", "network", "--depth", "5"])

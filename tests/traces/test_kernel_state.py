@@ -1,0 +1,92 @@
+"""Unit tests for per-thread kernel state and node re-interning.
+
+``private_state`` gives a worker its own interner+memo universe so
+parallel SCC solves never contend; ``reintern`` carries a structure
+built in one universe back into the ambient one, landing on exactly the
+nodes the ambient interner would have built itself.
+"""
+
+import threading
+
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import denote
+from repro.traces.trie import (
+    EMPTY_NODE,
+    interner_size,
+    make_node,
+    private_state,
+    reintern,
+)
+
+CFG = SemanticsConfig(depth=3, sample=2)
+
+
+def _denote_p():
+    return denote(Name("p"), parse_definitions("p = a!0 -> b!1 -> p"), config=CFG)
+
+
+class TestPrivateState:
+    def test_isolated_interner(self):
+        baseline = interner_size()
+        with private_state():
+            assert interner_size() == 1  # just the seeded empty node
+            _denote_p()
+            assert interner_size() > 1
+        assert interner_size() == baseline  # ambient state untouched
+
+    def test_empty_node_reseeded_inside(self):
+        with private_state():
+            assert make_node({}) is not None
+            # the empty node is canonical inside the private universe too
+            assert make_node({}) is make_node({})
+
+    def test_nesting_restores_previous_state(self):
+        with private_state():
+            _denote_p()
+            inner_size = interner_size()
+            with private_state():
+                assert interner_size() == 1
+            assert interner_size() == inner_size
+
+    def test_threads_get_independent_states(self):
+        sizes = {}
+
+        def worker(tag):
+            with private_state():
+                _denote_p()
+                sizes[tag] = interner_size()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sizes[0] == sizes[1] > 1
+
+
+class TestReintern:
+    def test_ambient_node_is_fixed_point(self):
+        closure = _denote_p()
+        assert reintern(closure.root) is closure.root
+
+    def test_private_node_lands_on_ambient_canonical(self):
+        ambient = _denote_p()
+        with private_state():
+            private = _denote_p()
+            assert private.root is not ambient.root
+        # merge back in the ambient state, the way the engine does
+        assert reintern(private.root) is ambient.root
+
+    def test_empty_node_reinterns_to_empty(self):
+        with private_state():
+            private_empty = make_node({})
+            merged = reintern(private_empty)
+        assert merged is EMPTY_NODE
+
+    def test_idempotent(self):
+        with private_state():
+            node = _denote_p().root
+        once = reintern(node)
+        assert reintern(once) is once

@@ -1,0 +1,184 @@
+"""Unit tests for persisted closure snapshots.
+
+The cache's core safety property: a snapshot is *never trusted*.  Every
+decoded node goes back through :func:`make_node` (so it is canonical by
+construction), and any structural defect — corrupt JSON, dangling
+indices, wrong format version, wrong content key — silently discards the
+file and rebuilds from scratch.
+"""
+
+import json
+
+import pytest
+
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import denote
+from repro.traces.snapshot import (
+    FORMAT_VERSION,
+    SnapshotCache,
+    SnapshotError,
+    cache_key,
+    decode_roots,
+    encode_roots,
+)
+from repro.traces.trie import private_state
+
+CFG = SemanticsConfig(depth=3, sample=2)
+DEFS = parse_definitions("copier = input?x:NAT -> wire!x -> copier")
+
+
+def _closure():
+    defs = parse_definitions("p = a!0 -> b!1 -> p")
+    return denote(Name("p"), defs, config=CFG)
+
+
+class TestRoundTrip:
+    def test_same_interner_identity(self):
+        closure = _closure()
+        decoded = decode_roots(encode_roots({"p": closure.root}))
+        assert decoded["p"] is closure.root
+
+    def test_cold_interner_decodes_to_canonical_nodes(self):
+        closure = _closure()
+        payload = json.loads(json.dumps(encode_roots({"p": closure.root})))
+        with private_state():
+            decoded = decode_roots(payload)
+            rebuilt = denote(
+                Name("p"), parse_definitions("p = a!0 -> b!1 -> p"), config=CFG
+            )
+            # decoding re-interns: the snapshot node IS the node a fresh
+            # denotation builds, pointer-identically
+            assert decoded["p"] is rebuilt.root
+
+    def test_shared_subtrees_written_once(self):
+        closure = _closure()
+        data = encode_roots({"p": closure.root, "q": closure.root})
+        assert data["roots"]["p"] == data["roots"]["q"]
+
+
+class TestDecodeRejectsDefects:
+    def test_dangling_child_index(self):
+        data = encode_roots({"p": _closure().root})
+        data["nodes"][-1] = [[0, 10_000]]
+        with pytest.raises(SnapshotError, match="post-order"):
+            decode_roots(data)
+
+    def test_bad_root_index(self):
+        data = encode_roots({"p": _closure().root})
+        data["roots"]["p"] = 10_000
+        with pytest.raises(SnapshotError, match="bad root entry"):
+            decode_roots(data)
+
+    def test_non_event_in_event_table(self):
+        data = encode_roots({"p": _closure().root})
+        data["events"] = [{"__kind__": "Channel", "name": "a", "index": None}]
+        with pytest.raises(SnapshotError):
+            decode_roots(data)
+
+    def test_garbage_payload(self):
+        with pytest.raises(SnapshotError):
+            decode_roots({"events": "nope", "nodes": 3, "roots": []})
+
+
+class TestCacheKey:
+    def test_sensitive_to_definitions(self):
+        other = parse_definitions("copier = input?x:NAT -> out!x -> copier")
+        assert cache_key(DEFS, CFG) != cache_key(other, CFG)
+
+    def test_sensitive_to_config(self):
+        assert cache_key(DEFS, CFG) != cache_key(
+            DEFS, SemanticsConfig(depth=4, sample=2)
+        )
+
+    def test_sensitive_to_extra(self):
+        assert cache_key(DEFS, CFG, extra={"sets": ["M={0,1}"]}) != cache_key(
+            DEFS, CFG, extra=None
+        )
+
+    def test_deterministic(self):
+        assert cache_key(DEFS, CFG) == cache_key(
+            parse_definitions("copier = input?x:NAT -> wire!x -> copier"), CFG
+        )
+
+
+class TestSnapshotCache:
+    def test_save_and_reload(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        cache = SnapshotCache(tmp_path, key)
+        closure = _closure()
+        cache.put("fix:p", closure.root)
+        cache.save()
+        warm = SnapshotCache(tmp_path, key)
+        assert warm.loaded and not warm.rebuilt
+        assert warm.get("fix:p") is closure.root
+        assert warm.hits == 1
+
+    def test_miss_counts(self, tmp_path):
+        cache = SnapshotCache(tmp_path, "k" * 32)
+        assert cache.get("fix:ghost") is None
+        assert cache.misses == 1
+
+    def test_corrupted_file_rebuilt_never_trusted(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        cache = SnapshotCache(tmp_path, key)
+        cache.put("fix:p", _closure().root)
+        cache.save()
+        cache.path.write_text("{not json", encoding="utf-8")
+        reopened = SnapshotCache(tmp_path, key)
+        assert reopened.rebuilt and not reopened.loaded
+        assert reopened.get("fix:p") is None  # nothing salvaged
+
+    def test_truncated_payload_rebuilt(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        cache = SnapshotCache(tmp_path, key)
+        cache.put("fix:p", _closure().root)
+        cache.save()
+        data = json.loads(cache.path.read_text(encoding="utf-8"))
+        data["nodes"] = data["nodes"][:1]
+        cache.path.write_text(json.dumps(data), encoding="utf-8")
+        reopened = SnapshotCache(tmp_path, key)
+        assert reopened.rebuilt
+        assert reopened.get("fix:p") is None
+
+    def test_stale_format_version_rebuilt(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        cache = SnapshotCache(tmp_path, key)
+        cache.put("fix:p", _closure().root)
+        cache.save()
+        data = json.loads(cache.path.read_text(encoding="utf-8"))
+        data["format"] = FORMAT_VERSION + 1
+        cache.path.write_text(json.dumps(data), encoding="utf-8")
+        reopened = SnapshotCache(tmp_path, key)
+        assert reopened.rebuilt
+        assert reopened.get("fix:p") is None
+
+    def test_foreign_key_rebuilt(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        cache = SnapshotCache(tmp_path, key)
+        cache.put("fix:p", _closure().root)
+        cache.save()
+        # same file served for a different key: contents must be ignored
+        other = "f" * 32
+        cache.path.rename(tmp_path / f"snapshot-{other}.json")
+        reopened = SnapshotCache(tmp_path, other)
+        assert reopened.rebuilt
+        assert reopened.get("fix:p") is None
+
+    def test_unwritable_directory_degrades_silently(self, tmp_path):
+        target = tmp_path / "file-not-dir"
+        target.write_text("occupied", encoding="utf-8")
+        cache = SnapshotCache(target / "sub", "k" * 32)
+        cache.put("fix:p", _closure().root)
+        cache.save()  # must not raise
+
+    def test_clean_cache_not_rewritten(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        cache = SnapshotCache(tmp_path, key)
+        cache.put("fix:p", _closure().root)
+        cache.save()
+        stamp = cache.path.stat().st_mtime_ns
+        warm = SnapshotCache(tmp_path, key)
+        warm.save()  # nothing dirty: no write
+        assert cache.path.stat().st_mtime_ns == stamp
