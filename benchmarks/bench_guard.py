@@ -39,9 +39,19 @@ TOLERANCE = 0.75
 #: than the naive monolithic chain on the multiplier (the acceptance bar).
 MIN_ENGINE_REDUCTION = 2.0
 
+#: Reduction floor for systems the engine could not previously solve at
+#: all (philosophers — array-indexed; eligible since sub-level deltas).
+MIN_INELIGIBLE_REDUCTION = 1.5
+
 #: Depth at which the reduction bar applies (shallower runs amortise the
 #: non-recursive savings over fewer levels).
 ENGINE_GUARD_DEPTH = 5
+
+#: Systems whose recursive entries must keep skipping re-denotations via
+#: the delta analysis (level-skips or sub-level horizon skips) at
+#: ``ENGINE_GUARD_DEPTH`` and beyond.  A drop to zero means the frontier
+#: tracking silently degraded to the naive schedule.
+DELTA_GUARD_SYSTEMS = ("multiplier", "protocol")
 
 #: Warm snapshot restarts must beat a cold solve by at least this factor.
 #: (Recorded speedups are ~50×; the floor is deliberately loose because
@@ -79,7 +89,13 @@ def check_engine(report: dict) -> list:
     """Deterministic definition-level accounting + warm-cache timing."""
     failures = []
     _LEVELS = re.compile(r"definition-levels (\w+) depth=(\d+)")
-    systems = {"multiplier": multiplier, "protocol": protocol}
+    from repro.systems import philosophers
+
+    systems = {
+        "multiplier": multiplier,
+        "protocol": protocol,
+        "philosophers": philosophers,
+    }
     for case in report["definition_level_cases"]:
         match = _LEVELS.fullmatch(case["case"])
         if not match:
@@ -97,11 +113,22 @@ def check_engine(report: dict) -> list:
             if bar_applies
             else True
         )
-        ok = exact and above_bar
+        if match.group(1) == "philosophers" and depth >= ENGINE_GUARD_DEPTH:
+            above_bar = above_bar and (
+                measured["reduction"] >= MIN_INELIGIBLE_REDUCTION
+            )
+        deltas_alive = True
+        if (
+            match.group(1) in DELTA_GUARD_SYSTEMS
+            and depth >= ENGINE_GUARD_DEPTH
+        ):
+            deltas_alive = measured["engine_delta_skipped"] > 0
+        ok = exact and above_bar and deltas_alive
         print(
             f"{'ok' if ok else 'FAIL':<4} {case['case']:<42} "
             f"recorded ×{case['reduction']:<6} measured ×{measured['reduction']}"
             + (f" (floor ×{MIN_ENGINE_REDUCTION})" if bar_applies else "")
+            + ("" if deltas_alive else " (delta skips dropped to 0)")
         )
         if not ok:
             failures.append(case["case"])

@@ -260,6 +260,7 @@ def _engine_levels_case(system, depth: int, sample: int = 3) -> dict:
         "delta_chain_levels": chain.redenoted_entries,
         "engine_levels": engine.redenoted_entries,
         "engine_delta_skipped": engine.delta_skipped,
+        "engine_frontier_skipped": engine.frontier_skipped,
         "reduction": round(naive / engine.redenoted_entries, 2)
         if engine.redenoted_entries
         else float("inf"),
@@ -315,10 +316,16 @@ def _engine_cache_case(depth: int) -> dict:
 
 
 def generate_engine(depths=(4, 5, 6)) -> dict:
+    # philosophers was ineligible for the engine before sub-level deltas
+    # (its table references out-of-sample subscripts at sample 2; at
+    # sample 3 the whole domain is covered) — recording it tracks the
+    # first engine numbers for an array-indexed system.
+    from repro.systems import philosophers
+
     level_cases = [
         _engine_levels_case(system, depth)
         for depth in depths
-        for system in (multiplier, protocol)
+        for system in (multiplier, protocol, philosophers)
     ]
     cache_cases = [_engine_cache_case(depth) for depth in (6, 7)]
     return {

@@ -87,14 +87,16 @@ def _open_cache(args: argparse.Namespace, defs, config):
     """A snapshot cache for this (definitions, config, bindings) situation,
     or ``None`` when caching is off.
 
-    Caching is also disabled under a budget governor: governed runs
-    deepen iteratively to produce sound *partial* results, and serving
-    traces from a warm cache would make "how far did the budget reach"
-    depend on what some earlier invocation happened to compute.
+    Under a budget governor the cache runs in **checkpoint-only** mode:
+    it serves and records nothing but ``fix:{name}@level{k}`` slots —
+    the per-completed-depth closures of the governed deepening schedule.
+    Each such slot is deterministic given the definitions and config
+    (never depends on where a budget tripped), so a tripped run resumes
+    from its own checkpoints on the next invocation while "how far did
+    the budget reach" stays invocation-deterministic; the general slot
+    vocabulary stays reserved for ungoverned runs.
     """
     if getattr(args, "no_cache", False):
-        return None
-    if _governor.current() is not None:
         return None
     from repro.traces.snapshot import SnapshotCache, cache_key
 
@@ -107,7 +109,11 @@ def _open_cache(args: argparse.Namespace, defs, config):
         "sets": sorted(args.set or []),
         "with_cancel": args.with_cancel,
     }
-    return SnapshotCache(directory, cache_key(defs, config, extra))
+    return SnapshotCache(
+        directory,
+        cache_key(defs, config, extra),
+        checkpoint_only=_governor.current() is not None,
+    )
 
 
 def _build_governor(args: argparse.Namespace) -> Optional[Governor]:

@@ -203,6 +203,25 @@ class _Unknown:
 _UNKNOWN = _Unknown()
 
 
+class _Candidates(_Unknown):
+    """A received value whose domain is statically known, finite, and
+    small: the dependency walk can enumerate the subscripts it may
+    produce instead of over-approximating to every sampled entry.
+
+    Subclasses :class:`_Unknown` so every conservative ``isinstance``
+    check (and any arithmetic, which still fails) treats it as unknown;
+    only :func:`_subscript_candidates` exploits the extra precision.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Tuple[object, ...]) -> None:
+        self.values = values
+
+    def __repr__(self) -> str:
+        return f"<input value in {self.values!r}>"
+
+
 def concrete_channels(
     process: Process,
     definitions: Optional[DefinitionList],
@@ -339,6 +358,47 @@ def uses_chan(process: Process, definitions: Optional[DefinitionList] = None) ->
     return False
 
 
+def consult_depths(process: Process, depth: int, hide_depth: int) -> Dict[str, int]:
+    """Maximum residual depth at which denoting ``process`` at ``depth``
+    may *consult* each referenced definition's binding.
+
+    Mirrors the depth flow of :class:`~repro.semantics.denotation.Denoter`
+    exactly: ``Output``/``Input`` consume one level (and stop at 0),
+    ``Choice``/``Parallel`` pass the budget through, and ``Chan`` deepens
+    its body to ``max(hide_depth, depth)``.  Bindings are consulted — never
+    unfolded — so the walk does not follow definitions, and a reference
+    reached with budget ``d`` reads exactly ``truncate(binding, d)``.
+
+    This is the soundness bar for the sub-level horizon skip: if a
+    binding's two versions satisfy ``delta_depth(old, new) >
+    consult_depths(body, …)[name]`` then every truncation the denotation
+    reads is pointer-identical under hash-consing, so the re-denotation
+    would reproduce the previous result exactly and may be skipped.
+    References reached with budget 0 read ``truncate(binding, 0) = STOP``
+    regardless of the binding and are not recorded.
+    """
+    out: Dict[str, int] = {}
+    stack: List[Tuple[Process, int]] = [(process, depth)]
+    while stack:
+        node, budget = stack.pop()
+        if isinstance(node, Stop):
+            continue
+        if isinstance(node, (Name, ArrayRef)):
+            if budget > 0 and budget > out.get(node.name, 0):
+                out[node.name] = budget
+        elif isinstance(node, (Output, Input)):
+            if budget > 0:
+                stack.append((node.continuation, budget - 1))
+        elif isinstance(node, (Choice, Parallel)):
+            stack.append((node.left, budget))
+            stack.append((node.right, budget))
+        elif isinstance(node, Chan):
+            stack.append((node.body, max(hide_depth, budget)))
+        else:  # pragma: no cover - exhaustiveness guard
+            raise TypeError(f"unknown process node {node!r}")
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Entry-level dependency graph
 # ---------------------------------------------------------------------------
@@ -418,10 +478,68 @@ def entry_dependencies(
         found: List[EntryKey] = []
         seen: Set[EntryKey] = set()
         _collect_entry_deps(
-            definition.body, definitions, body_env, sampled, found, seen
+            definition.body, definitions, body_env, sampled, sample, found, seen
         )
         deps[entry] = tuple(found)
     return deps
+
+
+#: Candidate-enumeration budgets for :func:`_subscript_candidates`: a
+#: received value tracks at most this many candidate values, and a
+#: subscript expression at most this many joint assignments; beyond them
+#: the walk stays conservative (depend on every sampled entry).
+_CANDIDATE_CAP = 8
+_ASSIGNMENT_CAP = 64
+
+
+def _input_candidates(process: Input, env: Environment, sample: int) -> _Unknown:
+    """The sentinel to bind an input variable to: a :class:`_Candidates`
+    carrying exactly the values the :class:`~repro.semantics.denotation.
+    Denoter` will enumerate (``domain.sample(sample)``) when the domain is
+    statically evaluable, finite, and small — else plain ``_UNKNOWN``."""
+    try:
+        domain = process.domain.evaluate(env)
+    except EvaluationError:
+        return _UNKNOWN
+    if not getattr(domain, "is_finite", False):
+        return _UNKNOWN
+    values = tuple(domain.sample(sample))
+    if not values or len(values) > _CANDIDATE_CAP:
+        return _UNKNOWN
+    return _Candidates(values)
+
+
+def _subscript_candidates(
+    index, env: Environment
+) -> Optional[Set[object]]:
+    """All values a subscript expression can take when its unknown free
+    variables are :class:`_Candidates`.  ``None`` when any free variable
+    is truly unknown, the assignment product exceeds the cap, or an
+    evaluation fails — callers must then stay conservative."""
+    assignments: List[Dict[str, object]] = [{}]
+    for var in sorted(index.free_variables()):
+        bound = env.get(var, _UNKNOWN)
+        if isinstance(bound, _Candidates):
+            options = bound.values
+        elif isinstance(bound, _Unknown):
+            return None
+        else:
+            continue  # concretely bound: evaluate() sees it directly
+        if len(assignments) * len(options) > _ASSIGNMENT_CAP:
+            return None
+        assignments = [
+            dict(assignment, **{var: option})
+            for assignment in assignments
+            for option in options
+        ]
+    results: Set[object] = set()
+    for assignment in assignments:
+        scoped = env.bind_all(assignment) if assignment else env
+        try:
+            results.add(index.evaluate(scoped))
+        except EvaluationError:
+            return None
+    return results
 
 
 def _collect_entry_deps(
@@ -429,6 +547,7 @@ def _collect_entry_deps(
     definitions: DefinitionList,
     env: Environment,
     sampled: Dict[str, Tuple[object, ...]],
+    sample: int,
     out: List[EntryKey],
     seen: Set[EntryKey],
 ) -> None:
@@ -436,22 +555,23 @@ def _collect_entry_deps(
         return
     if isinstance(process, Output):
         _collect_entry_deps(
-            process.continuation, definitions, env, sampled, out, seen
+            process.continuation, definitions, env, sampled, sample, out, seen
         )
     elif isinstance(process, Input):
         _collect_entry_deps(
             process.continuation,
             definitions,
-            env.bind(process.variable, _UNKNOWN),
+            env.bind(process.variable, _input_candidates(process, env, sample)),
             sampled,
+            sample,
             out,
             seen,
         )
     elif isinstance(process, (Choice, Parallel)):
-        _collect_entry_deps(process.left, definitions, env, sampled, out, seen)
-        _collect_entry_deps(process.right, definitions, env, sampled, out, seen)
+        _collect_entry_deps(process.left, definitions, env, sampled, sample, out, seen)
+        _collect_entry_deps(process.right, definitions, env, sampled, sample, out, seen)
     elif isinstance(process, Chan):
-        _collect_entry_deps(process.body, definitions, env, sampled, out, seen)
+        _collect_entry_deps(process.body, definitions, env, sampled, sample, out, seen)
     elif isinstance(process, Name):
         if process.name not in definitions:
             return
@@ -473,10 +593,19 @@ def _collect_entry_deps(
         if not isinstance(value, _Unknown) and value in values:
             _note_dep(EntryKey(process.name, value), out, seen)
         else:
-            # Unknown or out-of-sample subscript: conservatively depend on
-            # every sampled entry of the array.
-            for v in values:
-                _note_dep(EntryKey(process.name, v), out, seen)
+            # Unknown subscript: when every unknown free variable carries a
+            # small candidate set, the subscript's reachable values can be
+            # enumerated exactly (the denoter binds exactly those values),
+            # splitting what would otherwise become one mega-SCC.
+            candidates = _subscript_candidates(process.index, env)
+            if candidates is not None and all(c in values for c in candidates):
+                for c in sorted(candidates, key=repr):
+                    _note_dep(EntryKey(process.name, c), out, seen)
+            else:
+                # Truly unknown or out-of-sample: conservatively depend on
+                # every sampled entry of the array.
+                for v in values:
+                    _note_dep(EntryKey(process.name, v), out, seen)
     else:  # pragma: no cover - exhaustiveness guard
         raise TypeError(f"unknown process node {process!r}")
 

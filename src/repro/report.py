@@ -147,23 +147,50 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
 
     def e7() -> "tuple[str, bool]":
         from repro.semantics.engine import DenotationEngine
+        from repro.systems import philosophers
 
         chain = ApproximationChain(copier.definitions(), copier.environment(), cfg)
         steps = chain.run_until_stable()
         ok = steps <= cfg.depth + 1 and chain.is_monotone()
+
         # The dependency-graph engine must reproduce the monolithic chain
-        # exactly: pointer-identical roots per definition.
-        engine = DenotationEngine(copier.definitions(), copier.environment(), cfg)
-        fixed = chain.fixpoint()
-        agreed = all(
-            engine.closure_for(name).root is closure.root
-            for name, closure in fixed.items()
-            if not isinstance(closure, dict)
-        )
+        # exactly — pointer-identical roots per definition — across the
+        # full systems suite, including array-indexed definitions
+        # (philosophers: dict-valued entries checked per subscript) and
+        # chan-hidden bodies (protocol).  Philosophers references phil[2]
+        # and fork[2], so the cross-check needs sample >= 3; depth is
+        # bounded to keep the report battery quick.
+        xcfg = SemanticsConfig(depth=min(cfg.depth, 4), sample=3)
+        suites = [
+            ("copier", copier.definitions(), copier.environment()),
+            ("protocol", protocol.definitions(), protocol.environment()),
+            (
+                "philosophers",
+                philosophers.definitions(),
+                philosophers.environment(),
+            ),
+        ]
+        agreed = True
+        for label, defs, env in suites:
+            use = cfg if label == "copier" else xcfg
+            sys_chain = ApproximationChain(defs, env, use)
+            sys_chain.run_until_stable()
+            engine = DenotationEngine(defs, env, use)
+            for name, closure in sys_chain.fixpoint().items():
+                if isinstance(closure, dict):
+                    agreed = agreed and all(
+                        engine.closure_for(name, sub).root is sub_closure.root
+                        for sub, sub_closure in closure.items()
+                    )
+                else:
+                    agreed = agreed and (
+                        engine.closure_for(name).root is closure.root
+                    )
         ok = ok and agreed
         return (
             f"stabilised in {steps} steps (depth {cfg.depth}); "
-            f"engine roots {'identical' if agreed else 'DIVERGED'}",
+            f"engine roots {'identical' if agreed else 'DIVERGED'} "
+            f"on {len(suites)} systems",
             ok,
         )
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 import sys
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.errors import BudgetExceeded
 
@@ -97,11 +97,22 @@ class Checkpoint:
         if self.nodes_interned:
             parts.append(f"{self.nodes_interned} nodes interned")
         parts.append(f"{self.elapsed:.2f}s elapsed")
+        slots = self.resume_slots()
+        if slots:
+            parts.append(f"{len(slots)} resume slot(s) persisted")
         prefix = f"{self.phase}: " if self.phase else ""
         return prefix + ", ".join(parts)
 
+    def resume_slots(self) -> Tuple[str, ...]:
+        """Snapshot-cache slots this run completed and persisted — what a
+        re-invocation with the same cache directory warm-starts from."""
+        if isinstance(self.payload, dict):
+            slots = self.payload.get("resume_slots", ())
+            return tuple(slots) if slots else ()
+        return ()
+
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "phase": self.phase,
             "completed_depth": self.completed_depth,
             "traces_verified": self.traces_verified,
@@ -109,6 +120,10 @@ class Checkpoint:
             "nodes_interned": self.nodes_interned,
             "elapsed_s": round(self.elapsed, 4),
         }
+        slots = self.resume_slots()
+        if slots:
+            data["resume_slots"] = list(slots)
+        return data
 
     def __repr__(self) -> str:
         return f"Checkpoint({self.describe()})"

@@ -27,7 +27,7 @@ history is not invariantly true.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Mapping, NamedTuple, Optional, Tuple, Union
+from typing import Any, Deque, Dict, List, Mapping, NamedTuple, Optional, Tuple, Union
 
 from repro.assertions.ast import Formula
 from repro.assertions.eval import DEFAULT_EVAL_CONFIG, EvalConfig, evaluate_formula
@@ -43,8 +43,9 @@ from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
 from repro.semantics.denotation import Denoter
 from repro.traces.events import Trace
 from repro.traces.histories import ChannelHistory, ch
+from repro.errors import SemanticsError
 from repro.traces.prefix_closure import FiniteClosure
-from repro.traces.snapshot import SnapshotCache
+from repro.traces.snapshot import SnapshotCache, checkpoint_slot
 from repro.values.domains import Domain
 from repro.values.environment import Environment
 
@@ -74,6 +75,11 @@ class PartialTraces(NamedTuple):
     closure: Optional[FiniteClosure]  #: None when not even depth 0 finished
     verified_depth: Optional[int]
     complete: bool
+
+
+#: Marks a definition list whose fixpoint the engine could not solve —
+#: the checker then stays on pure unfold-on-demand denotation.
+_INELIGIBLE = object()
 
 
 class SatChecker:
@@ -114,7 +120,12 @@ class SatChecker:
         self.trie_walk = trie_walk
         self.jobs = jobs
         self.cache = cache
-        self._engine_bindings: Optional[dict] = None
+        #: solve_depth → engine bindings (or _INELIGIBLE when solving the
+        #: system failed and the checker fell back to pure unfolding).
+        self._engine_supply: Dict[int, object] = {}
+        #: checkpoint slots written this run (surfaced in budget
+        #: checkpoints so a resumed invocation knows what it can reuse).
+        self._checkpoint_slots: List[str] = []
 
     # -- trace supply ------------------------------------------------------
 
@@ -127,13 +138,24 @@ class SatChecker:
             depth = self.config.depth
         slot = None
         if self.cache is not None and isinstance(process, Name):
-            slot = f"traces:{self.engine}:{process.name}:d{depth}"
+            if getattr(self.cache, "checkpoint_only", False):
+                # Governed run: per-depth checkpoint slots keyed by the
+                # deepening schedule.  The closure at each completed depth
+                # is deterministic given the definitions and config —
+                # independent of the budget that interrupted the run — so
+                # serving it preserves invocation-determinism while
+                # letting a tripped run resume past its last checkpoint.
+                slot = checkpoint_slot(f"{self.engine}:{process.name}", depth)
+            else:
+                slot = f"traces:{self.engine}:{process.name}:d{depth}"
             node = self.cache.get(slot)
             if node is not None:
                 return FiniteClosure.from_node(node)
         closure = self._compute_traces(process, depth)
         if slot is not None:
             self.cache.put(slot, closure.root)
+            if getattr(self.cache, "checkpoint_only", False):
+                self._checkpoint_slots.append(slot)
         return closure
 
     def _compute_traces(self, process: Process, depth: int) -> FiniteClosure:
@@ -163,44 +185,71 @@ class SatChecker:
 
         Eligibility:
 
-        * ``depth ≤ config.depth`` — bindings are solved at the
-          configured depth and truncated down (exact for chan-free
-          definitions: bounded denotation at depth *d* is the
-          depth-*d* truncation of any deeper one);
         * no ambient governor — governed runs deepen iteratively for
           sound partial results, and solving the whole fixpoint up
           front would spend the budget before the first partial
           verdict;
-        * no process arrays — array bodies may reference out-of-sample
-          subscripts that unfold-on-demand handles over the full
-          domain but sampled fixpoint tables cannot;
-        * everything reachable from ``process`` is chan-free — the
-          ``chan`` denotation deepens to ``config.hide_depth`` before
-          hiding, so fixpoint values at ``config.depth`` are not what
-          unfolding computes for chan-bearing names.
+        * ``depth ≤ solve_depth`` — bindings solved at ``solve_depth``
+          are truncated down, exact because bounded denotation at depth
+          *d* is the depth-*d* truncation of any deeper one (for
+          chan-bearing definitions this holds only up to ``hide_depth``,
+          where the ``chan`` rule's inner depth saturates — see below);
+        * for targets reaching a ``chan``, the system is solved at
+          ``solve_depth = max(config.depth, hide_depth)`` so bindings
+          capture the saturated hide-depth values, and the request depth
+          must not exceed ``hide_depth`` (with the default
+          ``hide_depth = 2·depth + 2`` it never does);
+        * process arrays are served per sampled subscript with
+          ``fallback=True``: an out-of-sample subscript resolves to
+          ``None`` and the Denoter unfolds it on demand, so sampled
+          fixpoint tables and full-domain unfolding blend exactly;
+        * if *solving* the system itself fails (e.g. a definition body
+          consults an out-of-sample subscript during the fixpoint), the
+          system is marked ineligible and the checker falls back to
+          pure unfold-on-demand.
         """
-        if depth > self.config.depth:
-            return None
         if _governor.current() is not None:
             return None
         if len(self.definitions) == 0:
             return None
-        if any(d.is_array for d in self.definitions):
-            return None
+        solve_depth = self.config.depth
         if uses_chan(process, self.definitions):
+            if self.config.depth > self.config.hide_depth:
+                return None
+            solve_depth = max(self.config.depth, self.config.hide_depth)
+        if depth > solve_depth:
             return None
-        if self._engine_bindings is None:
+        if solve_depth not in self._engine_supply:
             from repro.semantics.engine import DenotationEngine
 
+            if solve_depth == self.config.depth:
+                solve_config = self.config
+                cache = self.cache
+            else:
+                solve_config = SemanticsConfig(
+                    depth=solve_depth,
+                    sample=self.config.sample,
+                    hide_depth=self.config.hide_depth,
+                )
+                # Engine cache slots are named per entry, not per depth;
+                # a snapshot keyed by the request config must not hold
+                # hide-depth roots.
+                cache = None
             engine = DenotationEngine(
                 self.definitions,
                 self.env,
-                self.config,
+                solve_config,
                 jobs=self.jobs,
-                cache=self.cache,
+                cache=cache,
             )
-            self._engine_bindings = engine.bindings()
-        return self._engine_bindings
+            try:
+                self._engine_supply[solve_depth] = engine.bindings(fallback=True)
+            except SemanticsError:
+                self._engine_supply[solve_depth] = _INELIGIBLE
+        supply = self._engine_supply[solve_depth]
+        if supply is _INELIGIBLE:
+            return None
+        return supply  # type: ignore[return-value]
 
     def traces_partial(self, process: Process) -> PartialTraces:
         """The trace set under the ambient budget: deepen from 0 to the
@@ -308,7 +357,10 @@ class SatChecker:
                     states_explored=inner.states_explored if inner is not None else 0,
                     nodes_interned=inner.nodes_interned if inner is not None else 0,
                     elapsed=inner.elapsed if inner is not None else governor.elapsed(),
-                    payload={"verified_depth": verified},
+                    payload={
+                        "verified_depth": verified,
+                        "resume_slots": tuple(self._checkpoint_slots),
+                    },
                 )
             ) from None
         return SatResult(

@@ -204,19 +204,28 @@ class Denoter:
                     f"process array {process.name!r} bound to a non-function"
                 )
             closure = bound(value)
+            if closure is None:
+                # The binding covers only sampled subscripts and this one
+                # is outside the sample (engine fallback mode): unfold it
+                # on demand.  In-sample references inside the unfolded
+                # body still hit the bindings, so the blend stays exact.
+                return self._unfold_array(process.name, value, depth)
             if not isinstance(closure, FiniteClosure):
                 raise SemanticsError(
                     f"array binding for {process.name!r} returned a non-closure"
                 )
             return self._ops.truncate(closure, depth)
-        definition = self.definitions.lookup_array(process.name)
+        return self._unfold_array(process.name, value, depth)
+
+    def _unfold_array(self, name: str, value: object, depth: int) -> FiniteClosure:
+        definition = self.definitions.lookup_array(name)
         domain = definition.domain.evaluate(self.env)
         if value not in domain:
             raise SemanticsError(
-                f"subscript {value!r} of {process.name!r} outside its domain "
+                f"subscript {value!r} of {name!r} outside its domain "
                 f"{domain!r}"
             )
-        key = (process.name, value, depth)
+        key = (name, value, depth)
         stats = KERNEL_STATS.memo("denote-unfold")
         if key in self._memo:
             stats.hits += 1

@@ -49,6 +49,7 @@ from repro.process.analysis import (
     EntryKey,
     Scc,
     condense_entries,
+    consult_depths,
     definition_entries,
     entry_dependencies,
     scc_ranks,
@@ -58,6 +59,8 @@ from repro.runtime import governor as _governor
 from repro.runtime.governor import Checkpoint
 from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
 from repro.semantics.denotation import Denoter
+from repro.traces import stats as _stats
+from repro.traces import trie as _trie
 from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
 from repro.traces.snapshot import SnapshotCache
 from repro.traces.trie import private_state, reintern
@@ -83,11 +86,19 @@ class _Poison:
 
 
 class LevelReport(NamedTuple):
-    """One level of one SCC's local chain."""
+    """One level of one SCC's local chain.
+
+    ``skipped`` lists members skipped because *no* dependency changed;
+    ``horizon`` lists members skipped by the sub-level delta analysis:
+    dependencies did change, but only below the depth this member
+    consults them at (:func:`~repro.process.analysis.consult_depths` vs.
+    :func:`~repro.traces.trie.delta_depth`).
+    """
 
     level: int
     redenoted: Tuple[str, ...]
     skipped: Tuple[str, ...]
+    horizon: Tuple[str, ...] = ()
 
 
 class SccReport(NamedTuple):
@@ -105,7 +116,11 @@ class SccReport(NamedTuple):
 
     @property
     def skipped(self) -> int:
-        return sum(len(lv.skipped) for lv in self.levels)
+        return sum(len(lv.skipped) + len(lv.horizon) for lv in self.levels)
+
+    @property
+    def horizon_skipped(self) -> int:
+        return sum(len(lv.horizon) for lv in self.levels)
 
 
 class DenotationEngine:
@@ -148,10 +163,17 @@ class DenotationEngine:
         #: monolithic chain spends (levels × entries) of.
         self.redenoted_entries = 0
         #: (entry, level) denotations avoided because no intra-SCC
-        #: dependency changed root at the previous level.
+        #: dependency changed root at the previous level, or (sub-level
+        #: deltas) changed only below the member's consult depth.
         self.delta_skipped = 0
+        #: The sub-level portion of ``delta_skipped``: members whose
+        #: dependencies *did* change, but only at depths the member never
+        #: consults (delta frontier beyond the consult horizon).
+        self.frontier_skipped = 0
         #: entries restored from the snapshot cache without denoting.
         self.cache_hits = 0
+        #: per-definition consult-depth maps (built with the plan).
+        self._consult: Dict[str, Dict[str, int]] = {}
 
     # -- planning ----------------------------------------------------------
 
@@ -168,6 +190,10 @@ class DenotationEngine:
                 self._sampled[definition.name] = tuple(
                     definition.domain.evaluate(self.env).sample(sample)
                 )
+        for definition in self.definitions:
+            self._consult[definition.name] = consult_depths(
+                definition.body, self.config.depth, self.config.hide_depth
+            )
 
     def plan(self) -> List[Tuple[int, Scc]]:
         """The (rank, SCC) schedule, dependencies-first."""
@@ -285,6 +311,7 @@ class DenotationEngine:
         self.reports.append(report)
         self.redenoted_entries += report.redenoted
         self.delta_skipped += report.skipped
+        self.frontier_skipped += report.horizon_skipped
 
     def _solve_scc(
         self, scc: Scc, rank: int
@@ -317,6 +344,18 @@ class DenotationEngine:
         result is already known, not because it is assumed.  Level 1
         always denotes every member (everything changed at the bottom),
         so errors a denotation would raise are never masked.
+
+        The **sub-level horizon skip** sharpens this: a member whose
+        dependencies did change is still skipped when every change lies
+        strictly *below* the depth the member consults that dependency
+        at.  Consultations read ``truncate(binding, d)`` with ``d`` at
+        most :func:`~repro.process.analysis.consult_depths`, so if
+        :func:`~repro.traces.trie.delta_depth` of the dependency's last
+        step exceeds that bound, every truncation the denotation would
+        read is pointer-identical (hash-consing) and the result is
+        already in hand.  A capped delta walk reports depth 0 — never
+        above the horizon — so oversized frontiers fall back to full
+        re-denotation.
         """
         members = set(scc.entries)
         local_deps: Dict[EntryKey, Tuple[EntryKey, ...]] = {
@@ -326,6 +365,7 @@ class DenotationEngine:
         local: Dict[EntryKey, FiniteClosure] = {
             e: STOP_CLOSURE for e in scc.entries
         }
+        previous: Dict[EntryKey, FiniteClosure] = dict(local)
         changed: Set[EntryKey] = set(scc.entries)
         levels: List[LevelReport] = []
         governor = _governor.current()
@@ -338,19 +378,32 @@ class DenotationEngine:
                 now_changed: Set[EntryKey] = set()
                 redenoted: List[str] = []
                 skipped: List[str] = []
+                horizon: List[str] = []
                 for entry in scc.entries:
-                    if level > 1 and not any(
-                        d in changed for d in local_deps[entry]
-                    ):
-                        nxt[entry] = local[entry]
-                        skipped.append(entry.pretty())
-                        continue
+                    if level > 1:
+                        deps_changed = [
+                            d for d in local_deps[entry] if d in changed
+                        ]
+                        if not deps_changed:
+                            nxt[entry] = local[entry]
+                            skipped.append(entry.pretty())
+                            continue
+                        if self._beyond_horizon(
+                            entry, deps_changed, previous, local
+                        ):
+                            nxt[entry] = local[entry]
+                            horizon.append(entry.pretty())
+                            continue
                     closure = self._denote_entry(denoter, entry)
                     nxt[entry] = closure
                     redenoted.append(entry.pretty())
                     if closure.root is not local[entry].root:
                         now_changed.add(entry)
-                levels.append(LevelReport(level, tuple(redenoted), tuple(skipped)))
+                levels.append(
+                    LevelReport(
+                        level, tuple(redenoted), tuple(skipped), tuple(horizon)
+                    )
+                )
                 if not now_changed:
                     report = SccReport(
                         entries=tuple(e.pretty() for e in scc.entries),
@@ -360,11 +413,36 @@ class DenotationEngine:
                         levels=tuple(levels),
                     )
                     return nxt, report
+                previous = local
                 local = nxt
                 changed = now_changed
         raise SemanticsError(
             f"approximation chain did not stabilise in {MAX_LEVELS} steps"
         )
+
+    def _beyond_horizon(
+        self,
+        entry: EntryKey,
+        deps_changed: List[EntryKey],
+        previous: Dict[EntryKey, FiniteClosure],
+        local: Dict[EntryKey, FiniteClosure],
+    ) -> bool:
+        """True when every changed dependency grew strictly below the
+        depth ``entry`` consults it at, so re-denoting ``entry`` would
+        reproduce its current value exactly."""
+        consult = self._consult.get(entry.name, {})
+        for dep in deps_changed:
+            limit = consult.get(dep.name)
+            if limit is None:
+                # The body never consults this name directly (the edge is
+                # conservative); stay conservative and re-denote.
+                return False
+            dd = _trie.delta_depth(previous[dep].root, local[dep].root)
+            if dd is None:
+                continue  # no growth at all
+            if dd <= limit:
+                return False
+        return True
 
     # -- denotation helpers ------------------------------------------------
 
@@ -384,10 +462,18 @@ class DenotationEngine:
             return denoter._denote(definition.body, body_env, self.config.depth)
         return denoter._denote(definition.body, self.env, self.config.depth)
 
-    def _bindings(self, local: Dict[EntryKey, FiniteClosure]) -> Dict[str, object]:
+    def _bindings(
+        self, local: Dict[EntryKey, FiniteClosure], fallback: bool = False
+    ) -> Dict[str, object]:
         """Process bindings for one denotation pass: solved entries, the
         current SCC's local level, and loud poisons for everything the
-        plan says is unreachable from here."""
+        plan says is unreachable from here.
+
+        With ``fallback=True`` (served bindings for a
+        :class:`~repro.sat.checker.SatChecker`, never during solving) an
+        out-of-sample array subscript returns ``None`` instead of
+        raising, telling the Denoter to unfold that reference on demand.
+        """
         available: Dict[EntryKey, FiniteClosure] = dict(self._resolved)
         available.update(local)
         bindings: Dict[str, object] = {}
@@ -399,7 +485,7 @@ class DenotationEngine:
                     for entry, closure in available.items()
                     if entry.name == name
                 }
-                bindings[name] = self._array_lookup(name, table)
+                bindings[name] = self._array_lookup(name, table, fallback)
             else:
                 entry = EntryKey(name)
                 if entry in available:
@@ -408,7 +494,9 @@ class DenotationEngine:
                     bindings[name] = _Poison(name)
         return bindings
 
-    def _array_lookup(self, name: str, table: Dict[object, FiniteClosure]):
+    def _array_lookup(
+        self, name: str, table: Dict[object, FiniteClosure], fallback: bool = False
+    ):
         sampled = self._sampled.get(name, ())
 
         def lookup(v):
@@ -423,6 +511,9 @@ class DenotationEngine:
                         f"array {name!r} subscript {v!r} consulted before "
                         f"its SCC was scheduled — dependency analysis bug"
                     ) from None
+                if fallback:
+                    # Out-of-sample: let the Denoter unfold on demand.
+                    return None
                 raise SemanticsError(
                     f"array {name!r} approximated only for subscripts "
                     f"{sorted(map(repr, sampled))}; {v!r} requested — "
@@ -487,11 +578,14 @@ class DenotationEngine:
             raise SemanticsError(f"{name!r} is not a process array")
         return self._resolved[EntryKey(name)]
 
-    def bindings(self) -> Dict[str, object]:
+    def bindings(self, fallback: bool = False) -> Dict[str, object]:
         """The solved system as Denoter ``process_bindings`` (plain names
-        → closures, arrays → sampled-subscript lookups)."""
+        → closures, arrays → sampled-subscript lookups).  With
+        ``fallback=True``, out-of-sample array subscripts resolve to
+        ``None`` so the Denoter unfolds them on demand instead of
+        erroring — the per-subscript eligibility mode of the checker."""
         self.run()
-        return self._bindings({})
+        return self._bindings({}, fallback=fallback)
 
     def levels_computed(self) -> int:
         """Longest local chain among recursive SCCs (+1 for the bottom) —
@@ -528,20 +622,34 @@ class DenotationEngine:
                 f"  rank {report.rank} · {{{label}}} ({kind}): "
                 f"{len(report.levels)} level(s), "
                 f"{report.redenoted} denoted, {report.skipped} delta-skipped"
+                + (
+                    f" ({report.horizon_skipped} beyond the consult horizon)"
+                    if report.horizon_skipped
+                    else ""
+                )
             )
             for lv in report.levels:
-                if not lv.skipped:
+                if not lv.skipped and not lv.horizon:
                     continue
-                lines.append(
+                detail = (
                     f"      level {lv.level}: denoted "
                     f"{', '.join(lv.redenoted) if lv.redenoted else '—'}; "
-                    f"skipped {', '.join(lv.skipped)}"
+                    f"skipped {', '.join(lv.skipped) if lv.skipped else '—'}"
                 )
+                if lv.horizon:
+                    detail += f"; horizon-skipped {', '.join(lv.horizon)}"
+                lines.append(detail)
         total = self.redenoted_entries + self.delta_skipped + self.cache_hits
         lines.append(
             f"  totals: {self.redenoted_entries} definition-levels denoted, "
-            f"{self.delta_skipped} delta-skipped, {self.cache_hits} cache "
-            f"hits ({total} accounted)"
+            f"{self.delta_skipped} delta-skipped (of which "
+            f"{self.frontier_skipped} sub-level/horizon), {self.cache_hits} "
+            f"cache hits ({total} accounted)"
+        )
+        delta = _stats.KERNEL_STATS
+        lines.append(
+            f"  delta frontiers: {delta.delta_queries} walks, "
+            f"{delta.frontier_nodes} fresh nodes, {delta.delta_capped} capped"
         )
         return "\n".join(lines)
 

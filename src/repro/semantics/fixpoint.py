@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import BudgetExceeded, SemanticsError
-from repro.process.analysis import EntryKey, entry_dependencies
+from repro.process.analysis import EntryKey, consult_depths, entry_dependencies
 from repro.process.definitions import ArrayDef, DefinitionList
 from repro.runtime import faults as _faults
 from repro.runtime import governor as _governor
@@ -67,6 +67,18 @@ def _level_closures(level: Approximation) -> Iterator[FiniteClosure]:
             yield from value.values()
         else:
             yield value  # type: ignore[misc]
+
+
+def _entry_closure(
+    level: Approximation, entry: EntryKey
+) -> Optional[FiniteClosure]:
+    """The closure one entry holds at one level (None if absent)."""
+    value = level.get(entry.name)
+    if isinstance(value, dict):
+        return value.get(entry.subscript)
+    if entry.subscript is not None:
+        return None
+    return value  # type: ignore[return-value]
 
 
 def _levels_identical(before: Approximation, after: Approximation) -> bool:
@@ -122,10 +134,14 @@ class ApproximationChain:
         #: means unknown (fresh or resumed chain) and forces a full level.
         self._changed_last: Optional[set] = None
         self._entry_deps: Optional[Dict[EntryKey, Tuple[EntryKey, ...]]] = None
+        self._consult: Optional[Dict[str, Dict[str, int]]] = None
         #: (entry, level) denotations performed vs. skipped because no
         #: dependency's root changed at the previous level.
         self.redenoted_entries = 0
         self.delta_skipped = 0
+        #: The sub-level portion of ``delta_skipped``: entries whose
+        #: dependencies changed only below their consult horizon.
+        self.frontier_skipped = 0
 
     # -- chain construction ------------------------------------------------
 
@@ -203,15 +219,34 @@ class ApproximationChain:
             self._entry_deps = entry_dependencies(
                 self.definitions, self.env, self.config.sample
             )
+        if self._consult is None:
+            self._consult = {
+                d.name: consult_depths(
+                    d.body, self.config.depth, self.config.hide_depth
+                )
+                for d in self.definitions
+            }
         changed = self._changed_last
+        # The level the changed entries changed *from* — needed to measure
+        # how deep their growth reaches (sub-level horizon skip).  When
+        # ``changed`` is known, at least two levels exist.
+        before = self._levels[-2] if len(self._levels) >= 2 else None
         now_changed: set = set()
 
         def resolve(entry: EntryKey, prev_closure, denote):
-            if changed is not None and not any(
-                d in changed for d in self._entry_deps.get(entry, ())
-            ):
-                self.delta_skipped += 1
-                return prev_closure
+            if changed is not None:
+                deps_changed = [
+                    d for d in self._entry_deps.get(entry, ()) if d in changed
+                ]
+                if not deps_changed:
+                    self.delta_skipped += 1
+                    return prev_closure
+                if before is not None and self._beyond_horizon(
+                    entry, deps_changed, before, previous
+                ):
+                    self.delta_skipped += 1
+                    self.frontier_skipped += 1
+                    return prev_closure
             closure = denote()
             self.redenoted_entries += 1
             if closure.root is not prev_closure.root:
@@ -250,6 +285,36 @@ class ApproximationChain:
         if governor is not None:
             self._record_progress(governor)
         return nxt
+
+    def _beyond_horizon(
+        self,
+        entry: EntryKey,
+        deps_changed: List[EntryKey],
+        before: Approximation,
+        previous: Approximation,
+    ) -> bool:
+        """Sub-level skip test, identical to the engine's: every changed
+        dependency must have grown strictly below the depth ``entry``
+        consults it at, so the re-denotation would read only
+        pointer-identical truncations."""
+        from repro.traces.trie import delta_depth
+
+        assert self._consult is not None
+        consult = self._consult.get(entry.name, {})
+        for dep in deps_changed:
+            limit = consult.get(dep.name)
+            if limit is None:
+                return False
+            old = _entry_closure(before, dep)
+            new = _entry_closure(previous, dep)
+            if old is None or new is None:
+                return False
+            dd = delta_depth(old.root, new.root)
+            if dd is None:
+                continue
+            if dd <= limit:
+                return False
+        return True
 
     def _record_progress(self, governor: "_governor.Governor") -> None:
         governor.record_progress(

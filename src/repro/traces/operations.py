@@ -31,8 +31,11 @@ from repro.traces.events import Channel, Event, Trace
 from repro.traces.prefix_closure import FiniteClosure
 from repro.traces.stats import KERNEL_STATS
 from repro.traces.trie import (
+    DELTA_WALK_CAP,
     EMPTY_NODE,
     ClosureNode,
+    delta_depth as _delta_depth_nodes,
+    delta_nodes,
     make_node,
     memo_table,
     truncate_node,
@@ -312,3 +315,35 @@ def union_all(closures: Iterable[FiniteClosure]) -> FiniteClosure:
     for c in closures:
         root = union_nodes(root, c.root)
     return FiniteClosure.from_node(root)
+
+
+# -- delta queries -----------------------------------------------------------
+#
+# Successive levels of a §3.3 approximation chain only *grow*, and the
+# hash-consed kernel keeps the unchanged regions pointer-identical across
+# levels.  These queries expose that sharing to the fixpoint layers.  Note
+# that the operator memo keys above are already "delta-aware" for free:
+# they are keyed on interned nodes, so re-applying an operator to a grown
+# closure pays only along its fresh frontier — every untouched subtree is
+# a memo hit.
+
+def delta_frontier(
+    old: FiniteClosure, new: FiniteClosure, cap: int = DELTA_WALK_CAP
+) -> Optional[Tuple[ClosureNode, ...]]:
+    """The subtrees of ``new`` that are fresh relative to ``old`` — the
+    level-to-level change region.  ``None`` when the frontier exceeds
+    ``cap`` (treat everything as changed)."""
+    return delta_nodes(old.root, new.root, cap)
+
+
+def delta_depth(
+    old: FiniteClosure, new: FiniteClosure, cap: int = DELTA_WALK_CAP
+) -> Optional[int]:
+    """Minimum length of a trace in ``new ∖ old``; ``None`` when ``new``
+    adds nothing; ``0`` when the walk was capped (conservative).
+
+    For monotone chains (``old ⊆ new``) this is exactly the shallowest
+    depth at which the closures differ: ``truncate(old, d) == truncate(new,
+    d)`` — pointer-identically — for every ``d < delta_depth(old, new)``.
+    """
+    return _delta_depth_nodes(old.root, new.root, cap)

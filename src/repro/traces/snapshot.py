@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -147,6 +148,25 @@ def cache_key(definitions: Any, config: Any, extra: Any = None) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
+#: Budget-aware checkpoint slots: ``fix:{name}@level{k}`` holds the
+#: closure of ``name`` completed at depth ``k`` of a governed run's
+#: deepening schedule.  Each slot's content is fully determined by the
+#: definitions and config (the cache key) and the depth — never by the
+#: budget that interrupted the run — so serving these slots keeps
+#: governed invocations deterministic.
+_CHECKPOINT_SLOT = re.compile(r"fix:.+@level\d+\Z")
+
+
+def checkpoint_slot(name: str, level: int) -> str:
+    """The slot holding ``name``'s closure completed at depth ``level``."""
+    return f"fix:{name}@level{level}"
+
+
+def is_checkpoint_slot(slot: str) -> bool:
+    """True for slots in the ``fix:{name}@level{k}`` vocabulary."""
+    return _CHECKPOINT_SLOT.match(slot) is not None
+
+
 class SnapshotCache:
     """One snapshot file: named closure slots for one cache key.
 
@@ -154,11 +174,21 @@ class SnapshotCache:
     engine and sat checker agree on the vocabulary.  ``get`` misses
     rather than raising; ``save`` silently degrades on unwritable
     directories.
+
+    With ``checkpoint_only=True`` (governed runs) the cache serves and
+    records **only** ``fix:{name}@level{k}`` checkpoint slots: those are
+    per-completed-depth values of the deepening schedule, deterministic
+    regardless of where a budget tripped, while the full-depth slot
+    vocabulary is reserved for ungoverned runs whose results are always
+    complete.
     """
 
-    def __init__(self, directory: Path, key: str) -> None:
+    def __init__(
+        self, directory: Path, key: str, checkpoint_only: bool = False
+    ) -> None:
         self.directory = Path(directory)
         self.key = key
+        self.checkpoint_only = checkpoint_only
         self.path = self.directory / f"snapshot-{key}.json"
         self.hits = 0
         self.misses = 0
@@ -189,6 +219,9 @@ class SnapshotCache:
             self.rebuilt = True
 
     def get(self, slot: str) -> Optional[ClosureNode]:
+        if self.checkpoint_only and not is_checkpoint_slot(slot):
+            self.misses += 1
+            return None
         node = self._roots.get(slot)
         if node is None:
             self.misses += 1
@@ -197,6 +230,8 @@ class SnapshotCache:
         return node
 
     def put(self, slot: str, node: ClosureNode) -> None:
+        if self.checkpoint_only and not is_checkpoint_slot(slot):
+            return
         if self._roots.get(slot) is not node:
             self._roots[slot] = node
             self._dirty = True

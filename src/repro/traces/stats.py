@@ -48,12 +48,26 @@ class MemoStats:
 class KernelStats:
     """Process-wide kernel counters (one instance: :data:`KERNEL_STATS`)."""
 
-    __slots__ = ("interner_hits", "interner_misses", "memos")
+    __slots__ = (
+        "interner_hits",
+        "interner_misses",
+        "memos",
+        "delta_queries",
+        "delta_capped",
+        "frontier_nodes",
+    )
 
     def __init__(self) -> None:
         self.interner_hits = 0
         self.interner_misses = 0
         self.memos: Dict[str, MemoStats] = {}
+        #: Delta-frontier walks performed (``delta_depth``/``delta_nodes``).
+        self.delta_queries = 0
+        #: Walks abandoned at :data:`repro.traces.trie.DELTA_WALK_CAP` —
+        #: each one degraded a potential skip to a full re-denotation.
+        self.delta_capped = 0
+        #: Fresh subtrees enumerated across all frontier walks.
+        self.frontier_nodes = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -86,6 +100,11 @@ class KernelStats:
             "memos": {
                 name: stats.as_dict() for name, stats in sorted(self.memos.items())
             },
+            "delta": {
+                "queries": self.delta_queries,
+                "capped": self.delta_capped,
+                "frontier_nodes": self.frontier_nodes,
+            },
         }
 
     def reset(self) -> None:
@@ -94,6 +113,9 @@ class KernelStats:
         self.interner_hits = 0
         self.interner_misses = 0
         self.memos.clear()
+        self.delta_queries = 0
+        self.delta_capped = 0
+        self.frontier_nodes = 0
 
 
 #: The process-wide counter registry.
@@ -131,4 +153,11 @@ def format_stats() -> str:
             )
     else:
         lines.append("  memo tables: (no operator calls recorded)")
+    delta = snap["delta"]
+    if delta["queries"]:
+        lines.append(
+            f"  delta frontiers: {delta['queries']} walks, "
+            f"{delta['frontier_nodes']} fresh nodes enumerated, "
+            f"{delta['capped']} capped"
+        )
     return "\n".join(lines)

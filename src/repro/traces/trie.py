@@ -465,6 +465,120 @@ def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
     return memo[(node, depth)]
 
 
+# -- delta frontiers --------------------------------------------------------
+#
+# The §3.3 chain grows monotonically: level i+1 extends level i.  Because
+# nodes are hash-consed, the *unchanged* regions of the new trie are
+# pointer-identical to the old one, so the set of subtrees that are fresh
+# at a level — the **delta frontier** — is found by a simultaneous walk
+# that prunes on pointer equality.  The engine uses these queries to skip
+# re-denotations whose inputs changed only below the depth they consult.
+
+#: Pair-walk budget for delta queries; past it the delta is reported as
+#: "changed at depth 0" (never skip), so a huge frontier degrades to full
+#: re-denotation instead of an expensive analysis.
+DELTA_WALK_CAP = 4096
+
+
+def delta_nodes(
+    old: ClosureNode, new: ClosureNode, cap: int = DELTA_WALK_CAP
+) -> Optional[Tuple[ClosureNode, ...]]:
+    """The frontier of subtrees of ``new`` that are fresh relative to
+    ``old``: every node of ``new`` reachable without crossing a
+    pointer-identical shared subtree.  Returns ``None`` when the walk
+    exceeds ``cap`` pairs (callers must then treat the whole trie as
+    changed).  ``()`` when the roots are identical."""
+    if old is new:
+        return ()
+    KERNEL_STATS.delta_queries += 1
+    fresh: Dict[int, ClosureNode] = {}
+    seen = set()
+    stack: List[Tuple[Optional[ClosureNode], ClosureNode]] = [(old, new)]
+    while stack:
+        o, n = stack.pop()
+        key = (id(o), id(n))
+        if key in seen:
+            continue
+        seen.add(key)
+        if len(seen) > cap:
+            KERNEL_STATS.delta_capped += 1
+            return None
+        fresh[id(n)] = n
+        for event, child in n.items:
+            o_child = o.children.get(event) if o is not None else None
+            if o_child is not child:
+                stack.append((o_child, child))
+    KERNEL_STATS.frontier_nodes += len(fresh)
+    return tuple(fresh.values())
+
+
+def delta_depth(
+    old: ClosureNode, new: ClosureNode, cap: int = DELTA_WALK_CAP
+) -> Optional[int]:
+    """The minimum length of a trace in ``new ∖ old`` — the shallowest
+    depth at which ``new`` grew.
+
+    ``None`` when ``new`` adds no trace (in the monotone chains this is
+    called on, that means the roots are identical).  ``truncate(new, d)
+    is truncate(old, d)`` for every ``d < delta_depth(old, new)`` — the
+    equality the engine's horizon skip relies on.  Returns ``0`` when the
+    pair walk exceeds ``cap``: a conservative "changed everywhere" that
+    forces callers back to full re-denotation.  Memoised per (old, new)
+    pair in the kernel state.
+    """
+    if old is new:
+        return None
+    memo = _state().memo("delta-depth")
+    stats = KERNEL_STATS.memo("delta-depth")
+    key = (old, new)
+    cached = memo.get(key, _DELTA_MISS)
+    if cached is not _DELTA_MISS:
+        stats.hits += 1
+        return cached
+    stats.misses += 1
+    KERNEL_STATS.delta_queries += 1
+    _governor.tick()
+    result: Optional[int] = None
+    visited = 0
+    seen = set()
+    frontier: List[Tuple[ClosureNode, ClosureNode]] = [(old, new)]
+    depth = 0
+    while frontier and result is None:
+        depth += 1
+        nxt: List[Tuple[ClosureNode, ClosureNode]] = []
+        for o, n in frontier:
+            for event, child in n.items:
+                o_child = o.children.get(event)
+                if o_child is None:
+                    result = depth
+                    break
+                if o_child is child:
+                    continue
+                pair_key = (id(o_child), id(child))
+                if pair_key in seen:
+                    continue
+                seen.add(pair_key)
+                visited += 1
+                if visited > cap:
+                    KERNEL_STATS.delta_capped += 1
+                    result = 0
+                    break
+                nxt.append((o_child, child))
+            if result is not None:
+                break
+        frontier = nxt
+    if result != 0:
+        # Only genuine answers are cached; a capped walk's conservative 0
+        # reflects this call's budget, not the pair, and must not shadow a
+        # later walk with a larger cap.
+        memo[key] = result
+    return result
+
+
+#: Distinguishes "memo holds None" from "memo miss" in delta_depth.
+_DELTA_MISS = object()
+
+
 def subset_nodes(a: ClosureNode, b: ClosureNode) -> bool:
     """The lattice order ``P ⊆ Q``, by simultaneous walk with sharing."""
     if a is b or a is EMPTY_NODE:

@@ -8,6 +8,7 @@ from repro.process.analysis import (
     channel_names,
     concrete_channels,
     condense_entries,
+    consult_depths,
     definition_entries,
     entry_dependencies,
     free_variables,
@@ -256,3 +257,81 @@ class TestSccRanks:
         _, _, deps = _graph("p = a!0 -> p; q = b!0 -> q")
         sccs = condense_entries(deps)
         assert scc_ranks(sccs, deps) == [0, 0]
+
+
+class TestSubscriptCandidates:
+    """Finite input domains split the conservative all-sampled edges."""
+
+    def test_finite_input_splits_the_mega_scc(self):
+        # x ranges over {0,1}: arr[i] needs only arr[0] and arr[1], so
+        # arr[2] must not be pulled into the recursive SCC.
+        _, _, deps = _graph(
+            "arr[i:{0..2}] = c?x:{0,1} -> arr[x]", sample=3
+        )
+        for sub in (0, 1, 2):
+            assert deps[EntryKey("arr", sub)] == (
+                EntryKey("arr", 0),
+                EntryKey("arr", 1),
+            )
+        sccs = condense_entries(deps)
+        recursive = [s for s in sccs if s.recursive]
+        assert len(recursive) == 1
+        assert set(recursive[0].entries) == {
+            EntryKey("arr", 0),
+            EntryKey("arr", 1),
+        }
+        flat = [s for s in sccs if not s.recursive]
+        assert {e for s in flat for e in s.entries} == {EntryKey("arr", 2)}
+
+    def test_infinite_domain_stays_conservative(self):
+        _, _, deps = _graph(
+            "p = c?x:NAT -> arr[x]; arr[i:{0..2}] = a!0 -> STOP", sample=2
+        )
+        assert deps[EntryKey("p")] == (EntryKey("arr", 0), EntryKey("arr", 1))
+
+    def test_out_of_sample_candidate_stays_conservative(self):
+        # One candidate (7) is out of sample: the precise split would
+        # miss an edge the Denoter actually takes, so all-sampled wins.
+        _, _, deps = _graph(
+            "p = c?x:{0,7} -> arr[x]; arr[i:{0..9}] = a!0 -> STOP",
+            sample=2,
+        )
+        assert deps[EntryKey("p")] == (EntryKey("arr", 0), EntryKey("arr", 1))
+
+    def test_arithmetic_over_candidates_is_evaluated(self):
+        # arr[x+1] with x in {0,1} → edges to arr[1] and arr[2] only.
+        _, _, deps = _graph(
+            "arr[i:{0..3}] = c?x:{0,1} -> arr[x+1]", sample=4
+        )
+        assert deps[EntryKey("arr", 0)] == (
+            EntryKey("arr", 1),
+            EntryKey("arr", 2),
+        )
+
+
+class TestConsultDepths:
+    def test_prefix_consumes_one_level(self):
+        p = parse_process("a!0 -> q")
+        assert consult_depths(p, 4, 10) == {"q": 3}
+
+    def test_zero_budget_reference_not_recorded(self):
+        # truncate(binding, 0) = STOP no matter the binding: a reference
+        # reached with no residual budget never consults anything.
+        p = parse_process("a!0 -> q")
+        assert consult_depths(p, 1, 10) == {}
+
+    def test_choice_and_parallel_pass_budget_through(self):
+        p = parse_process("(p | a!0 -> q)")
+        assert consult_depths(p, 3, 10) == {"p": 3, "q": 2}
+
+    def test_input_consumes_one_level(self):
+        p = parse_process("c?x:{0,1} -> p")
+        assert consult_depths(p, 2, 10) == {"p": 1}
+
+    def test_chan_deepens_to_hide_depth(self):
+        p = parse_process("chan w; a!0 -> p")
+        assert consult_depths(p, 4, 10) == {"p": 9}
+
+    def test_max_budget_wins_across_occurrences(self):
+        p = parse_process("(q | a!0 -> q)")
+        assert consult_depths(p, 3, 10) == {"q": 3}

@@ -183,3 +183,136 @@ class TestTrieWalk:
         b = flat.check(Name("copier"), "input@3 = 0")
         assert not a.holds and not b.holds
         assert a.counterexample.trace == b.counterexample.trace
+
+
+class TestEngineEligibility:
+    """Arrays and chan targets are served from engine bindings, exactly."""
+
+    def _pure_unfold(self, defs, env, cfg, process, depth):
+        from repro.semantics.denotation import Denoter
+
+        return Denoter(defs, env if env is not None else Environment(), cfg).denote(
+            process, depth
+        )
+
+    def test_array_out_of_sample_falls_back_to_unfold(self):
+        # The system solves fine at sample 2, but the target consults
+        # arr[7]: the binding covers only sampled subscripts, so the
+        # Denoter unfolds arr[7] on demand — and the blend must be
+        # pointer-identical to pure unfold-on-demand.
+        cfg = SemanticsConfig(depth=5, sample=2)
+        defs = parse_definitions("arr[i:{0..9}] = tick[i]!0 -> arr[i]")
+        target = parse_process("go!0 -> arr[7]")
+        checker = SatChecker(defs, config=cfg)
+        got = checker.traces_of(target)
+        want = self._pure_unfold(defs, None, cfg, target, cfg.depth)
+        assert got.root is want.root
+        # The engine supply was actually used (not marked ineligible).
+        from repro.sat.checker import _INELIGIBLE
+
+        assert checker._engine_supply[cfg.depth] is not _INELIGIBLE
+
+    def test_unsolvable_system_degrades_to_pure_unfold(self):
+        # philosophers at sample 2 references phil[2]/fork[2] *inside the
+        # fixpoint itself*: solving fails, the checker marks the system
+        # ineligible, and answers still match pure unfolding.
+        from repro.systems import philosophers
+
+        cfg = SemanticsConfig(depth=4, sample=2)
+        defs, env = philosophers.definitions(), philosophers.environment()
+        checker = SatChecker(defs, env=env, config=cfg)
+        got = checker.traces_of(Name("table"))
+        want = self._pure_unfold(defs, env, cfg, Name("table"), cfg.depth)
+        assert got.root is want.root
+        from repro.sat.checker import _INELIGIBLE
+
+        assert checker._engine_supply[cfg.depth] is _INELIGIBLE
+
+    def test_in_sample_array_system_served_from_engine(self):
+        from repro.systems import philosophers
+
+        cfg = SemanticsConfig(depth=4, sample=3)
+        defs, env = philosophers.definitions(), philosophers.environment()
+        checker = SatChecker(defs, env=env, config=cfg)
+        got = checker.traces_of(Name("table"))
+        want = self._pure_unfold(defs, env, cfg, Name("table"), cfg.depth)
+        assert got.root is want.root
+        from repro.sat.checker import _INELIGIBLE
+
+        assert checker._engine_supply[cfg.depth] is not _INELIGIBLE
+
+    def test_chan_target_solved_at_hide_depth(self):
+        # protocolnet hides wire: the system is solved once at hide_depth
+        # and the request-depth answer is exact (chan's inner depth
+        # saturates at hide_depth).
+        cfg = SemanticsConfig(depth=5, sample=2)
+        checker = SatChecker(COPIER_DEFS, config=cfg)
+        got = checker.traces_of(Name("protocolnet"))
+        want = self._pure_unfold(
+            COPIER_DEFS, None, cfg, Name("protocolnet"), cfg.depth
+        )
+        assert got.root is want.root
+        assert cfg.hide_depth in checker._engine_supply
+
+    def test_chan_eligibility_respects_shallow_hide_depth(self):
+        # An explicit hide_depth below the request depth makes truncation
+        # inexact for chan bodies: the checker must refuse the bindings.
+        cfg = SemanticsConfig(depth=5, sample=2, hide_depth=3)
+        checker = SatChecker(COPIER_DEFS, config=cfg)
+        got = checker.traces_of(Name("protocolnet"))
+        want = self._pure_unfold(
+            COPIER_DEFS, None, cfg, Name("protocolnet"), cfg.depth
+        )
+        assert got.root is want.root
+        assert checker._engine_supply == {}
+
+
+class TestGovernedCheckpointResume:
+    """Budget trips persist ``fix:{name}@level{k}`` slots; the next
+    invocation resumes from them and reaches the ungoverned verdict."""
+
+    # Unique channel names keep the interner cold for this system, so the
+    # node budget below trips at the same depth regardless of test order.
+    RELAY = (
+        "relay = feedq?x:NAT -> passq!x -> relay;"
+        "drain = passq?y:NAT -> sink!y -> drain"
+    )
+
+    def _setup(self, tmp_path):
+        from repro.traces.snapshot import SnapshotCache, cache_key
+
+        cfg = SemanticsConfig(depth=5, sample=2)
+        defs = parse_definitions(self.RELAY)
+        key = cache_key(defs, cfg)
+        cache = SnapshotCache(tmp_path, key, checkpoint_only=True)
+        return cfg, defs, SatChecker(defs, config=cfg, cache=cache)
+
+    def test_trip_persists_slots_and_resume_reaches_same_verdict(self, tmp_path):
+        from repro.errors import BudgetExceeded
+        from repro.runtime.governor import Budget, activate
+        from repro.traces.snapshot import is_checkpoint_slot
+
+        cfg, defs, checker = self._setup(tmp_path)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            with activate(Budget(max_nodes=5).start()):
+                checker.check(Name("relay"), "passq <= feedq")
+        checkpoint = exc_info.value.checkpoint
+        slots = checkpoint.resume_slots()
+        assert slots and all(is_checkpoint_slot(s) for s in slots)
+        assert checkpoint.completed_depth is not None
+        checker.cache.save()
+        assert checker.cache.path.exists()
+
+        # Second invocation, same key: resumes from the persisted slots.
+        cfg2, defs2, resumed = self._setup(tmp_path)
+        assert resumed.cache.loaded
+        with activate(Budget(max_nodes=10_000).start()):
+            governed = resumed.check(Name("relay"), "passq <= feedq")
+        assert resumed.cache.hits > 0
+
+        ungoverned = SatChecker(defs2, config=cfg2).check(
+            Name("relay"), "passq <= feedq"
+        )
+        assert governed.holds == ungoverned.holds is True
+        # Deepening reached the full configured depth despite resuming.
+        assert governed.verified_depth == cfg2.depth

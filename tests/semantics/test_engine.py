@@ -206,3 +206,56 @@ class TestBudgets:
         engine = DenotationEngine(defs, env, CFG)
         engine.run()
         assert engine.reports
+
+
+class TestHorizonSkips:
+    """Sub-level delta skips: entries whose dependencies changed only
+    beyond the consult horizon are served from the previous level."""
+
+    DEEP = SemanticsConfig(depth=5, sample=3)
+
+    @pytest.mark.parametrize(
+        "system", [pytest.param(multiplier, id="multiplier"),
+                   pytest.param(protocol, id="protocol"),
+                   pytest.param(philosophers, id="philosophers")]
+    )
+    def test_horizon_skips_fire_and_preserve_identity(self, system):
+        defs, env = system.definitions(), system.environment()
+        engine = DenotationEngine(defs, env, self.DEEP)
+        engine.run()
+        assert engine.frontier_skipped > 0
+        assert engine.delta_skipped >= engine.frontier_skipped
+        chain = ApproximationChain(defs, env, self.DEEP)
+        _assert_pointer_identical(chain.fixpoint(), engine)
+
+    def test_horizon_skips_survive_worker_threads(self):
+        defs, env = protocol.definitions(), protocol.environment()
+        engine = DenotationEngine(defs, env, self.DEEP, jobs=2)
+        engine.run()
+        assert engine.frontier_skipped > 0
+        chain = ApproximationChain(defs, env, self.DEEP)
+        _assert_pointer_identical(chain.fixpoint(), engine)
+
+    def test_explain_reports_horizon_detail(self):
+        defs, env = protocol.definitions(), protocol.environment()
+        engine = DenotationEngine(defs, env, self.DEEP)
+        text = engine.explain()
+        assert "beyond the consult horizon" in text
+        assert "delta frontiers:" in text
+        assert "sub-level/horizon" in text
+
+    def test_reports_account_for_every_entry_each_level(self):
+        defs, env = multiplier.definitions(), multiplier.environment()
+        engine = DenotationEngine(defs, env, self.DEEP)
+        engine.run()
+        for scc in engine.reports:
+            if not scc.recursive:
+                continue
+            entries = len(scc.entries)
+            for level in scc.levels:
+                assert (
+                    len(level.redenoted)
+                    + len(level.skipped)
+                    + len(level.horizon)
+                    == entries
+                )

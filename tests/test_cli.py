@@ -429,14 +429,30 @@ class TestEngineFlags:
         assert main(argv) == 0
         assert not cache_dir.exists()
 
-    def test_budgeted_run_bypasses_cache(self, copier_file, tmp_path, capsys):
+    def test_budgeted_run_writes_only_checkpoint_slots(
+        self, copier_file, tmp_path, capsys
+    ):
+        import json
+        import re
+
         cache_dir = tmp_path / "cache"
         argv = [
             "traces", copier_file, "--process", "copier", "--depth", "3",
             "--cache-dir", str(cache_dir), "--deadline", "30",
         ]
         assert main(argv) == 0
-        assert not cache_dir.exists()  # governed runs never touch the cache
+        # Governed runs persist per-completed-depth checkpoint slots —
+        # and nothing from the general (ungoverned) slot vocabulary.
+        snapshots = list(cache_dir.glob("snapshot-*.json"))
+        assert len(snapshots) == 1
+        roots = json.loads(snapshots[0].read_text())["roots"]
+        assert roots
+        assert all(re.fullmatch(r"fix:.+@level\d+", slot) for slot in roots)
+        first = capsys.readouterr().out
+        # A rerun resumes from the checkpoint slots and prints the same
+        # traces (invocation-determinism).
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
 
     def test_explain_plan_cold_then_warm(self, copier_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -449,6 +465,7 @@ class TestEngineFlags:
         assert "engine plan:" in cold
         assert "rank 0" in cold
         assert "definition-levels denoted" in cold
+        assert "delta frontiers:" in cold
         assert "snapshot cache:" in cold
         assert main(argv) == 0
         warm = capsys.readouterr().out
