@@ -169,6 +169,44 @@ def _case(name: str, baseline_fn, trie_fn, check_equal: bool = True) -> dict:
     return case
 
 
+def _op_case(name: str, setup, baseline_fn, trie_fn) -> dict:
+    """Time one operator on freshly-denoted operands.  Arena ids are
+    state-local, so each cold-kernel rep re-denotes the operands
+    (untimed) before timing the operator itself — operator memo warm-up
+    is still included, as in :func:`_case`."""
+
+    def timed(fn):
+        best, result = float("inf"), None
+        for _ in range(3):
+            clear_interner()
+            reset_stats()
+            args = setup()
+            start = time.perf_counter()
+            out = fn(*args)
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best, result = elapsed, out
+        return best, result
+
+    baseline_s, baseline_result = timed(baseline_fn)
+    trie_s, trie_result = timed(trie_fn)
+    want = getattr(baseline_result, "traces", baseline_result)
+    got = getattr(trie_result, "traces", trie_result)
+    if want != got:
+        raise AssertionError(f"{name}: kernels disagree")
+    case = {
+        "case": name,
+        "baseline_s": round(baseline_s, 6),
+        "trie_s": round(trie_s, 6),
+        "speedup": round(baseline_s / trie_s, 2) if trie_s else float("inf"),
+    }
+    print(
+        f"{name:<42} baseline {baseline_s * 1000:9.2f} ms   "
+        f"trie {trie_s * 1000:9.2f} ms   ×{case['speedup']}"
+    )
+    return case
+
+
 def generate(depths=(4, 5, 6, 7, 8)) -> dict:
     cases = []
 
@@ -195,25 +233,38 @@ def generate(depths=(4, 5, 6, 7, 8)) -> dict:
             )
         )
 
+    from repro.traces.events import channel
+
     for depth in (6, 8):
-        p = _denote(copier, "network", depth, "trie")
-        q = _denote(protocol, "protocol", depth, "trie")
-        cases.append(
-            _case(
-                f"union copier∪protocol depth={depth}",
-                lambda p=p, q=q: ref_ops.union(p, q),
-                lambda p=p, q=q: trie_ops.union(p, q),
+
+        def denote_pq(d=depth):
+            return (
+                _denote(copier, "network", d, "trie"),
+                _denote(protocol, "protocol", d, "trie"),
             )
-        )
-        from repro.traces.events import channel
 
         cases.append(
-            _case(
-                f"hide network\\wire depth={depth}",
-                lambda p=p: ref_ops.hide(p, [channel("wire")]),
-                lambda p=p: trie_ops.hide(p, [channel("wire")]),
+            _op_case(
+                f"union copier∪protocol depth={depth}",
+                denote_pq,
+                lambda p, q: ref_ops.union(p, q),
+                lambda p, q: trie_ops.union(p, q),
             )
         )
+        cases.append(
+            _op_case(
+                f"hide network\\wire depth={depth}",
+                denote_pq,
+                lambda p, q: ref_ops.hide(p, [channel("wire")]),
+                lambda p, q: trie_ops.hide(p, [channel("wire")]),
+            )
+        )
+
+    node_build_cases = [_node_build_case(d) for d in (6, 8)]
+    snapshot_cases = [
+        _snapshot_case((protocol,), 8),
+        _snapshot_case((copier, protocol, multiplier), 13),
+    ]
 
     clear_interner()
     reset_stats()
@@ -222,14 +273,386 @@ def generate(depths=(4, 5, 6, 7, 8)) -> dict:
 
     report = {
         "description": (
-            "Hash-consed trace-trie kernel vs. flat-set reference "
-            "(seed representation); best-of-3 cold-kernel wall clock"
+            "Arena trace-trie kernel vs. flat-set reference "
+            "(seed representation); best-of-3 cold-kernel wall clock. "
+            "node_build_cases grow one long-lived store with the "
+            "struct-of-arrays arena vs. the prior object-node "
+            "representation (throughput in interned ids/sec, tracemalloc "
+            "peak bytes over the retained population, process peak RSS); "
+            "snapshot_cases round-trip solved systems through three "
+            "codecs (PR 5 object-walk replica, retained legacy format-1, "
+            "flat format-2 packed segments)."
         ),
         "cases": cases,
+        "node_build_cases": node_build_cases,
+        "snapshot_cases": snapshot_cases,
         "kernel_stats_after_protocol_depth6": kernel_stats,
         "max_speedup": max(c["speedup"] for c in cases),
+        # per case, the arena must win ≥2× on throughput OR peak memory
+        "min_node_build_win": min(
+            max(c["throughput_ratio"], c["memory_ratio"])
+            for c in node_build_cases
+        ),
+        "min_snapshot_speedup": min(c["speedup"] for c in snapshot_cases),
+        # the scale case (last entry) carries the ≥5× acceptance bar
+        "snapshot_scale_speedup": snapshot_cases[-1]["speedup"],
     }
     return report
+
+
+# ---------------------------------------------------------------------------
+# Arena vs. object-node kernel (node-build throughput, peak memory, snapshots)
+# ---------------------------------------------------------------------------
+
+
+class _ObjectNode:
+    """A pre-arena object node: per-node Python object holding a sorted
+    ``items`` tuple, with counts/heights computed eagerly — the
+    representation PR 5 shipped, replicated here as the baseline."""
+
+    __slots__ = ("items", "count", "height")
+
+    def __init__(self, items):
+        self.items = items
+        self.count = 1 + sum(child.count for _, child in items)
+        self.height = 1 + max((child.height for _, child in items), default=-1)
+
+
+def _object_make_node(children, interner):
+    """Faithful PR 5 ``make_node``: sort items by the event's sort key,
+    intern on the ``(Event, id(child))`` tuple, fire the same fault and
+    governor hooks the arena fires — so the comparison times only the
+    representation."""
+    from repro.runtime import faults as _faults
+    from repro.runtime import governor as _governor
+
+    items = tuple(sorted(children.items(), key=lambda kv: kv[0].sort_key()))
+    key = tuple((event, id(child)) for event, child in items)
+    node = interner.get(key)
+    if node is None:
+        _faults.maybe_fail("trie.intern")
+        _governor.note_node()
+        node = interner[key] = _ObjectNode(items)
+    return node
+
+
+def _solve_roots(systems, depth: int, sample: int) -> dict:
+    """Denote every definition of every system into the current kernel
+    state, returning the ``fix:<name>`` → root mapping a snapshot cache
+    would persist.  Definitions that need instantiation (parameterised
+    entries) are skipped."""
+    roots = {}
+    for system in systems:
+        cfg = SemanticsConfig(depth=depth, sample=sample)
+        denoter = Denoter(
+            system.definitions(), system.environment(), cfg, kernel="trie"
+        )
+        for defn in system.definitions():
+            name = getattr(defn.name, "value", None) or str(defn.name)
+            try:
+                roots[f"fix:{name}"] = denoter.denote(Name(name)).root
+            except Exception:
+                continue
+    return roots
+
+
+def _roots_spec(roots: dict):
+    """A solved root set as a kernel-neutral structural spec: a
+    post-order node list of ``(event index, child position)`` edge lists
+    plus the event table.  Both builders replay the same spec, so the
+    comparison times representation, not semantics."""
+    events = []
+    event_index = {}
+    spec = []
+    index = {}
+    for root in roots.values():
+        arena = root.arena
+        stack = [(root.id, False)]
+        while stack:
+            nid, expanded = stack.pop()
+            if nid in index:
+                continue
+            start = arena.edge_start[nid]
+            end = start + arena.edge_len[nid]
+            if expanded:
+                edges = []
+                for k in range(start, end):
+                    eid = arena.edge_events[k]
+                    fidx = event_index.get(eid)
+                    if fidx is None:
+                        fidx = event_index[eid] = len(events)
+                        events.append(arena.events[eid])
+                    edges.append((fidx, index[arena.edge_children[k]]))
+                index[nid] = len(spec)
+                spec.append(edges)
+                continue
+            stack.append((nid, True))
+            for k in range(start, end):
+                child = arena.edge_children[k]
+                if child not in index:
+                    stack.append((child, False))
+    return spec, events
+
+
+def _renamed_events(events, tag: int):
+    """The event table with every channel renamed onto a per-replay
+    namespace, so each replay builds *fresh* nodes (all interner misses)
+    in a shared store — the workload a long-running session presents."""
+    from repro.traces.events import Channel, Event
+
+    return [
+        Event(Channel(f"{e.channel.name}~{tag}", e.channel.index), e.message)
+        for e in events
+    ]
+
+
+def _build_arena(spec, events, arena):
+    ids = []
+    intern = arena.intern
+    eids = [arena.intern_event(e) for e in events]
+    for edges in spec:
+        pairs = sorted((eids[e], ids[c]) for e, c in edges)
+        flat = []
+        for eid, cid in pairs:
+            flat.append(eid)
+            flat.append(cid)
+        ids.append(intern(flat))
+    return ids
+
+
+def _build_objects(spec, events, interner):
+    built = []
+    for edges in spec:
+        children = {events[e]: built[c] for e, c in edges}
+        built.append(_object_make_node(children, interner))
+    return built
+
+
+def _node_build_case(depth: int = 6) -> dict:
+    """Node-construction throughput (interned ids per second) and peak
+    memory, arena vs. object nodes.
+
+    The population replays the solved protocol system's structure many
+    times into ONE store, each replay on a renamed event alphabet so
+    every intern is a miss — growth of a single long-lived kernel, not
+    repeated cold starts.  Peak memory is tracemalloc over building and
+    *retaining* the full population."""
+    import resource
+    import tracemalloc
+
+    from repro.traces.trie import Arena
+
+    clear_interner()
+    reset_stats()
+    spec, events = _roots_spec(_solve_roots((protocol,), depth, sample=3))
+    n = len(spec)
+    reps = max(2, 40_000 // max(n, 1))
+    event_sets = [_renamed_events(events, tag) for tag in range(reps)]
+
+    def arena_population():
+        arena = Arena()
+        for evs in event_sets:
+            _build_arena(spec, evs, arena)
+        return arena
+
+    def object_population():
+        interner = {}
+        for evs in event_sets:
+            _build_objects(spec, evs, interner)
+        return interner
+
+    def timed(population) -> float:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            population()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    arena_s = timed(arena_population)
+    object_s = timed(object_population)
+
+    def peak(population) -> int:
+        tracemalloc.start()
+        retained = population()
+        _, high = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del retained
+        return high
+
+    arena_peak = peak(arena_population)
+    object_peak = peak(object_population)
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    built = n * reps
+    case = {
+        "case": f"node build protocol depth={depth}",
+        "distinct_nodes": n,
+        "replays": reps,
+        "population": built,
+        "object_s": round(object_s, 6),
+        "arena_s": round(arena_s, 6),
+        "object_ids_per_s": round(built / object_s) if object_s else float("inf"),
+        "arena_ids_per_s": round(built / arena_s) if arena_s else float("inf"),
+        "throughput_ratio": round(object_s / arena_s, 2) if arena_s else float("inf"),
+        "object_peak_bytes": object_peak,
+        "arena_peak_bytes": arena_peak,
+        "memory_ratio": round(object_peak / arena_peak, 2) if arena_peak else float("inf"),
+        "peak_rss_kb": rss_kb,
+    }
+    print(
+        f"{case['case']:<42} objects {case['object_ids_per_s']:>9} ids/s   "
+        f"arena {case['arena_ids_per_s']:>9} ids/s   ×{case['throughput_ratio']}"
+        f"   mem ×{case['memory_ratio']} (rss {rss_kb} kB)"
+    )
+    return case
+
+
+# -- PR 5 object-kernel snapshot codec (replica, baseline only) -------------
+
+
+def _object_roots(roots: dict, interner: dict) -> dict:
+    """Mirror an arena root set into the object-node kernel — the
+    population PR 5's codec walked."""
+
+    def convert(view, memo):
+        key = view.id
+        node = memo.get(key)
+        if node is None:
+            children = {e: convert(c, memo) for e, c in view.items}
+            node = memo[key] = _object_make_node(children, interner)
+        return node
+
+    memo = {}
+    return {slot: convert(root, memo) for slot, root in roots.items()}
+
+
+def _encode_roots_objects(roots: dict) -> dict:
+    """The PR 5 encoder: iterative object walk emitting per-node edge
+    lists as plain JSON arrays."""
+    from repro import serialize
+
+    events, event_index, nodes, node_index = [], {}, [], {}
+
+    def eid(e):
+        i = event_index.get(e)
+        if i is None:
+            i = event_index[e] = len(events)
+            events.append(e)
+        return i
+
+    for root in roots.values():
+        if id(root) in node_index:
+            continue
+        stack = [(root, False)]
+        while stack:
+            cur, expanded = stack.pop()
+            if id(cur) in node_index:
+                continue
+            if expanded:
+                node_index[id(cur)] = len(nodes)
+                nodes.append(
+                    [[eid(e), node_index[id(c)]] for e, c in cur.items]
+                )
+                continue
+            stack.append((cur, True))
+            for _, c in cur.items:
+                if id(c) not in node_index:
+                    stack.append((c, False))
+    return {
+        "events": [serialize.encode(e) for e in events],
+        "nodes": nodes,
+        "roots": {slot: node_index[id(r)] for slot, r in roots.items()},
+    }
+
+
+def _decode_roots_objects(data: dict, interner: dict) -> dict:
+    """The PR 5 decoder: rebuild each node bottom-up through the object
+    interner (never trusting the file)."""
+    from repro import serialize
+    from repro.traces.events import Event
+
+    events = [serialize.decode(e) for e in data["events"]]
+    assert all(isinstance(e, Event) for e in events)
+    decoded = []
+    for entry in data["nodes"]:
+        children = {}
+        for ei, ci in entry:
+            assert 0 <= ci < len(decoded)
+            children[events[ei]] = decoded[ci]
+        decoded.append(_object_make_node(children, interner))
+    return {slot: decoded[i] for slot, i in data["roots"].items()}
+
+
+def _snapshot_case(systems, depth: int, sample: int = 3) -> dict:
+    """Snapshot round-trip (encode → json.dumps → json.loads → cold
+    decode) of a solved system set, three codecs:
+
+    * ``object_s`` — the PR 5 path: object-walk encode over the object
+      kernel, decode re-interning into a cold object interner;
+    * ``legacy_s`` — the retained format-1 codec run on today's arena
+      kernel (what a pre-arena file costs to load now);
+    * ``flat_s``  — the format-2 packed-segment codec with bulk splice.
+
+    Arena reps re-denote from a cold kernel first (untimed), so encode
+    sees unmaterialised views — the state a real ``save()`` runs in."""
+    from repro.traces.snapshot import (
+        decode_roots,
+        decode_roots_legacy,
+        encode_roots,
+        encode_roots_legacy,
+    )
+    from repro.traces.trie import arena_info, private_state
+
+    names = [s.__name__.split(".")[-1] for s in systems]
+
+    def timed_arena(encode, decode) -> float:
+        best = float("inf")
+        for _ in range(3):
+            clear_interner()
+            reset_stats()
+            roots = _solve_roots(systems, depth, sample)
+            start = time.perf_counter()
+            blob = json.dumps(encode(roots))
+            with private_state():
+                decode(json.loads(blob))
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    clear_interner()
+    reset_stats()
+    roots = _solve_roots(systems, depth, sample)
+    info = arena_info()
+    obj_roots = _object_roots(roots, {})
+    object_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        blob = json.dumps(_encode_roots_objects(obj_roots))
+        _decode_roots_objects(json.loads(blob), {})
+        object_s = min(object_s, time.perf_counter() - start)
+
+    legacy_s = timed_arena(encode_roots_legacy, decode_roots_legacy)
+    flat_s = timed_arena(encode_roots, decode_roots)
+    case = {
+        "case": f"snapshot round-trip {'+'.join(names)} depth={depth}",
+        "systems": names,
+        "nodes": info["nodes"],
+        "edges": info["edges"],
+        "roots": len(roots),
+        "object_s": round(object_s, 6),
+        "legacy_s": round(legacy_s, 6),
+        "flat_s": round(flat_s, 6),
+        "speedup": round(legacy_s / flat_s, 2) if flat_s else float("inf"),
+        "speedup_vs_object": round(object_s / flat_s, 2)
+        if flat_s
+        else float("inf"),
+    }
+    print(
+        f"{case['case']:<42} object {object_s * 1000:8.2f} ms   "
+        f"legacy {legacy_s * 1000:8.2f} ms   flat {flat_s * 1000:8.2f} ms   "
+        f"×{case['speedup']} (×{case['speedup_vs_object']} vs object)"
+    )
+    return case
 
 
 # ---------------------------------------------------------------------------

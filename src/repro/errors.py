@@ -38,6 +38,19 @@ class BudgetExceeded(ReproError):
         return BudgetExceeded(self.resource, self.limit, checkpoint)
 
 
+class KernelStateError(ReproError):
+    """A trie node was used against a kernel state it does not belong to.
+
+    Arena node ids are state-local: a :class:`~repro.traces.trie.ClosureNode`
+    view built inside one :class:`~repro.traces.trie.KernelState` (a worker's
+    ``private_state()``, or a generation discarded by ``clear_interner()``)
+    names a row of *that* state's arena and nothing else.  Feeding it to an
+    operator running against a different state would silently alias an
+    unrelated node, so the kernel raises instead; carry nodes across states
+    with :func:`~repro.traces.trie.reintern`.
+    """
+
+
 class EvaluationError(ReproError):
     """An expression, set expression, or assertion could not be evaluated."""
 

@@ -268,16 +268,25 @@ class DenotationEngine:
 
         Each worker interns into a private kernel state; the main thread
         re-interns results in plan order, so the canonical interner sees
-        the same insertion sequence regardless of worker timing.  The
-        governor is ambient process state shared by all threads: node
-        budgets count globally (increment races can only under-count by
-        a handful — budgets are resource limits, not exact quotas) and a
-        trip in any worker surfaces here as the original exception.
+        the same insertion sequence regardless of worker timing.  Arena
+        node ids are state-local, so each worker first carries the
+        already-solved dependencies into its private arena with
+        :func:`~repro.traces.trie.reintern` (``self._resolved`` is frozen
+        while a rank is in flight — only the main thread writes it,
+        between ranks).  The governor is ambient process state shared by
+        all threads: node budgets count globally (increment races can
+        only under-count by a handful — budgets are resource limits, not
+        exact quotas) and a trip in any worker surfaces here as the
+        original exception.
         """
 
         def solve(index: int):
             with private_state():
-                return self._solve_scc(self._sccs[index], rank)
+                resolved = {
+                    entry: FiniteClosure.from_node(reintern(closure.root))
+                    for entry, closure in self._resolved.items()
+                }
+                return self._solve_scc(self._sccs[index], rank, resolved)
 
         with ThreadPoolExecutor(max_workers=min(self.jobs, len(indices))) as pool:
             futures = [pool.submit(solve, i) for i in indices]
@@ -314,11 +323,14 @@ class DenotationEngine:
         self.frontier_skipped += report.horizon_skipped
 
     def _solve_scc(
-        self, scc: Scc, rank: int
+        self,
+        scc: Scc,
+        rank: int,
+        resolved: Optional[Dict[EntryKey, FiniteClosure]] = None,
     ) -> Tuple[Dict[EntryKey, FiniteClosure], SccReport]:
         if not scc.recursive:
             entry = scc.entries[0]
-            denoter = self._denoter({})
+            denoter = self._denoter({}, resolved)
             closure = self._denote_entry(denoter, entry)
             report = SccReport(
                 entries=(entry.pretty(),),
@@ -328,10 +340,13 @@ class DenotationEngine:
                 levels=(LevelReport(1, (entry.pretty(),), ()),),
             )
             return {entry: closure}, report
-        return self._solve_recursive(scc, rank)
+        return self._solve_recursive(scc, rank, resolved)
 
     def _solve_recursive(
-        self, scc: Scc, rank: int
+        self,
+        scc: Scc,
+        rank: int,
+        resolved: Optional[Dict[EntryKey, FiniteClosure]] = None,
     ) -> Tuple[Dict[EntryKey, FiniteClosure], SccReport]:
         """Delta-based local chain: start every member at ⟦STOP⟧, then
         re-denote per level only members with a changed intra-SCC input.
@@ -373,7 +388,7 @@ class DenotationEngine:
             for level in range(1, MAX_LEVELS + 1):
                 if governor is not None:
                     governor.check_deadline()
-                denoter = self._denoter(local)
+                denoter = self._denoter(local, resolved)
                 nxt: Dict[EntryKey, FiniteClosure] = {}
                 now_changed: Set[EntryKey] = set()
                 redenoted: List[str] = []
@@ -446,12 +461,16 @@ class DenotationEngine:
 
     # -- denotation helpers ------------------------------------------------
 
-    def _denoter(self, local: Dict[EntryKey, FiniteClosure]) -> Denoter:
+    def _denoter(
+        self,
+        local: Dict[EntryKey, FiniteClosure],
+        resolved: Optional[Dict[EntryKey, FiniteClosure]] = None,
+    ) -> Denoter:
         return Denoter(
             self.definitions,
             self.env,
             self.config,
-            process_bindings=self._bindings(local),
+            process_bindings=self._bindings(local, resolved=resolved),
             kernel=self.kernel,
         )
 
@@ -463,18 +482,28 @@ class DenotationEngine:
         return denoter._denote(definition.body, self.env, self.config.depth)
 
     def _bindings(
-        self, local: Dict[EntryKey, FiniteClosure], fallback: bool = False
+        self,
+        local: Dict[EntryKey, FiniteClosure],
+        fallback: bool = False,
+        resolved: Optional[Dict[EntryKey, FiniteClosure]] = None,
     ) -> Dict[str, object]:
         """Process bindings for one denotation pass: solved entries, the
         current SCC's local level, and loud poisons for everything the
         plan says is unreachable from here.
+
+        ``resolved`` overrides ``self._resolved`` as the solved-entry
+        source — worker threads pass their privately re-interned copies,
+        since ambient arena node ids must not cross into a worker's
+        kernel state.
 
         With ``fallback=True`` (served bindings for a
         :class:`~repro.sat.checker.SatChecker`, never during solving) an
         out-of-sample array subscript returns ``None`` instead of
         raising, telling the Denoter to unfold that reference on demand.
         """
-        available: Dict[EntryKey, FiniteClosure] = dict(self._resolved)
+        available: Dict[EntryKey, FiniteClosure] = dict(
+            self._resolved if resolved is None else resolved
+        )
         available.update(local)
         bindings: Dict[str, object] = {}
         for definition in self.definitions:
@@ -650,6 +679,13 @@ class DenotationEngine:
         lines.append(
             f"  delta frontiers: {delta.delta_queries} walks, "
             f"{delta.frontier_nodes} fresh nodes, {delta.delta_capped} capped"
+        )
+        arena = _trie.arena_info()
+        lines.append(
+            f"  arena: {arena['nodes']} nodes, {arena['edges']} edges, "
+            f"{arena['segment_bytes']} segment bytes, "
+            f"{arena['events']} events / {arena['channels']} channels "
+            f"interned, {arena['views']} views materialised"
         )
         return "\n".join(lines)
 

@@ -17,7 +17,10 @@ Entry points: :func:`encode` / :func:`decode` (dicts), and
 
 from __future__ import annotations
 
+import base64
 import json
+import sys
+from array import array
 from typing import Any, Callable, Dict
 
 from repro.assertions import ast as A
@@ -137,6 +140,89 @@ def dumps(node: Any, **kwargs: Any) -> str:
 def loads(text: str) -> Any:
     """Decode from a JSON string."""
     return decode(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# packed int arrays (flat-buffer snapshot segments)
+# ---------------------------------------------------------------------------
+#
+# The arena snapshot format stores node tables as flat int arrays; JSON
+# lists of ints would undo the representation win (one Python object per
+# int on both encode and decode), so segments travel as base64 of the
+# array's little-endian 32-bit buffer.
+
+
+def pack_ints(values: Any) -> str:
+    """Pack a sequence of ints (or an ``array('i')``) into a base64
+    string of its little-endian 32-bit buffer."""
+    try:
+        if isinstance(values, array) and values.typecode == "i":
+            arr = values
+        else:
+            arr = array("i", values)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise SerializationError(f"cannot pack int segment: {exc}") from exc
+    if sys.byteorder != "little":  # pragma: no cover - big-endian host
+        arr = array("i", arr.tobytes())
+        arr.byteswap()
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
+def pack_ints64(values: Any) -> str:
+    """Pack a sequence of ints (or an ``array('q')``) into a base64
+    string of its little-endian 64-bit buffer (trace counts can exceed
+    32 bits)."""
+    try:
+        if isinstance(values, array) and values.typecode == "q":
+            arr = values
+        else:
+            arr = array("q", values)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise SerializationError(f"cannot pack int64 segment: {exc}") from exc
+    if sys.byteorder != "little":  # pragma: no cover - big-endian host
+        arr = array("q", arr.tobytes())
+        arr.byteswap()
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
+def unpack_ints64(blob: Any) -> array:
+    """Decode :func:`pack_ints64` output back to an ``array('q')``."""
+    if not isinstance(blob, str):
+        raise SerializationError(f"packed int64 segment is not a string: {blob!r}")
+    try:
+        buf = base64.b64decode(blob.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise SerializationError(f"undecodable int64 segment: {exc}") from exc
+    if len(buf) % 8:
+        raise SerializationError(
+            f"packed int64 segment of {len(buf)} bytes is not 64-bit aligned"
+        )
+    arr = array("q", buf)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian host
+        arr.byteswap()
+    return arr
+
+
+def unpack_ints(blob: Any) -> array:
+    """Decode :func:`pack_ints` output back to an ``array('i')``.
+
+    Raises :class:`SerializationError` on anything but well-formed
+    base64 of a whole number of 32-bit items.
+    """
+    if not isinstance(blob, str):
+        raise SerializationError(f"packed int segment is not a string: {blob!r}")
+    try:
+        buf = base64.b64decode(blob.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise SerializationError(f"undecodable int segment: {exc}") from exc
+    if len(buf) % 4:
+        raise SerializationError(
+            f"packed int segment of {len(buf)} bytes is not 32-bit aligned"
+        )
+    arr = array("i", buf)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian host
+        arr.byteswap()
+    return arr
 
 
 def _k(node: Any, **fields: Any) -> dict:

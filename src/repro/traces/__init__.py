@@ -4,9 +4,10 @@ A process denotes a *prefix-closed* set of traces over the alphabet of
 communications ``c.m``.  This package provides:
 
 * :mod:`repro.traces.events` — channels, communications, traces;
-* :mod:`repro.traces.trie` — the hash-consed trace-trie kernel
-  (:class:`~repro.traces.trie.ClosureNode`): interned, shared subtrees,
-  pointer-equality semantics;
+* :mod:`repro.traces.trie` — the hash-consed trace-trie kernel, a
+  struct-of-arrays :class:`~repro.traces.trie.Arena` of integer node ids
+  with :class:`~repro.traces.trie.ClosureNode` views: interned, shared
+  subtrees, pointer-equality semantics;
 * :mod:`repro.traces.prefix_closure` — finite prefix-closed trace sets,
   a thin view over a trie root;
 * :mod:`repro.traces.operations` — the paper's operators ``a → P``,
@@ -45,7 +46,14 @@ from repro.traces.operations import (
 )
 from repro.traces.prefix_closure import FiniteClosure, STOP_CLOSURE
 from repro.traces.stats import format_stats, reset_stats, snapshot
-from repro.traces.trie import ClosureNode, EMPTY_NODE, clear_interner, interner_size
+from repro.traces.trie import (
+    Arena,
+    ClosureNode,
+    EMPTY_NODE,
+    arena_info,
+    clear_interner,
+    interner_size,
+)
 
 __all__ = [
     "Channel",
@@ -71,8 +79,10 @@ __all__ = [
     "intersection",
     "truncate",
     "interleavings",
+    "Arena",
     "ClosureNode",
     "EMPTY_NODE",
+    "arena_info",
     "clear_interner",
     "interner_size",
     "format_stats",

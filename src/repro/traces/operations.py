@@ -11,18 +11,24 @@
 * ``union``/``intersection``/``truncate`` — the lattice operations,
   re-exported from the kernel for symmetry.
 
-Every operator is a recursive function over hash-consed
-:class:`~repro.traces.trie.ClosureNode` values with a per-operation memo
-table: a subtree shared by many traces is processed **once**, not once
-per trace.  Results are prefix-closed by construction (the §3.1
-theorems; the property tests in ``tests/traces/test_trie_equivalence.py``
+Every operator is a recursive function over **arena node ids** with a
+per-operation memo table keyed on small int tuples: a subtree shared by
+many traces is processed **once**, not once per trace.  Channels are
+classified by their interned channel id (``arena.event_channel`` maps an
+edge's event id straight to its channel id), so the hot loops never hash
+an :class:`~repro.traces.events.Event` or
+:class:`~repro.traces.events.Channel` object.  Because a node's edge
+span is sorted by event id, results are assembled as already-sorted flat
+edge lists and handed to :meth:`~repro.traces.trie.Arena.intern`
+directly.  Results are prefix-closed by construction (the §3.1 theorems;
+the property tests in ``tests/traces/test_trie_equivalence.py``
 re-verify each operator against the flat-set reference in
 :mod:`repro.traces._reference`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import SemanticsError
 from repro.runtime import faults as _faults
@@ -33,13 +39,15 @@ from repro.traces.stats import KERNEL_STATS
 from repro.traces.trie import (
     DELTA_WALK_CAP,
     EMPTY_NODE,
+    Arena,
     ClosureNode,
+    current_state,
     delta_depth as _delta_depth_nodes,
     delta_nodes,
     make_node,
-    memo_table,
-    truncate_node,
-    union_nodes,
+    node_id,
+    truncate_ids,
+    union_ids,
 )
 
 #: Refuse a fully-interleaved (no shared channel) parallel composition
@@ -50,13 +58,13 @@ from repro.traces.trie import (
 MAX_DISJOINT_PRODUCT = 250_000
 
 # Memo tables live in the kernel state (per-thread during engine worker
-# runs); each public operator resolves its table once and threads it
-# through the recursion.
+# runs); each public operator resolves its tables once — its own and the
+# union table its recursion leans on — and threads them through.
 
 
 def prefix(a: Event, p: FiniteClosure) -> FiniteClosure:
     """``(a → P)`` — the process that first communicates ``a``, then
-    behaves like ``P`` (§3.1).  One node allocation; ``P``'s trie is
+    behaves like ``P`` (§3.1).  One node interning; ``P``'s trie is
     shared, not copied."""
     return FiniteClosure.from_node(make_node({a: p.root}))
 
@@ -84,6 +92,13 @@ def truncate(p: FiniteClosure, depth: int) -> FiniteClosure:
     return p.truncate(depth)
 
 
+def _channel_id_set(arena: Arena, channels: Iterable[Channel]) -> FrozenSet[int]:
+    """Intern a channel set to a frozenset of channel ids (sorted first,
+    so the ids handed to a fresh arena do not depend on set iteration
+    order — id tables stay deterministic run to run)."""
+    return frozenset(arena.intern_channel(c) for c in sorted(set(channels)))
+
+
 def hide(p: FiniteClosure, channels: Iterable[Channel]) -> FiniteClosure:
     """``P \\ C`` — conceal all communications on channels of ``C``
     (the semantics of ``chan C; P``, §3.1/§3.2).
@@ -95,18 +110,35 @@ def hide(p: FiniteClosure, channels: Iterable[Channel]) -> FiniteClosure:
     hidden = frozenset(channels)
     if not hidden:
         return p
+    state = current_state()
+    arena = state.arena
+    nid = node_id(p.root, arena)
+    hidden_cids = _channel_id_set(arena, hidden)
     with _governor.recursion_guard("hide"):
-        memo = memo_table("hide")
-        stats = KERNEL_STATS.memo("hide")
-        return FiniteClosure.from_node(_hide_node(p.root, hidden, memo, stats))
+        rid = _hide_id(
+            arena,
+            nid,
+            hidden_cids,
+            state.memo("hide"),
+            KERNEL_STATS.memo("hide"),
+            state.memo("union"),
+            KERNEL_STATS.memo("union"),
+        )
+    return FiniteClosure.from_node(arena.view(rid))
 
 
-def _hide_node(
-    node: ClosureNode, hidden: FrozenSet[Channel], memo: Dict, stats
-) -> ClosureNode:
-    if node is EMPTY_NODE:
-        return EMPTY_NODE
-    key = (node, hidden)
+def _hide_id(
+    arena: Arena,
+    nid: int,
+    hidden: FrozenSet[int],
+    memo: Dict,
+    stats,
+    union_memo: Dict,
+    union_stats,
+) -> int:
+    if nid == 0:
+        return 0
+    key = (nid, hidden)
     cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
@@ -114,14 +146,24 @@ def _hide_node(
     stats.misses += 1
     _faults.maybe_fail("op.hide")
     _governor.tick()
-    visible: Dict[Event, ClosureNode] = {}
-    absorbed = EMPTY_NODE
-    for event, child in node.items:
-        if event.channel in hidden:
-            absorbed = union_nodes(absorbed, _hide_node(child, hidden, memo, stats))
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    event_channel = arena.event_channel
+    start = arena.edge_start[nid]
+    end = start + arena.edge_len[nid]
+    visible: List[int] = []
+    absorbed = 0
+    for k in range(start, end):
+        eid = edge_events[k]
+        child = _hide_id(
+            arena, edge_children[k], hidden, memo, stats, union_memo, union_stats
+        )
+        if event_channel[eid] in hidden:
+            absorbed = union_ids(arena, absorbed, child, union_memo, union_stats)
         else:
-            visible[event] = _hide_node(child, hidden, memo, stats)
-    result = union_nodes(make_node(visible), absorbed)
+            visible.append(eid)
+            visible.append(child)
+    result = union_ids(arena, arena.intern(visible), absorbed, union_memo, union_stats)
     memo[key] = result
     return result
 
@@ -155,20 +197,43 @@ def pad(
     for e in pad_set:
         if e.channel not in chan_set:
             raise ValueError(f"padding event {e!r} not on a padding channel")
+    state = current_state()
+    arena = state.arena
+    nid = node_id(p.root, arena)
+    pad_eids = tuple(sorted(arena.intern_event(e) for e in pad_set))
     with _governor.recursion_guard("pad"):
-        memo = memo_table("pad")
-        stats = KERNEL_STATS.memo("pad")
-        return FiniteClosure.from_node(_pad_node(p.root, pad_set, depth, memo, stats))
+        rid = _pad_id(
+            arena,
+            nid,
+            pad_eids,
+            depth,
+            state.memo("pad"),
+            KERNEL_STATS.memo("pad"),
+            state.memo("union"),
+            KERNEL_STATS.memo("union"),
+            state.memo("truncate"),
+            KERNEL_STATS.memo("truncate"),
+        )
+    return FiniteClosure.from_node(arena.view(rid))
 
 
-def _pad_node(
-    node: ClosureNode, pad_set: Tuple[Event, ...], depth: int, memo: Dict, stats
-) -> ClosureNode:
+def _pad_id(
+    arena: Arena,
+    nid: int,
+    pad_eids: Tuple[int, ...],
+    depth: int,
+    memo: Dict,
+    stats,
+    union_memo: Dict,
+    union_stats,
+    trunc_memo: Dict,
+    trunc_stats,
+) -> int:
     if depth <= 0:
-        return EMPTY_NODE
-    if not pad_set:
-        return truncate_node(node, depth)
-    key = (node, pad_set, depth)
+        return 0
+    if not pad_eids:
+        return truncate_ids(arena, nid, depth, trunc_memo, trunc_stats)
+    key = (nid, pad_eids, depth)
     cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
@@ -176,19 +241,51 @@ def _pad_node(
     stats.misses += 1
     _faults.maybe_fail("op.pad")
     _governor.tick()
-    children: Dict[Event, ClosureNode] = {
-        event: _pad_node(child, pad_set, depth - 1, memo, stats)
-        for event, child in node.items
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    start = arena.edge_start[nid]
+    end = start + arena.edge_len[nid]
+    children: Dict[int, int] = {
+        edge_events[k]: _pad_id(
+            arena,
+            edge_children[k],
+            pad_eids,
+            depth - 1,
+            memo,
+            stats,
+            union_memo,
+            union_stats,
+            trunc_memo,
+            trunc_stats,
+        )
+        for k in range(start, end)
     }
     # A padding event leaves progress inside P unchanged; if P itself can
     # also perform it, both continuations are possible — union them.
-    stalled = _pad_node(node, pad_set, depth - 1, memo, stats)
-    for event in pad_set:
-        existing = children.get(event)
-        children[event] = (
-            union_nodes(existing, stalled) if existing is not None else stalled
+    stalled = _pad_id(
+        arena,
+        nid,
+        pad_eids,
+        depth - 1,
+        memo,
+        stats,
+        union_memo,
+        union_stats,
+        trunc_memo,
+        trunc_stats,
+    )
+    for eid in pad_eids:
+        existing = children.get(eid)
+        children[eid] = (
+            union_ids(arena, existing, stalled, union_memo, union_stats)
+            if existing is not None
+            else stalled
         )
-    result = make_node(children)
+    flat: List[int] = []
+    for eid in sorted(children):
+        flat.append(eid)
+        flat.append(children[eid])
+    result = arena.intern(flat)
     memo[key] = result
     return result
 
@@ -241,24 +338,39 @@ def parallel(
     if depth is None:
         depth = p.depth() + q.depth()
 
+    state = current_state()
+    arena = state.arena
+    np = node_id(p.root, arena)
+    nq = node_id(q.root, arena)
+    shared_cids = _channel_id_set(arena, shared)
     with _governor.recursion_guard("parallel"):
-        memo = memo_table("parallel")
-        stats = KERNEL_STATS.memo("parallel")
-        return FiniteClosure.from_node(
-            _par_node(p.root, q.root, shared, depth, memo, stats)
+        rid = _par_id(
+            arena,
+            np,
+            nq,
+            shared_cids,
+            depth,
+            state.memo("parallel"),
+            KERNEL_STATS.memo("parallel"),
+            state.memo("union"),
+            KERNEL_STATS.memo("union"),
         )
+    return FiniteClosure.from_node(arena.view(rid))
 
 
-def _par_node(
-    np: ClosureNode,
-    nq: ClosureNode,
-    shared: FrozenSet[Channel],
+def _par_id(
+    arena: Arena,
+    np: int,
+    nq: int,
+    shared: FrozenSet[int],
     depth: int,
     memo: Dict,
     stats,
-) -> ClosureNode:
-    if depth <= 0 or (np is EMPTY_NODE and nq is EMPTY_NODE):
-        return EMPTY_NODE
+    union_memo: Dict,
+    union_stats,
+) -> int:
+    if depth <= 0 or (np == 0 and nq == 0):
+        return 0
     key = (np, nq, shared, depth)
     cached = memo.get(key)
     if cached is not None:
@@ -267,26 +379,57 @@ def _par_node(
     stats.misses += 1
     _faults.maybe_fail("op.parallel")
     _governor.tick()
-    children: Dict[Event, ClosureNode] = {}
-    for event, p_child in np.items:
-        if event.channel in shared:
-            q_child = nq.children.get(event)
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
+    event_channel = arena.event_channel
+    q_start = edge_start[nq]
+    q_end = q_start + edge_len[nq]
+    q_edges = {edge_events[k]: edge_children[k] for k in range(q_start, q_end)}
+    children: Dict[int, int] = {}
+    p_start = edge_start[np]
+    for k in range(p_start, p_start + edge_len[np]):
+        eid = edge_events[k]
+        p_child = edge_children[k]
+        if event_channel[eid] in shared:
+            q_child = q_edges.get(eid)
             if q_child is not None:
-                children[event] = _par_node(
-                    p_child, q_child, shared, depth - 1, memo, stats
+                children[eid] = _par_id(
+                    arena,
+                    p_child,
+                    q_child,
+                    shared,
+                    depth - 1,
+                    memo,
+                    stats,
+                    union_memo,
+                    union_stats,
                 )
         else:
-            children[event] = _par_node(p_child, nq, shared, depth - 1, memo, stats)
-    for event, q_child in nq.items:
-        if event.channel not in shared:
+            children[eid] = _par_id(
+                arena, p_child, nq, shared, depth - 1, memo, stats,
+                union_memo, union_stats,
+            )
+    for eid, q_child in q_edges.items():
+        if event_channel[eid] not in shared:
             # X-coverage makes a private-event collision impossible (it
             # would put the channel in X ∩ Y); union defensively anyway.
-            existing = children.get(event)
-            merged = _par_node(np, q_child, shared, depth - 1, memo, stats)
-            children[event] = (
-                union_nodes(existing, merged) if existing is not None else merged
+            merged = _par_id(
+                arena, np, q_child, shared, depth - 1, memo, stats,
+                union_memo, union_stats,
             )
-    result = make_node(children)
+            existing = children.get(eid)
+            children[eid] = (
+                union_ids(arena, existing, merged, union_memo, union_stats)
+                if existing is not None
+                else merged
+            )
+    flat: List[int] = []
+    for eid in sorted(children):
+        flat.append(eid)
+        flat.append(children[eid])
+    result = arena.intern(flat)
     memo[key] = result
     return result
 
@@ -311,21 +454,25 @@ def interleavings(s: Trace, t: Trace) -> Iterator[Trace]:
 
 def union_all(closures: Iterable[FiniteClosure]) -> FiniteClosure:
     """∪ᵢ Pᵢ — prefix closures are closed under arbitrary unions (§3.1)."""
-    root = EMPTY_NODE
+    state = current_state()
+    arena = state.arena
+    memo = state.memo("union")
+    stats = KERNEL_STATS.memo("union")
+    root = 0
     for c in closures:
-        root = union_nodes(root, c.root)
-    return FiniteClosure.from_node(root)
+        root = union_ids(arena, root, node_id(c.root, arena), memo, stats)
+    return FiniteClosure.from_node(arena.view(root))
 
 
 # -- delta queries -----------------------------------------------------------
 #
 # Successive levels of a §3.3 approximation chain only *grow*, and the
-# hash-consed kernel keeps the unchanged regions pointer-identical across
+# hash-consed kernel keeps the unchanged regions id-identical across
 # levels.  These queries expose that sharing to the fixpoint layers.  Note
 # that the operator memo keys above are already "delta-aware" for free:
-# they are keyed on interned nodes, so re-applying an operator to a grown
-# closure pays only along its fresh frontier — every untouched subtree is
-# a memo hit.
+# they are keyed on interned node ids, so re-applying an operator to a
+# grown closure pays only along its fresh frontier — every untouched
+# subtree is a memo hit.
 
 def delta_frontier(
     old: FiniteClosure, new: FiniteClosure, cap: int = DELTA_WALK_CAP

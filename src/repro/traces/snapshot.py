@@ -1,12 +1,24 @@
 """Persisted closure snapshots — warm-starting the kernel across runs.
 
-Hash-consed tries serialise naturally: list the distinct nodes reachable
-from a set of roots in post-order, write each node as its (event-index,
-child-index) pairs against a deduplicated event table, and record each
-root as an index into the node list.  Decoding replays the list through
-:func:`~repro.traces.trie.make_node`, so every decoded node is
-**re-interned**: a snapshot can never introduce a non-canonical node,
-only save the work of building canonical ones.
+Arena-backed tries serialise naturally: list the distinct node ids
+reachable from a set of roots in post-order and dump their segments as
+**flat int buffers** — a per-node arity array, parallel
+``edge_events``/``edge_children`` edge tables, and the per-node
+``counts``/``heights`` metadata (base64-packed via
+:func:`repro.serialize.pack_ints`/``pack_ints64``), against a
+deduplicated event table.  This mirrors the arena's own
+struct-of-arrays layout (ascending arena ids *are* a post-order, since
+children are always interned before parents), so encoding is a linear
+copy of int spans and never materialises a view object per node.
+Decoding re-interns every node — through
+:meth:`~repro.traces.trie.Arena.intern` row by row, or, when numpy is
+available and every decoded node is fresh, through a vectorised
+validation pass and one :meth:`~repro.traces.trie.Arena.append_rows`
+splice that registers byte-identical interner keys.  Either way a
+snapshot can never introduce a non-canonical node, only save the work
+of building canonical ones; stored counts/heights are verified against
+the edge tables (the recurrence has a unique solution over a
+post-order, so node-local consistency proves them), never trusted.
 
 A snapshot is trusted only as a cache, never as truth:
 
@@ -16,9 +28,16 @@ A snapshot is trusted only as a cache, never as truth:
   the inputs changes the key and orphans the old snapshot;
 * the key and a format version are stored *inside* the payload and
   re-checked on load;
-* any structural defect — bad JSON, dangling indices, wrong version,
-  wrong key — discards the snapshot and rebuilds from scratch
-  (``SnapshotCache.rebuilt`` reports that this happened).
+* any structural defect — bad JSON, dangling indices, unaligned or
+  undecodable packed segments, wrong version, wrong key — discards the
+  snapshot and rebuilds from scratch (``SnapshotCache.rebuilt`` reports
+  that this happened).
+
+Format 1 (the object-walk node-list layout of earlier releases) is still
+*read*: the cache key deliberately hashes :data:`KEY_VERSION`, not the
+file format, so a pre-arena snapshot keeps its filename and is loaded
+through the retained legacy codec, then rewritten in format
+:data:`FORMAT_VERSION` on the next save.
 
 Writes are atomic (temp file + ``os.replace``) and failures to persist
 are swallowed: a read-only cache directory degrades to cold starts, it
@@ -32,15 +51,29 @@ import json
 import os
 import re
 import tempfile
+from array import array
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import serialize
 from repro.errors import ReproError
 from repro.traces.events import Event
-from repro.traces.trie import ClosureNode, make_node
+from repro.traces.trie import ClosureNode, current_state, make_node, node_id
 
-FORMAT_VERSION = 1
+try:  # optional accelerator: vectorised validation + bulk decode
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+#: On-disk layout version.  2 = flat arena segments; 1 = legacy
+#: nested node list (read-only).
+FORMAT_VERSION = 2
+
+#: Cache-*key* schema version, hashed into :func:`cache_key`.  Kept
+#: separate from :data:`FORMAT_VERSION` so a pure layout change does not
+#: orphan existing snapshot files — bump it only when the *meaning* of a
+#: slot's content changes.
+KEY_VERSION = 1
 
 
 class SnapshotError(ReproError):
@@ -49,11 +82,392 @@ class SnapshotError(ReproError):
 
 
 def encode_roots(roots: Dict[str, ClosureNode]) -> dict:
-    """Encode named closure roots as a post-order node list.
+    """Encode named closure roots as flat post-order arena segments.
 
     Shared subtrees are written once, preserving the kernel's sharing in
-    the file: snapshot size tracks *distinct* nodes, not traces.
+    the file: snapshot size tracks *distinct* nodes, not traces.  The
+    encoder exploits two arena invariants:
+
+    * ids are assigned children-first, so the reachable ids sorted
+      ascending **are** a valid post-order — no DFS bookkeeping;
+    * within a node's span, edges ascend by event id, and file event
+      indices are assigned by event-id *rank*, so each emitted edge list
+      ascends by file event index too (the decoder's fast path checks,
+      then relies on, this).
+
+    With numpy available the reachability sweep and the segment copy are
+    vectorised gathers over the arena arrays; the pure-Python path emits
+    byte-identical payloads.
     """
+    arena = None
+    for root in roots.values():
+        if root.arena is not None:
+            arena = root.arena
+            break
+    if arena is None:
+        arena = current_state().arena
+    root_ids = {slot: node_id(root, arena) for slot, root in roots.items()}
+    if _np is not None:
+        return _encode_bulk(arena, root_ids)
+    return _encode_sequential(arena, root_ids)
+
+
+def _encode_sequential(arena, root_ids: Dict[str, int]) -> dict:
+    """Pure-Python encoder (numpy-less hosts); same payload bytes."""
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
+
+    reachable = set()
+    stack: List[int] = []
+    for rid in root_ids.values():
+        if rid not in reachable:
+            reachable.add(rid)
+            stack.append(rid)
+    while stack:
+        nid = stack.pop()
+        start = edge_start[nid]
+        for k in range(start, start + edge_len[nid]):
+            child = edge_children[k]
+            if child not in reachable:
+                reachable.add(child)
+                stack.append(child)
+    order = sorted(reachable)
+    position = {nid: i for i, nid in enumerate(order)}
+
+    used: set = set()
+    for nid in order:
+        start = edge_start[nid]
+        used.update(edge_events[start : start + edge_len[nid]])
+    used_eids = sorted(used)
+    rank = {eid: i for i, eid in enumerate(used_eids)}
+
+    arity: List[int] = []
+    flat_events: List[int] = []
+    flat_children: List[int] = []
+    for nid in order:
+        start = edge_start[nid]
+        length = edge_len[nid]
+        arity.append(length)
+        for k in range(start, start + length):
+            flat_events.append(rank[edge_events[k]])
+            flat_children.append(position[edge_children[k]])
+
+    return {
+        "events": [serialize.encode(arena.events[eid]) for eid in used_eids],
+        "arity": serialize.pack_ints(arity),
+        "edge_events": serialize.pack_ints(flat_events),
+        "edge_children": serialize.pack_ints(flat_children),
+        "counts": serialize.pack_ints64([arena.counts[nid] for nid in order]),
+        "heights": serialize.pack_ints([arena.heights[nid] for nid in order]),
+        "roots": {slot: position[rid] for slot, rid in root_ids.items()},
+    }
+
+
+def _as_i32(values) -> "array":
+    """A native ``array('i')`` spliced from a numpy buffer (C-level)."""
+    out = array("i")
+    out.frombytes(values.astype(_np.int32, copy=False).tobytes())
+    return out
+
+
+def _encode_bulk(arena, root_ids: Dict[str, int]) -> dict:
+    """Vectorised encoder: frontier reachability sweep + ragged gather."""
+    np = _np
+    es = np.frombuffer(arena.edge_start, dtype=np.int32).astype(np.int64)
+    el = np.frombuffer(arena.edge_len, dtype=np.int32).astype(np.int64)
+    ee = np.frombuffer(arena.edge_events, dtype=np.int32)
+    ec = np.frombuffer(arena.edge_children, dtype=np.int32)
+
+    n = arena.node_count()
+    seen = np.zeros(n, dtype=bool)
+    frontier = np.unique(np.fromiter(root_ids.values(), dtype=np.int64))
+    seen[frontier] = True
+    mark = np.zeros(n, dtype=bool)  # per-wave dedupe scratch (no sorting)
+    while frontier.size:
+        lens = el[frontier]
+        total = int(lens.sum())
+        if not total:
+            break
+        starts = es[frontier]
+        offs = np.zeros(frontier.size, dtype=np.int64)
+        np.cumsum(lens[:-1], out=offs[1:])
+        idx = np.repeat(starts - offs, lens) + np.arange(total)
+        children = ec[idx]
+        mark[:] = False
+        mark[children[~seen[children]]] = True
+        frontier = np.flatnonzero(mark)
+        seen[frontier] = True
+
+    order = np.flatnonzero(seen)  # ascending ids = valid post-order
+    lens = el[order]
+    total = int(lens.sum())
+    offs = np.zeros(order.size, dtype=np.int64)
+    np.cumsum(lens[:-1], out=offs[1:])
+    idx = np.repeat(es[order] - offs, lens) + np.arange(total)
+    ev = ee[idx]
+    ch = ec[idx]
+
+    used_eids = np.unique(ev)
+    rank = np.zeros(int(used_eids[-1]) + 1 if used_eids.size else 1, dtype=np.int32)
+    rank[used_eids] = np.arange(used_eids.size, dtype=np.int32)
+    position = np.zeros(int(order[-1]) + 1 if order.size else 1, dtype=np.int32)
+    position[order] = np.arange(order.size, dtype=np.int32)
+
+    counts = array("q")
+    counts.frombytes(
+        np.frombuffer(arena.counts, dtype=np.int64)[order].tobytes()
+    )
+    heights = np.frombuffer(arena.heights, dtype=np.int32)[order]
+
+    return {
+        "events": [serialize.encode(arena.events[int(e)]) for e in used_eids],
+        "arity": serialize.pack_ints(_as_i32(lens)),
+        "edge_events": serialize.pack_ints(_as_i32(rank[ev])),
+        "edge_children": serialize.pack_ints(_as_i32(position[ch])),
+        "counts": serialize.pack_ints64(counts),
+        "heights": serialize.pack_ints(_as_i32(heights)),
+        "roots": {
+            slot: int(position[rid]) for slot, rid in root_ids.items()
+        },
+    }
+
+
+def decode_roots(data: dict) -> Dict[str, ClosureNode]:
+    """Decode :func:`encode_roots` output, re-interning every node into
+    the current kernel state's arena.
+
+    Raises :class:`SnapshotError` on any structural defect; never
+    returns partially decoded state.  Nothing from the file is trusted:
+    segments must align, every child index must respect post-order,
+    every event index must hit the table, and every node goes back
+    through the interner's packed-key gate.
+    """
+    try:
+        events = [serialize.decode(e) for e in data["events"]]
+        if not all(isinstance(e, Event) for e in events):
+            raise SnapshotError("event table holds a non-event")
+        arity = serialize.unpack_ints(data["arity"])
+        flat_events = serialize.unpack_ints(data["edge_events"])
+        flat_children = serialize.unpack_ints(data["edge_children"])
+        if len(flat_events) != len(flat_children):
+            raise SnapshotError(
+                f"edge segments disagree: {len(flat_events)} events vs "
+                f"{len(flat_children)} children"
+            )
+        if sum(arity) != len(flat_events):
+            raise SnapshotError(
+                f"arity total {sum(arity)} does not cover "
+                f"{len(flat_events)} edges"
+            )
+        counts = serialize.unpack_ints64(data["counts"])
+        heights = serialize.unpack_ints(data["heights"])
+        if len(counts) != len(arity) or len(heights) != len(arity):
+            raise SnapshotError(
+                f"counts/heights segments hold {len(counts)}/{len(heights)} "
+                f"entries for {len(arity)} nodes"
+            )
+        arena = current_state().arena
+        eids = [arena.intern_event(e) for e in events]
+        ids: Optional[List[int]] = None
+        if _np is not None and len(arity) and array("i").itemsize == 4:
+            ids = _decode_bulk(
+                arena, eids, arity, flat_events, flat_children, counts, heights
+            )
+        if ids is None:
+            ids = _decode_sequential(
+                arena, eids, arity, flat_events, flat_children, counts, heights
+            )
+        roots: Dict[str, ClosureNode] = {}
+        for slot, idx in data["roots"].items():
+            if not isinstance(slot, str) or not 0 <= idx < len(ids):
+                raise SnapshotError(f"bad root entry {slot!r}: {idx!r}")
+            roots[slot] = arena.view(ids[idx])
+        return roots
+    except SnapshotError:
+        raise
+    except (serialize.SerializationError, ReproError) as exc:
+        raise SnapshotError(f"undecodable snapshot payload: {exc}") from exc
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
+        raise SnapshotError(f"malformed snapshot payload: {exc!r}") from exc
+
+
+def _decode_sequential(
+    arena, eids, arity, flat_events, flat_children, counts, heights
+):
+    """Per-node decode through :meth:`Arena.intern` — the path every
+    host has, and the fallback whenever the bulk path cannot apply
+    (numpy missing, nodes already interned, odd payloads).  The file's
+    ``counts``/``heights`` segments are cross-checked against the values
+    the interner derives — a node whose stored metadata disagrees with
+    its own edge tables rejects the whole payload."""
+    n_events = len(eids)
+    ids: List[int] = []
+    append = ids.append
+    intern = arena.intern
+    arena_counts = arena.counts
+    arena_heights = arena.heights
+    pos = 0
+    for i, a in enumerate(arity):
+        if a < 0:
+            raise SnapshotError(f"negative arity {a} at node {i}")
+        pairs = []
+        for k in range(pos, pos + a):
+            ev = flat_events[k]
+            child = flat_children[k]
+            if not 0 <= ev < n_events:
+                raise SnapshotError(f"bad event index {ev} at node {i}")
+            if not 0 <= child < i:
+                raise SnapshotError(
+                    f"child index {child} breaks post-order"
+                )
+            pairs.append((eids[ev], ids[child]))
+        pos += a
+        pairs.sort()
+        flat: List[int] = []
+        for j, (eid, cid) in enumerate(pairs):
+            if j and eid == pairs[j - 1][0]:
+                raise SnapshotError(
+                    f"duplicate event on node {i}: two edges share one "
+                    f"event index"
+                )
+            flat.append(eid)
+            flat.append(cid)
+        nid = intern(flat)
+        if arena_counts[nid] != counts[i] or arena_heights[nid] != heights[i]:
+            raise SnapshotError(
+                f"counts/heights disagree with edge tables at node {i}"
+            )
+        append(nid)
+    return ids
+
+
+def _decode_bulk(arena, eids, arity, flat_events, flat_children, counts, heights):
+    """Vectorised decode: validate every structural property of the
+    payload with numpy, then splice whole segments into the arena via
+    :meth:`Arena.append_rows`.
+
+    Validation is *not* weakened — bounds, post-order, per-node event
+    sortedness/distinctness, counts/heights consistency, and
+    interner-key freshness are all checked before a single byte is
+    appended; the packed keys registered are byte-identical to what
+    per-node :meth:`Arena.intern` would compute, so the decoded rows are
+    canonical by construction.  The ``counts``/``heights`` recurrences
+    have exactly one solution over a post-order file, so checking each
+    node's stored value against its children's stored values — one
+    ``reduceat`` sweep, no fixpoint — proves the segments correct before
+    they are spliced in verbatim.  Returns ``None`` (caller falls back
+    to the sequential path) whenever the batch cannot be appended
+    wholesale: per-node events arrive unsorted, the file repeats a node,
+    or any node is already interned (warm arena).
+    """
+    np = _np
+    arity_np = np.frombuffer(arity, dtype=np.int32)
+    fe = np.frombuffer(flat_events, dtype=np.int32)
+    fc = np.frombuffer(flat_children, dtype=np.int32)
+    n_nodes = len(arity_np)
+    if arity_np.size and int(arity_np.min()) < 0:
+        i = int(np.argmin(arity_np))
+        raise SnapshotError(f"negative arity {int(arity_np[i])} at node {i}")
+    node_of_edge = np.repeat(np.arange(n_nodes, dtype=np.int64), arity_np)
+    n_events = len(eids)
+    bad = (fe < 0) | (fe >= n_events)
+    if bad.any():
+        k = int(np.flatnonzero(bad)[0])
+        raise SnapshotError(
+            f"bad event index {int(fe[k])} at node {int(node_of_edge[k])}"
+        )
+    bad = (fc < 0) | (fc >= node_of_edge)
+    if bad.any():
+        k = int(np.flatnonzero(bad)[0])
+        raise SnapshotError(f"child index {int(fc[k])} breaks post-order")
+
+    loc = np.asarray(eids, dtype=np.int64)[fe] if fe.size else fe.astype(np.int64)
+    within = node_of_edge[1:] == node_of_edge[:-1]
+    step = loc[1:] - loc[:-1]
+    if bool(np.any((step < 0) & within)):
+        return None  # events unsorted inside a node: sort + re-validate
+    dup = (step == 0) & within
+    if bool(dup.any()):
+        k = int(np.flatnonzero(dup)[0])
+        raise SnapshotError(
+            f"duplicate event on node {int(node_of_edge[k])}: two edges "
+            f"share one event index"
+        )
+
+    new_mask = arity_np > 0
+    n_new = int(new_mask.sum())
+    counts_np = np.frombuffer(counts, dtype=np.int64)
+    heights_np = np.frombuffer(heights, dtype=np.int32).astype(np.int64)
+    leaf_rows = ~new_mask
+    if not (
+        bool(np.all(counts_np[leaf_rows] == 1))
+        and bool(np.all(heights_np[leaf_rows] == 0))
+    ):
+        raise SnapshotError("counts/heights disagree with edge tables")
+    if n_new == 0:
+        return [0] * n_nodes
+    edge_offs = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(arity_np, out=edge_offs[1:])
+    starts = edge_offs[:-1][new_mask]
+    # One sweep suffices: children precede parents, and the count/height
+    # recurrences have a unique solution, so node-local consistency of
+    # the *stored* values proves them all correct.
+    want_counts = 1 + np.add.reduceat(counts_np[fc], starts)
+    want_heights = np.maximum.reduceat(heights_np[fc] + 1, starts)
+    if not (
+        np.array_equal(want_counts, counts_np[new_mask])
+        and np.array_equal(want_heights, heights_np[new_mask])
+    ):
+        raise SnapshotError("counts/heights disagree with edge tables")
+
+    base = arena.node_count()
+    if base + n_new > 2**31 - 1 or len(arena.edge_events) + fe.size > 2**31 - 1:
+        return None  # would overflow 32-bit segments (absurd scale)
+    ids_np = np.zeros(n_nodes, dtype=np.int64)
+    ids_np[new_mask] = base + np.arange(n_new, dtype=np.int64)
+    cid = ids_np[fc]
+    loc32 = loc.astype(np.int32)
+    interleaved = np.empty(2 * fe.size, dtype=np.int32)
+    interleaved[0::2] = loc32
+    interleaved[1::2] = cid.astype(np.int32)
+    buf = interleaved.tobytes()
+
+    byte_offs = (edge_offs * 8).tolist()
+    keys = [buf[a:b] for a, b in zip(byte_offs, byte_offs[1:]) if a != b]
+    interner = arena.interner
+    distinct = set(keys)
+    if len(distinct) != n_new or not interner.keys().isdisjoint(distinct):
+        return None  # repeated or already-interned nodes: dedupe per node
+
+    arena_starts = len(arena.edge_events) + starts
+    got = arena.append_rows(
+        n_new,
+        loc32.tobytes(),
+        interleaved[1::2].tobytes(),
+        arena_starts.astype(np.int32).tobytes(),
+        arity_np[new_mask].tobytes(),
+        counts_np[new_mask].tobytes(),
+        heights_np[new_mask].astype(np.int32).tobytes(),
+        keys,
+    )
+    assert got == base
+    from repro.traces.stats import KERNEL_STATS
+
+    KERNEL_STATS.interner_hits += n_nodes - n_new
+    return ids_np.tolist()
+
+
+# ---------------------------------------------------------------------------
+# legacy format-1 codec (read path only)
+# ---------------------------------------------------------------------------
+
+
+def encode_roots_legacy(roots: Dict[str, ClosureNode]) -> dict:
+    """The format-1 object-walk encoder — kept for the legacy round-trip
+    tests and the snapshot codec benchmark; :meth:`SnapshotCache.save`
+    always writes format 2."""
     events: List[Event] = []
     event_index: Dict[Event, int] = {}
     nodes: List[List[List[int]]] = []
@@ -95,12 +509,9 @@ def encode_roots(roots: Dict[str, ClosureNode]) -> dict:
     }
 
 
-def decode_roots(data: dict) -> Dict[str, ClosureNode]:
-    """Decode :func:`encode_roots` output, re-interning every node.
-
-    Raises :class:`SnapshotError` on any structural defect; never
-    returns partially decoded state.
-    """
+def decode_roots_legacy(data: dict) -> Dict[str, ClosureNode]:
+    """Decode a format-1 payload (nested node list), re-interning every
+    node — pre-arena snapshots stay loadable under the same cache key."""
     try:
         events = [serialize.decode(e) for e in data["events"]]
         if not all(isinstance(e, Event) for e in events):
@@ -136,10 +547,13 @@ def cache_key(definitions: Any, config: Any, extra: Any = None) -> str:
     definition list itself, the denotation config (depth, sample,
     hide-depth), and caller-provided extras (environment ``--set``
     bindings, protocol flags).  Hash collisions aside, equal keys imply
-    equal denotations — the invariant the cache relies on.
+    equal denotations — the invariant the cache relies on.  The hashed
+    version is :data:`KEY_VERSION`, not the file layout version, so
+    re-encoding the same content in a newer layout keeps the key (and
+    the legacy fallback reachable).
     """
     payload = {
-        "version": FORMAT_VERSION,
+        "version": KEY_VERSION,
         "definitions": serialize.encode(definitions),
         "config": [config.depth, config.sample, config.hide_depth],
         "extra": extra,
@@ -207,11 +621,17 @@ class SnapshotCache:
             data = json.loads(raw)
             if not isinstance(data, dict):
                 raise SnapshotError("payload is not an object")
-            if data.get("format") != FORMAT_VERSION:
-                raise SnapshotError(f"format {data.get('format')!r}")
             if data.get("key") != self.key:
                 raise SnapshotError("key mismatch")
-            self._roots = decode_roots(data)
+            fmt = data.get("format")
+            if fmt == FORMAT_VERSION:
+                self._roots = decode_roots(data)
+            elif fmt == 1:
+                # Pre-arena snapshot under the same content key: load it
+                # through the legacy codec; the next save rewrites flat.
+                self._roots = decode_roots_legacy(data)
+            else:
+                raise SnapshotError(f"format {fmt!r}")
             self.loaded = True
         except (json.JSONDecodeError, SnapshotError, ReproError):
             # Corrupted, stale, or foreign snapshot: rebuild from scratch.

@@ -5,8 +5,9 @@ Every hash-consed node construction and every per-operator memo table in
 the process-wide :class:`KernelStats` singleton.  The counters answer the
 questions every later performance PR needs answered first:
 
-* how large is the interner (distinct subtrees alive)?
-* how often does hash-consing pay (interner hits vs. fresh nodes)?
+* how large is the arena (distinct subtrees alive, flat segment bytes)?
+* how often does hash-consing pay (packed-key interner hits vs. fresh
+  nodes appended)?
 * which operator memo tables are hot, and what are their hit rates?
 
 ``repro stats`` (the CLI subcommand) prints :func:`format_stats` after a
@@ -87,6 +88,13 @@ class KernelStats:
 
         return interner_size()
 
+    def arena_info(self) -> Dict[str, int]:
+        """The current kernel state's arena account (see
+        :func:`repro.traces.trie.arena_info`)."""
+        from repro.traces.trie import arena_info
+
+        return arena_info()
+
     def snapshot(self) -> Dict[str, object]:
         """All counters as a JSON-friendly dict."""
         lookups = self.interner_hits + self.interner_misses
@@ -97,6 +105,7 @@ class KernelStats:
                 "misses": self.interner_misses,
                 "hit_rate": round(self.interner_hits / lookups, 4) if lookups else 0.0,
             },
+            "arena": dict(self.arena_info()),
             "memos": {
                 name: stats.as_dict() for name, stats in sorted(self.memos.items())
             },
@@ -136,11 +145,16 @@ def format_stats() -> str:
     """Human-readable counter report (the body of ``repro stats``)."""
     snap = KERNEL_STATS.snapshot()
     interner = snap["interner"]
+    arena = snap["arena"]
     lines = [
         "trace-trie kernel statistics",
         f"  interner: {interner['size']} nodes alive, "
-        f"{interner['hits']} hits / {interner['misses']} misses "
+        f"{interner['hits']} packed-key hits / {interner['misses']} misses "
         f"(hit rate {interner['hit_rate']:.1%})",
+        f"  arena: {arena['nodes']} nodes, {arena['edges']} edges in "
+        f"{arena['segment_bytes']} segment bytes; id tables: "
+        f"{arena['events']} events, {arena['channels']} channels; "
+        f"{arena['views']} views materialised",
     ]
     memos = snap["memos"]
     if memos:

@@ -1,36 +1,53 @@
-"""Hash-consed trace tries — the kernel representation of prefix closures.
+"""Arena trace-trie kernel — struct-of-arrays storage for prefix closures.
 
 A prefix-closed set of traces (paper §3.1) *is* a tree: the root is the
-empty trace, and a node has one child per event that can extend it.  A
-:class:`ClosureNode` is one such tree, immutable and **structurally
-hash-consed**: building a node whose (event → child) map was built before
-returns the existing object, so
+empty trace, and a node has one child per event that can extend it.  The
+kernel stores those trees in an :class:`Arena`: a node is an ``int`` id
+naming one row of a set of parallel ``array`` segments (edge span, trace
+count, height), its edges are ``(event id, child id)`` pairs in two flat
+edge tables, and events and channels are interned to small ints in id
+tables of their own.  Nodes are **structurally hash-consed**: interning
+is keyed on the packed bytes of the ``(event id, child id)`` edge list,
+so building a node that exists returns the existing id, and
 
 * identical subtrees are shared, storing a closure in space proportional
   to its *distinct* suffix behaviours rather than its trace count;
-* semantic equality of closures is **pointer equality** of roots, making
-  memo tables keyed on nodes O(1) and exact;
-* prefix closure holds **by construction** — every node reachable from a
-  root is itself a member, so there is nothing to verify at runtime.
+* semantic equality of closures is **id equality** (and pointer equality
+  of the per-id view objects), making memo tables keyed on ids O(1) and
+  exact;
+* prefix closure holds **by construction** — every id reachable from a
+  root names a member, so there is nothing to verify at runtime;
+* a node costs a handful of array slots instead of a Python object, a
+  dict, and a tuple — and snapshots become flat dumps of the arena
+  segments (:mod:`repro.traces.snapshot`).
 
-Interner and memo tables live in a :class:`KernelState`.  There is one
-global state; worker threads of the denotation engine swap in a private
-state via :func:`private_state` so concurrent interning needs no locks,
-then the main thread canonicalises their roots with :func:`reintern`.
-Interning is idempotent on structural keys, so re-interning a privately
-built trie into the global state yields exactly the node the global
-state would have built itself — per-worker states are an implementation
-detail, not a semantic one.
+:class:`ClosureNode` survives as a thin **view**: a lazily-materialised
+object over one ``(arena, id)`` pair, exposing the pre-arena object API
+(``items``, ``children``, ``count``, ``height``) so everything above the
+kernel keeps working unchanged.  Views are canonical per id —
+``arena.view(i)`` always returns the same object — so pointer identity
+of views coincides with id equality.
+
+Arena, interner, and memo tables live in a :class:`KernelState`.  There
+is one global state; worker threads of the denotation engine swap in a
+private state via :func:`private_state` so concurrent interning needs no
+locks, then the main thread canonicalises their roots with
+:func:`reintern`, which remaps both node ids and event ids.  **Arena ids
+are state-local**: using a view from one state inside another raises
+:class:`~repro.errors.KernelStateError` rather than silently aliasing —
+see :func:`node_id`.
 
 Operators over nodes live in :mod:`repro.traces.operations`; this module
-provides construction, interning, and the derived queries
-(:func:`iter_traces`, :func:`descend`, :func:`node_channels`).  All
-counters report into :mod:`repro.traces.stats`.
+provides construction, interning, the lattice operations, the delta
+primitives, and the derived queries (:func:`iter_traces`,
+:func:`descend`, :func:`node_channels`).  All counters report into
+:mod:`repro.traces.stats`.
 """
 
 from __future__ import annotations
 
 import threading
+from array import array
 from collections import deque
 from contextlib import contextmanager
 from typing import (
@@ -45,57 +62,306 @@ from typing import (
     Tuple,
 )
 
+from repro.errors import KernelStateError
 from repro.runtime import faults as _faults
 from repro.runtime import governor as _governor
 from repro.traces.events import EMPTY_TRACE, Channel, Event, Trace
 from repro.traces.stats import KERNEL_STATS
 
 
+def _item_sort_key(kv: Tuple[Event, "ClosureNode"]):
+    return kv[0].sort_key()
+
+
 class ClosureNode:
-    """One interned trie node = one prefix-closed trace set.
+    """A view over one interned arena node = one prefix-closed trace set.
 
     Never construct directly — go through :func:`make_node` (or the
-    operators), which intern structurally identical nodes.  Equality and
-    hashing are object identity, which interning makes coincide with
-    structural equality.
+    operators), which intern structurally identical nodes onto one id,
+    or :meth:`Arena.view`, which returns the canonical view per id.
+    Equality and hashing are object identity, which per-id view caching
+    makes coincide with structural equality within a kernel state.
+
+    ``items`` and ``children`` are materialised lazily from the arena's
+    edge tables on first access (sorted by event sort key, the
+    enumeration order the pre-arena kernel used) and cached on the view;
+    the hot operator paths never touch them — they run on ids.
     """
 
-    __slots__ = ("children", "items", "count", "height", "_channels")
+    __slots__ = ("arena", "id", "_items", "_children")
 
-    def __init__(self, items: Tuple[Tuple[Event, "ClosureNode"], ...]) -> None:
-        self.items = items
-        self.children: Dict[Event, ClosureNode] = dict(items)
-        self.count: int = 1 + sum(child.count for _, child in items)
-        self.height: int = (
-            1 + max(child.height for _, child in items) if items else 0
-        )
-        self._channels: Optional[FrozenSet[Channel]] = None
+    def __init__(self, arena: Optional["Arena"], nid: int) -> None:
+        self.arena = arena
+        self.id = nid
+        self._items: Optional[Tuple[Tuple[Event, "ClosureNode"], ...]] = None
+        self._children: Optional[Dict[Event, "ClosureNode"]] = None
+
+    @property
+    def items(self) -> Tuple[Tuple[Event, "ClosureNode"], ...]:
+        items = self._items
+        if items is None:
+            arena = self.arena
+            if arena is None:
+                items = ()
+            else:
+                start = arena.edge_start[self.id]
+                end = start + arena.edge_len[self.id]
+                edge_events = arena.edge_events
+                edge_children = arena.edge_children
+                events = arena.events
+                view = arena.view
+                pairs = [
+                    (events[edge_events[k]], view(edge_children[k]))
+                    for k in range(start, end)
+                ]
+                pairs.sort(key=_item_sort_key)
+                items = tuple(pairs)
+            self._items = items
+        return items
+
+    @property
+    def children(self) -> Dict[Event, "ClosureNode"]:
+        children = self._children
+        if children is None:
+            children = self._children = dict(self.items)
+        return children
+
+    @property
+    def count(self) -> int:
+        arena = self.arena
+        return arena.counts[self.id] if arena is not None else 1
+
+    @property
+    def height(self) -> int:
+        arena = self.arena
+        return arena.heights[self.id] if arena is not None else 0
 
     @property
     def is_leaf(self) -> bool:
-        return not self.items
+        arena = self.arena
+        return arena is None or arena.edge_len[self.id] == 0
 
     def __repr__(self) -> str:
         return f"ClosureNode(<{self.count} traces, height {self.height}>)"
 
 
-#: event → child-id pairs; children are interned first, so their ids are
-#: stable for as long as the interner holds them.
-_InternKey = Tuple[Tuple[Event, int], ...]
+#: ⟦STOP⟧ = {⟨⟩} — the leaf.  One singleton shared by every arena: node 0
+#: of every arena is the leaf, and every arena's ``view(0)`` is this
+#: object, so ``node is EMPTY_NODE`` stays meaningful across states.
+EMPTY_NODE: ClosureNode = ClosureNode(None, 0)
+
+
+class Arena:
+    """Struct-of-arrays node store: one trie kernel's entire population.
+
+    Parallel segments, indexed by node id:
+
+    * ``edge_start[i]`` / ``edge_len[i]`` — the node's span in the edge
+      tables;
+    * ``counts[i]`` — trace count (1 + Σ child counts);
+    * ``heights[i]`` — longest trace length.
+
+    Flat edge tables, indexed by edge position:
+
+    * ``edge_events[k]`` — event id of edge ``k``;
+    * ``edge_children[k]`` — child node id of edge ``k``.
+
+    Within a node's span, edges are sorted by **event id**, which makes
+    the packed edge list a canonical interning key per arena and lets
+    binary operators merge spans by linear int-walk instead of building
+    event-keyed dicts.  (Views re-sort by event *sort key* when
+    materialising ``items``, preserving the pre-arena enumeration
+    order.)
+
+    Id tables intern :class:`~repro.traces.events.Event` and
+    :class:`~repro.traces.events.Channel` values to dense ints;
+    ``event_channel[e]`` maps an event id to its channel id so ``hide``
+    and ``parallel`` classify edges without touching Event objects.
+
+    Node 0 is always the leaf (⟦STOP⟧), seeded at construction.
+    """
+
+    __slots__ = (
+        "edge_start",
+        "edge_len",
+        "edge_events",
+        "edge_children",
+        "counts",
+        "heights",
+        "interner",
+        "views",
+        "events",
+        "event_ids",
+        "event_channel",
+        "channels",
+        "channel_ids",
+        "channel_cache",
+    )
+
+    def __init__(self) -> None:
+        self.edge_start = array("i", [0])
+        self.edge_len = array("i", [0])
+        self.edge_events = array("i")
+        self.edge_children = array("i")
+        self.counts = array("q", [1])
+        self.heights = array("i", [0])
+        #: packed ``(event id, child id)`` byte key → node id.
+        self.interner: Dict[bytes, int] = {b"": 0}
+        #: node id → canonical view (sparse: only ids somebody viewed).
+        self.views: Dict[int, ClosureNode] = {0: EMPTY_NODE}
+        self.events: List[Event] = []
+        self.event_ids: Dict[Event, int] = {}
+        self.event_channel = array("i")
+        self.channels: List[Channel] = []
+        self.channel_ids: Dict[Channel, int] = {}
+        #: node id → frozenset of channels (for :func:`node_channels`).
+        self.channel_cache: Dict[int, FrozenSet[Channel]] = {0: frozenset()}
+
+    # -- id tables ---------------------------------------------------------
+
+    def intern_event(self, event: Event) -> int:
+        """The dense id of ``event``, registering it on first sight."""
+        eid = self.event_ids.get(event)
+        if eid is None:
+            cid = self.intern_channel(event.channel)
+            eid = len(self.events)
+            self.events.append(event)
+            self.event_channel.append(cid)
+            self.event_ids[event] = eid
+        return eid
+
+    def intern_channel(self, chan: Channel) -> int:
+        """The dense id of ``chan``, registering it on first sight."""
+        cid = self.channel_ids.get(chan)
+        if cid is None:
+            cid = len(self.channels)
+            self.channels.append(chan)
+            self.channel_ids[chan] = cid
+        return cid
+
+    # -- node interning ----------------------------------------------------
+
+    def intern(self, flat: List[int]) -> int:
+        """The id of the node with edge list ``flat`` — interleaved
+        ``[e0, c0, e1, c1, ...]`` pairs sorted by ascending event id.
+
+        The interning key is the packed bytes of ``flat``; hashing it is
+        a C-level byte hash, not a tuple-of-objects hash.  On a miss the
+        governed/fault-injected abort points fire *before* anything is
+        appended, and the segments are appended edges-first, node row
+        next, interner entry last — an abort can strand only unreachable
+        trailing edge slots, never a visible half node (the abort-safety
+        contract of docs/robustness.md).
+        """
+        key = array("i", flat).tobytes()
+        nid = self.interner.get(key)
+        if nid is not None:
+            KERNEL_STATS.interner_hits += 1
+            return nid
+        KERNEL_STATS.interner_misses += 1
+        _faults.maybe_fail("trie.intern")
+        _governor.note_node()
+        counts = self.counts
+        heights = self.heights
+        count = 1
+        height = 0
+        for i in range(1, len(flat), 2):
+            child = flat[i]
+            count += counts[child]
+            h = heights[child] + 1
+            if h > height:
+                height = h
+        nid = len(self.edge_start)
+        start = len(self.edge_events)
+        self.edge_events.extend(flat[0::2])
+        self.edge_children.extend(flat[1::2])
+        self.edge_start.append(start)
+        self.edge_len.append(len(flat) // 2)
+        counts.append(count)
+        heights.append(height)
+        self.interner[key] = nid
+        return nid
+
+    def append_rows(
+        self,
+        n: int,
+        edge_events_b: bytes,
+        edge_children_b: bytes,
+        edge_start_b: bytes,
+        edge_len_b: bytes,
+        counts_b: bytes,
+        heights_b: bytes,
+        keys: List[bytes],
+    ) -> int:
+        """Bulk-append ``n`` pre-validated node rows; returns the first
+        new id (rows get ids ``base .. base+n-1`` in order).
+
+        This is the snapshot decoder's fast path: segment buffers arrive
+        as raw native-order bytes (``'i'`` rows, ``'q'`` counts) and are
+        spliced in with C-level ``frombytes``.  The caller guarantees
+        everything :meth:`intern` would otherwise establish row by row —
+        each key is the packed edge list of its row, absent from the
+        interner and pairwise distinct; edges sorted by ascending event
+        id; counts/heights consistent; ``edge_start`` offset by the
+        current edge count.  The abort points fire once, up front: a
+        budget trip or injected fault admits *none* of the batch, so the
+        edges-before-row-before-interner contract of :meth:`intern`
+        carries over unchanged.
+        """
+        _faults.maybe_fail("trie.intern")
+        _governor.note_nodes(n)
+        base = len(self.edge_start)
+        self.edge_events.frombytes(edge_events_b)
+        self.edge_children.frombytes(edge_children_b)
+        self.edge_start.frombytes(edge_start_b)
+        self.edge_len.frombytes(edge_len_b)
+        self.counts.frombytes(counts_b)
+        self.heights.frombytes(heights_b)
+        self.interner.update(zip(keys, range(base, base + n)))
+        KERNEL_STATS.interner_misses += n
+        return base
+
+    def view(self, nid: int) -> ClosureNode:
+        """The canonical view object for ``nid`` (one per id, forever)."""
+        node = self.views.get(nid)
+        if node is None:
+            node = self.views[nid] = ClosureNode(self, nid)
+        return node
+
+    # -- accounting --------------------------------------------------------
+
+    def node_count(self) -> int:
+        return len(self.edge_start)
+
+    def segment_bytes(self) -> int:
+        """Bytes held by the arena's array segments (the flat storage the
+        object kernel used to spend per-node Python objects on)."""
+        return sum(
+            arr.itemsize * len(arr)
+            for arr in (
+                self.edge_start,
+                self.edge_len,
+                self.edge_events,
+                self.edge_children,
+                self.counts,
+                self.heights,
+                self.event_channel,
+            )
+        )
 
 
 class KernelState:
-    """An interner plus its identity-keyed memo tables.
+    """An arena plus its id-keyed memo tables.
 
-    Memo keys hold node ids, so memos are only valid against the interner
-    whose nodes they reference — clearing or swapping the interner must
-    drop the memos with it, which is why they live together.
+    Memo keys hold node ids, so memos are only valid against the arena
+    whose rows they reference — clearing or swapping the arena must drop
+    the memos with it, which is why they live together.
     """
 
-    __slots__ = ("interner", "memos")
+    __slots__ = ("arena", "memos")
 
     def __init__(self) -> None:
-        self.interner: Dict[_InternKey, ClosureNode] = {}
+        self.arena = Arena()
         self.memos: Dict[str, Dict] = {}
 
     def memo(self, name: str) -> Dict:
@@ -114,6 +380,11 @@ def _state() -> KernelState:
     return getattr(_TLS, "state", None) or _GLOBAL
 
 
+def current_state() -> KernelState:
+    """The kernel state the calling thread is running against."""
+    return _state()
+
+
 def memo_table(name: str) -> Dict:
     """The current state's memo table for ``name`` (resolved once per
     top-level operator call, then threaded through the recursion)."""
@@ -126,85 +397,146 @@ def private_state() -> Iterator[KernelState]:
 
     Nodes built inside are interned privately (no contention with other
     threads); canonicalise their roots afterwards with :func:`reintern`
-    on the thread that owns the target state.  :data:`EMPTY_NODE` is
-    seeded so the ⟦STOP⟧ closure stays canonical everywhere.
+    on the thread that owns the target state.  The private arena seeds
+    its own node 0, and ``view(0)`` is :data:`EMPTY_NODE` everywhere, so
+    the ⟦STOP⟧ closure stays canonical across states.
+
+    **Arena ids are state-local.**  A view that leaks out of the
+    ``with`` block (or into it, from the ambient state) is only readable
+    — iterating its traces still works, because the view carries its
+    arena.  But passing it to any constructing operator running against
+    a different state raises :class:`~repro.errors.KernelStateError`:
+    its id names a row of the *other* arena, and using the bare int here
+    would silently alias an unrelated node.  Cross the boundary with
+    :func:`reintern`, which rebuilds the structure under this state's
+    node and event ids.
     """
     previous = getattr(_TLS, "state", None)
-    state = KernelState()
-    state.interner[()] = EMPTY_NODE
-    _TLS.state = state
+    _TLS.state = KernelState()
     try:
-        yield state
+        yield _TLS.state
     finally:
         _TLS.state = previous
 
 
-def make_node(children: Mapping[Event, "ClosureNode"]) -> ClosureNode:
+def node_id(node: ClosureNode, arena: Arena) -> int:
+    """``node``'s id in ``arena`` — the entry gate every operator passes
+    views through.  :data:`EMPTY_NODE` is id 0 in every arena; any other
+    foreign view raises :class:`~repro.errors.KernelStateError` (see
+    :func:`private_state`)."""
+    if node.arena is arena:
+        return node.id
+    if node.arena is None:
+        return 0
+    raise KernelStateError(
+        "trie node used across kernel states: arena ids are state-local "
+        "(a node built under private_state() or before clear_interner() "
+        "must be carried over with reintern(), not used directly)"
+    )
+
+
+def make_node(children: Mapping[Event, ClosureNode]) -> ClosureNode:
     """The interned node with exactly the given children."""
-    items = tuple(sorted(children.items(), key=lambda kv: kv[0].sort_key()))
-    key: _InternKey = tuple((event, id(child)) for event, child in items)
-    interner = _state().interner
-    node = interner.get(key)
-    if node is not None:
-        KERNEL_STATS.interner_hits += 1
-        return node
-    KERNEL_STATS.interner_misses += 1
-    # Governed/fault-injected runs may abort here; nothing has been
-    # inserted yet, so the interner stays consistent (exception safety).
-    _faults.maybe_fail("trie.intern")
-    _governor.note_node()
-    node = ClosureNode(items)
-    interner[key] = node
-    return node
-
-
-#: ⟦STOP⟧ = {⟨⟩} — the leaf, shared by every trie and every kernel state.
-EMPTY_NODE: ClosureNode = make_node({})
+    if not children:
+        return EMPTY_NODE
+    arena = _state().arena
+    intern_event = arena.intern_event
+    pairs = sorted(
+        (intern_event(event), node_id(child, arena))
+        for event, child in children.items()
+    )
+    flat: List[int] = []
+    for eid, cid in pairs:
+        flat.append(eid)
+        flat.append(cid)
+    return arena.view(arena.intern(flat))
 
 
 def interner_size() -> int:
     """Number of distinct subtrees interned in the current state."""
-    return len(_state().interner)
+    return _state().arena.node_count()
+
+
+def arena_info() -> Dict[str, int]:
+    """Size account of the current state's arena: node/edge rows, flat
+    segment bytes, id-table sizes, and views materialised."""
+    arena = _state().arena
+    return {
+        "nodes": arena.node_count(),
+        "edges": len(arena.edge_events),
+        "segment_bytes": arena.segment_bytes(),
+        "events": len(arena.events),
+        "channels": len(arena.channels),
+        "views": len(arena.views),
+    }
 
 
 def clear_interner() -> None:
-    """Drop every interned node and memo table of the current state.
+    """Drop the current state's arena — every node row, the edge tables,
+    the event/channel id tables — and every memo table, by installing a
+    fresh arena.  Only for benchmarks and tests that need a cold kernel.
 
-    Only for benchmarks and tests that need a cold kernel;
-    :data:`EMPTY_NODE` is re-interned so existing references stay
-    canonical.
+    Views from the discarded generation remain *readable* (they carry
+    their arena), but using one where a new node would be built raises
+    :class:`~repro.errors.KernelStateError` — a stale id must never
+    silently alias a row of the new arena.  :data:`EMPTY_NODE` is
+    arena-agnostic and stays canonical.
     """
     state = _state()
-    state.interner.clear()
+    state.arena = Arena()
     state.memos.clear()
-    state.interner[()] = EMPTY_NODE
 
 
 def reintern(node: ClosureNode) -> ClosureNode:
     """The canonical equivalent of ``node`` in the *current* state.
 
-    Re-interns bottom-up with an explicit stack (deep tries are
-    legitimate inputs).  Because interning keys are structural, this is
-    idempotent: a node already canonical in the current state maps to
-    itself, and two structurally equal foreign nodes map to the same
-    canonical node — the property that makes per-worker interners sound.
+    A view of the current arena is already canonical (interning is keyed
+    structurally, so per-arena ids are unique per structure) and maps to
+    itself.  A foreign view is rebuilt bottom-up with an explicit stack
+    (deep tries are legitimate inputs), remapping the foreign arena's
+    event ids to this arena's through the Event objects themselves —
+    two structurally equal foreign nodes land on the same local id, the
+    property that makes per-worker arenas sound.
     """
-    memo: Dict[int, ClosureNode] = {}
-    stack: List[Tuple[ClosureNode, bool]] = [(node, False)]
+    arena = _state().arena
+    source = node.arena
+    if source is arena or source is None:
+        return node
+    src_events = source.edge_events
+    src_children = source.edge_children
+    src_start = source.edge_start
+    src_len = source.edge_len
+    intern_event = arena.intern_event
+    event_map: Dict[int, int] = {}
+    node_map: Dict[int, int] = {0: 0}
+    stack: List[Tuple[int, bool]] = [(node.id, False)]
     while stack:
-        current, expanded = stack.pop()
-        if id(current) in memo:
+        nid, expanded = stack.pop()
+        if nid in node_map:
             continue
+        start = src_start[nid]
+        end = start + src_len[nid]
         if expanded:
-            memo[id(current)] = make_node(
-                {event: memo[id(child)] for event, child in current.items}
-            )
+            pairs = []
+            for k in range(start, end):
+                eid = src_events[k]
+                local = event_map.get(eid)
+                if local is None:
+                    local = event_map[eid] = intern_event(source.events[eid])
+                pairs.append((local, node_map[src_children[k]]))
+            pairs.sort()
+            flat: List[int] = []
+            for e, c in pairs:
+                flat.append(e)
+                flat.append(c)
+            node_map[nid] = arena.intern(flat)
             continue
-        stack.append((current, True))
-        for _, child in current.items:
-            if id(child) not in memo:
+        stack.append((nid, True))
+        for k in range(start, end):
+            child = src_children[k]
+            if child not in node_map:
                 stack.append((child, False))
-    return memo[id(node)]
+    return arena.view(node_map[node.id])
 
 
 # -- construction -----------------------------------------------------------
@@ -216,31 +548,37 @@ def node_from_traces(traces: Iterable[Trace]) -> ClosureNode:
     Closure is automatic: inserting a trace creates every node along its
     path, i.e. every prefix.
     """
+    arena = _state().arena
+    intern_event = arena.intern_event
     root: Dict = {}
     for s in traces:
         level = root
         for event in s:
-            level = level.setdefault(event, {})
-    return _intern_tree(root)
-
-
-def _intern_tree(tree: Dict) -> ClosureNode:
-    """Intern a nested-dict trie bottom-up with an explicit stack, so a
-    trace of any length can be inserted without touching the interpreter
-    recursion limit (deep linear processes are legitimate inputs)."""
-    if not tree:
+            level = level.setdefault(intern_event(event), {})
+    if not root:
         return EMPTY_NODE
-    interned: Dict[int, ClosureNode] = {}
+    return arena.view(_intern_tree(arena, root))
+
+
+def _intern_tree(arena: Arena, tree: Dict) -> int:
+    """Intern a nested ``{event id: subtree}`` dict bottom-up with an
+    explicit stack, so a trace of any length can be inserted without
+    touching the interpreter recursion limit (deep linear processes are
+    legitimate inputs)."""
+    interned: Dict[int, int] = {}
     stack: List[Tuple[Dict, bool]] = [(tree, False)]
     while stack:
         subtree, expanded = stack.pop()
         if expanded:
-            interned[id(subtree)] = make_node(
-                {
-                    event: interned[id(sub)] if sub else EMPTY_NODE
-                    for event, sub in subtree.items()
-                }
+            pairs = sorted(
+                (eid, interned[id(sub)] if sub else 0)
+                for eid, sub in subtree.items()
             )
+            flat: List[int] = []
+            for e, c in pairs:
+                flat.append(e)
+                flat.append(c)
+            interned[id(subtree)] = arena.intern(flat)
             continue
         stack.append((subtree, True))
         for sub in subtree.values():
@@ -250,6 +588,11 @@ def _intern_tree(tree: Dict) -> ClosureNode:
 
 
 # -- derived queries --------------------------------------------------------
+#
+# The enumeration queries run over views (they exist to hand Event
+# objects and traces back to callers anyway) and therefore also work on
+# stale or foreign views: reading never constructs, so it never needs
+# the current state.
 
 
 def descend(node: ClosureNode, s: Trace) -> Optional[ClosureNode]:
@@ -285,29 +628,42 @@ def iter_trace_set(node: ClosureNode) -> FrozenSet[Trace]:
 
 
 def node_channels(node: ClosureNode) -> FrozenSet[Channel]:
-    """All channels occurring anywhere in the trie (cached per node;
-    shared subtrees are visited once).  Computed bottom-up with an
+    """All channels occurring anywhere in the trie (cached per id in the
+    arena; shared subtrees are visited once).  Computed bottom-up with an
     explicit stack so arbitrarily deep tries cannot overflow."""
-    cached = node._channels
+    arena = node.arena
+    if arena is None:
+        return frozenset()
+    cache = arena.channel_cache
+    cached = cache.get(node.id)
     if cached is not None:
         return cached
-    stack: List[Tuple[ClosureNode, bool]] = [(node, False)]
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
+    event_channel = arena.event_channel
+    channels = arena.channels
+    stack: List[Tuple[int, bool]] = [(node.id, False)]
     while stack:
-        current, expanded = stack.pop()
-        if current._channels is not None:
+        nid, expanded = stack.pop()
+        if nid in cache:
             continue
+        start = edge_start[nid]
+        end = start + edge_len[nid]
         if expanded:
             chans = set()
-            for event, child in current.items:
-                chans.add(event.channel)
-                chans |= child._channels  # type: ignore[arg-type]
-            current._channels = frozenset(chans)
+            for k in range(start, end):
+                chans.add(channels[event_channel[edge_events[k]]])
+                chans |= cache[edge_children[k]]
+            cache[nid] = frozenset(chans)
             continue
-        stack.append((current, True))
-        for _, child in current.items:
-            if child._channels is None:
+        stack.append((nid, True))
+        for k in range(start, end):
+            child = edge_children[k]
+            if child not in cache:
                 stack.append((child, False))
-    return node._channels  # type: ignore[return-value]
+    return cache[node.id]
 
 
 def maximal_traces(node: ClosureNode) -> FrozenSet[Trace]:
@@ -330,6 +686,28 @@ def _walk_with_prefix(
             queue.append((prefix + (event,), child))
 
 
+def distinct_nodes(node: ClosureNode) -> int:
+    """Number of *distinct* nodes reachable from ``node`` — the kernel's
+    actual storage cost, as opposed to ``node.count`` traces."""
+    arena = node.arena
+    if arena is None:
+        return 1
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
+    seen = {node.id}
+    stack = [node.id]
+    while stack:
+        nid = stack.pop()
+        start = edge_start[nid]
+        for k in range(start, start + edge_len[nid]):
+            child = edge_children[k]
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return len(seen)
+
+
 # -- lattice operations (§3.1) ---------------------------------------------
 #
 # The lattice structure lives in the kernel (rather than in
@@ -337,86 +715,139 @@ def _walk_with_prefix(
 # the operator layer imports FiniteClosure.  Each public operator resolves
 # its memo table from the current kernel state once, then threads it
 # through the recursion — per-call resolution would cost a thread-local
-# lookup on every node visit.
+# lookup on every node visit.  The recursions run on bare ids: node spans
+# are edge lists sorted by event id, so a binary operator is a linear
+# merge-walk over two int spans, and memo keys are small int tuples.
 
 
 def union_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
     """``P ∪ Q`` — prefix closures are closed under union (§3.1).
 
-    Shared subtrees are merged once: recursion is memoised on the node
-    *pair*, and pointer-equal arguments short-circuit immediately.
+    Shared subtrees are merged once: recursion is memoised on the id
+    *pair*, and equal ids short-circuit immediately.
     """
-    if a is b:
+    state = _state()
+    arena = state.arena
+    ai = node_id(a, arena)
+    bi = node_id(b, arena)
+    if ai == bi or bi == 0:
         return a
-    if a is EMPTY_NODE:
+    if ai == 0:
         return b
-    if b is EMPTY_NODE:
-        return a
-    return _union(a, b, _state().memo("union"), KERNEL_STATS.memo("union"))
+    rid = union_ids(
+        arena, ai, bi, state.memo("union"), KERNEL_STATS.memo("union")
+    )
+    return arena.view(rid)
 
 
-def _union(a: ClosureNode, b: ClosureNode, memo: Dict, stats) -> ClosureNode:
-    if a is b:
+def union_ids(arena: Arena, a: int, b: int, memo: Dict, stats) -> int:
+    if a == b:
         return a
-    if a is EMPTY_NODE:
+    if a == 0:
         return b
-    if b is EMPTY_NODE:
+    if b == 0:
         return a
-    key = (a, b) if id(a) <= id(b) else (b, a)
+    key = (a, b) if a <= b else (b, a)
     cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
         return cached
     stats.misses += 1
-    children = dict(a.children)
-    for event, b_child in b.items:
-        a_child = children.get(event)
-        children[event] = _union(a_child, b_child, memo, stats) if a_child else b_child
-    result = make_node(children)
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
+    ka = edge_start[a]
+    ea = ka + edge_len[a]
+    kb = edge_start[b]
+    eb = kb + edge_len[b]
+    flat: List[int] = []
+    while ka < ea and kb < eb:
+        eva = edge_events[ka]
+        evb = edge_events[kb]
+        if eva == evb:
+            flat.append(eva)
+            flat.append(
+                union_ids(arena, edge_children[ka], edge_children[kb], memo, stats)
+            )
+            ka += 1
+            kb += 1
+        elif eva < evb:
+            flat.append(eva)
+            flat.append(edge_children[ka])
+            ka += 1
+        else:
+            flat.append(evb)
+            flat.append(edge_children[kb])
+            kb += 1
+    while ka < ea:
+        flat.append(edge_events[ka])
+        flat.append(edge_children[ka])
+        ka += 1
+    while kb < eb:
+        flat.append(edge_events[kb])
+        flat.append(edge_children[kb])
+        kb += 1
+    result = arena.intern(flat)
     memo[key] = result
     return result
 
 
 def intersect_nodes(a: ClosureNode, b: ClosureNode) -> ClosureNode:
     """``P ∩ Q`` — closed under intersection (§3.1)."""
-    if a is b:
+    state = _state()
+    arena = state.arena
+    ai = node_id(a, arena)
+    bi = node_id(b, arena)
+    if ai == bi:
         return a
-    if a is EMPTY_NODE or b is EMPTY_NODE:
+    if ai == 0 or bi == 0:
         return EMPTY_NODE
-    return _intersect(
-        a, b, _state().memo("intersection"), KERNEL_STATS.memo("intersection")
+    rid = intersect_ids(
+        arena, ai, bi, state.memo("intersection"), KERNEL_STATS.memo("intersection")
     )
+    return arena.view(rid)
 
 
-def _intersect(a: ClosureNode, b: ClosureNode, memo: Dict, stats) -> ClosureNode:
-    if a is b:
+def intersect_ids(arena: Arena, a: int, b: int, memo: Dict, stats) -> int:
+    if a == b:
         return a
-    if a is EMPTY_NODE or b is EMPTY_NODE:
-        return EMPTY_NODE
-    key = (a, b) if id(a) <= id(b) else (b, a)
+    if a == 0 or b == 0:
+        return 0
+    key = (a, b) if a <= b else (b, a)
     cached = memo.get(key)
     if cached is not None:
         stats.hits += 1
         return cached
     stats.misses += 1
-    children = {}
-    for event, a_child in a.items:
-        b_child = b.children.get(event)
-        if b_child is not None:
-            children[event] = _intersect(a_child, b_child, memo, stats)
-    result = make_node(children)
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
+    ka = edge_start[a]
+    ea = ka + edge_len[a]
+    kb = edge_start[b]
+    eb = kb + edge_len[b]
+    flat: List[int] = []
+    while ka < ea and kb < eb:
+        eva = edge_events[ka]
+        evb = edge_events[kb]
+        if eva == evb:
+            flat.append(eva)
+            flat.append(
+                intersect_ids(
+                    arena, edge_children[ka], edge_children[kb], memo, stats
+                )
+            )
+            ka += 1
+            kb += 1
+        elif eva < evb:
+            ka += 1
+        else:
+            kb += 1
+    result = arena.intern(flat)
     memo[key] = result
     return result
-
-
-def _truncated_child(child: ClosureNode, depth: int, memo: Dict) -> ClosureNode:
-    """The already-resolved truncation of ``child`` to ``depth`` (base
-    cases inline, recursive cases from the memo filled by the driver)."""
-    if depth <= 0:
-        return EMPTY_NODE
-    if child.height <= depth:
-        return child
-    return memo[(child, depth)]
 
 
 def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
@@ -427,89 +858,139 @@ def truncate_node(node: ClosureNode, depth: int) -> ClosureNode:
     (a 10⁴-event process is legitimate input) must truncate without
     overflowing the interpreter stack.
     """
+    state = _state()
+    arena = state.arena
+    nid = node_id(node, arena)
     if depth <= 0:
         return EMPTY_NODE
-    if node.height <= depth:
-        return node
-    stats = KERNEL_STATS.memo("truncate")
-    memo = _state().memo("truncate")
-    cached = memo.get((node, depth))
+    if arena.heights[nid] <= depth:
+        return arena.view(nid)
+    rid = truncate_ids(
+        arena, nid, depth, state.memo("truncate"), KERNEL_STATS.memo("truncate")
+    )
+    return arena.view(rid)
+
+
+def _truncated_child(arena: Arena, child: int, depth: int, memo: Dict) -> int:
+    """The already-resolved truncation of ``child`` to ``depth`` (base
+    cases inline, recursive cases from the memo filled by the driver)."""
+    if depth <= 0:
+        return 0
+    if arena.heights[child] <= depth:
+        return child
+    return memo[(child, depth)]
+
+
+def truncate_ids(arena: Arena, nid: int, depth: int, memo: Dict, stats) -> int:
+    if depth <= 0:
+        return 0
+    heights = arena.heights
+    if heights[nid] <= depth:
+        return nid
+    cached = memo.get((nid, depth))
     if cached is not None:
         stats.hits += 1
         return cached
-    stack: List[Tuple[ClosureNode, int]] = [(node, depth)]
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
+    stack: List[Tuple[int, int]] = [(nid, depth)]
     while stack:
         current, d = stack[-1]
         if (current, d) in memo:
             stack.pop()
             continue
-        pending = [
-            (child, d - 1)
-            for _, child in current.items
-            if d - 1 > 0
-            and child.height > d - 1
-            and (child, d - 1) not in memo
-        ]
+        start = edge_start[current]
+        end = start + edge_len[current]
+        dd = d - 1
+        pending = []
+        if dd > 0:
+            for k in range(start, end):
+                child = edge_children[k]
+                if heights[child] > dd and (child, dd) not in memo:
+                    pending.append((child, dd))
         if pending:
             stack.extend(pending)
             continue
         stack.pop()
         stats.misses += 1
         _faults.maybe_fail("trie.truncate")
-        memo[(current, d)] = make_node(
-            {
-                event: _truncated_child(child, d - 1, memo)
-                for event, child in current.items
-            }
-        )
-    return memo[(node, depth)]
+        flat: List[int] = []
+        for k in range(start, end):
+            flat.append(edge_events[k])
+            flat.append(_truncated_child(arena, edge_children[k], dd, memo))
+        memo[(current, d)] = arena.intern(flat)
+    return memo[(nid, depth)]
 
 
 # -- delta frontiers --------------------------------------------------------
 #
 # The §3.3 chain grows monotonically: level i+1 extends level i.  Because
-# nodes are hash-consed, the *unchanged* regions of the new trie are
-# pointer-identical to the old one, so the set of subtrees that are fresh
-# at a level — the **delta frontier** — is found by a simultaneous walk
-# that prunes on pointer equality.  The engine uses these queries to skip
-# re-denotations whose inputs changed only below the depth they consult.
+# nodes are hash-consed, the *unchanged* regions of the new trie reuse the
+# old trie's ids, so the set of subtrees that are fresh at a level — the
+# **delta frontier** — is found by a simultaneous id walk that prunes on
+# id equality.  The engine uses these queries to skip re-denotations
+# whose inputs changed only below the depth they consult.
 
 #: Pair-walk budget for delta queries; past it the delta is reported as
 #: "changed at depth 0" (never skip), so a huge frontier degrades to full
 #: re-denotation instead of an expensive analysis.
 DELTA_WALK_CAP = 4096
 
+#: Sentinel child id for "the old trie has no counterpart here".
+_NO_NODE = -1
+
+
+def _edge_map(arena: Arena, nid: int) -> Dict[int, int]:
+    """One node's span as an ``{event id: child id}`` dict."""
+    start = arena.edge_start[nid]
+    end = start + arena.edge_len[nid]
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    return {edge_events[k]: edge_children[k] for k in range(start, end)}
+
 
 def delta_nodes(
     old: ClosureNode, new: ClosureNode, cap: int = DELTA_WALK_CAP
 ) -> Optional[Tuple[ClosureNode, ...]]:
     """The frontier of subtrees of ``new`` that are fresh relative to
-    ``old``: every node of ``new`` reachable without crossing a
-    pointer-identical shared subtree.  Returns ``None`` when the walk
-    exceeds ``cap`` pairs (callers must then treat the whole trie as
-    changed).  ``()`` when the roots are identical."""
-    if old is new:
+    ``old``: every node of ``new`` reachable without crossing an
+    id-identical shared subtree.  Returns ``None`` when the walk exceeds
+    ``cap`` pairs (callers must then treat the whole trie as changed).
+    ``()`` when the roots are identical."""
+    arena = _state().arena
+    oid = node_id(old, arena)
+    nid = node_id(new, arena)
+    if oid == nid:
         return ()
     KERNEL_STATS.delta_queries += 1
-    fresh: Dict[int, ClosureNode] = {}
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
+    fresh: Dict[int, None] = {}
     seen = set()
-    stack: List[Tuple[Optional[ClosureNode], ClosureNode]] = [(old, new)]
+    stack: List[Tuple[int, int]] = [(oid, nid)]
     while stack:
         o, n = stack.pop()
-        key = (id(o), id(n))
+        key = (o, n)
         if key in seen:
             continue
         seen.add(key)
         if len(seen) > cap:
             KERNEL_STATS.delta_capped += 1
             return None
-        fresh[id(n)] = n
-        for event, child in n.items:
-            o_child = o.children.get(event) if o is not None else None
-            if o_child is not child:
+        fresh[n] = None
+        old_children = _edge_map(arena, o) if o != _NO_NODE else {}
+        start = edge_start[n]
+        for k in range(start, start + edge_len[n]):
+            child = edge_children[k]
+            o_child = old_children.get(edge_events[k], _NO_NODE)
+            if o_child != child:
                 stack.append((o_child, child))
     KERNEL_STATS.frontier_nodes += len(fresh)
-    return tuple(fresh.values())
+    return tuple(arena.view(n) for n in fresh)
 
 
 def delta_depth(
@@ -524,13 +1005,17 @@ def delta_depth(
     equality the engine's horizon skip relies on.  Returns ``0`` when the
     pair walk exceeds ``cap``: a conservative "changed everywhere" that
     forces callers back to full re-denotation.  Memoised per (old, new)
-    pair in the kernel state.
+    id pair in the kernel state.
     """
-    if old is new:
+    state = _state()
+    arena = state.arena
+    oid = node_id(old, arena)
+    nid = node_id(new, arena)
+    if oid == nid:
         return None
-    memo = _state().memo("delta-depth")
+    memo = state.memo("delta-depth")
     stats = KERNEL_STATS.memo("delta-depth")
-    key = (old, new)
+    key = (oid, nid)
     cached = memo.get(key, _DELTA_MISS)
     if cached is not _DELTA_MISS:
         stats.hits += 1
@@ -538,23 +1023,30 @@ def delta_depth(
     stats.misses += 1
     KERNEL_STATS.delta_queries += 1
     _governor.tick()
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
     result: Optional[int] = None
     visited = 0
     seen = set()
-    frontier: List[Tuple[ClosureNode, ClosureNode]] = [(old, new)]
+    frontier: List[Tuple[int, int]] = [(oid, nid)]
     depth = 0
     while frontier and result is None:
         depth += 1
-        nxt: List[Tuple[ClosureNode, ClosureNode]] = []
+        nxt: List[Tuple[int, int]] = []
         for o, n in frontier:
-            for event, child in n.items:
-                o_child = o.children.get(event)
+            old_children = _edge_map(arena, o)
+            start = edge_start[n]
+            for k in range(start, start + edge_len[n]):
+                o_child = old_children.get(edge_events[k])
                 if o_child is None:
                     result = depth
                     break
-                if o_child is child:
+                child = edge_children[k]
+                if o_child == child:
                     continue
-                pair_key = (id(o_child), id(child))
+                pair_key = (o_child, child)
                 if pair_key in seen:
                     continue
                 seen.add(pair_key)
@@ -580,36 +1072,31 @@ _DELTA_MISS = object()
 
 
 def subset_nodes(a: ClosureNode, b: ClosureNode) -> bool:
-    """The lattice order ``P ⊆ Q``, by simultaneous walk with sharing."""
-    if a is b or a is EMPTY_NODE:
+    """The lattice order ``P ⊆ Q``, by simultaneous id walk with sharing."""
+    arena = _state().arena
+    ai = node_id(a, arena)
+    bi = node_id(b, arena)
+    if ai == bi or ai == 0:
         return True
+    edge_events = arena.edge_events
+    edge_children = arena.edge_children
+    edge_start = arena.edge_start
+    edge_len = arena.edge_len
     seen = set()
 
-    def walk(x: ClosureNode, y: ClosureNode) -> bool:
-        if x is y:
+    def walk(x: int, y: int) -> bool:
+        if x == y:
             return True
-        pair = (id(x), id(y))
+        pair = (x, y)
         if pair in seen:
             return True
         seen.add(pair)
-        for event, x_child in x.items:
-            y_child = y.children.get(event)
-            if y_child is None or not walk(x_child, y_child):
+        y_children = _edge_map(arena, y)
+        start = edge_start[x]
+        for k in range(start, start + edge_len[x]):
+            y_child = y_children.get(edge_events[k])
+            if y_child is None or not walk(edge_children[k], y_child):
                 return False
         return True
 
-    return walk(a, b)
-
-
-def distinct_nodes(node: ClosureNode) -> int:
-    """Number of *distinct* nodes reachable from ``node`` — the kernel's
-    actual storage cost, as opposed to ``node.count`` traces."""
-    seen = set()
-    stack = [node]
-    while stack:
-        current = stack.pop()
-        if id(current) in seen:
-            continue
-        seen.add(id(current))
-        stack.extend(child for _, child in current.items)
-    return len(seen)
+    return walk(ai, bi)

@@ -102,3 +102,37 @@ def test_pointer_equality_is_semantic_equality(p, q):
     # object iff their flat trace sets coincide.
     assert (p == q) == (p.traces == q.traces)
     assert (p.root is q.root) == (p.traces == q.traces)
+
+
+# -- arena-specific properties ----------------------------------------------
+#
+# The struct-of-arrays kernel must preserve the object-API contracts the
+# layers above rely on: views are canonical per id (pointer identity IS
+# id equality), and an operator result reached twice — or rebuilt from
+# its flat trace set — is one view object.
+
+
+@given(closures, closures)
+def test_per_id_view_identity(p, q):
+    u = ops.union(p, q)
+    arena = u.root.arena
+    if arena is not None:
+        assert arena.view(u.root.id) is u.root
+    assert ops.union(p, q).root is u.root
+    # a structurally equal closure built from scratch lands on the same view
+    assert FiniteClosure.from_traces(u.traces).root is u.root
+
+
+@given(closures, channels)
+def test_hide_lands_on_canonical_view(p, hidden):
+    h = ops.hide(p, hidden)
+    rebuilt = FiniteClosure.from_traces(ref.hide(p, hidden).traces)
+    assert rebuilt.root is h.root
+
+
+@given(closures, st.integers(min_value=0, max_value=6))
+def test_view_attributes_match_reference(p, depth):
+    t = ops.truncate(p, depth)
+    assert t.root.count == len(t.traces)
+    assert t.root.height == max((len(s) for s in t.traces), default=0)
+    assert t.root.is_leaf == (t.traces == {()})
