@@ -15,7 +15,10 @@ snapshot codec's win over the legacy object-walk codec (≥
 re-derives ``BENCH_engine.json``'s definition-level accounting —
 which is *deterministic*, so it must match the recording exactly and the
 multiplier reduction must stay ≥ ``MIN_ENGINE_REDUCTION`` — and
-re-times the warm-cache case against ``MIN_WARM_SPEEDUP``.
+re-times the warm-cache case against ``MIN_WARM_SPEEDUP``.  Finally it
+re-measures ``BENCH_serve.json``'s warm-daemon-vs-cold-CLI cases and
+fails if the daemon's warm path stops beating a cold invocation by
+``MIN_SERVE_SPEEDUP``.
 
 Run in CI (or by hand) as::
 
@@ -85,6 +88,13 @@ MIN_ARENA_IDS_PER_S = 20_000
 #: keep the flat codec ≥5× faster than the legacy object-walk codec;
 #: every other snapshot case just must not regress below parity.
 MIN_SNAPSHOT_SCALE_SPEEDUP = 5.0
+
+#: Warm-daemon queries must beat cold CLI invocations by at least this
+#: factor (the PR's acceptance bar is ≥5×; recorded ratios are >100×,
+#: but the warm side is ~1 ms and the cold side is startup-dominated,
+#: so the floor stays at the acceptance bar rather than a recording
+#: fraction).
+MIN_SERVE_SPEEDUP = 5.0
 
 #: Recorded baselines below this are too fast to re-time stably.
 MIN_BASELINE_S = 0.04
@@ -230,6 +240,28 @@ def check_engine(report: dict) -> list:
     return failures
 
 
+def check_serve() -> list:
+    """Re-measure the warm-daemon-vs-cold-CLI cases recorded in
+    ``BENCH_serve.json`` and hold them to the serve acceptance bar."""
+    from benchmarks.bench_serve import RESULT_PATH as SERVE_RESULT_PATH
+    from benchmarks.bench_serve import CASES, _serve_case
+
+    failures = []
+    report = json.loads(SERVE_RESULT_PATH.read_text())
+    recorded = {case["case"]: case for case in report["cases"]}
+    for name, filename, args in CASES:
+        measured = _serve_case(name, filename, args)
+        ok = measured["speedup"] >= MIN_SERVE_SPEEDUP
+        print(
+            f"{'ok' if ok else 'FAIL':<4} {name:<42} "
+            f"recorded ×{recorded[name]['speedup']:<6} "
+            f"measured ×{measured['speedup']} (floor ×{MIN_SERVE_SPEEDUP})"
+        )
+        if not ok:
+            failures.append(name)
+    return failures
+
+
 def main() -> None:
     report = json.loads(RESULT_PATH.read_text())
     failures = []
@@ -247,13 +279,15 @@ def main() -> None:
             failures.append(case["case"])
     failures += check_arena(report)
     failures += check_engine(json.loads(ENGINE_RESULT_PATH.read_text()))
+    failures += check_serve()
     if failures:
         raise SystemExit(
             f"recorded performance regressed on: {', '.join(failures)}"
         )
     print(
         "kernel speedups within tolerance of BENCH_kernel.json; engine "
-        "accounting matches BENCH_engine.json"
+        "accounting matches BENCH_engine.json; serve warm path beats "
+        "cold by the BENCH_serve.json acceptance factor"
     )
 
 

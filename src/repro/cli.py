@@ -33,8 +33,15 @@ Long-running commands accept resource budgets — ``--deadline SECONDS``,
 sound *partial* result ("verified to depth k") and exits with the budget
 exit code (4) instead of dying mid-computation.  Every failure class
 maps to its own exit code (parse 2, semantics 3, budget 4, operational
-5, proof 6, other 7); ``--debug`` re-raises the underlying exception
-with its full traceback.
+5, proof 6, other 7, overloaded 8, server 9); ``--debug`` re-raises the
+underlying exception with its full traceback.
+
+``repro serve --socket PATH --jobs N`` runs a crash-tolerant daemon:
+worker processes keep kernels warm across queries, crashed or hung
+workers are respawned and their in-flight requests transparently
+retried, and a bounded queue sheds excess load explicitly.  Point
+``check``/``traces`` at it with ``--server PATH`` — verdict text and
+exit codes are identical to a local run, just without the cold start.
 """
 
 from __future__ import annotations
@@ -69,18 +76,27 @@ def _parse_value(text: str):
     return text
 
 
-def _build_env(args: argparse.Namespace) -> Environment:
+def environment_from_options(
+    sets: Sequence[str], with_cancel: Optional[str] = None
+) -> Environment:
+    """The value environment for ``--set``/``--with-cancel`` bindings —
+    shared with :mod:`repro.server.worker`, which replays a client's
+    options server-side so both sides bind identically."""
     env = Environment()
-    for binding in args.set or []:
-        name, _, values = binding.partition("=")
-        if not _:
+    for binding in sets or []:
+        name, sep, values = binding.partition("=")
+        if not sep:
             raise SystemExit(f"--set expects NAME=v1,v2,…  got {binding!r}")
         env = env.bind(
             name.strip(), FiniteDomain(_parse_value(v) for v in values.split(","))
         )
-    if args.with_cancel:
-        env = env.bind(args.with_cancel, cancel_protocol)
+    if with_cancel:
+        env = env.bind(with_cancel, cancel_protocol)
     return env
+
+
+def _build_env(args: argparse.Namespace) -> Environment:
+    return environment_from_options(args.set or [], args.with_cancel)
 
 
 def _open_cache(args: argparse.Namespace, defs, config):
@@ -155,7 +171,58 @@ def cmd_parse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit(stdout: str, stderr: str, code: int) -> int:
+    """Print a rendered ``(stdout, stderr, exit_code)`` outcome."""
+    if stdout:
+        print(stdout)
+    if stderr:
+        print(stderr, file=sys.stderr)
+    return code
+
+
+def _remote(args: argparse.Namespace, op: str) -> int:
+    """Route a ``check``/``traces`` invocation to a ``repro serve``
+    daemon.  The file is still parsed locally (syntax errors stay local
+    and fast); the AST travels serialised, and the response carries the
+    exact stdout/stderr a local run would have printed."""
+    from repro.server.client import ServerClient
+
+    defs = _load(args)
+    deadline = getattr(args, "deadline", None)
+    max_nodes = getattr(args, "max_nodes", None)
+    max_states = getattr(args, "max_states", None)
+    budget = None
+    if deadline is not None or max_nodes is not None or max_states is not None:
+        budget = Budget(
+            deadline=deadline, max_nodes=max_nodes, max_states=max_states
+        )
+    kwargs = dict(
+        process=args.process,
+        depth=args.depth,
+        sample=args.sample,
+        sets=args.set or [],
+        with_cancel=args.with_cancel,
+        engine=args.engine,
+        budget=budget,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+    )
+    with ServerClient(args.server) as client:
+        if op == "check":
+            response = client.check(defs, args.spec, **kwargs)
+        else:
+            response = client.traces(defs, **kwargs)
+    return _emit(
+        response.get("stdout") or "",
+        response.get("stderr") or "",
+        int(response.get("exit_code", 0)),
+    )
+
+
 def cmd_traces(args: argparse.Namespace) -> int:
+    if getattr(args, "server", None):
+        return _remote(args, "traces")
+    from repro.report import traces_outcome
     from repro.sat.checker import SatChecker
     from repro.semantics.config import SemanticsConfig
 
@@ -174,35 +241,13 @@ def cmd_traces(args: argparse.Namespace) -> int:
     result = checker.traces_partial(_target(args, defs))
     if cache is not None:
         cache.save()
-    if result.closure is None:
-        print(
-            "budget exhausted before even depth 0 completed; no traces "
-            "to report",
-            file=sys.stderr,
-        )
-        return EXIT_BUDGET
-    if result.complete:
-        print(
-            f"{len(result.closure)} traces (depth ≤ {args.depth}, "
-            f"engine {args.engine}):"
-        )
-        _print_traces(result.closure)
-        return 0
-    print(
-        f"PARTIAL: {len(result.closure)} traces (verified to depth "
-        f"{result.verified_depth} of {args.depth}, engine {args.engine}):"
-    )
-    _print_traces(result.closure)
-    print(
-        f"budget exhausted at depth {result.verified_depth}; traces up to "
-        f"that length are exact",
-        file=sys.stderr,
-    )
-    return EXIT_BUDGET
+    return _emit(*traces_outcome(result, args.depth, args.engine))
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    from repro.report import render_partial
+    if getattr(args, "server", None):
+        return _remote(args, "check")
+    from repro.report import check_outcome
     from repro.sat.checker import SatChecker
     from repro.semantics.config import SemanticsConfig
 
@@ -222,26 +267,15 @@ def cmd_check(args: argparse.Namespace) -> int:
     try:
         result = checker.check(target, args.spec)
     except BudgetExceeded as exc:
-        print(f"PARTIAL: {target.name} sat {args.spec} — no counterexample found")
-        print(render_partial(exc), file=sys.stderr)
-        return EXIT_BUDGET
+        outcome = check_outcome(target.name, args.spec, trip=exc)
+    else:
+        outcome = check_outcome(
+            target.name, args.spec, result=result, depth=args.depth
+        )
     finally:
         if cache is not None:
             cache.save()
-    if result.holds:
-        depth_note = (
-            f"depth ≤ {result.verified_depth}"
-            if result.verified_depth is not None
-            else f"depth ≤ {args.depth}"
-        )
-        print(
-            f"HOLDS: {target.name} sat {args.spec}  "
-            f"({result.traces_checked} traces, {depth_note})"
-        )
-        return 0
-    print(f"VIOLATED: {target.name} sat {args.spec}")
-    print(result.counterexample.describe())
-    return 1
+    return _emit(*outcome)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -413,6 +447,35 @@ def cmd_deadlocks(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.server.supervisor import Supervisor
+
+    supervisor = Supervisor(
+        args.socket,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        grace=args.grace,
+        max_attempts=args.max_attempts,
+        max_requests=args.max_requests,
+        inject=args.inject,
+    )
+
+    def _terminate(signum, frame):
+        supervisor.request_stop()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    print(
+        f"repro serve: {args.jobs} worker(s) on {args.socket}",
+        file=sys.stderr,
+    )
+    supervisor.serve_forever()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -495,12 +558,22 @@ def build_parser() -> argparse.ArgumentParser:
     debug_flag(p)
     p.set_defaults(func=cmd_parse)
 
+    def server_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--server",
+            metavar="SOCKET",
+            help="route the query to a repro serve daemon at this unix "
+            "socket instead of computing locally",
+        )
+
     p = sub.add_parser("traces", help="enumerate bounded traces")
     common(p, engine=True)
+    server_flag(p)
     p.set_defaults(func=cmd_traces)
 
     p = sub.add_parser("check", help="model-check P sat R")
     common(p, engine=True)
+    server_flag(p)
     p.add_argument("--spec", required=True, help='assertion, e.g. "wire <= input"')
     p.set_defaults(func=cmd_check)
 
@@ -543,6 +616,60 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("deadlocks", help="search for reachable deadlocks")
     common(p)
     p.set_defaults(func=cmd_deadlocks)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a crash-tolerant verification daemon on a unix socket",
+    )
+    p.add_argument(
+        "--socket", required=True, metavar="PATH", help="unix socket path"
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes, each holding a warm kernel (default 2)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="requests allowed to wait for a worker before the daemon "
+        "sheds load with OVERLOADED / exit code 8 (default 16)",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="deadline for requests that carry no --deadline of their own",
+    )
+    p.add_argument(
+        "--grace",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="slack past a request's deadline before its worker is "
+        "presumed hung and SIGKILLed",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="dispatch attempts per request across worker crashes",
+    )
+    p.add_argument(
+        "--max-requests",
+        type=int,
+        metavar="N",
+        help="recycle a worker after serving this many requests",
+    )
+    p.add_argument("--inject", help=argparse.SUPPRESS)
+    debug_flag(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "reproduce", help="run the paper-reproduction battery (E1–E10)"

@@ -116,6 +116,22 @@ class DischargeError(ProofError):
     """The oracle could not discharge a pure (process-free) premise."""
 
 
+class ServerError(ReproError):
+    """The ``repro serve`` daemon (or its client) failed structurally —
+    connection lost beyond the retry budget, malformed wire frame, worker
+    pool crashed repeatedly on one request.  Distinct from the errors a
+    *query* can produce, which travel inside a response and keep their
+    own exit codes."""
+
+
+class Overloaded(ServerError):
+    """The daemon shed this request because its bounded queue was full.
+
+    Deliberately explicit instead of queueing unboundedly: the client
+    knows immediately that the verdict was never computed and may retry
+    later; nothing was partially evaluated."""
+
+
 # ---------------------------------------------------------------------------
 # CLI exit-code taxonomy
 # ---------------------------------------------------------------------------
@@ -132,6 +148,12 @@ EXIT_OPERATIONAL = 5
 EXIT_PROOF = 6
 #: Any other library error.
 EXIT_ERROR = 7
+#: The ``repro serve`` daemon shed the request (bounded queue full).
+EXIT_OVERLOADED = 8
+#: Client/daemon failure: connection lost beyond the retry budget,
+#: malformed frames, or a request that crashed every worker it was
+#: dispatched to.
+EXIT_SERVER = 9
 
 
 def exit_code_for(exc: BaseException) -> int:
@@ -142,6 +164,10 @@ def exit_code_for(exc: BaseException) -> int:
     """
     if isinstance(exc, BudgetExceeded):
         return EXIT_BUDGET
+    if isinstance(exc, Overloaded):
+        return EXIT_OVERLOADED
+    if isinstance(exc, ServerError):
+        return EXIT_SERVER
     if isinstance(exc, (ParseError, DefinitionError, OSError)):
         return EXIT_PARSE
     if isinstance(exc, (SemanticsError, EvaluationError, SubstitutionError)):

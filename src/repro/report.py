@@ -18,9 +18,9 @@ skipped rather than started against a spent budget.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, NamedTuple
+from typing import Callable, List, NamedTuple, Optional, Tuple
 
-from repro.errors import BudgetExceeded
+from repro.errors import EXIT_BUDGET, BudgetExceeded
 from repro.runtime import governor as _governor
 
 
@@ -65,6 +65,94 @@ def render_partial(exc: BudgetExceeded) -> str:
     if checkpoint is not None:
         lines.append(f"partial result: {checkpoint.describe()}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# shared CLI/daemon verdict rendering
+# ---------------------------------------------------------------------------
+#
+# ``repro check``/``repro traces`` and the ``repro serve`` worker render
+# through the same functions, so a verdict computed remotely is
+# *byte-identical* to the one a fresh single-process invocation prints —
+# the property the serve chaos tests assert after crash/retry cycles.
+
+
+def format_traces(closure) -> str:
+    """The indented ``⟨…⟩`` trace listing, one line per trace."""
+    lines = []
+    for trace in closure:
+        inner = ", ".join(repr(e) for e in trace)
+        lines.append(f"  ⟨{inner}⟩")
+    return "\n".join(lines)
+
+
+def check_outcome(
+    name: str,
+    spec: str,
+    result=None,
+    trip: "Optional[BudgetExceeded]" = None,
+    depth: "Optional[int]" = None,
+) -> "Tuple[str, str, int]":
+    """Render one ``P sat R`` verdict as ``(stdout, stderr, exit_code)``.
+
+    Pass ``result`` (a :class:`~repro.sat.checker.SatResult`) for a
+    completed check, or ``trip`` for a budget-interrupted one; ``depth``
+    is the configured bound, used when the result does not carry a
+    verified depth of its own.
+    """
+    if trip is not None:
+        return (
+            f"PARTIAL: {name} sat {spec} — no counterexample found",
+            render_partial(trip),
+            EXIT_BUDGET,
+        )
+    if result.holds:
+        depth_note = (
+            f"depth ≤ {result.verified_depth}"
+            if result.verified_depth is not None
+            else f"depth ≤ {depth}"
+        )
+        return (
+            f"HOLDS: {name} sat {spec}  "
+            f"({result.traces_checked} traces, {depth_note})",
+            "",
+            0,
+        )
+    return (
+        f"VIOLATED: {name} sat {spec}\n{result.counterexample.describe()}",
+        "",
+        1,
+    )
+
+
+def traces_outcome(result, depth: int, engine: str) -> "Tuple[str, str, int]":
+    """Render a (possibly partial) trace enumeration as
+    ``(stdout, stderr, exit_code)``; ``result`` is a
+    :class:`~repro.sat.checker.PartialTraces`."""
+    if result.closure is None:
+        return (
+            "",
+            "budget exhausted before even depth 0 completed; no traces "
+            "to report",
+            EXIT_BUDGET,
+        )
+    listing = format_traces(result.closure)
+    if result.complete:
+        head = (
+            f"{len(result.closure)} traces (depth ≤ {depth}, "
+            f"engine {engine}):"
+        )
+        return (f"{head}\n{listing}" if listing else head, "", 0)
+    head = (
+        f"PARTIAL: {len(result.closure)} traces (verified to depth "
+        f"{result.verified_depth} of {depth}, engine {engine}):"
+    )
+    return (
+        f"{head}\n{listing}" if listing else head,
+        f"budget exhausted at depth {result.verified_depth}; traces up to "
+        f"that length are exact",
+        EXIT_BUDGET,
+    )
 
 
 def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:

@@ -35,6 +35,13 @@ SITES = (
     "denote.unfold",
     "explorer.step",
     "fixpoint.step",
+    # serving layer (PR 7): the supervisor's dispatch path, the worker's
+    # request loop (converted to a hard ``os._exit`` so it simulates a
+    # SIGKILL-grade crash, not an exception), and the snapshot cache's
+    # atomic-write path (abort between temp-file write and rename).
+    "serve.dispatch",
+    "serve.worker_exit",
+    "snapshot.write",
 )
 
 
@@ -82,6 +89,17 @@ class FaultPlan:
         if (self.site is None or site == self.site) and matched >= self.after:
             self.fired = True
             raise FaultInjected(site, matched)
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Build a plan from a ``site:after`` spec string (``after`` defaults
+    to 1) — the form ``repro serve --inject`` and the chaos harness use
+    to arm a fault in a freshly spawned process."""
+    site, _, after = spec.partition(":")
+    site = site.strip()
+    if site not in SITES:
+        raise ValueError(f"unknown fault site {site!r}; known: {', '.join(SITES)}")
+    return FaultPlan(site=site, after=int(after) if after.strip() else 1)
 
 
 _PLAN: Optional[FaultPlan] = None

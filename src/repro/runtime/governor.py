@@ -164,6 +164,32 @@ class Budget:
             and self.max_states is None
         )
 
+    def as_spec(self) -> Dict[str, object]:
+        """A JSON-compatible description, for the serve wire protocol."""
+        return {
+            "deadline": self.deadline,
+            "max_nodes": self.max_nodes,
+            "max_states": self.max_states,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Optional[Dict[str, Any]]) -> Optional["Budget"]:
+        """Rebuild a budget from :meth:`as_spec` output (``None``/empty →
+        no budget).  Raises :class:`ValueError` on negative limits, like
+        the constructor — a request must not smuggle in a bad budget."""
+        if not spec:
+            return None
+        deadline = spec.get("deadline")
+        max_nodes = spec.get("max_nodes")
+        max_states = spec.get("max_states")
+        if deadline is None and max_nodes is None and max_states is None:
+            return None
+        return cls(
+            deadline=None if deadline is None else float(deadline),
+            max_nodes=None if max_nodes is None else int(max_nodes),
+            max_states=None if max_states is None else int(max_states),
+        )
+
     def start(self) -> "Governor":
         """A fresh governor enforcing this budget, clock started now."""
         return Governor(self)
@@ -382,6 +408,26 @@ def activate(governor: Optional[Governor]) -> Iterator[Optional[Governor]]:
     _ACTIVE = governor
     try:
         yield governor
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Run the body with no ambient governor, restoring it afterwards.
+
+    Cache *persistence* must never spend the budget of the computation
+    it is saving: a governed run that already tripped still writes its
+    checkpoint slots, and merging another process's slots into the file
+    re-interns nodes that must not trip the (already spent) budget.
+    Like :func:`activate`, the change is visible to all threads — only
+    suspend around regions that spawn no governed workers.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
     finally:
         _ACTIVE = previous
 

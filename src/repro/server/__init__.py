@@ -1,0 +1,31 @@
+"""``repro serve`` — a crash-tolerant verification daemon.
+
+One long-lived supervisor process owns a unix listening socket and a
+pool of worker subprocesses; each worker holds a warm kernel state and
+snapshot cache, so repeated ``P sat R`` queries against one solved
+system skip Python startup, parsing, and fixpoint solving entirely.
+
+The package is organised by failure domain:
+
+* :mod:`repro.server.protocol` — the wire format (newline-delimited
+  JSON frames; ASTs travel as :mod:`repro.serialize` payloads);
+* :mod:`repro.server.worker` — the single-threaded worker loop
+  (``python -m repro.server.worker``), one request at a time against a
+  per-request governor;
+* :mod:`repro.server.supervisor` — accepts clients, health-checks and
+  respawns workers, SIGKILLs hung ones, sheds load from a bounded
+  queue, and deduplicates idempotent request ids;
+* :mod:`repro.server.client` — the thin client (``repro check
+  --server``) with capped exponential backoff + jitter retries.
+
+Robustness contract: a worker may die (crash, ``kill -9``, injected
+fault) at any moment; the supervisor re-dispatches the in-flight
+request to a fresh worker, and PR 2's abort-safety invariant (memo
+tables and the interner only ever hold *completed* results) guarantees
+the re-run computes exactly what an undisturbed run would have.
+"""
+
+from repro.server.client import ServerClient
+from repro.server.supervisor import Supervisor
+
+__all__ = ["ServerClient", "Supervisor"]

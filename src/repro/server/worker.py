@@ -1,0 +1,268 @@
+"""The ``repro serve`` worker: one warm kernel, one request at a time.
+
+Spawned by the supervisor as ``python -m repro.server.worker --fd N``
+with one end of a ``socketpair`` inherited on fd ``N``; reads request
+frames off it, answers them, and exits when the supervisor closes its
+end.  The loop is deliberately single-threaded: a worker is the unit of
+*crash isolation*, not of concurrency — parallelism comes from the pool.
+
+Warmth is the whole point of serving: the process-global arena kernel
+accumulates interned nodes across requests, and per-system
+:class:`~repro.sat.checker.SatChecker` instances (with their solved
+engine bindings and snapshot caches) are kept in a small LRU keyed by
+the semantic situation, so the hundredth ``P sat R`` query against one
+solved system pays only the sat walk.
+
+Failure contract:
+
+* a library error inside a query becomes an ``ERROR`` response carrying
+  the exact ``error:`` line and exit code the CLI would have produced;
+* a :class:`~repro.runtime.faults.FaultInjected` at the
+  ``serve.worker_exit`` site becomes ``os._exit`` — a SIGKILL-grade
+  crash mid-request, exercised by the chaos suite — and at any other
+  site it propagates and kills the worker the ordinary way;
+* per-request budgets run under a fresh :class:`Governor`, so a
+  deadline trip yields the same sound ``PARTIAL`` verdict (plus resume
+  slots) as a governed local run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro import serialize
+from repro.errors import (
+    EXIT_PARSE,
+    BudgetExceeded,
+    ServerError,
+    exit_code_for,
+)
+from repro.process.definitions import DefinitionList
+from repro.runtime import faults as _faults
+from repro.runtime.faults import FaultInjected
+from repro.runtime.governor import Budget, activate
+from repro.server import protocol
+
+#: Warm checkers kept per semantic situation (definitions, config,
+#: bindings, engine, cache placement); least-recently-used beyond this
+#: many distinct situations are dropped (their interned nodes stay warm
+#: in the process-global arena either way).
+CHECKER_POOL_SIZE = 8
+
+_CHECKERS: "OrderedDict[str, Tuple[Any, Any]]" = OrderedDict()
+
+
+def _situation_key(request: Dict[str, Any]) -> str:
+    """One string per semantic situation a checker can be reused for."""
+    import json
+
+    return json.dumps(
+        [
+            request.get("definitions"),
+            request.get("depth", 5),
+            request.get("sample", 2),
+            sorted(request.get("sets") or []),
+            request.get("with_cancel"),
+            request.get("engine", "denotational"),
+            request.get("cache_dir"),
+            bool(request.get("no_cache")),
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _open_cache(request: Dict[str, Any], defs: Any, config: Any, governed: bool):
+    """The snapshot cache for this request — same directory, key, and
+    checkpoint-only rules as :func:`repro.cli._open_cache`, so remote
+    and local invocations share slots."""
+    if request.get("no_cache"):
+        return None
+    from pathlib import Path
+
+    from repro.traces.snapshot import SnapshotCache, cache_key
+
+    directory = (
+        Path(request["cache_dir"])
+        if request.get("cache_dir")
+        else Path.home() / ".cache" / "repro"
+    )
+    extra = {
+        "sets": sorted(request.get("sets") or []),
+        "with_cancel": request.get("with_cancel"),
+    }
+    return SnapshotCache(
+        directory, cache_key(defs, config, extra), checkpoint_only=governed
+    )
+
+
+def _checker_for(request: Dict[str, Any], defs: Any, governed: bool):
+    """A :class:`SatChecker` for this request — reused across requests
+    when ungoverned (governed runs need fresh checkpoint-only caches and
+    must not inherit warm full-depth engine bindings)."""
+    from repro.cli import environment_from_options
+    from repro.sat.checker import SatChecker
+    from repro.semantics.config import SemanticsConfig
+
+    config = SemanticsConfig(
+        depth=int(request.get("depth", 5)), sample=int(request.get("sample", 2))
+    )
+    key = None if governed else _situation_key(request)
+    if key is not None and key in _CHECKERS:
+        _CHECKERS.move_to_end(key)
+        return _CHECKERS[key]
+    env = environment_from_options(
+        request.get("sets") or [], request.get("with_cancel")
+    )
+    cache = _open_cache(request, defs, config, governed)
+    checker = SatChecker(
+        defs,
+        env,
+        config,
+        engine=request.get("engine", "denotational"),
+        cache=cache,
+    )
+    if key is not None:
+        _CHECKERS[key] = (checker, cache)
+        while len(_CHECKERS) > CHECKER_POOL_SIZE:
+            _CHECKERS.popitem(last=False)
+    return checker, cache
+
+
+def run_query(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one ``check``/``traces`` request and render its response
+    exactly as the local CLI would."""
+    from repro.process.ast import Name
+    from repro.report import check_outcome, traces_outcome
+
+    rid = request.get("id")
+    if request.get("engine", "denotational") not in (
+        "denotational",
+        "operational",
+    ):
+        raise ServerError(f"unknown engine {request.get('engine')!r}")
+    defs = serialize.decode(request["definitions"])
+    if not isinstance(defs, DefinitionList):
+        raise ServerError("definitions payload is not a definition list")
+    name = request.get("process") or list(defs)[-1].name
+    if name not in defs:
+        return protocol.error_response(
+            rid,
+            EXIT_PARSE,
+            f"no process named {name!r}; defined: {sorted(defs.names())}",
+        )
+    target = Name(name)
+    budget = Budget.from_spec(request.get("budget"))
+    governor = budget.start() if budget is not None else None
+    resume_slots: Tuple[str, ...] = ()
+    with activate(governor):
+        checker, cache = _checker_for(request, defs, governor is not None)
+        try:
+            if request["op"] == "check":
+                spec = request.get("spec")
+                if not spec:
+                    raise ServerError("check request carries no spec")
+                try:
+                    result = checker.check(target, spec)
+                except BudgetExceeded as exc:
+                    stdout, stderr, code = check_outcome(name, spec, trip=exc)
+                    if exc.checkpoint is not None:
+                        resume_slots = exc.checkpoint.resume_slots()
+                else:
+                    stdout, stderr, code = check_outcome(
+                        name, spec, result=result, depth=checker.config.depth
+                    )
+            else:
+                partial = checker.traces_partial(target)
+                stdout, stderr, code = traces_outcome(
+                    partial, checker.config.depth, checker.engine
+                )
+        finally:
+            if cache is not None:
+                cache.save()
+    response = {
+        "id": rid,
+        "status": "OK",
+        "exit_code": code,
+        "stdout": stdout,
+        "stderr": stderr,
+        "pid": os.getpid(),
+    }
+    if resume_slots:
+        response["resume_slots"] = list(resume_slots)
+    return response
+
+
+def handle(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one request; every failure that is not a simulated crash
+    becomes a structured ``ERROR`` response (the worker must survive bad
+    queries — robustness would be cheap if only good input arrived)."""
+    rid = request.get("id")
+    op = request.get("op")
+    try:
+        if op == "ping":
+            return {
+                "id": rid,
+                "status": "OK",
+                "exit_code": 0,
+                "pid": os.getpid(),
+                "protocol": protocol.PROTOCOL_VERSION,
+            }
+        if op in ("check", "traces"):
+            return run_query(request)
+        raise ServerError(f"unknown op {op!r}")
+    except FaultInjected:
+        raise  # simulated crash: must not be converted to a response
+    except Exception as exc:
+        return protocol.error_response(
+            rid, exit_code_for(exc), str(exc), pid=os.getpid()
+        )
+
+
+def serve(sock: socket.socket) -> None:
+    """The request loop: read a frame, answer it, repeat until EOF."""
+    stream = sock.makefile("rwb")
+    while True:
+        request = protocol.recv_frame(stream)
+        if request is None:
+            return  # supervisor closed its end: clean exit
+        try:
+            _faults.maybe_fail("serve.worker_exit")
+        except FaultInjected:
+            # Simulate a SIGKILL-grade crash mid-request: no response, no
+            # cleanup, no atexit — exactly what the supervisor must heal.
+            os._exit(86)
+        response = handle(request)
+        try:
+            protocol.send_frame(stream, response)
+        except OSError:
+            return  # supervisor gone mid-response
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-serve-worker")
+    parser.add_argument(
+        "--fd", type=int, required=True, help="inherited socketpair fd"
+    )
+    parser.add_argument(
+        "--inject",
+        metavar="SITE[:AFTER]",
+        help="arm a deterministic fault plan in this worker (chaos tests)",
+    )
+    args = parser.parse_args(argv)
+    sock = socket.socket(fileno=args.fd)
+    if args.inject:
+        with _faults.inject(_faults.parse_plan(args.inject)):
+            serve(sock)
+    else:
+        serve(sock)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

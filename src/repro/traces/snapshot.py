@@ -39,9 +39,22 @@ file format, so a pre-arena snapshot keeps its filename and is loaded
 through the retained legacy codec, then rewritten in format
 :data:`FORMAT_VERSION` on the next save.
 
-Writes are atomic (temp file + ``os.replace``) and failures to persist
-are swallowed: a read-only cache directory degrades to cold starts, it
-never breaks the run.
+Writes are atomic and *durable* (temp file + ``fsync`` + ``os.replace``)
+and failures to persist are swallowed: a read-only cache directory
+degrades to cold starts, it never breaks the run.  Three more properties
+make the cache safe to share between the ``repro serve`` worker pool and
+ordinary CLI invocations:
+
+* **quarantine, not deletion** — a corrupt, torn, or key-mismatched file
+  is moved to ``<cache>/quarantine/`` (evidence preserved, never read
+  again) and the run rebuilds from scratch;
+* **one writer at a time** — ``save`` takes a cross-process ``flock`` on
+  a per-key lock file, so two workers never interleave a write;
+* **merge before write** — under the lock, ``save`` re-reads the file
+  and folds slots another process persisted since we loaded into the
+  outgoing payload, so concurrent writers union their slots instead of
+  losing the last-but-one update (each slot's content is deterministic
+  given the key, so a union is always consistent).
 """
 
 from __future__ import annotations
@@ -52,13 +65,21 @@ import os
 import re
 import tempfile
 from array import array
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro import serialize
 from repro.errors import ReproError
+from repro.runtime import faults as _faults
+from repro.runtime import governor as _governor
 from repro.traces.events import Event
 from repro.traces.trie import ClosureNode, current_state, make_node, node_id
+
+try:  # POSIX cross-process advisory locking; absent → single-writer hosts
+    import fcntl
+except ImportError:  # pragma: no cover - all CI hosts are POSIX
+    fcntl = None
 
 try:  # optional accelerator: vectorised validation + bulk decode
     import numpy as _np
@@ -608,6 +629,7 @@ class SnapshotCache:
         self.misses = 0
         self.loaded = False
         self.rebuilt = False
+        self.quarantined = False
         self._dirty = False
         self._roots: Dict[str, ClosureNode] = {}
         self._load()
@@ -618,25 +640,43 @@ class SnapshotCache:
         except OSError:
             return
         try:
-            data = json.loads(raw)
-            if not isinstance(data, dict):
-                raise SnapshotError("payload is not an object")
-            if data.get("key") != self.key:
-                raise SnapshotError("key mismatch")
-            fmt = data.get("format")
-            if fmt == FORMAT_VERSION:
-                self._roots = decode_roots(data)
-            elif fmt == 1:
-                # Pre-arena snapshot under the same content key: load it
-                # through the legacy codec; the next save rewrites flat.
-                self._roots = decode_roots_legacy(data)
-            else:
-                raise SnapshotError(f"format {fmt!r}")
+            self._roots = self._decode_file(raw)
             self.loaded = True
         except (json.JSONDecodeError, SnapshotError, ReproError):
-            # Corrupted, stale, or foreign snapshot: rebuild from scratch.
+            # Corrupted, stale, or foreign snapshot: rebuild from scratch
+            # and move the evidence aside so it is never read again.
             self._roots = {}
             self.rebuilt = True
+            self._quarantine()
+
+    def _decode_file(self, raw: str) -> Dict[str, ClosureNode]:
+        """Decode one snapshot file's text, rejecting anything that is
+        not *this* cache key in a known format."""
+        data = json.loads(raw)
+        if not isinstance(data, dict):
+            raise SnapshotError("payload is not an object")
+        if data.get("key") != self.key:
+            raise SnapshotError("key mismatch")
+        fmt = data.get("format")
+        if fmt == FORMAT_VERSION:
+            return decode_roots(data)
+        if fmt == 1:
+            # Pre-arena snapshot under the same content key: load it
+            # through the legacy codec; the next save rewrites flat.
+            return decode_roots_legacy(data)
+        raise SnapshotError(f"format {fmt!r}")
+
+    def _quarantine(self) -> None:
+        """Move the defective file to ``<cache>/quarantine/`` — rebuilt,
+        never trusted, and never fatal: any filesystem trouble leaves the
+        file in place, where the next load rebuilds over it anyway."""
+        try:
+            qdir = self.directory / "quarantine"
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(self.path, qdir / self.path.name)
+            self.quarantined = True
+        except OSError:
+            pass
 
     def get(self, slot: str) -> Optional[ClosureNode]:
         if self.checkpoint_only and not is_checkpoint_slot(slot):
@@ -659,29 +699,86 @@ class SnapshotCache:
     def __len__(self) -> int:
         return len(self._roots)
 
+    @contextmanager
+    def _writer_lock(self) -> Iterator[None]:
+        """Cross-process exclusive lock serialising writers of this key.
+
+        Advisory ``flock`` on a per-key lock file (not the snapshot file
+        itself — that gets atomically replaced, which would orphan the
+        lock).  Hosts without ``fcntl``, or a directory where the lock
+        file cannot be opened, degrade to unlocked writes — exactly the
+        pre-lock behaviour, still atomic per write."""
+        if fcntl is None:
+            yield
+            return
+        try:
+            fd = os.open(
+                str(self.directory / f".lock-{self.key}"),
+                os.O_CREAT | os.O_RDWR,
+                0o644,
+            )
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)
+
+    def _disk_roots(self) -> Dict[str, ClosureNode]:
+        """Slots currently on disk — possibly written by another process
+        since we loaded.  Folding them into our save turns concurrent
+        writers into a slot *union* (no lost update); a defective disk
+        copy contributes nothing (the next load quarantines it)."""
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        try:
+            return self._decode_file(raw)
+        except (json.JSONDecodeError, SnapshotError, ReproError):
+            return {}
+
     def save(self) -> None:
-        """Persist atomically; never raises on filesystem trouble."""
+        """Persist atomically and durably (temp file + ``fsync`` +
+        ``os.replace``) under the cross-process writer lock, merging
+        slots a concurrent writer persisted since we loaded; never
+        raises on filesystem trouble.
+
+        Runs with the ambient governor suspended: persistence must not
+        spend the budget of the computation it is saving (a tripped run
+        still writes its checkpoint slots, and merging a peer's slots
+        re-interns nodes that are not this run's work).
+        """
         if not self._dirty:
             return
-        data = encode_roots(self._roots)
-        data["format"] = FORMAT_VERSION
-        data["key"] = self.key
-        blob = json.dumps(data, separators=(",", ":"))
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                prefix=".snapshot-", suffix=".tmp", dir=str(self.directory)
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(blob)
-                os.replace(tmp, self.path)
-            except BaseException:
+            with self._writer_lock(), _governor.suspended():
+                merged = self._disk_roots()
+                merged.update(self._roots)
+                data = encode_roots(merged)
+                data["format"] = FORMAT_VERSION
+                data["key"] = self.key
+                blob = json.dumps(data, separators=(",", ":"))
+                _faults.maybe_fail("snapshot.write")
+                fd, tmp = tempfile.mkstemp(
+                    prefix=".snapshot-", suffix=".tmp", dir=str(self.directory)
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        handle.write(blob)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    _faults.maybe_fail("snapshot.write")
+                    os.replace(tmp, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
         except OSError:
             return
         self._dirty = False

@@ -86,6 +86,25 @@ class TestPlans:
         with pytest.raises(ValueError):
             FaultPlan(after=0)
 
+    def test_serving_sites_are_registered(self):
+        # PR 7 trigger sites, depended on by the daemon chaos harness.
+        for site in ("serve.dispatch", "serve.worker_exit", "snapshot.write"):
+            assert site in faults.SITES
+
+    def test_parse_plan_site_and_count(self):
+        plan = faults.parse_plan("serve.worker_exit:3")
+        assert plan.site == "serve.worker_exit"
+        assert plan.after == 3
+
+    def test_parse_plan_defaults_to_first_visit(self):
+        plan = faults.parse_plan("snapshot.write")
+        assert plan.site == "snapshot.write"
+        assert plan.after == 1
+
+    def test_parse_plan_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.parse_plan("no.such.site:2")
+
     def test_intern_site_aborts_before_insertion(self):
         # A genuinely fresh shape misses the interner; firing at that miss
         # must leave the interner without the aborted node.
@@ -142,6 +161,49 @@ class TestKernelExceptionSafety:
         got = ops.parallel(p, alphabet, q, alphabet, depth=4)
         want = ref.parallel(p, alphabet, q, alphabet, depth=4)
         assert got == want and got.traces == want.traces
+
+
+class TestSnapshotWriteExceptionSafety:
+    """Quantified abort-safety for the snapshot writer: abort the save
+    at *any* trigger visit and the on-disk file is still a complete
+    decodable snapshot (the old one — never a torn hybrid), and a clean
+    re-save persists everything that was pending."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=4))
+    def test_abort_anywhere_leaves_old_or_new_never_torn(self, after):
+        import shutil
+        import tempfile
+        from pathlib import Path
+
+        from repro.traces.prefix_closure import FiniteClosure
+        from repro.traces.snapshot import SnapshotCache
+
+        directory = Path(tempfile.mkdtemp(prefix="repro-snapfault-"))
+        try:
+            key = "deadbeef" * 4
+            root_a = FiniteClosure.from_traces([(event("a", 0),)]).root
+            root_b = FiniteClosure.from_traces([(event("b", 1),)]).root
+            cache = SnapshotCache(directory, key)
+            cache.put("fix:a", root_a)
+            cache.save()
+            cache.put("fix:b", root_b)
+            try:
+                with faults.inject(
+                    FaultPlan(site="snapshot.write", after=after)
+                ):
+                    cache.save()  # may abort before or after the temp write
+            except FaultInjected:
+                pass
+            mid = SnapshotCache(directory, key)
+            assert not mid.rebuilt and not mid.quarantined
+            assert mid.get("fix:a") is root_a  # old state always intact
+            cache.save()  # clean re-save completes the interrupted write
+            final = SnapshotCache(directory, key)
+            assert final.get("fix:a") is root_a
+            assert final.get("fix:b") is root_b
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
 
 
 class TestSemanticsExceptionSafety:

@@ -513,6 +513,47 @@ class TestEngineFlags:
             )
 
 
+class TestServeParser:
+    """The serve/--server surface (daemon behavior itself is covered by
+    tests/server/)."""
+
+    def _parse(self, argv):
+        from repro.cli import build_parser
+
+        return build_parser().parse_args(argv)
+
+    def test_serve_requires_socket(self):
+        with pytest.raises(SystemExit):
+            self._parse(["serve"])
+
+    def test_serve_defaults(self):
+        args = self._parse(["serve", "--socket", "/tmp/repro.sock"])
+        assert args.jobs == 2
+        assert args.queue_limit == 16
+        assert args.request_timeout == 300.0
+        assert args.grace == 2.0
+        assert args.max_attempts == 3
+        assert args.max_requests is None
+        assert args.inject is None
+
+    def test_check_accepts_server_flag(self):
+        args = self._parse(
+            ["check", "file.csp", "--spec", "a <= b",
+             "--server", "/tmp/repro.sock"]
+        )
+        assert args.server == "/tmp/repro.sock"
+
+    def test_server_refused_maps_to_exit_9(self, copier_file, capsys):
+        # no daemon behind the socket: the client exhausts its retries
+        # and the CLI maps the failure to the server exit code
+        code = main(
+            ["check", copier_file, "--spec", "wire <= input",
+             "--server", "/nonexistent/repro.sock"]
+        )
+        assert code == 9
+        assert "error" in capsys.readouterr().err
+
+
 class TestStats:
     def test_stats_reports_kernel_counters(self, copier_file, capsys):
         code = main(["stats", copier_file, "--process", "network", "--depth", "5"])

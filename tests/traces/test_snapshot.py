@@ -309,3 +309,166 @@ class TestSnapshotCache:
         warm = SnapshotCache(tmp_path, key)
         warm.save()  # nothing dirty: no write
         assert cache.path.stat().st_mtime_ns == stamp
+
+
+class TestSelfHealing:
+    """PR 7 robustness: corrupt files are quarantined (kept for autopsy,
+    never trusted, never fatal), writes are atomic + durable, and
+    concurrent writers merge instead of clobbering."""
+
+    def _saved_cache(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        cache = SnapshotCache(tmp_path, key)
+        cache.put("fix:p", _closure().root)
+        cache.save()
+        return key, cache
+
+    def test_corrupt_file_quarantined_not_deleted(self, tmp_path):
+        key, cache = self._saved_cache(tmp_path)
+        cache.path.write_text("{not json", encoding="utf-8")
+        reopened = SnapshotCache(tmp_path, key)
+        assert reopened.rebuilt and reopened.quarantined
+        assert not cache.path.exists()  # out of the trust path…
+        moved = tmp_path / "quarantine" / cache.path.name
+        assert moved.exists()  # …but kept for post-mortem
+        assert moved.read_text(encoding="utf-8") == "{not json"
+
+    def test_stale_format_quarantined(self, tmp_path):
+        key, cache = self._saved_cache(tmp_path)
+        data = json.loads(cache.path.read_text(encoding="utf-8"))
+        data["format"] = FORMAT_VERSION + 1
+        cache.path.write_text(json.dumps(data), encoding="utf-8")
+        reopened = SnapshotCache(tmp_path, key)
+        assert reopened.quarantined
+        assert (tmp_path / "quarantine" / cache.path.name).exists()
+
+    def test_quarantined_cache_heals_on_next_save(self, tmp_path):
+        key, cache = self._saved_cache(tmp_path)
+        cache.path.write_text("garbage", encoding="utf-8")
+        reopened = SnapshotCache(tmp_path, key)
+        reopened.put("fix:p", _closure().root)
+        reopened.save()
+        healed = SnapshotCache(tmp_path, key)
+        assert healed.loaded and not healed.rebuilt
+        assert healed.get("fix:p") is _closure().root
+
+    def test_clean_load_is_not_quarantined(self, tmp_path):
+        key, _ = self._saved_cache(tmp_path)
+        assert not SnapshotCache(tmp_path, key).quarantined
+
+    def test_write_fault_before_tempfile_leaves_old_file(self, tmp_path):
+        from repro.runtime import faults
+
+        key, cache = self._saved_cache(tmp_path)
+        before = cache.path.read_text(encoding="utf-8")
+        cache.put("fix:q", _closure().root)
+        with pytest.raises(faults.FaultInjected):
+            with faults.inject(faults.FaultPlan("snapshot.write", after=1)):
+                cache.save()
+        assert cache.path.read_text(encoding="utf-8") == before
+        assert not list(tmp_path.glob("*.tmp"))  # no litter
+
+    def test_write_fault_between_write_and_rename_is_atomic(self, tmp_path):
+        from repro.runtime import faults
+
+        key, cache = self._saved_cache(tmp_path)
+        before = cache.path.read_text(encoding="utf-8")
+        cache.put("fix:q", _closure().root)
+        with pytest.raises(faults.FaultInjected):
+            with faults.inject(faults.FaultPlan("snapshot.write", after=2)):
+                cache.save()
+        # the temp file was fully written, but never renamed into place:
+        # readers still see the old complete snapshot, and the temp file
+        # was unlinked on the way out
+        assert cache.path.read_text(encoding="utf-8") == before
+        assert not list(tmp_path.glob("*.tmp"))
+        assert SnapshotCache(tmp_path, key).loaded
+
+    def test_aborted_save_stays_dirty_and_retries(self, tmp_path):
+        from repro.runtime import faults
+
+        key, cache = self._saved_cache(tmp_path)
+        cache.put("fix:q", _closure().root)
+        with pytest.raises(faults.FaultInjected):
+            with faults.inject(faults.FaultPlan("snapshot.write", after=1)):
+                cache.save()
+        cache.save()  # clean retry persists everything
+        warm = SnapshotCache(tmp_path, key)
+        assert warm.get("fix:p") is _closure().root
+        assert warm.get("fix:q") is _closure().root
+
+    def test_concurrent_writers_merge_instead_of_clobber(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        first = SnapshotCache(tmp_path, key)
+        second = SnapshotCache(tmp_path, key)  # opened before first saves
+        first.put("fix:a", _closure().root)
+        second.put("fix:b", _closure().root)
+        first.save()
+        second.save()  # naive write-back would drop fix:a here
+        merged = SnapshotCache(tmp_path, key)
+        assert merged.get("fix:a") is _closure().root
+        assert merged.get("fix:b") is _closure().root
+
+    def test_merge_skips_defective_disk_state(self, tmp_path):
+        key = cache_key(DEFS, CFG)
+        cache = SnapshotCache(tmp_path, key)
+        cache.put("fix:p", _closure().root)
+        cache.path.parent.mkdir(parents=True, exist_ok=True)
+        cache.path.write_text("scribbled mid-merge", encoding="utf-8")
+        cache.save()  # defective disk state contributes nothing
+        warm = SnapshotCache(tmp_path, key)
+        assert warm.loaded
+        assert warm.get("fix:p") is _closure().root
+
+
+class TestConcurrentGovernedWriters:
+    """Satellite: two governed CLI invocations race on the *same*
+    snapshot file (same definitions, config, bindings — different
+    processes, hence disjoint ``fix:{name}@level{k}`` slots).  The
+    flock + merge-on-save discipline must keep the union: a lost update
+    would silently discard one client's checkpoints."""
+
+    def test_no_lost_update_between_concurrent_clients(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        source = tmp_path / "copier.csp"
+        source.write_text(
+            "copier = input?x:NAT -> wire!x -> copier;\n"
+            "recopier = wire?y:NAT -> output!y -> recopier;\n"
+            "network = chan wire; (copier || recopier)\n"
+        )
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        import repro
+
+        env["PYTHONPATH"] = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "traces", str(source),
+                    "--process", name, "--depth", "3",
+                    "--deadline", "60",  # governed → checkpoint-only slots
+                    "--cache-dir", str(cache_dir),
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            for name in ("copier", "recopier")
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        snapshots = list(cache_dir.glob("snapshot-*.json"))
+        assert len(snapshots) == 1  # same key: both raced on this file
+        roots = json.loads(snapshots[0].read_text(encoding="utf-8"))["roots"]
+        slots = set(roots)
+        assert any(
+            slot.startswith("fix:denotational:copier@") for slot in slots
+        )
+        assert any(
+            slot.startswith("fix:denotational:recopier@") for slot in slots
+        )
