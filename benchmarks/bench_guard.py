@@ -96,6 +96,15 @@ MIN_SNAPSHOT_SCALE_SPEEDUP = 5.0
 #: fraction).
 MIN_SERVE_SPEEDUP = 5.0
 
+#: The process pool must beat the thread pool by at least this factor
+#: on the largest recorded twin-machine case (the acceptance bar of the
+#: shared-memory arena work: two same-rank heavyweight SCCs, pure-Python
+#: solves, so threads serialise on the GIL while processes solve into
+#: private arenas and splice flat segments back).  Only the largest case
+#: is enforced — the smaller one is too fast for the fork/splice
+#: overhead to amortise reliably on a loaded host.
+MIN_PROCESS_SPEEDUP = 1.3
+
 #: Recorded baselines below this are too fast to re-time stably.
 MIN_BASELINE_S = 0.04
 
@@ -237,6 +246,36 @@ def check_engine(report: dict) -> list:
         )
         if not ok:
             failures.append(case["case"])
+    failures += check_process_jobs(report)
+    return failures
+
+
+def check_process_jobs(report: dict) -> list:
+    """Re-measure the twin-machine process-vs-thread cases; the largest
+    (last) one must keep the process pool ≥ ``MIN_PROCESS_SPEEDUP``
+    ahead of the thread pool."""
+    import os
+
+    from benchmarks.bench_kernel import PROCESS_JOBS_CASES, _process_jobs_case
+
+    failures = []
+    cases = report.get("process_jobs_cases", [])
+    if not hasattr(os, "fork"):
+        print("skip process-jobs cases (no os.fork)")
+        return failures
+    for i, recorded in enumerate(cases):
+        p, depth, sample = PROCESS_JOBS_CASES[i]
+        measured = _process_jobs_case(p, depth, sample)
+        floor = MIN_PROCESS_SPEEDUP if i == len(cases) - 1 else 0.0
+        ok = measured["speedup"] >= floor
+        print(
+            f"{'ok' if ok else 'FAIL':<4} {recorded['case']:<42} "
+            f"recorded ×{recorded['speedup']:<6} "
+            f"measured ×{measured['speedup']}"
+            + (f" (floor ×{floor})" if floor else "")
+        )
+        if not ok:
+            failures.append(recorded["case"])
     return failures
 
 

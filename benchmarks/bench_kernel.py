@@ -738,6 +738,80 @@ def _engine_cache_case(depth: int) -> dict:
     return case
 
 
+def _process_jobs_case(p: int, depth: int, sample: int) -> dict:
+    """Thread-pool vs process-pool wall clock on twin heavyweight state
+    machines — two independent definitions over disjoint channels, each
+    one strongly connected array SCC of ``p`` entries (the successor set
+    ``{i+1, i+98, i+195, i+292} mod p`` contains ``+1``, so every entry
+    reaches every other).  Both SCCs land at rank 0, one per worker.
+
+    Threads contend on the GIL for the pure-Python solve; processes
+    solve into private arenas and ship flat segments back, so the
+    speedup measures exactly what the splice path buys.  Roots are
+    asserted pointer-identical to a sequential solve before any timing
+    is recorded.
+    """
+    from repro.process.parser import parse_definitions
+    from repro.semantics.engine import DenotationEngine
+    from repro.traces.trie import private_state
+
+    def machine(tag: str) -> str:
+        return (
+            f"m{tag}[i:{{0..{p - 1}}}] = a{tag}?x:{{0,1,2,3}} "
+            f"-> b{tag}!((i+x) mod 5) -> m{tag}[(i+x*97+1) mod {p}]"
+        )
+
+    defs = parse_definitions("; ".join(machine(t) for t in ("x", "y")))
+    cfg = SemanticsConfig(depth=depth, sample=sample)
+
+    with private_state():
+        parallel_engine = DenotationEngine(
+            defs, None, cfg, jobs=2, parallel="processes"
+        )
+        parallel_engine.run()
+        sequential = DenotationEngine(defs, None, cfg)
+        sequential.run()
+        for name in ("mx", "my"):
+            for i in range(p):
+                assert (
+                    parallel_engine.closure_for(name, i).root
+                    is sequential.closure_for(name, i).root
+                )
+
+    def timed(mode: str) -> float:
+        best = None
+        for _ in range(2):
+            with private_state():
+                start = time.perf_counter()
+                DenotationEngine(
+                    defs, None, cfg, jobs=2, parallel=mode
+                ).run()
+                elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    thread_s = timed("threads")
+    process_s = timed("processes")
+    case = {
+        "case": f"process-jobs twin-machines p={p} depth={depth}",
+        "thread_s": round(thread_s, 4),
+        "process_s": round(process_s, 4),
+        "speedup": round(thread_s / process_s, 2)
+        if process_s
+        else float("inf"),
+    }
+    print(
+        f"{case['case']:<42} threads {thread_s * 1000:8.1f} ms   "
+        f"processes {process_s * 1000:8.1f} ms   ×{case['speedup']}"
+    )
+    return case
+
+
+#: (p, depth, sample) for the recorded process-jobs cases; the last
+#: (largest) one carries the bench_guard floor.
+PROCESS_JOBS_CASES = ((211, 16, 256), (317, 20, 320))
+
+
 def generate_engine(depths=(4, 5, 6)) -> dict:
     # philosophers was ineligible for the engine before sub-level deltas
     # (its table references out-of-sample subscripts at sample 2; at
@@ -751,16 +825,24 @@ def generate_engine(depths=(4, 5, 6)) -> dict:
         for system in (multiplier, protocol, philosophers)
     ]
     cache_cases = [_engine_cache_case(depth) for depth in (6, 7)]
+    process_cases = [
+        _process_jobs_case(p, depth, sample)
+        for p, depth, sample in PROCESS_JOBS_CASES
+    ]
     return {
         "description": (
             "Dependency-graph denotation engine vs. monolithic "
             "approximation chain: (entry, level) denotations performed "
-            "(deterministic) and cold-vs-warm snapshot-cache wall clock"
+            "(deterministic), cold-vs-warm snapshot-cache wall clock, "
+            "and thread-pool vs process-pool wall clock on twin "
+            "heavyweight same-rank SCCs"
         ),
         "definition_level_cases": level_cases,
         "cache_cases": cache_cases,
+        "process_jobs_cases": process_cases,
         "max_level_reduction": max(c["reduction"] for c in level_cases),
         "max_cache_speedup": max(c["speedup"] for c in cache_cases),
+        "max_process_speedup": max(c["speedup"] for c in process_cases),
     }
 
 

@@ -134,6 +134,87 @@ def _serve_case(name: str, filename: str, args: list) -> dict:
     }
 
 
+#: Concurrent clients hammering a two-worker pool in the concurrency
+#: case below.
+CONCURRENT_CLIENTS = 8
+
+
+def _concurrent_case() -> dict:
+    """Eight clients firing the same batch check at a two-worker pool at
+    once.  The first worker to solve the system exports its roots; the
+    supervisor ships them to the other pool member, so at most the pool
+    width of solves is ever paid.  Records wall clock for the concurrent
+    volley vs the same requests serialised through one connection, plus
+    the supervisor's warm-sharing counters."""
+    import threading
+
+    from repro.process.parser import parse_definitions
+    from repro.server.client import ServerClient
+    from repro.server.supervisor import Supervisor
+
+    source = EXAMPLES / "protocol.csp"
+    defs = parse_definitions(source.read_text(encoding="utf-8"))
+    query = dict(
+        spec=["output <= input"],
+        depth=6,
+        sets=["M=0,1"],
+        no_cache=True,
+    )
+    outputs = []
+    lock = threading.Lock()
+
+    def one_client(socket_path: str) -> None:
+        with ServerClient(socket_path) as client:
+            response = client.check(defs, **query)
+        with lock:
+            outputs.append((response["exit_code"], response["stdout"]))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        supervisor = Supervisor(os.path.join(tmp, "pool.sock"), jobs=2)
+        supervisor.start()
+        try:
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(
+                    target=one_client, args=(supervisor.socket_path,)
+                )
+                for _ in range(CONCURRENT_CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            concurrent_s = time.perf_counter() - start
+            if len({o for o in outputs}) != 1:
+                raise SystemExit(
+                    f"concurrent clients disagreed: {outputs!r}"
+                )
+            with ServerClient(supervisor.socket_path) as client:
+                start = time.perf_counter()
+                for _ in range(CONCURRENT_CLIENTS):
+                    client.check(defs, **query)
+                serial_s = time.perf_counter() - start
+                stats = client.stats()
+        finally:
+            supervisor.stop()
+    case = {
+        "case": f"concurrent clients n={CONCURRENT_CLIENTS} jobs=2",
+        "concurrent_s": round(concurrent_s, 4),
+        # the same volley serialised through one warm connection — the
+        # steady-state floor the concurrent path converges to once the
+        # pool is fully warmed
+        "serial_warm_s": round(serial_s, 4),
+        "ships": stats.get("ships", 0),
+        "shared_systems": stats.get("shared_systems", 0),
+    }
+    print(
+        f"{case['case']:<28} concurrent {concurrent_s * 1000:8.1f} ms   "
+        f"serial-warm {serial_s * 1000:8.1f} ms   "
+        f"({case['ships']} ship(s), {case['shared_systems']} shared)"
+    )
+    return case
+
+
 def generate() -> dict:
     cases = []
     for name, filename, args in CASES:
@@ -146,10 +227,13 @@ def generate() -> dict:
     return {
         "description": (
             "repro serve warm-daemon query latency vs cold single-shot "
-            "CLI invocation (same query, byte-identical verdict)"
+            "CLI invocation (same query, byte-identical verdict), plus "
+            "concurrent clients against a two-worker pool with "
+            "solved-system sharing"
         ),
         "python": sys.version.split()[0],
         "cases": cases,
+        "concurrent_cases": [_concurrent_case()],
     }
 
 

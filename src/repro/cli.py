@@ -22,10 +22,15 @@ cancellation function is available as ``--with-cancel f``.
 
 ``traces``/``check``/``stats`` run on the dependency-graph denotation
 engine: ``--jobs N`` solves independent fixpoint components on worker
-threads, and solved closures are snapshotted under ``~/.cache/repro``
-(override with ``--cache-dir``, disable with ``--no-cache``) so repeated
-invocations on the same system warm-start.  ``stats --explain-plan``
-prints the engine's SCC schedule and per-level delta/cache account.
+threads (or worker *processes* with ``--parallel processes``, each
+solving into a private arena whose results are spliced back into the
+canonical store), and solved closures are snapshotted under
+``~/.cache/repro`` (override with ``--cache-dir``, disable with
+``--no-cache``) so repeated invocations on the same system warm-start.
+``check`` accepts ``--spec`` repeatedly: all assertions are checked
+against one warm solved system, verdicts printed in order, and the exit
+code is the first failing assertion's.  ``stats --explain-plan`` prints
+the engine's SCC schedule and per-level delta/cache account.
 
 Long-running commands accept resource budgets — ``--deadline SECONDS``,
 ``--max-nodes N`` (freshly interned trie nodes), ``--max-states N``
@@ -203,6 +208,8 @@ def _remote(args: argparse.Namespace, op: str) -> int:
         sets=args.set or [],
         with_cancel=args.with_cancel,
         engine=args.engine,
+        jobs=args.jobs,
+        parallel=args.parallel,
         budget=budget,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
@@ -236,6 +243,7 @@ def cmd_traces(args: argparse.Namespace) -> int:
         config,
         engine=args.engine,
         jobs=args.jobs,
+        parallel=args.parallel,
         cache=cache,
     )
     result = checker.traces_partial(_target(args, defs))
@@ -261,21 +269,33 @@ def cmd_check(args: argparse.Namespace) -> int:
         config,
         engine=args.engine,
         jobs=args.jobs,
+        parallel=args.parallel,
         cache=cache,
     )
     target = _target(args, defs)
+    # A repeated --spec is a batch: every assertion runs against the
+    # same warm solved system, and the rendering rules (newline-joined
+    # non-empty outputs, first non-zero exit code, a budget trip ends
+    # the batch) mirror repro.server.worker.run_query exactly so local
+    # and remote invocations stay byte-identical.
+    outcomes = []
     try:
-        result = checker.check(target, args.spec)
-    except BudgetExceeded as exc:
-        outcome = check_outcome(target.name, args.spec, trip=exc)
-    else:
-        outcome = check_outcome(
-            target.name, args.spec, result=result, depth=args.depth
-        )
+        for spec in args.spec:
+            try:
+                result = checker.check(target, spec)
+            except BudgetExceeded as exc:
+                outcomes.append(check_outcome(target.name, spec, trip=exc))
+                break
+            outcomes.append(
+                check_outcome(target.name, spec, result=result, depth=args.depth)
+            )
     finally:
         if cache is not None:
             cache.save()
-    return _emit(*outcome)
+    stdout = "\n".join(out for out, _, _ in outcomes if out)
+    stderr = "\n".join(err for _, err, _ in outcomes if err)
+    code = next((c for _, _, c in outcomes if c), 0)
+    return _emit(stdout, stderr, code)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -295,6 +315,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         config,
         engine=args.engine,
         jobs=args.jobs,
+        parallel=args.parallel,
         cache=cache,
     )
     target = _target(args, defs)
@@ -304,7 +325,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
             from repro.semantics.engine import DenotationEngine
 
             engine = DenotationEngine(
-                defs, env, config, jobs=args.jobs, cache=cache
+                defs,
+                env,
+                config,
+                jobs=args.jobs,
+                parallel=args.parallel,
+                cache=cache,
             )
             print(engine.explain())
             if cache is not None:
@@ -455,6 +481,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     supervisor = Supervisor(
         args.socket,
         jobs=args.jobs,
+        parallel=args.parallel,
         queue_limit=args.queue_limit,
         request_timeout=args.request_timeout,
         grace=args.grace,
@@ -538,7 +565,15 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=1,
                 metavar="N",
-                help="worker threads for independent fixpoint components",
+                help="workers for independent fixpoint components",
+            )
+            p.add_argument(
+                "--parallel",
+                choices=("threads", "processes"),
+                default="threads",
+                help="worker flavour for --jobs: threads share the "
+                "canonical arena; processes solve into private arenas "
+                "whose packed segments are spliced back (default threads)",
             )
             p.add_argument(
                 "--cache-dir",
@@ -574,7 +609,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="model-check P sat R")
     common(p, engine=True)
     server_flag(p)
-    p.add_argument("--spec", required=True, help='assertion, e.g. "wire <= input"')
+    p.add_argument(
+        "--spec",
+        action="append",
+        required=True,
+        help='assertion, e.g. "wire <= input" (repeatable: all '
+        "assertions are checked against one warm solved system)",
+    )
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -630,6 +671,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="worker processes, each holding a warm kernel (default 2)",
+    )
+    p.add_argument(
+        "--parallel",
+        choices=("threads", "processes"),
+        default="threads",
+        help="default engine worker flavour inside each serve worker "
+        "for requests that do not name one (default threads)",
     )
     p.add_argument(
         "--queue-limit",

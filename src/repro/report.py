@@ -239,7 +239,10 @@ def run_experiments(quick: bool = False) -> List[ExperimentOutcome]:
 
         chain = ApproximationChain(copier.definitions(), copier.environment(), cfg)
         steps = chain.run_until_stable()
-        ok = steps <= cfg.depth + 1 and chain.is_monotone()
+        # copier's network hides ``wire``, so the chain iterates at its
+        # internal solve depth (hide_depth) — the depth+1 bound applies
+        # to that depth, not the requested one.
+        ok = steps <= chain.solve_depth + 1 and chain.is_monotone()
 
         # The dependency-graph engine must reproduce the monolithic chain
         # exactly — pointer-identical roots per definition — across the

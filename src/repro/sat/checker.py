@@ -108,6 +108,7 @@ class SatChecker:
         engine: str = "denotational",
         trie_walk: bool = True,
         jobs: int = 1,
+        parallel: str = "threads",
         cache: Optional[SnapshotCache] = None,
     ) -> None:
         if engine not in ("denotational", "operational"):
@@ -119,6 +120,10 @@ class SatChecker:
         self.engine = engine
         self.trie_walk = trie_walk
         self.jobs = jobs
+        #: Worker flavour for the denotation engine with ``jobs > 1`` —
+        #: ``"threads"`` (default) or ``"processes"`` (GIL-free SCC
+        #: solving, results spliced back as flat segments).
+        self.parallel = parallel
         self.cache = cache
         #: solve_depth → engine bindings (or _INELIGIBLE when solving the
         #: system failed and the checker fell back to pure unfolding).
@@ -240,6 +245,7 @@ class SatChecker:
                 self.env,
                 solve_config,
                 jobs=self.jobs,
+                parallel=self.parallel,
                 cache=cache,
             )
             try:

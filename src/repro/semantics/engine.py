@@ -20,16 +20,29 @@ fixpoint.  :class:`DenotationEngine` exploits that:
    level-(i+1) value — denotation is a function of the bindings).
 3. **Parallelise** — SCCs of equal topological rank share no dependency
    path, so with ``jobs > 1`` they are solved concurrently by worker
-   *threads*, each against a private kernel state
+   *threads* (the default), each against a private kernel state
    (:func:`~repro.traces.trie.private_state`); the main thread then
    re-interns their roots in plan order.  Interning is idempotent on
    structural keys, so the merge is deterministic and the final roots
-   are pointer-identical to a sequential run.  Threads (not processes)
-   keep environments with host functions usable and let every worker
-   share the ambient :class:`~repro.runtime.governor.Governor`, so
-   budgets and deadlines stay sound across workers and a worker's
+   are pointer-identical to a sequential run.  Threads keep
+   environments with host functions usable and let every worker share
+   the ambient :class:`~repro.runtime.governor.Governor`, so budgets
+   and deadlines stay sound across workers and a worker's
    :class:`~repro.errors.ReproError` propagates to the caller as
-   itself, not a pickled pool failure.
+   itself, not a pickled pool failure.  With ``parallel="processes"``
+   the same work units are instead forked to worker *processes* that
+   escape the GIL entirely: each child solves into its private arena,
+   ships its roots back over a pipe as flat format-2 segments
+   (:func:`~repro.traces.snapshot.export_segments`), and the parent
+   splices them into the canonical arena in plan order
+   (:func:`~repro.traces.snapshot.splice_segments` →
+   :meth:`~repro.traces.trie.Arena.append_rows`), charging each unit's
+   reported node delta to the ambient governor *before* the splice so
+   budget trips stay sound.  Forked children inherit the environment
+   (host functions included) and the governor's clock by copy, so
+   deadlines and limits trip at the same global thresholds; a child's
+   error is reconstructed in the parent by kind, and a child that dies
+   without a payload degrades to solving its units in-process.
 4. **Cache** — with a :class:`~repro.traces.snapshot.SnapshotCache`
    attached, solved roots are recorded per entry and whole SCCs whose
    members are all cached are skipped entirely on the next run.
@@ -41,10 +54,17 @@ refuses to pay for levels that cannot change anything.
 
 from __future__ import annotations
 
+import json
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
-from repro.errors import BudgetExceeded, SemanticsError
+from repro.errors import (
+    BudgetExceeded,
+    KernelStateError,
+    ReproError,
+    SemanticsError,
+)
 from repro.process.analysis import (
     EntryKey,
     Scc,
@@ -53,16 +73,23 @@ from repro.process.analysis import (
     definition_entries,
     entry_dependencies,
     scc_ranks,
+    uses_chan,
 )
 from repro.process.definitions import ArrayDef, DefinitionList
 from repro.runtime import governor as _governor
 from repro.runtime.governor import Checkpoint
 from repro.semantics.config import DEFAULT_CONFIG, SemanticsConfig
-from repro.semantics.denotation import Denoter
+from repro.semantics.denotation import KERNELS, Denoter
 from repro.traces import stats as _stats
 from repro.traces import trie as _trie
+from repro.runtime.faults import FaultInjected
 from repro.traces.prefix_closure import STOP_CLOSURE, FiniteClosure
-from repro.traces.snapshot import SnapshotCache
+from repro.traces.snapshot import (
+    SnapshotCache,
+    SnapshotError,
+    export_segments,
+    splice_segments,
+)
 from repro.traces.trie import private_state, reintern
 from repro.values.environment import Environment
 
@@ -141,14 +168,32 @@ class DenotationEngine:
         config: SemanticsConfig = DEFAULT_CONFIG,
         kernel: str = "trie",
         jobs: int = 1,
+        parallel: str = "threads",
         cache: Optional[SnapshotCache] = None,
     ) -> None:
+        if parallel not in ("threads", "processes"):
+            raise ValueError(
+                f"unknown parallel mode {parallel!r} "
+                f"(expected 'threads' or 'processes')"
+            )
         self.definitions = definitions
         self.env = env if env is not None else Environment()
         self.config = config
         self.kernel = kernel
         self.jobs = max(1, int(jobs))
+        self.parallel = parallel
         self.cache = cache
+        #: Internal solve depth — mirrors
+        #: :class:`~repro.semantics.fixpoint.ApproximationChain`: ``chan``
+        #: bodies consult bindings at ``hide_depth``, so chan-bearing
+        #: definition lists are solved at ``hide_depth`` and truncated to
+        #: ``config.depth`` at the export boundary (``fixpoint`` /
+        #: ``closure_for`` / ``bindings``).
+        self.solve_depth = config.depth
+        if config.hide_depth > config.depth and any(
+            uses_chan(d.body) for d in definitions
+        ):
+            self.solve_depth = config.hide_depth
         # Plan (built lazily by _plan).
         self._entries: Optional[List[EntryKey]] = None
         self._deps: Dict[EntryKey, Tuple[EntryKey, ...]] = {}
@@ -192,7 +237,7 @@ class DenotationEngine:
                 )
         for definition in self.definitions:
             self._consult[definition.name] = consult_depths(
-                definition.body, self.config.depth, self.config.hide_depth
+                definition.body, self.solve_depth, self.config.hide_depth
             )
 
     def plan(self) -> List[Tuple[int, Scc]]:
@@ -231,7 +276,10 @@ class DenotationEngine:
             if not cached:
                 pending.append(i)
         if self.jobs > 1 and len(pending) > 1:
-            self._solve_parallel(rank, pending)
+            if self.parallel == "processes" and hasattr(os, "fork"):
+                self._solve_processes(rank, pending)
+            else:
+                self._solve_parallel(rank, pending)
         else:
             for i in pending:
                 solution, report = self._solve_scc(self._sccs[i], rank)
@@ -306,6 +354,185 @@ class DenotationEngine:
             raise first_error
         for solution, report in outcomes:
             self._merge(solution, report, reintern_roots=True)
+
+    def _solve_processes(self, rank: int, indices: List[int]) -> None:
+        """Solve independent same-rank SCCs in forked worker processes.
+
+        Each child solves a stride of the rank's pending SCCs into a
+        private kernel state and writes one JSON payload — per-unit flat
+        segment roots (:func:`~repro.traces.snapshot.export_segments`),
+        a report, and governor deltas — to its pipe, then exits.  The
+        parent closes each write end immediately after forking (so no
+        later child holds an earlier pipe open past its writer's death),
+        reads every payload to EOF, and splices units back **in plan
+        order**: each unit's node delta is charged to the ambient
+        governor *before* its segments are appended, so a budget trip
+        admits none of that unit (the :meth:`Arena.append_rows`
+        contract), and the canonical interner sees the same insertion
+        sequence regardless of child timing — final roots are
+        pointer-identical to a sequential run.
+
+        A child that reports an error stops the merge: the parent
+        re-raises the plan-order-first failure rebuilt by kind (budget
+        trips arrive with their checkpoint and mark the parent governor
+        exhausted).  A child that dies without a parseable payload —
+        crash, ``os._exit`` mid-write, injected fault in the write path
+        — is not fatal: its units are re-solved in-process at their
+        plan-order slots, sound because nothing from the torn payload
+        was admitted (PR 2 abort safety).
+        """
+        jobs = min(self.jobs, len(indices))
+        parts = [indices[k::jobs] for k in range(jobs)]
+        children: List[Tuple[int, int, List[int]]] = []
+        read_fds: List[int] = []
+        for part in parts:
+            r, w = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                status = 1
+                try:
+                    os.close(r)
+                    for fd in read_fds:
+                        os.close(fd)
+                    self._child_run(part, rank, w)
+                    status = 0
+                finally:
+                    os._exit(status)
+            os.close(w)
+            read_fds.append(r)
+            children.append((pid, r, part))
+        payloads: List[Tuple[List[int], Optional[dict]]] = []
+        for pid, r, part in children:
+            chunks: List[bytes] = []
+            try:
+                while True:
+                    chunk = os.read(r, 1 << 16)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            finally:
+                os.close(r)
+            os.waitpid(pid, 0)
+            payload: Optional[dict] = None
+            if chunks:
+                try:
+                    decoded = json.loads(b"".join(chunks))
+                    if isinstance(decoded, dict) and "units" in decoded:
+                        payload = decoded
+                except ValueError:
+                    payload = None
+            payloads.append((part, payload))
+
+        units: Dict[int, dict] = {}
+        errors: List[dict] = []
+        for part, payload in payloads:
+            if payload is None:
+                continue  # dead child: its indices re-solve in-process
+            for unit in payload["units"]:
+                units[int(unit["index"])] = unit
+            error = payload.get("error")
+            if error is not None:
+                errors.append(error)
+        if errors:
+            first = min(errors, key=lambda e: int(e.get("index", 0)))
+            exc = _error_from_wire(first)
+            if isinstance(exc, BudgetExceeded):
+                governor = _governor.current()
+                if governor is not None:
+                    governor.exhausted = True
+            raise exc
+
+        governor = _governor.current()
+        for index in indices:
+            unit = units.get(index)
+            if unit is not None:
+                if governor is not None:
+                    nodes = int(unit.get("nodes", 0))
+                    if nodes:
+                        governor.note_nodes(nodes)
+                    states = int(unit.get("states", 0))
+                    if states:
+                        governor.states_touched += states - 1
+                        governor.note_state()
+                try:
+                    decoded = splice_segments(unit["roots"])
+                except SnapshotError:
+                    unit = None  # torn segments: re-solve in-process
+            if unit is None:
+                solution, report = self._solve_scc(self._sccs[index], rank)
+                self._merge(solution, report, reintern_roots=False)
+                continue
+            by_pretty = {e.pretty(): e for e in self._sccs[index].entries}
+            solution = {
+                by_pretty[slot]: FiniteClosure.from_node(node)
+                for slot, node in decoded.items()
+            }
+            report = _report_from_wire(unit["report"])
+            self._merge(solution, report, reintern_roots=False)
+
+    def _child_run(self, indices: List[int], rank: int, fd: int) -> None:
+        """Worker-process body: solve ``indices`` in order, write one
+        JSON payload to ``fd``, close it.  Runs in the forked child only
+        (a method so tests can monkeypatch it to simulate crashes).
+
+        The dependency carry-in (re-interning ``self._resolved`` into
+        the child's private arena) runs with the governor suspended —
+        that work was already charged when the parent solved it; only
+        each unit's own solve delta is reported, which is what keeps
+        parent-side accounting exact with respect to a sequential run.
+        The inherited governor still trips at the correct *global*
+        thresholds: fork copies its accumulated counters and its clock.
+        """
+        governor = _governor.current()
+        units: List[dict] = []
+        error: Optional[dict] = None
+        for index in indices:
+            try:
+                with private_state():
+                    with _governor.suspended():
+                        resolved = {
+                            entry: FiniteClosure.from_node(reintern(closure.root))
+                            for entry, closure in self._resolved.items()
+                        }
+                    nodes0 = governor.nodes_interned if governor is not None else 0
+                    states0 = governor.states_touched if governor is not None else 0
+                    solution, report = self._solve_scc(
+                        self._sccs[index], rank, resolved
+                    )
+                    units.append(
+                        {
+                            "index": index,
+                            "roots": export_segments(
+                                {
+                                    entry.pretty(): closure.root
+                                    for entry, closure in solution.items()
+                                }
+                            ),
+                            "report": _report_wire(report),
+                            "nodes": (
+                                governor.nodes_interned - nodes0
+                                if governor is not None
+                                else 0
+                            ),
+                            "states": (
+                                governor.states_touched - states0
+                                if governor is not None
+                                else 0
+                            ),
+                        }
+                    )
+            except Exception as exc:
+                error = _error_wire(exc, index)
+                break
+        payload: Dict[str, object] = {"ok": error is None, "units": units}
+        if error is not None:
+            payload["error"] = error
+        blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        view = memoryview(blob)
+        while view:
+            written = os.write(fd, view)
+            view = view[written:]
+        os.close(fd)
 
     def _merge(
         self,
@@ -478,8 +705,8 @@ class DenotationEngine:
         definition = self.definitions.lookup(entry.name)
         if isinstance(definition, ArrayDef):
             body_env = self.env.bind(definition.parameter, entry.subscript)
-            return denoter._denote(definition.body, body_env, self.config.depth)
-        return denoter._denote(definition.body, self.env, self.config.depth)
+            return denoter._denote(definition.body, body_env, self.solve_depth)
+        return denoter._denote(definition.body, self.env, self.solve_depth)
 
     def _bindings(
         self,
@@ -575,6 +802,13 @@ class DenotationEngine:
 
     # -- results -----------------------------------------------------------
 
+    def _export_closure(self, closure: FiniteClosure) -> FiniteClosure:
+        """Truncate an internally solved closure to ``config.depth`` (a
+        no-op unless ``chan`` forced a deeper solve)."""
+        if self.solve_depth == self.config.depth:
+            return closure
+        return KERNELS[self.kernel].truncate(closure, self.config.depth)
+
     def fixpoint(self) -> Dict[str, object]:
         """The solved system, shaped exactly like
         :meth:`ApproximationChain.fixpoint`: closures for plain names,
@@ -584,11 +818,15 @@ class DenotationEngine:
         for definition in self.definitions:
             if isinstance(definition, ArrayDef):
                 result[definition.name] = {
-                    v: self._resolved[EntryKey(definition.name, v)]
+                    v: self._export_closure(
+                        self._resolved[EntryKey(definition.name, v)]
+                    )
                     for v in self._sampled[definition.name]
                 }
             else:
-                result[definition.name] = self._resolved[EntryKey(definition.name)]
+                result[definition.name] = self._export_closure(
+                    self._resolved[EntryKey(definition.name)]
+                )
         return result
 
     def closure_for(self, name: str, subscript: object = None) -> FiniteClosure:
@@ -602,10 +840,10 @@ class DenotationEngine:
                 raise SemanticsError(
                     f"array {name!r} has no sampled subscript {subscript!r}"
                 )
-            return self._resolved[entry]
+            return self._export_closure(self._resolved[entry])
         if subscript is not None:
             raise SemanticsError(f"{name!r} is not a process array")
-        return self._resolved[EntryKey(name)]
+        return self._export_closure(self._resolved[EntryKey(name)])
 
     def bindings(self, fallback: bool = False) -> Dict[str, object]:
         """The solved system as Denoter ``process_bindings`` (plain names
@@ -614,7 +852,13 @@ class DenotationEngine:
         ``None`` so the Denoter unfolds them on demand instead of
         erroring — the per-subscript eligibility mode of the checker."""
         self.run()
-        return self._bindings({}, fallback=fallback)
+        if self.solve_depth == self.config.depth:
+            return self._bindings({}, fallback=fallback)
+        resolved = {
+            entry: self._export_closure(closure)
+            for entry, closure in self._resolved.items()
+        }
+        return self._bindings({}, fallback=fallback, resolved=resolved)
 
     def levels_computed(self) -> int:
         """Longest local chain among recursive SCCs (+1 for the bottom) —
@@ -637,7 +881,8 @@ class DenotationEngine:
             f"engine plan: {len(self._entries)} entries, "
             f"{len(self._sccs)} SCCs, "
             f"{(max(self._ranks) + 1) if self._ranks else 0} ranks, "
-            f"jobs={self.jobs}",
+            f"jobs={self.jobs}"
+            + (f" ({self.parallel})" if self.jobs > 1 else ""),
         ]
         for report in sorted(self.reports, key=lambda r: r.rank):
             label = " ".join(report.entries)
@@ -694,6 +939,102 @@ def _slot(entry: EntryKey) -> str:
     return f"fix:{entry.pretty()}"
 
 
+# -- process-dispatch wire helpers ------------------------------------------
+#
+# The child payload is JSON: segment roots travel as format-2 base64
+# fields (already JSON-shaped), reports and errors as small structured
+# dicts.  Errors are rebuilt *by kind* so the parent raises the same
+# exception class the child did — a budget trip arrives with its
+# checkpoint, an injected fault stays a FaultInjected (never swallowed
+# into the ReproError hierarchy), and anything unrecognised degrades to
+# a ReproError carrying the child's message.
+
+
+def _report_wire(report: SccReport) -> dict:
+    return {
+        "entries": list(report.entries),
+        "rank": report.rank,
+        "recursive": report.recursive,
+        "levels": [
+            [lv.level, list(lv.redenoted), list(lv.skipped), list(lv.horizon)]
+            for lv in report.levels
+        ],
+    }
+
+
+def _report_from_wire(wire: dict) -> SccReport:
+    return SccReport(
+        entries=tuple(wire["entries"]),
+        rank=int(wire["rank"]),
+        recursive=bool(wire["recursive"]),
+        cache_hit=False,
+        levels=tuple(
+            LevelReport(int(level), tuple(redo), tuple(skip), tuple(horizon))
+            for level, redo, skip, horizon in wire["levels"]
+        ),
+    )
+
+
+def _checkpoint_wire(checkpoint: Optional[Checkpoint]) -> Optional[dict]:
+    if checkpoint is None:
+        return None
+    return {
+        "phase": checkpoint.phase,
+        "completed_depth": checkpoint.completed_depth,
+        "traces_verified": checkpoint.traces_verified,
+        "states_explored": checkpoint.states_explored,
+        "nodes_interned": checkpoint.nodes_interned,
+        "elapsed": checkpoint.elapsed,
+    }
+
+
+def _checkpoint_from_wire(wire: Optional[dict]) -> Optional[Checkpoint]:
+    if not isinstance(wire, dict):
+        return None
+    return Checkpoint(
+        phase=str(wire.get("phase", "")),
+        completed_depth=wire.get("completed_depth"),
+        traces_verified=int(wire.get("traces_verified", 0)),
+        states_explored=int(wire.get("states_explored", 0)),
+        nodes_interned=int(wire.get("nodes_interned", 0)),
+        elapsed=float(wire.get("elapsed", 0.0)),
+    )
+
+
+def _error_wire(exc: BaseException, index: int) -> dict:
+    wire: Dict[str, object] = {
+        "kind": type(exc).__name__,
+        "message": str(exc),
+        "index": index,
+    }
+    if isinstance(exc, BudgetExceeded):
+        wire["resource"] = exc.resource
+        wire["limit"] = exc.limit if isinstance(exc.limit, (int, str)) else str(exc.limit)
+        wire["checkpoint"] = _checkpoint_wire(exc.checkpoint)
+    elif isinstance(exc, FaultInjected):
+        wire["site"] = exc.site
+        wire["visit"] = exc.visit
+    return wire
+
+
+def _error_from_wire(wire: dict) -> BaseException:
+    kind = wire.get("kind")
+    message = str(wire.get("message", "worker process failed"))
+    if kind == "BudgetExceeded":
+        return BudgetExceeded(
+            str(wire.get("resource", "budget")),
+            wire.get("limit"),
+            _checkpoint_from_wire(wire.get("checkpoint")),
+        )
+    if kind == "FaultInjected":
+        return FaultInjected(str(wire.get("site", "?")), int(wire.get("visit", 0)))
+    if kind == "KernelStateError":
+        return KernelStateError(message)
+    if kind == "SemanticsError":
+        return SemanticsError(message)
+    return ReproError(message)
+
+
 def engine_denotation(
     definitions: DefinitionList,
     name: str,
@@ -701,12 +1042,13 @@ def engine_denotation(
     env: Optional[Environment] = None,
     config: SemanticsConfig = DEFAULT_CONFIG,
     jobs: int = 1,
+    parallel: str = "threads",
     cache: Optional[SnapshotCache] = None,
 ) -> FiniteClosure:
     """Denote ``name`` (or ``name[subscript]``) via the dependency-graph
     engine — the engine-backed counterpart of
     :func:`~repro.semantics.fixpoint.fixpoint_denotation`."""
     engine = DenotationEngine(
-        definitions, env, config, jobs=jobs, cache=cache
+        definitions, env, config, jobs=jobs, parallel=parallel, cache=cache
     )
     return engine.closure_for(name, subscript)

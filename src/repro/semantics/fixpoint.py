@@ -31,7 +31,12 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import BudgetExceeded, SemanticsError
-from repro.process.analysis import EntryKey, consult_depths, entry_dependencies
+from repro.process.analysis import (
+    EntryKey,
+    consult_depths,
+    entry_dependencies,
+    uses_chan,
+)
 from repro.process.definitions import ArrayDef, DefinitionList
 from repro.runtime import faults as _faults
 from repro.runtime import governor as _governor
@@ -113,6 +118,21 @@ class ApproximationChain:
         self.env = env if env is not None else Environment()
         self.config = config
         self.kernel = kernel
+        #: Internal iteration depth.  ``chan`` bodies are explored at
+        #: ``hide_depth`` before hiding, so any binding consulted inside
+        #: one must carry traces up to that depth; a chain iterated only
+        #: at ``config.depth`` under-approximates those consultations
+        #: (visible depth-``d`` traces can require hidden chatter deeper
+        #: than ``d`` in a referenced component).  Iterating at
+        #: ``hide_depth`` and truncating the exported fixpoint restores
+        #: agreement with unfold-on-demand: truncation commutes with the
+        #: solve, and the level bound keeps recursion-through-chan
+        #: terminating where pure unfolding would diverge.
+        self.solve_depth = config.depth
+        if config.hide_depth > config.depth and any(
+            uses_chan(d.body) for d in definitions
+        ):
+            self.solve_depth = config.hide_depth
         if resume_from is not None:
             levels = (
                 resume_from.payload.get("levels")
@@ -222,7 +242,7 @@ class ApproximationChain:
         if self._consult is None:
             self._consult = {
                 d.name: consult_depths(
-                    d.body, self.config.depth, self.config.hide_depth
+                    d.body, self.solve_depth, self.config.hide_depth
                 )
                 for d in self.definitions
             }
@@ -266,7 +286,7 @@ class ApproximationChain:
                                 EntryKey(definition.name, value),
                                 prev_table[value],
                                 lambda env=body_env: denoter._denote(
-                                    definition.body, env, self.config.depth
+                                    definition.body, env, self.solve_depth
                                 ),
                             )
                         nxt[definition.name] = table
@@ -275,7 +295,7 @@ class ApproximationChain:
                             EntryKey(definition.name),
                             previous[definition.name],
                             lambda: denoter._denote(
-                                definition.body, self.env, self.config.depth
+                                definition.body, self.env, self.solve_depth
                             ),
                         )
         except BudgetExceeded as exc:
@@ -365,9 +385,28 @@ class ApproximationChain:
 
     def fixpoint(self) -> Approximation:
         """∪ᵢ aᵢ at the configured depth (= the stable level, by
-        monotonicity)."""
+        monotonicity, truncated from the internal solve depth when
+        ``chan`` forced a deeper iteration)."""
         self.run_until_stable()
-        return self._levels[-1]
+        return self._export(self._levels[-1])
+
+    def _export(self, level: Approximation) -> Approximation:
+        """Truncate a (possibly deep-solved) level to ``config.depth``."""
+        if self.solve_depth == self.config.depth:
+            return level
+        from repro.semantics.denotation import KERNELS
+
+        ops = KERNELS[self.kernel]
+        exported: Approximation = {}
+        for name, value in level.items():
+            if isinstance(value, dict):
+                exported[name] = {
+                    v: ops.truncate(c, self.config.depth)
+                    for v, c in value.items()
+                }
+            else:
+                exported[name] = ops.truncate(value, self.config.depth)
+        return exported
 
     def closure_for(self, name: str, subscript: object = None) -> FiniteClosure:
         """The fixpoint denotation of ``p`` or ``q[subscript]``."""

@@ -159,17 +159,22 @@ class ServerClient:
     def check(
         self,
         definitions: Any,
-        spec: str,
+        spec: Any,
         process: Optional[str] = None,
         depth: int = 5,
         sample: int = 2,
         sets: Sequence[str] = (),
         with_cancel: Optional[str] = None,
         engine: str = "denotational",
+        jobs: int = 1,
+        parallel: str = "threads",
         budget: Optional[Budget] = None,
         cache_dir: Optional[str] = None,
         no_cache: bool = False,
     ) -> Dict[str, Any]:
+        """``spec`` may be one assertion or a list of assertions; a list
+        is checked as a batch against one warm solved system and the
+        response carries a per-assertion ``verdicts`` array."""
         return self.call(
             protocol.query(
                 "check",
@@ -181,6 +186,8 @@ class ServerClient:
                 sets=sets,
                 with_cancel=with_cancel,
                 engine=engine,
+                jobs=jobs,
+                parallel=parallel,
                 budget=budget,
                 cache_dir=cache_dir,
                 no_cache=no_cache,
@@ -196,6 +203,8 @@ class ServerClient:
         sets: Sequence[str] = (),
         with_cancel: Optional[str] = None,
         engine: str = "denotational",
+        jobs: int = 1,
+        parallel: str = "threads",
         budget: Optional[Budget] = None,
         cache_dir: Optional[str] = None,
         no_cache: bool = False,
@@ -210,6 +219,8 @@ class ServerClient:
                 sets=sets,
                 with_cancel=with_cancel,
                 engine=engine,
+                jobs=jobs,
+                parallel=parallel,
                 budget=budget,
                 cache_dir=cache_dir,
                 no_cache=no_cache,

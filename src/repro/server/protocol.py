@@ -12,11 +12,19 @@ A *request* carries::
     {"id": <hex>,              # idempotency token, chosen by the client
      "op": "check"|"traces"|"ping"|"stats"|"shutdown",
      "definitions": <serialize.encode(DefinitionList)>,
-     "process": <name or null>, "spec": <assertion or null>,
+     "process": <name or null>,
+     "spec": <assertion, list of assertions, or null>,
      "depth": N, "sample": N, "sets": [...], "with_cancel": <name|null>,
      "engine": "denotational"|"operational",
+     "jobs": N, "parallel": "threads"|"processes",
      "budget": {"deadline": s, "max_nodes": n, "max_states": n} | null,
      "cache_dir": <path|null>, "no_cache": bool}
+
+A ``check`` request whose ``spec`` is a *list* is a batch: every
+assertion is checked against the same warm solved system inside one
+worker dispatch, and the response carries a ``verdicts`` array (one
+``{"spec", "exit_code", "stdout", "stderr"}`` entry per assertion, in
+request order) beside the concatenated top-level rendering.
 
 A *response* carries ``id``, a coarse ``status`` (``OK`` — the query
 ran, see ``exit_code`` for the verdict; ``OVERLOADED`` — shed by the
@@ -81,12 +89,14 @@ def query(
     op: str,
     definitions: Any,
     process: Optional[str] = None,
-    spec: Optional[str] = None,
+    spec: Any = None,
     depth: int = 5,
     sample: int = 2,
     sets: Sequence[str] = (),
     with_cancel: Optional[str] = None,
     engine: str = "denotational",
+    jobs: int = 1,
+    parallel: str = "threads",
     budget: Optional[Budget] = None,
     cache_dir: Optional[str] = None,
     no_cache: bool = False,
@@ -96,18 +106,21 @@ def query(
 
     ``sets`` is sorted exactly like the CLI sorts ``--set`` bindings, so
     a remote query lands on the *same* snapshot cache key as the local
-    invocation it mirrors.
+    invocation it mirrors.  ``spec`` may be a single assertion or a list
+    of assertions (a batch checked in one dispatch).
     """
     payload: Dict[str, Any] = {
         "op": op,
         "definitions": serialize.encode(definitions),
         "process": process,
-        "spec": spec,
+        "spec": list(spec) if isinstance(spec, (list, tuple)) else spec,
         "depth": depth,
         "sample": sample,
         "sets": sorted(sets),
         "with_cancel": with_cancel,
         "engine": engine,
+        "jobs": int(jobs),
+        "parallel": parallel,
         "no_cache": bool(no_cache),
     }
     if budget is not None:

@@ -56,9 +56,22 @@ CHECKER_POOL_SIZE = 8
 
 _CHECKERS: "OrderedDict[str, Tuple[Any, Any]]" = OrderedDict()
 
+#: Solved-system roots adopted from sibling workers via the supervisor's
+#: ``warm`` op, keyed by situation — spliced into this worker's arena and
+#: seeded into the next checker built for that situation.
+_WARM_ROOTS: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+#: Engine-parallel mode applied when a request does not carry one
+#: (``repro serve --parallel processes`` sets it pool-wide).
+_DEFAULT_PARALLEL = "threads"
+
 
 def _situation_key(request: Dict[str, Any]) -> str:
-    """One string per semantic situation a checker can be reused for."""
+    """One string per semantic situation a checker can be reused for.
+
+    Built from the *raw* request fields only, so the supervisor (which
+    routes shared solved-system roots by this key) computes the identical
+    key without knowing the worker's defaults."""
     import json
 
     return json.dumps(
@@ -69,12 +82,72 @@ def _situation_key(request: Dict[str, Any]) -> str:
             sorted(request.get("sets") or []),
             request.get("with_cancel"),
             request.get("engine", "denotational"),
+            request.get("jobs", 1),
+            request.get("parallel"),
             request.get("cache_dir"),
             bool(request.get("no_cache")),
         ],
         sort_keys=True,
         separators=(",", ":"),
     )
+
+
+class MemoryRootsCache:
+    """Slot→root cache layered over the optional disk snapshot cache.
+
+    The in-memory layer is the unit of cross-worker solved-system
+    sharing: every root this worker solves is recorded under its slot
+    (``fresh`` until exported), and roots a sibling solved arrive
+    pre-spliced via :meth:`adopt`.  Presents the same ``get``/``put``/
+    ``save`` surface as :class:`~repro.traces.snapshot.SnapshotCache`,
+    so checkers and engines use it unchanged."""
+
+    #: Never checkpoint-only — governed requests bypass sharing entirely.
+    checkpoint_only = False
+
+    def __init__(self, inner: Any = None, seed: Optional[Dict[str, Any]] = None):
+        self.inner = inner
+        self.roots: Dict[str, Any] = dict(seed or {})
+        self.fresh: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def rebuilt(self) -> bool:
+        return bool(getattr(self.inner, "rebuilt", False))
+
+    def get(self, slot: str):
+        node = self.roots.get(slot)
+        if node is None and self.inner is not None:
+            node = self.inner.get(slot)
+            if node is not None:
+                self.roots[slot] = node
+        if node is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return node
+
+    def put(self, slot: str, root: Any) -> None:
+        self.roots[slot] = root
+        self.fresh[slot] = root
+        if self.inner is not None:
+            self.inner.put(slot, root)
+
+    def adopt(self, roots: Dict[str, Any]) -> None:
+        """Merge spliced sibling roots (never overwriting local solves,
+        and never re-exported — the pool already has them)."""
+        for slot, node in roots.items():
+            self.roots.setdefault(slot, node)
+
+    def take_fresh(self) -> Dict[str, Any]:
+        """Roots solved locally since the last export (and reset)."""
+        fresh, self.fresh = self.fresh, {}
+        return fresh
+
+    def save(self) -> None:
+        if self.inner is not None:
+            self.inner.save()
 
 
 def _open_cache(request: Dict[str, Any], defs: Any, config: Any, governed: bool):
@@ -120,11 +193,17 @@ def _checker_for(request: Dict[str, Any], defs: Any, governed: bool):
         request.get("sets") or [], request.get("with_cancel")
     )
     cache = _open_cache(request, defs, config, governed)
+    if not governed:
+        # Ungoverned checkers cache through the shared-roots layer, so a
+        # system a sibling worker already solved warm-starts here too.
+        cache = MemoryRootsCache(inner=cache, seed=_WARM_ROOTS.get(key))
     checker = SatChecker(
         defs,
         env,
         config,
         engine=request.get("engine", "denotational"),
+        jobs=int(request.get("jobs") or 1),
+        parallel=request.get("parallel") or _DEFAULT_PARALLEL,
         cache=cache,
     )
     if key is not None:
@@ -160,23 +239,54 @@ def run_query(request: Dict[str, Any]) -> Dict[str, Any]:
     budget = Budget.from_spec(request.get("budget"))
     governor = budget.start() if budget is not None else None
     resume_slots: Tuple[str, ...] = ()
+    verdicts: list = []
     with activate(governor):
         checker, cache = _checker_for(request, defs, governor is not None)
         try:
             if request["op"] == "check":
-                spec = request.get("spec")
-                if not spec:
+                raw = request.get("spec")
+                if not raw:
                     raise ServerError("check request carries no spec")
-                try:
-                    result = checker.check(target, spec)
-                except BudgetExceeded as exc:
-                    stdout, stderr, code = check_outcome(name, spec, trip=exc)
-                    if exc.checkpoint is not None:
-                        resume_slots = exc.checkpoint.resume_slots()
-                else:
-                    stdout, stderr, code = check_outcome(
+                specs = list(raw) if isinstance(raw, list) else [raw]
+                if not all(isinstance(s, str) and s for s in specs):
+                    raise ServerError("check batch carries a non-string spec")
+                # Batch: every assertion runs against the same checker —
+                # the system is solved once, later specs pay only the sat
+                # walk.  A budget trip ends the batch (soundly partial).
+                for spec in specs:
+                    try:
+                        result = checker.check(target, spec)
+                    except BudgetExceeded as exc:
+                        s_out, s_err, s_code = check_outcome(
+                            name, spec, trip=exc
+                        )
+                        if exc.checkpoint is not None:
+                            resume_slots = exc.checkpoint.resume_slots()
+                        verdicts.append(
+                            {
+                                "spec": spec,
+                                "exit_code": s_code,
+                                "stdout": s_out,
+                                "stderr": s_err,
+                            }
+                        )
+                        break
+                    s_out, s_err, s_code = check_outcome(
                         name, spec, result=result, depth=checker.config.depth
                     )
+                    verdicts.append(
+                        {
+                            "spec": spec,
+                            "exit_code": s_code,
+                            "stdout": s_out,
+                            "stderr": s_err,
+                        }
+                    )
+                stdout = "\n".join(v["stdout"] for v in verdicts if v["stdout"])
+                stderr = "\n".join(v["stderr"] for v in verdicts if v["stderr"])
+                code = next(
+                    (v["exit_code"] for v in verdicts if v["exit_code"]), 0
+                )
             else:
                 partial = checker.traces_partial(target)
                 stdout, stderr, code = traces_outcome(
@@ -193,9 +303,56 @@ def run_query(request: Dict[str, Any]) -> Dict[str, Any]:
         "stderr": stderr,
         "pid": os.getpid(),
     }
+    if request["op"] == "check":
+        response["verdicts"] = verdicts
     if resume_slots:
         response["resume_slots"] = list(resume_slots)
+    if isinstance(cache, MemoryRootsCache) and cache.take_fresh():
+        # Export the *whole* slot map, not just the fresh slots — each
+        # segment frame must be self-contained (root ids are local to
+        # its node tables), and the supervisor replaces frames wholesale.
+        from repro.traces.snapshot import export_segments
+
+        response["solved"] = {
+            "situation": _situation_key(request),
+            "roots": export_segments(cache.roots),
+        }
     return response
+
+
+def adopt_roots(request: Dict[str, Any]) -> Dict[str, Any]:
+    """The supervisor's ``warm`` op: splice a sibling worker's solved
+    roots (flat format-2 segments) into this worker's canonical arena
+    and remember them per situation, so the next checker built for that
+    situation restores them instead of solving.
+
+    Splicing validates the payload fully — a torn or corrupt segment
+    raises and becomes an ``ERROR`` response, leaving the arena exactly
+    as it was (the bulk path appends only after validation), so a worker
+    can never be poisoned by a bad warm frame."""
+    from repro.traces.snapshot import splice_segments
+
+    rid = request.get("id")
+    situation = request.get("situation")
+    if not situation or not isinstance(request.get("roots"), dict):
+        raise ServerError("warm request carries no situation or roots")
+    roots = splice_segments(request["roots"])
+    known = _WARM_ROOTS.setdefault(situation, {})
+    for slot, node in roots.items():
+        known.setdefault(slot, node)
+    _WARM_ROOTS.move_to_end(situation)
+    while len(_WARM_ROOTS) > CHECKER_POOL_SIZE:
+        _WARM_ROOTS.popitem(last=False)
+    cached = _CHECKERS.get(situation)
+    if cached is not None and isinstance(cached[1], MemoryRootsCache):
+        cached[1].adopt(roots)
+    return {
+        "id": rid,
+        "status": "OK",
+        "exit_code": 0,
+        "adopted": len(roots),
+        "pid": os.getpid(),
+    }
 
 
 def handle(request: Dict[str, Any]) -> Dict[str, Any]:
@@ -213,6 +370,8 @@ def handle(request: Dict[str, Any]) -> Dict[str, Any]:
                 "pid": os.getpid(),
                 "protocol": protocol.PROTOCOL_VERSION,
             }
+        if op == "warm":
+            return adopt_roots(request)
         if op in ("check", "traces"):
             return run_query(request)
         raise ServerError(f"unknown op {op!r}")
@@ -254,7 +413,15 @@ def main(argv: Optional[list] = None) -> int:
         metavar="SITE[:AFTER]",
         help="arm a deterministic fault plan in this worker (chaos tests)",
     )
+    parser.add_argument(
+        "--parallel",
+        choices=("threads", "processes"),
+        default="threads",
+        help="engine-parallel mode for requests that carry none",
+    )
     args = parser.parse_args(argv)
+    global _DEFAULT_PARALLEL
+    _DEFAULT_PARALLEL = args.parallel
     sock = socket.socket(fileno=args.fd)
     if args.inject:
         with _faults.inject(_faults.parse_plan(args.inject)):

@@ -93,8 +93,10 @@ FORMAT_VERSION = 2
 #: Cache-*key* schema version, hashed into :func:`cache_key`.  Kept
 #: separate from :data:`FORMAT_VERSION` so a pure layout change does not
 #: orphan existing snapshot files — bump it only when the *meaning* of a
-#: slot's content changes.
-KEY_VERSION = 1
+#: slot's content changes.  Version 2: chan-bearing definition lists are
+#: solved at ``hide_depth`` and truncated on export, so ``fix:`` slots
+#: for such systems now hold deeper roots than version-1 writers stored.
+KEY_VERSION = 2
 
 
 class SnapshotError(ReproError):
@@ -300,6 +302,11 @@ def decode_roots(data: dict) -> Dict[str, ClosureNode]:
             ids = _decode_sequential(
                 arena, eids, arity, flat_events, flat_children, counts, heights
             )
+        # ``ids`` is the remap table of this splice — payload-local
+        # post-order index to canonical arena id.
+        from repro.traces.stats import KERNEL_STATS
+
+        KERNEL_STATS.remap_entries += len(ids)
         roots: Dict[str, ClosureNode] = {}
         for slot, idx in data["roots"].items():
             if not isinstance(slot, str) or not 0 <= idx < len(ids):
@@ -478,6 +485,34 @@ def _decode_bulk(arena, eids, arity, flat_events, flat_children, counts, heights
 
     KERNEL_STATS.interner_hits += n_nodes - n_new
     return ids_np.tolist()
+
+
+def export_segments(roots: Dict[str, ClosureNode]) -> dict:
+    """Encode ``roots`` as a flat segment payload for *in-memory*
+    shipping — over a worker-process pipe or a serve-pool socket —
+    rather than a snapshot file.
+
+    This is :func:`encode_roots` by another name: the wire layout and
+    the file layout are deliberately the same format-2 segments, so the
+    process dispatcher and the solved-system share path reuse the
+    vectorised codec (and its validation on the receiving side) without
+    a second format.
+    """
+    return encode_roots(roots)
+
+
+def splice_segments(payload: dict) -> Dict[str, ClosureNode]:
+    """Splice a shipped segment payload into the current kernel state.
+
+    Decodes with full validation (:func:`decode_roots`) under a
+    suspended governor: callers on the splice path — the engine's
+    process dispatcher, the serve warm-roots adopter — account for the
+    shipped work explicitly (per-unit node deltas reported by the child,
+    or not at all for cache warming), so the splice itself must not
+    double-charge the ambient budget.
+    """
+    with _governor.suspended():
+        return decode_roots(payload)
 
 
 # ---------------------------------------------------------------------------

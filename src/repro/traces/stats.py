@@ -56,6 +56,9 @@ class KernelStats:
         "delta_queries",
         "delta_capped",
         "frontier_nodes",
+        "spliced_ids",
+        "spliced_bytes",
+        "remap_entries",
     )
 
     def __init__(self) -> None:
@@ -69,6 +72,18 @@ class KernelStats:
         self.delta_capped = 0
         #: Fresh subtrees enumerated across all frontier walks.
         self.frontier_nodes = 0
+        #: Node ids admitted through :meth:`Arena.append_rows` — segments
+        #: spliced wholesale from a snapshot, a worker process, or a
+        #: shared solved-system payload (never row-by-row interning).
+        self.spliced_ids = 0
+        #: Raw segment bytes those splices appended (edge tables, spans,
+        #: counts, heights) — the cross-process shared-memory traffic.
+        self.spliced_bytes = 0
+        #: Non-trivial id remappings performed by
+        #: :func:`repro.traces.trie.reintern` — the total size of the
+        #: foreign-id → canonical-id tables built when closures cross
+        #: kernel states.
+        self.remap_entries = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -114,6 +129,11 @@ class KernelStats:
                 "capped": self.delta_capped,
                 "frontier_nodes": self.frontier_nodes,
             },
+            "spliced": {
+                "ids": self.spliced_ids,
+                "bytes": self.spliced_bytes,
+                "remap_entries": self.remap_entries,
+            },
         }
 
     def reset(self) -> None:
@@ -125,6 +145,9 @@ class KernelStats:
         self.delta_queries = 0
         self.delta_capped = 0
         self.frontier_nodes = 0
+        self.spliced_ids = 0
+        self.spliced_bytes = 0
+        self.remap_entries = 0
 
 
 #: The process-wide counter registry.
@@ -173,5 +196,12 @@ def format_stats() -> str:
             f"  delta frontiers: {delta['queries']} walks, "
             f"{delta['frontier_nodes']} fresh nodes enumerated, "
             f"{delta['capped']} capped"
+        )
+    spliced = snap["spliced"]
+    if spliced["ids"] or spliced["remap_entries"]:
+        lines.append(
+            f"  spliced segments: {spliced['ids']} ids in "
+            f"{spliced['bytes']} bytes appended via bulk splice, "
+            f"{spliced['remap_entries']} remap-table entries"
         )
     return "\n".join(lines)

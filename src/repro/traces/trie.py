@@ -319,6 +319,15 @@ class Arena:
         self.heights.frombytes(heights_b)
         self.interner.update(zip(keys, range(base, base + n)))
         KERNEL_STATS.interner_misses += n
+        KERNEL_STATS.spliced_ids += n
+        KERNEL_STATS.spliced_bytes += (
+            len(edge_events_b)
+            + len(edge_children_b)
+            + len(edge_start_b)
+            + len(edge_len_b)
+            + len(counts_b)
+            + len(heights_b)
+        )
         return base
 
     def view(self, nid: int) -> ClosureNode:
@@ -536,6 +545,7 @@ def reintern(node: ClosureNode) -> ClosureNode:
             child = src_children[k]
             if child not in node_map:
                 stack.append((child, False))
+    KERNEL_STATS.remap_entries += len(node_map) - 1
     return arena.view(node_map[node.id])
 
 

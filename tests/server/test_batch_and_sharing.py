@@ -1,0 +1,161 @@
+"""Request batching and cross-worker solved-system sharing.
+
+Two serve-layer behaviours added with the process-parallel arena work:
+
+* a ``check`` request whose ``spec`` is a *list* runs every assertion
+  against one warm solved system in a single dispatch, returning a
+  per-assertion ``verdicts`` array beside the same concatenated
+  rendering the local CLI prints for a repeated ``--spec``;
+* a worker that solves a system exports its roots as flat format-2
+  segments, the supervisor keeps them in a bounded LRU, and ships them
+  to other pool members ahead of matching requests — so a system is
+  solved once per daemon, not once per worker.
+"""
+
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.process.parser import parse_definitions
+from repro.server.client import ServerClient
+from repro.server.supervisor import Supervisor
+
+COPIER = """
+copier = input?x:NAT -> wire!x -> copier;
+recopier = wire?y:NAT -> output!y -> recopier;
+network = chan wire; (copier || recopier)
+"""
+
+SPECS = ["output <= input", "input <= output"]
+
+
+@pytest.fixture
+def copier_defs():
+    return parse_definitions(COPIER)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    supervisor = Supervisor(str(tmp_path / "repro.sock"), jobs=1)
+    supervisor.start()
+    yield supervisor
+    supervisor.stop()
+
+
+@pytest.fixture
+def pool(tmp_path):
+    """A two-worker daemon, for the sharing tests."""
+    supervisor = Supervisor(str(tmp_path / "pool.sock"), jobs=2)
+    supervisor.start()
+    yield supervisor
+    supervisor.stop()
+
+
+def _client(supervisor, **kwargs):
+    return ServerClient(supervisor.socket_path, **kwargs)
+
+
+class TestBatching:
+    def test_batch_matches_local_repeated_spec(
+        self, daemon, copier_defs, tmp_path, capsys
+    ):
+        path = tmp_path / "copier.csp"
+        path.write_text(COPIER)
+        code = main(
+            ["check", str(path), "--process", "network", "--depth", "4",
+             "--spec", SPECS[0], "--spec", SPECS[1], "--no-cache"]
+        )
+        captured = capsys.readouterr()
+        with _client(daemon) as client:
+            response = client.check(
+                copier_defs, SPECS, process="network", depth=4, no_cache=True
+            )
+        assert response["status"] == "OK"
+        assert response["exit_code"] == code == 1
+        assert response["stdout"] + "\n" == captured.out
+        assert response["stderr"] == captured.err.rstrip("\n")
+
+    def test_verdicts_arrive_in_request_order(self, daemon, copier_defs):
+        with _client(daemon) as client:
+            response = client.check(
+                copier_defs, SPECS, process="network", depth=4, no_cache=True
+            )
+        verdicts = response["verdicts"]
+        assert [v["spec"] for v in verdicts] == SPECS
+        assert verdicts[0]["exit_code"] == 0
+        assert verdicts[1]["exit_code"] == 1
+        assert verdicts[0]["stdout"].startswith("HOLDS")
+        assert verdicts[1]["stdout"].startswith("VIOLATED")
+
+    def test_single_spec_still_renders_identically(self, daemon, copier_defs):
+        with _client(daemon) as client:
+            single = client.check(
+                copier_defs, SPECS[0], process="network", depth=4,
+                no_cache=True,
+            )
+            batched = client.check(
+                copier_defs, [SPECS[0]], process="network", depth=4,
+                no_cache=True,
+            )
+        assert single["stdout"] == batched["stdout"]
+        assert single["exit_code"] == batched["exit_code"] == 0
+        assert batched["verdicts"][0]["stdout"] == batched["stdout"]
+
+    def test_non_string_spec_in_batch_is_rejected(self, daemon, copier_defs):
+        with _client(daemon) as client:
+            response = client.check(
+                copier_defs, [SPECS[0], 7], process="network", no_cache=True
+            )
+        assert response["status"] == "ERROR"
+        assert response["exit_code"] == 9
+
+
+class TestWarmSharing:
+    def _checks(self, supervisor, defs, n, spec="output <= input"):
+        responses = []
+        with _client(supervisor) as client:
+            for _ in range(n):
+                responses.append(
+                    client.check(
+                        defs, spec, process="network", depth=4, no_cache=True
+                    )
+                )
+            stats = client.stats()
+        return responses, stats
+
+    def test_solved_payload_never_reaches_clients(self, daemon, copier_defs):
+        responses, _ = self._checks(daemon, copier_defs, 2)
+        for response in responses:
+            assert "solved" not in response
+
+    def test_roots_are_shipped_across_the_pool(self, pool, copier_defs):
+        responses, stats = self._checks(pool, copier_defs, 6)
+        assert stats["shared_systems"] >= 1
+        assert stats["ships"] >= 1
+        # verdicts stay byte-identical no matter which worker answered
+        assert len({r["stdout"] for r in responses}) == 1
+        assert {r["exit_code"] for r in responses} == {0}
+
+    def test_concurrent_clients_agree(self, pool, copier_defs):
+        """Both workers busy at once: whichever solves first seeds the
+        shared store, and every verdict is still byte-identical."""
+        results = []
+        lock = threading.Lock()
+
+        def one_client():
+            with _client(pool) as client:
+                response = client.check(
+                    copier_defs, SPECS, process="network", depth=4,
+                    no_cache=True,
+                )
+            with lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=one_client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({r["stdout"] for r in results}) == 1
+        assert {r["exit_code"] for r in results} == {1}
