@@ -1,0 +1,131 @@
+"""Benchmark the payoff of persisted explorer frontiers: warm-restarted
+operational exploration vs a cold breadth-first search.
+
+A cold ``--engine operational`` run pays the full BFS — every τ-closure,
+every visible step — on every invocation.  A warm run loads the deepest
+persisted ``frontier:{name}@level{k}`` slot and either returns the
+stored closure outright (saturated, or already at the requested horizon)
+or explores only the missing levels.  This module records both sides and
+their ratio to ``BENCH_explorer.json``; ``bench_guard.py`` re-measures
+the ratio and fails CI if the warm path stops beating the cold path by
+the acceptance factor.
+
+Run as::
+
+    PYTHONPATH=src python -m benchmarks.bench_explorer
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.operational.explorer import Explorer, FrontierStore
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Name
+from repro.semantics.config import SemanticsConfig
+from repro.systems import copier, philosophers, protocol
+from repro.traces.snapshot import SnapshotCache, cache_key
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_explorer.json"
+
+#: (case name, system module, process, depth, sample) — state spaces big
+#: enough for the cold side to time reliably, small enough for CI.
+EXPLORER_CASES = (
+    ("explore philosophers.table depth=5 sample=3", philosophers, "table", 5, 3),
+    ("explore protocol.protocol depth=6 sample=2", protocol, "protocol", 6, 2),
+    ("explore copier.network depth=7 sample=2", copier, "network", 7, 2),
+)
+
+COLD_RUNS = 3
+WARM_RUNS = 5
+
+
+def _cold_explore(system, proc: str, depth: int, sample: int):
+    """One cold exploration on a fresh explorer (fresh τ-closure memo —
+    the honest cold cost)."""
+    semantics = OperationalSemantics(
+        system.definitions(), system.environment(), sample=sample
+    )
+    explorer = Explorer(semantics)
+    closure = explorer.visible_traces(Name(proc), depth)
+    return closure, explorer.states_touched
+
+
+def _explorer_case(name: str, system, proc: str, depth: int, sample: int) -> dict:
+    defs, env = system.definitions(), system.environment()
+    config = SemanticsConfig(depth=depth, sample=sample)
+
+    cold_s = float("inf")
+    for _ in range(COLD_RUNS):
+        start = time.perf_counter()
+        cold_closure, cold_states = _cold_explore(system, proc, depth, sample)
+        cold_s = min(cold_s, time.perf_counter() - start)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-explorer-") as tmp:
+        seed_cache = SnapshotCache(Path(tmp), cache_key(defs, config))
+        seed_store = FrontierStore(seed_cache, f"operational:{proc}")
+        semantics = OperationalSemantics(defs, env, sample=sample)
+        Explorer(semantics).visible_traces(Name(proc), depth, store=seed_store)
+        seed_cache.save()
+
+        warm = []
+        for _ in range(WARM_RUNS):
+            cache = SnapshotCache(Path(tmp), cache_key(defs, config))
+            store = FrontierStore(cache, f"operational:{proc}")
+            explorer = Explorer(
+                OperationalSemantics(defs, env, sample=sample)
+            )
+            start = time.perf_counter()
+            closure = explorer.visible_traces(Name(proc), depth, store=store)
+            warm.append(time.perf_counter() - start)
+            if closure != cold_closure:
+                raise SystemExit(f"warm closure diverged on {name!r}")
+            warm_states = explorer.states_touched
+    warm_s = sorted(warm)[len(warm) // 2]  # median: damps GC spikes
+    return {
+        "case": name,
+        "traces": len(cold_closure),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 5),
+        "speedup": round(cold_s / warm_s, 1) if warm_s else float("inf"),
+        "cold_states_touched": cold_states,
+        "warm_states_touched": warm_states,
+        "cold_runs": COLD_RUNS,
+        "warm_runs": WARM_RUNS,
+    }
+
+
+def generate() -> dict:
+    cases = []
+    for name, system, proc, depth, sample in EXPLORER_CASES:
+        case = _explorer_case(name, system, proc, depth, sample)
+        print(
+            f"{case['case']:<44} cold {case['cold_s']*1000:8.1f} ms "
+            f"({case['cold_states_touched']} states)   "
+            f"warm {case['warm_s']*1000:7.2f} ms "
+            f"({case['warm_states_touched']} states)   ×{case['speedup']}"
+        )
+        cases.append(case)
+    return {
+        "description": (
+            "operational explorer warm restart from persisted "
+            "frontier:{name}@level{k} snapshot slots vs cold "
+            "breadth-first exploration (pointer-identical closures)"
+        ),
+        "python": sys.version.split()[0],
+        "explorer_cases": cases,
+    }
+
+
+def main() -> None:
+    report = generate()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

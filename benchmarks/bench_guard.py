@@ -96,6 +96,12 @@ MIN_SNAPSHOT_SCALE_SPEEDUP = 5.0
 #: fraction).
 MIN_SERVE_SPEEDUP = 5.0
 
+#: Warm explorer restarts (persisted ``frontier:`` slots) must beat a
+#: cold breadth-first exploration by at least this factor.  Recorded
+#: ratios are ~5–15×; the floor is loose because the warm side is a few
+#: milliseconds of snapshot decode and timing-noisy on loaded hosts.
+MIN_EXPLORER_WARM_SPEEDUP = 3.0
+
 #: The process pool must beat the thread pool by at least this factor
 #: on the largest recorded twin-machine case (the acceptance bar of the
 #: shared-memory arena work: two same-rank heavyweight SCCs, pure-Python
@@ -301,6 +307,38 @@ def check_serve() -> list:
     return failures
 
 
+def check_explorer() -> list:
+    """Re-measure the warm-vs-cold exploration cases recorded in
+    ``BENCH_explorer.json`` and hold them to the frontier acceptance
+    bar.  The warm closure must also stay pointer-identical to the cold
+    one (``_explorer_case`` raises on divergence)."""
+    from benchmarks.bench_explorer import (
+        EXPLORER_CASES,
+        RESULT_PATH as EXPLORER_RESULT_PATH,
+        _explorer_case,
+    )
+
+    failures = []
+    report = json.loads(EXPLORER_RESULT_PATH.read_text())
+    recorded = {case["case"]: case for case in report["explorer_cases"]}
+    for name, system, proc, depth, sample in EXPLORER_CASES:
+        measured = _explorer_case(name, system, proc, depth, sample)
+        ok = (
+            measured["speedup"] >= MIN_EXPLORER_WARM_SPEEDUP
+            and measured["warm_states_touched"] == 0
+        )
+        print(
+            f"{'ok' if ok else 'FAIL':<4} {name:<42} "
+            f"recorded ×{recorded[name]['speedup']:<6} "
+            f"measured ×{measured['speedup']} "
+            f"(floor ×{MIN_EXPLORER_WARM_SPEEDUP}; "
+            f"{measured['warm_states_touched']} warm states touched)"
+        )
+        if not ok:
+            failures.append(name)
+    return failures
+
+
 def main() -> None:
     report = json.loads(RESULT_PATH.read_text())
     failures = []
@@ -319,6 +357,7 @@ def main() -> None:
     failures += check_arena(report)
     failures += check_engine(json.loads(ENGINE_RESULT_PATH.read_text()))
     failures += check_serve()
+    failures += check_explorer()
     if failures:
         raise SystemExit(
             f"recorded performance regressed on: {', '.join(failures)}"
@@ -326,7 +365,9 @@ def main() -> None:
     print(
         "kernel speedups within tolerance of BENCH_kernel.json; engine "
         "accounting matches BENCH_engine.json; serve warm path beats "
-        "cold by the BENCH_serve.json acceptance factor"
+        "cold by the BENCH_serve.json acceptance factor; explorer warm "
+        "restarts beat cold exploration by the BENCH_explorer.json "
+        "acceptance factor"
     )
 
 

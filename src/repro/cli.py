@@ -27,6 +27,11 @@ solving into a private arena whose results are spliced back into the
 canonical store), and solved closures are snapshotted under
 ``~/.cache/repro`` (override with ``--cache-dir``, disable with
 ``--no-cache``) so repeated invocations on the same system warm-start.
+``--engine operational`` warm-starts too: the explorer persists its BFS
+frontier per completed level (``frontier:{name}@level{k}`` slots in the
+same snapshot file), so a second run resumes from the deepest sound
+frontier instead of the initial state — ``repro stats`` reports the
+reuse as ``frontier_reused``.
 ``check`` accepts ``--spec`` repeatedly: all assertions are checked
 against one warm solved system, verdicts printed in order, and the exit
 code is the first failing assertion's.  ``stats --explain-plan`` prints
@@ -333,11 +338,6 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 cache=cache,
             )
             print(engine.explain())
-            if cache is not None:
-                print(
-                    f"snapshot cache: {cache.hits} hits, {cache.misses} "
-                    f"misses{' (rebuilt: stale/corrupt)' if cache.rebuilt else ''}"
-                )
         elif args.spec:
             result = checker.check(target, args.spec)
             verdict = "HOLDS" if result.holds else "VIOLATED"
@@ -357,6 +357,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
     finally:
         if cache is not None:
             cache.save()
+    if cache is not None:
+        # All branches report the cache account — the operational side's
+        # frontier slots hit/miss through the same counters.
+        print(
+            f"snapshot cache: {cache.hits} hits, {cache.misses} "
+            f"misses{' (rebuilt: stale/corrupt)' if cache.rebuilt else ''}"
+        )
     print()
     print(format_stats())
     governor = _governor.current()

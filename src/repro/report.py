@@ -64,6 +64,14 @@ def render_partial(exc: BudgetExceeded) -> str:
     checkpoint = exc.checkpoint
     if checkpoint is not None:
         lines.append(f"partial result: {checkpoint.describe()}")
+        if checkpoint.resume_slots():
+            # Both engines persist deterministic checkpoint slots now
+            # (fix:/frontier:/forall: vocabularies) — tell the user the
+            # trip is resumable, not just how far it got.
+            lines.append(
+                "resume: re-invoke with the same cache directory to "
+                "continue from the persisted checkpoints"
+            )
     return "\n".join(lines)
 
 

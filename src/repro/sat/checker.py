@@ -45,7 +45,9 @@ from repro.traces.events import Trace
 from repro.traces.histories import ChannelHistory, ch
 from repro.errors import SemanticsError
 from repro.traces.prefix_closure import FiniteClosure
-from repro.traces.snapshot import SnapshotCache, checkpoint_slot
+from repro.traces.snapshot import SnapshotCache, checkpoint_slot, forall_slot
+from repro.traces.stats import KERNEL_STATS
+from repro.traces.trie import delta_depth
 from repro.values.domains import Domain
 from repro.values.environment import Environment
 
@@ -131,6 +133,12 @@ class SatChecker:
         #: checkpoint slots written this run (surfaced in budget
         #: checkpoints so a resumed invocation knows what it can reuse).
         self._checkpoint_slots: List[str] = []
+        #: lazily-built operational supply (one explorer per checker: the
+        #: τ-closure memo holds only completed closures, so sharing it
+        #: across depths and instances is sound) and its per-target
+        #: frontier stores.
+        self._operational: Optional[object] = None
+        self._frontier_stores: Dict[str, object] = {}
 
     # -- trace supply ------------------------------------------------------
 
@@ -141,6 +149,13 @@ class SatChecker:
         (``depth`` overrides the configured bound, e.g. for deepening)."""
         if depth is None:
             depth = self.config.depth
+        if self.engine == "operational":
+            # The operational side caches through *frontier* slots (the
+            # explorer's own warm-restart vocabulary), not whole-closure
+            # node slots: a warm run must still enter the explorer so a
+            # deeper request extends the persisted frontier instead of
+            # missing a depth-keyed slot and re-exploring from scratch.
+            return self._operational_traces(process, depth)
         slot = None
         if self.cache is not None and isinstance(process, Name):
             if getattr(self.cache, "checkpoint_only", False):
@@ -176,13 +191,34 @@ class SatChecker:
             return Denoter(self.definitions, self.env, self.config).denote(
                 process, depth
             )
-        from repro.operational.explorer import explore_traces
+        return self._operational_traces(process, depth)
+
+    def _operational_traces(self, process: Process, depth: int) -> FiniteClosure:
+        """Explorer-backed trace supply with persisted-frontier warm
+        restarts for named targets (anonymous terms — e.g. ``q[i]``
+        instances — explore without a store; their universal check
+        persists per-instance ``forall:`` slots instead)."""
+        from repro.operational.explorer import Explorer, FrontierStore
         from repro.operational.step import OperationalSemantics
 
-        semantics = OperationalSemantics(
-            self.definitions, self.env, sample=self.config.sample
-        )
-        return explore_traces(process, semantics, depth)
+        if self._operational is None:
+            semantics = OperationalSemantics(
+                self.definitions, self.env, sample=self.config.sample
+            )
+            self._operational = Explorer(semantics)
+        explorer: Explorer = self._operational  # type: ignore[assignment]
+        store = None
+        if self.cache is not None and isinstance(process, Name):
+            store = self._frontier_stores.get(process.name)
+            if store is None:
+                store = FrontierStore(self.cache, f"{self.engine}:{process.name}")
+                self._frontier_stores[process.name] = store
+        closure = explorer.visible_traces(process, depth, store=store)
+        if store is not None:
+            for slot in store.written:
+                if slot not in self._checkpoint_slots:
+                    self._checkpoint_slots.append(slot)
+        return closure
 
     def _fixpoint_bindings(self, process: Process, depth: int) -> Optional[dict]:
         """Engine-solved bindings, when substituting them for
@@ -277,6 +313,11 @@ class SatChecker:
                 candidate = self.traces_of(process, depth)
             except BudgetExceeded:
                 return PartialTraces(closure, verified, False)
+            if closure is not None and delta_depth(closure.root, candidate.root) is None:
+                # The closure did not grow from depth-1 to depth: trace
+                # sets are prefix-closed, so no longer trace can exist
+                # either — this *is* the full answer at any depth.
+                return PartialTraces(candidate, self.config.depth, True)
             closure = candidate
             verified = depth
             governor.record_progress(
@@ -327,17 +368,49 @@ class SatChecker:
         the full denotation).  A counterexample found at any depth is a
         real trace of the process, so refutations are always *complete*
         results no matter how early the budget would have tripped.
+
+        Two trie-delta skips keep the deepening incremental: a depth
+        whose closure is pointer-identical to the previous one
+        (``delta_depth is None``) ends the schedule — prefix-closed trace
+        sets that stop growing have saturated — and each walk passes the
+        previous verified closure as a *baseline* so subtrees
+        pointer-unchanged since the last depth are counted, not
+        re-evaluated.  Both preserve the verdict bytes of the unskipped
+        schedule (counts include skipped subtrees; a refutation re-walks
+        without the baseline for the canonical counterexample).
         """
         verified: Optional[int] = None
         traces_done = 0
+        previous: Optional[FiniteClosure] = None
         try:
             for depth in range(self.config.depth + 1):
                 governor.check_deadline()
                 closure = self.traces_of(process, depth)
+                if previous is not None and delta_depth(
+                    previous.root, closure.root
+                ) is None:
+                    # Saturated below the configured depth: every deeper
+                    # closure is this one, and its traces are already
+                    # verified — the check holds to the full depth.
+                    verified = self.config.depth
+                    governor.record_progress(
+                        phase="sat",
+                        completed_depth=verified,
+                        traces_verified=traces_done,
+                    )
+                    break
                 if self.trie_walk:
-                    result = self._check_trie(closure, formula, env, bindings)
+                    result = self._check_trie(
+                        closure, formula, env, bindings, baseline=previous
+                    )
+                    if not result.holds and previous is not None:
+                        # Canonical counterexample: the baseline walk
+                        # found *a* violation in the fresh region; the
+                        # reported one must be the full walk's first.
+                        result = self._check_trie(closure, formula, env, bindings)
                 else:
                     result = self._check_flat(closure, formula, env, bindings)
+                previous = closure
                 if not result.holds:
                     return SatResult(
                         False,
@@ -379,17 +452,32 @@ class SatChecker:
         formula: Formula,
         env: Environment,
         bindings: Optional[Mapping[str, Any]],
+        baseline: Optional[FiniteClosure] = None,
     ) -> SatResult:
         """Breadth-first trie walk with the channel history threaded down
         each edge — one :meth:`ChannelHistory.with_appended` per *node*
-        instead of one full ``ch(s)`` pass per trace."""
+        instead of one full ``ch(s)`` pass per trace.
+
+        ``baseline`` is a closure over the *same* formula/environment
+        whose every trace is already verified (the previous depth of a
+        deepening schedule).  Subtrees pointer-identical to the
+        baseline's — same canonical arena view down a shared event path —
+        are skipped wholesale; their trace count still feeds
+        ``traces_checked``, so a HOLDS result reports exactly the full
+        walk's number.  On a violation the caller re-walks without the
+        baseline (skip order differs, and the counterexample must be the
+        canonical breadth-first one).
+        """
         root = closure.root
-        queue: Deque[Tuple[Trace, Any, ChannelHistory]] = deque(
-            [((), root, ChannelHistory())]
+        base_root = baseline.root if baseline is not None else None
+        if base_root is root:
+            return SatResult(True, None, root.count)
+        queue: Deque[Tuple[Trace, Any, Any, ChannelHistory]] = deque(
+            [((), root, base_root, ChannelHistory())]
         )
         checked = 0
         while queue:
-            trace, node, history = queue.popleft()
+            trace, node, base, history = queue.popleft()
             _governor.tick()
             checked += 1
             try:
@@ -404,11 +492,21 @@ class SatChecker:
                 return SatResult(
                     False, Counterexample(trace, formula, bindings), checked
                 )
+            base_children = dict(base.items) if base is not None else None
             for event, child in node.items:
+                base_child = (
+                    base_children.get(event) if base_children is not None else None
+                )
+                if base_child is child:
+                    # Pointer-unchanged since the verified baseline:
+                    # every trace below holds already.  Count, don't walk.
+                    checked += child.count
+                    continue
                 queue.append(
                     (
                         trace + (event,),
                         child,
+                        base_child,
                         history.with_appended(event.channel, event.message),
                     )
                 )
@@ -447,24 +545,81 @@ class SatChecker:
         process_for: "ProcessFactory",
         assertion: Union[Formula, str],
         sample: Optional[int] = None,
+        name: Optional[str] = None,
     ) -> SatResult:
         """Check ``∀v ∈ M. P(v) sat R`` over a sampled domain.
 
         ``process_for(value)`` builds the process instance (e.g.
         ``q[value]``); the variable is also bound in the assertion's
         environment, so ``R`` may mention it.
+
+        With a ``name`` and a snapshot cache, every instance verified *at
+        the configured depth* writes a ``forall:{name}@instance{i}``
+        checkpoint slot; a later invocation (after a budget trip, say)
+        skips those instances wholesale, keeping the final verdict bytes
+        identical to an uninterrupted run.  Slots are written only for
+        instances completed at full depth — deterministic given the
+        cache key, never a function of where a budget tripped — and
+        violations are never recorded (a refutation is re-derived so its
+        counterexample is always fresh).
         """
         limit = sample if sample is not None else self.config.sample
         formula_template = assertion
         total = 0
-        for value in domain.enumerate(limit):
+        cache = self.cache if name is not None else None
+        for index, value in enumerate(domain.enumerate(limit)):
+            slot = None
+            if cache is not None:
+                slot = forall_slot(f"{self.engine}:{name}:{variable}", index)
+                stored = cache.get_blob(slot)
+                if stored is not None:
+                    counted = self._stored_forall_instance(stored)
+                    if counted is None:
+                        # Structurally a blob, semantically garbage:
+                        # quarantine the file and verify this run cold.
+                        cache.reject()
+                    else:
+                        total += counted
+                        KERNEL_STATS.forall_resumed += 1
+                        if slot not in self._checkpoint_slots:
+                            self._checkpoint_slots.append(slot)
+                        continue
             process = process_for(value)
             formula = self._coerce(formula_template, process)
             result = self.check(process, formula, bindings={variable: value})
             total += result.traces_checked
             if not result.holds:
                 return SatResult(False, result.counterexample, total)
+            if slot is not None and (
+                result.verified_depth is None
+                or result.verified_depth >= self.config.depth
+            ):
+                cache.put_blob(
+                    slot,
+                    {
+                        "holds": True,
+                        "traces_checked": result.traces_checked,
+                        "verified_depth": self.config.depth,
+                    },
+                )
+                if slot not in self._checkpoint_slots:
+                    self._checkpoint_slots.append(slot)
         return SatResult(True, None, total)
+
+    @staticmethod
+    def _stored_forall_instance(blob: dict) -> Optional[int]:
+        """The ``traces_checked`` of a recorded verified instance, or
+        ``None`` when the blob's content is not credible."""
+        count = blob.get("traces_checked")
+        if (
+            blob.get("holds") is True
+            and isinstance(count, int)
+            and not isinstance(count, bool)
+            and count >= 0
+            and isinstance(blob.get("verified_depth"), int)
+        ):
+            return count
+        return None
 
     def _coerce(self, assertion: Union[Formula, str], process: Process) -> Formula:
         if isinstance(assertion, Formula):

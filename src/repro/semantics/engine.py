@@ -88,6 +88,7 @@ from repro.traces.snapshot import (
     SnapshotCache,
     SnapshotError,
     export_segments,
+    fix_slot,
     splice_segments,
 )
 from repro.traces.trie import private_state, reintern
@@ -936,7 +937,9 @@ class DenotationEngine:
 
 
 def _slot(entry: EntryKey) -> str:
-    return f"fix:{entry.pretty()}"
+    # Slot vocabulary lives with the cache (`traces/snapshot.py`), shared
+    # with the operational side's `frontier:`/`forall:` families.
+    return fix_slot(entry.pretty())
 
 
 # -- process-dispatch wire helpers ------------------------------------------

@@ -156,9 +156,11 @@ class Supervisor:
         self._threads: List[threading.Thread] = []
         self._spawn_lock = threading.Lock()
         self._generation = 0
-        #: situation → solved-system root segments (flat format-2
-        #: payloads), harvested from worker responses and shipped to
-        #: siblings before their first dispatch of that situation.
+        #: situation → ``{"roots": ..., "blobs": ...}`` — solved-system
+        #: root segments (flat format-2 payloads) plus checkpoint blobs
+        #: (explorer frontiers, forall receipts), harvested from worker
+        #: responses and shipped to siblings before their first dispatch
+        #: of that situation.
         self._shared: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._shared_lock = threading.Lock()
         # observability counters (reported by the ``stats`` op)
@@ -505,15 +507,19 @@ class Supervisor:
 
         situation = _situation_key(request)
         with self._shared_lock:
-            roots = self._shared.get(situation)
-            if roots is not None:
+            entry = self._shared.get(situation)
+            if entry is not None:
                 self._shared.move_to_end(situation)
-        if roots is None or situation in worker.shipped:
+        if entry is None or situation in worker.shipped:
             return
-        protocol.send_frame(
-            worker.stream,
-            {"op": "warm", "situation": situation, "roots": roots},
-        )
+        frame = {
+            "op": "warm",
+            "situation": situation,
+            "roots": entry["roots"],
+        }
+        if entry.get("blobs"):
+            frame["blobs"] = entry["blobs"]
+        protocol.send_frame(worker.stream, frame)
         ack = protocol.recv_frame(worker.stream)
         if ack is None:
             raise ServerError(
@@ -538,13 +544,18 @@ class Supervisor:
         roots = solved.get("roots")
         if not situation or not isinstance(roots, dict):
             return
+        blobs = solved.get("blobs")
         worker.shipped.add(situation)
         with self._shared_lock:
             # Workers export their whole slot map whenever it grew, so a
             # newer frame is always a superset: replace wholesale (two
             # segment payloads cannot be merged — root ids are local to
-            # each frame's node tables).
-            self._shared[situation] = roots
+            # each frame's node tables).  Checkpoint blobs ride along
+            # under the same replace-wholesale rule.
+            self._shared[situation] = {
+                "roots": roots,
+                "blobs": blobs if isinstance(blobs, dict) else {},
+            }
             self._shared.move_to_end(situation)
             while len(self._shared) > SHARED_SYSTEMS_SIZE:
                 self._shared.popitem(last=False)

@@ -30,6 +30,7 @@ from repro.process.ast import (
     Choice,
     Input,
     Output,
+    Parallel,
     Process,
 )
 from repro.process.channels import ChannelExpr, ChannelList
@@ -82,6 +83,25 @@ class ProcessGenerator:
         assert kind == "chan"
         hidden = self.rng.choice(self.channels)
         return Chan(ChannelList([ChannelExpr(hidden)]), self.process(depth - 1))
+
+    def network(self, depth: Optional[int] = None) -> Process:
+        """One random *network*: a binary parallel composition of two
+        sequential terms, sometimes with a shared channel concealed.
+
+        Networks are where the operational and denotational semantics
+        can genuinely disagree (synchronisation + hiding interact), so
+        the differential harness generates them explicitly rather than
+        waiting for :meth:`process` to roll a ``chan``."""
+        if depth is None:
+            depth = self.max_depth
+        body_depth = max(1, depth - 1)
+        network: Process = Parallel(
+            self.process(body_depth), self.process(body_depth)
+        )
+        if self.rng.random() < 0.5:
+            hidden = self.rng.choice(self.channels)
+            network = Chan(ChannelList([ChannelExpr(hidden)]), network)
+        return network
 
     def _channel(self) -> ChannelExpr:
         return ChannelExpr(self.rng.choice(self.channels))

@@ -1,0 +1,237 @@
+"""Cross-semantics differential harness for warm-restarted exploration.
+
+The tentpole claim of the persisted-frontier work is an *equivalence*:
+an exploration warm-restarted from ``frontier:{name}@level{k}`` slots is
+state-set- and verdict-identical to a cold run, which is in turn
+identical to the denotational engine — on the paper's systems suite, on
+randomly generated networks, and under fault injection at both frontier
+persistence sites.  Closure equality below is pointer equality of
+interned trie roots, so "identical" means byte-identical snapshots too.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operational.explorer import Explorer, FrontierStore
+from repro.operational.step import OperationalSemantics
+from repro.process.ast import Name
+from repro.process.definitions import DefinitionList, ProcessDef
+from repro.runtime import faults
+from repro.runtime.faults import FaultInjected, FaultPlan
+from repro.sat.checker import SatChecker
+from repro.semantics.config import SemanticsConfig
+from repro.semantics.denotation import denote
+from repro.soundness.generators import AssertionGenerator, ProcessGenerator
+from repro.systems import copier, protocol
+from repro.traces.snapshot import SnapshotCache, cache_key
+from repro.traces.stats import KERNEL_STATS
+from repro.values.environment import Environment
+
+pytestmark = pytest.mark.differential
+
+CFG = SemanticsConfig(depth=4, sample=2)
+
+SYSTEMS = [
+    ("copier", copier.definitions(), copier.environment(), "copier"),
+    ("recopier", copier.definitions(), copier.environment(), "recopier"),
+    ("copier-net", copier.definitions(), copier.environment(), "network"),
+    ("sender", protocol.definitions(), protocol.environment(), "sender"),
+    ("receiver", protocol.definitions(), protocol.environment(), "receiver"),
+    ("protocol", protocol.definitions(), protocol.environment(), "protocol"),
+]
+
+
+def _checker(defs, env, directory=None, engine="operational"):
+    cache = None
+    if directory is not None:
+        cache = SnapshotCache(Path(directory), cache_key(defs, CFG))
+    return SatChecker(defs, env, CFG, engine=engine, cache=cache)
+
+
+class TestWarmEqualsColdAcrossSystems:
+    @pytest.mark.parametrize("label,defs,env,name", SYSTEMS)
+    def test_state_sets_and_verdicts_agree(self, label, defs, env, name, tmp_path):
+        cold = _checker(defs, env).traces_of(Name(name))
+
+        first = _checker(defs, env, tmp_path)
+        assert first.traces_of(Name(name)) == cold, label
+        first.cache.save()
+
+        reused_before = KERNEL_STATS.frontier_reused
+        second = _checker(defs, env, tmp_path)
+        warm = second.traces_of(Name(name))
+        assert warm == cold, label  # pointer equality of interned roots
+        assert warm.traces == cold.traces, label
+        assert KERNEL_STATS.frontier_reused > reused_before, label
+
+        denotational = denote(Name(name), defs, env=env, config=CFG)
+        assert warm == denotational, label
+
+    @pytest.mark.parametrize("label,defs,env,name", SYSTEMS)
+    def test_shallower_warm_request_truncates(self, label, defs, env, name, tmp_path):
+        # A warm run at a *shallower* depth must serve the truncation of
+        # the persisted frontier, not whatever level happens to be there.
+        deep = _checker(defs, env, tmp_path)
+        full = deep.traces_of(Name(name))
+        deep.cache.save()
+        warm = _checker(defs, env, tmp_path)
+        shallow = warm.traces_of(Name(name), depth=2)
+        assert shallow == full.truncate(2), label
+
+
+class TestVerdictsByteIdentical:
+    SPECS = [
+        "wire <= input",
+        "input <= wire",  # false: the counterexample path must agree too
+        "#wire <= #input",
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_cold_warm_denotational_verdicts(self, spec, tmp_path):
+        defs, env = copier.definitions(), copier.environment()
+        cold = _checker(defs, env).check(Name("copier"), spec)
+
+        first = _checker(defs, env, tmp_path)
+        first.check(Name("copier"), spec)
+        first.cache.save()
+        warm = _checker(defs, env, tmp_path).check(Name("copier"), spec)
+
+        deno = _checker(defs, env, engine="denotational").check(
+            Name("copier"), spec
+        )
+        for other in (warm, deno):
+            assert other.holds == cold.holds, spec
+            assert other.traces_checked == cold.traces_checked, spec
+            if cold.counterexample is not None:
+                assert other.counterexample.trace == cold.counterexample.trace
+
+
+@pytest.mark.slow
+class TestGeneratedNetworks:
+    """Random binary networks (synchronisation + hiding — where the two
+    semantics could genuinely diverge), checked cold vs warm vs
+    denotational with a generated assertion per system."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_differential_on_random_network(self, seed):
+        term = ProcessGenerator(seed=seed, max_depth=3).network()
+        defs = DefinitionList([ProcessDef("sys", term)])
+        spec = AssertionGenerator(seed=seed).formula()
+
+        cold = _checker(defs, Environment()).traces_of(Name("sys"))
+        denotational = denote(Name("sys"), defs, config=CFG)
+        assert cold == denotational
+        assert cold.traces == denotational.traces
+
+        directory = Path(tempfile.mkdtemp(prefix="repro-diff-"))
+        try:
+            first = _checker(defs, Environment(), directory)
+            cold_verdict = first.check(Name("sys"), spec)
+            first.cache.save()
+            warm_checker = _checker(defs, Environment(), directory)
+            assert warm_checker.traces_of(Name("sys")) == cold
+            warm_verdict = warm_checker.check(Name("sys"), spec)
+            assert warm_verdict.holds == cold_verdict.holds
+            assert warm_verdict.traces_checked == cold_verdict.traces_checked
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+@pytest.mark.slow
+class TestFrontierFaultInjection:
+    """Abort safety at the two frontier persistence sites: an
+    interrupted save leaves only completed levels on disk (each a sound
+    truncation of the full answer), and a crash while warming degrades
+    to a cold, correct run."""
+
+    DEFS = copier.definitions()
+
+    def _cold(self):
+        semantics = OperationalSemantics(
+            self.DEFS, copier.environment(), sample=CFG.sample
+        )
+        return Explorer(semantics).visible_traces(Name("network"), CFG.depth)
+
+    def _explore_with_store(self, directory):
+        cache = SnapshotCache(Path(directory), cache_key(self.DEFS, CFG))
+        semantics = OperationalSemantics(
+            self.DEFS, copier.environment(), sample=CFG.sample
+        )
+        explorer = Explorer(semantics)
+        store = FrontierStore(cache, "operational:network")
+        return explorer.visible_traces(
+            Name("network"), CFG.depth, store=store
+        ), cache
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.sampled_from(("explorer.frontier_save", "explorer.frontier_load")),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_abort_then_rerun_matches_cold(self, site, after):
+        cold = self._cold()
+        directory = Path(tempfile.mkdtemp(prefix="repro-frontfault-"))
+        try:
+            crashed_cache = None
+            try:
+                with faults.inject(FaultPlan(site=site, after=after)):
+                    _, crashed_cache = self._explore_with_store(directory)
+            except FaultInjected:
+                pass
+            if crashed_cache is not None:
+                # The CLI's finally-block saves whatever completed; the
+                # fault must have kept partial levels out of the cache.
+                crashed_cache.save()
+
+            # Whatever survived on disk is a *completed* level: loading
+            # it yields a sound truncation of the full answer.
+            probe = SnapshotCache(directory, cache_key(self.DEFS, CFG))
+            semantics = OperationalSemantics(
+                self.DEFS, copier.environment(), sample=CFG.sample
+            )
+            persisted = FrontierStore(probe, "operational:network").load(
+                CFG.depth
+            )
+            if persisted is not None:
+                _, closure, level, _ = persisted
+                assert closure == cold.truncate(level)
+                assert not probe.quarantined
+
+            # A clean warm re-run computes exactly the cold answer.
+            warm, cache = self._explore_with_store(directory)
+            assert warm == cold
+            assert warm.traces == cold.traces
+            cache.save()
+            rewarm, _ = self._explore_with_store(directory)
+            assert rewarm == cold
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def test_save_abort_never_records_the_aborting_level(self, tmp_path):
+        # frontier_save fires before anything is recorded, so the level
+        # being saved at the abort is absent — only prior levels persist.
+        cache = SnapshotCache(tmp_path, cache_key(self.DEFS, CFG))
+        semantics = OperationalSemantics(
+            self.DEFS, copier.environment(), sample=CFG.sample
+        )
+        store = FrontierStore(cache, "operational:network")
+        with faults.inject(FaultPlan(site="explorer.frontier_save", after=3)):
+            with pytest.raises(FaultInjected):
+                Explorer(semantics).visible_traces(
+                    Name("network"), CFG.depth, store=store
+                )
+        assert len(store.written) == 2  # levels 0 and 1 completed
+        cold = self._cold()
+        for slot in store.written:
+            level = int(slot.rsplit("@level", 1)[1])
+            from repro.traces.prefix_closure import FiniteClosure
+
+            assert FiniteClosure.from_node(cache.get(slot)) == cold.truncate(
+                level
+            )

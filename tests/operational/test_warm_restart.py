@@ -1,0 +1,298 @@
+"""Operational warm restarts: stale-frontier invalidation, frontier
+blob validation, and resumable ``check_forall``.
+
+The persisted-frontier slots are *verified, never trusted*: a frontier
+keyed by an edited system must never be silently reused, a blob whose
+content fails semantic validation quarantines the whole snapshot file,
+and ``forall:{name}@instance{i}`` receipts resume a governed universal
+check without changing a single verdict byte.
+"""
+
+import shutil
+
+import pytest
+
+from repro.errors import EXIT_BUDGET, BudgetExceeded, exit_code_for
+from repro.operational.explorer import FrontierStore
+from repro.process.ast import Name
+from repro.process.parser import parse_definitions
+from repro.runtime.governor import Budget, activate
+from repro.sat.checker import SatChecker
+from repro.semantics.config import SemanticsConfig
+from repro.systems import copier
+from repro.traces.snapshot import (
+    SnapshotCache,
+    cache_key,
+    forall_slot,
+    frontier_slot,
+)
+from repro.traces.stats import KERNEL_STATS
+from repro.values.domains import FiniteDomain
+from repro.values.environment import Environment
+
+CFG = SemanticsConfig(depth=4, sample=2)
+
+SOURCE = (
+    "copier = input?x:NAT -> wire!x -> copier;"
+    "recopier = wire?y:NAT -> output!y -> recopier;"
+    "network = chan wire; (copier || recopier)"
+)
+
+EDITED = SOURCE.replace("output!y", "output!y -> output!y")
+
+
+def _run(source, directory, checkpoint_only=False):
+    defs = parse_definitions(source)
+    cache = SnapshotCache(
+        directory, cache_key(defs, CFG), checkpoint_only=checkpoint_only
+    )
+    checker = SatChecker(
+        defs, Environment(), CFG, engine="operational", cache=cache
+    )
+    return checker, cache
+
+
+class TestStaleFrontierInvalidation:
+    def test_edited_source_never_reuses_old_frontiers(self, tmp_path):
+        # First run on the original system persists its frontiers.
+        source_file = tmp_path / "network.csp"
+        source_file.write_text(SOURCE)
+        checker, cache = _run(source_file.read_text(), tmp_path)
+        assert checker.check(Name("network"), "output <= input").holds
+        cache.save()
+        old_path = cache.path
+        assert old_path.exists()
+
+        # Editing the .csp changes the cache key: the old file is
+        # orphaned, the new run starts cold — zero frontier reuse.
+        source_file.write_text(EDITED)
+        reused_before = KERNEL_STATS.frontier_reused
+        edited_checker, edited_cache = _run(source_file.read_text(), tmp_path)
+        assert edited_cache.path != old_path
+        assert old_path.exists()  # orphaned, not clobbered
+        result = edited_checker.check(Name("network"), "output <= input")
+        assert KERNEL_STATS.frontier_reused == reused_before
+        # The verdict is the edited system's own (here a refutation —
+        # doubled output breaks the prefix property), identical to a
+        # cold cacheless run; a stale frontier would have kept it green.
+        cold = SatChecker(
+            parse_definitions(EDITED), Environment(), CFG, engine="operational"
+        ).check(Name("network"), "output <= input")
+        assert result.holds == cold.holds is False
+        assert result.counterexample.trace == cold.counterexample.trace
+
+    def test_key_mismatched_file_is_quarantined_not_reused(self, tmp_path):
+        # A stale snapshot copied over the new key's filename (wrong
+        # key *inside* the payload) must be quarantined, never decoded
+        # into frontiers.
+        checker, cache = _run(SOURCE, tmp_path)
+        checker.traces_of(Name("network"))
+        cache.save()
+        edited_key = cache_key(parse_definitions(EDITED), CFG)
+        shutil.copy(cache.path, tmp_path / f"snapshot-{edited_key}.json")
+
+        reused_before = KERNEL_STATS.frontier_reused
+        edited_checker, edited_cache = _run(EDITED, tmp_path)
+        assert edited_cache.rebuilt
+        assert edited_cache.quarantined
+        assert (tmp_path / "quarantine").exists()
+        result = edited_checker.check(Name("network"), "output <= input")
+        assert KERNEL_STATS.frontier_reused == reused_before
+        cold = SatChecker(
+            parse_definitions(EDITED), Environment(), CFG, engine="operational"
+        ).check(Name("network"), "output <= input")
+        assert result.holds == cold.holds
+        assert result.traces_checked == cold.traces_checked
+
+
+class TestFrontierBlobValidation:
+    """Structurally plausible but semantically corrupt blobs are
+    rejected wholesale: load returns None and the file is quarantined."""
+
+    @pytest.mark.parametrize(
+        "tamper",
+        [
+            lambda b: {**b, "level": 99},
+            lambda b: {**b, "complete": "yes"},
+            lambda b: {**b, "events": []},
+            lambda b: {**b, "states": []},
+            lambda b: {**b, "frontier": []},
+            lambda b: {**b, "frontier": [[[0], [-1]]]},
+            lambda b: {**b, "frontier": [[[999], [0]]]},
+            lambda b: {**b, "events": ["garbage"]},
+        ],
+    )
+    def test_corrupt_blob_quarantines(self, tmp_path, tamper):
+        checker, cache = _run(SOURCE, tmp_path)
+        checker.traces_of(Name("network"))
+        cache.save()
+
+        key = cache_key(parse_definitions(SOURCE), CFG)
+        victim = SnapshotCache(tmp_path, key)
+        slot = frontier_slot("operational:network", CFG.depth)
+        blob = victim.get_blob(slot)
+        assert blob is not None
+        victim.put_blob(slot, tamper(blob))
+        victim.save()
+
+        reused_before = KERNEL_STATS.frontier_reused
+        probe = SnapshotCache(tmp_path, key)
+        store = FrontierStore(probe, "operational:network")
+        loaded = store.load(CFG.depth)
+        # Either the deepest slot was the tampered one (rejected →
+        # quarantined) or validation never saw it; reuse of corrupt
+        # content is impossible either way.
+        if loaded is None:
+            assert probe.quarantined
+            assert KERNEL_STATS.frontier_reused == reused_before
+        else:
+            _, closure, level, _ = loaded
+            assert level < CFG.depth or closure == checker.traces_of(
+                Name("network")
+            )
+
+    def test_rejected_cache_serves_nothing_afterwards(self, tmp_path):
+        checker, cache = _run(SOURCE, tmp_path)
+        checker.traces_of(Name("network"))
+        cache.save()
+        key = cache_key(parse_definitions(SOURCE), CFG)
+        probe = SnapshotCache(tmp_path, key)
+        slot = frontier_slot("operational:network", 1)
+        assert probe.get(slot) is not None
+        probe.reject()
+        assert probe.quarantined and probe.rebuilt
+        assert probe.get(slot) is None
+        assert probe.get_blob(slot) is None
+
+
+class TestForallResume:
+    DOMAIN = (0, 1)
+
+    def _checker(self, directory=None, checkpoint_only=False):
+        defs = copier.definitions()
+        cache = None
+        if directory is not None:
+            cache = SnapshotCache(
+                directory, cache_key(defs, CFG), checkpoint_only=checkpoint_only
+            )
+        return SatChecker(
+            defs, copier.environment(), CFG, engine="operational", cache=cache
+        )
+
+    def _forall(self, checker, name=None):
+        return checker.check_forall(
+            "v",
+            FiniteDomain(self.DOMAIN),
+            lambda v: Name("copier"),
+            "wire <= input",
+            sample=len(self.DOMAIN),
+            name=name,
+        )
+
+    def test_receipts_skip_verified_instances_verdict_identical(self, tmp_path):
+        reference = self._forall(self._checker())
+
+        first = self._checker(tmp_path)
+        assert self._forall(first, name="claim") == reference
+        first.cache.save()
+        for index in range(len(self.DOMAIN)):
+            slot = forall_slot("operational:claim:v", index)
+            assert first.cache.get_blob(slot) is not None
+            assert slot in first._checkpoint_slots
+
+        resumed_before = KERNEL_STATS.forall_resumed
+        second = self._checker(tmp_path)
+        assert self._forall(second, name="claim") == reference
+        assert (
+            KERNEL_STATS.forall_resumed - resumed_before == len(self.DOMAIN)
+        )
+
+    # Two per-instance processes with *different* state spaces (3 vs 5
+    # distinct configurations), so a max_states budget can trip inside
+    # instance 1 after instance 0's receipt was already written.
+    STAGGERED = (
+        "copA = input?x:NAT -> wire!x -> copA;"
+        "copB = input?x:NAT -> wire!x -> wire!x -> copB"
+    )
+
+    def _staggered_forall(self, checker, name=None):
+        return checker.check_forall(
+            "v",
+            FiniteDomain(self.DOMAIN),
+            lambda v: Name("copA" if v == 0 else "copB"),
+            "#wire <= #input + 1",
+            sample=len(self.DOMAIN),
+            name=name,
+        )
+
+    def test_budget_trip_then_resume_matches_ungoverned(self, tmp_path):
+        defs = parse_definitions(self.STAGGERED)
+        reference = self._staggered_forall(
+            SatChecker(defs, Environment(), CFG, engine="operational")
+        )
+
+        # Scan budget sizes until one trips mid-check; whatever receipts
+        # were persisted, the resumed run must reproduce the ungoverned
+        # verdict exactly — and the trip itself keeps exit code 4.
+        tripped_with_receipt = False
+        for max_states in (4, 6, 10, 30):
+            directory = tmp_path / f"budget-{max_states}"
+            directory.mkdir()
+            cache = SnapshotCache(
+                directory, cache_key(defs, CFG), checkpoint_only=True
+            )
+            governed = SatChecker(
+                defs, Environment(), CFG, engine="operational", cache=cache
+            )
+            try:
+                with activate(Budget(max_states=max_states).start()):
+                    self._staggered_forall(governed, name="claim")
+            except BudgetExceeded as exc:
+                assert exit_code_for(exc) == EXIT_BUDGET
+                if exc.checkpoint is not None and any(
+                    slot.startswith("forall:")
+                    for slot in exc.checkpoint.resume_slots()
+                ):
+                    tripped_with_receipt = True
+            cache.save()
+
+            resumed_before = KERNEL_STATS.forall_resumed
+            warm_cache = SnapshotCache(
+                directory, cache_key(defs, CFG), checkpoint_only=True
+            )
+            warm = SatChecker(
+                defs, Environment(), CFG, engine="operational", cache=warm_cache
+            )
+            with activate(Budget(max_states=10_000_000).start()):
+                result = self._staggered_forall(warm, name="claim")
+            assert result.holds == reference.holds
+            assert result.traces_checked == reference.traces_checked
+            persisted = sum(
+                warm_cache.get_blob(forall_slot("operational:claim:v", i))
+                is not None
+                for i in range(len(self.DOMAIN))
+            )
+            # Every receipt the trip persisted was skipped on resume.
+            assert KERNEL_STATS.forall_resumed - resumed_before >= min(
+                persisted, 1
+            )
+        # At least one budget interrupted the check *between* instances,
+        # leaving instance 0's receipt behind for the resume to skip.
+        assert tripped_with_receipt
+
+    def test_garbage_receipt_quarantines_and_recomputes(self, tmp_path):
+        defs = copier.definitions()
+        cache = SnapshotCache(tmp_path, cache_key(defs, CFG))
+        cache.put_blob(
+            forall_slot("operational:claim:v", 0),
+            {"holds": True, "traces_checked": "lots", "verified_depth": 4},
+        )
+        cache.save()
+        checker = SatChecker(
+            defs, copier.environment(), CFG, engine="operational", cache=cache
+        )
+        reference = self._forall(self._checker())
+        resumed_before = KERNEL_STATS.forall_resumed
+        assert self._forall(checker, name="claim") == reference
+        assert KERNEL_STATS.forall_resumed == resumed_before
+        assert cache.quarantined

@@ -269,6 +269,7 @@ class TestIdempotency:
 
 
 class TestLoadShedding:
+    @pytest.mark.slow
     def test_overloaded_when_queue_full(self, tmp_path, copier_defs):
         # One worker, zero queue slots: while the worker chews on a
         # governed slow query, the next request must be shed explicitly.
@@ -308,6 +309,7 @@ class TestLoadShedding:
             thread.join(timeout=30)
             supervisor.stop()
 
+    @pytest.mark.slow
     def test_overloaded_maps_to_exit_8_via_cli(self, tmp_path, copier_defs, capsys):
         supervisor = Supervisor(str(tmp_path / "o.sock"), jobs=1, queue_limit=0)
         supervisor.start()

@@ -57,6 +57,7 @@ class TestFraming:
         with pytest.raises(ServerError, match="not an object"):
             protocol.recv_frame(stream)
 
+    @pytest.mark.slow
     def test_oversized_send_raises(self):
         huge = {"blob": "x" * (protocol.MAX_FRAME + 1)}
         with pytest.raises(ServerError, match="exceeds"):
